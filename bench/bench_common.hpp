@@ -1,0 +1,111 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Every bench accepts:
+//   --scale <f>     multiplies dataset sizes (default 1.0; paper scale ~10-50)
+//   --epochs <n>    overrides the per-bench default training epochs
+//   --seed <n>      master seed
+//   --csv <dir>     where to drop CSV dumps (default: current directory)
+// The defaults are sized so the full bench suite completes in minutes on a
+// laptop while still reproducing the paper's qualitative shape. EXPERIMENTS.md
+// records the scale used for the committed results.
+#pragma once
+
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/gdp.hpp"
+#include "baselines/graph_enc_dec.hpp"
+#include "baselines/hierarchical.hpp"
+#include "baselines/trainer.hpp"
+#include "common/flags.hpp"
+#include "common/log.hpp"
+#include "core/allocator.hpp"
+#include "core/framework.hpp"
+#include "gen/dataset.hpp"
+#include "metrics/report.hpp"
+#include "rl/rollout.hpp"
+
+namespace sc::bench {
+
+struct BenchArgs {
+  double scale = 1.0;
+  long epochs_override = -1;
+  std::uint64_t seed = 42;
+  std::string csv_dir = ".";
+  bool verbose = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    const Flags flags(argc, argv);
+    BenchArgs a;
+    a.scale = flags.get_double("scale", 1.0);
+    a.epochs_override = flags.get_int("epochs", -1);
+    a.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+    a.csv_dir = flags.get_string("csv", ".");
+    a.verbose = flags.get_bool("verbose", false);
+    if (!a.verbose) logging::set_level(LogLevel::Warn);
+    return a;
+  }
+
+  std::size_t n(std::size_t base) const {
+    const auto scaled = static_cast<std::size_t>(static_cast<double>(base) * scale);
+    return scaled < 2 ? 2 : scaled;
+  }
+  std::size_t epochs(std::size_t base) const {
+    return epochs_override > 0 ? static_cast<std::size_t>(epochs_override) : base;
+  }
+};
+
+/// Trains the coarsening framework on a setting with Metis guidance.
+inline core::CoarsenPartitionFramework train_framework(
+    const std::vector<graph::StreamGraph>& graphs, const sim::ClusterSpec& spec,
+    std::size_t epochs, std::uint64_t seed,
+    core::PlacerKind placer = core::PlacerKind::Metis,
+    bool edge_encoding = true, bool edge_collapsing = true) {
+  core::FrameworkOptions options;
+  options.trainer.metis_guidance = true;
+  options.trainer.seed = seed;
+  options.policy.seed = seed * 7919 + 13;
+  options.policy.encoder.use_edge_features = edge_encoding;
+  options.policy.scorer.use_edge_features = edge_collapsing;
+  options.placer = placer;
+  core::CoarsenPartitionFramework framework(options);
+  framework.train(graphs, spec, epochs);
+  return framework;
+}
+
+/// Trains a direct-placement baseline.
+template <typename Model>
+void train_direct(Model& model, const std::vector<graph::StreamGraph>& graphs,
+                  const sim::ClusterSpec& spec, std::size_t epochs, std::uint64_t seed) {
+  auto contexts = rl::make_contexts(graphs, spec);
+  baselines::DirectTrainerConfig cfg;
+  cfg.seed = seed;
+  baselines::DirectTrainer trainer(model, contexts, cfg);
+  for (std::size_t e = 0; e < epochs; ++e) trainer.train_epoch();
+}
+
+inline metrics::Series to_series(const core::EvalResult& r) {
+  return metrics::Series{r.name, r.throughput};
+}
+
+/// Evaluates a list of allocators over one context set and prints the
+/// comparison; returns the series for further reporting.
+inline std::vector<metrics::Series> compare(
+    const std::vector<const core::Allocator*>& allocators,
+    const std::vector<rl::GraphContext>& contexts, const std::string& title,
+    const std::string& csv_path = {}) {
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<metrics::Series> series;
+  for (const core::Allocator* a : allocators) {
+    series.push_back(to_series(core::evaluate_allocator(*a, contexts, &pool)));
+  }
+  std::cout << "\n=== " << title << " ===\n";
+  metrics::print_cdf_comparison(std::cout, series);
+  metrics::print_auc_table(std::cout, series);
+  if (!csv_path.empty()) metrics::write_series_csv(csv_path, series);
+  return series;
+}
+
+}  // namespace sc::bench

@@ -1,0 +1,108 @@
+// Figure 7 — the excess-device setting: CPU demand and bandwidth reduced by
+// 33%, so optimal allocations use a subset of the devices.
+//   (a) throughput CDFs: Metis, Metis-oracle, baselines, Coarsen variants
+//   (b) device-usage histograms and utilization statistics
+#include "bench_common.hpp"
+
+#include "nn/serialize.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  ThreadPool& pool = ThreadPool::global();
+  std::cout << "[Figure 7] Excess-device setting (CPU and bandwidth -33%)\n";
+
+  // Train on the regular medium setting, as the paper does (transfer into
+  // the excess setting is part of the experiment).
+  const auto medium =
+      gen::make_dataset(gen::Setting::Medium, args.n(24), args.n(4), args.seed);
+  const auto medium_spec = rl::to_cluster_spec(medium.config.workload);
+  auto medium_fw =
+      bench::train_framework(medium.train, medium_spec, args.epochs(16), args.seed + 1);
+
+  baselines::GraphEncDecConfig ged_cfg;
+  ged_cfg.seed = args.seed + 2;
+  baselines::GraphEncDec ged(ged_cfg);
+  bench::train_direct(ged, medium.train, medium_spec, args.epochs(6), args.seed + 3);
+
+  // Evaluate on the excess setting.
+  const auto excess =
+      gen::make_dataset(gen::Setting::Excess, args.n(8), args.n(10), args.seed + 4);
+  const auto excess_spec = rl::to_cluster_spec(excess.config.workload);
+  const auto contexts = rl::make_contexts(excess.test, excess_spec);
+
+  // Fine-tuned variant: adapt the medium policy to the excess distribution.
+  core::FrameworkOptions ft_opts;
+  ft_opts.trainer.metis_guidance = true;
+  ft_opts.trainer.seed = args.seed + 5;
+  ft_opts.placer = core::PlacerKind::MetisOracle;
+  core::CoarsenPartitionFramework finetuned(ft_opts);
+  nn::copy_parameters(medium_fw.policy().parameters(), finetuned.policy().parameters());
+  finetuned.train(excess.train, excess_spec, args.epochs(6));
+
+  const core::MetisAllocator metis;
+  const core::MetisOracleAllocator metis_oracle;
+  const core::DirectModelAllocator ged_alloc(ged);
+  const core::CoarsenAllocator zero_shot(medium_fw.policy(), medium_fw.placer(),
+                                         "Coarsen+Metis (no fine-tune)");
+  const core::CoarsenAllocator tuned(finetuned.policy(), finetuned.placer(),
+                                     "Coarsen+Metis-oracle (+fine-tune)");
+
+  const auto m_eval = core::evaluate_allocator(metis, contexts, &pool);
+  const auto o_eval = core::evaluate_allocator(metis_oracle, contexts, &pool);
+  const auto g_eval = core::evaluate_allocator(ged_alloc, contexts, &pool);
+  const auto z_eval = core::evaluate_allocator(zero_shot, contexts, &pool);
+  const auto t_eval = core::evaluate_allocator(tuned, contexts, &pool);
+
+  std::vector<metrics::Series> series{bench::to_series(m_eval), bench::to_series(o_eval),
+                                      bench::to_series(g_eval), bench::to_series(z_eval),
+                                      bench::to_series(t_eval)};
+  std::cout << "\n=== (a) Throughput CDFs ===\n";
+  metrics::print_cdf_comparison(std::cout, series);
+  metrics::print_auc_table(std::cout, series);
+  metrics::write_series_csv(args.csv_dir + "/fig7a.csv", series);
+
+  // ---- (b) device-usage histograms + utilization ------------------------------
+  const auto usage_of = [](const core::EvalResult& r) {
+    std::vector<double> used;
+    for (const auto& p : r.placements) {
+      used.push_back(static_cast<double>(sim::devices_used(p)));
+    }
+    return used;
+  };
+  const double d = static_cast<double>(excess_spec.num_devices);
+  std::cout << "\n=== (b) Devices used ===\n";
+  metrics::print_histogram(
+      std::cout, metrics::histogram(usage_of(o_eval), 0.5, d + 0.5, excess_spec.num_devices),
+      "Metis-oracle:");
+  metrics::print_histogram(
+      std::cout, metrics::histogram(usage_of(t_eval), 0.5, d + 0.5, excess_spec.num_devices),
+      "Coarsen+Metis-oracle (+fine-tune):");
+  metrics::print_histogram(
+      std::cout, metrics::histogram(usage_of(z_eval), 0.5, d + 0.5, excess_spec.num_devices),
+      "Coarsen+Metis (no fine-tune, tends to over-use devices):");
+
+  const auto util_stats = [&](const core::EvalResult& r) {
+    std::vector<double> cpu, bw;
+    for (std::size_t i = 0; i < contexts.size(); ++i) {
+      const auto rep = contexts[i].simulator.report(r.placements[i]);
+      cpu.push_back(rep.avg_cpu_utilization);
+      bw.push_back(rep.avg_bw_utilization);
+    }
+    const auto c = metrics::mean_std(cpu);
+    const auto b = metrics::mean_std(bw);
+    std::cout << "  " << r.name << ": device util " << metrics::Table::fmt(c.mean, 2)
+              << " (" << metrics::Table::fmt(c.stddev, 2) << "), bandwidth util "
+              << metrics::Table::fmt(b.mean, 2) << " (" << metrics::Table::fmt(b.stddev, 2)
+              << ")\n";
+  };
+  std::cout << "\nUtilization of used resources (mean (stddev)):\n";
+  util_stats(o_eval);
+  util_stats(t_eval);
+
+  std::cout << "\nExpected shape (paper Fig. 7): fine-tuned Coarsen beats even\n"
+               "Metis-oracle; the no-fine-tune variant beats the baselines but uses\n"
+               "more devices than necessary; our utilization mean/stddev are lower\n"
+               "than Metis-oracle's (better balancing).\n";
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Table I — main results: AUC and relative improvement w.r.t. Metis across
+// all five settings, including the graph-size curriculum for large and
+// extra-large graphs and the Metis-oracle variant.
+//
+// Expected shape (paper Table I): Coarsen+X improves on Metis everywhere;
+// the gains grow with graph size when curriculum fine-tuning is applied;
+// zero-shot transfer ("direct prediction") already improves on Metis.
+#include "bench_common.hpp"
+
+#include "nn/serialize.hpp"
+
+namespace {
+
+using namespace sc;
+
+struct Row {
+  std::string setting;
+  std::string method;
+  double auc = 0.0;
+  double improvement = 0.0;  // vs Metis in the same block
+  bool is_reference = false;
+};
+
+std::vector<Row> g_rows;
+
+void record_block(const std::string& setting, const std::vector<metrics::Series>& series) {
+  const double x_max = metrics::common_x_max(series);
+  const metrics::Cdf ref{std::vector<double>(series.front().values)};
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const metrics::Cdf cdf{std::vector<double>(series[i].values)};
+    Row row;
+    row.setting = setting;
+    row.method = series[i].name;
+    row.auc = cdf.auc(x_max);
+    row.improvement = i == 0 ? 0.0 : metrics::improvement(ref, cdf, x_max);
+    row.is_reference = i == 0;
+    g_rows.push_back(row);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  ThreadPool& pool = ThreadPool::global();
+  std::cout << "[Table I] Main results across all settings\n";
+
+  const core::MetisAllocator metis;
+
+  // ---- Block 1: Small (10K/s, 5 devices, 4-26 nodes) ------------------------
+  {
+    const auto ds =
+        gen::make_dataset(gen::Setting::Small, args.n(40), args.n(30), args.seed);
+    const auto spec = rl::to_cluster_spec(ds.config.workload);
+    auto framework =
+        bench::train_framework(ds.train, spec, args.epochs(16), args.seed + 1);
+
+    baselines::GraphEncDecConfig ged_cfg;
+    ged_cfg.seed = args.seed + 2;
+    baselines::GraphEncDec ged(ged_cfg);
+    bench::train_direct(ged, ds.train, spec, args.epochs(12), args.seed + 3);
+
+    const auto contexts = rl::make_contexts(ds.test, spec);
+    const core::DirectModelAllocator ged_alloc(ged);
+    const core::CoarsenAllocator ours(framework.policy(), framework.placer(),
+                                      "Coarsen+Metis");
+    const auto series = bench::compare({&metis, &ged_alloc, &ours}, contexts,
+                                       "(10K/s, 5 devices, 4-26 nodes)");
+    record_block("10K/s,5dev,4-26", series);
+  }
+
+  // ---- Blocks 2+3: Medium, two cluster settings ------------------------------
+  gnn::CoarseningPolicy medium_policy;  // carried into the curriculum below
+  {
+    for (const auto& [setting, label, seed_off] :
+         {std::tuple{gen::Setting::MediumSmallCluster, "5K/s,5dev,100-200", 10},
+          std::tuple{gen::Setting::Medium, "10K/s,10dev,100-200", 20}}) {
+      const auto ds = gen::make_dataset(setting, args.n(24), args.n(24),
+                                        args.seed + static_cast<std::uint64_t>(seed_off));
+      const auto spec = rl::to_cluster_spec(ds.config.workload);
+      auto framework = bench::train_framework(
+          ds.train, spec, args.epochs(16), args.seed + static_cast<std::uint64_t>(seed_off) + 1);
+
+      baselines::GraphEncDecConfig ged_cfg;
+      ged_cfg.seed = args.seed + static_cast<std::uint64_t>(seed_off) + 2;
+      baselines::GraphEncDec ged(ged_cfg);
+      bench::train_direct(ged, ds.train, spec, args.epochs(6),
+                          args.seed + static_cast<std::uint64_t>(seed_off) + 3);
+
+      const auto contexts = rl::make_contexts(ds.test, spec);
+      const core::CoarsenAllocator cm(framework.policy(), framework.placer(),
+                                      "Coarsen+Metis");
+      const core::CoarsenAllocator cg(framework.policy(), baselines::learned_placer(ged),
+                                      "Coarsen+Graph-enc-dec");
+      const auto series = bench::compare({&metis, &cm, &cg}, contexts,
+                                         std::string("(") + label + ")");
+      record_block(label, series);
+      if (setting == gen::Setting::Medium) medium_policy = framework.policy();
+    }
+  }
+
+  // ---- Block 4: Large (10K/s, 10 devices, 400-500) — curriculum from medium --
+  core::FrameworkOptions curriculum_options;
+  curriculum_options.trainer.metis_guidance = true;
+  curriculum_options.trainer.seed = args.seed + 30;
+  core::CoarsenPartitionFramework curriculum_fw(curriculum_options);
+  nn::copy_parameters(medium_policy.parameters(), curriculum_fw.policy().parameters());
+  {
+    const auto ds =
+        gen::make_dataset(gen::Setting::Large, args.n(10), args.n(10), args.seed + 31);
+    const auto spec = rl::to_cluster_spec(ds.config.workload);
+    curriculum_fw.train(ds.train, spec, args.epochs(6));  // fine-tune
+
+    baselines::GraphEncDecConfig ged_cfg;
+    ged_cfg.seed = args.seed + 32;
+    baselines::GraphEncDec ged(ged_cfg);
+    bench::train_direct(ged, ds.train, spec, args.epochs(3), args.seed + 33);
+
+    const auto contexts = rl::make_contexts(ds.test, spec);
+    const core::CoarsenAllocator cm(curriculum_fw.policy(), curriculum_fw.placer(),
+                                    "Coarsen+Metis (curriculum)");
+    const core::CoarsenAllocator cg(curriculum_fw.policy(),
+                                    baselines::learned_placer(ged),
+                                    "Coarsen+Graph-enc-dec");
+    const auto series = bench::compare({&metis, &cm, &cg}, contexts,
+                                       "(10K/s, 10 devices, 400-500 nodes)");
+    record_block("10K/s,10dev,400-500", series);
+  }
+
+  // ---- Blocks 5+6: XLarge (10K/s, 20 devices, 1000-2000), two replicates -----
+  for (const std::uint64_t rep : {0ULL, 1ULL}) {
+    const auto ds = gen::make_dataset(gen::Setting::XLarge, args.n(4), args.n(4),
+                                      args.seed + 40 + rep * 7);
+    const auto spec = rl::to_cluster_spec(ds.config.workload);
+    const auto contexts = rl::make_contexts(ds.test, spec);
+
+    // "Direct prediction": the large-level policy applied zero-shot.
+    const core::CoarsenAllocator direct(curriculum_fw.policy(), curriculum_fw.placer(),
+                                        "Coarsen+Metis (direct prediction)");
+    const auto direct_eval = core::evaluate_allocator(direct, contexts, &pool);
+
+    // "+curriculum": fine-tune a copy on this level's training split.
+    core::FrameworkOptions xl_options = curriculum_options;
+    xl_options.trainer.seed = args.seed + 50 + rep;
+    core::CoarsenPartitionFramework xl_fw(xl_options);
+    nn::copy_parameters(curriculum_fw.policy().parameters(),
+                        xl_fw.policy().parameters());
+    xl_fw.train(ds.train, spec, args.epochs(3));
+
+    const core::CoarsenAllocator tuned(xl_fw.policy(), xl_fw.placer(),
+                                       "Coarsen+Metis (+curriculum)");
+    const core::CoarsenAllocator oracle(xl_fw.policy(), rl::metis_oracle_placer(),
+                                        "Coarsen+Metis-oracle (+curriculum)");
+
+    const auto metis_eval = core::evaluate_allocator(metis, contexts, &pool);
+    const auto tuned_eval = core::evaluate_allocator(tuned, contexts, &pool);
+    const auto oracle_eval = core::evaluate_allocator(oracle, contexts, &pool);
+
+    std::vector<metrics::Series> series{bench::to_series(metis_eval),
+                                        bench::to_series(direct_eval),
+                                        bench::to_series(tuned_eval),
+                                        bench::to_series(oracle_eval)};
+    const std::string label =
+        std::string("10K/s,20dev,1K-2K (replicate ") + std::to_string(rep) + ")";
+    std::cout << "\n=== (" << label << ") ===\n";
+    metrics::print_cdf_comparison(std::cout, series);
+    metrics::print_auc_table(std::cout, series);
+    record_block(label, series);
+  }
+
+  // ---- Final paper-style table ------------------------------------------------
+  std::cout << "\n=== Table I (reproduction) ===\n";
+  metrics::Table t({"Setting", "Method", "AUC", "Imp. wrt Metis"});
+  for (const Row& r : g_rows) {
+    t.add_row({r.setting, r.method, metrics::Table::fmt(r.auc, 0),
+               r.is_reference ? "-" : metrics::Table::pct(r.improvement)});
+  }
+  t.print(std::cout);
+  return 0;
+}

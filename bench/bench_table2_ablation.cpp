@@ -1,0 +1,54 @@
+// Table II — ablation study at (5K/s, 5 devices, 100-200 nodes):
+//   * the full framework (Coarsen+Metis)
+//   * without edge features in the graph-encoding module
+//   * without edge features in the edge-collapsing module
+//   * Coarsen+Graph-enc-dec (placement model swap)
+//   * Coarsen-only (no partitioning model)
+//   * the Graph-enc-dec direct baseline
+// Expected shape: removing either set of edge features hurts (collapsing
+// features more), Coarsen-only barely beats Metis, the full framework wins.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  std::cout << "[Table II] Ablations on (5K/s, 5 devices, 100-200 nodes)\n";
+
+  const auto ds = gen::make_dataset(gen::Setting::MediumSmallCluster, args.n(24),
+                                    args.n(24), args.seed);
+  const auto spec = rl::to_cluster_spec(ds.config.workload);
+  const std::size_t epochs = args.epochs(16);
+  const std::size_t ged_epochs = args.epochs(6);
+
+  auto full = bench::train_framework(ds.train, spec, epochs, args.seed + 1);
+  auto no_enc = bench::train_framework(ds.train, spec, epochs, args.seed + 2,
+                                       core::PlacerKind::Metis,
+                                       /*edge_encoding=*/false, /*edge_collapsing=*/true);
+  auto no_col = bench::train_framework(ds.train, spec, epochs, args.seed + 3,
+                                       core::PlacerKind::Metis,
+                                       /*edge_encoding=*/true, /*edge_collapsing=*/false);
+  auto coarsen_only = bench::train_framework(ds.train, spec, epochs, args.seed + 4,
+                                             core::PlacerKind::CoarsenOnly);
+
+  baselines::GraphEncDecConfig ged_cfg;
+  ged_cfg.seed = args.seed + 5;
+  baselines::GraphEncDec ged(ged_cfg);
+  bench::train_direct(ged, ds.train, spec, ged_epochs, args.seed + 6);
+
+  const auto contexts = rl::make_contexts(ds.test, spec);
+  const core::MetisAllocator metis;
+  const core::CoarsenAllocator a_full(full.policy(), full.placer(), "Coarsen+Metis");
+  const core::CoarsenAllocator a_no_enc(no_enc.policy(), no_enc.placer(),
+                                        "w/o edge-encoding features");
+  const core::CoarsenAllocator a_no_col(no_col.policy(), no_col.placer(),
+                                        "w/o edge-collapsing features");
+  const core::CoarsenAllocator a_ged(full.policy(), baselines::learned_placer(ged),
+                                     "Coarsen+Graph-enc-dec");
+  const core::CoarsenAllocator a_only(coarsen_only.policy(), coarsen_only.placer(),
+                                      "Coarsen-only");
+  const core::DirectModelAllocator a_direct(ged);
+
+  bench::compare({&metis, &a_full, &a_no_enc, &a_no_col, &a_ged, &a_only, &a_direct},
+                 contexts, "Table II ablations", args.csv_dir + "/table2.csv");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Table III — average inference time per graph for each method on medium
+// (100-200 node) and large (400-500 node) graphs, measured with
+// google-benchmark. Model weights are untrained (timing is weight-agnostic).
+// Expected shape: Metis fastest by orders of magnitude; Coarsen+Metis and
+// Hierarchical in the middle; the sequential seq2seq models (Graph-enc-dec,
+// GDP) slowest and scaling worst with node count.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/gdp.hpp"
+#include "baselines/graph_enc_dec.hpp"
+#include "baselines/hierarchical.hpp"
+#include "core/allocator.hpp"
+#include "core/framework.hpp"
+#include "gen/dataset.hpp"
+#include "rl/rollout.hpp"
+
+namespace {
+
+using namespace sc;
+
+struct Fixture {
+  // Datasets must outlive the contexts (GraphContext borrows the graphs).
+  gen::Dataset medium_ds;
+  gen::Dataset large_ds;
+  std::vector<rl::GraphContext> medium;
+  std::vector<rl::GraphContext> large;
+  std::unique_ptr<core::CoarsenPartitionFramework> framework;
+  std::unique_ptr<baselines::GraphEncDec> ged;
+  std::unique_ptr<baselines::Gdp> gdp;
+  std::unique_ptr<baselines::Hierarchical> hier;
+
+  std::unique_ptr<core::MetisAllocator> metis;
+  std::unique_ptr<core::CoarsenAllocator> coarsen;
+  std::unique_ptr<core::DirectModelAllocator> ged_alloc;
+  std::unique_ptr<core::DirectModelAllocator> gdp_alloc;
+  std::unique_ptr<core::DirectModelAllocator> hier_alloc;
+
+  static Fixture& instance() {
+    static Fixture f;
+    return f;
+  }
+
+private:
+  Fixture() {
+    const std::uint64_t seed = 123;
+    medium_ds = gen::make_dataset(gen::Setting::Medium, 0, 8, seed);
+    medium = rl::make_contexts(medium_ds.test,
+                               rl::to_cluster_spec(medium_ds.config.workload));
+    large_ds = gen::make_dataset(gen::Setting::Large, 0, 8, seed + 1);
+    large = rl::make_contexts(large_ds.test,
+                              rl::to_cluster_spec(large_ds.config.workload));
+    framework = std::make_unique<core::CoarsenPartitionFramework>();
+    ged = std::make_unique<baselines::GraphEncDec>(baselines::GraphEncDecConfig{});
+    gdp = std::make_unique<baselines::Gdp>(baselines::GdpConfig{});
+    hier = std::make_unique<baselines::Hierarchical>(baselines::HierarchicalConfig{});
+
+    metis = std::make_unique<core::MetisAllocator>();
+    coarsen = std::make_unique<core::CoarsenAllocator>(framework->policy(),
+                                                       framework->placer(),
+                                                       "Coarsen+Metis");
+    ged_alloc = std::make_unique<core::DirectModelAllocator>(*ged);
+    gdp_alloc = std::make_unique<core::DirectModelAllocator>(*gdp);
+    hier_alloc = std::make_unique<core::DirectModelAllocator>(*hier);
+  }
+};
+
+void run_allocator(benchmark::State& state, const core::Allocator& alloc,
+                   const std::vector<rl::GraphContext>& contexts) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.allocate(contexts[i % contexts.size()]));
+    ++i;
+  }
+  state.SetLabel("per-graph inference");
+}
+
+#define SC_BENCH(method, field)                                                   \
+  void BM_##method##_Medium(benchmark::State& s) {                                \
+    run_allocator(s, *Fixture::instance().field, Fixture::instance().medium);     \
+  }                                                                               \
+  BENCHMARK(BM_##method##_Medium)->Unit(benchmark::kMillisecond);                 \
+  void BM_##method##_Large(benchmark::State& s) {                                 \
+    run_allocator(s, *Fixture::instance().field, Fixture::instance().large);      \
+  }                                                                               \
+  BENCHMARK(BM_##method##_Large)->Unit(benchmark::kMillisecond);
+
+SC_BENCH(CoarsenMetis, coarsen)
+SC_BENCH(Metis, metis)
+SC_BENCH(Hierarchical, hier_alloc)
+SC_BENCH(GDP, gdp_alloc)
+SC_BENCH(GraphEncDec, ged_alloc)
+
+}  // namespace
+
+BENCHMARK_MAIN();

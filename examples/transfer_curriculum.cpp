@@ -1,0 +1,78 @@
+// Transferability & curriculum demo (the paper's Fig. 6 story):
+//   1. train the coarsening policy on small graphs;
+//   2. apply it directly to much larger unseen graphs (zero-shot transfer);
+//   3. fine-tune for a few epochs on the larger graphs (adaptation);
+// and compare each stage against Metis.
+//
+//   ./transfer_curriculum [--small-graphs 24] [--large-graphs 12]
+//                         [--epochs 8] [--finetune 3] [--seed 3]
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "core/allocator.hpp"
+#include "core/framework.hpp"
+#include "gen/generator.hpp"
+#include "metrics/report.hpp"
+#include "rl/rollout.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  const Flags flags(argc, argv);
+
+  const auto small_count = static_cast<std::size_t>(flags.get_int("small-graphs", 24));
+  const auto large_count = static_cast<std::size_t>(flags.get_int("large-graphs", 12));
+  const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 8));
+  const auto finetune = static_cast<std::size_t>(flags.get_int("finetune", 3));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
+
+  gen::GeneratorConfig small_cfg;
+  small_cfg.topology.min_nodes = 30;
+  small_cfg.topology.max_nodes = 60;
+  small_cfg.workload.num_devices = 5;
+
+  gen::GeneratorConfig large_cfg = small_cfg;
+  large_cfg.topology.min_nodes = 120;
+  large_cfg.topology.max_nodes = 180;
+  large_cfg.workload.num_devices = 10;
+
+  auto small_train = gen::generate_graphs(small_cfg, small_count, seed, "small");
+  auto large_train = gen::generate_graphs(large_cfg, large_count, seed + 1, "ltrain");
+  auto large_test = gen::generate_graphs(large_cfg, large_count, seed + 2, "ltest");
+
+  const sim::ClusterSpec small_spec = rl::to_cluster_spec(small_cfg.workload);
+  const sim::ClusterSpec large_spec = rl::to_cluster_spec(large_cfg.workload);
+
+  core::FrameworkOptions options;
+  options.trainer.metis_guidance = true;
+  core::CoarsenPartitionFramework framework(options);
+
+  std::cout << "Stage 1: training on " << small_count << " small graphs ("
+            << epochs << " epochs)...\n";
+  framework.train(small_train, small_spec, epochs);
+
+  const auto contexts = rl::make_contexts(large_test, large_spec);
+  ThreadPool& pool = ThreadPool::global();
+  const core::MetisAllocator metis;
+  const core::CoarsenAllocator ours(framework.policy(), framework.placer(),
+                                    "Coarsen+Metis");
+
+  const auto metis_eval = core::evaluate_allocator(metis, contexts, &pool);
+  const auto zero_shot = core::evaluate_allocator(ours, contexts, &pool);
+
+  std::cout << "Stage 2: fine-tuning on " << large_count << " large graphs ("
+            << finetune << " epochs)...\n";
+  framework.train(large_train, large_spec, finetune);
+  const auto adapted = core::evaluate_allocator(ours, contexts, &pool);
+
+  std::cout << "\nLarge-graph held-out comparison (" << large_count << " graphs, "
+            << large_cfg.topology.min_nodes << "-" << large_cfg.topology.max_nodes
+            << " nodes, " << large_spec.num_devices << " devices):\n";
+  metrics::print_auc_table(
+      std::cout, {{metis_eval.name, metis_eval.throughput},
+                  {"Coarsen (zero-shot transfer)", zero_shot.throughput},
+                  {"Coarsen (+fine-tune)", adapted.throughput}});
+  std::cout << "\nThe policy transfers because edge-collapse decisions have the same\n"
+               "semantics on any stream graph; fine-tuning adapts it to the new\n"
+               "size/device distribution in a handful of epochs (Sec. IV-C).\n";
+  return 0;
+}

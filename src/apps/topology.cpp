@@ -1,0 +1,150 @@
+#include "apps/topology.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace sc::apps {
+
+TopologyBuilder& TopologyBuilder::spout(const std::string& name, double ipt,
+                                        std::size_t parallelism) {
+  SC_CHECK(parallelism >= 1, "parallelism must be at least 1");
+  for (const auto& op : operators_) {
+    SC_CHECK(op.name != name, "duplicate operator name '" << name << "'");
+  }
+  operators_.push_back(OperatorDecl{name, ipt, 1.0, parallelism, /*is_spout=*/true});
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::bolt(const std::string& name, double ipt,
+                                       double selectivity, std::size_t parallelism) {
+  SC_CHECK(parallelism >= 1, "parallelism must be at least 1");
+  for (const auto& op : operators_) {
+    SC_CHECK(op.name != name, "duplicate operator name '" << name << "'");
+  }
+  operators_.push_back(OperatorDecl{name, ipt, selectivity, parallelism, false});
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::shuffle(const std::string& from, const std::string& to,
+                                          double payload_bytes) {
+  streams_.push_back(StreamDecl{from, to, payload_bytes, Grouping::Shuffle});
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::broadcast(const std::string& from,
+                                            const std::string& to,
+                                            double payload_bytes) {
+  streams_.push_back(StreamDecl{from, to, payload_bytes, Grouping::Broadcast});
+  return *this;
+}
+
+std::size_t TopologyBuilder::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < operators_.size(); ++i) {
+    if (operators_[i].name == name) return i;
+  }
+  SC_CHECK(false, "unknown operator '" << name << "' in topology '" << name_ << "'");
+  return 0;
+}
+
+graph::StreamGraph TopologyBuilder::build() const {
+  SC_CHECK(!operators_.empty(), "topology '" << name_ << "' has no operators");
+
+  graph::GraphBuilder b(name_);
+  // Instances are laid out operator by operator, in declaration order.
+  std::vector<graph::NodeId> first_instance(operators_.size());
+  graph::NodeId next = 0;
+  for (std::size_t i = 0; i < operators_.size(); ++i) {
+    first_instance[i] = next;
+    for (std::size_t k = 0; k < operators_[i].parallelism; ++k) {
+      b.add_node(operators_[i].instructions_per_tuple, operators_[i].selectivity);
+      ++next;
+    }
+  }
+
+  // A producer instance talking to a shuffle-grouped consumer splits its
+  // stream evenly across consumer instances; per instance-pair payload is
+  // the logical per-tuple payload (each tuple travels one pair).
+  for (const StreamDecl& s : streams_) {
+    const std::size_t from = index_of(s.from);
+    const std::size_t to = index_of(s.to);
+    SC_CHECK(from != to, "operator '" << s.from << "' cannot subscribe to itself");
+    const std::size_t pf = operators_[from].parallelism;
+    const std::size_t pt = operators_[to].parallelism;
+    const double rate_factor =
+        s.grouping == Grouping::Shuffle ? 1.0 / static_cast<double>(pt) : 1.0;
+    for (std::size_t i = 0; i < pf; ++i) {
+      for (std::size_t j = 0; j < pt; ++j) {
+        b.add_edge(first_instance[from] + static_cast<graph::NodeId>(i),
+                   first_instance[to] + static_cast<graph::NodeId>(j),
+                   s.payload_bytes, rate_factor);
+      }
+    }
+  }
+  return b.build();  // validates acyclicity
+}
+
+std::vector<graph::NodeId> TopologyBuilder::instances_of(const std::string& name) const {
+  const std::size_t target = index_of(name);
+  graph::NodeId base = 0;
+  for (std::size_t i = 0; i < target; ++i) {
+    base += static_cast<graph::NodeId>(operators_[i].parallelism);
+  }
+  std::vector<graph::NodeId> ids(operators_[target].parallelism);
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    ids[k] = base + static_cast<graph::NodeId>(k);
+  }
+  return ids;
+}
+
+// ---- Canonical applications -------------------------------------------------
+
+TopologyBuilder word_count(std::size_t p) {
+  TopologyBuilder t("word_count");
+  t.spout("sentences", /*ipt=*/2e4, /*parallelism=*/1)
+      .bolt("split", /*ipt=*/6e4, /*selectivity=*/8.0, p)   // sentence -> words
+      .bolt("count", /*ipt=*/3e4, /*selectivity=*/0.2, p)   // windowed counts
+      .bolt("store", /*ipt=*/1e4, /*selectivity=*/1.0, 1);
+  t.shuffle("sentences", "split", /*payload=*/400.0)
+      .shuffle("split", "count", /*payload=*/24.0)
+      .shuffle("count", "store", /*payload=*/48.0);
+  return t;
+}
+
+TopologyBuilder fraud_detection(std::size_t p) {
+  TopologyBuilder t("fraud_detection");
+  t.spout("cdr_ingest", 3e4, 2)                     // call-detail records
+      .bolt("parse", 5e4, 1.0, p)
+      .bolt("enrich", 1.2e5, 1.0, p)                // customer/location join
+      .bolt("model_update", 6e4, 0.01, 1)           // slow control stream
+      .bolt("score", 1.5e5, 1.0, p)                 // per-call fraud score
+      .bolt("alert", 4e4, 0.02, 1)                  // rare positives
+      .bolt("archive", 2e4, 1.0, 2);
+  t.shuffle("cdr_ingest", "parse", 600.0)
+      .shuffle("parse", "enrich", 300.0)
+      .shuffle("enrich", "score", 500.0)
+      .shuffle("parse", "model_update", 300.0)
+      .broadcast("model_update", "score", 4000.0)   // model pushed to all scorers
+      .shuffle("score", "alert", 200.0)
+      .shuffle("score", "archive", 500.0);
+  return t;
+}
+
+TopologyBuilder iot_telemetry(std::size_t p) {
+  TopologyBuilder t("iot_telemetry");
+  t.spout("sensors", 1e4, 2)
+      .bolt("parse", 4e4, 1.0, p)
+      .bolt("window_agg", 8e4, 0.1, p)              // per-region rollups
+      .bolt("anomaly", 1.8e5, 0.05, p)
+      .bolt("dashboard", 3e4, 1.0, 1)
+      .bolt("cold_store", 1.5e4, 1.0, 2);
+  t.shuffle("sensors", "parse", 250.0)
+      .shuffle("parse", "window_agg", 200.0)
+      .shuffle("window_agg", "anomaly", 350.0)
+      .shuffle("window_agg", "dashboard", 350.0)
+      .shuffle("parse", "cold_store", 250.0)
+      .shuffle("anomaly", "dashboard", 120.0);
+  return t;
+}
+
+}  // namespace sc::apps

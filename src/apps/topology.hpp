@@ -1,0 +1,95 @@
+// Application topology layer: a Storm/Flink-style description of stream
+// applications (spouts, bolts, parallelism, stream groupings) that compiles
+// down to the instance-level StreamGraph the allocator operates on.
+//
+// This is the bridge between how practitioners describe streaming jobs and
+// the paper's operator-graph abstraction: an operator with parallelism p
+// becomes p instances; a shuffle-grouped stream splits each producer's
+// output evenly across consumer instances, a broadcast stream duplicates it
+// to all of them (exactly the rate_factor semantics of graph::Channel).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/stream_graph.hpp"
+
+namespace sc::apps {
+
+enum class Grouping {
+  Shuffle,    ///< each producer instance splits its stream across consumers
+  Broadcast,  ///< each producer instance sends the full stream to every consumer
+};
+
+/// Declarative description of one logical operator.
+struct OperatorDecl {
+  std::string name;
+  double instructions_per_tuple = 1.0;
+  double selectivity = 1.0;      ///< output tuples per input tuple
+  std::size_t parallelism = 1;   ///< number of instances
+  bool is_spout = false;         ///< tuple source
+};
+
+/// Declarative description of one stream (logical edge).
+struct StreamDecl {
+  std::string from;
+  std::string to;
+  double payload_bytes = 1.0;
+  Grouping grouping = Grouping::Shuffle;
+};
+
+/// Fluent builder for application topologies.
+class TopologyBuilder {
+public:
+  explicit TopologyBuilder(std::string name) : name_(std::move(name)) {}
+
+  /// Declares a tuple source with `parallelism` instances.
+  TopologyBuilder& spout(const std::string& name, double ipt,
+                         std::size_t parallelism = 1);
+
+  /// Declares a processing operator.
+  TopologyBuilder& bolt(const std::string& name, double ipt, double selectivity = 1.0,
+                        std::size_t parallelism = 1);
+
+  /// Subscribes `to` to `from`'s output stream with shuffle grouping.
+  TopologyBuilder& shuffle(const std::string& from, const std::string& to,
+                           double payload_bytes);
+
+  /// Subscribes `to` with broadcast grouping (full stream to every instance).
+  TopologyBuilder& broadcast(const std::string& from, const std::string& to,
+                             double payload_bytes);
+
+  /// Expands parallelism into the instance-level stream graph.
+  /// Throws sc::Error on duplicate/unknown operator names or cyclic streams.
+  graph::StreamGraph build() const;
+
+  /// Instance ids of a logical operator in the built graph (valid for the
+  /// most recent build() call ordering, which is deterministic).
+  std::vector<graph::NodeId> instances_of(const std::string& name) const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<OperatorDecl>& operators() const { return operators_; }
+  const std::vector<StreamDecl>& streams() const { return streams_; }
+
+private:
+  std::size_t index_of(const std::string& name) const;
+
+  std::string name_;
+  std::vector<OperatorDecl> operators_;
+  std::vector<StreamDecl> streams_;
+};
+
+// ---- Canonical applications (the domains the paper's introduction cites) ----
+
+/// Classic streaming word count: sentences -> split -> count -> store.
+TopologyBuilder word_count(std::size_t parallelism = 4);
+
+/// Telecom fraud detection: CDR ingest fans out to enrichment, a broadcast
+/// model-update stream, scoring, and alerting/archival sinks.
+TopologyBuilder fraud_detection(std::size_t parallelism = 4);
+
+/// Transportation/IoT telemetry: sensor ingest -> parse -> window
+/// aggregation per region -> anomaly detection + dashboard + cold storage.
+TopologyBuilder iot_telemetry(std::size_t parallelism = 4);
+
+}  // namespace sc::apps

@@ -1,0 +1,102 @@
+#include "baselines/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sc::baselines {
+
+nn::Tensor mask_device_logits(nn::Tensor logits, std::size_t num_devices) {
+  SC_CHECK(logits.dim() == 2, "device logits must be 2-D");
+  const std::size_t width = logits.cols();
+  SC_CHECK(num_devices >= 1 && num_devices <= width,
+           "cluster has " << num_devices << " devices but the model head supports "
+                          << width);
+  if (num_devices == width) return logits;
+  std::vector<double> mask(width, 0.0);
+  for (std::size_t d = num_devices; d < width; ++d) mask[d] = -1e9;
+  return nn::add(logits, nn::Tensor::from(std::move(mask), {width}));
+}
+
+std::vector<int> decode_rows(const nn::Tensor& masked_logits, std::size_t num_devices,
+                             DecodeMode mode, Rng* rng) {
+  const std::size_t n = masked_logits.rows();
+  const std::size_t width = masked_logits.cols();
+  std::vector<int> actions(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mode == DecodeMode::Greedy) {
+      int best = 0;
+      double best_v = masked_logits.at(i, 0);
+      for (std::size_t d = 1; d < num_devices; ++d) {
+        if (masked_logits.at(i, d) > best_v) {
+          best_v = masked_logits.at(i, d);
+          best = static_cast<int>(d);
+        }
+      }
+      actions[i] = best;
+    } else {
+      SC_CHECK(rng != nullptr, "Sample mode needs an rng");
+      // Stable softmax over the valid prefix.
+      double mx = masked_logits.at(i, 0);
+      for (std::size_t d = 1; d < num_devices; ++d) {
+        mx = std::max(mx, masked_logits.at(i, d));
+      }
+      std::vector<double> w(num_devices);
+      for (std::size_t d = 0; d < num_devices; ++d) {
+        w[d] = std::exp(masked_logits.at(i, d) - mx);
+      }
+      actions[i] = static_cast<int>(rng->weighted_index(w));
+    }
+  }
+  (void)width;
+  return actions;
+}
+
+gnn::GraphFeatures coarse_features(const graph::WeightedGraph& g,
+                                   const sim::ClusterSpec& spec) {
+  const std::size_t n = g.num_nodes();
+  const double rate = spec.source_rate;
+
+  std::vector<double> incident_w(n, 0.0);
+  for (const graph::WeightedEdge& e : g.edges()) {
+    incident_w[e.a] += e.weight;
+    incident_w[e.b] += e.weight;
+  }
+
+  std::vector<double> node_vals;
+  node_vals.reserve(n * gnn::kNodeFeatureDim);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const double cpu_util = rate * g.node_weight(v) / spec.device_mips;
+    const double traffic = rate * incident_w[v] / spec.bandwidth;
+    node_vals.push_back(cpu_util);
+    node_vals.push_back(traffic * 0.5);  // no direction on coarse edges
+    node_vals.push_back(traffic * 0.5);
+    node_vals.push_back(std::log1p(static_cast<double>(g.degree(v))));
+    node_vals.push_back(std::log1p(static_cast<double>(g.degree(v))));
+    node_vals.push_back(0.5);  // depth unknown after contraction
+  }
+
+  gnn::GraphFeatures f;
+  f.node = nn::Tensor::from(std::move(node_vals), {n, gnn::kNodeFeatureDim});
+
+  const std::size_t m = g.num_edges();
+  const double total_w = std::max(g.total_edge_weight(), 1e-12);
+  std::vector<double> edge_vals;
+  edge_vals.reserve(std::max<std::size_t>(1, 2 * m) * gnn::kEdgeFeatureDim);
+  for (const graph::WeightedEdge& e : g.edges()) {
+    for (int dir = 0; dir < 2; ++dir) {
+      f.edge_src.push_back(dir == 0 ? e.a : e.b);
+      f.edge_dst.push_back(dir == 0 ? e.b : e.a);
+      edge_vals.push_back(rate * e.weight / spec.bandwidth);
+      edge_vals.push_back(e.weight / total_w);
+      edge_vals.push_back(0.0);
+    }
+  }
+  if (m == 0) edge_vals.assign(gnn::kEdgeFeatureDim, 0.0);
+  f.edge = nn::Tensor::from(std::move(edge_vals),
+                            {std::max<std::size_t>(1, 2 * m), gnn::kEdgeFeatureDim});
+  return f;
+}
+
+}  // namespace sc::baselines

@@ -1,0 +1,55 @@
+// Shared infrastructure for the learning-based direct-placement baselines
+// (Sec. VI-A): Graph-enc-dec [9], GDP [7] and Hierarchical [6].
+//
+// Every baseline is a DirectPlacementModel: it maps a graph to a device
+// placement and reports the log-likelihood of the chosen actions so the
+// shared REINFORCE trainer can optimise it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gnn/features.hpp"
+#include "graph/weighted_graph.hpp"
+#include "nn/module.hpp"
+#include "rl/rollout.hpp"
+
+namespace sc::baselines {
+
+enum class DecodeMode { Sample, Greedy };
+
+struct PlacementResult {
+  sim::Placement placement;
+  /// Scalar log-likelihood of all sampled decisions (defined tensor only when
+  /// gradients were enabled during the run).
+  nn::Tensor log_prob;
+};
+
+class DirectPlacementModel : public nn::Module {
+public:
+  /// Runs the model over a featurised graph. In Sample mode `rng` drives the
+  /// stochastic decisions; Greedy mode takes the arg-max everywhere.
+  /// The log_prob tensor is recorded iff gradient mode is enabled.
+  virtual PlacementResult run(const gnn::GraphFeatures& f, std::size_t num_devices,
+                              DecodeMode mode, Rng* rng) const = 0;
+  virtual std::string name() const = 0;
+  /// Largest device count the model's output head supports.
+  virtual std::size_t max_devices() const = 0;
+};
+
+/// Adds a large negative constant to logit columns >= num_devices so that
+/// sampling and log-likelihoods ignore devices absent from the cluster.
+nn::Tensor mask_device_logits(nn::Tensor logits, std::size_t num_devices);
+
+/// Samples (or arg-maxes) one device per row from masked logits.
+std::vector<int> decode_rows(const nn::Tensor& masked_logits, std::size_t num_devices,
+                             DecodeMode mode, Rng* rng);
+
+/// Builds encoder-compatible features for a coarse (undirected, weighted)
+/// graph so a direct-placement model can serve as the partitioning stage of
+/// the coarsening framework ("Coarsen+Graph-enc-dec" in Tables I/II).
+/// Every undirected edge is expanded into two directed edges.
+gnn::GraphFeatures coarse_features(const graph::WeightedGraph& g,
+                                   const sim::ClusterSpec& spec);
+
+}  // namespace sc::baselines

@@ -1,0 +1,49 @@
+#include "baselines/gdp.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sc::baselines {
+
+using nn::Tensor;
+
+Gdp::Gdp(const GdpConfig& cfg) : cfg_(cfg) {
+  Rng rng(cfg.seed);
+  encoder_ = gnn::EdgeAwareEncoder(cfg.encoder, rng);
+  const std::size_t d = encoder_.output_dim();
+  q_ = nn::Linear(d, cfg.attn_dim, rng, /*bias=*/false);
+  k_ = nn::Linear(d, cfg.attn_dim, rng, /*bias=*/false);
+  v_ = nn::Linear(d, cfg.attn_dim, rng, /*bias=*/false);
+  head_ = nn::Mlp({d + cfg.attn_dim, cfg.head_hidden, cfg.max_devices}, rng);
+}
+
+PlacementResult Gdp::run(const gnn::GraphFeatures& f, std::size_t num_devices,
+                         DecodeMode mode, Rng* rng) const {
+  SC_CHECK(cfg_.max_devices > 0, "model used before initialisation");
+  SC_CHECK(num_devices <= cfg_.max_devices, "cluster exceeds the model's device head");
+
+  const Tensor h = encoder_.forward(f);  // (n, 2m)
+
+  // Global single-head attention gives every node a whole-graph context.
+  const Tensor q = q_.forward(h);
+  const Tensor k = k_.forward(h);
+  const Tensor v = v_.forward(h);
+  const double scaling = 1.0 / std::sqrt(static_cast<double>(cfg_.attn_dim));
+  const Tensor scores = nn::scale(nn::matmul_nt(q, k), scaling);  // (n, n)
+  const Tensor context = nn::matmul(nn::softmax_rows(scores), v); // (n, attn)
+
+  const Tensor logits =
+      mask_device_logits(head_.forward(nn::concat_cols({h, context})), num_devices);
+
+  PlacementResult result;
+  result.placement = decode_rows(logits, num_devices, mode, rng);
+  result.log_prob = nn::sum(nn::categorical_log_prob(logits, result.placement));
+  return result;
+}
+
+std::vector<Tensor> Gdp::parameters() const {
+  return nn::params_of({&encoder_, &q_, &k_, &v_, &head_});
+}
+
+}  // namespace sc::baselines

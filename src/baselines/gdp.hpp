@@ -1,0 +1,38 @@
+// GDP baseline [7]: graph encoder followed by an attention-based placement
+// network that predicts all node placements in one shot (a single-head
+// scaled dot-product attention stands in for Transformer-XL).
+#pragma once
+
+#include "baselines/common.hpp"
+#include "gnn/encoder.hpp"
+
+namespace sc::baselines {
+
+struct GdpConfig {
+  gnn::EncoderConfig encoder{};
+  std::size_t attn_dim = 24;
+  std::size_t head_hidden = 32;
+  std::size_t max_devices = 32;
+  std::uint64_t seed = 23;
+};
+
+class Gdp : public DirectPlacementModel {
+public:
+  Gdp() = default;
+  explicit Gdp(const GdpConfig& cfg);
+
+  PlacementResult run(const gnn::GraphFeatures& f, std::size_t num_devices,
+                      DecodeMode mode, Rng* rng) const override;
+
+  std::vector<nn::Tensor> parameters() const override;
+  std::string name() const override { return "GDP"; }
+  std::size_t max_devices() const override { return cfg_.max_devices; }
+
+private:
+  GdpConfig cfg_;
+  gnn::EdgeAwareEncoder encoder_;
+  nn::Linear q_, k_, v_;
+  nn::Mlp head_;
+};
+
+}  // namespace sc::baselines

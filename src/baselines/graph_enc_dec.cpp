@@ -1,0 +1,65 @@
+#include "baselines/graph_enc_dec.hpp"
+
+#include "common/error.hpp"
+
+namespace sc::baselines {
+
+using nn::Tensor;
+
+GraphEncDec::GraphEncDec(const GraphEncDecConfig& cfg) : cfg_(cfg) {
+  Rng rng(cfg.seed);
+  encoder_ = gnn::EdgeAwareEncoder(cfg.encoder, rng);
+  lstm_ = nn::LstmCell(encoder_.output_dim() + cfg.device_embed, cfg.lstm_hidden, rng);
+  device_embed_ = nn::Embedding(cfg.max_devices + 1, cfg.device_embed, rng);
+  out_ = nn::Linear(cfg.lstm_hidden, cfg.max_devices, rng);
+  load_proj_ = nn::Linear(1, 1, rng, /*bias=*/false);
+  // Start with a repulsive prior toward loaded devices; RL refines the scale.
+  load_proj_.parameters()[0].value()[0] = -2.0;
+}
+
+PlacementResult GraphEncDec::run(const gnn::GraphFeatures& f, std::size_t num_devices,
+                                 DecodeMode mode, Rng* rng) const {
+  SC_CHECK(cfg_.max_devices > 0, "model used before initialisation");
+  SC_CHECK(num_devices <= cfg_.max_devices,
+           "cluster exceeds the model's device head (" << cfg_.max_devices << ")");
+
+  const Tensor h = encoder_.forward(f);  // (n, 2m)
+  const std::size_t n = h.rows();
+
+  PlacementResult result;
+  result.placement.resize(n);
+  Tensor log_prob_sum = Tensor::scalar(0.0);
+
+  nn::LstmCell::State state = lstm_.initial_state();
+  std::size_t prev_token = cfg_.max_devices;  // start token
+  std::vector<double> device_load(cfg_.max_devices, 0.0);  // CPU-util units
+  for (std::size_t v = 0; v < n; ++v) {
+    const Tensor node_h = nn::gather_rows(h, {v});              // (1, 2m)
+    const Tensor prev = device_embed_.forward({prev_token});    // (1, de)
+    state = lstm_.forward(nn::concat_cols({node_h, prev}), state);
+
+    // Allocation-state path: each device's accumulated load maps through a
+    // shared scalar and adds to its logit.
+    const Tensor load_col =
+        Tensor::from(std::vector<double>(device_load), {cfg_.max_devices, 1});
+    const Tensor load_term =
+        nn::reshape(load_proj_.forward(load_col), {1, cfg_.max_devices});
+    const Tensor logits = mask_device_logits(
+        nn::add(out_.forward(state.h), load_term), num_devices);
+
+    const std::vector<int> action = decode_rows(logits, num_devices, mode, rng);
+    result.placement[v] = action[0];
+    prev_token = static_cast<std::size_t>(action[0]);
+    device_load[prev_token] += f.node.at(v, 0);  // feature 0 = CPU utilization
+    log_prob_sum =
+        nn::add(log_prob_sum, nn::sum(nn::categorical_log_prob(logits, action)));
+  }
+  result.log_prob = log_prob_sum;
+  return result;
+}
+
+std::vector<Tensor> GraphEncDec::parameters() const {
+  return nn::params_of({&encoder_, &lstm_, &device_embed_, &out_, &load_proj_});
+}
+
+}  // namespace sc::baselines

@@ -1,0 +1,47 @@
+// Graph-enc-dec baseline [9]: edge-aware graph encoder + LSTM decoder that
+// assigns nodes to devices sequentially, feeding back the previous decision
+// through a device embedding. This is the state-of-the-art direct-placement
+// model the paper compares against (and uses as an optional partitioning
+// stage on coarsened graphs).
+#pragma once
+
+#include "baselines/common.hpp"
+#include "gnn/encoder.hpp"
+
+namespace sc::baselines {
+
+struct GraphEncDecConfig {
+  gnn::EncoderConfig encoder{};
+  std::size_t lstm_hidden = 32;
+  std::size_t device_embed = 8;
+  std::size_t max_devices = 32;
+  std::uint64_t seed = 21;
+};
+
+class GraphEncDec : public DirectPlacementModel {
+public:
+  GraphEncDec() = default;
+  explicit GraphEncDec(const GraphEncDecConfig& cfg);
+
+  PlacementResult run(const gnn::GraphFeatures& f, std::size_t num_devices,
+                      DecodeMode mode, Rng* rng) const override;
+
+  std::vector<nn::Tensor> parameters() const override;
+  std::string name() const override { return "Graph-enc-dec"; }
+  std::size_t max_devices() const override { return cfg_.max_devices; }
+
+  const GraphEncDecConfig& config() const { return cfg_; }
+
+private:
+  GraphEncDecConfig cfg_;
+  gnn::EdgeAwareEncoder encoder_;
+  nn::LstmCell lstm_;
+  nn::Embedding device_embed_;  // max_devices + 1 rows (last = start token)
+  nn::Linear out_;
+  // Allocation-state feedback ([9]'s decoder conditions on the placement so
+  // far): the accumulated CPU load of each device passes through a shared
+  // scalar map and adds to that device's logit.
+  nn::Linear load_proj_;  // 1 -> 1, shared across devices
+};
+
+}  // namespace sc::baselines

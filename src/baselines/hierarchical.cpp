@@ -1,0 +1,103 @@
+#include "baselines/hierarchical.hpp"
+
+#include "common/error.hpp"
+
+namespace sc::baselines {
+
+using nn::Tensor;
+
+Hierarchical::Hierarchical(const HierarchicalConfig& cfg) : cfg_(cfg) {
+  Rng rng(cfg.seed);
+  grouper_ = nn::Mlp({gnn::kNodeFeatureDim, cfg.grouper_hidden, cfg.num_groups}, rng);
+  // Pooled group feature = mean node features of members (zero if empty).
+  group_proj_ = nn::Linear(gnn::kNodeFeatureDim, cfg.lstm_hidden, rng);
+  placer_ = nn::LstmCell(cfg.lstm_hidden + cfg.device_embed, cfg.lstm_hidden, rng);
+  device_embed_ = nn::Embedding(cfg.max_devices + 1, cfg.device_embed, rng);
+  out_ = nn::Linear(cfg.lstm_hidden, cfg.max_devices, rng);
+  load_proj_ = nn::Linear(1, 1, rng, /*bias=*/false);
+  load_proj_.parameters()[0].value()[0] = -2.0;
+}
+
+PlacementResult Hierarchical::run(const gnn::GraphFeatures& f, std::size_t num_devices,
+                                  DecodeMode mode, Rng* rng) const {
+  SC_CHECK(cfg_.num_groups > 0, "model used before initialisation");
+  SC_CHECK(num_devices <= cfg_.max_devices, "cluster exceeds the model's device head");
+
+  const std::size_t n = f.node.rows();
+
+  // ---- Grouper: per-node categorical over G groups -------------------------
+  const Tensor group_logits = grouper_.forward(f.node);  // (n, G)
+  std::vector<int> groups(n, 0);
+  if (mode == DecodeMode::Greedy) {
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      for (std::size_t g = 1; g < cfg_.num_groups; ++g) {
+        if (group_logits.at(i, g) > group_logits.at(i, best)) best = static_cast<int>(g);
+      }
+      groups[i] = best;
+    }
+  } else {
+    SC_CHECK(rng != nullptr, "Sample mode needs an rng");
+    for (std::size_t i = 0; i < n; ++i) {
+      double mx = group_logits.at(i, 0);
+      for (std::size_t g = 1; g < cfg_.num_groups; ++g) {
+        mx = std::max(mx, group_logits.at(i, g));
+      }
+      std::vector<double> w(cfg_.num_groups);
+      for (std::size_t g = 0; g < cfg_.num_groups; ++g) {
+        w[g] = std::exp(group_logits.at(i, g) - mx);
+      }
+      groups[i] = static_cast<int>(rng->weighted_index(w));
+    }
+  }
+  Tensor log_prob = nn::sum(nn::categorical_log_prob(group_logits, groups));
+
+  // ---- Pool member features per group (forward-only statistics) ------------
+  std::vector<std::size_t> member_of(n);
+  for (std::size_t i = 0; i < n; ++i) member_of[i] = static_cast<std::size_t>(groups[i]);
+  const Tensor pooled = nn::scatter_mean(f.node, member_of, cfg_.num_groups);  // (G, F)
+  const Tensor group_in = nn::tanh_op(group_proj_.forward(pooled));            // (G, H)
+
+  // ---- Placer: LSTM over groups ---------------------------------------------
+  // Total CPU utilization per group (mean member cpu * member count).
+  std::vector<double> group_cpu(cfg_.num_groups, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    group_cpu[member_of[i]] += f.node.at(i, 0);
+  }
+
+  std::vector<int> group_device(cfg_.num_groups, 0);
+  std::vector<double> device_load(cfg_.max_devices, 0.0);
+  nn::LstmCell::State state = placer_.initial_state();
+  std::size_t prev_token = cfg_.max_devices;
+  for (std::size_t g = 0; g < cfg_.num_groups; ++g) {
+    const Tensor gi = nn::gather_rows(group_in, {g});
+    const Tensor prev = device_embed_.forward({prev_token});
+    state = placer_.forward(nn::concat_cols({gi, prev}), state);
+    const Tensor load_col =
+        Tensor::from(std::vector<double>(device_load), {cfg_.max_devices, 1});
+    const Tensor load_term =
+        nn::reshape(load_proj_.forward(load_col), {1, cfg_.max_devices});
+    const Tensor logits = mask_device_logits(
+        nn::add(out_.forward(state.h), load_term), num_devices);
+    const std::vector<int> action = decode_rows(logits, num_devices, mode, rng);
+    group_device[g] = action[0];
+    prev_token = static_cast<std::size_t>(action[0]);
+    device_load[prev_token] += group_cpu[g];
+    log_prob = nn::add(log_prob, nn::sum(nn::categorical_log_prob(logits, action)));
+  }
+
+  PlacementResult result;
+  result.placement.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.placement[i] = group_device[static_cast<std::size_t>(groups[i])];
+  }
+  result.log_prob = log_prob;
+  return result;
+}
+
+std::vector<Tensor> Hierarchical::parameters() const {
+  return nn::params_of(
+      {&grouper_, &group_proj_, &placer_, &device_embed_, &out_, &load_proj_});
+}
+
+}  // namespace sc::baselines

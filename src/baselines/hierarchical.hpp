@@ -1,0 +1,45 @@
+// Hierarchical baseline [6]: a Grouper assigns every node to one of G
+// pre-defined groups, then a Placer (LSTM over groups) assigns each group to
+// a device. This is the general-purpose node-clustering coarsening
+// formulation the paper argues does not fit stream graphs (Sec. IV).
+#pragma once
+
+#include "baselines/common.hpp"
+#include "nn/module.hpp"
+
+namespace sc::baselines {
+
+struct HierarchicalConfig {
+  std::size_t num_groups = 25;  ///< paper: 25 groups works best
+  std::size_t grouper_hidden = 32;
+  std::size_t lstm_hidden = 32;
+  std::size_t device_embed = 8;
+  std::size_t max_devices = 32;
+  std::uint64_t seed = 29;
+};
+
+class Hierarchical : public DirectPlacementModel {
+public:
+  Hierarchical() = default;
+  explicit Hierarchical(const HierarchicalConfig& cfg);
+
+  PlacementResult run(const gnn::GraphFeatures& f, std::size_t num_devices,
+                      DecodeMode mode, Rng* rng) const override;
+
+  std::vector<nn::Tensor> parameters() const override;
+  std::string name() const override { return "Hierarchical"; }
+  std::size_t max_devices() const override { return cfg_.max_devices; }
+
+  const HierarchicalConfig& config() const { return cfg_; }
+
+private:
+  HierarchicalConfig cfg_;
+  nn::Mlp grouper_;       // node features -> group logits
+  nn::Linear group_proj_; // pooled group features -> lstm input part
+  nn::LstmCell placer_;
+  nn::Embedding device_embed_;
+  nn::Linear out_;
+  nn::Linear load_proj_;  // shared 1 -> 1 allocation-state feedback
+};
+
+}  // namespace sc::baselines

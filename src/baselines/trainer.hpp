@@ -1,0 +1,43 @@
+// Shared REINFORCE trainer for the direct-placement baselines, mirroring the
+// paper's training protocol (throughput reward, average-reward baseline,
+// Adam at lr 1e-3).
+#pragma once
+
+#include "baselines/common.hpp"
+#include "nn/adam.hpp"
+#include "rl/reinforce.hpp"
+
+namespace sc::baselines {
+
+struct DirectTrainerConfig {
+  std::size_t samples = 4;  ///< on-policy placements per graph per step
+  nn::AdamConfig adam{};
+  std::uint64_t seed = 31;
+};
+
+class DirectTrainer {
+public:
+  DirectTrainer(DirectPlacementModel& model, std::vector<rl::GraphContext>& contexts,
+                const DirectTrainerConfig& cfg);
+
+  rl::EpochStats train_epoch();
+
+  /// Greedy-decoding rewards over arbitrary contexts.
+  static std::vector<double> evaluate(const DirectPlacementModel& model,
+                                      const std::vector<rl::GraphContext>& contexts,
+                                      ThreadPool* pool = nullptr);
+
+private:
+  DirectPlacementModel& model_;
+  std::vector<rl::GraphContext>& contexts_;
+  DirectTrainerConfig cfg_;
+  nn::Adam optimizer_;
+  Rng rng_;
+};
+
+/// Uses a trained direct-placement model as the partitioning stage of the
+/// coarsening framework ("Coarsen+Graph-enc-dec"): the coarse weighted graph
+/// is featurised and placed greedily, then expanded to the original graph.
+rl::CoarsePlacer learned_placer(const DirectPlacementModel& model);
+
+}  // namespace sc::baselines

@@ -1,0 +1,50 @@
+// Error-handling primitives shared across the library.
+//
+// The library throws `sc::Error` (an std::runtime_error) on contract
+// violations detected at API boundaries, and uses SC_ASSERT for internal
+// invariants that indicate programmer error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sc {
+
+/// Exception type thrown by all streamcoarsen components.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace sc
+
+/// Check a user-facing precondition; throws sc::Error with location info.
+#define SC_CHECK(cond, msg)                                                 \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream sc_check_os_;                                      \
+      sc_check_os_ << "check failed: " #cond " — " << msg; /* NOLINT */     \
+      ::sc::detail::throw_error(__FILE__, __LINE__, sc_check_os_.str());    \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant; same behaviour as SC_CHECK but signals a library bug.
+#define SC_ASSERT(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream sc_check_os_;                                      \
+      sc_check_os_ << "internal invariant violated: " #cond " — " << msg;   \
+      ::sc::detail::throw_error(__FILE__, __LINE__, sc_check_os_.str());    \
+    }                                                                       \
+  } while (false)

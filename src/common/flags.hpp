@@ -1,0 +1,35 @@
+// Minimal command-line flag parser for benches and examples.
+//
+//   sc::Flags flags(argc, argv);
+//   int epochs = flags.get_int("epochs", 2);
+//   bool full = flags.get_bool("paper-scale", false);
+//
+// Accepts --name=value, --name value, and bare --name for booleans.
+// Unknown positional arguments are kept in positional().
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+class Flags {
+public:
+  Flags() = default;
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  long get_int(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sc

@@ -1,0 +1,51 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace sc::logging {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::mutex g_write_mutex;
+
+}  // namespace
+
+LogLevel level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_level(LogLevel l) { g_level.store(static_cast<int>(l), std::memory_order_relaxed); }
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+Message::Message(LogLevel lvl, const char* file, int line)
+    : enabled_(lvl >= level() && lvl != LogLevel::Off), level_(lvl) {
+  if (!enabled_) return;
+  // Only keep the basename to reduce noise.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/' || *p == '\\') base = p + 1;
+  }
+  os_ << '[' << level_name(level_) << "] " << base << ':' << line << ": ";
+}
+
+Message::~Message() {
+  if (!enabled_) return;
+  os_ << '\n';
+  const std::string s = os_.str();
+  std::lock_guard lock(g_write_mutex);
+  std::fwrite(s.data(), 1, s.size(), stderr);
+}
+
+}  // namespace sc::logging

@@ -1,0 +1,48 @@
+// Tiny leveled logger. Thread-safe; writes to stderr.
+//
+//   SC_LOG(Info) << "epoch " << e << " reward " << r;
+//
+// The global level defaults to Info and can be changed at runtime
+// (benches expose a --verbose flag).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace sc {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+namespace logging {
+
+LogLevel level();
+void set_level(LogLevel level);
+const char* level_name(LogLevel level);
+
+/// Accumulates a message and emits it on destruction.
+class Message {
+public:
+  Message(LogLevel level, const char* file, int line);
+  ~Message();
+
+  Message(const Message&) = delete;
+  Message& operator=(const Message&) = delete;
+
+  template <typename T>
+  Message& operator<<(const T& value) {
+    if (enabled_) os_ << value;
+    return *this;
+  }
+
+private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace logging
+}  // namespace sc
+
+#define SC_LOG(severity) \
+  ::sc::logging::Message(::sc::LogLevel::severity, __FILE__, __LINE__)

@@ -1,0 +1,133 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component in the library takes an explicit Rng so that
+// datasets, training runs and benchmarks are reproducible bit-for-bit.
+// The generator is xoshiro256** seeded through SplitMix64, which has good
+// statistical quality and is much faster than std::mt19937_64.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sc {
+
+/// xoshiro256** PRNG with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be handed to
+/// <random> distributions when needed.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  /// Re-initialise the state from a single 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed) {
+    for (auto& s : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child generator (for per-thread / per-graph streams).
+  Rng split() { return Rng((*this)() ^ 0xA3EC647659359ACDULL); }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    SC_CHECK(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    SC_CHECK(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>((*this)());  // full 64-bit range
+    // Debiased modulo via rejection.
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t x = (*this)();
+    while (x >= limit) x = (*this)();
+    return lo + static_cast<std::int64_t>(x % range);
+  }
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    SC_CHECK(n > 0, "index(n) requires n > 0");
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller.
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Sample an index according to (unnormalised, non-negative) weights.
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    SC_CHECK(!weights.empty(), "weighted_index requires non-empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+      SC_CHECK(w >= 0.0, "weights must be non-negative");
+      total += w;
+    }
+    SC_CHECK(total > 0.0, "weights must not all be zero");
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x <= 0.0) return i;
+    }
+    return weights.size() - 1;  // guard against fp rounding
+  }
+
+  /// Fisher–Yates in-place shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace sc

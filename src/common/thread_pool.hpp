@@ -1,0 +1,58 @@
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// Used to fan out simulator evaluations, dataset scoring and batched
+// linear algebra. Tasks must not throw across the pool boundary; any
+// exception is captured and rethrown on wait().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sc {
+
+class ThreadPool {
+public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished. Rethrows the first
+  /// captured task exception, if any.
+  void wait();
+
+  /// Run fn(i) for i in [0, n) across the pool, blocking until done.
+  /// Falls back to serial execution for tiny n.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace sc

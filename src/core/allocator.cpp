@@ -1,0 +1,76 @@
+#include "core/allocator.hpp"
+
+#include "common/error.hpp"
+
+namespace sc::core {
+
+sim::Placement MetisAllocator::allocate(const rl::GraphContext& ctx) const {
+  return partition::metis_allocate(*ctx.graph, ctx.simulator.spec(), opts_);
+}
+
+sim::Placement MetisOracleAllocator::allocate(const rl::GraphContext& ctx) const {
+  return partition::metis_oracle_allocate(*ctx.graph, ctx.simulator, opts_);
+}
+
+sim::Placement RoundRobinAllocator::allocate(const rl::GraphContext& ctx) const {
+  return sim::round_robin(*ctx.graph, ctx.simulator.spec().num_devices);
+}
+
+CoarsenAllocator::CoarsenAllocator(const gnn::CoarseningPolicy& policy,
+                                   rl::CoarsePlacer placer, std::string display_name,
+                                   std::size_t samples, std::uint64_t seed)
+    : policy_(&policy),
+      placer_(std::move(placer)),
+      name_(std::move(display_name)),
+      samples_(samples),
+      seed_(seed) {}
+
+sim::Placement CoarsenAllocator::allocate(const rl::GraphContext& ctx) const {
+  if (samples_ == 0) return rl::allocate_with_policy(*policy_, ctx, placer_);
+  // Derive a deterministic per-graph stream from stable graph properties so
+  // parallel evaluation stays reproducible.
+  Rng rng(seed_ ^ (ctx.graph->num_nodes() * 0x9E3779B9ULL) ^
+          (ctx.graph->num_edges() << 17));
+  return rl::allocate_with_policy_best_of(*policy_, ctx, placer_, samples_, rng);
+}
+
+sim::Placement DirectModelAllocator::allocate(const rl::GraphContext& ctx) const {
+  nn::NoGradGuard no_grad;
+  const auto result = model_->run(ctx.features, ctx.simulator.spec().num_devices,
+                                  baselines::DecodeMode::Greedy, nullptr);
+  return result.placement;
+}
+
+EvalResult evaluate_allocator(const Allocator& alloc,
+                              const std::vector<rl::GraphContext>& contexts,
+                              ThreadPool* pool) {
+  EvalResult result;
+  result.name = alloc.name();
+  result.throughput.assign(contexts.size(), 0.0);
+  result.relative.assign(contexts.size(), 0.0);
+  result.placements.assign(contexts.size(), {});
+  std::vector<double> seconds(contexts.size(), 0.0);
+
+  const auto eval_one = [&](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    sim::Placement p = alloc.allocate(contexts[i]);
+    const auto end = std::chrono::steady_clock::now();
+    seconds[i] = std::chrono::duration<double>(end - start).count();
+    result.throughput[i] = contexts[i].simulator.throughput(p);
+    result.relative[i] = contexts[i].simulator.relative_throughput(p);
+    result.placements[i] = std::move(p);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(contexts.size(), eval_one);
+  } else {
+    for (std::size_t i = 0; i < contexts.size(); ++i) eval_one(i);
+  }
+
+  double total = 0.0;
+  for (const double s : seconds) total += s;
+  result.mean_inference_seconds =
+      contexts.empty() ? 0.0 : total / static_cast<double>(contexts.size());
+  return result;
+}
+
+}  // namespace sc::core

@@ -1,0 +1,101 @@
+// Uniform allocator interface over every method the paper evaluates, so the
+// benches can sweep {Metis, Metis-oracle, Graph-enc-dec, GDP, Hierarchical,
+// Coarsen+X, Coarsen-only, round-robin} through identical measurement code.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "common/thread_pool.hpp"
+#include "gnn/policy.hpp"
+#include "partition/allocate.hpp"
+#include "rl/rollout.hpp"
+
+namespace sc::core {
+
+class Allocator {
+public:
+  virtual ~Allocator() = default;
+  virtual sim::Placement allocate(const rl::GraphContext& ctx) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// The multilevel partitioner on the raw graph (the paper's "Metis" row).
+class MetisAllocator : public Allocator {
+public:
+  explicit MetisAllocator(partition::PartitionOptions opts = {}) : opts_(opts) {}
+  sim::Placement allocate(const rl::GraphContext& ctx) const override;
+  std::string name() const override { return "Metis"; }
+
+private:
+  partition::PartitionOptions opts_;
+};
+
+/// Device-count sweep variant ("Metis-oracle").
+class MetisOracleAllocator : public Allocator {
+public:
+  explicit MetisOracleAllocator(partition::PartitionOptions opts = {}) : opts_(opts) {}
+  sim::Placement allocate(const rl::GraphContext& ctx) const override;
+  std::string name() const override { return "Metis-oracle"; }
+
+private:
+  partition::PartitionOptions opts_;
+};
+
+/// Topological round-robin (sanity baseline).
+class RoundRobinAllocator : public Allocator {
+public:
+  sim::Placement allocate(const rl::GraphContext& ctx) const override;
+  std::string name() const override { return "Round-robin"; }
+};
+
+/// The paper's framework: learned coarsening + a pluggable coarse placer.
+/// With `samples > 0`, inference evaluates the greedy mask plus `samples`
+/// stochastic masks and keeps the best simulated throughput (best-of-k).
+class CoarsenAllocator : public Allocator {
+public:
+  CoarsenAllocator(const gnn::CoarseningPolicy& policy, rl::CoarsePlacer placer,
+                   std::string display_name, std::size_t samples = 0,
+                   std::uint64_t seed = 99);
+  sim::Placement allocate(const rl::GraphContext& ctx) const override;
+  std::string name() const override { return name_; }
+
+private:
+  const gnn::CoarseningPolicy* policy_;
+  rl::CoarsePlacer placer_;
+  std::string name_;
+  std::size_t samples_;
+  std::uint64_t seed_;
+};
+
+/// A direct-placement baseline model decoded greedily.
+class DirectModelAllocator : public Allocator {
+public:
+  explicit DirectModelAllocator(const baselines::DirectPlacementModel& model)
+      : model_(&model) {}
+  sim::Placement allocate(const rl::GraphContext& ctx) const override;
+  std::string name() const override { return model_->name(); }
+
+private:
+  const baselines::DirectPlacementModel* model_;
+};
+
+/// Evaluation record for one allocator over one context set.
+struct EvalResult {
+  std::string name;
+  std::vector<double> throughput;    ///< tuples/s per graph (CDF material)
+  std::vector<double> relative;      ///< T/I per graph
+  std::vector<sim::Placement> placements;
+  double mean_inference_seconds = 0.0;  ///< Table III
+};
+
+/// Runs an allocator over every context (parallel over graphs); measures
+/// per-graph wall-clock inference time.
+EvalResult evaluate_allocator(const Allocator& alloc,
+                              const std::vector<rl::GraphContext>& contexts,
+                              ThreadPool* pool = nullptr);
+
+}  // namespace sc::core

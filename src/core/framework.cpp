@@ -1,0 +1,52 @@
+#include "core/framework.hpp"
+
+#include "common/error.hpp"
+
+namespace sc::core {
+
+namespace {
+
+rl::CoarsePlacer make_placer(PlacerKind kind,
+                             const partition::PartitionOptions& opts) {
+  switch (kind) {
+    case PlacerKind::Metis: return rl::metis_placer(opts);
+    case PlacerKind::MetisOracle: return rl::metis_oracle_placer(opts);
+    case PlacerKind::CoarsenOnly: return rl::coarsen_only_placer();
+  }
+  SC_ASSERT(false, "unknown placer kind");
+}
+
+}  // namespace
+
+CoarsenPartitionFramework::CoarsenPartitionFramework(const FrameworkOptions& options)
+    : options_(options),
+      policy_(options.policy),
+      placer_(make_placer(options.placer, options.trainer.partition_opts)) {}
+
+std::vector<rl::EpochStats> CoarsenPartitionFramework::train(
+    const std::vector<graph::StreamGraph>& graphs, const sim::ClusterSpec& spec,
+    std::size_t epochs) {
+  auto contexts = rl::make_contexts(graphs, spec);
+  rl::ReinforceTrainer trainer(policy_, contexts, placer_, options_.trainer);
+  std::vector<rl::EpochStats> stats;
+  stats.reserve(epochs);
+  for (std::size_t e = 0; e < epochs; ++e) stats.push_back(trainer.train_epoch());
+  return stats;
+}
+
+std::vector<rl::LevelReport> CoarsenPartitionFramework::train_curriculum(
+    std::vector<rl::CurriculumLevel>& levels) {
+  return rl::run_curriculum(policy_, levels, placer_, options_.trainer);
+}
+
+sim::Placement CoarsenPartitionFramework::allocate(const graph::StreamGraph& g,
+                                                   const sim::ClusterSpec& spec) const {
+  const rl::GraphContext ctx(g, spec);
+  return allocate(ctx);
+}
+
+sim::Placement CoarsenPartitionFramework::allocate(const rl::GraphContext& ctx) const {
+  return rl::allocate_with_policy(policy_, ctx, placer_);
+}
+
+}  // namespace sc::core

@@ -1,0 +1,62 @@
+// CoarsenPartitionFramework — the library's top-level public API.
+//
+// Wraps the full paper pipeline behind three calls:
+//
+//   CoarsenPartitionFramework fw(options);
+//   fw.train(train_graphs, cluster);          // REINFORCE (+guidance/curriculum)
+//   sim::Placement p = fw.allocate(graph, cluster);
+//
+// plus checkpointing and fine-tuning for transfer (Fig. 6).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "gnn/policy.hpp"
+#include "rl/curriculum.hpp"
+#include "rl/reinforce.hpp"
+
+namespace sc::core {
+
+/// Which placer runs on the coarsened graph.
+enum class PlacerKind { Metis, MetisOracle, CoarsenOnly };
+
+struct FrameworkOptions {
+  gnn::PolicyConfig policy{};
+  rl::TrainerConfig trainer{};
+  PlacerKind placer = PlacerKind::Metis;
+};
+
+class CoarsenPartitionFramework {
+public:
+  explicit CoarsenPartitionFramework(const FrameworkOptions& options = {});
+
+  /// Trains (or fine-tunes — call repeatedly) on a set of graphs under one
+  /// cluster configuration. Returns per-epoch statistics.
+  std::vector<rl::EpochStats> train(const std::vector<graph::StreamGraph>& graphs,
+                                    const sim::ClusterSpec& spec, std::size_t epochs);
+
+  /// Trains through a graph-size curriculum (Sec. IV-C).
+  std::vector<rl::LevelReport> train_curriculum(std::vector<rl::CurriculumLevel>& levels);
+
+  /// Allocates one graph (builds a transient context).
+  sim::Placement allocate(const graph::StreamGraph& g, const sim::ClusterSpec& spec) const;
+
+  /// Allocates using a prebuilt context (cheaper in evaluation loops).
+  sim::Placement allocate(const rl::GraphContext& ctx) const;
+
+  gnn::CoarseningPolicy& policy() { return policy_; }
+  const gnn::CoarseningPolicy& policy() const { return policy_; }
+  const rl::CoarsePlacer& placer() const { return placer_; }
+  const FrameworkOptions& options() const { return options_; }
+
+  void save(const std::string& path) const { policy_.save(path); }
+  void load(const std::string& path) { policy_.load(path); }
+
+private:
+  FrameworkOptions options_;
+  gnn::CoarseningPolicy policy_;
+  rl::CoarsePlacer placer_;
+};
+
+}  // namespace sc::core

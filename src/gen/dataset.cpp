@@ -1,0 +1,104 @@
+#include "gen/dataset.hpp"
+
+#include "common/error.hpp"
+
+namespace sc::gen {
+
+namespace {
+
+constexpr double kMips = 1.25e9;          // 1.25e3 MIPS
+constexpr double kBw1000Mbps = 1.25e8;    // bytes/s
+constexpr double kBw1500Mbps = 1.875e8;   // bytes/s
+
+}  // namespace
+
+const char* setting_name(Setting s) {
+  switch (s) {
+    case Setting::Small: return "small(4-26,5dev,10K)";
+    case Setting::MediumSmallCluster: return "medium(100-200,5dev,5K)";
+    case Setting::Medium: return "medium(100-200,10dev,10K)";
+    case Setting::Large: return "large(400-500,10dev,10K)";
+    case Setting::XLarge: return "xlarge(1000-2000,20dev,10K)";
+    case Setting::Excess: return "excess(400-500,10dev,10K,-33%)";
+  }
+  return "?";
+}
+
+GeneratorConfig setting_config(Setting s) {
+  GeneratorConfig cfg;
+  WorkloadConfig& wl = cfg.workload;
+  TopologyConfig& top = cfg.topology;
+  wl.device_mips = kMips;
+
+  switch (s) {
+    case Setting::Small:
+      top.min_nodes = 4;
+      top.max_nodes = 26;
+      wl.source_rate = 1e4;
+      wl.num_devices = 5;
+      wl.bandwidth = kBw1000Mbps;
+      break;
+    case Setting::MediumSmallCluster:
+      top.min_nodes = 100;
+      top.max_nodes = 200;
+      wl.source_rate = 5e3;
+      wl.num_devices = 5;
+      wl.bandwidth = kBw1000Mbps;
+      break;
+    case Setting::Medium:
+      top.min_nodes = 100;
+      top.max_nodes = 200;
+      wl.source_rate = 1e4;
+      wl.num_devices = 10;
+      wl.bandwidth = kBw1000Mbps;
+      break;
+    case Setting::Large:
+      top.min_nodes = 400;
+      top.max_nodes = 500;
+      wl.source_rate = 1e4;
+      wl.num_devices = 10;
+      wl.bandwidth = kBw1500Mbps;
+      break;
+    case Setting::XLarge:
+      top.min_nodes = 1000;
+      top.max_nodes = 2000;
+      wl.source_rate = 1e4;
+      wl.num_devices = 20;
+      wl.bandwidth = kBw1500Mbps;
+      break;
+    case Setting::Excess:
+      // Same topologies as Large but the graphs demand 33% less CPU and the
+      // links offer 33% less bandwidth: optimal allocations use a device subset.
+      top.min_nodes = 400;
+      top.max_nodes = 500;
+      wl.source_rate = 1e4;
+      wl.num_devices = 10;
+      wl.bandwidth = kBw1500Mbps * 0.67;
+      wl.cpu_frac_lo = 0.55 * 0.67;
+      wl.cpu_frac_hi = 0.85 * 0.67;
+      break;
+  }
+  return cfg;
+}
+
+Dataset make_dataset(Setting s, std::size_t train_count, std::size_t test_count,
+                     std::uint64_t seed) {
+  return make_dataset(s, setting_config(s), train_count, test_count, seed);
+}
+
+Dataset make_dataset(Setting s, const GeneratorConfig& cfg, std::size_t train_count,
+                     std::size_t test_count, std::uint64_t seed) {
+  SC_CHECK(train_count + test_count > 0, "dataset must contain at least one graph");
+  Dataset ds;
+  ds.setting = s;
+  ds.config = cfg;
+  auto graphs = generate_graphs(cfg, train_count + test_count, seed,
+                                std::string(setting_name(s)) + "/");
+  ds.train.assign(std::make_move_iterator(graphs.begin()),
+                  std::make_move_iterator(graphs.begin() + static_cast<long>(train_count)));
+  ds.test.assign(std::make_move_iterator(graphs.begin() + static_cast<long>(train_count)),
+                 std::make_move_iterator(graphs.end()));
+  return ds;
+}
+
+}  // namespace sc::gen

@@ -1,0 +1,44 @@
+// Benchmark dataset settings matching the paper's evaluation (Sec. V).
+//
+//   Small    4–26 nodes,   5 devices, 10K/s, 1000 Mbps   (sanity check, [9])
+//   Medium   100–200,     10 devices, 10K/s, 1000 Mbps   (also a 5K/5dev variant)
+//   Large    400–500,     10 devices, 10K/s, 1500 Mbps   (the paper's main setting)
+//   XLarge   1000–2000,   20 devices, 10K/s, 1500 Mbps
+//   Excess   Large topologies with node CPU demand and bandwidth reduced by 33%
+//            (the optimal allocation uses only a subset of the devices)
+//
+// Device capacity is 1.25e3 MIPS (= 1.25e9 instructions/s) throughout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/generator.hpp"
+#include "graph/stream_graph.hpp"
+
+namespace sc::gen {
+
+enum class Setting { Small, MediumSmallCluster, Medium, Large, XLarge, Excess };
+
+const char* setting_name(Setting s);
+
+/// Full generator + cluster parameterisation of a paper setting.
+GeneratorConfig setting_config(Setting s);
+
+/// A generated dataset with train/test split (paper: 300 test graphs).
+struct Dataset {
+  Setting setting;
+  GeneratorConfig config;
+  std::vector<graph::StreamGraph> train;
+  std::vector<graph::StreamGraph> test;
+};
+
+/// Generates `train_count` + `test_count` graphs for the setting.
+Dataset make_dataset(Setting s, std::size_t train_count, std::size_t test_count,
+                     std::uint64_t seed);
+
+/// As above but with a caller-adjusted config (e.g. scaled-down benches).
+Dataset make_dataset(Setting s, const GeneratorConfig& cfg, std::size_t train_count,
+                     std::size_t test_count, std::uint64_t seed);
+
+}  // namespace sc::gen

@@ -1,0 +1,300 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "graph/rates.hpp"
+
+namespace sc::gen {
+
+namespace {
+
+using graph::NodeId;
+
+/// Mutable graph under construction. Edges are endpoint pairs; adjacency is
+/// recomputed only where the expansion steps need it.
+struct Draft {
+  struct DraftNode {
+    std::size_t replica_group;  ///< nodes in the same group share features
+    bool expandable;
+  };
+  struct DraftEdge {
+    NodeId src;
+    NodeId dst;
+  };
+
+  std::vector<DraftNode> nodes;
+  std::vector<DraftEdge> edges;
+  std::vector<NodeId> frontier;  ///< expandable node ids
+  std::size_t next_group = 0;
+
+  NodeId add_node(bool expandable) {
+    nodes.push_back(DraftNode{next_group++, expandable});
+    if (expandable) frontier.push_back(static_cast<NodeId>(nodes.size() - 1));
+    return static_cast<NodeId>(nodes.size() - 1);
+  }
+
+  void add_edge(NodeId src, NodeId dst) { edges.push_back(DraftEdge{src, dst}); }
+
+  /// Moves all out-edges of `from` to originate at `to`.
+  void move_out_edges(NodeId from, NodeId to) {
+    for (DraftEdge& e : edges) {
+      if (e.src == from) e.src = to;
+    }
+  }
+};
+
+/// Removes `v` from the frontier (it has just been expanded).
+void retire(Draft& d, NodeId v) {
+  auto& f = d.frontier;
+  f.erase(std::remove(f.begin(), f.end(), v), f.end());
+  d.nodes[v].expandable = false;
+}
+
+void expand_linear(Draft& d, NodeId v, std::size_t len) {
+  // v stays as the chain head; the chain tail inherits v's out-edges.
+  if (len <= 1) return;
+  std::vector<std::size_t> moved;
+  for (std::size_t i = 0; i < d.edges.size(); ++i) {
+    if (d.edges[i].src == v) moved.push_back(i);
+  }
+  NodeId prev = v;
+  for (std::size_t i = 1; i < len; ++i) {
+    const NodeId cur = d.add_node(true);
+    d.add_edge(prev, cur);
+    prev = cur;
+  }
+  for (const std::size_t idx : moved) d.edges[idx].src = prev;
+}
+
+void expand_branch(Draft& d, NodeId v, std::size_t width) {
+  // v forks into `width` parallel nodes that join at a new exit node,
+  // which inherits v's out-edges.
+  const NodeId exit = d.add_node(true);
+  d.move_out_edges(v, exit);
+  for (std::size_t i = 0; i < width; ++i) {
+    const NodeId mid = d.add_node(true);
+    d.add_edge(v, mid);
+    d.add_edge(mid, exit);
+  }
+}
+
+void expand_full(Draft& d, NodeId v, const std::vector<std::size_t>& layer_widths) {
+  // v feeds every node of layer 0; consecutive layers are fully connected;
+  // the last layer joins at a new exit that inherits v's out-edges.
+  const NodeId exit = d.add_node(true);
+  d.move_out_edges(v, exit);
+  std::vector<NodeId> prev_layer{v};
+  for (const std::size_t w : layer_widths) {
+    std::vector<NodeId> layer;
+    layer.reserve(w);
+    for (std::size_t i = 0; i < w; ++i) layer.push_back(d.add_node(true));
+    for (const NodeId p : prev_layer) {
+      for (const NodeId q : layer) d.add_edge(p, q);
+    }
+    prev_layer = std::move(layer);
+  }
+  for (const NodeId p : prev_layer) d.add_edge(p, exit);
+}
+
+/// Replicates node v in place k-1 additional times: each replica copies v's
+/// in/out edges and joins v's replica feature group.
+void replicate_node(Draft& d, NodeId v, std::size_t copies) {
+  const std::vector<Draft::DraftEdge> snapshot = d.edges;
+  for (std::size_t c = 1; c < copies; ++c) {
+    const NodeId r = d.add_node(true);
+    d.nodes[r].replica_group = d.nodes[v].replica_group;
+    for (const auto& e : snapshot) {
+      if (e.src == v) d.add_edge(r, e.dst);
+      if (e.dst == v) d.add_edge(e.src, r);
+    }
+  }
+}
+
+}  // namespace
+
+graph::StreamGraph generate_graph(const GeneratorConfig& cfg, Rng& rng,
+                                  const std::string& name) {
+  const TopologyConfig& top = cfg.topology;
+  SC_CHECK(top.min_nodes >= 3, "min_nodes must be at least 3 (source, op, sink)");
+  SC_CHECK(top.min_nodes <= top.max_nodes, "min_nodes must not exceed max_nodes");
+  const double psum = top.p_linear + top.p_branch + top.p_full;
+  SC_CHECK(psum > 0.0, "structure probabilities must not all be zero");
+
+  const std::size_t target = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(top.min_nodes),
+                      static_cast<std::int64_t>(top.max_nodes)));
+
+  // Seed: source -> op -> sink. Source and sink are never expanded, so the
+  // generated graph always has a single tuple source and a single sink.
+  Draft d;
+  const NodeId src = d.add_node(false);
+  const NodeId mid = d.add_node(true);
+  const NodeId snk = d.add_node(false);
+  d.add_edge(src, mid);
+  d.add_edge(mid, snk);
+
+  while (d.nodes.size() < target && !d.frontier.empty()) {
+    const NodeId v = d.frontier[rng.index(d.frontier.size())];
+    const std::size_t budget = target - d.nodes.size();
+
+    if (rng.bernoulli(top.replicate_prob) && budget >= 1) {
+      const std::size_t copies = std::min<std::size_t>(
+          1 + rng.index(top.max_replicas), budget + 1);
+      if (copies >= 2) {
+        replicate_node(d, v, copies);
+        retire(d, v);
+        continue;
+      }
+    }
+
+    const std::size_t kind =
+        rng.weighted_index({top.p_linear, top.p_branch, top.p_full});
+    switch (kind) {
+      case 0: {  // linear: adds len-1 nodes
+        const std::size_t len = std::min<std::size_t>(
+            2 + rng.index(std::max<std::size_t>(1, top.max_linear_len - 1)),
+            budget + 1);
+        expand_linear(d, v, len);
+        break;
+      }
+      case 1: {  // branch: adds width+1 nodes
+        std::size_t width = 2 + rng.index(std::max<std::size_t>(1, top.max_branch_width - 1));
+        width = std::min(width, budget > 1 ? budget - 1 : std::size_t{1});
+        if (width < 2) {
+          expand_linear(d, v, std::min<std::size_t>(2, budget + 1));
+        } else {
+          expand_branch(d, v, width);
+        }
+        break;
+      }
+      default: {  // fully connected: adds sum(widths)+1 nodes
+        const std::size_t layers = 1 + rng.index(top.max_full_layers);
+        std::vector<std::size_t> widths;
+        std::size_t total = 1;  // exit node
+        for (std::size_t l = 0; l < layers; ++l) {
+          const std::size_t w = 2 + rng.index(std::max<std::size_t>(1, top.max_full_width - 1));
+          if (total + w > budget) break;
+          widths.push_back(w);
+          total += w;
+        }
+        if (widths.empty()) {
+          expand_linear(d, v, std::min<std::size_t>(2, budget + 1));
+        } else {
+          expand_full(d, v, widths);
+        }
+        break;
+      }
+    }
+    retire(d, v);
+  }
+
+  // ---- Feature assignment -------------------------------------------------
+  const WorkloadConfig& wl = cfg.workload;
+  graph::GraphBuilder b(name);
+
+  // Raw draws; replicas share their group's draw.
+  std::unordered_map<std::size_t, double> group_ipt;
+  for (const auto& node : d.nodes) {
+    auto it = group_ipt.find(node.replica_group);
+    double ipt;
+    if (it != group_ipt.end()) {
+      ipt = it->second;
+    } else {
+      ipt = std::exp(rng.normal(0.0, wl.ipt_sigma));
+      group_ipt.emplace(node.replica_group, ipt);
+    }
+    double sel = 1.0;
+    if (top.selectivity_jitter > 0.0) {
+      const int pick = static_cast<int>(rng.index(3));
+      sel = 1.0 + (pick - 1) * top.selectivity_jitter;
+    }
+    b.add_node(ipt, sel);
+  }
+
+  // Deduplicate parallel edges produced by replication (payloads merge later
+  // anyway; StreamGraph forbids duplicates).
+  std::vector<Draft::DraftEdge> unique_edges;
+  {
+    std::unordered_map<std::uint64_t, bool> seen;
+    seen.reserve(d.edges.size() * 2);
+    for (const auto& e : d.edges) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(e.src) << 32) | static_cast<std::uint64_t>(e.dst);
+      if (!seen.emplace(key, true).second) continue;
+      unique_edges.push_back(e);
+    }
+  }
+
+  // Out-degree for fork-split rate factors.
+  std::vector<std::size_t> out_deg(d.nodes.size(), 0);
+  for (const auto& e : unique_edges) ++out_deg[e.src];
+
+  // Payload draws keyed by (src replica group, dst replica group) so that
+  // replicated sub-graphs carry identical channel properties.
+  std::unordered_map<std::uint64_t, double> group_payload;
+  for (const auto& e : unique_edges) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(d.nodes[e.src].replica_group) << 32) |
+        static_cast<std::uint64_t>(d.nodes[e.dst].replica_group);
+    auto it = group_payload.find(key);
+    double payload;
+    if (it != group_payload.end()) {
+      payload = it->second;
+    } else {
+      payload = std::exp(rng.normal(0.0, wl.payload_sigma));
+      group_payload.emplace(key, payload);
+    }
+    double rate_factor = 1.0;
+    const bool broadcast = (top.default_fork == ForkSemantics::Broadcast) ||
+                           rng.bernoulli(top.broadcast_prob);
+    if (!broadcast && out_deg[e.src] > 1) {
+      rate_factor = 1.0 / static_cast<double>(out_deg[e.src]);
+    }
+    b.add_edge(e.src, e.dst, payload, rate_factor);
+  }
+
+  graph::StreamGraph provisional = b.build();
+
+  // ---- Scale to the cluster ----------------------------------------------
+  const graph::LoadProfile profile = graph::compute_load_profile(provisional);
+
+  const double cpu_frac = rng.uniform(wl.cpu_frac_lo, wl.cpu_frac_hi);
+  const double target_cpu =
+      cpu_frac * static_cast<double>(wl.num_devices) * wl.device_mips;
+  const double current_cpu = wl.source_rate * profile.total_cpu;
+  const double ipt_scale = current_cpu > 0.0 ? target_cpu / current_cpu : 1.0;
+
+  const double sat = rng.uniform(wl.sat_lo, wl.sat_hi);
+  const double target_traffic =
+      sat * wl.bandwidth * static_cast<double>(provisional.num_edges());
+  const double current_traffic = wl.source_rate * profile.total_traffic;
+  const double payload_scale =
+      current_traffic > 0.0 ? target_traffic / current_traffic : 1.0;
+
+  graph::GraphBuilder scaled(name);
+  for (const graph::Operator& op : provisional.ops()) {
+    scaled.add_node(op.ipt * ipt_scale, op.selectivity);
+  }
+  for (const graph::Channel& c : provisional.edges()) {
+    scaled.add_edge(c.src, c.dst, c.payload * payload_scale, c.rate_factor);
+  }
+  return scaled.build();
+}
+
+std::vector<graph::StreamGraph> generate_graphs(const GeneratorConfig& cfg,
+                                                std::size_t count, std::uint64_t seed,
+                                                const std::string& name_prefix) {
+  std::vector<graph::StreamGraph> graphs;
+  graphs.reserve(count);
+  Rng root(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng child = root.split();
+    graphs.push_back(generate_graph(cfg, child, name_prefix + std::to_string(i)));
+  }
+  return graphs;
+}
+
+}  // namespace sc::gen

@@ -1,0 +1,100 @@
+// Synthetic stream-graph generator reproducing the paper's Fig. 4 recipe.
+//
+// Starting from a 3-node source->op->sink seed, a randomly chosen frontier
+// node is repeatedly replaced by one of three basic sub-structures:
+//
+//   linear          p = 0.45   chain, max length 5, width 1
+//   branch          p = 0.45   fork-join, max length 1, width up to 5
+//   fully connected p = 0.10   up to 3 layers of width up to 5, dense between
+//
+// until the node count reaches a target sampled from [min_nodes, max_nodes].
+// Sub-graphs may additionally be replicated in place; replicas share operator
+// and channel properties, mirroring the paper's replication rule.
+//
+// After topology construction, node IPT and edge payloads are scaled so the
+// graph's total CPU demand at the nominal source rate is a sampled fraction
+// of the cluster capacity, and edge data-saturation rates follow a sampled
+// distribution — the paper's "same total computing load distribution across
+// size settings" constraint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/stream_graph.hpp"
+
+namespace sc::gen {
+
+/// How fork nodes distribute output tuples over their out-edges.
+enum class ForkSemantics {
+  Split,      ///< rate divides evenly across out-edges (shuffle grouping)
+  Broadcast,  ///< every out-edge carries the full output rate
+};
+
+/// Topology-shape parameters (defaults = the paper's Fig. 4 settings).
+struct TopologyConfig {
+  std::size_t min_nodes = 100;
+  std::size_t max_nodes = 200;
+
+  double p_linear = 0.45;
+  double p_branch = 0.45;
+  double p_full = 0.10;
+
+  std::size_t max_linear_len = 5;
+  std::size_t max_branch_width = 5;
+  std::size_t max_full_layers = 3;
+  std::size_t max_full_width = 5;
+
+  /// Probability that an expansion step replicates the chosen node in place
+  /// (replicas share features) instead of substituting a basic structure.
+  double replicate_prob = 0.10;
+  std::size_t max_replicas = 4;
+
+  /// Probability that a fork node broadcasts instead of splitting.
+  double broadcast_prob = 0.15;
+  ForkSemantics default_fork = ForkSemantics::Split;
+
+  /// Selectivity jitter: each operator's selectivity is drawn from
+  /// {1 - jitter, 1, 1 + jitter}; 0 disables (paper default).
+  double selectivity_jitter = 0.0;
+};
+
+/// Workload scaling parameters tying the graph to a device cluster.
+struct WorkloadConfig {
+  double source_rate = 1e4;      ///< nominal source tuple rate I (tuples/s)
+  double device_mips = 1.25e9;   ///< per-device capacity (instructions/s)
+  std::size_t num_devices = 10;
+  double bandwidth = 1.25e8;     ///< per-link capacity (bytes/s); 1000 Mbps
+
+  /// Total CPU demand at rate I, as a fraction of aggregate cluster MIPS,
+  /// sampled uniformly from [cpu_frac_lo, cpu_frac_hi].
+  double cpu_frac_lo = 0.55;
+  double cpu_frac_hi = 0.85;
+
+  /// Mean per-edge data-saturation rate at rate I (traffic / bandwidth),
+  /// sampled uniformly from [sat_lo, sat_hi].
+  double sat_lo = 0.05;
+  double sat_hi = 0.25;
+
+  /// Log-normal sigma of the raw (pre-scaling) IPT / payload draws;
+  /// controls heterogeneity across operators and channels.
+  double ipt_sigma = 0.6;
+  double payload_sigma = 0.8;
+};
+
+struct GeneratorConfig {
+  TopologyConfig topology;
+  WorkloadConfig workload;
+};
+
+/// Generates one stream graph. Deterministic given `rng` state.
+graph::StreamGraph generate_graph(const GeneratorConfig& cfg, Rng& rng,
+                                  const std::string& name = {});
+
+/// Generates `count` graphs using independent child RNG streams.
+std::vector<graph::StreamGraph> generate_graphs(const GeneratorConfig& cfg,
+                                                std::size_t count, std::uint64_t seed,
+                                                const std::string& name_prefix = "g");
+
+}  // namespace sc::gen

@@ -1,0 +1,66 @@
+#include "gnn/encoder.hpp"
+
+#include "common/error.hpp"
+
+namespace sc::gnn {
+
+using nn::Tensor;
+
+EdgeAwareEncoder::EdgeAwareEncoder(const EncoderConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      init_up_(kNodeFeatureDim, cfg.hidden, rng),
+      init_down_(kNodeFeatureDim, cfg.hidden, rng),
+      w1_(2 * cfg.hidden, cfg.hidden, rng),
+      w_edge_(kEdgeFeatureDim, cfg.hidden, rng, /*bias=*/false),
+      w2_(2 * cfg.hidden, cfg.hidden, rng) {
+  SC_CHECK(cfg.hidden > 0, "encoder hidden size must be positive");
+  SC_CHECK(cfg.iterations > 0, "encoder needs at least one iteration");
+}
+
+Tensor EdgeAwareEncoder::forward(const GraphFeatures& f) const {
+  SC_CHECK(cfg_.hidden > 0, "encoder used before initialisation");
+  const std::size_t n = f.node.rows();
+  const std::size_t m_edges = f.edge_src.size();
+
+  Tensor h_up = nn::tanh_op(init_up_.forward(f.node));      // (n, m)
+  Tensor h_down = nn::tanh_op(init_down_.forward(f.node));  // (n, m)
+
+  // Precompute the edge-feature contribution once; it is iteration-invariant.
+  Tensor edge_term;
+  if (cfg_.use_edge_features && m_edges > 0) {
+    edge_term = w_edge_.forward(f.edge);  // (E, m)
+  }
+
+  for (std::size_t k = 0; k < cfg_.iterations; ++k) {
+    const Tensor h = nn::concat_cols({h_up, h_down});  // (n, 2m)
+    const Tensor base = w1_.forward(h);                // (n, m)
+
+    Tensor agg_in, agg_out;
+    if (m_edges > 0) {
+      // Upstream aggregation at v: messages from edge sources u.
+      Tensor msg_in = nn::gather_rows(base, f.edge_src);
+      if (edge_term.defined()) msg_in = nn::add(msg_in, edge_term);
+      msg_in = nn::tanh_op(msg_in);
+      agg_in = nn::scatter_mean(msg_in, f.edge_dst, n);
+
+      // Downstream aggregation at v: messages from edge targets w.
+      Tensor msg_out = nn::gather_rows(base, f.edge_dst);
+      if (edge_term.defined()) msg_out = nn::add(msg_out, edge_term);
+      msg_out = nn::tanh_op(msg_out);
+      agg_out = nn::scatter_mean(msg_out, f.edge_src, n);
+    } else {
+      agg_in = Tensor::zeros({n, cfg_.hidden});
+      agg_out = Tensor::zeros({n, cfg_.hidden});
+    }
+
+    h_up = nn::tanh_op(w2_.forward(nn::concat_cols({h_up, agg_in})));
+    h_down = nn::tanh_op(w2_.forward(nn::concat_cols({h_down, agg_out})));
+  }
+  return nn::concat_cols({h_up, h_down});  // (n, 2m)
+}
+
+std::vector<Tensor> EdgeAwareEncoder::parameters() const {
+  return nn::params_of({&init_up_, &init_down_, &w1_, &w_edge_, &w2_});
+}
+
+}  // namespace sc::gnn

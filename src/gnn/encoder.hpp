@@ -1,0 +1,47 @@
+// EdgeAwareEncoder — the paper's edge-aware stream-graph encoding (Sec. IV-A).
+//
+// Each node carries two sub-embeddings, h_v+ (upstream view) and h_v−
+// (downstream view), each of dimension m. One iteration:
+//
+//   msg(e = u->v)  = tanh(W1 · h_u + W_edge · f_e)          (edge-aware message)
+//   agg_in(v)      = mean over in-edges of msg               (scatter-mean)
+//   h_v+ ← tanh(W2 · [h_v+ : agg_in(v)])
+//
+// and symmetrically for the downstream view over out-edges. W1/W2/W_edge are
+// shared between directions, as the paper reports works best empirically.
+// K = 2 iterations by default. The final representation is [h_v+ : h_v−].
+#pragma once
+
+#include "gnn/features.hpp"
+#include "nn/module.hpp"
+
+namespace sc::gnn {
+
+struct EncoderConfig {
+  std::size_t hidden = 24;      ///< m: per-direction embedding size
+  std::size_t iterations = 2;   ///< K hops
+  bool use_edge_features = true;  ///< ablation: Table II "w/o edge-encoding"
+};
+
+class EdgeAwareEncoder : public nn::Module {
+public:
+  EdgeAwareEncoder() = default;
+  EdgeAwareEncoder(const EncoderConfig& cfg, Rng& rng);
+
+  /// Returns the node representation matrix (n, 2m).
+  nn::Tensor forward(const GraphFeatures& f) const;
+
+  std::vector<nn::Tensor> parameters() const override;
+  const EncoderConfig& config() const { return cfg_; }
+  std::size_t output_dim() const { return 2 * cfg_.hidden; }
+
+private:
+  EncoderConfig cfg_;
+  nn::Linear init_up_;    // node features -> m
+  nn::Linear init_down_;  // node features -> m
+  nn::Linear w1_;         // 2m -> m (shared between directions)
+  nn::Linear w_edge_;     // edge features -> m (shared)
+  nn::Linear w2_;         // 2m -> m (shared)
+};
+
+}  // namespace sc::gnn

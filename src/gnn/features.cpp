@@ -1,0 +1,61 @@
+#include "gnn/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "graph/algorithms.hpp"
+
+namespace sc::gnn {
+
+GraphFeatures extract_features(const graph::StreamGraph& g,
+                               const graph::LoadProfile& profile,
+                               const sim::ClusterSpec& spec) {
+  SC_CHECK(profile.node_cpu.size() == g.num_nodes(), "profile does not match graph");
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  const double rate = spec.source_rate;
+
+  const auto depth = graph::depth_layers(g);
+  const double max_depth = static_cast<double>(
+      std::max<std::size_t>(1, *std::max_element(depth.begin(), depth.end())));
+
+  std::vector<double> node_vals;
+  node_vals.reserve(n * kNodeFeatureDim);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const double cpu_util = rate * profile.node_cpu[v] / spec.device_mips;
+    double emitted = 0.0;
+    for (const graph::EdgeId e : g.out_edges(v)) emitted += profile.edge_traffic[e];
+    double consumed = 0.0;
+    for (const graph::EdgeId e : g.in_edges(v)) consumed += profile.edge_traffic[e];
+    node_vals.push_back(cpu_util);
+    node_vals.push_back(rate * emitted / spec.bandwidth);
+    node_vals.push_back(rate * consumed / spec.bandwidth);
+    node_vals.push_back(std::log1p(static_cast<double>(g.out_degree(v))));
+    node_vals.push_back(std::log1p(static_cast<double>(g.in_degree(v))));
+    node_vals.push_back(static_cast<double>(depth[v]) / max_depth);
+  }
+
+  GraphFeatures f;
+  f.node = nn::Tensor::from(std::move(node_vals), {n, kNodeFeatureDim});
+
+  std::vector<double> edge_vals;
+  edge_vals.reserve(std::max<std::size_t>(1, m) * kEdgeFeatureDim);
+  f.edge_src.reserve(m);
+  f.edge_dst.reserve(m);
+  const double total_traffic = std::max(profile.total_traffic, 1e-12);
+  for (graph::EdgeId e = 0; e < m; ++e) {
+    const auto& c = g.edge(e);
+    f.edge_src.push_back(c.src);
+    f.edge_dst.push_back(c.dst);
+    edge_vals.push_back(rate * profile.edge_traffic[e] / spec.bandwidth);  // saturation
+    edge_vals.push_back(profile.edge_traffic[e] / total_traffic);
+    edge_vals.push_back(std::log1p(profile.edge_rate[e]));
+  }
+  if (m == 0) edge_vals.assign(kEdgeFeatureDim, 0.0);
+  f.edge = nn::Tensor::from(std::move(edge_vals),
+                            {std::max<std::size_t>(1, m), kEdgeFeatureDim});
+  return f;
+}
+
+}  // namespace sc::gnn

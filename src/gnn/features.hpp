@@ -1,0 +1,36 @@
+// Feature extraction: numeric node/edge features for the coarsening model
+// and the learning-based baselines.
+//
+// Node features follow the paper (CPU utilization and emitted payload),
+// extended with consumed traffic, degrees and normalised depth which are
+// cheap and strictly graph-local. Edge features carry the data-saturation
+// rate (the quantity Fig. 9 analyses) plus normalised traffic shares.
+// All features are scale-free: loads are normalised by device/link capacity
+// so a model trained on one setting transfers to another.
+#pragma once
+
+#include <vector>
+
+#include "graph/rates.hpp"
+#include "graph/stream_graph.hpp"
+#include "nn/tensor.hpp"
+#include "sim/cluster.hpp"
+
+namespace sc::gnn {
+
+inline constexpr std::size_t kNodeFeatureDim = 6;
+inline constexpr std::size_t kEdgeFeatureDim = 3;
+
+struct GraphFeatures {
+  nn::Tensor node;  ///< (n, kNodeFeatureDim), no grad
+  nn::Tensor edge;  ///< (m, kEdgeFeatureDim), no grad (zero-row tensor if m = 0)
+  std::vector<std::size_t> edge_src;  ///< per-edge source node index
+  std::vector<std::size_t> edge_dst;  ///< per-edge target node index
+};
+
+/// Builds features for `g` under cluster `spec` at its nominal source rate.
+GraphFeatures extract_features(const graph::StreamGraph& g,
+                               const graph::LoadProfile& profile,
+                               const sim::ClusterSpec& spec);
+
+}  // namespace sc::gnn

@@ -1,0 +1,69 @@
+#include "gnn/policy.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/serialize.hpp"
+
+namespace sc::gnn {
+
+using nn::Tensor;
+
+CoarseningPolicy::CoarseningPolicy(const PolicyConfig& cfg) : cfg_(cfg) {
+  Rng rng(cfg.seed);
+  encoder_ = EdgeAwareEncoder(cfg.encoder, rng);
+  scorer_ = EdgeCollapseScorer(encoder_.output_dim(), cfg.scorer, rng);
+}
+
+Tensor CoarseningPolicy::logits(const GraphFeatures& f) const {
+  if (f.edge_src.empty()) return Tensor::zeros({0});  // edgeless graph: no decisions
+  return scorer_.forward(encoder_.forward(f), f);
+}
+
+EdgeMask CoarseningPolicy::sample(const std::vector<double>& logit_values,
+                                  Rng& rng) const {
+  EdgeMask mask(logit_values.size());
+  for (std::size_t e = 0; e < mask.size(); ++e) {
+    const double p = 1.0 / (1.0 + std::exp(-logit_values[e]));
+    mask[e] = rng.bernoulli(p) ? 1 : 0;
+  }
+  return mask;
+}
+
+EdgeMask CoarseningPolicy::greedy(const std::vector<double>& logit_values,
+                                  double threshold) const {
+  SC_CHECK(threshold > 0.0 && threshold < 1.0, "threshold must lie in (0, 1)");
+  const double logit_threshold = std::log(threshold / (1.0 - threshold));
+  EdgeMask mask(logit_values.size());
+  for (std::size_t e = 0; e < mask.size(); ++e) {
+    mask[e] = logit_values[e] > logit_threshold ? 1 : 0;
+  }
+  return mask;
+}
+
+Tensor CoarseningPolicy::log_prob(const Tensor& logit_tensor, const EdgeMask& mask) const {
+  return nn::sum(nn::bernoulli_log_prob(logit_tensor, mask));
+}
+
+graph::Coarsening CoarseningPolicy::apply(const graph::StreamGraph& g,
+                                          const graph::LoadProfile& profile,
+                                          const EdgeMask& mask) {
+  SC_CHECK(mask.size() == g.num_edges(), "mask size does not match edge count");
+  std::vector<bool> bits(mask.size());
+  for (std::size_t e = 0; e < mask.size(); ++e) bits[e] = mask[e] != 0;
+  return graph::contract(g, profile, bits);
+}
+
+std::vector<Tensor> CoarseningPolicy::parameters() const {
+  return nn::params_of({&encoder_, &scorer_});
+}
+
+void CoarseningPolicy::save(const std::string& path) const {
+  nn::save_parameters(path, parameters());
+}
+
+void CoarseningPolicy::load(const std::string& path) {
+  nn::load_parameters(path, parameters());
+}
+
+}  // namespace sc::gnn

@@ -1,0 +1,56 @@
+// CoarseningPolicy — the full coarsening model: encoder + edge-collapse head,
+// plus the sampling / log-likelihood interface REINFORCE needs.
+#pragma once
+
+#include <string>
+
+#include "gnn/encoder.hpp"
+#include "gnn/scorer.hpp"
+#include "graph/contraction.hpp"
+
+namespace sc::gnn {
+
+struct PolicyConfig {
+  EncoderConfig encoder;
+  ScorerConfig scorer;
+  std::uint64_t seed = 12345;
+};
+
+/// One edge-collapse decision vector (the RL action).
+using EdgeMask = std::vector<int>;  // 0/1 per edge
+
+class CoarseningPolicy : public nn::Module {
+public:
+  CoarseningPolicy() = default;
+  explicit CoarseningPolicy(const PolicyConfig& cfg);
+
+  /// Per-edge merge logits. Gradients are recorded iff grad mode is on.
+  nn::Tensor logits(const GraphFeatures& f) const;
+
+  /// Samples a Bernoulli mask from logit values (no autograd involved).
+  EdgeMask sample(const std::vector<double>& logit_values, Rng& rng) const;
+
+  /// Deterministic mask: collapse where sigmoid(logit) > threshold.
+  EdgeMask greedy(const std::vector<double>& logit_values, double threshold = 0.5) const;
+
+  /// Scalar sum of Bernoulli log-likelihoods of `mask` under `logit_tensor`.
+  nn::Tensor log_prob(const nn::Tensor& logit_tensor, const EdgeMask& mask) const;
+
+  /// Applies a mask: contract the graph into a Coarsening.
+  static graph::Coarsening apply(const graph::StreamGraph& g,
+                                 const graph::LoadProfile& profile,
+                                 const EdgeMask& mask);
+
+  std::vector<nn::Tensor> parameters() const override;
+  const PolicyConfig& config() const { return cfg_; }
+
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+private:
+  PolicyConfig cfg_;
+  EdgeAwareEncoder encoder_;
+  EdgeCollapseScorer scorer_;
+};
+
+}  // namespace sc::gnn

@@ -1,0 +1,50 @@
+#include "gnn/scorer.hpp"
+
+#include "common/error.hpp"
+
+namespace sc::gnn {
+
+using nn::Tensor;
+
+EdgeCollapseScorer::EdgeCollapseScorer(std::size_t node_repr_dim, const ScorerConfig& cfg,
+                                       Rng& rng)
+    : cfg_(cfg),
+      head_(node_repr_dim, cfg.proj, rng, /*bias=*/false),
+      tail_(node_repr_dim, cfg.proj, rng, /*bias=*/false),
+      edge_(kEdgeFeatureDim, cfg.edge_proj, rng, /*bias=*/false),
+      merge1_(2 * cfg.proj + (cfg.use_edge_features ? cfg.edge_proj : 0),
+              cfg.merge_hidden, rng),
+      merge2_({cfg.merge_hidden, cfg.merge_hidden, 1}, rng, nn::Activation::Tanh) {
+  SC_CHECK(cfg.proj > 0 && cfg.merge_hidden > 0, "scorer dims must be positive");
+  // Bias the output layer so the initial collapse probability is low.
+  auto params = merge2_.parameters();
+  params.back().value()[0] = cfg.init_logit_bias;
+}
+
+Tensor EdgeCollapseScorer::forward(const Tensor& node_repr, const GraphFeatures& f) const {
+  SC_CHECK(cfg_.proj > 0, "scorer used before initialisation");
+  const std::size_t m_edges = f.edge_src.size();
+  SC_CHECK(m_edges > 0, "cannot score a graph with no edges");
+
+  const Tensor h_head = head_.forward(node_repr);  // (n, p)
+  const Tensor h_tail = tail_.forward(node_repr);  // (n, p)
+
+  std::vector<Tensor> parts{nn::gather_rows(h_head, f.edge_src),
+                            nn::gather_rows(h_tail, f.edge_dst)};
+  if (cfg_.use_edge_features) {
+    parts.push_back(edge_.forward(f.edge));
+  }
+  const Tensor h_uv = nn::tanh_op(merge1_.forward(nn::concat_cols(parts)));
+  const Tensor logits = merge2_.forward(h_uv);  // (E, 1)
+  return nn::reshape(logits, {m_edges});
+}
+
+std::vector<Tensor> EdgeCollapseScorer::parameters() const {
+  auto ps = nn::params_of({&head_, &tail_, &merge1_, &merge2_});
+  if (cfg_.use_edge_features) {
+    for (Tensor& p : edge_.parameters()) ps.push_back(std::move(p));
+  }
+  return ps;
+}
+
+}  // namespace sc::gnn

@@ -1,0 +1,50 @@
+// EdgeCollapseScorer — the paper's edge-collapsing prediction head (Sec. IV-B).
+//
+//   h_head = W_head · h_u      h_tail = W_tail · h_v
+//   h_uv   = W1_merge · [h_head : h_tail : W_edge · f_uv]
+//   P(merge(u, v)) = sigmoid(MLP(W2_merge · h_uv))
+//
+// Head and tail use distinct projections because the influence of a directed
+// edge's endpoints is asymmetric. Logits (pre-sigmoid) are returned so the
+// Bernoulli log-likelihood can be computed stably.
+#pragma once
+
+#include "gnn/features.hpp"
+#include "nn/module.hpp"
+
+namespace sc::gnn {
+
+struct ScorerConfig {
+  std::size_t proj = 24;         ///< head/tail projection size
+  std::size_t edge_proj = 8;     ///< edge-feature projection size
+  std::size_t merge_hidden = 32; ///< width of the merge MLP
+  bool use_edge_features = true; ///< ablation: Table II "w/o edge-collapsing"
+  /// Initial bias of the output logit. Negative values make the untrained
+  /// policy conservative (collapse little), so the framework starts at the
+  /// Metis floor instead of a random heavy coarsening; REINFORCE then adds
+  /// collapses where they pay off.
+  double init_logit_bias = -1.5;
+};
+
+class EdgeCollapseScorer : public nn::Module {
+public:
+  EdgeCollapseScorer() = default;
+  /// `node_repr_dim` is the encoder output width (2m).
+  EdgeCollapseScorer(std::size_t node_repr_dim, const ScorerConfig& cfg, Rng& rng);
+
+  /// Per-edge merge logits: (E) vector tensor.
+  nn::Tensor forward(const nn::Tensor& node_repr, const GraphFeatures& f) const;
+
+  std::vector<nn::Tensor> parameters() const override;
+  const ScorerConfig& config() const { return cfg_; }
+
+private:
+  ScorerConfig cfg_;
+  nn::Linear head_;
+  nn::Linear tail_;
+  nn::Linear edge_;
+  nn::Linear merge1_;
+  nn::Mlp merge2_;
+};
+
+}  // namespace sc::gnn

@@ -1,0 +1,95 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace sc::graph {
+
+namespace {
+
+// Kahn's algorithm; returns partial order if a cycle exists.
+std::vector<NodeId> kahn(const StreamGraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::size_t> indeg(n);
+  std::deque<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    indeg[v] = g.in_degree(v);
+    if (indeg[v] == 0) frontier.push_back(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    order.push_back(v);
+    for (const EdgeId e : g.out_edges(v)) {
+      const NodeId u = g.edge(e).dst;
+      if (--indeg[u] == 0) frontier.push_back(u);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<NodeId> topological_order(const StreamGraph& g) {
+  auto order = kahn(g);
+  SC_CHECK(order.size() == g.num_nodes(), "topological_order called on a cyclic graph");
+  return order;
+}
+
+bool is_dag(const StreamGraph& g) { return kahn(g).size() == g.num_nodes(); }
+
+std::vector<NodeId> weak_components(const StreamGraph& g, std::size_t* num_components) {
+  const std::size_t n = g.num_nodes();
+  std::vector<NodeId> label(n, kInvalidNode);
+  NodeId next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (label[start] != kInvalidNode) continue;
+    label[start] = next;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const EdgeId e : g.out_edges(v)) {
+        const NodeId u = g.edge(e).dst;
+        if (label[u] == kInvalidNode) {
+          label[u] = next;
+          stack.push_back(u);
+        }
+      }
+      for (const EdgeId e : g.in_edges(v)) {
+        const NodeId u = g.edge(e).src;
+        if (label[u] == kInvalidNode) {
+          label[u] = next;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components != nullptr) *num_components = next;
+  return label;
+}
+
+std::vector<std::size_t> depth_layers(const StreamGraph& g) {
+  const auto order = topological_order(g);
+  std::vector<std::size_t> depth(g.num_nodes(), 0);
+  for (const NodeId v : order) {
+    for (const EdgeId e : g.out_edges(v)) {
+      const NodeId u = g.edge(e).dst;
+      depth[u] = std::max(depth[u], depth[v] + 1);
+    }
+  }
+  return depth;
+}
+
+std::size_t critical_path_length(const StreamGraph& g) {
+  const auto depth = depth_layers(g);
+  return g.num_nodes() == 0 ? 0 : *std::max_element(depth.begin(), depth.end()) + 1;
+}
+
+}  // namespace sc::graph

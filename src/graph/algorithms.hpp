@@ -1,0 +1,28 @@
+// Pure graph algorithms over StreamGraph: topological order, DAG check,
+// weakly connected components and per-node depth layers.
+#pragma once
+
+#include <vector>
+
+#include "graph/stream_graph.hpp"
+#include "graph/types.hpp"
+
+namespace sc::graph {
+
+/// Kahn topological order. Throws sc::Error if the graph has a cycle.
+std::vector<NodeId> topological_order(const StreamGraph& g);
+
+/// True iff the graph has no directed cycle.
+bool is_dag(const StreamGraph& g);
+
+/// Weakly connected component label per node (labels are 0..k-1, ordered by
+/// first-seen node id). Returns the labels; `num_components` receives k.
+std::vector<NodeId> weak_components(const StreamGraph& g, std::size_t* num_components = nullptr);
+
+/// Longest-path depth of each node from any source (sources have depth 0).
+std::vector<std::size_t> depth_layers(const StreamGraph& g);
+
+/// Critical (longest) path length in nodes.
+std::size_t critical_path_length(const StreamGraph& g);
+
+}  // namespace sc::graph

@@ -1,0 +1,112 @@
+#include "graph/contraction.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "graph/union_find.hpp"
+
+namespace sc::graph {
+
+namespace {
+
+Coarsening finish_from_dsu(const StreamGraph& g, const LoadProfile& profile, UnionFind& dsu) {
+  const std::size_t n = g.num_nodes();
+  Coarsening c;
+  c.node_map.assign(n, kInvalidNode);
+
+  // Compact DSU roots to dense coarse ids in first-seen order.
+  NodeId next = 0;
+  std::vector<NodeId> root_to_id(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto root = dsu.find(v);
+    if (root_to_id[root] == kInvalidNode) root_to_id[root] = next++;
+    c.node_map[v] = root_to_id[root];
+  }
+
+  c.groups.assign(next, {});
+  std::vector<double> weights(next, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    c.groups[c.node_map[v]].push_back(v);
+    weights[c.node_map[v]] += profile.node_cpu[v];
+  }
+
+  std::vector<WeightedEdge> coarse_edges;
+  coarse_edges.reserve(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Channel& ch = g.edge(e);
+    const NodeId a = c.node_map[ch.src];
+    const NodeId b = c.node_map[ch.dst];
+    if (a == b) continue;  // internal edge vanished
+    coarse_edges.push_back(WeightedEdge{a, b, profile.edge_traffic[e]});
+  }
+  c.coarse = WeightedGraph(std::move(weights), coarse_edges);
+  return c;
+}
+
+}  // namespace
+
+std::vector<int> Coarsening::expand_placement(const std::vector<int>& coarse_placement) const {
+  SC_CHECK(coarse_placement.size() == groups.size(),
+           "coarse placement size " << coarse_placement.size() << " != coarse nodes "
+                                    << groups.size());
+  std::vector<int> fine(node_map.size());
+  for (std::size_t v = 0; v < node_map.size(); ++v) {
+    fine[v] = coarse_placement[node_map[v]];
+  }
+  return fine;
+}
+
+Coarsening contract(const StreamGraph& g, const LoadProfile& profile,
+                    const std::vector<bool>& mask) {
+  SC_CHECK(mask.size() == g.num_edges(),
+           "mask size " << mask.size() << " != edge count " << g.num_edges());
+  UnionFind dsu(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (mask[e]) dsu.unite(g.edge(e).src, g.edge(e).dst);
+  }
+  return finish_from_dsu(g, profile, dsu);
+}
+
+Coarsening contract_by_groups(const StreamGraph& g, const LoadProfile& profile,
+                              const std::vector<NodeId>& group_of_node) {
+  SC_CHECK(group_of_node.size() == g.num_nodes(), "grouping size mismatch");
+  UnionFind dsu(g.num_nodes());
+  // Unite each node with the first-seen representative of its group label.
+  std::vector<NodeId> rep;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId label = group_of_node[v];
+    if (label >= rep.size()) rep.resize(label + 1, kInvalidNode);
+    if (rep[label] == kInvalidNode) {
+      rep[label] = v;
+    } else {
+      dsu.unite(rep[label], v);
+    }
+  }
+  return finish_from_dsu(g, profile, dsu);
+}
+
+std::vector<bool> mask_from_groups(const StreamGraph& g, const LoadProfile& profile,
+                                   const std::vector<NodeId>& group_of_node) {
+  SC_CHECK(group_of_node.size() == g.num_nodes(), "grouping size mismatch");
+  // Kruskal restricted to intra-group edges, heaviest first: this selects,
+  // for each group with k weakly connected members, the k-1 heaviest edges
+  // forming a maximum spanning forest — exactly the paper's recipe for
+  // inferring which edges Metis collapsed.
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::stable_sort(order.begin(), order.end(), [&](EdgeId x, EdgeId y) {
+    return profile.edge_traffic[x] > profile.edge_traffic[y];
+  });
+
+  std::vector<bool> mask(g.num_edges(), false);
+  UnionFind dsu(g.num_nodes());
+  for (const EdgeId e : order) {
+    const Channel& c = g.edge(e);
+    if (group_of_node[c.src] != group_of_node[c.dst]) continue;
+    if (dsu.unite(c.src, c.dst)) mask[e] = true;
+  }
+  return mask;
+}
+
+}  // namespace sc::graph

@@ -1,0 +1,56 @@
+// Edge-collapse contraction: turn a per-edge merge decision into a
+// coarsened graph plus the map-back function F : V -> V' (Sec. III of the
+// paper). Merged nodes sum their CPU demand; parallel coarse edges merge
+// by summing traffic; internal edges vanish.
+#pragma once
+
+#include <vector>
+
+#include "graph/rates.hpp"
+#include "graph/stream_graph.hpp"
+#include "graph/types.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace sc::graph {
+
+/// Result of contracting a stream graph under an edge-collapse mask.
+struct Coarsening {
+  /// Coarse partitioning view: node weight = summed CPU, edge weight = traffic.
+  WeightedGraph coarse;
+  /// F: original node -> coarse node.
+  std::vector<NodeId> node_map;
+  /// Inverse image: coarse node -> member original nodes.
+  std::vector<std::vector<NodeId>> groups;
+
+  std::size_t num_coarse_nodes() const { return groups.size(); }
+
+  /// |V| / |V'| — the paper's "compressed ratio" (Fig. 8).
+  double compression_ratio() const {
+    return groups.empty() ? 1.0
+                          : static_cast<double>(node_map.size()) /
+                                static_cast<double>(groups.size());
+  }
+
+  /// Expands a coarse placement (device per coarse node) to the original graph.
+  std::vector<int> expand_placement(const std::vector<int>& coarse_placement) const;
+};
+
+/// Contracts `g` by merging the endpoints of every edge e with mask[e] = true.
+/// `profile` supplies the unit-rate loads used as coarse weights.
+Coarsening contract(const StreamGraph& g, const LoadProfile& profile,
+                    const std::vector<bool>& mask);
+
+/// Contracts by an explicit node->group assignment (groups need not be
+/// contiguous ids; they are compacted). Used to build coarse views from
+/// partitioner output and from baseline groupers.
+Coarsening contract_by_groups(const StreamGraph& g, const LoadProfile& profile,
+                              const std::vector<NodeId>& group_of_node);
+
+/// Infers an edge-collapse mask that reproduces a given grouping, using the
+/// paper's maximum-spanning-tree rule (Sec. IV-C): within every group, keep
+/// the top (n_cc - 1) heaviest edges that form a spanning forest of the
+/// group's induced subgraph. Edge weight = unit-rate traffic.
+std::vector<bool> mask_from_groups(const StreamGraph& g, const LoadProfile& profile,
+                                   const std::vector<NodeId>& group_of_node);
+
+}  // namespace sc::graph

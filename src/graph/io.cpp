@@ -1,0 +1,172 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sc::graph {
+
+namespace {
+
+// Reads the next non-empty, non-comment line; returns false at EOF.
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_graph(std::ostream& os, const StreamGraph& g) {
+  os << "streamgraph " << (g.name().empty() ? "unnamed" : g.name()) << '\n';
+  os << std::setprecision(17);
+  os << "nodes " << g.num_nodes() << '\n';
+  for (const Operator& op : g.ops()) {
+    os << op.ipt << ' ' << op.selectivity << '\n';
+  }
+  os << "edges " << g.num_edges() << '\n';
+  for (const Channel& c : g.edges()) {
+    os << c.src << ' ' << c.dst << ' ' << c.payload << ' ' << c.rate_factor << '\n';
+  }
+  os << "end\n";
+}
+
+StreamGraph read_graph(std::istream& is) {
+  std::string line, token, name;
+  SC_CHECK(next_line(is, line), "unexpected EOF: expected 'streamgraph'");
+  {
+    std::istringstream ls(line);
+    ls >> token >> name;
+    SC_CHECK(token == "streamgraph", "expected 'streamgraph', got '" << token << "'");
+  }
+  GraphBuilder b(name);
+
+  SC_CHECK(next_line(is, line), "unexpected EOF: expected 'nodes'");
+  std::size_t n = 0;
+  {
+    std::istringstream ls(line);
+    ls >> token >> n;
+    SC_CHECK(token == "nodes" && ls, "expected 'nodes <n>'");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    SC_CHECK(next_line(is, line), "unexpected EOF in node list");
+    std::istringstream ls(line);
+    double ipt = 0, sel = 0;
+    ls >> ipt >> sel;
+    SC_CHECK(static_cast<bool>(ls), "malformed node line: '" << line << "'");
+    b.add_node(ipt, sel);
+  }
+
+  SC_CHECK(next_line(is, line), "unexpected EOF: expected 'edges'");
+  std::size_t m = 0;
+  {
+    std::istringstream ls(line);
+    ls >> token >> m;
+    SC_CHECK(token == "edges" && ls, "expected 'edges <m>'");
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    SC_CHECK(next_line(is, line), "unexpected EOF in edge list");
+    std::istringstream ls(line);
+    NodeId src = 0, dst = 0;
+    double payload = 0, rf = 0;
+    ls >> src >> dst >> payload >> rf;
+    SC_CHECK(static_cast<bool>(ls), "malformed edge line: '" << line << "'");
+    b.add_edge(src, dst, payload, rf);
+  }
+
+  SC_CHECK(next_line(is, line) && line.rfind("end", 0) == 0, "expected 'end'");
+  return b.build();
+}
+
+void write_dot(std::ostream& os, const StreamGraph& g, const LoadProfile* profile,
+               const std::vector<NodeId>* groups) {
+  if (groups != nullptr) {
+    SC_CHECK(groups->size() == g.num_nodes(), "group labels must cover every node");
+  }
+  if (profile != nullptr) {
+    SC_CHECK(profile->node_cpu.size() == g.num_nodes(), "profile does not match graph");
+  }
+  static const char* kPalette[] = {"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+                                   "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+                                   "#e31a1c", "#ff7f00"};
+  constexpr std::size_t kPaletteSize = 10;
+
+  os << "digraph \"" << (g.name().empty() ? "streamgraph" : g.name()) << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=ellipse, style=filled];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v << " [label=\"" << v;
+    if (profile != nullptr) {
+      os << "\\ncpu=" << std::setprecision(3) << profile->node_cpu[v];
+    }
+    os << '"';
+    if (groups != nullptr) {
+      os << ", fillcolor=\"" << kPalette[(*groups)[v] % kPaletteSize] << '"';
+    } else {
+      os << ", fillcolor=white";
+    }
+    os << "];\n";
+  }
+  double max_traffic = 1e-12;
+  if (profile != nullptr) {
+    for (const double t : profile->edge_traffic) max_traffic = std::max(max_traffic, t);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Channel& c = g.edge(e);
+    os << "  n" << c.src << " -> n" << c.dst;
+    if (profile != nullptr) {
+      const double w = 0.5 + 4.0 * profile->edge_traffic[e] / max_traffic;
+      os << " [penwidth=" << std::setprecision(3) << w;
+      if (groups != nullptr && (*groups)[c.src] == (*groups)[c.dst]) {
+        os << ", style=dashed";  // collapsed / intra-group edge
+      }
+      os << ']';
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  SC_CHECK(os.good(), "DOT write failed");
+}
+
+void save_graphs(const std::string& path, const std::vector<StreamGraph>& graphs) {
+  std::ofstream os(path);
+  SC_CHECK(os.good(), "cannot open '" << path << "' for writing");
+  os << "# streamcoarsen dataset: " << graphs.size() << " graphs\n";
+  for (const StreamGraph& g : graphs) write_graph(os, g);
+  SC_CHECK(os.good(), "write to '" << path << "' failed");
+}
+
+std::vector<StreamGraph> load_graphs(const std::string& path) {
+  std::ifstream is(path);
+  SC_CHECK(is.good(), "cannot open '" << path << "' for reading");
+  std::vector<StreamGraph> graphs;
+  // Skip blanks/comments, then rewind to the start of the next graph block.
+  for (;;) {
+    std::streampos pos = is.tellg();
+    std::string line;
+    bool has_more = false;
+    while (std::getline(is, line)) {
+      const auto p = line.find_first_not_of(" \t\r");
+      if (p == std::string::npos || line[p] == '#') {
+        pos = is.tellg();
+        continue;
+      }
+      has_more = true;
+      break;
+    }
+    if (!has_more) break;
+    is.clear();
+    is.seekg(pos);
+    graphs.push_back(read_graph(is));
+  }
+  return graphs;
+}
+
+}  // namespace sc::graph

@@ -1,0 +1,37 @@
+// Plain-text (de)serialization of stream graphs and datasets.
+//
+// Format (line-oriented, '#' comments allowed):
+//   streamgraph <name>
+//   nodes <n>
+//   <ipt> <selectivity>          (n lines)
+//   edges <m>
+//   <src> <dst> <payload> <rate_factor>   (m lines)
+//   end
+//
+// Multiple graphs may be concatenated in one stream/file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/rates.hpp"
+#include "graph/stream_graph.hpp"
+
+namespace sc::graph {
+
+void write_graph(std::ostream& os, const StreamGraph& g);
+StreamGraph read_graph(std::istream& is);
+
+void save_graphs(const std::string& path, const std::vector<StreamGraph>& graphs);
+std::vector<StreamGraph> load_graphs(const std::string& path);
+
+/// Graphviz DOT export for inspection. When `groups` is given (one label per
+/// node, e.g. a coarsening's node_map or a placement), nodes are clustered
+/// and colored by group. Edge pen widths scale with unit-rate traffic when a
+/// load profile is supplied.
+void write_dot(std::ostream& os, const StreamGraph& g,
+               const LoadProfile* profile = nullptr,
+               const std::vector<NodeId>* groups = nullptr);
+
+}  // namespace sc::graph

@@ -1,0 +1,37 @@
+#include "graph/rates.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace sc::graph {
+
+LoadProfile compute_load_profile(const StreamGraph& g) {
+  LoadProfile p;
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  p.node_rate.assign(n, 0.0);
+  p.edge_rate.assign(m, 0.0);
+  p.node_cpu.assign(n, 0.0);
+  p.edge_traffic.assign(m, 0.0);
+
+  for (const NodeId s : g.sources()) p.node_rate[s] = 1.0;
+
+  for (const NodeId v : topological_order(g)) {
+    for (const EdgeId e : g.in_edges(v)) p.node_rate[v] += p.edge_rate[e];
+    const double out_rate = p.node_rate[v] * g.op(v).selectivity;
+    for (const EdgeId e : g.out_edges(v)) {
+      p.edge_rate[e] = out_rate * g.edge(e).rate_factor;
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    p.node_cpu[v] = g.op(v).ipt * p.node_rate[v];
+    p.total_cpu += p.node_cpu[v];
+  }
+  for (EdgeId e = 0; e < m; ++e) {
+    p.edge_traffic[e] = g.edge(e).payload * p.edge_rate[e];
+    p.total_traffic += p.edge_traffic[e];
+  }
+  return p;
+}
+
+}  // namespace sc::graph

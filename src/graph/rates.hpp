@@ -1,0 +1,38 @@
+// Tuple-rate propagation and per-node/per-edge load profiles.
+//
+// Given a source tuple rate I, every operator's processing rate and every
+// channel's transmission rate follow by topological propagation:
+//
+//   rate(v)   = I                                   if v is a source
+//   rate(v)   = Σ_{e=(u,v)} edge_rate(e)            otherwise
+//   edge_rate(e=(v,u)) = rate(v) · selectivity(v) · rate_factor(e)
+//
+// The LoadProfile captures rates at *unit* source rate; all demands scale
+// linearly with I, which is what makes the fluid throughput model exact.
+#pragma once
+
+#include <vector>
+
+#include "graph/stream_graph.hpp"
+
+namespace sc::graph {
+
+/// Per-node and per-edge steady-state loads at unit source tuple rate.
+struct LoadProfile {
+  /// Tuple processing rate of each operator (tuples/s per unit source rate).
+  std::vector<double> node_rate;
+  /// Tuple transmission rate of each channel.
+  std::vector<double> edge_rate;
+  /// CPU demand of each operator: ipt * node_rate (instructions/s per unit rate).
+  std::vector<double> node_cpu;
+  /// Network demand of each channel: payload * edge_rate (bytes/s per unit rate).
+  std::vector<double> edge_traffic;
+
+  double total_cpu = 0.0;      ///< Σ node_cpu
+  double total_traffic = 0.0;  ///< Σ edge_traffic
+};
+
+/// Computes the unit-rate load profile of a stream graph.
+LoadProfile compute_load_profile(const StreamGraph& g);
+
+}  // namespace sc::graph

@@ -1,0 +1,84 @@
+#include "graph/stream_graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "graph/algorithms.hpp"
+
+namespace sc::graph {
+
+NodeId GraphBuilder::add_node(double ipt, double selectivity) {
+  SC_CHECK(ipt >= 0.0, "operator ipt must be non-negative");
+  SC_CHECK(selectivity >= 0.0, "operator selectivity must be non-negative");
+  operators_.push_back(Operator{ipt, selectivity});
+  return static_cast<NodeId>(operators_.size() - 1);
+}
+
+EdgeId GraphBuilder::add_edge(NodeId src, NodeId dst, double payload, double rate_factor) {
+  SC_CHECK(src < operators_.size(), "edge source " << src << " out of range");
+  SC_CHECK(dst < operators_.size(), "edge target " << dst << " out of range");
+  SC_CHECK(src != dst, "self-loop edges are not allowed in stream graphs");
+  SC_CHECK(payload >= 0.0, "edge payload must be non-negative");
+  SC_CHECK(rate_factor >= 0.0, "edge rate_factor must be non-negative");
+  channels_.push_back(Channel{src, dst, payload, rate_factor});
+  return static_cast<EdgeId>(channels_.size() - 1);
+}
+
+StreamGraph GraphBuilder::build(bool require_dag) const {
+  SC_CHECK(!operators_.empty(), "cannot build an empty stream graph");
+
+  // Reject duplicate directed edges: parallel channels must be merged by
+  // the caller (payloads summed) so edge-collapse decisions are unambiguous.
+  {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(channels_.size() * 2);
+    for (const Channel& c : channels_) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(c.src) << 32) | static_cast<std::uint64_t>(c.dst);
+      SC_CHECK(seen.insert(key).second,
+               "duplicate edge " << c.src << " -> " << c.dst << "; merge payloads instead");
+    }
+  }
+
+  StreamGraph g;
+  g.name_ = name_;
+  g.operators_ = operators_;
+  g.channels_ = channels_;
+
+  const std::size_t n = operators_.size();
+  const std::size_t m = channels_.size();
+
+  // CSR construction via counting sort over src / dst.
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  for (const Channel& c : channels_) {
+    ++g.out_offsets_[c.src + 1];
+    ++g.in_offsets_[c.dst + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.out_adj_.resize(m);
+  g.in_adj_.resize(m);
+  std::vector<std::size_t> out_pos(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+  std::vector<std::size_t> in_pos(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Channel& c = channels_[e];
+    g.out_adj_[out_pos[c.src]++] = e;
+    g.in_adj_[in_pos[c.dst]++] = e;
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.in_degree(v) == 0) g.sources_.push_back(v);
+    if (g.out_degree(v) == 0) g.sinks_.push_back(v);
+  }
+
+  if (require_dag) {
+    SC_CHECK(is_dag(g), "stream graph '" << name_ << "' contains a directed cycle");
+  }
+  return g;
+}
+
+}  // namespace sc::graph

@@ -1,0 +1,117 @@
+// StreamGraph: the directed acyclic graph of stream-processing operators.
+//
+// Nodes are operators characterised by IPT (instructions per tuple) and a
+// selectivity (output tuples emitted per input tuple). Directed edges carry
+// `payload` bytes per transmitted tuple. This matches the paper's problem
+// definition (Sec. III): node features are CPU utilization and payload,
+// edge features are communication cost.
+//
+// The graph is immutable once built (via GraphBuilder) and stores CSR-style
+// adjacency for cache-friendly traversal.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace sc::graph {
+
+/// A stream operator.
+struct Operator {
+  double ipt = 1.0;          ///< instructions required per input tuple
+  double selectivity = 1.0;  ///< output tuples emitted per input tuple
+};
+
+/// A directed tuple-transmission channel between two operators.
+struct Channel {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double payload = 1.0;      ///< bytes per transmitted tuple
+  double rate_factor = 1.0;  ///< fraction of src's output rate carried (1 = broadcast)
+};
+
+class GraphBuilder;
+
+/// Immutable directed stream-processing graph.
+class StreamGraph {
+public:
+  StreamGraph() = default;
+
+  std::size_t num_nodes() const { return operators_.size(); }
+  std::size_t num_edges() const { return channels_.size(); }
+  bool empty() const { return operators_.empty(); }
+
+  const Operator& op(NodeId v) const { return operators_[v]; }
+  const Channel& edge(EdgeId e) const { return channels_[e]; }
+  std::span<const Operator> ops() const { return operators_; }
+  std::span<const Channel> edges() const { return channels_; }
+
+  /// Outgoing edge ids of node v.
+  std::span<const EdgeId> out_edges(NodeId v) const {
+    return {out_adj_.data() + out_offsets_[v],
+            out_adj_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Incoming edge ids of node v.
+  std::span<const EdgeId> in_edges(NodeId v) const {
+    return {in_adj_.data() + in_offsets_[v],
+            in_adj_.data() + in_offsets_[v + 1]};
+  }
+
+  std::size_t out_degree(NodeId v) const { return out_offsets_[v + 1] - out_offsets_[v]; }
+  std::size_t in_degree(NodeId v) const { return in_offsets_[v + 1] - in_offsets_[v]; }
+
+  /// Nodes with no incoming edges (tuple sources).
+  const std::vector<NodeId>& sources() const { return sources_; }
+  /// Nodes with no outgoing edges (sinks).
+  const std::vector<NodeId>& sinks() const { return sinks_; }
+
+  /// Optional human-readable name (used in dataset files and logs).
+  const std::string& name() const { return name_; }
+
+private:
+  friend class GraphBuilder;
+
+  std::vector<Operator> operators_;
+  std::vector<Channel> channels_;
+  std::vector<std::size_t> out_offsets_;  // size num_nodes + 1
+  std::vector<EdgeId> out_adj_;
+  std::vector<std::size_t> in_offsets_;
+  std::vector<EdgeId> in_adj_;
+  std::vector<NodeId> sources_;
+  std::vector<NodeId> sinks_;
+  std::string name_;
+};
+
+/// Incremental builder; validates and finalises into a StreamGraph.
+class GraphBuilder {
+public:
+  GraphBuilder() = default;
+  explicit GraphBuilder(std::string name) : name_(std::move(name)) {}
+
+  /// Adds an operator and returns its id.
+  NodeId add_node(double ipt, double selectivity = 1.0);
+
+  /// Adds a directed channel; endpoints must already exist and differ.
+  EdgeId add_edge(NodeId src, NodeId dst, double payload, double rate_factor = 1.0);
+
+  std::size_t num_nodes() const { return operators_.size(); }
+  std::size_t num_edges() const { return channels_.size(); }
+
+  /// Mutable access for feature assignment passes run before build().
+  Operator& op(NodeId v) { return operators_.at(v); }
+  Channel& channel(EdgeId e) { return channels_.at(e); }
+
+  /// Finalises the graph. Throws sc::Error if the graph is empty, contains
+  /// a duplicate edge, or (when require_dag) contains a directed cycle.
+  StreamGraph build(bool require_dag = true) const;
+
+private:
+  std::vector<Operator> operators_;
+  std::vector<Channel> channels_;
+  std::string name_;
+};
+
+}  // namespace sc::graph

@@ -1,0 +1,15 @@
+// Fundamental identifier types shared by all graph components.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sc::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+}  // namespace sc::graph

@@ -1,0 +1,66 @@
+#include "graph/weighted_graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace sc::graph {
+
+WeightedGraph::WeightedGraph(std::vector<double> node_weights,
+                             const std::vector<WeightedEdge>& edges)
+    : node_weights_(std::move(node_weights)) {
+  const std::size_t n = node_weights_.size();
+  SC_CHECK(n > 0, "weighted graph needs at least one node");
+  for (const double w : node_weights_) {
+    SC_CHECK(w >= 0.0, "node weights must be non-negative");
+    total_node_weight_ += w;
+  }
+
+  // Merge parallel / reversed-duplicate edges.
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(edges.size() * 2);
+  for (const WeightedEdge& e : edges) {
+    SC_CHECK(e.a < n && e.b < n, "edge endpoint out of range");
+    SC_CHECK(e.weight >= 0.0, "edge weights must be non-negative");
+    if (e.a == e.b) continue;  // self-loops carry no cut cost
+    const NodeId lo = std::min(e.a, e.b);
+    const NodeId hi = std::max(e.a, e.b);
+    const std::uint64_t key = (static_cast<std::uint64_t>(lo) << 32) | hi;
+    const auto it = index.find(key);
+    if (it == index.end()) {
+      index.emplace(key, edges_.size());
+      edges_.push_back(WeightedEdge{lo, hi, e.weight});
+    } else {
+      edges_[it->second].weight += e.weight;
+    }
+  }
+  for (const WeightedEdge& e : edges_) total_edge_weight_ += e.weight;
+
+  // CSR over undirected incidence.
+  offsets_.assign(n + 1, 0);
+  for (const WeightedEdge& e : edges_) {
+    ++offsets_[e.a + 1];
+    ++offsets_[e.b + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  adj_.resize(edges_.size() * 2);
+  std::vector<std::size_t> pos(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    adj_[pos[edges_[e].a]++] = e;
+    adj_[pos[edges_[e].b]++] = e;
+  }
+}
+
+WeightedGraph to_weighted(const StreamGraph& g, const LoadProfile& profile) {
+  SC_CHECK(profile.node_cpu.size() == g.num_nodes(), "load profile does not match graph");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Channel& c = g.edge(e);
+    edges.push_back(WeightedEdge{c.src, c.dst, profile.edge_traffic[e]});
+  }
+  return WeightedGraph(profile.node_cpu, edges);
+}
+
+}  // namespace sc::graph

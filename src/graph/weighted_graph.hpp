@@ -1,0 +1,71 @@
+// WeightedGraph: the undirected, weight-annotated view used by the
+// partitioner and by coarse graphs.
+//
+// Node weights are CPU demand (instructions/s at unit source rate) and
+// edge weights are traffic (bytes/s at unit source rate). Parallel edges
+// between the same node pair are merged at construction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/rates.hpp"
+#include "graph/stream_graph.hpp"
+#include "graph/types.hpp"
+
+namespace sc::graph {
+
+/// An undirected weighted edge.
+struct WeightedEdge {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double weight = 0.0;
+};
+
+class WeightedGraph {
+public:
+  WeightedGraph() = default;
+
+  /// Builds from explicit node weights and (a,b,w) edge triples.
+  /// Parallel edges and reversed duplicates are merged by summing weights;
+  /// self-loops are dropped.
+  WeightedGraph(std::vector<double> node_weights, const std::vector<WeightedEdge>& edges);
+
+  std::size_t num_nodes() const { return node_weights_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  double node_weight(NodeId v) const { return node_weights_[v]; }
+  const std::vector<double>& node_weights() const { return node_weights_; }
+  const WeightedEdge& edge(EdgeId e) const { return edges_[e]; }
+  std::span<const WeightedEdge> edges() const { return edges_; }
+
+  /// Incident edge ids of node v (each undirected edge appears once per endpoint).
+  std::span<const EdgeId> incident(NodeId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  /// The endpoint of edge e that is not v.
+  NodeId other(EdgeId e, NodeId v) const {
+    const WeightedEdge& we = edges_[e];
+    return we.a == v ? we.b : we.a;
+  }
+
+  std::size_t degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  double total_node_weight() const { return total_node_weight_; }
+  double total_edge_weight() const { return total_edge_weight_; }
+
+private:
+  std::vector<double> node_weights_;
+  std::vector<WeightedEdge> edges_;
+  std::vector<std::size_t> offsets_;
+  std::vector<EdgeId> adj_;
+  double total_node_weight_ = 0.0;
+  double total_edge_weight_ = 0.0;
+};
+
+/// Derives the partitioning view of a stream graph: node weight = CPU demand,
+/// edge weight = traffic, both at unit source rate from `profile`.
+WeightedGraph to_weighted(const StreamGraph& g, const LoadProfile& profile);
+
+}  // namespace sc::graph

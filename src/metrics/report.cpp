@@ -1,0 +1,119 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sc::metrics {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SC_CHECK(cells.size() == header_.size(), "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c]
+         << (c + 1 < row.size() ? " | " : " |");
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v * 100.0 << '%';
+  return os.str();
+}
+
+double common_x_max(const std::vector<Series>& series) {
+  double x = 0.0;
+  for (const Series& s : series) {
+    for (const double v : s.values) x = std::max(x, v);
+  }
+  return x > 0.0 ? x : 1.0;
+}
+
+void print_cdf_comparison(std::ostream& os, const std::vector<Series>& series,
+                          double x_max) {
+  SC_CHECK(!series.empty(), "no series to compare");
+  if (x_max <= 0.0) x_max = common_x_max(series);
+
+  Table t({"method", "p10", "p25", "p50", "p75", "p90", "AUC(v)"});
+  for (const Series& s : series) {
+    const Cdf cdf{std::vector<double>(s.values)};
+    t.add_row({s.name, Table::fmt(cdf.quantile(0.10), 1), Table::fmt(cdf.quantile(0.25), 1),
+               Table::fmt(cdf.quantile(0.50), 1), Table::fmt(cdf.quantile(0.75), 1),
+               Table::fmt(cdf.quantile(0.90), 1), Table::fmt(cdf.auc(x_max), 1)});
+  }
+  os << "Throughput CDF comparison (higher quantiles / smaller AUC = better):\n";
+  t.print(os);
+}
+
+void print_auc_table(std::ostream& os, const std::vector<Series>& series, double x_max) {
+  SC_CHECK(!series.empty(), "no series to compare");
+  if (x_max <= 0.0) x_max = common_x_max(series);
+
+  const Cdf ref{std::vector<double>(series.front().values)};
+  Table t({"method", "AUC", "Imp. wrt " + series.front().name});
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const Cdf cdf{std::vector<double>(series[i].values)};
+    const double auc = cdf.auc(x_max);
+    t.add_row({series[i].name, Table::fmt(auc, 1),
+               i == 0 ? "-" : Table::pct(improvement(ref, cdf, x_max))});
+  }
+  t.print(os);
+}
+
+void print_histogram(std::ostream& os, const Histogram& h, const std::string& label) {
+  os << label << '\n';
+  std::size_t max_count = 1;
+  for (const std::size_t c : h.counts) max_count = std::max(max_count, c);
+  const double width = (h.hi - h.lo) / static_cast<double>(h.counts.size());
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    const double lo = h.lo + width * static_cast<double>(b);
+    const std::size_t bar = h.counts[b] * 40 / max_count;
+    os << "  [" << std::setw(8) << Table::fmt(lo, 2) << ", " << std::setw(8)
+       << Table::fmt(lo + width, 2) << ") " << std::setw(6) << h.counts[b] << ' '
+       << std::string(bar, '#') << '\n';
+  }
+}
+
+void write_series_csv(const std::string& path, const std::vector<Series>& series) {
+  std::ofstream os(path);
+  SC_CHECK(os.good(), "cannot open '" << path << "' for writing");
+  os << "method,value\n" << std::setprecision(17);
+  for (const Series& s : series) {
+    for (const double v : s.values) os << s.name << ',' << v << '\n';
+  }
+}
+
+}  // namespace sc::metrics

@@ -1,0 +1,54 @@
+// Text rendering of the paper's tables and figures: aligned tables, CDF
+// series (so bench output mirrors the paper's plots), histograms, and CSV
+// dumps for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/stats.hpp"
+
+namespace sc::metrics {
+
+/// Simple aligned text table.
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double v, int precision = 0);  ///< 0.45 -> "45%"
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One named CDF series (e.g. one allocator's throughputs).
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Prints each series' CDF sampled at fixed quantiles plus its AUC — the
+/// textual analogue of the paper's CDF figures. `x_max` is shared (0 = auto).
+void print_cdf_comparison(std::ostream& os, const std::vector<Series>& series,
+                          double x_max = 0.0);
+
+/// AUC + improvement-vs-reference table (reference = first series).
+void print_auc_table(std::ostream& os, const std::vector<Series>& series,
+                     double x_max = 0.0);
+
+/// Text histogram with proportional bars.
+void print_histogram(std::ostream& os, const Histogram& h, const std::string& label);
+
+/// Writes "name,value" rows per series to a CSV file for external plotting.
+void write_series_csv(const std::string& path, const std::vector<Series>& series);
+
+/// Shared AUC domain: max over all series (the paper clips at the largest
+/// observed throughput).
+double common_x_max(const std::vector<Series>& series);
+
+}  // namespace sc::metrics

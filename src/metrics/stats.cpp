@@ -1,0 +1,125 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sc::metrics {
+
+Cdf::Cdf(std::vector<double> values) : sorted_(std::move(values)) {
+  SC_CHECK(!sorted_.empty(), "CDF of an empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+  SC_CHECK(q >= 0.0 && q <= 1.0, "quantile must lie in [0, 1]");
+  if (q <= 0.0) return sorted_.front();
+  const std::size_t idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size()))) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+double Cdf::auc(double x_max) const {
+  SC_CHECK(x_max > 0.0, "AUC domain must be positive");
+  // The empirical CDF is a right-continuous step function; integrate exactly.
+  double area = 0.0;
+  double prev_x = 0.0;
+  const double n = static_cast<double>(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    const double x = std::min(sorted_[i], x_max);
+    if (x > prev_x) {
+      area += (x - prev_x) * (static_cast<double>(i) / n);
+      prev_x = x;
+    }
+    if (sorted_[i] >= x_max) break;
+  }
+  if (prev_x < x_max) area += (x_max - prev_x) * at(prev_x);
+  return area;
+}
+
+double improvement(const Cdf& reference, const Cdf& candidate, double x_max) {
+  const double ref = reference.auc(x_max);
+  SC_CHECK(ref > 0.0, "reference AUC must be positive");
+  return (ref - candidate.auc(x_max)) / ref;
+}
+
+BoxStats box_stats(const std::vector<double>& values) {
+  SC_CHECK(!values.empty(), "box stats of an empty sample");
+  const Cdf cdf{std::vector<double>(values)};
+  BoxStats b;
+  b.min = cdf.min();
+  b.q1 = cdf.quantile(0.25);
+  b.median = cdf.quantile(0.5);
+  b.q3 = cdf.quantile(0.75);
+  b.max = cdf.max();
+  b.count = values.size();
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  b.mean = sum / static_cast<double>(values.size());
+  return b;
+}
+
+Histogram histogram(const std::vector<double>& values, double lo, double hi,
+                    std::size_t bins) {
+  SC_CHECK(bins > 0, "histogram needs at least one bin");
+  SC_CHECK(hi > lo, "histogram range must be non-empty");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (const double v : values) {
+    const double clamped = std::clamp(v, lo, hi);
+    std::size_t bin = static_cast<std::size_t>((clamped - lo) / width);
+    if (bin >= bins) bin = bins - 1;
+    ++h.counts[bin];
+  }
+  return h;
+}
+
+double kendall_tau(const std::vector<double>& a, const std::vector<double>& b) {
+  SC_CHECK(a.size() == b.size(), "kendall_tau needs paired samples");
+  SC_CHECK(a.size() >= 2, "kendall_tau needs at least two pairs");
+  // O(n^2) tau-b; sample sizes here are small (candidate placements).
+  long concordant = 0, discordant = 0, ties_a = 0, ties_b = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      if (da == 0.0 && db == 0.0) continue;  // tied in both: excluded
+      if (da == 0.0) {
+        ++ties_a;
+      } else if (db == 0.0) {
+        ++ties_b;
+      } else if ((da > 0) == (db > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0a = static_cast<double>(concordant + discordant + ties_a);
+  const double n0b = static_cast<double>(concordant + discordant + ties_b);
+  const double denom = std::sqrt(n0a * n0b);
+  if (denom == 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+MeanStd mean_std(const std::vector<double>& values) {
+  SC_CHECK(!values.empty(), "mean of an empty sample");
+  MeanStd ms;
+  for (const double v : values) ms.mean += v;
+  ms.mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (const double v : values) var += (v - ms.mean) * (v - ms.mean);
+  ms.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return ms;
+}
+
+}  // namespace sc::metrics

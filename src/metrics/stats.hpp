@@ -1,0 +1,70 @@
+// Evaluation statistics used throughout the paper's figures and tables:
+// CDF curves, Area-Under-Curve (smaller = better), relative improvement,
+// box-plot quartiles and histograms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sc::metrics {
+
+/// Empirical CDF of a sample (kept as the sorted sample).
+class Cdf {
+public:
+  explicit Cdf(std::vector<double> values);
+
+  const std::vector<double>& sorted() const { return sorted_; }
+  std::size_t size() const { return sorted_.size(); }
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+
+  /// F(x) = fraction of samples <= x.
+  double at(double x) const;
+
+  /// Inverse CDF: smallest sample with F >= q (q in [0, 1]).
+  double quantile(double q) const;
+
+  /// Area under the CDF over [0, x_max]. Smaller means mass concentrated at
+  /// higher values — the paper's headline comparison metric (Table I).
+  double auc(double x_max) const;
+
+private:
+  std::vector<double> sorted_;
+};
+
+/// Relative AUC improvement of `candidate` w.r.t. `reference` (positive when
+/// the candidate is better, i.e. has smaller AUC). Both AUCs are computed
+/// over a shared [0, x_max] domain.
+double improvement(const Cdf& reference, const Cdf& candidate, double x_max);
+
+/// Five-number summary for box plots (Fig. 8).
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  double mean = 0;
+  std::size_t count = 0;
+};
+BoxStats box_stats(const std::vector<double>& values);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// clamp into the boundary buckets.
+struct Histogram {
+  double lo = 0, hi = 1;
+  std::vector<std::size_t> counts;
+};
+Histogram histogram(const std::vector<double>& values, double lo, double hi,
+                    std::size_t bins);
+
+/// Mean and (population) standard deviation.
+struct MeanStd {
+  double mean = 0;
+  double stddev = 0;
+};
+MeanStd mean_std(const std::vector<double>& values);
+
+/// Kendall's tau-b rank correlation between two paired samples (ties handled).
+/// +1 = identical ranking, -1 = reversed, 0 = unrelated. Used to quantify
+/// rank agreement between the fluid reward oracle and the event simulator.
+double kendall_tau(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace sc::metrics

@@ -1,0 +1,61 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sc::nn {
+
+Adam::Adam(std::vector<Tensor> params, AdamConfig cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  SC_CHECK(!params_.empty(), "Adam needs at least one parameter");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    SC_CHECK(p.requires_grad(), "Adam parameters must require gradients");
+    m_.emplace_back(p.size(), 0.0);
+    v_.emplace_back(p.size(), 0.0);
+  }
+}
+
+double Adam::grad_norm() const {
+  double sq = 0.0;
+  for (const Tensor& p : params_) {
+    for (const double g : p.grad()) sq += g * g;
+  }
+  return std::sqrt(sq);
+}
+
+void Adam::step() {
+  ++t_;
+  double clip_scale = 1.0;
+  if (cfg_.clip_norm > 0.0) {
+    const double norm = grad_norm();
+    if (norm > cfg_.clip_norm) clip_scale = cfg_.clip_norm / norm;
+  }
+
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& value = params_[i].value();
+    auto& grad = params_[i].grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      const double g = grad[j] * clip_scale;
+      m[j] = cfg_.beta1 * m[j] + (1.0 - cfg_.beta1) * g;
+      v[j] = cfg_.beta2 * v[j] + (1.0 - cfg_.beta2) * g * g;
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      value[j] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+    }
+  }
+  zero_grad();
+}
+
+void Adam::zero_grad() {
+  for (Tensor& p : params_) p.zero_grad();
+}
+
+}  // namespace sc::nn

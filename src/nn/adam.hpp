@@ -1,0 +1,43 @@
+// Adam optimizer (Kingma & Ba) with optional global-norm gradient clipping —
+// the paper trains all models with Adam at lr 1e-3.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace sc::nn {
+
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double clip_norm = 5.0;  ///< 0 disables clipping
+};
+
+class Adam {
+public:
+  explicit Adam(std::vector<Tensor> params, AdamConfig cfg = {});
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void step();
+
+  /// Zeroes gradients without updating.
+  void zero_grad();
+
+  /// Current global gradient L2 norm (diagnostic).
+  double grad_norm() const;
+
+  const AdamConfig& config() const { return cfg_; }
+  void set_lr(double lr) { cfg_.lr = lr; }
+
+private:
+  std::vector<Tensor> params_;
+  AdamConfig cfg_;
+  std::vector<std::vector<double>> m_;
+  std::vector<std::vector<double>> v_;
+  long t_ = 0;
+};
+
+}  // namespace sc::nn

@@ -1,0 +1,126 @@
+#include "nn/module.hpp"
+
+#include "common/error.hpp"
+
+namespace sc::nn {
+
+// ---- Linear -----------------------------------------------------------------
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng, bool bias) {
+  SC_CHECK(in > 0 && out > 0, "Linear dims must be positive");
+  weight_ = Tensor::xavier(in, out, rng, /*requires_grad=*/true);
+  if (bias) bias_ = Tensor::zeros({out}, /*requires_grad=*/true);
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  SC_CHECK(weight_.defined(), "Linear used before initialisation");
+  Tensor y = matmul(x, weight_);
+  if (bias_.defined()) y = add(y, bias_);
+  return y;
+}
+
+std::vector<Tensor> Linear::parameters() const {
+  std::vector<Tensor> ps;
+  if (weight_.defined()) ps.push_back(weight_);
+  if (bias_.defined()) ps.push_back(bias_);
+  return ps;
+}
+
+// ---- Mlp --------------------------------------------------------------------
+
+Tensor apply_activation(const Tensor& x, Activation act) {
+  switch (act) {
+    case Activation::Tanh: return tanh_op(x);
+    case Activation::ReLU: return relu(x);
+    case Activation::Sigmoid: return sigmoid(x);
+    case Activation::Identity: return x;
+  }
+  return x;
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Rng& rng, Activation hidden_act)
+    : act_(hidden_act) {
+  SC_CHECK(dims.size() >= 2, "Mlp needs at least input and output dims");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Tensor Mlp::forward(const Tensor& x) const {
+  SC_CHECK(!layers_.empty(), "Mlp used before initialisation");
+  Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].forward(h);
+    if (i + 1 < layers_.size()) h = apply_activation(h, act_);
+  }
+  return h;
+}
+
+std::vector<Tensor> Mlp::parameters() const {
+  std::vector<Tensor> ps;
+  for (const Linear& l : layers_) {
+    for (Tensor& p : l.parameters()) ps.push_back(std::move(p));
+  }
+  return ps;
+}
+
+// ---- LstmCell ----------------------------------------------------------------
+
+LstmCell::LstmCell(std::size_t input, std::size_t hidden, Rng& rng)
+    : hidden_(hidden),
+      input_map_(input, 4 * hidden, rng, /*bias=*/true),
+      hidden_map_(hidden, 4 * hidden, rng, /*bias=*/false) {}
+
+LstmCell::State LstmCell::initial_state() const {
+  return State{Tensor::zeros({1, hidden_}), Tensor::zeros({1, hidden_})};
+}
+
+LstmCell::State LstmCell::forward(const Tensor& x, const State& s) const {
+  SC_CHECK(hidden_ > 0, "LstmCell used before initialisation");
+  // gates = x W_x + h W_h + b, laid out as [i | f | g | o].
+  Tensor gates = add(input_map_.forward(x), hidden_map_.forward(s.h));
+
+  // Slice the (1, 4H) row into four (1, H) pieces via gather on a reshaped
+  // (4, H) view.
+  Tensor as_rows = reshape(gates, {4, hidden_});
+  Tensor i_gate = sigmoid(gather_rows(as_rows, {0}));
+  Tensor f_gate = sigmoid(gather_rows(as_rows, {1}));
+  Tensor g_gate = tanh_op(gather_rows(as_rows, {2}));
+  Tensor o_gate = sigmoid(gather_rows(as_rows, {3}));
+
+  Tensor c_next = add(mul(f_gate, s.c), mul(i_gate, g_gate));
+  Tensor h_next = mul(o_gate, tanh_op(c_next));
+  return State{h_next, c_next};
+}
+
+std::vector<Tensor> LstmCell::parameters() const {
+  std::vector<Tensor> ps = input_map_.parameters();
+  for (Tensor& p : hidden_map_.parameters()) ps.push_back(std::move(p));
+  return ps;
+}
+
+// ---- Embedding -----------------------------------------------------------------
+
+Embedding::Embedding(std::size_t count, std::size_t dim, Rng& rng) {
+  SC_CHECK(count > 0 && dim > 0, "Embedding dims must be positive");
+  table_ = Tensor::randn({count, dim}, rng, 0.1, /*requires_grad=*/true);
+}
+
+Tensor Embedding::forward(const std::vector<std::size_t>& indices) const {
+  SC_CHECK(table_.defined(), "Embedding used before initialisation");
+  return gather_rows(table_, indices);
+}
+
+std::vector<Tensor> Embedding::parameters() const {
+  return table_.defined() ? std::vector<Tensor>{table_} : std::vector<Tensor>{};
+}
+
+std::vector<Tensor> params_of(std::initializer_list<const Module*> modules) {
+  std::vector<Tensor> ps;
+  for (const Module* m : modules) {
+    for (Tensor& p : m->parameters()) ps.push_back(std::move(p));
+  }
+  return ps;
+}
+
+}  // namespace sc::nn

@@ -1,0 +1,109 @@
+// Neural-network modules: parameter containers built on nn::Tensor.
+//
+// A Module exposes its learnable tensors through parameters(); optimizers
+// and the serializer operate on that flat list, so composition is by
+// concatenation (see params_of below).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/ops.hpp"
+#include "nn/tensor.hpp"
+
+namespace sc::nn {
+
+class Module {
+public:
+  virtual ~Module() = default;
+  /// All learnable tensors, in a stable order.
+  virtual std::vector<Tensor> parameters() const = 0;
+
+  /// Total number of learnable scalars.
+  std::size_t num_parameters() const {
+    std::size_t n = 0;
+    for (const Tensor& p : parameters()) n += p.size();
+    return n;
+  }
+};
+
+/// Fully connected layer: y = x @ W + b, x is (n, in), W is (in, out).
+class Linear : public Module {
+public:
+  Linear() = default;
+  Linear(std::size_t in, std::size_t out, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& x) const;
+  std::vector<Tensor> parameters() const override;
+
+  std::size_t in_features() const { return weight_.defined() ? weight_.rows() : 0; }
+  std::size_t out_features() const { return weight_.defined() ? weight_.cols() : 0; }
+
+private:
+  Tensor weight_;
+  Tensor bias_;
+};
+
+enum class Activation { Tanh, ReLU, Sigmoid, Identity };
+
+Tensor apply_activation(const Tensor& x, Activation act);
+
+/// Multi-layer perceptron with a fixed activation on hidden layers
+/// (output layer is linear).
+class Mlp : public Module {
+public:
+  Mlp() = default;
+  /// dims = {in, h1, ..., out}; at least {in, out}.
+  Mlp(const std::vector<std::size_t>& dims, Rng& rng,
+      Activation hidden_act = Activation::Tanh);
+
+  Tensor forward(const Tensor& x) const;
+  std::vector<Tensor> parameters() const override;
+
+private:
+  std::vector<Linear> layers_;
+  Activation act_ = Activation::Tanh;
+};
+
+/// Single LSTM cell; state is carried explicitly by the caller.
+class LstmCell : public Module {
+public:
+  LstmCell() = default;
+  LstmCell(std::size_t input, std::size_t hidden, Rng& rng);
+
+  struct State {
+    Tensor h;  ///< (1, hidden)
+    Tensor c;  ///< (1, hidden)
+  };
+  State initial_state() const;
+
+  /// x is (1, input); returns the next state.
+  State forward(const Tensor& x, const State& s) const;
+  std::vector<Tensor> parameters() const override;
+
+  std::size_t hidden_size() const { return hidden_; }
+
+private:
+  std::size_t hidden_ = 0;
+  Linear input_map_;   // input  -> 4*hidden (i, f, g, o)
+  Linear hidden_map_;  // hidden -> 4*hidden
+};
+
+/// Lookup table of `count` rows of dimension `dim`.
+class Embedding : public Module {
+public:
+  Embedding() = default;
+  Embedding(std::size_t count, std::size_t dim, Rng& rng);
+
+  /// Returns rows for the given indices: (indices.size(), dim).
+  Tensor forward(const std::vector<std::size_t>& indices) const;
+  std::vector<Tensor> parameters() const override;
+
+private:
+  Tensor table_;
+};
+
+/// Concatenates the parameter lists of several modules.
+std::vector<Tensor> params_of(std::initializer_list<const Module*> modules);
+
+}  // namespace sc::nn

@@ -1,0 +1,530 @@
+#include "nn/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sc::nn {
+
+namespace {
+
+using detail::TensorData;
+
+/// Creates the result tensor and wires autograd bookkeeping.
+/// `backward` receives (result_data) and must add into input grads.
+Tensor make_op(std::vector<std::size_t> shape,
+               std::vector<Tensor> inputs,
+               std::function<void(TensorData&)> backward) {
+  auto d = std::make_shared<TensorData>();
+  d->shape = std::move(shape);
+  d->value.assign(shape_size(d->shape), 0.0);
+
+  bool needs = false;
+  if (detail::grad_enabled()) {
+    for (const Tensor& t : inputs) {
+      if (t.requires_grad()) {
+        needs = true;
+        break;
+      }
+    }
+  }
+  if (needs) {
+    d->requires_grad = true;
+    for (const Tensor& t : inputs) d->inputs.push_back(t.ptr());
+    TensorData* raw = d.get();
+    d->backward_fn = [raw, backward = std::move(backward)] { backward(*raw); };
+  }
+  return Tensor::wrap(std::move(d));
+}
+
+double softplus(double x) {
+  // log(1 + e^x), stable for both signs.
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+void check_same_shape(Tensor a, Tensor b, const char* op) {
+  SC_CHECK(a.shape() == b.shape(), op << ": shape mismatch");
+}
+
+// Dense kernels. A is (n,k), B is (k,m) etc. All row-major.
+void gemm_nn(const double* a, const double* b, double* c, std::size_t n, std::size_t k,
+             std::size_t m, bool accumulate) {
+  if (!accumulate) std::fill(c, c + n * m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = a[i * k + p];
+      if (av == 0.0) continue;
+      const double* brow = b + p * m;
+      double* crow = c + i * m;
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C (n,k) += A (n,m) * B^T where B is (k,m).
+void gemm_nt(const double* a, const double* b, double* c, std::size_t n, std::size_t m,
+             std::size_t k) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const double* arow = a + i * m;
+      const double* brow = b + j * m;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < m; ++p) acc += arow[p] * brow[p];
+      c[i * k + j] += acc;
+    }
+  }
+}
+
+// C (k,m) += A^T * B where A is (n,k), B is (n,m).
+void gemm_tn(const double* a, const double* b, double* c, std::size_t n, std::size_t k,
+             std::size_t m) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* arow = a + i * k;
+    const double* brow = b + i * m;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      double* crow = c + p * m;
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Unary elementwise helper: out = f(a), da += df(a_val, out_val) * dout.
+Tensor unary(Tensor a, double (*f)(double),
+             double (*df)(double /*x*/, double /*y*/)) {
+  Tensor out = make_op(a.shape(), {a}, [a, df](TensorData& r) mutable {
+    if (!a.requires_grad()) return;
+    auto& ga = a.grad();
+    const auto& va = a.value();
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+      ga[i] += df(va[i], r.value[i]) * r.grad[i];
+    }
+  });
+  auto& v = out.value();
+  const auto& va = a.value();
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = f(va[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(Tensor a, Tensor b) {
+  const bool bias_row = a.dim() == 2 && b.dim() == 1 && b.size() == a.cols();
+  if (!bias_row) check_same_shape(a, b, "add");
+
+  Tensor out = make_op(a.shape(), {a, b}, [a, b, bias_row](TensorData& r) mutable {
+    if (a.requires_grad()) {
+      auto& ga = a.grad();
+      for (std::size_t i = 0; i < ga.size(); ++i) ga[i] += r.grad[i];
+    }
+    if (b.requires_grad()) {
+      auto& gb = b.grad();
+      if (bias_row) {
+        const std::size_t m = gb.size();
+        for (std::size_t i = 0; i < r.grad.size(); ++i) gb[i % m] += r.grad[i];
+      } else {
+        for (std::size_t i = 0; i < gb.size(); ++i) gb[i] += r.grad[i];
+      }
+    }
+  });
+  auto& v = out.value();
+  const auto& va = a.value();
+  const auto& vb = b.value();
+  if (bias_row) {
+    const std::size_t m = vb.size();
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = va[i] + vb[i % m];
+  } else {
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = va[i] + vb[i];
+  }
+  return out;
+}
+
+Tensor sub(Tensor a, Tensor b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = make_op(a.shape(), {a, b}, [a, b](TensorData& r) mutable {
+    if (a.requires_grad()) {
+      auto& ga = a.grad();
+      for (std::size_t i = 0; i < ga.size(); ++i) ga[i] += r.grad[i];
+    }
+    if (b.requires_grad()) {
+      auto& gb = b.grad();
+      for (std::size_t i = 0; i < gb.size(); ++i) gb[i] -= r.grad[i];
+    }
+  });
+  auto& v = out.value();
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = a.value()[i] - b.value()[i];
+  return out;
+}
+
+Tensor mul(Tensor a, Tensor b) {
+  check_same_shape(a, b, "mul");
+  Tensor out = make_op(a.shape(), {a, b}, [a, b](TensorData& r) mutable {
+    if (a.requires_grad()) {
+      auto& ga = a.grad();
+      const auto& vb = b.value();
+      for (std::size_t i = 0; i < ga.size(); ++i) ga[i] += vb[i] * r.grad[i];
+    }
+    if (b.requires_grad()) {
+      auto& gb = b.grad();
+      const auto& va = a.value();
+      for (std::size_t i = 0; i < gb.size(); ++i) gb[i] += va[i] * r.grad[i];
+    }
+  });
+  auto& v = out.value();
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = a.value()[i] * b.value()[i];
+  return out;
+}
+
+Tensor scale(Tensor a, double s) {
+  Tensor out = make_op(a.shape(), {a}, [a, s](TensorData& r) mutable {
+    if (!a.requires_grad()) return;
+    auto& ga = a.grad();
+    for (std::size_t i = 0; i < ga.size(); ++i) ga[i] += s * r.grad[i];
+  });
+  auto& v = out.value();
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = s * a.value()[i];
+  return out;
+}
+
+Tensor add_scalar(Tensor a, double s) {
+  Tensor out = make_op(a.shape(), {a}, [a](TensorData& r) mutable {
+    if (!a.requires_grad()) return;
+    auto& ga = a.grad();
+    for (std::size_t i = 0; i < ga.size(); ++i) ga[i] += r.grad[i];
+  });
+  auto& v = out.value();
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = a.value()[i] + s;
+  return out;
+}
+
+Tensor tanh_op(Tensor a) {
+  return unary(
+      a, +[](double x) { return std::tanh(x); },
+      +[](double, double y) { return 1.0 - y * y; });
+}
+
+Tensor sigmoid(Tensor a) {
+  return unary(
+      a, +[](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      +[](double, double y) { return y * (1.0 - y); });
+}
+
+Tensor relu(Tensor a) {
+  return unary(
+      a, +[](double x) { return x > 0.0 ? x : 0.0; },
+      +[](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Tensor exp_op(Tensor a) {
+  return unary(
+      a, +[](double x) { return std::exp(x); },
+      +[](double, double y) { return y; });
+}
+
+Tensor log_op(Tensor a) {
+  for (const double x : a.value()) {
+    SC_CHECK(x > 0.0, "log of a non-positive value " << x);
+  }
+  return unary(
+      a, +[](double x) { return std::log(x); },
+      +[](double x, double) { return 1.0 / x; });
+}
+
+Tensor matmul(Tensor a, Tensor b) {
+  SC_CHECK(a.dim() == 2 && b.dim() == 2, "matmul requires 2-D tensors");
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  SC_CHECK(b.rows() == k,
+           "matmul: inner dims differ (" << k << " vs " << b.rows() << ")");
+
+  Tensor out = make_op({n, m}, {a, b}, [a, b, n, k, m](TensorData& r) mutable {
+    if (a.requires_grad()) {
+      gemm_nt(r.grad.data(), b.value().data(), a.grad().data(), n, m, k);
+    }
+    if (b.requires_grad()) {
+      gemm_tn(a.value().data(), r.grad.data(), b.grad().data(), n, k, m);
+    }
+  });
+  gemm_nn(a.value().data(), b.value().data(), out.value().data(), n, k, m, false);
+  return out;
+}
+
+Tensor matmul_nt(Tensor a, Tensor b) {
+  SC_CHECK(a.dim() == 2 && b.dim() == 2, "matmul_nt requires 2-D tensors");
+  const std::size_t n = a.rows(), k = a.cols(), m = b.rows();
+  SC_CHECK(b.cols() == k,
+           "matmul_nt: inner dims differ (" << k << " vs " << b.cols() << ")");
+
+  Tensor out = make_op({n, m}, {a, b}, [a, b, n, k, m](TensorData& r) mutable {
+    if (a.requires_grad()) {
+      // dA (n,k) += dC (n,m) * B (m,k)
+      gemm_nn(r.grad.data(), b.value().data(), a.grad().data(), n, m, k,
+              /*accumulate=*/true);
+    }
+    if (b.requires_grad()) {
+      // dB (m,k) += dC^T (m,n) * A (n,k)
+      gemm_tn(r.grad.data(), a.value().data(), b.grad().data(), n, m, k);
+    }
+  });
+  // C = A * B^T
+  gemm_nt(a.value().data(), b.value().data(), out.value().data(), n, k, m);
+  return out;
+}
+
+Tensor concat_cols(std::vector<Tensor> parts) {
+  SC_CHECK(!parts.empty(), "concat_cols of zero tensors");
+  const std::size_t n = parts[0].rows();
+  std::size_t total_cols = 0;
+  for (const Tensor& t : parts) {
+    SC_CHECK(t.dim() == 2, "concat_cols requires 2-D tensors");
+    SC_CHECK(t.rows() == n, "concat_cols: row count mismatch");
+    total_cols += t.cols();
+  }
+
+  Tensor out = make_op({n, total_cols}, parts, [parts, n, total_cols](TensorData& r) mutable {
+    std::size_t col0 = 0;
+    for (Tensor& t : parts) {
+      const std::size_t c = t.cols();
+      if (t.requires_grad()) {
+        auto& g = t.grad();
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < c; ++j) {
+            g[i * c + j] += r.grad[i * total_cols + col0 + j];
+          }
+        }
+      }
+      col0 += c;
+    }
+  });
+  auto& v = out.value();
+  std::size_t col0 = 0;
+  for (const Tensor& t : parts) {
+    const std::size_t c = t.cols();
+    const auto& tv = t.value();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < c; ++j) v[i * total_cols + col0 + j] = tv[i * c + j];
+    }
+    col0 += c;
+  }
+  return out;
+}
+
+Tensor gather_rows(Tensor x, const std::vector<std::size_t>& index) {
+  SC_CHECK(x.dim() == 2, "gather_rows requires a 2-D tensor");
+  const std::size_t m = x.cols();
+  for (const std::size_t i : index) {
+    SC_CHECK(i < x.rows(), "gather_rows: index " << i << " out of range");
+  }
+
+  Tensor out = make_op({index.size(), m}, {x}, [x, index, m](TensorData& r) mutable {
+    if (!x.requires_grad()) return;
+    auto& g = x.grad();
+    for (std::size_t i = 0; i < index.size(); ++i) {
+      for (std::size_t j = 0; j < m; ++j) g[index[i] * m + j] += r.grad[i * m + j];
+    }
+  });
+  auto& v = out.value();
+  const auto& xv = x.value();
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    std::copy_n(xv.data() + index[i] * m, m, v.data() + i * m);
+  }
+  return out;
+}
+
+Tensor scatter_mean(Tensor x, const std::vector<std::size_t>& index,
+                    std::size_t num_targets) {
+  SC_CHECK(x.dim() == 2, "scatter_mean requires a 2-D tensor");
+  SC_CHECK(index.size() == x.rows(), "scatter_mean: one index per row required");
+  const std::size_t m = x.cols();
+
+  std::vector<double> counts(num_targets, 0.0);
+  for (const std::size_t t : index) {
+    SC_CHECK(t < num_targets, "scatter_mean: target " << t << " out of range");
+    counts[t] += 1.0;
+  }
+
+  Tensor out =
+      make_op({num_targets, m}, {x}, [x, index, counts, m](TensorData& r) mutable {
+        if (!x.requires_grad()) return;
+        auto& g = x.grad();
+        for (std::size_t i = 0; i < index.size(); ++i) {
+          const std::size_t t = index[i];
+          const double inv = 1.0 / counts[t];
+          for (std::size_t j = 0; j < m; ++j) {
+            g[i * m + j] += inv * r.grad[t * m + j];
+          }
+        }
+      });
+  auto& v = out.value();
+  const auto& xv = x.value();
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    const std::size_t t = index[i];
+    for (std::size_t j = 0; j < m; ++j) v[t * m + j] += xv[i * m + j];
+  }
+  for (std::size_t t = 0; t < num_targets; ++t) {
+    if (counts[t] > 0.0) {
+      const double inv = 1.0 / counts[t];
+      for (std::size_t j = 0; j < m; ++j) v[t * m + j] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor reshape(Tensor x, std::vector<std::size_t> shape) {
+  SC_CHECK(shape_size(shape) == x.size(), "reshape must preserve element count");
+  Tensor out = make_op(std::move(shape), {x}, [x](TensorData& r) mutable {
+    if (!x.requires_grad()) return;
+    auto& g = x.grad();
+    for (std::size_t i = 0; i < g.size(); ++i) g[i] += r.grad[i];
+  });
+  out.value() = x.value();
+  return out;
+}
+
+Tensor sum(Tensor a) {
+  Tensor out = make_op({1}, {a}, [a](TensorData& r) mutable {
+    if (!a.requires_grad()) return;
+    auto& g = a.grad();
+    for (double& gi : g) gi += r.grad[0];
+  });
+  double acc = 0.0;
+  for (const double x : a.value()) acc += x;
+  out.value()[0] = acc;
+  return out;
+}
+
+Tensor mean(Tensor a) {
+  const double inv = 1.0 / static_cast<double>(a.size());
+  Tensor out = make_op({1}, {a}, [a, inv](TensorData& r) mutable {
+    if (!a.requires_grad()) return;
+    auto& g = a.grad();
+    for (double& gi : g) gi += inv * r.grad[0];
+  });
+  double acc = 0.0;
+  for (const double x : a.value()) acc += x;
+  out.value()[0] = acc * inv;
+  return out;
+}
+
+Tensor bernoulli_log_prob(Tensor logits, const std::vector<int>& actions) {
+  SC_CHECK(logits.size() == actions.size(),
+           "bernoulli_log_prob: one action per logit required");
+  for (const int a : actions) {
+    SC_CHECK(a == 0 || a == 1, "bernoulli actions must be 0/1, got " << a);
+  }
+
+  Tensor out = make_op({logits.size()}, {logits}, [logits, actions](TensorData& r) mutable {
+    if (!logits.requires_grad()) return;
+    auto& g = logits.grad();
+    const auto& z = logits.value();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double p = 1.0 / (1.0 + std::exp(-z[i]));
+      // d logp / dz = action - p
+      g[i] += (static_cast<double>(actions[i]) - p) * r.grad[i];
+    }
+  });
+  auto& v = out.value();
+  const auto& z = logits.value();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = actions[i] == 1 ? -softplus(-z[i]) : -softplus(z[i]);
+  }
+  return out;
+}
+
+Tensor bernoulli_entropy(Tensor logits) {
+  Tensor out = make_op(logits.shape(), {logits}, [logits](TensorData& r) mutable {
+    if (!logits.requires_grad()) return;
+    auto& g = logits.grad();
+    const auto& z = logits.value();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double p = 1.0 / (1.0 + std::exp(-z[i]));
+      g[i] += -z[i] * p * (1.0 - p) * r.grad[i];
+    }
+  });
+  auto& v = out.value();
+  const auto& z = logits.value();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double p = 1.0 / (1.0 + std::exp(-z[i]));
+    v[i] = p * softplus(-z[i]) + (1.0 - p) * softplus(z[i]);
+  }
+  return out;
+}
+
+Tensor categorical_log_prob(Tensor logits, const std::vector<int>& actions) {
+  SC_CHECK(logits.dim() == 2, "categorical_log_prob requires 2-D logits");
+  const std::size_t n = logits.rows(), k = logits.cols();
+  SC_CHECK(actions.size() == n, "categorical_log_prob: one action per row required");
+  for (const int a : actions) {
+    SC_CHECK(a >= 0 && static_cast<std::size_t>(a) < k,
+             "categorical action " << a << " out of range");
+  }
+
+  // Cache row-wise softmax for the backward pass.
+  auto probs = std::make_shared<std::vector<double>>(n * k);
+  {
+    const auto& z = logits.value();
+    for (std::size_t i = 0; i < n; ++i) {
+      double mx = z[i * k];
+      for (std::size_t j = 1; j < k; ++j) mx = std::max(mx, z[i * k + j]);
+      double denom = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        (*probs)[i * k + j] = std::exp(z[i * k + j] - mx);
+        denom += (*probs)[i * k + j];
+      }
+      for (std::size_t j = 0; j < k; ++j) (*probs)[i * k + j] /= denom;
+    }
+  }
+
+  Tensor out =
+      make_op({n}, {logits}, [logits, actions, probs, n, k](TensorData& r) mutable {
+        if (!logits.requires_grad()) return;
+        auto& g = logits.grad();
+        for (std::size_t i = 0; i < n; ++i) {
+          const double go = r.grad[i];
+          for (std::size_t j = 0; j < k; ++j) {
+            const double onehot = (static_cast<std::size_t>(actions[i]) == j) ? 1.0 : 0.0;
+            g[i * k + j] += (onehot - (*probs)[i * k + j]) * go;
+          }
+        }
+      });
+  auto& v = out.value();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = (*probs)[i * k + static_cast<std::size_t>(actions[i])];
+    v[i] = std::log(std::max(p, 1e-300));
+  }
+  return out;
+}
+
+Tensor softmax_rows(Tensor logits) {
+  SC_CHECK(logits.dim() == 2, "softmax_rows requires a 2-D tensor");
+  const std::size_t n = logits.rows(), k = logits.cols();
+
+  Tensor out = make_op({n, k}, {logits}, [logits, n, k](TensorData& r) mutable {
+    if (!logits.requires_grad()) return;
+    auto& g = logits.grad();
+    for (std::size_t i = 0; i < n; ++i) {
+      // dz_j = y_j * (dout_j - Σ_l dout_l y_l)
+      double dot = 0.0;
+      for (std::size_t j = 0; j < k; ++j) dot += r.grad[i * k + j] * r.value[i * k + j];
+      for (std::size_t j = 0; j < k; ++j) {
+        g[i * k + j] += r.value[i * k + j] * (r.grad[i * k + j] - dot);
+      }
+    }
+  });
+  auto& v = out.value();
+  const auto& z = logits.value();
+  for (std::size_t i = 0; i < n; ++i) {
+    double mx = z[i * k];
+    for (std::size_t j = 1; j < k; ++j) mx = std::max(mx, z[i * k + j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      v[i * k + j] = std::exp(z[i * k + j] - mx);
+      denom += v[i * k + j];
+    }
+    for (std::size_t j = 0; j < k; ++j) v[i * k + j] /= denom;
+  }
+  return out;
+}
+
+}  // namespace sc::nn

@@ -1,0 +1,63 @@
+// Differentiable operations over nn::Tensor.
+//
+// Shapes: 1-D tensors are treated as row vectors where sensible; matmul
+// requires 2-D operands. All ops validate shapes and record backward
+// closures while gradients are enabled.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace sc::nn {
+
+// ---- Elementwise ------------------------------------------------------------
+Tensor add(Tensor a, Tensor b);        ///< same shape, or b is a bias row
+Tensor sub(Tensor a, Tensor b);        ///< same shape
+Tensor mul(Tensor a, Tensor b);        ///< elementwise, same shape
+Tensor scale(Tensor a, double s);
+Tensor add_scalar(Tensor a, double s);
+Tensor tanh_op(Tensor a);
+Tensor sigmoid(Tensor a);
+Tensor relu(Tensor a);
+Tensor exp_op(Tensor a);
+Tensor log_op(Tensor a);                      ///< requires strictly positive input
+
+// ---- Linear algebra ---------------------------------------------------------
+Tensor matmul(Tensor a, Tensor b);     ///< (n,k) x (k,m) -> (n,m)
+Tensor matmul_nt(Tensor a, Tensor b);  ///< (n,k) x (m,k)^T -> (n,m)
+
+// ---- Shape / gather ---------------------------------------------------------
+/// Concatenates 2-D tensors along columns (same row count).
+Tensor concat_cols(std::vector<Tensor> parts);
+/// Selects rows of a 2-D tensor: result row i = x[index[i]].
+Tensor gather_rows(Tensor x, const std::vector<std::size_t>& index);
+/// Scatter-mean of rows into `num_targets` buckets: out[t] = mean of rows i
+/// with index[i] == t (zero row if a bucket is empty).
+Tensor scatter_mean(Tensor x, const std::vector<std::size_t>& index,
+                    std::size_t num_targets);
+/// Reshape without copying semantics changes (same element count).
+Tensor reshape(Tensor x, std::vector<std::size_t> shape);
+
+// ---- Reductions -------------------------------------------------------------
+Tensor sum(Tensor a);   ///< scalar
+Tensor mean(Tensor a);  ///< scalar
+
+// ---- Fused probability ops (numerically stable) ------------------------------
+/// Per-element Bernoulli log-likelihood of `actions` (0/1) under logits z:
+///   logp = action ? -softplus(-z) : -softplus(z)
+Tensor bernoulli_log_prob(Tensor logits, const std::vector<int>& actions);
+
+/// Row-wise categorical log-likelihood: logits (n,k), actions (n) in [0,k).
+Tensor categorical_log_prob(Tensor logits, const std::vector<int>& actions);
+
+/// Per-element entropy of Bernoulli(sigmoid(z)):
+///   H(z) = p*softplus(-z) + (1-p)*softplus(z),  dH/dz = -z * p * (1-p).
+/// Numerically stable at extreme logits (H -> 0).
+Tensor bernoulli_entropy(Tensor logits);
+
+/// Row-wise softmax of a 2-D tensor (forward-only convenience for sampling;
+/// differentiable as well).
+Tensor softmax_rows(Tensor logits);
+
+}  // namespace sc::nn

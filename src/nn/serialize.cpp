@@ -1,0 +1,65 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace sc::nn {
+
+void save_parameters(std::ostream& os, const std::vector<Tensor>& params) {
+  os << "scparams " << params.size() << '\n' << std::setprecision(17);
+  for (const Tensor& p : params) {
+    os << p.dim();
+    for (const std::size_t d : p.shape()) os << ' ' << d;
+    os << '\n';
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      os << p.value()[i] << (i + 1 == p.size() ? '\n' : ' ');
+    }
+  }
+  SC_CHECK(os.good(), "parameter write failed");
+}
+
+void load_parameters(std::istream& is, const std::vector<Tensor>& params) {
+  std::string magic;
+  std::size_t count = 0;
+  is >> magic >> count;
+  SC_CHECK(magic == "scparams", "not a parameter file");
+  SC_CHECK(count == params.size(),
+           "checkpoint has " << count << " tensors, model expects " << params.size());
+  for (const Tensor& p : params) {
+    std::size_t dims = 0;
+    is >> dims;
+    SC_CHECK(dims == p.dim(), "tensor rank mismatch in checkpoint");
+    std::vector<std::size_t> shape(dims);
+    for (auto& d : shape) is >> d;
+    SC_CHECK(shape == p.shape(), "tensor shape mismatch in checkpoint");
+    auto& value = const_cast<Tensor&>(p).value();
+    for (double& x : value) is >> x;
+    SC_CHECK(static_cast<bool>(is), "truncated parameter file");
+  }
+}
+
+void save_parameters(const std::string& path, const std::vector<Tensor>& params) {
+  std::ofstream os(path);
+  SC_CHECK(os.good(), "cannot open '" << path << "' for writing");
+  save_parameters(os, params);
+}
+
+void load_parameters(const std::string& path, const std::vector<Tensor>& params) {
+  std::ifstream is(path);
+  SC_CHECK(is.good(), "cannot open '" << path << "' for reading");
+  load_parameters(is, params);
+}
+
+void copy_parameters(const std::vector<Tensor>& src, const std::vector<Tensor>& dst) {
+  SC_CHECK(src.size() == dst.size(), "parameter list size mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    SC_CHECK(src[i].shape() == dst[i].shape(), "parameter shape mismatch at index " << i);
+    const_cast<Tensor&>(dst[i]).value() = src[i].value();
+  }
+}
+
+}  // namespace sc::nn

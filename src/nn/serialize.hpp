@@ -1,0 +1,23 @@
+// Model checkpointing: saves/loads a module's parameter list to a text file
+// (shape-checked on load, full double precision).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace sc::nn {
+
+void save_parameters(std::ostream& os, const std::vector<Tensor>& params);
+void load_parameters(std::istream& is, const std::vector<Tensor>& params);
+
+void save_parameters(const std::string& path, const std::vector<Tensor>& params);
+void load_parameters(const std::string& path, const std::vector<Tensor>& params);
+
+/// Copies parameter values from src to dst (shapes must match). Used for
+/// curriculum fine-tuning (warm start from a smaller level's checkpoint).
+void copy_parameters(const std::vector<Tensor>& src, const std::vector<Tensor>& dst);
+
+}  // namespace sc::nn

@@ -1,0 +1,142 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace sc::nn {
+
+namespace detail {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool grad_enabled() { return g_grad_enabled; }
+void set_grad_enabled(bool enabled) { g_grad_enabled = enabled; }
+
+}  // namespace detail
+
+std::size_t shape_size(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) n *= d;
+  return n;
+}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape, bool requires_grad) {
+  return full(std::move(shape), 0.0, requires_grad);
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, double fill, bool requires_grad) {
+  SC_CHECK(!shape.empty() && shape.size() <= 2, "tensors are 1-D or 2-D");
+  auto d = std::make_shared<detail::TensorData>();
+  d->value.assign(shape_size(shape), fill);
+  d->shape = std::move(shape);
+  d->requires_grad = requires_grad;
+  return wrap(std::move(d));
+}
+
+Tensor Tensor::from(std::vector<double> values, std::vector<std::size_t> shape,
+                    bool requires_grad) {
+  SC_CHECK(!shape.empty() && shape.size() <= 2, "tensors are 1-D or 2-D");
+  SC_CHECK(values.size() == shape_size(shape),
+           "value count " << values.size() << " does not match shape");
+  auto d = std::make_shared<detail::TensorData>();
+  d->shape = std::move(shape);
+  d->value = std::move(values);
+  d->requires_grad = requires_grad;
+  return wrap(std::move(d));
+}
+
+Tensor Tensor::scalar(double v, bool requires_grad) {
+  return from({v}, {1}, requires_grad);
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, Rng& rng, double stddev,
+                     bool requires_grad) {
+  Tensor t = zeros(std::move(shape), requires_grad);
+  for (double& x : t.value()) x = rng.normal(0.0, stddev);
+  return t;
+}
+
+Tensor Tensor::xavier(std::size_t rows, std::size_t cols, Rng& rng, bool requires_grad) {
+  Tensor t = zeros({rows, cols}, requires_grad);
+  const double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& x : t.value()) x = rng.uniform(-bound, bound);
+  return t;
+}
+
+std::size_t Tensor::rows() const {
+  const auto& s = data().shape;
+  return s[0];
+}
+
+std::size_t Tensor::cols() const {
+  const auto& s = data().shape;
+  SC_CHECK(s.size() == 2, "cols() requires a 2-D tensor");
+  return s[1];
+}
+
+std::vector<double>& Tensor::grad() {
+  data().ensure_grad();
+  return data().grad;
+}
+
+const std::vector<double>& Tensor::grad() const {
+  auto& d = const_cast<detail::TensorData&>(data());
+  d.ensure_grad();
+  return d.grad;
+}
+
+double Tensor::item() const {
+  SC_CHECK(size() == 1, "item() requires a scalar tensor, got size " << size());
+  return data().value[0];
+}
+
+double Tensor::at(std::size_t r, std::size_t c) const {
+  SC_CHECK(dim() == 2, "at(r, c) requires a 2-D tensor");
+  return data().value.at(r * cols() + c);
+}
+
+void Tensor::zero_grad() {
+  auto& d = data();
+  d.grad.assign(d.value.size(), 0.0);
+}
+
+void Tensor::backward() {
+  SC_CHECK(size() == 1, "backward() must start from a scalar loss");
+
+  // Topological order via iterative post-order DFS.
+  std::vector<detail::TensorData*> order;
+  std::unordered_set<detail::TensorData*> visited;
+  std::vector<std::pair<detail::TensorData*, std::size_t>> stack;
+  stack.emplace_back(&data(), 0);
+  visited.insert(&data());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->inputs.size()) {
+      detail::TensorData* next = node->inputs[idx].get();
+      ++idx;
+      if (visited.insert(next).second) stack.emplace_back(next, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  data().ensure_grad();
+  data().grad[0] = 1.0;
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::TensorData* node = *it;
+    if (node->backward_fn) node->backward_fn();
+  }
+
+  // Release the recorded graph (keeps leaf gradients).
+  for (detail::TensorData* node : order) {
+    node->backward_fn = nullptr;
+    node->inputs.clear();
+  }
+}
+
+}  // namespace sc::nn

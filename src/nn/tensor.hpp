@@ -1,0 +1,126 @@
+// Tensor: a reverse-mode autodiff tensor (1-D / 2-D, double precision).
+//
+// The paper's models were built in a Python DL stack; this library provides
+// the minimal from-scratch equivalent needed for the edge-aware GNN, the
+// edge-collapsing head, and the sequence-decoder baselines: dynamic graph
+// construction, reverse-mode backward(), and a no-grad inference mode.
+//
+// Tensors are cheap shared handles. Operations (see ops.hpp) record their
+// inputs and a backward closure while gradients are enabled; backward() on a
+// scalar loss topologically propagates gradients into every reachable
+// requires_grad leaf.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace sc::nn {
+
+class Tensor;
+
+namespace detail {
+
+struct TensorData {
+  std::vector<std::size_t> shape;
+  std::vector<double> value;
+  std::vector<double> grad;  // lazily sized on first backward touch
+  bool requires_grad = false;
+
+  // Autograd graph (populated only while gradients are enabled).
+  std::vector<std::shared_ptr<TensorData>> inputs;
+  std::function<void()> backward_fn;  // accumulates into inputs' grads
+
+  void ensure_grad() {
+    if (grad.size() != value.size()) grad.assign(value.size(), 0.0);
+  }
+};
+
+/// True while gradient recording is enabled on this thread.
+bool grad_enabled();
+void set_grad_enabled(bool enabled);
+
+}  // namespace detail
+
+/// RAII guard disabling gradient recording (inference mode).
+class NoGradGuard {
+public:
+  NoGradGuard() : prev_(detail::grad_enabled()) { detail::set_grad_enabled(false); }
+  ~NoGradGuard() { detail::set_grad_enabled(prev_); }
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+private:
+  bool prev_;
+};
+
+class Tensor {
+public:
+  Tensor() = default;
+
+  // ---- Construction -------------------------------------------------------
+  static Tensor zeros(std::vector<std::size_t> shape, bool requires_grad = false);
+  static Tensor full(std::vector<std::size_t> shape, double fill,
+                     bool requires_grad = false);
+  static Tensor from(std::vector<double> values, std::vector<std::size_t> shape,
+                     bool requires_grad = false);
+  static Tensor scalar(double v, bool requires_grad = false);
+  /// Gaussian init with the given stddev.
+  static Tensor randn(std::vector<std::size_t> shape, Rng& rng, double stddev,
+                      bool requires_grad = false);
+  /// Xavier/Glorot-uniform init for a (rows x cols) weight matrix.
+  static Tensor xavier(std::size_t rows, std::size_t cols, Rng& rng,
+                       bool requires_grad = true);
+
+  // ---- Introspection ------------------------------------------------------
+  bool defined() const { return data_ != nullptr; }
+  const std::vector<std::size_t>& shape() const { return data().shape; }
+  std::size_t dim() const { return data().shape.size(); }
+  std::size_t size() const { return data().value.size(); }
+  std::size_t rows() const;
+  std::size_t cols() const;
+  bool requires_grad() const { return data().requires_grad; }
+
+  std::vector<double>& value() { return data().value; }
+  const std::vector<double>& value() const { return data().value; }
+  std::vector<double>& grad();
+  const std::vector<double>& grad() const;
+
+  double item() const;                      ///< scalar value (size must be 1)
+  double at(std::size_t i) const { return data().value.at(i); }
+  double at(std::size_t r, std::size_t c) const;
+
+  // ---- Autograd -----------------------------------------------------------
+  /// Backpropagates from this scalar. Gradients accumulate into leaves.
+  /// The recorded graph is released afterwards.
+  void backward();
+  void zero_grad();
+
+  // Internal: used by ops.
+  detail::TensorData& data() {
+    SC_CHECK(data_ != nullptr, "operation on an undefined tensor");
+    return *data_;
+  }
+  const detail::TensorData& data() const {
+    SC_CHECK(data_ != nullptr, "operation on an undefined tensor");
+    return *data_;
+  }
+  const std::shared_ptr<detail::TensorData>& ptr() const { return data_; }
+  static Tensor wrap(std::shared_ptr<detail::TensorData> d) {
+    Tensor t;
+    t.data_ = std::move(d);
+    return t;
+  }
+
+private:
+  std::shared_ptr<detail::TensorData> data_;
+};
+
+/// Number of elements implied by a shape.
+std::size_t shape_size(const std::vector<std::size_t>& shape);
+
+}  // namespace sc::nn

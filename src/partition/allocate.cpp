@@ -1,0 +1,120 @@
+#include "partition/allocate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "graph/rates.hpp"
+
+namespace sc::partition {
+
+namespace {
+
+/// Capacity-proportional part fractions for heterogeneous clusters.
+std::vector<double> capacity_fractions(const sim::ClusterSpec& spec) {
+  std::vector<double> f(spec.num_devices);
+  for (std::size_t d = 0; d < spec.num_devices; ++d) f[d] = spec.mips_of(d);
+  return f;
+}
+
+/// Device ids ordered by capacity (descending, stable): the oracle's k-device
+/// subsets always take the k most capable devices.
+std::vector<std::size_t> devices_by_capacity(const sim::ClusterSpec& spec) {
+  std::vector<std::size_t> order(spec.num_devices);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return spec.mips_of(a) > spec.mips_of(b);
+  });
+  return order;
+}
+
+/// Partitions into the k most capable devices and returns labels that are
+/// real device ids.
+std::vector<int> partition_onto_top_devices(const MultilevelPartitioner& part,
+                                            const graph::WeightedGraph& wg,
+                                            const sim::ClusterSpec& spec,
+                                            std::size_t k) {
+  const auto order = devices_by_capacity(spec);
+  std::vector<double> fractions(k);
+  for (std::size_t q = 0; q < k; ++q) fractions[q] = spec.mips_of(order[q]);
+  std::vector<int> labels = part.partition(wg, fractions);
+  for (int& l : labels) l = static_cast<int>(order[static_cast<std::size_t>(l)]);
+  return labels;
+}
+
+}  // namespace
+
+sim::Placement metis_allocate(const graph::StreamGraph& g, const sim::ClusterSpec& spec,
+                              const PartitionOptions& opts) {
+  const graph::LoadProfile profile = graph::compute_load_profile(g);
+  const graph::WeightedGraph wg = graph::to_weighted(g, profile);
+  MultilevelPartitioner part(opts);
+  if (spec.heterogeneous()) return part.partition(wg, capacity_fractions(spec));
+  return part.partition(wg, spec.num_devices);
+}
+
+sim::Placement metis_allocate_coarse(const graph::WeightedGraph& coarse,
+                                     std::size_t num_devices,
+                                     const PartitionOptions& opts) {
+  MultilevelPartitioner part(opts);
+  return part.partition(coarse, num_devices);
+}
+
+sim::Placement metis_allocate_coarse(const graph::WeightedGraph& coarse,
+                                     const sim::ClusterSpec& spec,
+                                     const PartitionOptions& opts) {
+  MultilevelPartitioner part(opts);
+  if (spec.heterogeneous()) return part.partition(coarse, capacity_fractions(spec));
+  return part.partition(coarse, spec.num_devices);
+}
+
+sim::Placement metis_oracle_allocate(const graph::StreamGraph& g,
+                                     const sim::FluidSimulator& simulator,
+                                     const PartitionOptions& opts) {
+  const graph::LoadProfile profile = graph::compute_load_profile(g);
+  const graph::WeightedGraph wg = graph::to_weighted(g, profile);
+  MultilevelPartitioner part(opts);
+
+  sim::Placement best;
+  double best_tp = -1.0;
+  for (std::size_t k = 1; k <= simulator.spec().num_devices; ++k) {
+    sim::Placement p = partition_onto_top_devices(part, wg, simulator.spec(), k);
+    const double tp = simulator.throughput(p);
+    if (tp > best_tp) {
+      best_tp = tp;
+      best = std::move(p);
+    }
+  }
+  return best;
+}
+
+sim::Placement metis_oracle_allocate_coarse(const graph::Coarsening& coarsening,
+                                            const sim::FluidSimulator& simulator,
+                                            const PartitionOptions& opts) {
+  MultilevelPartitioner part(opts);
+  sim::Placement best_fine;
+  double best_tp = -1.0;
+  for (std::size_t k = 1; k <= simulator.spec().num_devices; ++k) {
+    const std::vector<int> coarse_p =
+        partition_onto_top_devices(part, coarsening.coarse, simulator.spec(), k);
+    sim::Placement fine = coarsening.expand_placement(coarse_p);
+    const double tp = simulator.throughput(fine);
+    if (tp > best_tp) {
+      best_tp = tp;
+      best_fine = std::move(fine);
+    }
+  }
+  return best_fine;
+}
+
+graph::Coarsening metis_coarsen(const graph::StreamGraph& g,
+                                const graph::LoadProfile& profile,
+                                std::size_t target_nodes, const PartitionOptions& opts) {
+  SC_CHECK(target_nodes >= 1, "target_nodes must be positive");
+  const graph::WeightedGraph wg = graph::to_weighted(g, profile);
+  MultilevelPartitioner part(opts);
+  const std::vector<graph::NodeId> groups = part.coarsen_to(wg, target_nodes);
+  return graph::contract_by_groups(g, profile, groups);
+}
+
+}  // namespace sc::partition

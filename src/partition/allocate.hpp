@@ -1,0 +1,49 @@
+// Stream-graph resource allocation via the multilevel partitioner — the
+// library's "Metis" baseline (Sec. VI-A) and "Metis-oracle" variant.
+#pragma once
+
+#include <vector>
+
+#include "graph/contraction.hpp"
+#include "graph/stream_graph.hpp"
+#include "partition/mlpart.hpp"
+#include "sim/cluster.hpp"
+#include "sim/fluid.hpp"
+
+namespace sc::partition {
+
+/// Partitions the graph's weighted view into exactly `spec.num_devices`
+/// parts and returns the resulting placement.
+sim::Placement metis_allocate(const graph::StreamGraph& g, const sim::ClusterSpec& spec,
+                              const PartitionOptions& opts = {});
+
+/// Partitions a coarse weighted graph into `num_devices` parts.
+sim::Placement metis_allocate_coarse(const graph::WeightedGraph& coarse,
+                                     std::size_t num_devices,
+                                     const PartitionOptions& opts = {});
+
+/// Spec-aware variant: honours heterogeneous device capacities.
+sim::Placement metis_allocate_coarse(const graph::WeightedGraph& coarse,
+                                     const sim::ClusterSpec& spec,
+                                     const PartitionOptions& opts = {});
+
+/// Metis-oracle (Sec. VI-B, excess-device setting): tries every device count
+/// k = 1..num_devices, simulates each allocation, returns the best placement.
+sim::Placement metis_oracle_allocate(const graph::StreamGraph& g,
+                                     const sim::FluidSimulator& simulator,
+                                     const PartitionOptions& opts = {});
+
+/// Oracle variant operating on a coarse graph; evaluates each k by expanding
+/// through `coarsening` and simulating on the original graph.
+sim::Placement metis_oracle_allocate_coarse(const graph::Coarsening& coarsening,
+                                            const sim::FluidSimulator& simulator,
+                                            const PartitionOptions& opts = {});
+
+/// Metis-style coarsening of a stream graph to ~target_nodes groups
+/// (used for the Fig. 3/9 comparisons and for Metis-guided RL signals).
+graph::Coarsening metis_coarsen(const graph::StreamGraph& g,
+                                const graph::LoadProfile& profile,
+                                std::size_t target_nodes,
+                                const PartitionOptions& opts = {});
+
+}  // namespace sc::partition

@@ -1,0 +1,74 @@
+#include "partition/matching.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace sc::partition {
+
+using graph::kInvalidNode;
+using graph::NodeId;
+using graph::WeightedEdge;
+using graph::WeightedGraph;
+
+std::vector<NodeId> heavy_edge_matching(const WeightedGraph& g, Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  std::vector<NodeId> match(n, kInvalidNode);
+
+  // Global greedy: visit edges heaviest-first (random shuffle breaks weight
+  // ties non-deterministically across calls with different rngs) and match
+  // both endpoints when still free. Unlike visit-order HEM, this guarantees
+  // the heaviest edge in any neighbourhood is matched.
+  std::vector<graph::EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), graph::EdgeId{0});
+  rng.shuffle(order);
+  std::stable_sort(order.begin(), order.end(), [&](graph::EdgeId x, graph::EdgeId y) {
+    return g.edge(x).weight > g.edge(y).weight;
+  });
+
+  for (const graph::EdgeId e : order) {
+    const NodeId a = g.edge(e).a;
+    const NodeId b = g.edge(e).b;
+    if (match[a] != kInvalidNode || match[b] != kInvalidNode) continue;
+    match[a] = b;
+    match[b] = a;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (match[v] == kInvalidNode) match[v] = v;  // stays single
+  }
+  return match;
+}
+
+Contraction contract_matching(const WeightedGraph& g, const std::vector<NodeId>& match) {
+  SC_CHECK(match.size() == g.num_nodes(), "matching size mismatch");
+  const std::size_t n = g.num_nodes();
+
+  Contraction c;
+  c.map.assign(n, kInvalidNode);
+  NodeId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (c.map[v] != kInvalidNode) continue;
+    const NodeId u = match[v];
+    SC_CHECK(u < n && (match[u] == v || u == v), "inconsistent matching at node " << v);
+    c.map[v] = next;
+    if (u != v) c.map[u] = next;
+    ++next;
+  }
+
+  std::vector<double> weights(next, 0.0);
+  for (NodeId v = 0; v < n; ++v) weights[c.map[v]] += g.node_weight(v);
+
+  std::vector<WeightedEdge> edges;
+  edges.reserve(g.num_edges());
+  for (const WeightedEdge& e : g.edges()) {
+    const NodeId a = c.map[e.a];
+    const NodeId b = c.map[e.b];
+    if (a == b) continue;
+    edges.push_back(WeightedEdge{a, b, e.weight});
+  }
+  c.coarse = WeightedGraph(std::move(weights), edges);
+  return c;
+}
+
+}  // namespace sc::partition

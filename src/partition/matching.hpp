@@ -1,0 +1,27 @@
+// Heavy-edge matching and matching-based contraction — the coarsening phase
+// of the multilevel partitioner (Karypis–Kumar style).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace sc::partition {
+
+/// Returns match[v] = partner of v (or v itself if unmatched). Nodes are
+/// visited in random order and matched to their heaviest unmatched neighbor.
+std::vector<graph::NodeId> heavy_edge_matching(const graph::WeightedGraph& g, Rng& rng);
+
+/// Result of contracting a matching (or any node->coarse label map).
+struct Contraction {
+  graph::WeightedGraph coarse;
+  std::vector<graph::NodeId> map;  ///< fine node -> coarse node
+};
+
+/// Contracts matched pairs into single coarse nodes (weights summed,
+/// parallel coarse edges merged).
+Contraction contract_matching(const graph::WeightedGraph& g,
+                              const std::vector<graph::NodeId>& match);
+
+}  // namespace sc::partition

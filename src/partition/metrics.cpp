@@ -1,0 +1,38 @@
+#include "partition/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sc::partition {
+
+double cut_weight(const graph::WeightedGraph& g, const std::vector<int>& part) {
+  SC_CHECK(part.size() == g.num_nodes(), "partition size mismatch");
+  double cut = 0.0;
+  for (const graph::WeightedEdge& e : g.edges()) {
+    if (part[e.a] != part[e.b]) cut += e.weight;
+  }
+  return cut;
+}
+
+std::vector<double> part_weights(const graph::WeightedGraph& g,
+                                 const std::vector<int>& part, std::size_t k) {
+  SC_CHECK(part.size() == g.num_nodes(), "partition size mismatch");
+  std::vector<double> w(k, 0.0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    SC_CHECK(part[v] >= 0 && static_cast<std::size_t>(part[v]) < k,
+             "node " << v << " assigned to invalid part " << part[v]);
+    w[static_cast<std::size_t>(part[v])] += g.node_weight(v);
+  }
+  return w;
+}
+
+double imbalance(const graph::WeightedGraph& g, const std::vector<int>& part,
+                 std::size_t k) {
+  const auto w = part_weights(g, part, k);
+  const double avg = g.total_node_weight() / static_cast<double>(k);
+  if (avg <= 0.0) return 1.0;
+  return *std::max_element(w.begin(), w.end()) / avg;
+}
+
+}  // namespace sc::partition

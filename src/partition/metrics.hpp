@@ -1,0 +1,22 @@
+// Partition quality metrics: weighted edge cut, part weights, imbalance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+
+namespace sc::partition {
+
+/// Sum of weights of edges whose endpoints lie in different parts.
+double cut_weight(const graph::WeightedGraph& g, const std::vector<int>& part);
+
+/// Total node weight per part (size k).
+std::vector<double> part_weights(const graph::WeightedGraph& g,
+                                 const std::vector<int>& part, std::size_t k);
+
+/// max part weight / (total weight / k); 1.0 is perfectly balanced.
+double imbalance(const graph::WeightedGraph& g, const std::vector<int>& part,
+                 std::size_t k);
+
+}  // namespace sc::partition

@@ -1,0 +1,263 @@
+#include "partition/mlpart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "partition/matching.hpp"
+#include "partition/metrics.hpp"
+#include "partition/refine.hpp"
+
+namespace sc::partition {
+
+namespace {
+
+using graph::kInvalidNode;
+using graph::NodeId;
+using graph::WeightedEdge;
+using graph::WeightedGraph;
+
+/// Induced subgraph over `keep` (in order); returns graph + fine ids.
+struct SubGraph {
+  WeightedGraph g;
+  std::vector<NodeId> to_parent;
+};
+
+SubGraph induce(const WeightedGraph& g, const std::vector<NodeId>& keep) {
+  SC_ASSERT(!keep.empty(), "cannot induce an empty subgraph");
+  std::vector<NodeId> to_sub(g.num_nodes(), kInvalidNode);
+  std::vector<double> weights;
+  weights.reserve(keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    to_sub[keep[i]] = static_cast<NodeId>(i);
+    weights.push_back(g.node_weight(keep[i]));
+  }
+  std::vector<WeightedEdge> edges;
+  for (const WeightedEdge& e : g.edges()) {
+    const NodeId a = to_sub[e.a];
+    const NodeId b = to_sub[e.b];
+    if (a == kInvalidNode || b == kInvalidNode) continue;
+    edges.push_back(WeightedEdge{a, b, e.weight});
+  }
+  return SubGraph{WeightedGraph(std::move(weights), edges), keep};
+}
+
+/// Greedy region growing: grows part 0 from a random seed toward target0,
+/// preferring nodes most strongly connected to the grown region.
+std::vector<int> grow_bisection(const WeightedGraph& g, double target0, Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  std::vector<int> part(n, 1);
+  std::vector<double> conn(n, 0.0);  // connectivity to part 0
+  std::vector<bool> in0(n, false);
+
+  double w0 = 0.0;
+  NodeId seed = static_cast<NodeId>(rng.index(n));
+  for (;;) {
+    // Add `seed` (or the best boundary candidate) to part 0.
+    part[seed] = 0;
+    in0[seed] = true;
+    w0 += g.node_weight(seed);
+    if (w0 >= target0) break;
+    for (const graph::EdgeId e : g.incident(seed)) {
+      const NodeId u = g.other(e, seed);
+      if (!in0[u]) conn[u] += g.edge(e).weight;
+    }
+    // Pick the most-connected unassigned node; fall back to any unassigned
+    // node (disconnected component) if the frontier is empty.
+    NodeId best = kInvalidNode;
+    double best_conn = -1.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (in0[v]) continue;
+      if (conn[v] > best_conn) {
+        best_conn = conn[v];
+        best = v;
+      }
+    }
+    if (best == kInvalidNode) break;  // everything assigned
+    seed = best;
+  }
+  return part;
+}
+
+std::vector<int> bisect(const WeightedGraph& g, double target0, double eps,
+                        std::size_t trials, std::size_t refine_passes, Rng& rng) {
+  std::vector<int> best;
+  double best_cut = std::numeric_limits<double>::infinity();
+  double best_bal = std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < std::max<std::size_t>(1, trials); ++t) {
+    std::vector<int> part = grow_bisection(g, target0, rng);
+    const double cut = fm_refine_bisection(g, part, target0, eps, refine_passes);
+    // Prefer lower cut; break ties toward balance against target0.
+    const auto w = part_weights(g, part, 2);
+    const double bal = std::abs(w[0] - target0);
+    if (cut < best_cut - 1e-12 || (std::abs(cut - best_cut) <= 1e-12 && bal < best_bal)) {
+      best_cut = cut;
+      best_bal = bal;
+      best = std::move(part);
+    }
+  }
+  return best;
+}
+
+/// Recursive bisection into parts labelled [label_base, label_base +
+/// fractions.size()), with part weights proportional to `fractions`.
+void recursive_bisect(const WeightedGraph& g, const std::vector<double>& fractions,
+                      int label_base, double eps, std::size_t trials,
+                      std::size_t refine_passes, Rng& rng,
+                      const std::vector<NodeId>& to_parent, std::vector<int>& out) {
+  const std::size_t k = fractions.size();
+  if (k <= 1) {
+    for (const NodeId v : to_parent) out[v] = label_base;
+    return;
+  }
+  const std::size_t k1 = k / 2;
+  double frac_total = 0.0, frac_first = 0.0;
+  for (std::size_t q = 0; q < k; ++q) {
+    frac_total += fractions[q];
+    if (q < k1) frac_first += fractions[q];
+  }
+  const double target0 = g.total_node_weight() * frac_first / frac_total;
+
+  std::vector<int> part = bisect(g, target0, eps, trials, refine_passes, rng);
+
+  std::vector<NodeId> side0, side1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    (part[v] == 0 ? side0 : side1).push_back(v);
+  }
+  // Degenerate split (tiny graphs): fall back to round-robin.
+  if (side0.empty() || side1.empty()) {
+    for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+      out[to_parent[i]] = label_base + static_cast<int>(i % k);
+    }
+    return;
+  }
+
+  SubGraph s0 = induce(g, side0);
+  SubGraph s1 = induce(g, side1);
+  // Lift sub ids back to the parent's id space for the recursion output.
+  std::vector<NodeId> lift0(s0.to_parent.size()), lift1(s1.to_parent.size());
+  for (std::size_t i = 0; i < s0.to_parent.size(); ++i) lift0[i] = to_parent[s0.to_parent[i]];
+  for (std::size_t i = 0; i < s1.to_parent.size(); ++i) lift1[i] = to_parent[s1.to_parent[i]];
+
+  const std::vector<double> frac0(fractions.begin(), fractions.begin() + static_cast<long>(k1));
+  const std::vector<double> frac1(fractions.begin() + static_cast<long>(k1), fractions.end());
+  recursive_bisect(s0.g, frac0, label_base, eps, trials, refine_passes, rng, lift0, out);
+  recursive_bisect(s1.g, frac1, label_base + static_cast<int>(k1), eps, trials,
+                   refine_passes, rng, lift1, out);
+}
+
+}  // namespace
+
+std::vector<int> MultilevelPartitioner::partition(const WeightedGraph& g,
+                                                  std::size_t k) const {
+  SC_CHECK(k >= 1, "k must be positive");
+  return partition(g, std::vector<double>(k, 1.0));
+}
+
+std::vector<int> MultilevelPartitioner::partition(
+    const WeightedGraph& g, const std::vector<double>& fractions) const {
+  SC_CHECK(!fractions.empty(), "need at least one part");
+  for (const double f : fractions) {
+    SC_CHECK(f > 0.0, "part fractions must be positive");
+  }
+  if (fractions.size() == 1) return std::vector<int>(g.num_nodes(), 0);
+
+  std::vector<int> best;
+  double best_cut = std::numeric_limits<double>::infinity();
+  double best_imb = std::numeric_limits<double>::infinity();
+  const std::size_t restarts = std::max<std::size_t>(1, opts_.restarts);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    std::vector<int> part = partition_attempt(g, fractions, opts_.seed + r * 7919);
+    const double cut = cut_weight(g, part);
+    const double imb = imbalance(g, part, fractions.size());
+    if (cut < best_cut - 1e-12 ||
+        (std::abs(cut - best_cut) <= 1e-12 && imb < best_imb)) {
+      best_cut = cut;
+      best_imb = imb;
+      best = std::move(part);
+    }
+  }
+  return best;
+}
+
+std::vector<int> MultilevelPartitioner::partition_attempt(
+    const WeightedGraph& g, const std::vector<double>& fractions,
+    std::uint64_t seed) const {
+  const std::size_t k = fractions.size();
+
+  Rng rng(seed);
+  const std::size_t stop =
+      opts_.coarsen_until > 0 ? opts_.coarsen_until : std::max<std::size_t>(30, 8 * k);
+
+  // ---- Coarsening ---------------------------------------------------------
+  std::vector<Contraction> levels;
+  const WeightedGraph* cur = &g;
+  while (cur->num_nodes() > stop) {
+    auto match = heavy_edge_matching(*cur, rng);
+    Contraction c = contract_matching(*cur, match);
+    // Stop if matching no longer shrinks the graph meaningfully.
+    if (c.coarse.num_nodes() >= cur->num_nodes() * 95 / 100) break;
+    levels.push_back(std::move(c));
+    cur = &levels.back().coarse;
+  }
+
+  // Per-part absolute weight targets for refinement (capacity-proportional).
+  double frac_total = 0.0;
+  for (const double f : fractions) frac_total += f;
+  const auto targets_for = [&](const WeightedGraph& wg) {
+    std::vector<double> t(k);
+    for (std::size_t q = 0; q < k; ++q) {
+      t[q] = wg.total_node_weight() * fractions[q] / frac_total;
+    }
+    return t;
+  };
+
+  // ---- Initial partition on the coarsest graph ----------------------------
+  std::vector<int> part(cur->num_nodes(), 0);
+  {
+    std::vector<NodeId> identity(cur->num_nodes());
+    std::iota(identity.begin(), identity.end(), NodeId{0});
+    recursive_bisect(*cur, fractions, 0, opts_.imbalance_eps, opts_.bisection_trials,
+                     opts_.refine_passes, rng, identity, part);
+    greedy_kway_refine(*cur, part, targets_for(*cur), opts_.imbalance_eps,
+                       opts_.refine_passes);
+  }
+
+  // ---- Uncoarsening with refinement ---------------------------------------
+  for (std::size_t lvl = levels.size(); lvl > 0; --lvl) {
+    const Contraction& c = levels[lvl - 1];
+    const WeightedGraph& fine = (lvl == 1) ? g : levels[lvl - 2].coarse;
+    std::vector<int> fine_part(fine.num_nodes());
+    for (NodeId v = 0; v < fine.num_nodes(); ++v) fine_part[v] = part[c.map[v]];
+    greedy_kway_refine(fine, fine_part, targets_for(fine), opts_.imbalance_eps,
+                       opts_.refine_passes);
+    part = std::move(fine_part);
+  }
+  return part;
+}
+
+std::vector<NodeId> MultilevelPartitioner::coarsen_to(const WeightedGraph& g,
+                                                      std::size_t target_nodes) const {
+  SC_CHECK(target_nodes >= 1, "target_nodes must be positive");
+  Rng rng(opts_.seed);
+
+  std::vector<NodeId> map(g.num_nodes());
+  std::iota(map.begin(), map.end(), NodeId{0});
+
+  WeightedGraph cur_store;
+  const WeightedGraph* cur = &g;
+  while (cur->num_nodes() > target_nodes) {
+    auto match = heavy_edge_matching(*cur, rng);
+    Contraction c = contract_matching(*cur, match);
+    if (c.coarse.num_nodes() == cur->num_nodes()) break;  // no progress
+    for (NodeId v = 0; v < map.size(); ++v) map[v] = c.map[map[v]];
+    cur_store = std::move(c.coarse);
+    cur = &cur_store;
+  }
+  return map;
+}
+
+}  // namespace sc::partition

@@ -1,0 +1,205 @@
+#include "partition/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "partition/metrics.hpp"
+
+namespace sc::partition {
+
+using graph::NodeId;
+using graph::WeightedGraph;
+
+double fm_refine_bisection(const WeightedGraph& g, std::vector<int>& part,
+                           double target0, double eps, std::size_t max_passes) {
+  SC_CHECK(part.size() == g.num_nodes(), "partition size mismatch");
+  const std::size_t n = g.num_nodes();
+  const double total = g.total_node_weight();
+  const double target1 = total - target0;
+  // Strict caps define which prefixes may be committed; exploratory caps let
+  // a pass walk through temporarily imbalanced states (classic FM behaviour —
+  // without this, a balanced-but-poor start has no legal first move).
+  double max_node_w = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_node_w = std::max(max_node_w, g.node_weight(v));
+  }
+  const double cap0 = (1.0 + eps) * std::max(target0, 1e-12);
+  const double cap1 = (1.0 + eps) * std::max(target1, 1e-12);
+  const double explore0 = std::max(cap0, target0 + max_node_w);
+  const double explore1 = std::max(cap1, target1 + max_node_w);
+
+  double side_w[2] = {0.0, 0.0};
+  for (NodeId v = 0; v < n; ++v) side_w[part[v]] += g.node_weight(v);
+
+  double cut = cut_weight(g, part);
+
+  // gain[v] = cut reduction if v switches sides.
+  std::vector<double> gain(n, 0.0);
+  const auto recompute_gain = [&](NodeId v) {
+    double gv = 0.0;
+    for (const graph::EdgeId e : g.incident(v)) {
+      const NodeId u = g.other(e, v);
+      gv += (part[u] != part[v]) ? g.edge(e).weight : -g.edge(e).weight;
+    }
+    gain[v] = gv;
+  };
+
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    for (NodeId v = 0; v < n; ++v) recompute_gain(v);
+    std::vector<bool> locked(n, false);
+    std::vector<NodeId> moves;
+    moves.reserve(n);
+    double best_cut = cut;
+    std::size_t best_prefix = 0;
+    double running = cut;
+
+    for (std::size_t step = 0; step < n; ++step) {
+      // Best unlocked node whose move keeps the destination side within the
+      // exploratory bound.
+      NodeId pick = graph::kInvalidNode;
+      double pick_gain = -std::numeric_limits<double>::infinity();
+      for (NodeId v = 0; v < n; ++v) {
+        if (locked[v]) continue;
+        const int to = 1 - part[v];
+        const double new_w = side_w[to] + g.node_weight(v);
+        if ((to == 0 ? new_w > explore0 : new_w > explore1)) continue;
+        if (gain[v] > pick_gain) {
+          pick_gain = gain[v];
+          pick = v;
+        }
+      }
+      if (pick == graph::kInvalidNode) break;
+
+      // Tentatively move (FM allows negative-gain moves, rolled back later).
+      const int from = part[pick];
+      const int to = 1 - from;
+      side_w[from] -= g.node_weight(pick);
+      side_w[to] += g.node_weight(pick);
+      part[pick] = to;
+      locked[pick] = true;
+      running -= pick_gain;
+      moves.push_back(pick);
+      for (const graph::EdgeId e : g.incident(pick)) {
+        recompute_gain(g.other(e, pick));
+      }
+      // Only prefixes satisfying the strict balance caps may be committed.
+      const bool feasible = side_w[0] <= cap0 + 1e-12 && side_w[1] <= cap1 + 1e-12;
+      if (feasible && running < best_cut - 1e-12) {
+        best_cut = running;
+        best_prefix = moves.size();
+      }
+    }
+
+    // Roll back moves beyond the best prefix.
+    for (std::size_t i = moves.size(); i > best_prefix; --i) {
+      const NodeId v = moves[i - 1];
+      const int from = part[v];
+      const int to = 1 - from;
+      side_w[from] -= g.node_weight(v);
+      side_w[to] += g.node_weight(v);
+      part[v] = to;
+    }
+
+    if (best_cut >= cut - 1e-12) {
+      cut = best_cut;
+      break;  // no improvement this pass
+    }
+    cut = best_cut;
+  }
+  return cut;
+}
+
+double greedy_kway_refine(const WeightedGraph& g, std::vector<int>& part, std::size_t k,
+                          double eps, std::size_t max_passes) {
+  SC_CHECK(k >= 1, "k must be positive");
+  const std::vector<double> targets(
+      k, g.total_node_weight() / static_cast<double>(k));
+  return greedy_kway_refine(g, part, targets, eps, max_passes);
+}
+
+double greedy_kway_refine(const WeightedGraph& g, std::vector<int>& part,
+                          const std::vector<double>& targets, double eps,
+                          std::size_t max_passes) {
+  SC_CHECK(part.size() == g.num_nodes(), "partition size mismatch");
+  SC_CHECK(!targets.empty(), "need at least one part");
+  const std::size_t k = targets.size();
+  const std::size_t n = g.num_nodes();
+  std::vector<double> lmax(k);
+  for (std::size_t q = 0; q < k; ++q) {
+    SC_CHECK(targets[q] >= 0.0, "part targets must be non-negative");
+    lmax[q] = (1.0 + eps) * targets[q];
+  }
+
+  std::vector<double> weight(k, 0.0);
+  for (NodeId v = 0; v < n; ++v) weight[static_cast<std::size_t>(part[v])] += g.node_weight(v);
+
+  std::vector<double> conn(k, 0.0);
+  std::vector<int> touched;
+  touched.reserve(16);
+
+  double cut = cut_weight(g, part);
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool moved_any = false;
+    for (NodeId v = 0; v < n; ++v) {
+      // Connectivity of v to each neighboring part.
+      for (const int q : touched) conn[static_cast<std::size_t>(q)] = 0.0;
+      touched.clear();
+      for (const graph::EdgeId e : g.incident(v)) {
+        const int q = part[g.other(e, v)];
+        if (conn[static_cast<std::size_t>(q)] == 0.0) touched.push_back(q);
+        conn[static_cast<std::size_t>(q)] += g.edge(e).weight;
+      }
+      const int cur = part[v];
+      const double internal = conn[static_cast<std::size_t>(cur)];
+      const bool overweight =
+          weight[static_cast<std::size_t>(cur)] > lmax[static_cast<std::size_t>(cur)];
+      int best = cur;
+      double best_gain = overweight ? -std::numeric_limits<double>::infinity() : 0.0;
+      for (const int q : touched) {
+        if (q == cur) continue;
+        if (weight[static_cast<std::size_t>(q)] + g.node_weight(v) >
+            lmax[static_cast<std::size_t>(q)]) {
+          continue;
+        }
+        const double gain = conn[static_cast<std::size_t>(q)] - internal;
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best = q;
+        }
+      }
+      // Active rebalancing: an overweight part evicts even when no neighbor
+      // part helps the cut — fall back to the part with most relative
+      // headroom (fill fraction of its target).
+      if (overweight && best == cur) {
+        const auto fill = [&](std::size_t q) {
+          return weight[q] / std::max(targets[q], 1e-12);
+        };
+        int lightest = cur;
+        for (std::size_t q = 0; q < k; ++q) {
+          if (fill(q) < fill(static_cast<std::size_t>(lightest))) {
+            lightest = static_cast<int>(q);
+          }
+        }
+        if (lightest != cur &&
+            weight[static_cast<std::size_t>(lightest)] + g.node_weight(v) <=
+                lmax[static_cast<std::size_t>(lightest)]) {
+          best = lightest;
+          best_gain = conn[static_cast<std::size_t>(lightest)] - internal;
+        }
+      }
+      if (best != cur) {
+        weight[static_cast<std::size_t>(cur)] -= g.node_weight(v);
+        weight[static_cast<std::size_t>(best)] += g.node_weight(v);
+        part[v] = best;
+        cut -= best_gain;
+        moved_any = true;
+      }
+    }
+    if (!moved_any) break;
+  }
+  return cut;
+}
+
+}  // namespace sc::partition

@@ -1,0 +1,57 @@
+#include "rl/buffer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sc::rl {
+
+SampleBuffer::SampleBuffer(std::size_t num_graphs, std::size_t capacity_per_graph)
+    : entries_(num_graphs), capacity_(capacity_per_graph) {
+  SC_CHECK(capacity_per_graph > 0, "buffer capacity must be positive");
+}
+
+bool SampleBuffer::insert(std::size_t graph_index, Episode episode) {
+  SC_CHECK(graph_index < entries_.size(), "graph index out of range");
+  auto& list = entries_[graph_index];
+
+  // Collapse duplicates: identical masks keep the max reward (rewards are
+  // deterministic here, but placers may be stochastic across versions).
+  for (auto& e : list) {
+    if (e.mask == episode.mask) {
+      if (episode.reward > e.reward) e = std::move(episode);
+      std::stable_sort(list.begin(), list.end(),
+                       [](const Episode& a, const Episode& b) { return a.reward > b.reward; });
+      return true;
+    }
+  }
+
+  if (list.size() >= capacity_ && episode.reward <= list.back().reward) {
+    return false;  // would be trimmed straight away
+  }
+  list.push_back(std::move(episode));
+  std::stable_sort(list.begin(), list.end(),
+                   [](const Episode& a, const Episode& b) { return a.reward > b.reward; });
+  if (list.size() > capacity_) list.resize(capacity_);
+  return true;
+}
+
+std::vector<Episode> SampleBuffer::best(std::size_t graph_index, std::size_t limit) const {
+  SC_CHECK(graph_index < entries_.size(), "graph index out of range");
+  const auto& list = entries_[graph_index];
+  std::vector<Episode> out(list.begin(),
+                           list.begin() + static_cast<long>(std::min(limit, list.size())));
+  return out;
+}
+
+double SampleBuffer::best_reward(std::size_t graph_index) const {
+  SC_CHECK(graph_index < entries_.size(), "graph index out of range");
+  return entries_[graph_index].empty() ? 0.0 : entries_[graph_index].front().reward;
+}
+
+std::size_t SampleBuffer::size(std::size_t graph_index) const {
+  SC_CHECK(graph_index < entries_.size(), "graph index out of range");
+  return entries_[graph_index].size();
+}
+
+}  // namespace sc::rl

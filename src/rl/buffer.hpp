@@ -1,0 +1,35 @@
+// SampleBuffer: per-graph memory of the historically best edge-collapse
+// samples (the paper keeps "up to 3 samples from the memory buffer" per
+// training step, seeded with Metis-guided masks during cold start).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/rollout.hpp"
+
+namespace sc::rl {
+
+class SampleBuffer {
+public:
+  explicit SampleBuffer(std::size_t num_graphs, std::size_t capacity_per_graph = 5);
+
+  /// Inserts an episode; keeps the top `capacity` by reward (duplicate masks
+  /// are collapsed, keeping the better reward). Returns true if retained.
+  bool insert(std::size_t graph_index, Episode episode);
+
+  /// Best episodes for a graph (sorted by reward desc), at most `limit`.
+  std::vector<Episode> best(std::size_t graph_index, std::size_t limit) const;
+
+  /// Highest reward recorded for a graph (0 if empty).
+  double best_reward(std::size_t graph_index) const;
+
+  std::size_t size(std::size_t graph_index) const;
+  std::size_t num_graphs() const { return entries_.size(); }
+
+private:
+  std::vector<std::vector<Episode>> entries_;  // sorted by reward desc
+  std::size_t capacity_;
+};
+
+}  // namespace sc::rl

@@ -1,0 +1,45 @@
+#include "rl/curriculum.hpp"
+
+#include "common/log.hpp"
+
+namespace sc::rl {
+
+CurriculumLevel make_level(std::string name, std::vector<graph::StreamGraph> graphs,
+                           const gen::GeneratorConfig& cfg, std::size_t epochs) {
+  CurriculumLevel level;
+  level.name = std::move(name);
+  level.graphs = std::move(graphs);
+  level.spec = to_cluster_spec(cfg.workload);
+  level.epochs = epochs;
+  return level;
+}
+
+std::vector<LevelReport> run_curriculum(gnn::CoarseningPolicy& policy,
+                                        std::vector<CurriculumLevel>& levels,
+                                        const CoarsePlacer& placer,
+                                        const TrainerConfig& cfg) {
+  std::vector<LevelReport> reports;
+  std::uint64_t seed = cfg.seed;
+  for (CurriculumLevel& level : levels) {
+    LevelReport report;
+    report.name = level.name;
+
+    auto contexts = make_contexts(level.graphs, level.spec);
+    TrainerConfig level_cfg = cfg;
+    level_cfg.seed = seed++;
+    ReinforceTrainer trainer(policy, contexts, placer, level_cfg);
+    for (std::size_t e = 0; e < level.epochs; ++e) {
+      EpochStats stats = trainer.train_epoch();
+      SC_LOG(Info) << "curriculum level '" << level.name << "' epoch " << e
+                   << ": sample_r=" << stats.mean_sample_reward
+                   << " best_r=" << stats.mean_best_reward
+                   << " greedy_r=" << stats.mean_greedy_reward
+                   << " compress=" << stats.mean_compression;
+      report.epochs.push_back(stats);
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace sc::rl

@@ -1,0 +1,37 @@
+// Curriculum learning driver (Sec. IV-C): train the same policy through a
+// sequence of levels (small graphs / few devices first), fine-tuning at each
+// level, optionally with Metis-guided cold-start samples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/dataset.hpp"
+#include "rl/reinforce.hpp"
+
+namespace sc::rl {
+
+struct CurriculumLevel {
+  std::string name;
+  std::vector<graph::StreamGraph> graphs;  ///< training graphs for this level
+  sim::ClusterSpec spec;
+  std::size_t epochs = 1;
+};
+
+struct LevelReport {
+  std::string name;
+  std::vector<EpochStats> epochs;
+};
+
+/// Builds a level from a generated dataset split.
+CurriculumLevel make_level(std::string name, std::vector<graph::StreamGraph> graphs,
+                           const gen::GeneratorConfig& cfg, std::size_t epochs);
+
+/// Trains `policy` through the levels in order, carrying the parameters
+/// forward (the paper's graph-size curriculum). Returns per-level stats.
+std::vector<LevelReport> run_curriculum(gnn::CoarseningPolicy& policy,
+                                        std::vector<CurriculumLevel>& levels,
+                                        const CoarsePlacer& placer,
+                                        const TrainerConfig& cfg);
+
+}  // namespace sc::rl

@@ -1,0 +1,159 @@
+#include "rl/reinforce.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "graph/contraction.hpp"
+#include "nn/ops.hpp"
+
+namespace sc::rl {
+
+ReinforceTrainer::ReinforceTrainer(gnn::CoarseningPolicy& policy,
+                                   std::vector<GraphContext>& contexts,
+                                   CoarsePlacer placer, const TrainerConfig& cfg)
+    : policy_(policy),
+      contexts_(contexts),
+      placer_(std::move(placer)),
+      cfg_(cfg),
+      buffer_(contexts.size(), cfg.buffer_capacity),
+      optimizer_(policy.parameters(), cfg.adam),
+      rng_(cfg.seed) {
+  SC_CHECK(!contexts_.empty(), "trainer needs at least one graph context");
+  SC_CHECK(cfg_.on_policy_samples > 0, "need at least one on-policy sample");
+  if (cfg_.metis_guidance) seed_metis_guidance();
+}
+
+void ReinforceTrainer::seed_metis_guidance() {
+  // For every training graph: run the multilevel partitioner as Metis would,
+  // treat its device groups as a coarsening, and recover an edge-collapse
+  // mask via maximum-spanning-tree selection (Sec. IV-C). These episodes act
+  // as informative cold-start samples and are naturally evicted once the
+  // policy discovers better masks.
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<Episode> seeds(contexts_.size());
+  pool.parallel_for(contexts_.size(), [&](std::size_t i) {
+    const GraphContext& ctx = contexts_[i];
+    const sim::Placement metis_p = partition::metis_allocate(
+        *ctx.graph, ctx.simulator.spec(), cfg_.partition_opts);
+    std::vector<graph::NodeId> groups(metis_p.begin(), metis_p.end());
+    const auto mask_bits = graph::mask_from_groups(*ctx.graph, ctx.profile, groups);
+    gnn::EdgeMask mask(mask_bits.size());
+    for (std::size_t e = 0; e < mask.size(); ++e) mask[e] = mask_bits[e] ? 1 : 0;
+    seeds[i] = evaluate_mask(ctx, mask, placer_);
+  });
+  pool.wait();
+  for (std::size_t i = 0; i < seeds.size(); ++i) buffer_.insert(i, std::move(seeds[i]));
+}
+
+EpochStats ReinforceTrainer::train_epoch() {
+  EpochStats stats;
+  ThreadPool& pool = ThreadPool::global();
+
+  std::vector<std::size_t> order(contexts_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng_.shuffle(order);
+
+  for (const std::size_t gi : order) {
+    const GraphContext& ctx = contexts_[gi];
+
+    // 1. Sample on-policy masks without recording gradients.
+    std::vector<gnn::EdgeMask> masks;
+    {
+      nn::NoGradGuard no_grad;
+      const nn::Tensor logit_tensor = policy_.logits(ctx.features);
+      for (std::size_t s = 0; s < cfg_.on_policy_samples; ++s) {
+        masks.push_back(policy_.sample(logit_tensor.value(), rng_));
+      }
+    }
+
+    // 2. Evaluate rewards in parallel (contract + partition + simulate).
+    std::vector<Episode> episodes(masks.size());
+    pool.parallel_for(masks.size(), [&](std::size_t s) {
+      episodes[s] = evaluate_mask(ctx, masks[s], placer_);
+    });
+    pool.wait();
+
+    double on_policy_sum = 0.0;
+    for (const Episode& ep : episodes) on_policy_sum += ep.reward;
+    stats.mean_sample_reward += on_policy_sum / static_cast<double>(episodes.size());
+
+    // 3. Mix in the historically best samples.
+    for (Episode& ep : buffer_.best(gi, cfg_.buffer_samples)) {
+      episodes.push_back(std::move(ep));
+    }
+
+    // 4. Baseline and policy-gradient loss.
+    double baseline = 0.0;
+    for (const Episode& ep : episodes) baseline += ep.reward;
+    baseline /= static_cast<double>(episodes.size());
+
+    nn::Tensor logit_tensor = policy_.logits(ctx.features);  // grads recorded
+    nn::Tensor loss = nn::Tensor::scalar(0.0);
+    for (const Episode& ep : episodes) {
+      const double advantage = ep.reward - baseline;
+      if (std::abs(advantage) < 1e-12) continue;
+      loss = nn::add(loss, nn::scale(policy_.log_prob(logit_tensor, ep.mask), -advantage));
+    }
+    loss = nn::scale(loss, 1.0 / static_cast<double>(episodes.size()));
+    if (cfg_.entropy_bonus > 0.0) {
+      loss = nn::sub(loss, nn::scale(nn::mean(nn::bernoulli_entropy(logit_tensor)),
+                                     cfg_.entropy_bonus));
+    }
+    stats.mean_loss += loss.item();
+    loss.backward();
+    optimizer_.step();
+
+    // 5. Persist this step's best samples for future baselines.
+    for (std::size_t s = 0; s < masks.size(); ++s) {
+      buffer_.insert(gi, episodes[s]);  // the first |masks| entries are on-policy
+    }
+    stats.mean_best_reward += buffer_.best_reward(gi);
+  }
+
+  const double n = static_cast<double>(contexts_.size());
+  stats.mean_sample_reward /= n;
+  stats.mean_best_reward /= n;
+  stats.mean_loss /= n;
+
+  // Greedy evaluation on the training graphs (cheap health signal).
+  {
+    const auto rewards = evaluate(policy_, contexts_, placer_, &pool);
+    double sum = 0.0;
+    for (const double r : rewards) sum += r;
+    stats.mean_greedy_reward = sum / n;
+  }
+  {
+    nn::NoGradGuard no_grad;
+    double comp = 0.0;
+    for (const GraphContext& ctx : contexts_) {
+      const nn::Tensor logit_tensor = policy_.logits(ctx.features);
+      const auto mask = policy_.greedy(logit_tensor.value());
+      comp += gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, mask)
+                  .compression_ratio();
+    }
+    stats.mean_compression = comp / n;
+  }
+  return stats;
+}
+
+std::vector<double> ReinforceTrainer::evaluate(const gnn::CoarseningPolicy& policy,
+                                               const std::vector<GraphContext>& contexts,
+                                               const CoarsePlacer& placer,
+                                               ThreadPool* pool) {
+  std::vector<double> rewards(contexts.size(), 0.0);
+  const auto eval_one = [&](std::size_t i) {
+    const sim::Placement p = allocate_with_policy(policy, contexts[i], placer);
+    rewards[i] = contexts[i].simulator.relative_throughput(p);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(contexts.size(), eval_one);
+    pool->wait();
+  } else {
+    for (std::size_t i = 0; i < contexts.size(); ++i) eval_one(i);
+  }
+  return rewards;
+}
+
+}  // namespace sc::rl

@@ -1,0 +1,72 @@
+// REINFORCE training of the coarsening policy (Sec. III "Training").
+//
+//   ∇J(θ) = (1/N) Σ_n ∇ log π_θ(G_y^n) [r(G_y^n) − b]
+//
+// with b the average reward of the N on-policy samples plus up to M
+// historically best samples from the per-graph memory buffer. The buffer is
+// optionally pre-seeded with Metis-guided masks (Sec. IV-C) inferred via
+// maximum-spanning-tree edge recovery.
+#pragma once
+
+#include <optional>
+
+#include "common/thread_pool.hpp"
+#include "nn/adam.hpp"
+#include "rl/buffer.hpp"
+#include "rl/rollout.hpp"
+
+namespace sc::rl {
+
+struct TrainerConfig {
+  std::size_t on_policy_samples = 3;  ///< paper: 3 on-policy samples per step
+  std::size_t buffer_samples = 3;     ///< paper: up to 3 buffer samples
+  std::size_t buffer_capacity = 5;
+  nn::AdamConfig adam{};              ///< paper: Adam, lr 1e-3
+  std::uint64_t seed = 7;
+  bool metis_guidance = false;        ///< seed buffers with Metis-derived masks
+  /// Entropy-bonus coefficient (0 disables): keeps collapse probabilities
+  /// from saturating prematurely, stabilising long fine-tuning runs.
+  double entropy_bonus = 0.0;
+  partition::PartitionOptions partition_opts{};
+};
+
+struct EpochStats {
+  double mean_sample_reward = 0.0;  ///< average reward of on-policy samples
+  double mean_best_reward = 0.0;    ///< average best-buffered reward per graph
+  double mean_greedy_reward = 0.0;  ///< reward of the deterministic policy
+  double mean_compression = 0.0;    ///< mean compression ratio of greedy masks
+  double mean_loss = 0.0;
+};
+
+class ReinforceTrainer {
+public:
+  /// The trainer borrows the policy and contexts; both must outlive it.
+  ReinforceTrainer(gnn::CoarseningPolicy& policy, std::vector<GraphContext>& contexts,
+                   CoarsePlacer placer, const TrainerConfig& cfg);
+
+  /// One pass over every context (one policy update per graph).
+  EpochStats train_epoch();
+
+  /// Evaluates the deterministic (greedy) policy over `contexts` (which may
+  /// be a different split than the training contexts).
+  static std::vector<double> evaluate(const gnn::CoarseningPolicy& policy,
+                                      const std::vector<GraphContext>& contexts,
+                                      const CoarsePlacer& placer,
+                                      ThreadPool* pool = nullptr);
+
+  const SampleBuffer& buffer() const { return buffer_; }
+  const TrainerConfig& config() const { return cfg_; }
+
+private:
+  void seed_metis_guidance();
+
+  gnn::CoarseningPolicy& policy_;
+  std::vector<GraphContext>& contexts_;
+  CoarsePlacer placer_;
+  TrainerConfig cfg_;
+  SampleBuffer buffer_;
+  nn::Adam optimizer_;
+  Rng rng_;
+};
+
+}  // namespace sc::rl

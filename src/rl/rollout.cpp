@@ -1,0 +1,137 @@
+#include "rl/rollout.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "graph/union_find.hpp"
+#include "nn/tensor.hpp"
+
+namespace sc::rl {
+
+sim::ClusterSpec to_cluster_spec(const gen::WorkloadConfig& wl) {
+  sim::ClusterSpec spec;
+  spec.num_devices = wl.num_devices;
+  spec.device_mips = wl.device_mips;
+  spec.bandwidth = wl.bandwidth;
+  spec.source_rate = wl.source_rate;
+  return spec;
+}
+
+CoarsePlacer metis_placer(const partition::PartitionOptions& opts) {
+  return [opts](const graph::Coarsening& c, const sim::FluidSimulator& simulator) {
+    const auto coarse_p =
+        partition::metis_allocate_coarse(c.coarse, simulator.spec(), opts);
+    return c.expand_placement(coarse_p);
+  };
+}
+
+CoarsePlacer metis_oracle_placer(const partition::PartitionOptions& opts) {
+  return [opts](const graph::Coarsening& c, const sim::FluidSimulator& simulator) {
+    return partition::metis_oracle_allocate_coarse(c, simulator, opts);
+  };
+}
+
+CoarsePlacer coarsen_only_placer() {
+  return [](const graph::Coarsening& c, const sim::FluidSimulator& simulator) {
+    const std::size_t devices = simulator.spec().num_devices;
+    const std::size_t n = c.coarse.num_nodes();
+
+    // Merge the heaviest remaining coarse edges until the graph fits on the
+    // devices (the "merge until |V'| = |D|" rule from Table II).
+    std::vector<int> coarse_device(n);
+    if (n <= devices) {
+      std::iota(coarse_device.begin(), coarse_device.end(), 0);
+    } else {
+      std::vector<graph::EdgeId> order(c.coarse.num_edges());
+      std::iota(order.begin(), order.end(), graph::EdgeId{0});
+      std::stable_sort(order.begin(), order.end(), [&](graph::EdgeId a, graph::EdgeId b) {
+        return c.coarse.edge(a).weight > c.coarse.edge(b).weight;
+      });
+      graph::UnionFind dsu(n);
+      for (const graph::EdgeId e : order) {
+        if (dsu.num_components() <= devices) break;
+        dsu.unite(c.coarse.edge(e).a, c.coarse.edge(e).b);
+      }
+      // Disconnected leftovers: merge smallest components arbitrarily.
+      // Assign devices round-robin over roots (over-assignments wrap).
+      std::vector<int> root_device(n, -1);
+      int next = 0;
+      for (std::size_t v = 0; v < n; ++v) {
+        const std::size_t root = dsu.find(v);
+        if (root_device[root] < 0) {
+          root_device[root] = next % static_cast<int>(devices);
+          ++next;
+        }
+        coarse_device[v] = root_device[root];
+      }
+    }
+    return c.expand_placement(coarse_device);
+  };
+}
+
+GraphContext::GraphContext(const graph::StreamGraph& g, const sim::ClusterSpec& spec)
+    : graph(&g),
+      profile(graph::compute_load_profile(g)),
+      features(gnn::extract_features(g, profile, spec)),
+      simulator(g, spec) {}
+
+std::vector<GraphContext> make_contexts(const std::vector<graph::StreamGraph>& graphs,
+                                        const sim::ClusterSpec& spec) {
+  std::vector<GraphContext> ctxs;
+  ctxs.reserve(graphs.size());
+  for (const auto& g : graphs) ctxs.emplace_back(g, spec);
+  return ctxs;
+}
+
+Episode evaluate_mask(const GraphContext& ctx, const gnn::EdgeMask& mask,
+                      const CoarsePlacer& placer) {
+  const graph::Coarsening c =
+      gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, mask);
+  const sim::Placement p = placer(c, ctx.simulator);
+  Episode ep;
+  ep.mask = mask;
+  ep.reward = ctx.simulator.relative_throughput(p);
+  ep.compression = c.compression_ratio();
+  return ep;
+}
+
+sim::Placement allocate_with_policy(const gnn::CoarseningPolicy& policy,
+                                    const GraphContext& ctx, const CoarsePlacer& placer) {
+  nn::NoGradGuard no_grad;
+  const nn::Tensor logit_tensor = policy.logits(ctx.features);
+  const gnn::EdgeMask mask = policy.greedy(logit_tensor.value());
+  const graph::Coarsening c =
+      gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, mask);
+  return placer(c, ctx.simulator);
+}
+
+sim::Placement allocate_with_policy_best_of(const gnn::CoarseningPolicy& policy,
+                                            const GraphContext& ctx,
+                                            const CoarsePlacer& placer,
+                                            std::size_t samples, Rng& rng) {
+  nn::NoGradGuard no_grad;
+  const nn::Tensor logit_tensor = policy.logits(ctx.features);
+
+  std::vector<gnn::EdgeMask> masks;
+  masks.push_back(policy.greedy(logit_tensor.value()));
+  for (std::size_t s = 0; s < samples; ++s) {
+    masks.push_back(policy.sample(logit_tensor.value(), rng));
+  }
+
+  sim::Placement best;
+  double best_tp = -1.0;
+  for (const gnn::EdgeMask& mask : masks) {
+    const graph::Coarsening c =
+        gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, mask);
+    sim::Placement p = placer(c, ctx.simulator);
+    const double tp = ctx.simulator.throughput(p);
+    if (tp > best_tp) {
+      best_tp = tp;
+      best = std::move(p);
+    }
+  }
+  return best;
+}
+
+}  // namespace sc::rl

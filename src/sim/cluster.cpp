@@ -1,0 +1,55 @@
+#include "sim/cluster.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "graph/algorithms.hpp"
+
+namespace sc::sim {
+
+void validate_spec(const ClusterSpec& spec) {
+  SC_CHECK(spec.num_devices > 0, "cluster needs at least one device");
+  SC_CHECK(spec.device_mips > 0.0, "device capacity must be positive");
+  SC_CHECK(spec.bandwidth > 0.0, "bandwidth must be positive");
+  SC_CHECK(spec.source_rate > 0.0, "source rate must be positive");
+  if (!spec.device_mips_each.empty()) {
+    SC_CHECK(spec.device_mips_each.size() == spec.num_devices,
+             "device_mips_each size " << spec.device_mips_each.size()
+                                      << " != num_devices " << spec.num_devices);
+    for (const double m : spec.device_mips_each) {
+      SC_CHECK(m > 0.0, "every device capacity must be positive");
+    }
+  }
+}
+
+void validate_placement(const graph::StreamGraph& g, const ClusterSpec& spec,
+                        const Placement& p) {
+  SC_CHECK(p.size() == g.num_nodes(),
+           "placement size " << p.size() << " != node count " << g.num_nodes());
+  for (std::size_t v = 0; v < p.size(); ++v) {
+    SC_CHECK(p[v] >= 0 && static_cast<std::size_t>(p[v]) < spec.num_devices,
+             "node " << v << " placed on invalid device " << p[v]);
+  }
+}
+
+Placement all_on_one(const graph::StreamGraph& g) {
+  return Placement(g.num_nodes(), 0);
+}
+
+Placement round_robin(const graph::StreamGraph& g, std::size_t num_devices) {
+  SC_CHECK(num_devices > 0, "need at least one device");
+  Placement p(g.num_nodes(), 0);
+  int d = 0;
+  for (const graph::NodeId v : graph::topological_order(g)) {
+    p[v] = d;
+    d = (d + 1) % static_cast<int>(num_devices);
+  }
+  return p;
+}
+
+std::size_t devices_used(const Placement& p) {
+  std::unordered_set<int> used(p.begin(), p.end());
+  return used.size();
+}
+
+}  // namespace sc::sim

@@ -1,0 +1,68 @@
+// Cluster model and placement types shared by the simulators.
+//
+// The paper's environment (Sec. V): a homogeneous cluster, device capacity
+// 1.25e3 MIPS, inter-device link bandwidth 1000/1500 Mbps, a fixed source
+// tuple rate I. A placement assigns every operator to one device.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/stream_graph.hpp"
+
+namespace sc::sim {
+
+/// How cross-device traffic contends for bandwidth.
+enum class LinkModel {
+  PairwiseLinks,  ///< a dedicated full-duplex link per device pair (paper's wording)
+  DeviceNic,      ///< each device has one NIC shared by all its cross traffic
+};
+
+struct ClusterSpec {
+  std::size_t num_devices = 10;
+  double device_mips = 1.25e9;  ///< instructions per second per device
+  double bandwidth = 1.25e8;    ///< bytes per second per link (or per NIC)
+  double source_rate = 1e4;     ///< source tuple rate I (tuples/s)
+  LinkModel link_model = LinkModel::PairwiseLinks;
+
+  /// Heterogeneous-cluster extension (the paper's stated future work):
+  /// when non-empty, device d has capacity device_mips_each[d] instead of
+  /// device_mips. Size must equal num_devices.
+  std::vector<double> device_mips_each;
+
+  /// Capacity of device d under either configuration.
+  double mips_of(std::size_t d) const {
+    return device_mips_each.empty() ? device_mips : device_mips_each[d];
+  }
+  /// Aggregate compute capacity of the cluster.
+  double total_mips() const {
+    if (device_mips_each.empty()) {
+      return device_mips * static_cast<double>(num_devices);
+    }
+    double total = 0.0;
+    for (const double m : device_mips_each) total += m;
+    return total;
+  }
+  bool heterogeneous() const { return !device_mips_each.empty(); }
+};
+
+/// Throws sc::Error unless the spec itself is self-consistent.
+void validate_spec(const ClusterSpec& spec);
+
+/// Device id per operator. Values must lie in [0, num_devices).
+using Placement = std::vector<int>;
+
+/// Throws sc::Error unless `p` is a valid placement of `g` on `spec`.
+void validate_placement(const graph::StreamGraph& g, const ClusterSpec& spec,
+                        const Placement& p);
+
+/// Places every operator on device 0 (the trivial all-on-one placement).
+Placement all_on_one(const graph::StreamGraph& g);
+
+/// Round-robin placement in topological order — a cheap balanced baseline.
+Placement round_robin(const graph::StreamGraph& g, std::size_t num_devices);
+
+/// Number of distinct devices used by a placement.
+std::size_t devices_used(const Placement& p);
+
+}  // namespace sc::sim

@@ -1,0 +1,195 @@
+#include "sim/event.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "graph/algorithms.hpp"
+
+namespace sc::sim {
+
+EventSimulator::EventSimulator(const graph::StreamGraph& g, const ClusterSpec& spec,
+                               EventSimConfig cfg)
+    : graph_(&g),
+      spec_(spec),
+      cfg_(cfg),
+      profile_(graph::compute_load_profile(g)),
+      topo_(graph::topological_order(g)) {
+  validate_spec(spec);
+  SC_CHECK(cfg_.dt > 0.0, "tick length must be positive");
+  SC_CHECK(cfg_.measure_ticks > 0, "measurement window must be positive");
+  if (cfg_.warmup_ticks == 0) {
+    // The pipeline needs at least one tick per hop to fill, plus settling time
+    // for the backpressure feedback loop to reach steady state.
+    cfg_.warmup_ticks = 6 * graph::critical_path_length(g) + 400;
+  }
+  for (const graph::NodeId s : g.sinks()) unit_sink_rate_ += profile_.node_rate[s];
+  SC_CHECK(unit_sink_rate_ > 0.0, "graph delivers no tuples to any sink");
+}
+
+double EventSimulator::throughput(const Placement& p) const {
+  const graph::StreamGraph& g = *graph_;
+  validate_placement(g, spec_, p);
+
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  const double dt = cfg_.dt;
+  std::vector<double> device_budget(spec_.num_devices);
+  for (std::size_t d = 0; d < spec_.num_devices; ++d) {
+    device_budget[d] = spec_.mips_of(d) * dt;
+  }
+  const double link_budget = spec_.bandwidth * dt;
+
+  // Bounded queues implement backpressure: an operator may only process what
+  // its downstream buffers can absorb, so a saturated bottleneck throttles
+  // the whole upstream pipeline instead of letting backlogged upstream
+  // operators starve downstream ones of CPU share.
+  constexpr double kBufferTicks = 16.0;
+  std::vector<double> qcap(n), lcap(m);
+  for (std::size_t v = 0; v < n; ++v) {
+    qcap[v] = kBufferTicks * dt * spec_.source_rate *
+              std::max(profile_.node_rate[v], 1e-6);
+  }
+  for (std::size_t e = 0; e < m; ++e) {
+    lcap[e] = kBufferTicks * dt * spec_.source_rate *
+              std::max(profile_.edge_rate[e], 1e-6);
+  }
+
+  std::vector<double> queue(n, 0.0);        // tuples waiting at each operator
+  std::vector<double> arriving(n, 0.0);     // tuples arriving for next tick
+  std::vector<double> link_pending(m, 0.0); // tuples in flight on cross edges
+
+  std::vector<bool> crosses(m, false);
+  std::vector<std::size_t> link_key(m, 0);
+  const bool pairwise = spec_.link_model == LinkModel::PairwiseLinks;
+  for (graph::EdgeId e = 0; e < m; ++e) {
+    const auto& c = g.edge(e);
+    if (p[c.src] == p[c.dst]) continue;
+    crosses[e] = true;
+    if (pairwise) {
+      const std::size_t lo = static_cast<std::size_t>(std::min(p[c.src], p[c.dst]));
+      const std::size_t hi = static_cast<std::size_t>(std::max(p[c.src], p[c.dst]));
+      link_key[e] = lo * spec_.num_devices + hi;
+    }
+  }
+  const std::size_t num_links =
+      pairwise ? spec_.num_devices * spec_.num_devices : spec_.num_devices;
+
+  std::vector<double> allowed(n, 0.0);
+  std::vector<double> device_demand(spec_.num_devices, 0.0);
+  std::vector<double> link_demand(num_links, 0.0);
+  std::vector<double> nic_scale(spec_.num_devices, 1.0);
+
+  double delivered = 0.0;  // sink tuples processed during measurement
+  const std::size_t total_ticks = cfg_.warmup_ticks + cfg_.measure_ticks;
+
+  for (std::size_t tick = 0; tick < total_ticks; ++tick) {
+    const bool measuring = tick >= cfg_.warmup_ticks;
+
+    // 1. Source admission, clipped by queue room (backpressure to the source).
+    for (const graph::NodeId s : g.sources()) {
+      const double room = qcap[s] - queue[s] - arriving[s];
+      arriving[s] += std::min(spec_.source_rate * dt, std::max(0.0, room));
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      queue[v] += arriving[v];
+      arriving[v] = 0.0;
+    }
+
+    // 2. Per-operator processing allowance: queue content limited by the
+    //    room available in every downstream buffer.
+    for (std::size_t v = 0; v < n; ++v) {
+      double a = queue[v];
+      const double out_per_tuple = g.op(v).selectivity;
+      for (const graph::EdgeId e : g.out_edges(static_cast<graph::NodeId>(v))) {
+        const double per_tuple = out_per_tuple * g.edge(e).rate_factor;
+        if (per_tuple <= 0.0) continue;
+        const double fill = crosses[e] ? link_pending[e]
+                                       : queue[g.edge(e).dst] + arriving[g.edge(e).dst];
+        const double room = (crosses[e] ? lcap[e] : qcap[g.edge(e).dst]) - fill;
+        a = std::min(a, std::max(0.0, room) / per_tuple);
+      }
+      allowed[v] = a;
+    }
+
+    // 3. CPU: proportional fair share of each device over allowed demand.
+    std::fill(device_demand.begin(), device_demand.end(), 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      device_demand[static_cast<std::size_t>(p[v])] += allowed[v] * g.op(v).ipt;
+    }
+    for (const graph::NodeId v : topo_) {
+      const std::size_t dev = static_cast<std::size_t>(p[v]);
+      const double demand = device_demand[dev];
+      const double share =
+          demand <= device_budget[dev] ? 1.0 : device_budget[dev] / demand;
+      const double processed = allowed[v] * share;
+      if (processed <= 0.0) continue;
+      queue[v] -= processed;
+      if (g.out_degree(v) == 0) {
+        if (measuring) delivered += processed;
+        continue;
+      }
+      const double out = processed * g.op(v).selectivity;
+      for (const graph::EdgeId e : g.out_edges(v)) {
+        const double tuples = out * g.edge(e).rate_factor;
+        if (crosses[e]) {
+          link_pending[e] += tuples;
+        } else {
+          arriving[g.edge(e).dst] += tuples;
+        }
+      }
+    }
+
+    // 4. Network: proportional fair share per link (or per NIC pair), also
+    //    limited by destination queue room.
+    const auto deliverable = [&](graph::EdgeId e) {
+      const graph::NodeId dst = g.edge(e).dst;
+      const double room = qcap[dst] - queue[dst] - arriving[dst];
+      return std::min(link_pending[e], std::max(0.0, room));
+    };
+    if (pairwise) {
+      std::fill(link_demand.begin(), link_demand.end(), 0.0);
+      for (graph::EdgeId e = 0; e < m; ++e) {
+        if (crosses[e]) link_demand[link_key[e]] += link_pending[e] * g.edge(e).payload;
+      }
+      for (graph::EdgeId e = 0; e < m; ++e) {
+        if (!crosses[e] || link_pending[e] <= 0.0) continue;
+        const double demand = link_demand[link_key[e]];
+        const double share = demand <= link_budget ? 1.0 : link_budget / demand;
+        const double moved = std::min(link_pending[e] * share, deliverable(e));
+        link_pending[e] -= moved;
+        arriving[g.edge(e).dst] += moved;
+      }
+    } else {
+      std::fill(link_demand.begin(), link_demand.end(), 0.0);
+      for (graph::EdgeId e = 0; e < m; ++e) {
+        if (!crosses[e]) continue;
+        const double bytes = link_pending[e] * g.edge(e).payload;
+        link_demand[static_cast<std::size_t>(p[g.edge(e).src])] += bytes;
+        link_demand[static_cast<std::size_t>(p[g.edge(e).dst])] += bytes;
+      }
+      for (std::size_t d = 0; d < spec_.num_devices; ++d) {
+        nic_scale[d] = link_demand[d] <= link_budget ? 1.0 : link_budget / link_demand[d];
+      }
+      for (graph::EdgeId e = 0; e < m; ++e) {
+        if (!crosses[e] || link_pending[e] <= 0.0) continue;
+        const double share = std::min(nic_scale[static_cast<std::size_t>(p[g.edge(e).src])],
+                                      nic_scale[static_cast<std::size_t>(p[g.edge(e).dst])]);
+        const double moved = std::min(link_pending[e] * share, deliverable(e));
+        link_pending[e] -= moved;
+        arriving[g.edge(e).dst] += moved;
+      }
+    }
+  }
+
+  const double window = static_cast<double>(cfg_.measure_ticks) * dt;
+  const double sink_rate = delivered / window;  // tuples/s consumed at sinks
+  // Convert to an equivalent sustained source rate.
+  return std::min(spec_.source_rate, sink_rate / unit_sink_rate_);
+}
+
+double EventSimulator::relative_throughput(const Placement& p) const {
+  return throughput(p) / spec_.source_rate;
+}
+
+}  // namespace sc::sim

@@ -1,0 +1,187 @@
+#include "sim/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "graph/algorithms.hpp"
+
+namespace sc::sim {
+
+FluidSimulator::FluidSimulator(const graph::StreamGraph& g, const ClusterSpec& spec)
+    : graph_(&g), spec_(spec), profile_(graph::compute_load_profile(g)) {
+  validate_spec(spec);
+}
+
+double FluidSimulator::unit_bottleneck(const Placement& p, std::vector<double>* device_cpu,
+                                       std::vector<double>* link_traffic) const {
+  const graph::StreamGraph& g = *graph_;
+  validate_placement(g, spec_, p);
+
+  // Per-device CPU demand at unit source rate.
+  std::vector<double> cpu(spec_.num_devices, 0.0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    cpu[static_cast<std::size_t>(p[v])] += profile_.node_cpu[v];
+  }
+
+  // Cross-device traffic, aggregated per link (pairwise) or per NIC.
+  std::vector<double> links;
+  if (spec_.link_model == LinkModel::PairwiseLinks) {
+    // Link id for unordered pair (a, b), a < b.
+    links.assign(spec_.num_devices * spec_.num_devices, 0.0);
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& c = g.edge(e);
+      const int da = p[c.src];
+      const int db = p[c.dst];
+      if (da == db) continue;
+      const std::size_t lo = static_cast<std::size_t>(std::min(da, db));
+      const std::size_t hi = static_cast<std::size_t>(std::max(da, db));
+      links[lo * spec_.num_devices + hi] += profile_.edge_traffic[e];
+    }
+  } else {
+    // One NIC per device shared by all ingress + egress traffic.
+    links.assign(spec_.num_devices, 0.0);
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto& c = g.edge(e);
+      const int da = p[c.src];
+      const int db = p[c.dst];
+      if (da == db) continue;
+      links[static_cast<std::size_t>(da)] += profile_.edge_traffic[e];
+      links[static_cast<std::size_t>(db)] += profile_.edge_traffic[e];
+    }
+  }
+
+  double worst = 0.0;
+  for (std::size_t d = 0; d < cpu.size(); ++d) {
+    worst = std::max(worst, cpu[d] / spec_.mips_of(d));
+  }
+  for (const double t : links) worst = std::max(worst, t / spec_.bandwidth);
+
+  if (device_cpu != nullptr) *device_cpu = std::move(cpu);
+  if (link_traffic != nullptr) *link_traffic = std::move(links);
+  return worst;
+}
+
+double FluidSimulator::throughput(const Placement& p) const {
+  const double bottleneck = unit_bottleneck(p);
+  if (bottleneck <= 0.0) return spec_.source_rate;  // zero-load graph
+  return std::min(spec_.source_rate, 1.0 / bottleneck);
+}
+
+double FluidSimulator::relative_throughput(const Placement& p) const {
+  return throughput(p) / spec_.source_rate;
+}
+
+double FluidSimulator::latency(const Placement& p, const LatencyModel& model) const {
+  const graph::StreamGraph& g = *graph_;
+  validate_placement(g, spec_, p);
+
+  // Utilizations at the sustained rate, for the queueing penalty.
+  std::vector<double> cpu, links;
+  const double bottleneck = unit_bottleneck(p, &cpu, &links);
+  const double rate =
+      bottleneck <= 0.0 ? spec_.source_rate : std::min(spec_.source_rate, 1.0 / bottleneck);
+
+  const auto congestion = [&](double utilization) {
+    if (!model.queueing) return 1.0;
+    return 1.0 / std::max(1.0 - std::min(utilization, 0.999), 1e-3);
+  };
+
+  std::vector<double> device_factor(spec_.num_devices, 1.0);
+  for (std::size_t d = 0; d < spec_.num_devices; ++d) {
+    device_factor[d] = congestion(rate * cpu[d] / spec_.mips_of(d));
+  }
+  const bool pairwise = spec_.link_model == LinkModel::PairwiseLinks;
+  const auto link_factor = [&](int da, int db) {
+    if (pairwise) {
+      const std::size_t lo = static_cast<std::size_t>(std::min(da, db));
+      const std::size_t hi = static_cast<std::size_t>(std::max(da, db));
+      return congestion(rate * links[lo * spec_.num_devices + hi] / spec_.bandwidth);
+    }
+    const double u = std::max(links[static_cast<std::size_t>(da)],
+                              links[static_cast<std::size_t>(db)]);
+    return congestion(rate * u / spec_.bandwidth);
+  };
+
+  // Longest-cost source->sink path by topological DP.
+  std::vector<double> cost(g.num_nodes(), 0.0);
+  double worst = 0.0;
+  for (const graph::NodeId v : graph::topological_order(g)) {
+    const std::size_t dev = static_cast<std::size_t>(p[v]);
+    cost[v] += g.op(v).ipt / spec_.mips_of(dev) * device_factor[dev];
+    worst = std::max(worst, cost[v]);
+    for (const graph::EdgeId e : g.out_edges(v)) {
+      const auto& c = g.edge(e);
+      double edge_cost = 0.0;
+      if (p[c.src] != p[c.dst]) {
+        edge_cost = model.network_hop_seconds +
+                    c.payload / spec_.bandwidth * link_factor(p[c.src], p[c.dst]);
+      }
+      cost[c.dst] = std::max(cost[c.dst], cost[v] + edge_cost);
+    }
+  }
+  return worst;
+}
+
+PlacementReport FluidSimulator::report(const Placement& p) const {
+  std::vector<double> cpu, links;
+  const double bottleneck = unit_bottleneck(p, &cpu, &links);
+
+  PlacementReport r;
+  r.throughput = bottleneck <= 0.0 ? spec_.source_rate
+                                   : std::min(spec_.source_rate, 1.0 / bottleneck);
+  r.relative_throughput = r.throughput / spec_.source_rate;
+
+  double cpu_peak = 0.0;
+  for (std::size_t d = 0; d < cpu.size(); ++d) {
+    cpu_peak = std::max(cpu_peak, cpu[d] / spec_.mips_of(d));
+  }
+  r.cpu_bottleneck = spec_.source_rate * cpu_peak;
+  double net_peak = 0.0;
+  for (const double t : links) net_peak = std::max(net_peak, t);
+  r.net_bottleneck = spec_.source_rate * net_peak / spec_.bandwidth;
+
+  r.devices_used = devices_used(p);
+
+  // Utilization statistics at the achieved rate r* (paper's Fig. 7 analysis).
+  {
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t used = 0;
+    for (std::size_t d = 0; d < cpu.size(); ++d) {
+      if (cpu[d] <= 0.0) continue;
+      const double u = r.throughput * cpu[d] / spec_.mips_of(d);
+      sum += u;
+      sum_sq += u * u;
+      ++used;
+    }
+    if (used > 0) {
+      r.avg_cpu_utilization = sum / static_cast<double>(used);
+      const double var =
+          std::max(0.0, sum_sq / static_cast<double>(used) -
+                            r.avg_cpu_utilization * r.avg_cpu_utilization);
+      r.cpu_utilization_stddev = std::sqrt(var);
+    }
+  }
+  {
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t active = 0;
+    for (const double t : links) {
+      if (t <= 0.0) continue;
+      const double u = r.throughput * t / spec_.bandwidth;
+      sum += u;
+      sum_sq += u * u;
+      ++active;
+    }
+    if (active > 0) {
+      r.avg_bw_utilization = sum / static_cast<double>(active);
+      const double var = std::max(
+          0.0, sum_sq / static_cast<double>(active) - r.avg_bw_utilization * r.avg_bw_utilization);
+      r.bw_utilization_stddev = std::sqrt(var);
+    }
+  }
+  r.latency_seconds = latency(p);
+  return r;
+}
+
+}  // namespace sc::sim

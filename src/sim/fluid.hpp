@@ -1,0 +1,86 @@
+// FluidSimulator: analytic steady-state throughput of a placed stream graph.
+//
+// All operator and channel rates scale linearly with the sustained source
+// rate r (see graph/rates.hpp), so each resource imposes a linear cap:
+//
+//   device d:          r · Σ_{v on d} cpu_v        ≤ device_mips
+//   link/NIC l:        r · Σ_{e crossing l} traf_e ≤ bandwidth
+//
+// The maximum sustainable source rate is r* = min(I, min_resource cap/demand)
+// and the relative throughput (the RL reward) is r*/I ∈ (0, 1]. This is the
+// same first-order backpressure physics CEPSim models; the EventSimulator
+// cross-validates it tick by tick.
+//
+// This class precomputes the unit-rate load profile once per graph, so a
+// single throughput() call is O(V + E) — cheap enough for the millions of
+// reward evaluations RL training performs.
+#pragma once
+
+#include <vector>
+
+#include "graph/rates.hpp"
+#include "graph/stream_graph.hpp"
+#include "sim/cluster.hpp"
+
+namespace sc::sim {
+
+/// Per-placement resource diagnostics (used by the excess-device analysis).
+struct PlacementReport {
+  double throughput = 0.0;           ///< sustained source rate (tuples/s)
+  double relative_throughput = 0.0;  ///< throughput / I, in (0, 1]
+  double cpu_bottleneck = 0.0;       ///< max device CPU demand at rate I / capacity
+  double net_bottleneck = 0.0;       ///< max link demand at rate I / capacity
+  std::size_t devices_used = 0;
+  double avg_cpu_utilization = 0.0;  ///< mean CPU utilization of used devices at r*
+  double cpu_utilization_stddev = 0.0;
+  double avg_bw_utilization = 0.0;   ///< mean utilization of active links at r*
+  double bw_utilization_stddev = 0.0;
+  double latency_seconds = 0.0;      ///< end-to-end critical-path latency at r*
+};
+
+/// Knobs of the latency model (see FluidSimulator::latency).
+struct LatencyModel {
+  double network_hop_seconds = 2e-4;  ///< per cross-device hop base cost
+  bool queueing = true;               ///< scale service times by 1/(1 - rho)
+};
+
+class FluidSimulator {
+public:
+  /// Borrows `g`; the graph must outlive the simulator. The rvalue overload
+  /// is deleted to reject temporaries at compile time.
+  FluidSimulator(const graph::StreamGraph& g, const ClusterSpec& spec);
+  FluidSimulator(graph::StreamGraph&&, const ClusterSpec&) = delete;
+
+  /// Max sustainable source rate under placement p, capped at spec.source_rate.
+  double throughput(const Placement& p) const;
+
+  /// throughput(p) / source_rate — the paper's reward r(Gy) = T(Gy)/I(Gx).
+  double relative_throughput(const Placement& p) const;
+
+  /// Full diagnostics (utilization statistics, bottlenecks, latency).
+  PlacementReport report(const Placement& p) const;
+
+  /// End-to-end tuple latency: the most expensive source->sink path, where a
+  /// node costs its service time (ipt / device capacity) and a cross-device
+  /// edge costs transmission (payload / bandwidth) plus a per-hop constant.
+  /// With model.queueing, each resource's cost is scaled by 1 / (1 - rho)
+  /// using its utilization at the sustained rate — the standard M/M/1-style
+  /// congestion penalty, so latency diverges as the placement approaches its
+  /// bottleneck.
+  double latency(const Placement& p, const LatencyModel& model = {}) const;
+
+  const ClusterSpec& spec() const { return spec_; }
+  const graph::LoadProfile& profile() const { return profile_; }
+  const graph::StreamGraph& graph() const { return *graph_; }
+
+private:
+  /// Max of {device demand/cap, link demand/cap} at unit source rate.
+  double unit_bottleneck(const Placement& p, std::vector<double>* device_cpu = nullptr,
+                         std::vector<double>* link_traffic = nullptr) const;
+
+  const graph::StreamGraph* graph_;
+  ClusterSpec spec_;
+  graph::LoadProfile profile_;
+};
+
+}  // namespace sc::sim

@@ -1,0 +1,107 @@
+#include "apps/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/rates.hpp"
+
+namespace sc::apps {
+namespace {
+
+TEST(Topology, ExpandsParallelismIntoInstances) {
+  TopologyBuilder t("x");
+  t.spout("src", 10.0, 2).bolt("work", 20.0, 1.0, 3).bolt("sink", 5.0, 1.0, 1);
+  t.shuffle("src", "work", 100.0).shuffle("work", "sink", 50.0);
+  const auto g = t.build();
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 2u * 3u + 3u * 1u);
+  EXPECT_EQ(t.instances_of("work").size(), 3u);
+  EXPECT_EQ(t.instances_of("src"), (std::vector<graph::NodeId>{0, 1}));
+}
+
+TEST(Topology, ShuffleSplitsRateAcrossConsumers) {
+  TopologyBuilder t("x");
+  t.spout("src", 1.0).bolt("work", 1.0, 1.0, 4);
+  t.shuffle("src", "work", 10.0);
+  const auto g = t.build();
+  const auto p = graph::compute_load_profile(g);
+  // Each of the 4 consumer instances processes 1/4 of the stream.
+  for (const auto v : t.instances_of("work")) {
+    EXPECT_DOUBLE_EQ(p.node_rate[v], 0.25);
+  }
+}
+
+TEST(Topology, BroadcastDuplicatesRateToEveryConsumer) {
+  TopologyBuilder t("x");
+  t.spout("src", 1.0).bolt("work", 1.0, 1.0, 4);
+  t.broadcast("src", "work", 10.0);
+  const auto g = t.build();
+  const auto p = graph::compute_load_profile(g);
+  for (const auto v : t.instances_of("work")) {
+    EXPECT_DOUBLE_EQ(p.node_rate[v], 1.0);
+  }
+}
+
+TEST(Topology, SelectivityAppliesPerInstance) {
+  TopologyBuilder t("x");
+  t.spout("src", 1.0).bolt("expand", 1.0, /*selectivity=*/3.0, 1).bolt("sink", 1.0);
+  t.shuffle("src", "expand", 1.0).shuffle("expand", "sink", 1.0);
+  const auto g = t.build();
+  const auto p = graph::compute_load_profile(g);
+  EXPECT_DOUBLE_EQ(p.node_rate[t.instances_of("sink")[0]], 3.0);
+}
+
+TEST(Topology, RejectsBadDeclarations) {
+  TopologyBuilder t("x");
+  t.spout("a", 1.0);
+  EXPECT_THROW(t.spout("a", 1.0), Error);           // duplicate name
+  EXPECT_THROW(t.bolt("b", 1.0, 1.0, 0), Error);    // zero parallelism
+  t.bolt("b", 1.0);
+  t.shuffle("a", "missing", 1.0);
+  EXPECT_THROW(t.build(), Error);                   // unknown stream endpoint
+}
+
+TEST(Topology, RejectsCycles) {
+  TopologyBuilder t("x");
+  t.spout("a", 1.0).bolt("b", 1.0).bolt("c", 1.0);
+  t.shuffle("a", "b", 1.0).shuffle("b", "c", 1.0).shuffle("c", "b", 1.0);
+  EXPECT_THROW(t.build(), Error);
+}
+
+TEST(Topology, CanonicalAppsAreWellFormed) {
+  for (auto builder : {word_count(4), fraud_detection(4), iot_telemetry(4)}) {
+    const auto g = builder.build();
+    EXPECT_TRUE(graph::is_dag(g)) << builder.name();
+    EXPECT_FALSE(g.sources().empty()) << builder.name();
+    EXPECT_FALSE(g.sinks().empty()) << builder.name();
+    std::size_t components = 0;
+    graph::weak_components(g, &components);
+    EXPECT_EQ(components, 1u) << builder.name();
+  }
+}
+
+TEST(Topology, ParallelismScalesInstanceCount) {
+  const auto small = word_count(2).build();
+  const auto large = word_count(8).build();
+  EXPECT_GT(large.num_nodes(), small.num_nodes());
+}
+
+TEST(Topology, BroadcastModelUpdateReachesAllScorers) {
+  auto t = fraud_detection(3);
+  const auto g = t.build();
+  const auto scorers = t.instances_of("score");
+  const auto updaters = t.instances_of("model_update");
+  ASSERT_EQ(updaters.size(), 1u);
+  // Every scorer must have an incoming edge from the model updater.
+  for (const auto s : scorers) {
+    bool found = false;
+    for (const auto e : g.in_edges(s)) {
+      if (g.edge(e).src == updaters[0]) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+}  // namespace
+}  // namespace sc::apps

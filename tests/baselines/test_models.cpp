@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "baselines/gdp.hpp"
+#include "baselines/graph_enc_dec.hpp"
+#include "baselines/hierarchical.hpp"
+#include "gen/generator.hpp"
+#include "graph/rates.hpp"
+#include "rl/rollout.hpp"
+#include "../testutil.hpp"
+
+namespace sc::baselines {
+namespace {
+
+sim::ClusterSpec spec(std::size_t devices = 4) {
+  sim::ClusterSpec s;
+  s.num_devices = devices;
+  s.device_mips = 100.0;
+  s.bandwidth = 200.0;
+  s.source_rate = 10.0;
+  return s;
+}
+
+gnn::GraphFeatures feats(const graph::StreamGraph& g, std::size_t devices = 4) {
+  return gnn::extract_features(g, graph::compute_load_profile(g), spec(devices));
+}
+
+template <typename Model>
+void check_model_contract(const Model& model, const graph::StreamGraph& g) {
+  const auto f = feats(g);
+  Rng rng(3);
+
+  // Sample mode: valid placement + defined log-prob under grad mode.
+  const auto sampled = model.run(f, 4, DecodeMode::Sample, &rng);
+  ASSERT_EQ(sampled.placement.size(), g.num_nodes());
+  for (const int d : sampled.placement) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 4);
+  }
+  ASSERT_TRUE(sampled.log_prob.defined());
+  EXPECT_LT(sampled.log_prob.item(), 0.0);  // log of proper probabilities
+
+  // Greedy mode is deterministic.
+  const auto g1 = model.run(f, 4, DecodeMode::Greedy, nullptr);
+  const auto g2 = model.run(f, 4, DecodeMode::Greedy, nullptr);
+  EXPECT_EQ(g1.placement, g2.placement);
+
+  // Device masking: with 2 devices no node may use device >= 2.
+  const auto masked = model.run(f, 2, DecodeMode::Greedy, nullptr);
+  for (const int d : masked.placement) EXPECT_LT(d, 2);
+
+  // Gradients flow into every parameter through the log-prob.
+  auto sampled2 = model.run(f, 4, DecodeMode::Sample, &rng);
+  sampled2.log_prob.backward();
+  double mag = 0.0;
+  for (const auto& p : model.parameters()) {
+    for (const double gr : p.grad()) mag += std::abs(gr);
+  }
+  EXPECT_GT(mag, 0.0);
+}
+
+TEST(GraphEncDecModel, SatisfiesContract) {
+  GraphEncDecConfig cfg;
+  cfg.seed = 1;
+  check_model_contract(GraphEncDec(cfg), test::make_broadcast_diamond(5.0, 5.0));
+}
+
+TEST(GdpModel, SatisfiesContract) {
+  GdpConfig cfg;
+  cfg.seed = 2;
+  check_model_contract(Gdp(cfg), test::make_broadcast_diamond(5.0, 5.0));
+}
+
+TEST(HierarchicalModel, SatisfiesContract) {
+  HierarchicalConfig cfg;
+  cfg.seed = 3;
+  cfg.num_groups = 6;
+  check_model_contract(Hierarchical(cfg), test::make_broadcast_diamond(5.0, 5.0));
+}
+
+TEST(Models, RejectOversizedCluster) {
+  GraphEncDecConfig cfg;
+  cfg.max_devices = 4;
+  const GraphEncDec model(cfg);
+  const auto f = feats(test::make_chain(3));
+  Rng rng(1);
+  EXPECT_THROW(model.run(f, 9, DecodeMode::Sample, &rng), Error);
+}
+
+TEST(Models, HandleGeneratedGraphs) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 30;
+  cfg.topology.max_nodes = 50;
+  Rng rng(7);
+  const auto g = gen::generate_graph(cfg, rng);
+  const auto f = feats(g);
+
+  const GraphEncDec ged{GraphEncDecConfig{}};
+  const Gdp gdp{GdpConfig{}};
+  const Hierarchical hier{HierarchicalConfig{}};
+  nn::NoGradGuard no_grad;
+  for (const DirectPlacementModel* m :
+       std::initializer_list<const DirectPlacementModel*>{&ged, &gdp, &hier}) {
+    const auto r = m->run(f, 4, DecodeMode::Greedy, nullptr);
+    EXPECT_EQ(r.placement.size(), g.num_nodes()) << m->name();
+  }
+}
+
+TEST(MaskDeviceLogits, BlocksInvalidColumns) {
+  const nn::Tensor logits = nn::Tensor::zeros({2, 4});
+  const nn::Tensor masked = mask_device_logits(logits, 2);
+  EXPECT_LT(masked.at(0, 3), -1e8);
+  EXPECT_DOUBLE_EQ(masked.at(0, 1), 0.0);
+  EXPECT_THROW(mask_device_logits(logits, 5), Error);
+}
+
+TEST(DecodeRows, GreedyPicksArgmaxWithinValidPrefix) {
+  const nn::Tensor logits = nn::Tensor::from({0.0, 5.0, 9.0}, {1, 3});
+  EXPECT_EQ(decode_rows(logits, 3, DecodeMode::Greedy, nullptr)[0], 2);
+  EXPECT_EQ(decode_rows(logits, 2, DecodeMode::Greedy, nullptr)[0], 1);
+}
+
+TEST(DecodeRows, SampleFollowsDistribution) {
+  const nn::Tensor logits = nn::Tensor::from({0.0, 10.0}, {1, 2});
+  Rng rng(5);
+  int ones = 0;
+  for (int i = 0; i < 100; ++i) {
+    ones += decode_rows(logits, 2, DecodeMode::Sample, &rng)[0];
+  }
+  EXPECT_GT(ones, 95);  // p(1) ~ 0.99995
+}
+
+TEST(CoarseFeatures, ShapesAndSymmetry) {
+  const graph::WeightedGraph wg({1.0, 2.0, 3.0},
+                                {graph::WeightedEdge{0, 1, 4.0},
+                                 graph::WeightedEdge{1, 2, 5.0}});
+  const auto f = coarse_features(wg, spec());
+  EXPECT_EQ(f.node.rows(), 3u);
+  EXPECT_EQ(f.node.cols(), gnn::kNodeFeatureDim);
+  // Each undirected edge becomes two directed ones.
+  EXPECT_EQ(f.edge_src.size(), 4u);
+  EXPECT_EQ(f.edge.rows(), 4u);
+}
+
+}  // namespace
+}  // namespace sc::baselines

@@ -1,0 +1,71 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sc {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesEqualsSyntax) {
+  const Flags f = make({"--epochs=5", "--name=foo"});
+  EXPECT_EQ(f.get_int("epochs", 0), 5);
+  EXPECT_EQ(f.get_string("name", ""), "foo");
+}
+
+TEST(Flags, ParsesSpaceSyntax) {
+  const Flags f = make({"--epochs", "7"});
+  EXPECT_EQ(f.get_int("epochs", 0), 7);
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const Flags f = make({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, FallbacksApplyWhenMissing) {
+  const Flags f = make({});
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(f.get_bool("missing", false));
+  EXPECT_EQ(f.get_string("missing", "dflt"), "dflt");
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=on"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=no"}).get_bool("x", true));
+}
+
+TEST(Flags, MalformedIntThrows) {
+  const Flags f = make({"--n=abc"});
+  EXPECT_THROW(f.get_int("n", 0), Error);
+}
+
+TEST(Flags, PositionalArgumentsKept) {
+  const Flags f = make({"pos1", "--k=1", "pos2"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+  EXPECT_EQ(f.positional()[1], "pos2");
+}
+
+TEST(Flags, DoubleParsing) {
+  const Flags f = make({"--lr=0.001"});
+  EXPECT_DOUBLE_EQ(f.get_double("lr", 1.0), 0.001);
+}
+
+TEST(Flags, HasReportsPresence) {
+  const Flags f = make({"--a=1"});
+  EXPECT_TRUE(f.has("a"));
+  EXPECT_FALSE(f.has("b"));
+}
+
+}  // namespace
+}  // namespace sc

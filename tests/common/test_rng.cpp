@@ -1,0 +1,125 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const auto v = rng.uniform_int(2, 7);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 7);
+    ++counts[static_cast<std::size_t>(v - 2)];
+  }
+  for (const int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, IndexStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+TEST(Rng, IndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.index(0), Error);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(19);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.weighted_index({1.0, 2.0, 7.0})];
+  }
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.7, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), Error);
+  EXPECT_THROW(rng.weighted_index({}), Error);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.split();
+  // Child and parent should diverge immediately.
+  EXPECT_NE(a(), child());
+}
+
+}  // namespace
+}  // namespace sc

@@ -1,0 +1,81 @@
+#include "core/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+
+namespace sc::core {
+namespace {
+
+struct Fixture : ::testing::Test {
+  void SetUp() override {
+    gen::GeneratorConfig cfg;
+    cfg.topology.min_nodes = 15;
+    cfg.topology.max_nodes = 25;
+    cfg.workload.num_devices = 3;
+    graphs = gen::generate_graphs(cfg, 4, 11);
+    contexts = rl::make_contexts(graphs, rl::to_cluster_spec(cfg.workload));
+  }
+  std::vector<graph::StreamGraph> graphs;
+  std::vector<rl::GraphContext> contexts;
+};
+
+TEST_F(Fixture, MetisAllocatorValid) {
+  const MetisAllocator alloc;
+  for (const auto& ctx : contexts) {
+    EXPECT_NO_THROW(
+        sim::validate_placement(*ctx.graph, ctx.simulator.spec(), alloc.allocate(ctx)));
+  }
+  EXPECT_EQ(alloc.name(), "Metis");
+}
+
+TEST_F(Fixture, OracleAllocatorNeverWorse) {
+  const MetisAllocator plain;
+  const MetisOracleAllocator oracle;
+  for (const auto& ctx : contexts) {
+    const double p = ctx.simulator.relative_throughput(plain.allocate(ctx));
+    const double o = ctx.simulator.relative_throughput(oracle.allocate(ctx));
+    EXPECT_GE(o, p - 1e-9);
+  }
+}
+
+TEST_F(Fixture, RoundRobinUsesAllDevices) {
+  const RoundRobinAllocator alloc;
+  const auto p = alloc.allocate(contexts[0]);
+  EXPECT_EQ(sim::devices_used(p), 3u);
+}
+
+TEST_F(Fixture, CoarsenAllocatorNamesAndAllocates) {
+  const gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+  const CoarsenAllocator alloc(policy, rl::metis_placer(), "Coarsen+Metis");
+  EXPECT_EQ(alloc.name(), "Coarsen+Metis");
+  const auto p = alloc.allocate(contexts[0]);
+  EXPECT_NO_THROW(
+      sim::validate_placement(*contexts[0].graph, contexts[0].simulator.spec(), p));
+}
+
+TEST_F(Fixture, EvaluateAllocatorFillsAllFields) {
+  const MetisAllocator alloc;
+  const auto result = evaluate_allocator(alloc, contexts);
+  EXPECT_EQ(result.name, "Metis");
+  ASSERT_EQ(result.throughput.size(), contexts.size());
+  ASSERT_EQ(result.relative.size(), contexts.size());
+  ASSERT_EQ(result.placements.size(), contexts.size());
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    EXPECT_GT(result.throughput[i], 0.0);
+    EXPECT_NEAR(result.relative[i],
+                result.throughput[i] / contexts[i].simulator.spec().source_rate, 1e-12);
+  }
+  EXPECT_GT(result.mean_inference_seconds, 0.0);
+}
+
+TEST_F(Fixture, EvaluateAllocatorParallelMatchesSerial) {
+  const MetisAllocator alloc;
+  ThreadPool pool(4);
+  const auto serial = evaluate_allocator(alloc, contexts, nullptr);
+  const auto parallel = evaluate_allocator(alloc, contexts, &pool);
+  EXPECT_EQ(serial.throughput, parallel.throughput);
+}
+
+}  // namespace
+}  // namespace sc::core

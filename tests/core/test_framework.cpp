@@ -1,0 +1,101 @@
+#include "core/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "gen/generator.hpp"
+#include "partition/allocate.hpp"
+#include "rl/rollout.hpp"
+
+namespace sc::core {
+namespace {
+
+gen::GeneratorConfig small_cfg() {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 15;
+  cfg.topology.max_nodes = 25;
+  cfg.workload.num_devices = 3;
+  return cfg;
+}
+
+TEST(Framework, TrainReturnsPerEpochStats) {
+  const auto cfg = small_cfg();
+  const auto graphs = gen::generate_graphs(cfg, 4, 3);
+  const auto spec = rl::to_cluster_spec(cfg.workload);
+  FrameworkOptions options;
+  options.trainer.metis_guidance = true;
+  CoarsenPartitionFramework fw(options);
+  const auto stats = fw.train(graphs, spec, 2);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_GT(stats[1].mean_best_reward, 0.0);
+}
+
+TEST(Framework, AllocateProducesValidPlacement) {
+  const auto cfg = small_cfg();
+  const auto graphs = gen::generate_graphs(cfg, 1, 5);
+  const auto spec = rl::to_cluster_spec(cfg.workload);
+  const CoarsenPartitionFramework fw;
+  const auto p = fw.allocate(graphs[0], spec);
+  EXPECT_NO_THROW(sim::validate_placement(graphs[0], spec, p));
+}
+
+TEST(Framework, SaveLoadPreservesBehaviour) {
+  namespace fs = std::filesystem;
+  const auto cfg = small_cfg();
+  const auto graphs = gen::generate_graphs(cfg, 3, 7);
+  const auto spec = rl::to_cluster_spec(cfg.workload);
+
+  FrameworkOptions options;
+  options.trainer.metis_guidance = true;
+  CoarsenPartitionFramework a(options);
+  a.train(graphs, spec, 2);
+
+  const fs::path path = fs::temp_directory_path() / "sc_framework_ckpt.txt";
+  a.save(path.string());
+
+  FrameworkOptions fresh;
+  fresh.policy.seed = 999;  // different init
+  CoarsenPartitionFramework b(fresh);
+  b.load(path.string());
+  fs::remove(path);
+
+  for (const auto& g : graphs) {
+    EXPECT_EQ(a.allocate(g, spec), b.allocate(g, spec));
+  }
+}
+
+TEST(Framework, CurriculumTrainsThroughLevels) {
+  const auto cfg = small_cfg();
+  FrameworkOptions options;
+  options.trainer.metis_guidance = true;
+  CoarsenPartitionFramework fw(options);
+
+  std::vector<rl::CurriculumLevel> levels;
+  levels.push_back(rl::make_level("tiny", gen::generate_graphs(cfg, 2, 9), cfg, 1));
+  auto big = small_cfg();
+  big.topology.min_nodes = 30;
+  big.topology.max_nodes = 40;
+  levels.push_back(rl::make_level("bigger", gen::generate_graphs(big, 2, 10), big, 1));
+
+  const auto reports = fw.train_curriculum(levels);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].name, "tiny");
+}
+
+TEST(Framework, PlacerKindsAllWork) {
+  const auto cfg = small_cfg();
+  const auto graphs = gen::generate_graphs(cfg, 1, 13);
+  const auto spec = rl::to_cluster_spec(cfg.workload);
+  for (const PlacerKind kind :
+       {PlacerKind::Metis, PlacerKind::MetisOracle, PlacerKind::CoarsenOnly}) {
+    FrameworkOptions options;
+    options.placer = kind;
+    const CoarsenPartitionFramework fw(options);
+    const auto p = fw.allocate(graphs[0], spec);
+    EXPECT_NO_THROW(sim::validate_placement(graphs[0], spec, p));
+  }
+}
+
+}  // namespace
+}  // namespace sc::core

@@ -1,0 +1,92 @@
+#include "gen/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <string>
+
+namespace sc::gen {
+namespace {
+
+TEST(Dataset, SplitSizesHonoured) {
+  const Dataset ds = make_dataset(Setting::Small, 5, 3, 42);
+  EXPECT_EQ(ds.train.size(), 5u);
+  EXPECT_EQ(ds.test.size(), 3u);
+}
+
+TEST(Dataset, SettingConfigsMatchPaper) {
+  {
+    const auto cfg = setting_config(Setting::Small);
+    EXPECT_EQ(cfg.topology.min_nodes, 4u);
+    EXPECT_EQ(cfg.topology.max_nodes, 26u);
+    EXPECT_EQ(cfg.workload.num_devices, 5u);
+    EXPECT_DOUBLE_EQ(cfg.workload.source_rate, 1e4);
+  }
+  {
+    const auto cfg = setting_config(Setting::Medium);
+    EXPECT_EQ(cfg.topology.min_nodes, 100u);
+    EXPECT_EQ(cfg.topology.max_nodes, 200u);
+    EXPECT_EQ(cfg.workload.num_devices, 10u);
+  }
+  {
+    const auto cfg = setting_config(Setting::MediumSmallCluster);
+    EXPECT_DOUBLE_EQ(cfg.workload.source_rate, 5e3);
+    EXPECT_EQ(cfg.workload.num_devices, 5u);
+  }
+  {
+    const auto cfg = setting_config(Setting::Large);
+    EXPECT_EQ(cfg.topology.min_nodes, 400u);
+    EXPECT_EQ(cfg.topology.max_nodes, 500u);
+    EXPECT_DOUBLE_EQ(cfg.workload.bandwidth, 1.875e8);  // 1500 Mbps
+  }
+  {
+    const auto cfg = setting_config(Setting::XLarge);
+    EXPECT_EQ(cfg.topology.min_nodes, 1000u);
+    EXPECT_EQ(cfg.topology.max_nodes, 2000u);
+    EXPECT_EQ(cfg.workload.num_devices, 20u);
+  }
+}
+
+TEST(Dataset, ExcessSettingReducesDemandAndBandwidth) {
+  const auto large = setting_config(Setting::Large);
+  const auto excess = setting_config(Setting::Excess);
+  EXPECT_LT(excess.workload.bandwidth, large.workload.bandwidth);
+  EXPECT_LT(excess.workload.cpu_frac_hi, large.workload.cpu_frac_hi);
+  // Same topology shapes.
+  EXPECT_EQ(excess.topology.min_nodes, large.topology.min_nodes);
+  EXPECT_EQ(excess.topology.max_nodes, large.topology.max_nodes);
+}
+
+TEST(Dataset, GraphsRespectSettingSizeBounds) {
+  const Dataset ds = make_dataset(Setting::Small, 4, 4, 7);
+  for (const auto& g : ds.train) {
+    EXPECT_GE(g.num_nodes(), 4u);
+    EXPECT_LE(g.num_nodes(), 26u);
+  }
+}
+
+TEST(Dataset, DeterministicGivenSeed) {
+  const Dataset a = make_dataset(Setting::Small, 2, 2, 99);
+  const Dataset b = make_dataset(Setting::Small, 2, 2, 99);
+  EXPECT_EQ(a.train[0].num_nodes(), b.train[0].num_nodes());
+  EXPECT_EQ(a.test[1].num_edges(), b.test[1].num_edges());
+}
+
+TEST(Dataset, NamesCarrySettingPrefix) {
+  const Dataset ds = make_dataset(Setting::Small, 1, 1, 1);
+  EXPECT_NE(ds.train[0].name().find("small"), std::string::npos);
+}
+
+TEST(Dataset, ZeroTotalThrows) {
+  EXPECT_THROW(make_dataset(Setting::Small, 0, 0, 1), Error);
+}
+
+TEST(Dataset, SettingNamesAreDistinct) {
+  EXPECT_STRNE(setting_name(Setting::Small), setting_name(Setting::Medium));
+  EXPECT_STRNE(setting_name(Setting::Large), setting_name(Setting::XLarge));
+  EXPECT_STRNE(setting_name(Setting::Excess), setting_name(Setting::Large));
+}
+
+}  // namespace
+}  // namespace sc::gen

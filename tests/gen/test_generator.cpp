@@ -1,0 +1,193 @@
+#include "gen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/rates.hpp"
+
+namespace sc::gen {
+namespace {
+
+GeneratorConfig small_cfg(std::size_t lo = 20, std::size_t hi = 40) {
+  GeneratorConfig cfg;
+  cfg.topology.min_nodes = lo;
+  cfg.topology.max_nodes = hi;
+  return cfg;
+}
+
+TEST(Generator, NodeCountWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto g = generate_graph(small_cfg(), rng);
+    EXPECT_GE(g.num_nodes(), 20u);
+    EXPECT_LE(g.num_nodes(), 40u);
+  }
+}
+
+TEST(Generator, ProducesDags) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(graph::is_dag(generate_graph(small_cfg(), rng)));
+  }
+}
+
+TEST(Generator, SingleSourceSingleSink) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const auto g = generate_graph(small_cfg(), rng);
+    EXPECT_EQ(g.sources().size(), 1u);
+    EXPECT_EQ(g.sinks().size(), 1u);
+  }
+}
+
+TEST(Generator, WeaklyConnected) {
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    std::size_t k = 0;
+    graph::weak_components(generate_graph(small_cfg(), rng), &k);
+    EXPECT_EQ(k, 1u);
+  }
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  GeneratorConfig cfg = small_cfg();
+  Rng r1(99), r2(99);
+  const auto a = generate_graph(cfg, r1);
+  const auto b = generate_graph(cfg, r2);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (graph::NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(a.op(v).ipt, b.op(v).ipt);
+  }
+  for (graph::EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).src, b.edge(e).src);
+    EXPECT_DOUBLE_EQ(a.edge(e).payload, b.edge(e).payload);
+  }
+}
+
+TEST(Generator, CpuDemandScaledToClusterFraction) {
+  GeneratorConfig cfg = small_cfg(80, 120);
+  const auto& wl = cfg.workload;
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const auto g = generate_graph(cfg, rng);
+    const auto p = graph::compute_load_profile(g);
+    const double demand = wl.source_rate * p.total_cpu;
+    const double capacity = static_cast<double>(wl.num_devices) * wl.device_mips;
+    EXPECT_GE(demand / capacity, wl.cpu_frac_lo - 1e-9);
+    EXPECT_LE(demand / capacity, wl.cpu_frac_hi + 1e-9);
+  }
+}
+
+TEST(Generator, MeanSaturationWithinConfiguredRange) {
+  GeneratorConfig cfg = small_cfg(80, 120);
+  const auto& wl = cfg.workload;
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    const auto g = generate_graph(cfg, rng);
+    const auto p = graph::compute_load_profile(g);
+    const double mean_sat = wl.source_rate * p.total_traffic /
+                            (wl.bandwidth * static_cast<double>(g.num_edges()));
+    EXPECT_GE(mean_sat, wl.sat_lo - 1e-9);
+    EXPECT_LE(mean_sat, wl.sat_hi + 1e-9);
+  }
+}
+
+TEST(Generator, GenerateGraphsProducesRequestedCount) {
+  const auto graphs = generate_graphs(small_cfg(), 7, 123, "t");
+  EXPECT_EQ(graphs.size(), 7u);
+  EXPECT_EQ(graphs[0].name(), "t0");
+  EXPECT_EQ(graphs[6].name(), "t6");
+}
+
+TEST(Generator, GenerateGraphsDeterministicAcrossCalls) {
+  const auto a = generate_graphs(small_cfg(), 3, 555);
+  const auto b = generate_graphs(small_cfg(), 3, 555);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(a[i].num_nodes(), b[i].num_nodes());
+    EXPECT_EQ(a[i].num_edges(), b[i].num_edges());
+  }
+}
+
+TEST(Generator, RejectsDegenerateConfig) {
+  GeneratorConfig cfg;
+  cfg.topology.min_nodes = 2;  // below the 3-node seed
+  Rng rng(1);
+  EXPECT_THROW(generate_graph(cfg, rng), Error);
+
+  GeneratorConfig bad;
+  bad.topology.min_nodes = 50;
+  bad.topology.max_nodes = 10;
+  EXPECT_THROW(generate_graph(bad, rng), Error);
+}
+
+TEST(Generator, BroadcastForksProduceAmplifiedRates) {
+  GeneratorConfig cfg = small_cfg(30, 60);
+  cfg.topology.default_fork = ForkSemantics::Broadcast;
+  cfg.topology.broadcast_prob = 1.0;
+  Rng rng(7);
+  const auto g = generate_graph(cfg, rng);
+  const auto p = graph::compute_load_profile(g);
+  // With broadcast semantics the sink rate should be at least the source rate.
+  double sink_rate = 0.0;
+  for (const auto s : g.sinks()) sink_rate += p.node_rate[s];
+  EXPECT_GE(sink_rate, 1.0);
+}
+
+TEST(Generator, ReplicationSharesFeatureValues) {
+  // Force heavy replication; replicated operators must reuse their group's
+  // IPT draw, so the number of *distinct* ipt values should be clearly
+  // smaller than the node count.
+  GeneratorConfig cfg = small_cfg(40, 60);
+  cfg.topology.replicate_prob = 0.8;
+  Rng rng(31);
+  const auto g = generate_graph(cfg, rng);
+  std::set<double> distinct;
+  for (const auto& op : g.ops()) distinct.insert(op.ipt);
+  EXPECT_LT(distinct.size(), g.num_nodes());
+}
+
+TEST(Generator, NoReplicationGivesMostlyDistinctFeatures) {
+  GeneratorConfig cfg = small_cfg(40, 60);
+  cfg.topology.replicate_prob = 0.0;
+  Rng rng(32);
+  const auto g = generate_graph(cfg, rng);
+  std::set<double> distinct;
+  for (const auto& op : g.ops()) distinct.insert(op.ipt);
+  // Continuous lognormal draws: all distinct with probability ~1.
+  EXPECT_EQ(distinct.size(), g.num_nodes());
+}
+
+TEST(Generator, StructureProbabilitiesShapeTopology) {
+  // Pure-linear configuration must produce a path graph (every node degree
+  // <= 1 in each direction).
+  GeneratorConfig cfg = small_cfg(10, 20);
+  cfg.topology.p_linear = 1.0;
+  cfg.topology.p_branch = 0.0;
+  cfg.topology.p_full = 0.0;
+  cfg.topology.replicate_prob = 0.0;
+  Rng rng(33);
+  const auto g = generate_graph(cfg, rng);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(g.out_degree(v), 1u);
+    EXPECT_LE(g.in_degree(v), 1u);
+  }
+}
+
+TEST(Generator, SelectivityJitterBoundsValues) {
+  GeneratorConfig cfg = small_cfg();
+  cfg.topology.selectivity_jitter = 0.2;
+  Rng rng(8);
+  const auto g = generate_graph(cfg, rng);
+  for (const auto& op : g.ops()) {
+    EXPECT_GE(op.selectivity, 0.8 - 1e-12);
+    EXPECT_LE(op.selectivity, 1.2 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace sc::gen

@@ -1,0 +1,145 @@
+#include "gnn/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "graph/rates.hpp"
+#include "nn/ops.hpp"
+#include "../testutil.hpp"
+
+namespace sc::gnn {
+namespace {
+
+sim::ClusterSpec spec() {
+  sim::ClusterSpec s;
+  s.num_devices = 4;
+  s.device_mips = 100.0;
+  s.bandwidth = 200.0;
+  s.source_rate = 10.0;
+  return s;
+}
+
+GraphFeatures features_of(const graph::StreamGraph& g) {
+  return extract_features(g, graph::compute_load_profile(g), spec());
+}
+
+TEST(Encoder, OutputShapeIsTwiceHidden) {
+  Rng rng(1);
+  EncoderConfig cfg;
+  cfg.hidden = 8;
+  const EdgeAwareEncoder enc(cfg, rng);
+  const auto f = features_of(test::make_diamond());
+  const auto h = enc.forward(f);
+  EXPECT_EQ(h.rows(), 4u);
+  EXPECT_EQ(h.cols(), 16u);
+  EXPECT_EQ(enc.output_dim(), 16u);
+}
+
+TEST(Encoder, OutputBoundedByTanh) {
+  Rng rng(2);
+  const EdgeAwareEncoder enc(EncoderConfig{}, rng);
+  const auto f = features_of(test::make_broadcast_diamond(5.0, 7.0));
+  const auto h = enc.forward(f);
+  for (const double x : h.value()) {
+    EXPECT_LE(std::abs(x), 1.0 + 1e-12);
+  }
+}
+
+TEST(Encoder, DirectionalityMatters) {
+  // A chain's first and last node have symmetric degrees but opposite
+  // directions; their embeddings must differ.
+  Rng rng(3);
+  const EdgeAwareEncoder enc(EncoderConfig{}, rng);
+  const auto g = test::make_chain(3);
+  const auto h = enc.forward(features_of(g));
+  double diff = 0.0;
+  for (std::size_t c = 0; c < h.cols(); ++c) {
+    diff += std::abs(h.at(0, c) - h.at(2, c));
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Encoder, EdgeFeaturesInfluenceEmbeddings) {
+  Rng rng(4);
+  const EdgeAwareEncoder enc(EncoderConfig{}, rng);
+  const auto light = features_of(test::make_chain(4, 1.0, /*payload=*/0.1));
+  const auto heavy = features_of(test::make_chain(4, 1.0, /*payload=*/50.0));
+  const auto h1 = enc.forward(light);
+  const auto h2 = enc.forward(heavy);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < h1.size(); ++i) {
+    diff += std::abs(h1.value()[i] - h2.value()[i]);
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Encoder, AblationIgnoresEdgeFeatures) {
+  Rng rng(5);
+  EncoderConfig cfg;
+  cfg.use_edge_features = false;
+  const EdgeAwareEncoder enc(cfg, rng);
+  // With edge features off, only payload-derived NODE features can differ —
+  // make node features identical by keeping payload constant and varying
+  // rate_factor (enters edge features, not node features).
+  graph::GraphBuilder b1, b2;
+  for (int i = 0; i < 3; ++i) {
+    b1.add_node(1.0);
+    b2.add_node(1.0);
+  }
+  b1.add_edge(0, 1, 1.0);
+  b1.add_edge(1, 2, 1.0);
+  b2.add_edge(0, 1, 1.0);
+  b2.add_edge(1, 2, 1.0);
+  const auto f1 = features_of(b1.build());
+  auto f2 = features_of(b2.build());
+  // Tamper with edge features only: the ablated encoder must not notice.
+  for (double& x : f2.edge.value()) x += 123.0;
+  const auto h1 = enc.forward(f1);
+  const auto h2 = enc.forward(f2);
+  EXPECT_EQ(h1.value(), h2.value());
+}
+
+TEST(Encoder, GradientsReachAllParameters) {
+  Rng rng(6);
+  const EdgeAwareEncoder enc(EncoderConfig{}, rng);
+  const auto f = features_of(test::make_diamond());
+  nn::sum(enc.forward(f)).backward();
+  for (const auto& p : enc.parameters()) {
+    double mag = 0.0;
+    for (const double g : p.grad()) mag += std::abs(g);
+    EXPECT_GT(mag, 0.0) << "a parameter received no gradient";
+  }
+}
+
+TEST(Encoder, HandlesGeneratedGraphs) {
+  Rng rng(7);
+  const EdgeAwareEncoder enc(EncoderConfig{}, rng);
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 40;
+  cfg.topology.max_nodes = 60;
+  Rng grng(8);
+  const auto g = gen::generate_graph(cfg, grng);
+  const auto h = enc.forward(features_of(g));
+  EXPECT_EQ(h.rows(), g.num_nodes());
+  for (const double x : h.value()) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(Encoder, MoreIterationsChangeResult) {
+  Rng rng1(9), rng2(9);
+  EncoderConfig c1, c2;
+  c1.iterations = 1;
+  c2.iterations = 3;
+  const EdgeAwareEncoder e1(c1, rng1);
+  const EdgeAwareEncoder e2(c2, rng2);
+  const auto f = features_of(test::make_chain(6));
+  const auto h1 = e1.forward(f);
+  const auto h2 = e2.forward(f);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < h1.size(); ++i) {
+    diff += std::abs(h1.value()[i] - h2.value()[i]);
+  }
+  EXPECT_GT(diff, 1e-9);
+}
+
+}  // namespace
+}  // namespace sc::gnn

@@ -1,0 +1,80 @@
+#include "gnn/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/rates.hpp"
+#include "../testutil.hpp"
+
+namespace sc::gnn {
+namespace {
+
+sim::ClusterSpec spec() {
+  sim::ClusterSpec s;
+  s.num_devices = 4;
+  s.device_mips = 100.0;
+  s.bandwidth = 200.0;
+  s.source_rate = 10.0;
+  return s;
+}
+
+TEST(Features, ShapesMatchGraph) {
+  const auto g = test::make_diamond(2.0, 3.0);
+  const auto p = graph::compute_load_profile(g);
+  const GraphFeatures f = extract_features(g, p, spec());
+  EXPECT_EQ(f.node.rows(), g.num_nodes());
+  EXPECT_EQ(f.node.cols(), kNodeFeatureDim);
+  EXPECT_EQ(f.edge.rows(), g.num_edges());
+  EXPECT_EQ(f.edge.cols(), kEdgeFeatureDim);
+  EXPECT_EQ(f.edge_src.size(), g.num_edges());
+  EXPECT_EQ(f.edge_dst.size(), g.num_edges());
+}
+
+TEST(Features, CpuUtilizationNormalisedByCapacity) {
+  const auto g = test::make_chain(3, /*ipt=*/5.0);
+  const auto p = graph::compute_load_profile(g);
+  const GraphFeatures f = extract_features(g, p, spec());
+  // cpu_util = I * ipt * rate / mips = 10*5/100 = 0.5 for every chain node.
+  for (std::size_t v = 0; v < 3; ++v) EXPECT_DOUBLE_EQ(f.node.at(v, 0), 0.5);
+}
+
+TEST(Features, EdgeSaturationMatchesDefinition) {
+  const auto g = test::make_chain(2, 1.0, /*payload=*/40.0);
+  const auto p = graph::compute_load_profile(g);
+  const GraphFeatures f = extract_features(g, p, spec());
+  // saturation = I * payload * rate / bw = 10*40/200 = 2.
+  EXPECT_DOUBLE_EQ(f.edge.at(0, 0), 2.0);
+}
+
+TEST(Features, DepthNormalisedToUnitRange) {
+  const auto g = test::make_chain(5);
+  const auto p = graph::compute_load_profile(g);
+  const GraphFeatures f = extract_features(g, p, spec());
+  EXPECT_DOUBLE_EQ(f.node.at(0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(f.node.at(4, 5), 1.0);
+}
+
+TEST(Features, EdgeEndpointsMatchGraph) {
+  const auto g = test::make_broadcast_diamond();
+  const auto p = graph::compute_load_profile(g);
+  const GraphFeatures f = extract_features(g, p, spec());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(f.edge_src[e], g.edge(e).src);
+    EXPECT_EQ(f.edge_dst[e], g.edge(e).dst);
+  }
+}
+
+TEST(Features, FeaturesAreScaleFree) {
+  // Doubling device count only (not MIPS) must not change node features.
+  const auto g = test::make_diamond(2.0, 3.0);
+  const auto p = graph::compute_load_profile(g);
+  sim::ClusterSpec a = spec();
+  sim::ClusterSpec b = spec();
+  b.num_devices = 8;
+  const GraphFeatures fa = extract_features(g, p, a);
+  const GraphFeatures fb = extract_features(g, p, b);
+  EXPECT_EQ(fa.node.value(), fb.node.value());
+  EXPECT_EQ(fa.edge.value(), fb.edge.value());
+}
+
+}  // namespace
+}  // namespace sc::gnn

@@ -1,0 +1,108 @@
+#include "gnn/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "graph/rates.hpp"
+#include "nn/ops.hpp"
+#include "sim/cluster.hpp"
+#include "../testutil.hpp"
+
+namespace sc::gnn {
+namespace {
+
+sim::ClusterSpec spec() {
+  sim::ClusterSpec s;
+  s.num_devices = 4;
+  s.device_mips = 100.0;
+  s.bandwidth = 200.0;
+  s.source_rate = 10.0;
+  return s;
+}
+
+GraphFeatures feats(const graph::StreamGraph& g) {
+  return extract_features(g, graph::compute_load_profile(g), spec());
+}
+
+TEST(Policy, LogitsPerEdge) {
+  const CoarseningPolicy policy{PolicyConfig{}};
+  const auto g = test::make_broadcast_diamond();
+  const auto z = policy.logits(feats(g));
+  EXPECT_EQ(z.size(), g.num_edges());
+}
+
+TEST(Policy, SampleRespectsExtremeProbabilities) {
+  const CoarseningPolicy policy{PolicyConfig{}};
+  Rng rng(1);
+  const std::vector<double> logits{-50.0, 50.0, -50.0, 50.0};
+  for (int i = 0; i < 20; ++i) {
+    const auto mask = policy.sample(logits, rng);
+    EXPECT_EQ(mask[0], 0);
+    EXPECT_EQ(mask[1], 1);
+    EXPECT_EQ(mask[2], 0);
+    EXPECT_EQ(mask[3], 1);
+  }
+}
+
+TEST(Policy, GreedyThreshold) {
+  const CoarseningPolicy policy{PolicyConfig{}};
+  const auto mask = policy.greedy({-0.1, 0.1, 0.0});
+  EXPECT_EQ(mask[0], 0);
+  EXPECT_EQ(mask[1], 1);
+  EXPECT_EQ(mask[2], 0);  // exactly at threshold: not collapsed
+  EXPECT_THROW(policy.greedy({0.0}, 0.0), Error);
+  EXPECT_THROW(policy.greedy({0.0}, 1.0), Error);
+}
+
+TEST(Policy, LogProbMatchesBernoulli) {
+  const CoarseningPolicy policy{PolicyConfig{}};
+  const nn::Tensor z = nn::Tensor::from({0.0, 0.0}, {2});
+  const auto lp = policy.log_prob(z, {1, 0});
+  EXPECT_NEAR(lp.item(), 2.0 * std::log(0.5), 1e-12);
+}
+
+TEST(Policy, ApplyContractsGraph) {
+  const auto g = test::make_chain(4);
+  const auto profile = graph::compute_load_profile(g);
+  const auto c = CoarseningPolicy::apply(g, profile, {1, 0, 1});
+  EXPECT_EQ(c.num_coarse_nodes(), 2u);
+}
+
+TEST(Policy, SaveLoadRoundTrips) {
+  namespace fs = std::filesystem;
+  PolicyConfig cfg;
+  cfg.seed = 1;
+  CoarseningPolicy a(cfg);
+  cfg.seed = 2;
+  CoarseningPolicy b(cfg);
+
+  const auto g = test::make_broadcast_diamond();
+  const auto f = feats(g);
+  const auto za = a.logits(f).value();
+  EXPECT_NE(za, b.logits(f).value());  // different inits differ
+
+  const fs::path path = fs::temp_directory_path() / "sc_policy_ckpt.txt";
+  a.save(path.string());
+  b.load(path.string());
+  EXPECT_EQ(za, b.logits(f).value());
+  fs::remove(path);
+}
+
+TEST(Policy, DeterministicForFixedSeed) {
+  PolicyConfig cfg;
+  cfg.seed = 77;
+  const CoarseningPolicy a(cfg);
+  const CoarseningPolicy b(cfg);
+  const auto f = feats(test::make_diamond());
+  EXPECT_EQ(a.logits(f).value(), b.logits(f).value());
+}
+
+TEST(Policy, MaskSizeValidated) {
+  const auto g = test::make_chain(3);
+  const auto profile = graph::compute_load_profile(g);
+  EXPECT_THROW(CoarseningPolicy::apply(g, profile, {1}), Error);
+}
+
+}  // namespace
+}  // namespace sc::gnn

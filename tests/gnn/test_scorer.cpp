@@ -1,0 +1,116 @@
+#include "gnn/scorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/encoder.hpp"
+#include "graph/rates.hpp"
+#include "nn/ops.hpp"
+#include "../testutil.hpp"
+
+namespace sc::gnn {
+namespace {
+
+sim::ClusterSpec spec() {
+  sim::ClusterSpec s;
+  s.num_devices = 4;
+  s.device_mips = 100.0;
+  s.bandwidth = 200.0;
+  s.source_rate = 10.0;
+  return s;
+}
+
+struct Setup {
+  GraphFeatures f;
+  EdgeAwareEncoder enc;
+  nn::Tensor h;
+};
+
+Setup make_setup(const graph::StreamGraph& g, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  Setup s{extract_features(g, graph::compute_load_profile(g), spec()),
+          EdgeAwareEncoder(EncoderConfig{}, rng), {}};
+  s.h = s.enc.forward(s.f);
+  return s;
+}
+
+TEST(Scorer, OneLogitPerEdge) {
+  const auto g = test::make_broadcast_diamond();
+  auto s = make_setup(g);
+  Rng rng(2);
+  const EdgeCollapseScorer scorer(s.enc.output_dim(), ScorerConfig{}, rng);
+  const auto logits = scorer.forward(s.h, s.f);
+  EXPECT_EQ(logits.size(), g.num_edges());
+  EXPECT_EQ(logits.dim(), 1u);
+}
+
+TEST(Scorer, InitialBiasMakesCollapseUnlikely) {
+  const auto g = test::make_chain(5);
+  auto s = make_setup(g);
+  Rng rng(3);
+  ScorerConfig cfg;
+  cfg.init_logit_bias = -3.0;
+  const EdgeCollapseScorer scorer(s.enc.output_dim(), cfg, rng);
+  const auto logits = scorer.forward(s.h, s.f);
+  for (const double z : logits.value()) {
+    EXPECT_LT(1.0 / (1.0 + std::exp(-z)), 0.5);
+  }
+}
+
+TEST(Scorer, DirectionAsymmetry) {
+  // Reversing an edge changes which node is head vs tail, so the logit of a
+  // chain edge should differ from the logit of its mirror.
+  graph::GraphBuilder fwd, rev;
+  for (int i = 0; i < 2; ++i) {
+    fwd.add_node(1.0 + i);  // asymmetric node features
+    rev.add_node(1.0 + i);
+  }
+  fwd.add_edge(0, 1, 2.0);
+  rev.add_edge(1, 0, 2.0);
+  auto sf = make_setup(fwd.build(), 7);
+  auto sr = make_setup(rev.build(), 7);
+  Rng rng(8);
+  const EdgeCollapseScorer scorer(sf.enc.output_dim(), ScorerConfig{}, rng);
+  const double zf = scorer.forward(sf.h, sf.f).at(0);
+  const double zr = scorer.forward(sr.h, sr.f).at(0);
+  EXPECT_NE(zf, zr);
+}
+
+TEST(Scorer, EdgeFeatureAblationIgnoresEdgeFeatures) {
+  const auto g = test::make_chain(4);
+  auto s = make_setup(g, 9);
+  Rng rng(10);
+  ScorerConfig cfg;
+  cfg.use_edge_features = false;
+  const EdgeCollapseScorer scorer(s.enc.output_dim(), cfg, rng);
+  const auto before = scorer.forward(s.h, s.f).value();
+  for (double& x : s.f.edge.value()) x += 42.0;
+  const auto after = scorer.forward(s.h, s.f).value();
+  EXPECT_EQ(before, after);
+}
+
+TEST(Scorer, AblationDropsEdgeProjectionParams) {
+  Rng rng1(11), rng2(11);
+  ScorerConfig with, without;
+  without.use_edge_features = false;
+  const EdgeCollapseScorer a(16, with, rng1);
+  const EdgeCollapseScorer b(16, without, rng2);
+  EXPECT_GT(a.parameters().size(), b.parameters().size());
+}
+
+TEST(Scorer, GradientsFlowToAllParameters) {
+  const auto g = test::make_broadcast_diamond();
+  auto s = make_setup(g, 12);
+  Rng rng(13);
+  const EdgeCollapseScorer scorer(s.enc.output_dim(), ScorerConfig{}, rng);
+  nn::sum(scorer.forward(s.h, s.f)).backward();
+  for (const auto& p : scorer.parameters()) {
+    double mag = 0.0;
+    for (const double gr : p.grad()) mag += std::abs(gr);
+    EXPECT_GT(mag, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sc::gnn

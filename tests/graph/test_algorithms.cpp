@@ -1,0 +1,75 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "../testutil.hpp"
+
+namespace sc::graph {
+namespace {
+
+TEST(TopologicalOrder, RespectsEdges) {
+  const StreamGraph g = test::make_diamond();
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), g.num_nodes());
+  std::vector<std::size_t> pos(g.num_nodes());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const Channel& c : g.edges()) EXPECT_LT(pos[c.src], pos[c.dst]);
+}
+
+TEST(TopologicalOrder, ChainIsIdentity) {
+  const StreamGraph g = test::make_chain(6);
+  const auto order = topological_order(g);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(IsDag, DetectsCycle) {
+  GraphBuilder b;
+  b.add_node(1.0);
+  b.add_node(1.0);
+  b.add_node(1.0);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(2, 0, 1.0);
+  const StreamGraph g = b.build(/*require_dag=*/false);
+  EXPECT_FALSE(is_dag(g));
+  EXPECT_THROW(topological_order(g), Error);
+}
+
+TEST(IsDag, AcceptsDag) {
+  EXPECT_TRUE(is_dag(test::make_broadcast_diamond()));
+}
+
+TEST(WeakComponents, SingleComponent) {
+  std::size_t k = 0;
+  const auto label = weak_components(test::make_diamond(), &k);
+  EXPECT_EQ(k, 1u);
+  for (const NodeId l : label) EXPECT_EQ(l, 0u);
+}
+
+TEST(WeakComponents, TwoComponents) {
+  std::size_t k = 0;
+  const auto label = weak_components(test::make_two_components(), &k);
+  EXPECT_EQ(k, 2u);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[2], label[3]);
+  EXPECT_NE(label[0], label[2]);
+}
+
+TEST(DepthLayers, DiamondDepths) {
+  const auto depth = depth_layers(test::make_diamond());
+  EXPECT_EQ(depth[0], 0u);
+  EXPECT_EQ(depth[1], 1u);
+  EXPECT_EQ(depth[2], 1u);
+  EXPECT_EQ(depth[3], 2u);
+}
+
+TEST(CriticalPath, ChainLengthEqualsNodes) {
+  EXPECT_EQ(critical_path_length(test::make_chain(9)), 9u);
+  EXPECT_EQ(critical_path_length(test::make_diamond()), 3u);
+}
+
+}  // namespace
+}  // namespace sc::graph

@@ -1,0 +1,131 @@
+#include "graph/contraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "../testutil.hpp"
+
+namespace sc::graph {
+namespace {
+
+TEST(Contract, NoEdgesCollapsedIsIdentity) {
+  const StreamGraph g = test::make_chain(4);
+  const LoadProfile p = compute_load_profile(g);
+  const Coarsening c = contract(g, p, std::vector<bool>(g.num_edges(), false));
+  EXPECT_EQ(c.num_coarse_nodes(), 4u);
+  EXPECT_DOUBLE_EQ(c.compression_ratio(), 1.0);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(c.groups[c.node_map[v]][0], v);
+}
+
+TEST(Contract, AllEdgesCollapsedGivesSingleNode) {
+  const StreamGraph g = test::make_chain(5, 2.0, 1.0);
+  const LoadProfile p = compute_load_profile(g);
+  const Coarsening c = contract(g, p, std::vector<bool>(g.num_edges(), true));
+  EXPECT_EQ(c.num_coarse_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(c.compression_ratio(), 5.0);
+  EXPECT_DOUBLE_EQ(c.coarse.node_weight(0), 10.0);  // summed CPU
+  EXPECT_EQ(c.coarse.num_edges(), 0u);              // internal edges vanish
+}
+
+TEST(Contract, PartialCollapseMergesWeights) {
+  // chain 0-1-2-3; collapse edge (1,2) only.
+  const StreamGraph g = test::make_chain(4, 1.0, 7.0);
+  const LoadProfile p = compute_load_profile(g);
+  std::vector<bool> mask{false, true, false};
+  const Coarsening c = contract(g, p, mask);
+  EXPECT_EQ(c.num_coarse_nodes(), 3u);
+  EXPECT_EQ(c.node_map[1], c.node_map[2]);
+  EXPECT_DOUBLE_EQ(c.coarse.node_weight(c.node_map[1]), 2.0);
+  // Two surviving coarse edges with traffic 7.
+  EXPECT_EQ(c.coarse.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(c.coarse.total_edge_weight(), 14.0);
+}
+
+TEST(Contract, ParallelCoarseEdgesMerge) {
+  // Diamond: collapsing (0,1) and (3's input from 2)? Collapse both branch
+  // nodes into head & tail; the two parallel coarse edges must merge.
+  const StreamGraph g = test::make_broadcast_diamond(1.0, 3.0);
+  const LoadProfile p = compute_load_profile(g);
+  // Edges: 0->1, 0->2, 1->3, 2->3. Collapse 0->1 and 2->3.
+  std::vector<bool> mask{true, false, false, true};
+  const Coarsening c = contract(g, p, mask);
+  EXPECT_EQ(c.num_coarse_nodes(), 2u);
+  EXPECT_EQ(c.coarse.num_edges(), 1u);  // 0->2 and 1->3 merge between groups
+  EXPECT_DOUBLE_EQ(c.coarse.edge(0).weight, 6.0);
+}
+
+TEST(Contract, MaskSizeMismatchThrows) {
+  const StreamGraph g = test::make_chain(3);
+  const LoadProfile p = compute_load_profile(g);
+  EXPECT_THROW(contract(g, p, std::vector<bool>(99, false)), Error);
+}
+
+TEST(ExpandPlacement, RoundTripsCoarseAssignment) {
+  const StreamGraph g = test::make_chain(4);
+  const LoadProfile p = compute_load_profile(g);
+  const Coarsening c = contract(g, p, {true, false, true});  // {0,1}, {2,3}
+  const std::vector<int> fine = c.expand_placement({5, 9});
+  EXPECT_EQ(fine[0], fine[1]);
+  EXPECT_EQ(fine[2], fine[3]);
+  EXPECT_NE(fine[0], fine[2]);
+}
+
+TEST(ExpandPlacement, WrongSizeThrows) {
+  const StreamGraph g = test::make_chain(3);
+  const LoadProfile p = compute_load_profile(g);
+  const Coarsening c = contract(g, p, {true, true});
+  EXPECT_THROW(c.expand_placement({0, 1}), Error);
+}
+
+TEST(ContractByGroups, MatchesEdgeMaskContraction) {
+  const StreamGraph g = test::make_chain(4);
+  const LoadProfile p = compute_load_profile(g);
+  const Coarsening c = contract_by_groups(g, p, {0, 0, 1, 1});
+  EXPECT_EQ(c.num_coarse_nodes(), 2u);
+  EXPECT_EQ(c.node_map[0], c.node_map[1]);
+  EXPECT_EQ(c.node_map[2], c.node_map[3]);
+}
+
+TEST(MaskFromGroups, RecoversSpanningEdgesOfGroups) {
+  const StreamGraph g = test::make_chain(4, 1.0, 1.0);
+  const LoadProfile p = compute_load_profile(g);
+  const auto mask = mask_from_groups(g, p, {0, 0, 1, 1});
+  EXPECT_TRUE(mask[0]);   // 0-1 intra group 0
+  EXPECT_FALSE(mask[1]);  // 1-2 crosses groups
+  EXPECT_TRUE(mask[2]);   // 2-3 intra group 1
+  // Round trip: contracting by the mask reproduces the grouping.
+  const Coarsening c = contract(g, p, mask);
+  EXPECT_EQ(c.num_coarse_nodes(), 2u);
+}
+
+TEST(MaskFromGroups, PicksHeaviestSpanningEdges) {
+  // Triangle-ish DAG inside one group: 0->1 (w 1), 0->2 (w 10), 1->2 (w 5).
+  GraphBuilder b;
+  b.add_node(1.0);
+  b.add_node(1.0);
+  b.add_node(1.0);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(0, 2, 10.0);
+  b.add_edge(1, 2, 5.0);
+  const StreamGraph g = b.build();
+  const LoadProfile p = compute_load_profile(g);
+  const auto mask = mask_from_groups(g, p, {0, 0, 0});
+  // Spanning tree of 3 nodes needs 2 edges; heaviest-first picks 0->2, 1->2.
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_TRUE(mask[2]);
+}
+
+TEST(MaskFromGroups, DisconnectedGroupKeepsComponentsSeparate) {
+  // Group {0, 3} is not connected by any edge: mask must not invent edges,
+  // and contraction by groups still merges them (groups are authoritative).
+  const StreamGraph g = test::make_chain(4);
+  const LoadProfile p = compute_load_profile(g);
+  const auto mask = mask_from_groups(g, p, {0, 1, 1, 0});
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_FALSE(mask[2]);
+}
+
+}  // namespace
+}  // namespace sc::graph

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "graph/io.hpp"
+#include "../testutil.hpp"
+
+namespace sc::graph {
+namespace {
+
+TEST(DotExport, EmitsAllNodesAndEdges) {
+  const auto g = test::make_diamond();
+  std::ostringstream os;
+  write_dot(os, g);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("digraph"), std::string::npos);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_NE(out.find("n" + std::to_string(v) + " ["), std::string::npos);
+  }
+  EXPECT_NE(out.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(out.find("n2 -> n3"), std::string::npos);
+}
+
+TEST(DotExport, GroupsColorNodes) {
+  const auto g = test::make_chain(4);
+  const auto profile = compute_load_profile(g);
+  const std::vector<NodeId> groups{0, 0, 1, 1};
+  std::ostringstream os;
+  write_dot(os, g, &profile, &groups);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("fillcolor=\"#"), std::string::npos);
+  // Intra-group edges are dashed (visually "collapsed").
+  EXPECT_NE(out.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotExport, ProfileAddsCpuLabelsAndPenwidths) {
+  const auto g = test::make_chain(3, 2.0, 4.0);
+  const auto profile = compute_load_profile(g);
+  std::ostringstream os;
+  write_dot(os, g, &profile);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("cpu="), std::string::npos);
+  EXPECT_NE(out.find("penwidth="), std::string::npos);
+}
+
+TEST(DotExport, RejectsMismatchedInputs) {
+  const auto g = test::make_chain(3);
+  const std::vector<NodeId> wrong{0};
+  std::ostringstream os;
+  EXPECT_THROW(write_dot(os, g, nullptr, &wrong), Error);
+}
+
+}  // namespace
+}  // namespace sc::graph

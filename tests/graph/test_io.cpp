@@ -1,0 +1,76 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "../testutil.hpp"
+
+namespace sc::graph {
+namespace {
+
+TEST(GraphIo, RoundTripsSingleGraph) {
+  const StreamGraph g = test::make_diamond(2.5, 3.75);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const StreamGraph h = read_graph(ss);
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(h.op(v).ipt, g.op(v).ipt);
+    EXPECT_DOUBLE_EQ(h.op(v).selectivity, g.op(v).selectivity);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.edge(e).src, g.edge(e).src);
+    EXPECT_EQ(h.edge(e).dst, g.edge(e).dst);
+    EXPECT_DOUBLE_EQ(h.edge(e).payload, g.edge(e).payload);
+    EXPECT_DOUBLE_EQ(h.edge(e).rate_factor, g.edge(e).rate_factor);
+  }
+}
+
+TEST(GraphIo, PreservesName) {
+  GraphBuilder b("myname");
+  b.add_node(1.0);
+  std::stringstream ss;
+  write_graph(ss, b.build());
+  EXPECT_EQ(read_graph(ss).name(), "myname");
+}
+
+TEST(GraphIo, SkipsCommentsAndBlankLines) {
+  std::stringstream ss;
+  ss << "# header comment\n\nstreamgraph t\nnodes 1\n1.0 1.0\nedges 0\nend\n";
+  const StreamGraph g = read_graph(ss);
+  EXPECT_EQ(g.num_nodes(), 1u);
+}
+
+TEST(GraphIo, MalformedInputThrows) {
+  std::stringstream ss("nonsense 3\n");
+  EXPECT_THROW(read_graph(ss), Error);
+
+  std::stringstream truncated("streamgraph t\nnodes 2\n1.0 1.0\n");
+  EXPECT_THROW(read_graph(truncated), Error);
+}
+
+TEST(GraphIo, SaveLoadMultipleGraphs) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "sc_io_test_graphs.txt";
+  std::vector<StreamGraph> graphs{test::make_chain(3), test::make_diamond(),
+                                  test::make_two_components()};
+  save_graphs(path.string(), graphs);
+  const auto loaded = load_graphs(path.string());
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].num_nodes(), 3u);
+  EXPECT_EQ(loaded[1].num_nodes(), 4u);
+  EXPECT_EQ(loaded[2].num_edges(), 2u);
+  fs::remove(path);
+}
+
+TEST(GraphIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_graphs("/nonexistent/path/graphs.txt"), Error);
+}
+
+}  // namespace
+}  // namespace sc::graph

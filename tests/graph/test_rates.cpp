@@ -1,0 +1,73 @@
+#include "graph/rates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+
+namespace sc::graph {
+namespace {
+
+TEST(LoadProfile, ChainCarriesUnitRateEverywhere) {
+  const StreamGraph g = test::make_chain(5, /*ipt=*/2.0, /*payload=*/3.0);
+  const LoadProfile p = compute_load_profile(g);
+  for (const double r : p.node_rate) EXPECT_DOUBLE_EQ(r, 1.0);
+  for (const double r : p.edge_rate) EXPECT_DOUBLE_EQ(r, 1.0);
+  for (const double c : p.node_cpu) EXPECT_DOUBLE_EQ(c, 2.0);
+  for (const double t : p.edge_traffic) EXPECT_DOUBLE_EQ(t, 3.0);
+  EXPECT_DOUBLE_EQ(p.total_cpu, 10.0);
+  EXPECT_DOUBLE_EQ(p.total_traffic, 12.0);
+}
+
+TEST(LoadProfile, SplitDiamondConservesRate) {
+  const StreamGraph g = test::make_diamond();
+  const LoadProfile p = compute_load_profile(g);
+  EXPECT_DOUBLE_EQ(p.node_rate[0], 1.0);
+  EXPECT_DOUBLE_EQ(p.node_rate[1], 0.5);
+  EXPECT_DOUBLE_EQ(p.node_rate[2], 0.5);
+  EXPECT_DOUBLE_EQ(p.node_rate[3], 1.0);  // 0.5 + 0.5 rejoin
+}
+
+TEST(LoadProfile, BroadcastDiamondDuplicatesRate) {
+  const StreamGraph g = test::make_broadcast_diamond();
+  const LoadProfile p = compute_load_profile(g);
+  EXPECT_DOUBLE_EQ(p.node_rate[1], 1.0);
+  EXPECT_DOUBLE_EQ(p.node_rate[2], 1.0);
+  EXPECT_DOUBLE_EQ(p.node_rate[3], 2.0);  // both branches deliver full rate
+}
+
+TEST(LoadProfile, SelectivityScalesDownstream) {
+  GraphBuilder b;
+  b.add_node(1.0, /*selectivity=*/0.5);  // filter drops half the tuples
+  b.add_node(1.0);
+  b.add_edge(0, 1, 1.0);
+  const LoadProfile p = compute_load_profile(b.build());
+  EXPECT_DOUBLE_EQ(p.node_rate[0], 1.0);
+  EXPECT_DOUBLE_EQ(p.edge_rate[0], 0.5);
+  EXPECT_DOUBLE_EQ(p.node_rate[1], 0.5);
+}
+
+TEST(LoadProfile, MultipleSourcesEachContribute) {
+  GraphBuilder b;
+  b.add_node(1.0);
+  b.add_node(1.0);
+  b.add_node(1.0);
+  b.add_edge(0, 2, 1.0);
+  b.add_edge(1, 2, 1.0);
+  const LoadProfile p = compute_load_profile(b.build());
+  EXPECT_DOUBLE_EQ(p.node_rate[2], 2.0);
+}
+
+TEST(LoadProfile, RateFactorWeightsEdges) {
+  GraphBuilder b;
+  b.add_node(1.0);
+  b.add_node(1.0);
+  b.add_node(1.0);
+  b.add_edge(0, 1, 1.0, 0.25);
+  b.add_edge(0, 2, 1.0, 0.75);
+  const LoadProfile p = compute_load_profile(b.build());
+  EXPECT_DOUBLE_EQ(p.edge_rate[0], 0.25);
+  EXPECT_DOUBLE_EQ(p.edge_rate[1], 0.75);
+}
+
+}  // namespace
+}  // namespace sc::graph

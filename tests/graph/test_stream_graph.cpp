@@ -1,0 +1,115 @@
+#include "graph/stream_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "../testutil.hpp"
+
+namespace sc::graph {
+namespace {
+
+TEST(GraphBuilder, BuildsChainWithCorrectAdjacency) {
+  const StreamGraph g = test::make_chain(4);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+  EXPECT_EQ(g.in_degree(3), 1u);
+  EXPECT_EQ(g.edge(g.out_edges(1)[0]).dst, 2u);
+  EXPECT_EQ(g.edge(g.in_edges(1)[0]).src, 0u);
+}
+
+TEST(GraphBuilder, SourcesAndSinksIdentified) {
+  const StreamGraph g = test::make_diamond();
+  ASSERT_EQ(g.sources().size(), 1u);
+  ASSERT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.sources()[0], 0u);
+  EXPECT_EQ(g.sinks()[0], 3u);
+}
+
+TEST(GraphBuilder, MultipleSourcesAndSinks) {
+  const StreamGraph g = test::make_two_components();
+  EXPECT_EQ(g.sources().size(), 2u);
+  EXPECT_EQ(g.sinks().size(), 2u);
+}
+
+TEST(GraphBuilder, RejectsEmptyGraph) {
+  GraphBuilder b;
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b;
+  b.add_node(1.0);
+  EXPECT_THROW(b.add_edge(0, 0, 1.0), Error);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeEndpoint) {
+  GraphBuilder b;
+  b.add_node(1.0);
+  EXPECT_THROW(b.add_edge(0, 5, 1.0), Error);
+  EXPECT_THROW(b.add_edge(5, 0, 1.0), Error);
+}
+
+TEST(GraphBuilder, RejectsDuplicateEdge) {
+  GraphBuilder b;
+  b.add_node(1.0);
+  b.add_node(1.0);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 0, 1.0);  // reversed direction is fine at build time for DAG check below
+  GraphBuilder b2;
+  b2.add_node(1.0);
+  b2.add_node(1.0);
+  b2.add_edge(0, 1, 1.0);
+  b2.add_edge(0, 1, 2.0);
+  EXPECT_THROW(b2.build(), Error);
+}
+
+TEST(GraphBuilder, RejectsCycleWhenDagRequired) {
+  GraphBuilder b;
+  b.add_node(1.0);
+  b.add_node(1.0);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 0, 1.0);
+  EXPECT_THROW(b.build(/*require_dag=*/true), Error);
+  EXPECT_NO_THROW(b.build(/*require_dag=*/false));
+}
+
+TEST(GraphBuilder, RejectsNegativeFeatures) {
+  GraphBuilder b;
+  EXPECT_THROW(b.add_node(-1.0), Error);
+  b.add_node(1.0);
+  b.add_node(1.0);
+  EXPECT_THROW(b.add_edge(0, 1, -2.0), Error);
+}
+
+TEST(GraphBuilder, PreservesFeatures) {
+  GraphBuilder b("feat");
+  b.add_node(3.5, 0.9);
+  b.add_node(1.25);
+  b.add_edge(0, 1, 7.0, 0.5);
+  const StreamGraph g = b.build();
+  EXPECT_DOUBLE_EQ(g.op(0).ipt, 3.5);
+  EXPECT_DOUBLE_EQ(g.op(0).selectivity, 0.9);
+  EXPECT_DOUBLE_EQ(g.edge(0).payload, 7.0);
+  EXPECT_DOUBLE_EQ(g.edge(0).rate_factor, 0.5);
+  EXPECT_EQ(g.name(), "feat");
+}
+
+TEST(GraphBuilder, CsrAdjacencyIsConsistent) {
+  const StreamGraph g = test::make_broadcast_diamond();
+  // Every edge id reachable from out_edges must round-trip via in_edges.
+  std::size_t total_out = 0, total_in = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    total_out += g.out_edges(v).size();
+    total_in += g.in_edges(v).size();
+    for (const EdgeId e : g.out_edges(v)) EXPECT_EQ(g.edge(e).src, v);
+    for (const EdgeId e : g.in_edges(v)) EXPECT_EQ(g.edge(e).dst, v);
+  }
+  EXPECT_EQ(total_out, g.num_edges());
+  EXPECT_EQ(total_in, g.num_edges());
+}
+
+}  // namespace
+}  // namespace sc::graph

@@ -1,0 +1,54 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sc::graph {
+namespace {
+
+TEST(UnionFind, StartsFullyDisjoint) {
+  UnionFind dsu(5);
+  EXPECT_EQ(dsu.num_components(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(dsu.find(i), i);
+    EXPECT_EQ(dsu.set_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndReportsNovelty) {
+  UnionFind dsu(4);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(1, 0));  // already merged
+  EXPECT_TRUE(dsu.same(0, 1));
+  EXPECT_FALSE(dsu.same(0, 2));
+  EXPECT_EQ(dsu.num_components(), 3u);
+  EXPECT_EQ(dsu.set_size(0), 2u);
+}
+
+TEST(UnionFind, TransitiveMerging) {
+  UnionFind dsu(6);
+  dsu.unite(0, 1);
+  dsu.unite(2, 3);
+  dsu.unite(1, 2);
+  EXPECT_TRUE(dsu.same(0, 3));
+  EXPECT_EQ(dsu.set_size(3), 4u);
+  EXPECT_EQ(dsu.num_components(), 3u);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFind, PathCompressionPreservesSemantics) {
+  // Long chain of unions, then verify every element agrees on the root.
+  const std::size_t n = 1000;
+  UnionFind dsu(n);
+  for (std::size_t i = 1; i < n; ++i) dsu.unite(i - 1, i);
+  const std::size_t root = dsu.find(0);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(dsu.find(i), root);
+  EXPECT_EQ(dsu.num_components(), 1u);
+  EXPECT_EQ(dsu.set_size(42), n);
+}
+
+TEST(UnionFind, SizeAccessor) {
+  UnionFind dsu(7);
+  EXPECT_EQ(dsu.size(), 7u);
+}
+
+}  // namespace
+}  // namespace sc::graph

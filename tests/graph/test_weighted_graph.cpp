@@ -1,0 +1,66 @@
+#include "graph/weighted_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "../testutil.hpp"
+
+namespace sc::graph {
+namespace {
+
+TEST(WeightedGraph, MergesParallelAndReversedEdges) {
+  const WeightedGraph g({1.0, 1.0},
+                        {WeightedEdge{0, 1, 2.0}, WeightedEdge{1, 0, 3.0},
+                         WeightedEdge{0, 1, 5.0}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).weight, 10.0);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 10.0);
+}
+
+TEST(WeightedGraph, DropsSelfLoops) {
+  const WeightedGraph g({1.0, 1.0}, {WeightedEdge{0, 0, 9.0}, WeightedEdge{0, 1, 1.0}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(WeightedGraph, IncidenceCoversBothEndpoints) {
+  const WeightedGraph g({1.0, 2.0, 3.0},
+                        {WeightedEdge{0, 1, 1.0}, WeightedEdge{1, 2, 1.0}});
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.other(g.incident(0)[0], 0), 1u);
+}
+
+TEST(WeightedGraph, TotalsAccumulate) {
+  const WeightedGraph g({1.0, 2.0, 3.0}, {WeightedEdge{0, 2, 4.0}});
+  EXPECT_DOUBLE_EQ(g.total_node_weight(), 6.0);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 4.0);
+}
+
+TEST(WeightedGraph, RejectsInvalidInput) {
+  EXPECT_THROW(WeightedGraph({}, {}), Error);
+  EXPECT_THROW(WeightedGraph({-1.0}, {}), Error);
+  EXPECT_THROW(WeightedGraph({1.0}, {WeightedEdge{0, 3, 1.0}}), Error);
+  EXPECT_THROW(WeightedGraph({1.0, 1.0}, {WeightedEdge{0, 1, -1.0}}), Error);
+}
+
+TEST(ToWeighted, UsesLoadProfileWeights) {
+  const StreamGraph g = test::make_chain(3, /*ipt=*/2.0, /*payload=*/5.0);
+  const LoadProfile p = compute_load_profile(g);
+  const WeightedGraph wg = to_weighted(g, p);
+  EXPECT_EQ(wg.num_nodes(), 3u);
+  EXPECT_EQ(wg.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(wg.node_weight(1), 2.0);
+  EXPECT_DOUBLE_EQ(wg.edge(0).weight, 5.0);
+}
+
+TEST(ToWeighted, BroadcastDiamondTrafficReflectsRates) {
+  const StreamGraph g = test::make_broadcast_diamond(1.0, 2.0);
+  const LoadProfile p = compute_load_profile(g);
+  const WeightedGraph wg = to_weighted(g, p);
+  // Join node processes rate 2 (two incoming branches at rate 1).
+  EXPECT_DOUBLE_EQ(wg.node_weight(3), 2.0);
+}
+
+}  // namespace
+}  // namespace sc::graph

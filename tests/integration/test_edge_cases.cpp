@@ -1,0 +1,112 @@
+// Degenerate inputs the full pipeline must survive: single-operator graphs,
+// edgeless multi-source graphs, one-device clusters, graphs smaller than the
+// device count.
+#include <gtest/gtest.h>
+
+#include "core/allocator.hpp"
+#include "core/framework.hpp"
+#include "partition/allocate.hpp"
+#include "rl/rollout.hpp"
+
+namespace sc {
+namespace {
+
+sim::ClusterSpec spec(std::size_t devices) {
+  sim::ClusterSpec s;
+  s.num_devices = devices;
+  s.device_mips = 100.0;
+  s.bandwidth = 100.0;
+  s.source_rate = 10.0;
+  return s;
+}
+
+graph::StreamGraph single_node() {
+  graph::GraphBuilder b("single");
+  b.add_node(5.0);
+  return b.build();
+}
+
+graph::StreamGraph edgeless_pair() {
+  graph::GraphBuilder b("pair");
+  b.add_node(5.0);
+  b.add_node(7.0);
+  return b.build();
+}
+
+TEST(EdgeCases, SingleNodeThroughFullPipeline) {
+  const auto g = single_node();
+  const rl::GraphContext ctx(g, spec(4));
+  const gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+  const auto p = rl::allocate_with_policy(policy, ctx, rl::metis_placer());
+  ASSERT_EQ(p.size(), 1u);
+  // ipt 5 at rate 10 on 100 MIPS: r* = min(10, 100/5) = 10 -> relative 1.
+  EXPECT_DOUBLE_EQ(ctx.simulator.relative_throughput(p), 1.0);
+}
+
+TEST(EdgeCases, EdgelessGraphAllAllocators) {
+  const auto g = edgeless_pair();
+  const rl::GraphContext ctx(g, spec(3));
+  const gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+  const core::MetisAllocator metis;
+  const core::MetisOracleAllocator oracle;
+  const core::CoarsenAllocator coarsen(policy, rl::metis_placer(), "c");
+  for (const core::Allocator* a :
+       std::initializer_list<const core::Allocator*>{&metis, &oracle, &coarsen}) {
+    const auto p = a->allocate(ctx);
+    EXPECT_NO_THROW(sim::validate_placement(g, ctx.simulator.spec(), p)) << a->name();
+  }
+}
+
+TEST(EdgeCases, SingleDeviceCluster) {
+  graph::GraphBuilder b;
+  b.add_node(1.0);
+  b.add_node(1.0);
+  b.add_edge(0, 1, 3.0);
+  const auto g = b.build();
+  const rl::GraphContext ctx(g, spec(1));
+  const gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+  const auto p = rl::allocate_with_policy(policy, ctx, rl::metis_placer());
+  for (const int d : p) EXPECT_EQ(d, 0);
+}
+
+TEST(EdgeCases, FewerNodesThanDevices) {
+  graph::GraphBuilder b;
+  b.add_node(20.0);
+  b.add_node(20.0);
+  b.add_edge(0, 1, 0.1);
+  const auto g = b.build();
+  const rl::GraphContext ctx(g, spec(8));
+  const auto p = partition::metis_allocate(g, ctx.simulator.spec());
+  EXPECT_NO_THROW(sim::validate_placement(g, ctx.simulator.spec(), p));
+}
+
+TEST(EdgeCases, TrainingOnTinyGraphsDoesNotCrash) {
+  std::vector<graph::StreamGraph> graphs;
+  graphs.push_back(single_node());
+  graphs.push_back(edgeless_pair());
+  {
+    graph::GraphBuilder b;
+    b.add_node(1.0);
+    b.add_node(1.0);
+    b.add_edge(0, 1, 1.0);
+    graphs.push_back(b.build());
+  }
+  core::FrameworkOptions options;
+  options.trainer.metis_guidance = true;
+  core::CoarsenPartitionFramework fw(options);
+  EXPECT_NO_THROW(fw.train(graphs, spec(2), 2));
+}
+
+TEST(EdgeCases, ZeroPayloadEdgesAreFree) {
+  graph::GraphBuilder b;
+  b.add_node(1.0);
+  b.add_node(1.0);
+  b.add_edge(0, 1, 0.0);
+  const auto g = b.build();
+  const sim::FluidSimulator sim(g, spec(2));
+  EXPECT_DOUBLE_EQ(sim.relative_throughput({0, 1}),
+                   sim.relative_throughput({0, 0}));
+}
+
+}  // namespace
+}  // namespace sc

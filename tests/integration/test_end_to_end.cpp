@@ -1,0 +1,117 @@
+// End-to-end integration: train the full framework briefly on tiny graphs
+// and check the paper's qualitative claims hold at miniature scale.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baselines/graph_enc_dec.hpp"
+#include "baselines/trainer.hpp"
+#include "core/allocator.hpp"
+#include "core/framework.hpp"
+#include "gen/generator.hpp"
+#include "metrics/stats.hpp"
+#include "rl/rollout.hpp"
+
+namespace sc {
+namespace {
+
+gen::GeneratorConfig tiny_cfg() {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 20;
+  cfg.topology.max_nodes = 35;
+  cfg.workload.num_devices = 4;
+  return cfg;
+}
+
+TEST(EndToEnd, TrainingBeatsUntrainedPolicy) {
+  const auto cfg = tiny_cfg();
+  const auto train = gen::generate_graphs(cfg, 10, 1);
+  const auto test = gen::generate_graphs(cfg, 8, 2);
+  const auto spec = rl::to_cluster_spec(cfg.workload);
+  const auto test_ctx = rl::make_contexts(test, spec);
+
+  core::FrameworkOptions options;
+  options.trainer.metis_guidance = true;
+  core::CoarsenPartitionFramework untrained(options);
+  core::CoarsenPartitionFramework trained(options);
+  trained.train(train, spec, 8);
+
+  double untrained_sum = 0.0, trained_sum = 0.0;
+  for (const auto& ctx : test_ctx) {
+    untrained_sum += ctx.simulator.relative_throughput(untrained.allocate(ctx));
+    trained_sum += ctx.simulator.relative_throughput(trained.allocate(ctx));
+  }
+  EXPECT_GE(trained_sum, untrained_sum - 0.10 * untrained_sum);
+  EXPECT_GT(trained_sum, 0.0);
+}
+
+TEST(EndToEnd, TrainedFrameworkAtLeastMatchesMetis) {
+  const auto cfg = tiny_cfg();
+  const auto train = gen::generate_graphs(cfg, 12, 3);
+  const auto test = gen::generate_graphs(cfg, 8, 4);
+  const auto spec = rl::to_cluster_spec(cfg.workload);
+  const auto test_ctx = rl::make_contexts(test, spec);
+
+  core::FrameworkOptions options;
+  options.trainer.metis_guidance = true;
+  core::CoarsenPartitionFramework fw(options);
+  fw.train(train, spec, 10);
+
+  const core::MetisAllocator metis;
+  const core::CoarsenAllocator ours(fw.policy(), fw.placer(), "ours");
+  const auto metis_eval = core::evaluate_allocator(metis, test_ctx);
+  const auto ours_eval = core::evaluate_allocator(ours, test_ctx);
+
+  double metis_mean = 0.0, ours_mean = 0.0;
+  for (const double r : metis_eval.relative) metis_mean += r;
+  for (const double r : ours_eval.relative) ours_mean += r;
+  // At miniature training scale we require parity with Metis (the paper's
+  // full-scale result is a strict improvement).
+  EXPECT_GE(ours_mean, 0.95 * metis_mean);
+}
+
+TEST(EndToEnd, CheckpointTransfersAcrossFrameworkInstances) {
+  const auto cfg = tiny_cfg();
+  const auto train = gen::generate_graphs(cfg, 6, 5);
+  const auto test = gen::generate_graphs(cfg, 3, 6);
+  const auto spec = rl::to_cluster_spec(cfg.workload);
+
+  core::FrameworkOptions options;
+  options.trainer.metis_guidance = true;
+  core::CoarsenPartitionFramework a(options);
+  a.train(train, spec, 3);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "sc_e2e_ckpt.txt").string();
+  a.save(path);
+  core::CoarsenPartitionFramework b;
+  b.load(path);
+  std::filesystem::remove(path);
+
+  for (const auto& g : test) EXPECT_EQ(a.allocate(g, spec), b.allocate(g, spec));
+}
+
+TEST(EndToEnd, CoarsenGedPipelineRuns) {
+  const auto cfg = tiny_cfg();
+  const auto train = gen::generate_graphs(cfg, 6, 7);
+  const auto spec = rl::to_cluster_spec(cfg.workload);
+
+  core::FrameworkOptions options;
+  options.trainer.metis_guidance = true;
+  core::CoarsenPartitionFramework fw(options);
+  fw.train(train, spec, 2);
+
+  baselines::GraphEncDec ged{baselines::GraphEncDecConfig{}};
+  auto contexts = rl::make_contexts(train, spec);
+  baselines::DirectTrainerConfig tcfg;
+  baselines::DirectTrainer trainer(ged, contexts, tcfg);
+  trainer.train_epoch();
+
+  const core::CoarsenAllocator alloc(fw.policy(), baselines::learned_placer(ged),
+                                     "Coarsen+GED");
+  const auto p = alloc.allocate(contexts[0]);
+  EXPECT_NO_THROW(sim::validate_placement(train[0], spec, p));
+}
+
+}  // namespace
+}  // namespace sc

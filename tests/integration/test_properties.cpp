@@ -1,0 +1,165 @@
+// Property-based (parameterized) suite: invariants that must hold on any
+// generated stream graph, swept over seeds and size regimes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generator.hpp"
+#include "gnn/policy.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/contraction.hpp"
+#include "partition/allocate.hpp"
+#include "partition/metrics.hpp"
+#include "rl/rollout.hpp"
+#include "sim/event.hpp"
+#include "sim/fluid.hpp"
+
+namespace sc {
+namespace {
+
+struct Params {
+  std::uint64_t seed;
+  std::size_t min_nodes;
+  std::size_t max_nodes;
+};
+
+class GraphProperty : public ::testing::TestWithParam<Params> {
+protected:
+  void SetUp() override {
+    cfg_.topology.min_nodes = GetParam().min_nodes;
+    cfg_.topology.max_nodes = GetParam().max_nodes;
+    cfg_.workload.num_devices = 4;
+    Rng rng(GetParam().seed);
+    graph_ = gen::generate_graph(cfg_, rng);
+    profile_ = graph::compute_load_profile(graph_);
+    spec_ = rl::to_cluster_spec(cfg_.workload);
+  }
+
+  gen::GeneratorConfig cfg_;
+  graph::StreamGraph graph_;
+  graph::LoadProfile profile_;
+  sim::ClusterSpec spec_;
+};
+
+TEST_P(GraphProperty, GeneratedGraphIsWellFormed) {
+  EXPECT_TRUE(graph::is_dag(graph_));
+  std::size_t components = 0;
+  graph::weak_components(graph_, &components);
+  EXPECT_EQ(components, 1u);
+  EXPECT_GE(graph_.num_nodes(), cfg_.topology.min_nodes);
+  EXPECT_LE(graph_.num_nodes(), cfg_.topology.max_nodes);
+}
+
+TEST_P(GraphProperty, ContractionPreservesTotalCpu) {
+  Rng rng(GetParam().seed * 31 + 1);
+  std::vector<bool> mask(graph_.num_edges());
+  for (std::size_t e = 0; e < mask.size(); ++e) mask[e] = rng.bernoulli(0.4);
+  const auto c = graph::contract(graph_, profile_, mask);
+  double coarse_cpu = 0.0;
+  for (graph::NodeId v = 0; v < c.coarse.num_nodes(); ++v) {
+    coarse_cpu += c.coarse.node_weight(v);
+  }
+  double fine_cpu = 0.0;
+  for (const double x : profile_.node_cpu) fine_cpu += x;
+  EXPECT_NEAR(coarse_cpu, fine_cpu, 1e-6 * std::max(1.0, fine_cpu));
+}
+
+TEST_P(GraphProperty, ContractionCutPlusInternalEqualsTotalTraffic) {
+  Rng rng(GetParam().seed * 31 + 2);
+  std::vector<bool> mask(graph_.num_edges());
+  for (std::size_t e = 0; e < mask.size(); ++e) mask[e] = rng.bernoulli(0.5);
+  const auto c = graph::contract(graph_, profile_, mask);
+  double internal = 0.0;
+  for (graph::EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    const auto& ch = graph_.edge(e);
+    if (c.node_map[ch.src] == c.node_map[ch.dst]) internal += profile_.edge_traffic[e];
+  }
+  EXPECT_NEAR(c.coarse.total_edge_weight() + internal, profile_.total_traffic,
+              1e-6 * std::max(1.0, profile_.total_traffic));
+}
+
+TEST_P(GraphProperty, MaskRoundTripReproducesGrouping) {
+  // grouping -> mask (max spanning forest) -> contraction reproduces the
+  // grouping exactly when every group is weakly connected; metis groups on a
+  // connected graph may be disconnected, so compare against the contraction's
+  // own refinement instead: contracting the recovered mask must never merge
+  // across different groups.
+  const auto placement = partition::metis_allocate(graph_, spec_);
+  std::vector<graph::NodeId> groups(placement.begin(), placement.end());
+  const auto mask = graph::mask_from_groups(graph_, profile_, groups);
+  const auto c = graph::contract(graph_, profile_, mask);
+  for (graph::EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    const auto& ch = graph_.edge(e);
+    if (c.node_map[ch.src] == c.node_map[ch.dst]) {
+      EXPECT_EQ(groups[ch.src], groups[ch.dst])
+          << "mask merged nodes across different groups";
+    }
+  }
+}
+
+TEST_P(GraphProperty, PartitionerRespectsBalanceEnvelope) {
+  const auto wg = graph::to_weighted(graph_, profile_);
+  partition::MultilevelPartitioner part;
+  const auto labels = part.partition(wg, spec_.num_devices);
+  // Imbalance is bounded by the eps target plus one maximal node (a single
+  // heavy operator can always force overshoot).
+  double max_w = 0.0;
+  for (graph::NodeId v = 0; v < wg.num_nodes(); ++v) {
+    max_w = std::max(max_w, wg.node_weight(v));
+  }
+  const double avg = wg.total_node_weight() / static_cast<double>(spec_.num_devices);
+  const double bound = 1.10 + max_w / avg + 1e-9;
+  EXPECT_LE(partition::imbalance(wg, labels, spec_.num_devices), bound);
+}
+
+TEST_P(GraphProperty, RelativeThroughputInUnitInterval) {
+  const sim::FluidSimulator sim(graph_, spec_);
+  Rng rng(GetParam().seed * 31 + 3);
+  for (int t = 0; t < 3; ++t) {
+    sim::Placement p(graph_.num_nodes());
+    for (auto& d : p) d = static_cast<int>(rng.index(spec_.num_devices));
+    const double r = sim.relative_throughput(p);
+    EXPECT_GT(r, 0.0);
+    EXPECT_LE(r, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(GraphProperty, FluidAndEventSimulatorsAgree) {
+  const sim::FluidSimulator fluid(graph_, spec_);
+  const sim::EventSimulator event(graph_, spec_);
+  const auto p = partition::metis_allocate(graph_, spec_);
+  EXPECT_NEAR(event.relative_throughput(p), fluid.relative_throughput(p), 0.10);
+}
+
+TEST_P(GraphProperty, UntrainedPolicyPipelineIsValidAndNearMetis) {
+  const rl::GraphContext ctx(graph_, spec_);
+  const gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+  const auto p = rl::allocate_with_policy(policy, ctx, rl::metis_placer());
+  sim::validate_placement(graph_, spec_, p);
+  // With the conservative logit prior the untrained policy collapses little,
+  // so its allocation quality should be within 40% of plain Metis.
+  const double ours = ctx.simulator.relative_throughput(p);
+  const double metis = ctx.simulator.relative_throughput(
+      partition::metis_allocate(graph_, spec_));
+  EXPECT_GT(ours, 0.6 * metis);
+}
+
+TEST_P(GraphProperty, CoarsenOnlyPlacementIsValid) {
+  const rl::GraphContext ctx(graph_, spec_);
+  const gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+  const auto p = rl::allocate_with_policy(policy, ctx, rl::coarsen_only_placer());
+  sim::validate_placement(graph_, spec_, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, GraphProperty,
+    ::testing::Values(Params{1, 10, 20}, Params{2, 10, 20}, Params{3, 30, 50},
+                      Params{4, 30, 50}, Params{5, 60, 90}, Params{6, 60, 90},
+                      Params{7, 100, 140}, Params{8, 100, 140}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.min_nodes);
+    });
+
+}  // namespace
+}  // namespace sc

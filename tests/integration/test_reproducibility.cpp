@@ -1,0 +1,87 @@
+// Reproducibility: identical seeds must give bit-identical datasets,
+// training trajectories and allocations — the property every experiment in
+// EXPERIMENTS.md depends on.
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+#include "gen/dataset.hpp"
+#include "rl/reinforce.hpp"
+#include "rl/rollout.hpp"
+
+namespace sc {
+namespace {
+
+TEST(Reproducibility, DatasetsAreBitIdentical) {
+  const auto a = gen::make_dataset(gen::Setting::Small, 4, 4, 777);
+  const auto b = gen::make_dataset(gen::Setting::Small, 4, 4, 777);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    ASSERT_EQ(a.train[i].num_nodes(), b.train[i].num_nodes());
+    for (graph::NodeId v = 0; v < a.train[i].num_nodes(); ++v) {
+      EXPECT_EQ(a.train[i].op(v).ipt, b.train[i].op(v).ipt);
+    }
+    for (graph::EdgeId e = 0; e < a.train[i].num_edges(); ++e) {
+      EXPECT_EQ(a.train[i].edge(e).payload, b.train[i].edge(e).payload);
+    }
+  }
+}
+
+TEST(Reproducibility, TrainingTrajectoriesMatch) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 15;
+  cfg.topology.max_nodes = 25;
+  cfg.workload.num_devices = 3;
+  const auto graphs = gen::generate_graphs(cfg, 5, 31);
+  const auto spec = rl::to_cluster_spec(cfg.workload);
+
+  const auto run = [&] {
+    core::FrameworkOptions options;
+    options.trainer.metis_guidance = true;
+    options.trainer.seed = 9;
+    options.policy.seed = 17;
+    core::CoarsenPartitionFramework fw(options);
+    return fw.train(graphs, spec, 3);
+  };
+  const auto s1 = run();
+  const auto s2 = run();
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t e = 0; e < s1.size(); ++e) {
+    EXPECT_DOUBLE_EQ(s1[e].mean_sample_reward, s2[e].mean_sample_reward);
+    EXPECT_DOUBLE_EQ(s1[e].mean_best_reward, s2[e].mean_best_reward);
+    EXPECT_DOUBLE_EQ(s1[e].mean_greedy_reward, s2[e].mean_greedy_reward);
+    EXPECT_DOUBLE_EQ(s1[e].mean_loss, s2[e].mean_loss);
+  }
+}
+
+TEST(Reproducibility, AllocationsMatchAcrossIdenticalRuns) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 20;
+  cfg.topology.max_nodes = 30;
+  cfg.workload.num_devices = 3;
+  const auto graphs = gen::generate_graphs(cfg, 3, 41);
+  const auto spec = rl::to_cluster_spec(cfg.workload);
+
+  const auto allocate_all = [&] {
+    core::FrameworkOptions options;
+    options.trainer.metis_guidance = true;
+    core::CoarsenPartitionFramework fw(options);
+    fw.train(graphs, spec, 2);
+    std::vector<sim::Placement> ps;
+    for (const auto& g : graphs) ps.push_back(fw.allocate(g, spec));
+    return ps;
+  };
+  EXPECT_EQ(allocate_all(), allocate_all());
+}
+
+TEST(Reproducibility, MetisAllocateIsDeterministic) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 60;
+  cfg.topology.max_nodes = 90;
+  Rng rng(51);
+  const auto g = gen::generate_graph(cfg, rng);
+  const auto spec = rl::to_cluster_spec(cfg.workload);
+  EXPECT_EQ(partition::metis_allocate(g, spec), partition::metis_allocate(g, spec));
+}
+
+}  // namespace
+}  // namespace sc

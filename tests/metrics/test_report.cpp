@@ -1,0 +1,78 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sc::metrics {
+namespace {
+
+TEST(Report, TableAlignsAndPrints) {
+  Table t({"a", "method"});
+  t.add_row({"1", "Metis"});
+  t.add_row({"22", "Coarsen+Metis"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Metis"), std::string::npos);
+  EXPECT_NE(out.find("Coarsen+Metis"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Report, TableRejectsRaggedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Report, FormattersBehave) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.4567), "46%");
+  EXPECT_EQ(Table::pct(-0.25), "-25%");
+}
+
+TEST(Report, CommonXMaxTakesGlobalMax) {
+  const std::vector<Series> s{{"a", {1.0, 5.0}}, {"b", {3.0, 2.0}}};
+  EXPECT_DOUBLE_EQ(common_x_max(s), 5.0);
+}
+
+TEST(Report, CdfComparisonListsAllSeries) {
+  std::ostringstream os;
+  print_cdf_comparison(os, {{"m1", {1, 2, 3}}, {"m2", {4, 5, 6}}});
+  EXPECT_NE(os.str().find("m1"), std::string::npos);
+  EXPECT_NE(os.str().find("m2"), std::string::npos);
+}
+
+TEST(Report, AucTableMarksReference) {
+  std::ostringstream os;
+  print_auc_table(os, {{"ref", {1, 2}}, {"cand", {3, 4}}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Imp. wrt ref"), std::string::npos);
+}
+
+TEST(Report, HistogramRendersBars) {
+  std::ostringstream os;
+  print_histogram(os, histogram({0.1, 0.1, 0.9}, 0, 1, 2), "title");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Report, CsvRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "sc_series.csv";
+  write_series_csv(path.string(), {{"x", {1.5, 2.5}}});
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "method,value");
+  std::getline(is, line);
+  EXPECT_EQ(line, "x,1.5");
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace sc::metrics

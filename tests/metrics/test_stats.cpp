@@ -1,0 +1,123 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sc::metrics {
+namespace {
+
+TEST(Cdf, SortedAndQueryable) {
+  const Cdf cdf({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf.at(99.0), 1.0);
+}
+
+TEST(Cdf, QuantileInverse) {
+  const Cdf cdf({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_THROW(cdf.quantile(1.5), Error);
+}
+
+TEST(Cdf, AucOfPointMass) {
+  // All mass at 5, domain [0, 10]: F = 0 below 5, 1 above => area = 5.
+  const Cdf cdf({5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.auc(10.0), 5.0);
+}
+
+TEST(Cdf, AucStepFunctionExact) {
+  // Samples {2, 6}: F=0 on [0,2), 0.5 on [2,6), 1 on [6,8] => 0+2+2=4... area
+  // = (2-0)*0 + (6-2)*0.5 + (8-6)*1 = 4.
+  const Cdf cdf({2.0, 6.0});
+  EXPECT_DOUBLE_EQ(cdf.auc(8.0), 4.0);
+}
+
+TEST(Cdf, AucClipsAtDomain) {
+  const Cdf cdf({2.0, 100.0});
+  // Domain [0, 4]: F=0.5 on [2,4] => 1.0.
+  EXPECT_DOUBLE_EQ(cdf.auc(4.0), 1.0);
+}
+
+TEST(Cdf, SmallerAucMeansBetterThroughput) {
+  const Cdf bad({1.0, 2.0, 3.0});
+  const Cdf good({7.0, 8.0, 9.0});
+  EXPECT_GT(bad.auc(10.0), good.auc(10.0));
+}
+
+TEST(Cdf, EmptySampleThrows) {
+  EXPECT_THROW(Cdf({}), Error);
+}
+
+TEST(Improvement, PositiveForBetterCandidate) {
+  const Cdf reference({1.0, 2.0});
+  const Cdf candidate({3.0, 4.0});
+  EXPECT_GT(improvement(reference, candidate, 5.0), 0.0);
+  EXPECT_LT(improvement(candidate, reference, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement(reference, reference, 5.0), 0.0);
+}
+
+TEST(BoxStats, FiveNumberSummary) {
+  const auto b = box_stats({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.median, 4.0);
+  EXPECT_DOUBLE_EQ(b.q3, 6.0);
+  EXPECT_DOUBLE_EQ(b.max, 8.0);
+  EXPECT_DOUBLE_EQ(b.mean, 4.5);
+  EXPECT_EQ(b.count, 8u);
+}
+
+TEST(HistogramStats, CountsAndClamping) {
+  const auto h = histogram({0.05, 0.15, 0.15, 0.95, -5.0, 99.0}, 0.0, 1.0, 10);
+  EXPECT_EQ(h.counts[0], 2u);  // 0.05 and clamped -5
+  EXPECT_EQ(h.counts[1], 2u);
+  EXPECT_EQ(h.counts[9], 2u);  // 0.95 and clamped 99
+  std::size_t total = 0;
+  for (const auto c : h.counts) total += c;
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(HistogramStats, InvalidRangeThrows) {
+  EXPECT_THROW(histogram({1.0}, 1.0, 1.0, 4), Error);
+  EXPECT_THROW(histogram({1.0}, 0.0, 1.0, 0), Error);
+}
+
+TEST(KendallTau, PerfectAgreementIsOne) {
+  EXPECT_DOUBLE_EQ(kendall_tau({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+}
+
+TEST(KendallTau, ReversedIsMinusOne) {
+  EXPECT_DOUBLE_EQ(kendall_tau({1, 2, 3}, {9, 5, 1}), -1.0);
+}
+
+TEST(KendallTau, SingleSwapPartialAgreement) {
+  // Pairs: (1,2)c (1,3)c (2,3)d -> (2-1)/3.
+  EXPECT_NEAR(kendall_tau({1, 2, 3}, {1, 3, 2}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTau, HandlesTies) {
+  const double tau = kendall_tau({1, 1, 2}, {5, 6, 7});
+  EXPECT_GT(tau, 0.0);
+  EXPECT_LT(tau, 1.0);
+}
+
+TEST(KendallTau, RejectsBadInput) {
+  EXPECT_THROW(kendall_tau({1, 2}, {1}), Error);
+  EXPECT_THROW(kendall_tau({1}, {1}), Error);
+}
+
+TEST(MeanStdStats, MatchesClosedForm) {
+  const auto ms = mean_std({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.stddev, 2.0);
+}
+
+}  // namespace
+}  // namespace sc::metrics

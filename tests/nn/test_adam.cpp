@@ -1,0 +1,99 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+#include "nn/ops.hpp"
+
+namespace sc::nn {
+namespace {
+
+TEST(Adam, MinimisesQuadratic) {
+  Tensor x = Tensor::from({5.0, -3.0}, {2}, true);
+  Adam opt({x}, {.lr = 0.1, .clip_norm = 0.0});
+  for (int i = 0; i < 500; ++i) {
+    Tensor loss = sum(mul(x, x));
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(x.at(0), 0.0, 1e-3);
+  EXPECT_NEAR(x.at(1), 0.0, 1e-3);
+}
+
+TEST(Adam, StepZeroesGradients) {
+  Tensor x = Tensor::from({1.0}, {1}, true);
+  Adam opt({x});
+  sum(mul(x, x)).backward();
+  EXPECT_NE(x.grad()[0], 0.0);
+  opt.step();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 0.0);
+}
+
+TEST(Adam, ClippingBoundsUpdateDirection) {
+  Tensor x = Tensor::from({0.0}, {1}, true);
+  Adam opt({x}, {.lr = 0.001, .clip_norm = 1.0});
+  // Gigantic gradient: clipped to norm 1, so first Adam step ~= lr.
+  x.grad()[0] = 1e9;
+  opt.step();
+  EXPECT_LE(std::abs(x.at(0)), 0.0011);
+}
+
+TEST(Adam, GradNormComputed) {
+  Tensor x = Tensor::from({3.0, 4.0}, {2}, true);
+  Adam opt({x});
+  x.grad()[0] = 3.0;
+  x.grad()[1] = 4.0;
+  EXPECT_DOUBLE_EQ(opt.grad_norm(), 5.0);
+}
+
+TEST(Adam, RejectsNonGradParams) {
+  Tensor x = Tensor::zeros({2}, false);
+  EXPECT_THROW(Adam({x}), Error);
+  EXPECT_THROW(Adam({}), Error);
+}
+
+TEST(Adam, TrainsLinearRegression) {
+  Rng rng(3);
+  Linear model(3, 1, rng);
+  // Ground truth: y = 2 x0 - x1 + 0.5 x2 + 1.
+  const std::vector<double> w_true{2.0, -1.0, 0.5};
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 64; ++i) {
+    double y = 1.0;
+    for (int j = 0; j < 3; ++j) {
+      const double v = rng.uniform(-1, 1);
+      xs.push_back(v);
+      y += w_true[static_cast<std::size_t>(j)] * v;
+    }
+    ys.push_back(y);
+  }
+  const Tensor x = Tensor::from(xs, {64, 3});
+  const Tensor t = Tensor::from(ys, {64, 1});
+
+  Adam opt(model.parameters(), {.lr = 0.05});
+  for (int e = 0; e < 400; ++e) {
+    Tensor err = sub(model.forward(x), t);
+    mean(mul(err, err)).backward();
+    opt.step();
+  }
+  Tensor err = sub(model.forward(x), t);
+  EXPECT_LT(mean(mul(err, err)).item(), 1e-3);
+}
+
+TEST(Adam, SetLrTakesEffect) {
+  Tensor x = Tensor::from({1.0}, {1}, true);
+  Adam opt({x}, {.lr = 0.0});
+  x.grad()[0] = 1.0;
+  opt.step();
+  EXPECT_DOUBLE_EQ(x.at(0), 1.0);  // lr 0: no movement
+  opt.set_lr(0.1);
+  x.grad()[0] = 1.0;
+  opt.step();
+  EXPECT_LT(x.at(0), 1.0);
+}
+
+}  // namespace
+}  // namespace sc::nn

@@ -1,0 +1,215 @@
+// Numerical gradient checks: every differentiable op is verified against
+// central finite differences on random inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+#include "nn/ops.hpp"
+#include "nn/tensor.hpp"
+
+namespace sc::nn {
+namespace {
+
+/// Checks d(loss)/d(input) against central differences for every element of
+/// every input. `build` must construct a scalar loss from the inputs.
+void gradcheck(std::vector<Tensor> inputs,
+               const std::function<Tensor(const std::vector<Tensor>&)>& build,
+               double tol = 1e-6, double h = 1e-5) {
+  Tensor loss = build(inputs);
+  loss.backward();
+
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    auto& val = inputs[t].value();
+    const auto& grad = inputs[t].grad();
+    for (std::size_t i = 0; i < val.size(); ++i) {
+      const double keep = val[i];
+      val[i] = keep + h;
+      const double up = build(inputs).item();
+      val[i] = keep - h;
+      const double down = build(inputs).item();
+      val[i] = keep;
+      const double numeric = (up - down) / (2.0 * h);
+      EXPECT_NEAR(grad[i], numeric, tol)
+          << "input " << t << " element " << i;
+    }
+  }
+}
+
+std::vector<Tensor> rand_inputs(std::initializer_list<std::vector<std::size_t>> shapes,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> out;
+  for (const auto& s : shapes) out.push_back(Tensor::randn(s, rng, 0.8, true));
+  return out;
+}
+
+TEST(GradCheck, Add) {
+  gradcheck(rand_inputs({{2, 3}, {2, 3}}, 1),
+            [](const auto& in) { return sum(add(in[0], in[1])); });
+}
+
+TEST(GradCheck, AddBiasBroadcast) {
+  gradcheck(rand_inputs({{3, 2}, {2}}, 2),
+            [](const auto& in) { return sum(mul(add(in[0], in[1]), add(in[0], in[1]))); });
+}
+
+TEST(GradCheck, SubMul) {
+  gradcheck(rand_inputs({{2, 2}, {2, 2}}, 3),
+            [](const auto& in) { return sum(mul(sub(in[0], in[1]), in[0])); });
+}
+
+TEST(GradCheck, ScaleAddScalar) {
+  gradcheck(rand_inputs({{4}}, 4), [](const auto& in) {
+    return sum(add_scalar(scale(in[0], -2.5), 1.0));
+  });
+}
+
+TEST(GradCheck, Matmul) {
+  gradcheck(rand_inputs({{3, 4}, {4, 2}}, 5),
+            [](const auto& in) { return sum(matmul(in[0], in[1])); });
+}
+
+TEST(GradCheck, MatmulNt) {
+  gradcheck(rand_inputs({{3, 4}, {2, 4}}, 51),
+            [](const auto& in) { return sum(matmul_nt(in[0], in[1])); });
+}
+
+TEST(GradCheck, MatmulNtWithNonUniformWeights) {
+  auto inputs = rand_inputs({{2, 3}, {4, 3}}, 52);
+  Rng rng(520);
+  const Tensor w = Tensor::randn({2, 4}, rng, 1.0, false);
+  gradcheck(inputs, [w](const auto& in) { return sum(mul(matmul_nt(in[0], in[1]), w)); });
+}
+
+TEST(GradCheck, AttentionBlock) {
+  // The GDP attention pattern: softmax(Q K^T) V.
+  gradcheck(rand_inputs({{3, 4}, {3, 4}, {3, 4}}, 53), [](const auto& in) {
+    const Tensor scores = scale(matmul_nt(in[0], in[1]), 0.5);
+    return sum(matmul(softmax_rows(scores), in[2]));
+  }, 1e-5);
+}
+
+TEST(GradCheck, MatmulChainWithNonUniformLossWeights) {
+  auto inputs = rand_inputs({{2, 3}, {3, 3}}, 6);
+  Rng rng(60);
+  const Tensor w = Tensor::randn({2, 3}, rng, 1.0, false);
+  gradcheck(inputs, [w](const auto& in) { return sum(mul(matmul(in[0], in[1]), w)); });
+}
+
+TEST(GradCheck, Tanh) {
+  gradcheck(rand_inputs({{2, 3}}, 7),
+            [](const auto& in) { return sum(tanh_op(in[0])); });
+}
+
+TEST(GradCheck, Sigmoid) {
+  gradcheck(rand_inputs({{5}}, 8), [](const auto& in) { return sum(sigmoid(in[0])); });
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  // Shift inputs away from 0 so finite differences are valid.
+  auto inputs = rand_inputs({{6}}, 9);
+  for (double& v : inputs[0].value()) v += (v >= 0 ? 0.5 : -0.5);
+  gradcheck(inputs, [](const auto& in) { return sum(relu(in[0])); });
+}
+
+TEST(GradCheck, ExpLog) {
+  auto inputs = rand_inputs({{4}}, 10);
+  for (double& v : inputs[0].value()) v = std::abs(v) + 0.5;
+  gradcheck(inputs, [](const auto& in) { return sum(log_op(exp_op(in[0]))); });
+}
+
+TEST(GradCheck, ConcatCols) {
+  gradcheck(rand_inputs({{2, 2}, {2, 3}}, 11), [](const auto& in) {
+    const Tensor c = concat_cols({in[0], in[1]});
+    return sum(mul(c, c));
+  });
+}
+
+TEST(GradCheck, GatherRows) {
+  gradcheck(rand_inputs({{4, 3}}, 12), [](const auto& in) {
+    const Tensor g = gather_rows(in[0], {1, 1, 3, 0});
+    return sum(mul(g, g));
+  });
+}
+
+TEST(GradCheck, ScatterMean) {
+  gradcheck(rand_inputs({{5, 2}}, 13), [](const auto& in) {
+    const Tensor s = scatter_mean(in[0], {0, 1, 1, 2, 2}, 4);
+    return sum(mul(s, s));
+  });
+}
+
+TEST(GradCheck, MeanReduction) {
+  gradcheck(rand_inputs({{3, 3}}, 14), [](const auto& in) { return mean(in[0]); });
+}
+
+TEST(GradCheck, Reshape) {
+  gradcheck(rand_inputs({{2, 6}}, 15), [](const auto& in) {
+    const Tensor r = reshape(in[0], {4, 3});
+    return sum(mul(r, r));
+  });
+}
+
+TEST(GradCheck, BernoulliLogProb) {
+  gradcheck(rand_inputs({{6}}, 16), [](const auto& in) {
+    return sum(bernoulli_log_prob(in[0], {1, 0, 1, 1, 0, 0}));
+  });
+}
+
+TEST(GradCheck, CategoricalLogProb) {
+  gradcheck(rand_inputs({{3, 4}}, 17), [](const auto& in) {
+    return sum(categorical_log_prob(in[0], {2, 0, 3}));
+  });
+}
+
+TEST(GradCheck, SoftmaxRows) {
+  Rng rng(18);
+  const Tensor w = Tensor::randn({2, 4}, rng, 1.0, false);
+  gradcheck(rand_inputs({{2, 4}}, 18),
+            [w](const auto& in) { return sum(mul(softmax_rows(in[0]), w)); });
+}
+
+TEST(GradCheck, BernoulliEntropy) {
+  gradcheck(rand_inputs({{6}}, 57),
+            [](const auto& in) { return sum(bernoulli_entropy(in[0])); });
+}
+
+TEST(GradCheck, LstmCellThroughTime) {
+  // Backpropagation through three LSTM steps, checking input gradients
+  // (parameter gradients flow through the same graph).
+  Rng rng(54);
+  const LstmCell cell(2, 3, rng);
+  gradcheck(rand_inputs({{1, 2}, {1, 2}, {1, 2}}, 55), [&cell](const auto& in) {
+    auto state = cell.initial_state();
+    for (const Tensor& x : in) state = cell.forward(x, state);
+    return sum(add(state.h, state.c));
+  }, 1e-5);
+}
+
+TEST(GradCheck, EmbeddingRows) {
+  Rng rng(56);
+  std::vector<Tensor> inputs{Tensor::randn({4, 3}, rng, 0.5, true)};
+  gradcheck(inputs, [](const auto& in) {
+    const Tensor rows = gather_rows(in[0], {1, 1, 0, 3});
+    return sum(mul(rows, rows));
+  });
+}
+
+TEST(GradCheck, DeepComposition) {
+  // A miniature GNN-like pipeline: gather -> affine -> tanh -> scatter ->
+  // concat -> matmul -> mean.
+  gradcheck(rand_inputs({{4, 3}, {3, 3}, {4, 3}}, 19), [](const auto& in) {
+    const std::vector<std::size_t> src{0, 1, 2, 3, 0, 2};
+    const std::vector<std::size_t> dst{1, 2, 3, 0, 2, 1};
+    const Tensor msgs = tanh_op(matmul(gather_rows(in[0], src), in[1]));
+    const Tensor agg = scatter_mean(msgs, dst, 4);
+    const Tensor h = concat_cols({agg, in[2]});
+    return mean(mul(h, h));
+  }, 1e-5);
+}
+
+}  // namespace
+}  // namespace sc::nn

@@ -1,0 +1,138 @@
+#include "nn/module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sc::nn {
+namespace {
+
+TEST(Linear, ShapesAndForward) {
+  Rng rng(1);
+  const Linear l(3, 2, rng);
+  const Tensor x = Tensor::from({1, 0, 0, 0, 1, 0}, {2, 3});
+  const Tensor y = l.forward(x);
+  EXPECT_EQ(y.rows(), 2u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_EQ(l.parameters().size(), 2u);  // weight + bias
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(2);
+  const Linear l(3, 2, rng, /*bias=*/false);
+  EXPECT_EQ(l.parameters().size(), 1u);
+}
+
+TEST(Linear, ZeroBiasInitially) {
+  Rng rng(3);
+  const Linear l(2, 2, rng);
+  const Tensor zero = Tensor::zeros({1, 2});
+  const Tensor y = l.forward(zero);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y.at(0, 1), 0.0);
+}
+
+TEST(Mlp, ForwardShapeAndParamCount) {
+  Rng rng(4);
+  const Mlp mlp({4, 8, 8, 2}, rng);
+  const Tensor x = Tensor::zeros({5, 4});
+  const Tensor y = mlp.forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_EQ(mlp.parameters().size(), 6u);  // 3 layers x (W, b)
+  EXPECT_EQ(mlp.num_parameters(), 4u * 8 + 8 + 8u * 8 + 8 + 8u * 2 + 2);
+}
+
+TEST(Mlp, RejectsTooFewDims) {
+  Rng rng(5);
+  EXPECT_THROW(Mlp({4}, rng), Error);
+}
+
+TEST(Mlp, TrainsOnXor) {
+  Rng rng(6);
+  Mlp mlp({2, 8, 1}, rng, Activation::Tanh);
+
+  const std::vector<std::vector<double>> xs{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const std::vector<double> ys{0, 1, 1, 0};
+
+  std::vector<Tensor> params = mlp.parameters();
+  // Plain SGD suffices for XOR with a small net.
+  for (int epoch = 0; epoch < 3000; ++epoch) {
+    Tensor x = Tensor::from({0, 0, 0, 1, 1, 0, 1, 1}, {4, 2});
+    Tensor target = Tensor::from({0, 1, 1, 0}, {4, 1});
+    Tensor pred = sigmoid(mlp.forward(x));
+    Tensor err = sub(pred, target);
+    Tensor loss = mean(mul(err, err));
+    for (Tensor& p : params) p.zero_grad();
+    loss.backward();
+    for (Tensor& p : params) {
+      for (std::size_t i = 0; i < p.size(); ++i) p.value()[i] -= 0.5 * p.grad()[i];
+    }
+  }
+  Tensor x = Tensor::from({0, 0, 0, 1, 1, 0, 1, 1}, {4, 2});
+  const Tensor pred = sigmoid(mlp.forward(x));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(pred.at(i, 0), ys[i], 0.2) << "sample " << i;
+  }
+}
+
+TEST(LstmCell, StateShapesAndEvolution) {
+  Rng rng(7);
+  const LstmCell cell(3, 5, rng);
+  auto s = cell.initial_state();
+  EXPECT_EQ(s.h.cols(), 5u);
+  const Tensor x = Tensor::from({1, -1, 0.5}, {1, 3});
+  const auto s1 = cell.forward(x, s);
+  const auto s2 = cell.forward(x, s1);
+  EXPECT_EQ(s1.h.rows(), 1u);
+  // State must evolve.
+  bool changed = false;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (std::abs(s1.h.at(0, i) - s2.h.at(0, i)) > 1e-9) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(LstmCell, CellStateBounded) {
+  Rng rng(8);
+  const LstmCell cell(2, 4, rng);
+  auto s = cell.initial_state();
+  const Tensor x = Tensor::from({3.0, -3.0}, {1, 2});
+  for (int t = 0; t < 50; ++t) s = cell.forward(x, s);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_LT(std::abs(s.h.at(0, i)), 1.0 + 1e-9);  // |h| <= tanh bound
+  }
+}
+
+TEST(LstmCell, GradientsFlowToParameters) {
+  Rng rng(9);
+  const LstmCell cell(2, 3, rng);
+  auto s = cell.initial_state();
+  const Tensor x = Tensor::from({1.0, 2.0}, {1, 2});
+  for (int t = 0; t < 3; ++t) s = cell.forward(x, s);
+  sum(s.h).backward();
+  double grad_mag = 0.0;
+  for (const Tensor& p : cell.parameters()) {
+    for (const double g : p.grad()) grad_mag += std::abs(g);
+  }
+  EXPECT_GT(grad_mag, 0.0);
+}
+
+TEST(Embedding, LooksUpRows) {
+  Rng rng(10);
+  const Embedding emb(5, 3, rng);
+  const Tensor rows = emb.forward({4, 0, 4});
+  EXPECT_EQ(rows.rows(), 3u);
+  EXPECT_DOUBLE_EQ(rows.at(0, 1), rows.at(2, 1));  // same id, same row
+}
+
+TEST(ParamsOf, ConcatenatesModules) {
+  Rng rng(11);
+  const Linear a(2, 2, rng);
+  const Linear b(2, 2, rng, false);
+  const auto ps = params_of({&a, &b});
+  EXPECT_EQ(ps.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sc::nn

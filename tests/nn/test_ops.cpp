@@ -1,0 +1,172 @@
+#include "nn/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sc::nn {
+namespace {
+
+TEST(Ops, AddSameShape) {
+  const Tensor a = Tensor::from({1, 2, 3}, {3});
+  const Tensor b = Tensor::from({10, 20, 30}, {3});
+  const Tensor c = add(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0), 11.0);
+  EXPECT_DOUBLE_EQ(c.at(2), 33.0);
+}
+
+TEST(Ops, AddBiasRowBroadcast) {
+  const Tensor a = Tensor::from({1, 2, 3, 4}, {2, 2});
+  const Tensor b = Tensor::from({10, 20}, {2});
+  const Tensor c = add(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 24.0);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  EXPECT_THROW(add(Tensor::zeros({3}), Tensor::zeros({4})), Error);
+  EXPECT_THROW(mul(Tensor::zeros({2, 2}), Tensor::zeros({4})), Error);
+}
+
+TEST(Ops, MatmulValues) {
+  const Tensor a = Tensor::from({1, 2, 3, 4}, {2, 2});
+  const Tensor b = Tensor::from({5, 6, 7, 8}, {2, 2});
+  const Tensor c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Ops, MatmulShapeChecks) {
+  EXPECT_THROW(matmul(Tensor::zeros({2, 3}), Tensor::zeros({2, 3})), Error);
+  EXPECT_THROW(matmul(Tensor::zeros({4}), Tensor::zeros({4, 1})), Error);
+}
+
+TEST(Ops, ActivationsMatchStd) {
+  const Tensor x = Tensor::from({-1.0, 0.0, 2.0}, {3});
+  EXPECT_DOUBLE_EQ(tanh_op(x).at(2), std::tanh(2.0));
+  EXPECT_DOUBLE_EQ(sigmoid(x).at(1), 0.5);
+  EXPECT_DOUBLE_EQ(relu(x).at(0), 0.0);
+  EXPECT_DOUBLE_EQ(relu(x).at(2), 2.0);
+  EXPECT_DOUBLE_EQ(exp_op(x).at(1), 1.0);
+}
+
+TEST(Ops, LogRejectsNonPositive) {
+  EXPECT_THROW(log_op(Tensor::from({0.0}, {1})), Error);
+  EXPECT_THROW(log_op(Tensor::from({-1.0}, {1})), Error);
+  EXPECT_DOUBLE_EQ(log_op(Tensor::from({std::exp(1.0)}, {1})).item(), 1.0);
+}
+
+TEST(Ops, ConcatColsLaysOutCorrectly) {
+  const Tensor a = Tensor::from({1, 2, 3, 4}, {2, 2});
+  const Tensor b = Tensor::from({9, 8}, {2, 1});
+  const Tensor c = concat_cols({a, b});
+  ASSERT_EQ(c.cols(), 3u);
+  EXPECT_DOUBLE_EQ(c.at(0, 2), 9.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 3.0);
+}
+
+TEST(Ops, ConcatColsRowMismatchThrows) {
+  EXPECT_THROW(concat_cols({Tensor::zeros({2, 2}), Tensor::zeros({3, 2})}), Error);
+}
+
+TEST(Ops, GatherRowsSelects) {
+  const Tensor x = Tensor::from({1, 2, 3, 4, 5, 6}, {3, 2});
+  const Tensor g = gather_rows(x, {2, 0, 2});
+  ASSERT_EQ(g.rows(), 3u);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.at(2, 1), 6.0);
+}
+
+TEST(Ops, GatherRowsOutOfRangeThrows) {
+  EXPECT_THROW(gather_rows(Tensor::zeros({2, 2}), {5}), Error);
+}
+
+TEST(Ops, ScatterMeanAverages) {
+  const Tensor x = Tensor::from({1, 2, 3, 4, 5, 6}, {3, 2});
+  const Tensor s = scatter_mean(x, {0, 0, 1}, 2);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 2.0);  // mean(1, 3)
+  EXPECT_DOUBLE_EQ(s.at(0, 1), 3.0);  // mean(2, 4)
+  EXPECT_DOUBLE_EQ(s.at(1, 0), 5.0);
+}
+
+TEST(Ops, ScatterMeanEmptyBucketIsZero) {
+  const Tensor x = Tensor::from({1, 2}, {1, 2});
+  const Tensor s = scatter_mean(x, {2}, 3);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(s.at(2, 1), 2.0);
+}
+
+TEST(Ops, SumAndMean) {
+  const Tensor x = Tensor::from({1, 2, 3, 4}, {4});
+  EXPECT_DOUBLE_EQ(sum(x).item(), 10.0);
+  EXPECT_DOUBLE_EQ(mean(x).item(), 2.5);
+}
+
+TEST(Ops, BernoulliLogProbMatchesClosedForm) {
+  const Tensor z = Tensor::from({0.0, 2.0, -3.0}, {3});
+  const Tensor lp = bernoulli_log_prob(z, {1, 0, 1});
+  EXPECT_NEAR(lp.at(0), std::log(0.5), 1e-12);
+  EXPECT_NEAR(lp.at(1), std::log(1.0 - 1.0 / (1.0 + std::exp(-2.0))), 1e-12);
+  EXPECT_NEAR(lp.at(2), std::log(1.0 / (1.0 + std::exp(3.0))), 1e-12);
+}
+
+TEST(Ops, BernoulliLogProbIsStableAtExtremeLogits) {
+  const Tensor z = Tensor::from({500.0, -500.0}, {2});
+  const Tensor lp = bernoulli_log_prob(z, {1, 0});
+  EXPECT_NEAR(lp.at(0), 0.0, 1e-12);
+  EXPECT_NEAR(lp.at(1), 0.0, 1e-12);
+  const Tensor lp2 = bernoulli_log_prob(z, {0, 1});
+  EXPECT_DOUBLE_EQ(lp2.at(0), -500.0);
+  EXPECT_DOUBLE_EQ(lp2.at(1), -500.0);
+}
+
+TEST(Ops, BernoulliRejectsNonBinaryActions) {
+  EXPECT_THROW(bernoulli_log_prob(Tensor::zeros({1}), {2}), Error);
+}
+
+TEST(Ops, BernoulliEntropyMaximalAtZeroLogit) {
+  const Tensor z = Tensor::from({0.0, 3.0, -3.0, 100.0}, {4});
+  const Tensor h = bernoulli_entropy(z);
+  EXPECT_NEAR(h.at(0), std::log(2.0), 1e-12);  // p = 0.5 -> ln 2 nats
+  EXPECT_LT(h.at(1), h.at(0));
+  EXPECT_NEAR(h.at(1), h.at(2), 1e-12);  // symmetric in z
+  EXPECT_NEAR(h.at(3), 0.0, 1e-12);      // saturated -> zero entropy
+}
+
+TEST(Ops, CategoricalLogProbMatchesSoftmax) {
+  const Tensor z = Tensor::from({1.0, 2.0, 3.0}, {1, 3});
+  const Tensor lp = categorical_log_prob(z, {2});
+  const double denom = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+  EXPECT_NEAR(lp.at(0), std::log(std::exp(3.0) / denom), 1e-12);
+}
+
+TEST(Ops, CategoricalRejectsBadAction) {
+  EXPECT_THROW(categorical_log_prob(Tensor::zeros({1, 3}), {3}), Error);
+  EXPECT_THROW(categorical_log_prob(Tensor::zeros({1, 3}), {-1}), Error);
+}
+
+TEST(Ops, SoftmaxRowsNormalises) {
+  const Tensor z = Tensor::from({1, 2, 3, 1, 1, 1}, {2, 3});
+  const Tensor p = softmax_rows(z);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) s += p.at(r, c);
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+  EXPECT_NEAR(p.at(1, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Ops, ReshapePreservesData) {
+  const Tensor x = Tensor::from({1, 2, 3, 4}, {2, 2});
+  const Tensor y = reshape(x, {4});
+  EXPECT_DOUBLE_EQ(y.at(3), 4.0);
+  EXPECT_THROW(reshape(x, {5}), Error);
+}
+
+}  // namespace
+}  // namespace sc::nn

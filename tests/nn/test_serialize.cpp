@@ -1,0 +1,83 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace sc::nn {
+namespace {
+
+TEST(Serialize, RoundTripsExactValues) {
+  Rng rng(1);
+  const Mlp src({3, 5, 2}, rng);
+  const Mlp dst({3, 5, 2}, rng);
+
+  std::stringstream ss;
+  save_parameters(ss, src.parameters());
+  load_parameters(ss, dst.parameters());
+
+  const auto a = src.parameters();
+  const auto b = dst.parameters();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_DOUBLE_EQ(a[i].value()[j], b[i].value()[j]);
+    }
+  }
+}
+
+TEST(Serialize, RejectsWrongArchitecture) {
+  Rng rng(2);
+  const Mlp src({3, 5, 2}, rng);
+  const Mlp other({3, 4, 2}, rng);
+  std::stringstream ss;
+  save_parameters(ss, src.parameters());
+  EXPECT_THROW(load_parameters(ss, other.parameters()), Error);
+}
+
+TEST(Serialize, RejectsWrongTensorCount) {
+  Rng rng(3);
+  const Linear src(2, 2, rng);
+  const Linear dst(2, 2, rng, /*bias=*/false);
+  std::stringstream ss;
+  save_parameters(ss, src.parameters());
+  EXPECT_THROW(load_parameters(ss, dst.parameters()), Error);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss("not a checkpoint");
+  Rng rng(4);
+  const Linear l(2, 2, rng);
+  EXPECT_THROW(load_parameters(ss, l.parameters()), Error);
+}
+
+TEST(Serialize, CopyParametersTransfersValues) {
+  Rng rng(5);
+  const Linear a(4, 4, rng);
+  const Linear b(4, 4, rng);
+  copy_parameters(a.parameters(), b.parameters());
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].value(), pb[i].value());
+  }
+}
+
+TEST(Serialize, CopyParametersShapeMismatchThrows) {
+  Rng rng(6);
+  const Linear a(4, 4, rng);
+  const Linear b(4, 3, rng);
+  EXPECT_THROW(copy_parameters(a.parameters(), b.parameters()), Error);
+}
+
+TEST(Serialize, FileMissingThrows) {
+  Rng rng(7);
+  const Linear l(2, 2, rng);
+  EXPECT_THROW(load_parameters("/nonexistent/dir/ckpt.txt", l.parameters()), Error);
+}
+
+}  // namespace
+}  // namespace sc::nn

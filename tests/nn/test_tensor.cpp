@@ -1,0 +1,112 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/ops.hpp"
+
+namespace sc::nn {
+namespace {
+
+TEST(Tensor, ZerosAndShape) {
+  const Tensor t = Tensor::zeros({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  for (const double x : t.value()) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Tensor, FromChecksElementCount) {
+  EXPECT_THROW(Tensor::from({1.0, 2.0}, {3}), Error);
+  const Tensor t = Tensor::from({1, 2, 3, 4}, {2, 2});
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 3.0);
+}
+
+TEST(Tensor, ScalarItem) {
+  EXPECT_DOUBLE_EQ(Tensor::scalar(4.5).item(), 4.5);
+  EXPECT_THROW(Tensor::zeros({2}).item(), Error);
+}
+
+TEST(Tensor, RejectsRank3) {
+  EXPECT_THROW(Tensor::zeros({2, 2, 2}), Error);
+}
+
+TEST(Tensor, UndefinedTensorThrows) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_THROW(t.size(), Error);
+}
+
+TEST(Tensor, XavierWithinBound) {
+  Rng rng(1);
+  const Tensor t = Tensor::xavier(8, 8, rng);
+  const double bound = std::sqrt(6.0 / 16.0);
+  for (const double x : t.value()) {
+    EXPECT_GE(x, -bound);
+    EXPECT_LE(x, bound);
+  }
+  EXPECT_TRUE(t.requires_grad());
+}
+
+TEST(Tensor, BackwardThroughSimpleChain) {
+  Tensor x = Tensor::scalar(3.0, /*requires_grad=*/true);
+  Tensor y = scale(x, 2.0);       // y = 2x
+  Tensor z = mul(y, y);           // z = 4x^2; dz/dx = 8x = 24
+  z.backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 24.0);
+}
+
+TEST(Tensor, GradAccumulatesAcrossBackwards) {
+  Tensor x = Tensor::scalar(1.0, true);
+  scale(x, 3.0).backward();
+  scale(x, 3.0).backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 6.0);
+  x.zero_grad();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 0.0);
+}
+
+TEST(Tensor, BackwardRequiresScalar) {
+  Tensor x = Tensor::zeros({2}, true);
+  Tensor y = scale(x, 1.0);
+  EXPECT_THROW(y.backward(), Error);
+}
+
+TEST(Tensor, DiamondGraphAccumulatesBothPaths) {
+  Tensor x = Tensor::scalar(2.0, true);
+  Tensor a = scale(x, 3.0);
+  Tensor b = scale(x, 5.0);
+  Tensor y = add(a, b);  // y = 8x
+  y.backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 8.0);
+}
+
+TEST(Tensor, ReusedSubexpressionBackward) {
+  Tensor x = Tensor::scalar(3.0, true);
+  Tensor a = scale(x, 2.0);  // a = 2x
+  Tensor y = mul(a, a);      // y = 4x^2 ; dy/dx = 8x = 24
+  y.backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 24.0);
+}
+
+TEST(NoGradGuard, SuppressesGraphRecording) {
+  Tensor x = Tensor::scalar(1.0, true);
+  {
+    NoGradGuard guard;
+    Tensor y = scale(x, 2.0);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  Tensor z = scale(x, 2.0);
+  EXPECT_TRUE(z.requires_grad());
+}
+
+TEST(NoGradGuard, Nests) {
+  NoGradGuard a;
+  {
+    NoGradGuard b;
+    EXPECT_FALSE(detail::grad_enabled());
+  }
+  EXPECT_FALSE(detail::grad_enabled());
+}
+
+}  // namespace
+}  // namespace sc::nn

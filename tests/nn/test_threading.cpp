@@ -1,0 +1,74 @@
+// Thread-safety of inference: concurrent NoGrad forward passes over shared
+// parameters must be race-free and deterministic (the evaluation harness
+// fans graph scoring out over the global thread pool).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "gnn/policy.hpp"
+#include "graph/rates.hpp"
+#include "sim/cluster.hpp"
+#include "../testutil.hpp"
+
+namespace sc::nn {
+namespace {
+
+TEST(Threading, ConcurrentForwardsAreDeterministic) {
+  Rng rng(1);
+  const Mlp mlp({8, 16, 4}, rng);
+  const Tensor x = Tensor::randn({10, 8}, rng, 1.0, false);
+
+  std::vector<double> reference;
+  {
+    NoGradGuard guard;
+    reference = mlp.forward(x).value();
+  }
+
+  ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  pool.parallel_for(64, [&](std::size_t) {
+    NoGradGuard guard;
+    const auto out = mlp.forward(x).value();
+    if (out != reference) mismatches.fetch_add(1);
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Threading, NoGradGuardIsThreadLocal) {
+  // Disabling gradients on one thread must not leak into another.
+  NoGradGuard outer;
+  std::thread t([] {
+    EXPECT_TRUE(detail::grad_enabled()) << "grad mode leaked across threads";
+  });
+  t.join();
+}
+
+TEST(Threading, ConcurrentPolicyInference) {
+  const gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+  const auto g = test::make_broadcast_diamond(5.0, 5.0);
+  sim::ClusterSpec spec;
+  spec.num_devices = 2;
+  spec.device_mips = 100.0;
+  spec.bandwidth = 100.0;
+  spec.source_rate = 10.0;
+  const auto profile = graph::compute_load_profile(g);
+  const auto features = gnn::extract_features(g, profile, spec);
+
+  std::vector<double> reference;
+  {
+    NoGradGuard guard;
+    reference = policy.logits(features).value();
+  }
+  ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  pool.parallel_for(32, [&](std::size_t) {
+    NoGradGuard guard;
+    if (policy.logits(features).value() != reference) mismatches.fetch_add(1);
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace sc::nn

@@ -1,0 +1,112 @@
+#include "partition/allocate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/dataset.hpp"
+#include "gen/generator.hpp"
+#include "graph/rates.hpp"
+#include "../testutil.hpp"
+
+namespace sc::partition {
+namespace {
+
+sim::ClusterSpec spec_from(const gen::GeneratorConfig& cfg) {
+  sim::ClusterSpec s;
+  s.num_devices = cfg.workload.num_devices;
+  s.device_mips = cfg.workload.device_mips;
+  s.bandwidth = cfg.workload.bandwidth;
+  s.source_rate = cfg.workload.source_rate;
+  return s;
+}
+
+TEST(Allocate, ProducesValidPlacement) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 50;
+  cfg.topology.max_nodes = 80;
+  Rng rng(3);
+  const auto g = gen::generate_graph(cfg, rng);
+  const auto spec = spec_from(cfg);
+  const sim::Placement p = metis_allocate(g, spec);
+  EXPECT_NO_THROW(sim::validate_placement(g, spec, p));
+}
+
+TEST(Allocate, BeatsAllOnOneAndRoundRobinOnGeneratedGraphs) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 100;
+  cfg.topology.max_nodes = 150;
+  Rng rng(5);
+  const auto spec = spec_from(cfg);
+
+  double metis_total = 0.0, one_total = 0.0, rr_total = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const auto g = gen::generate_graph(cfg, rng);
+    const sim::FluidSimulator sim(g, spec);
+    metis_total += sim.relative_throughput(metis_allocate(g, spec));
+    one_total += sim.relative_throughput(sim::all_on_one(g));
+    rr_total += sim.relative_throughput(sim::round_robin(g, spec.num_devices));
+  }
+  EXPECT_GT(metis_total, one_total);
+  EXPECT_GT(metis_total, rr_total);
+}
+
+TEST(Allocate, OracleNeverWorseThanPlain) {
+  gen::GeneratorConfig cfg = gen::setting_config(gen::Setting::Small);
+  Rng rng(7);
+  const auto spec = spec_from(cfg);
+  for (int i = 0; i < 5; ++i) {
+    const auto g = gen::generate_graph(cfg, rng);
+    const sim::FluidSimulator sim(g, spec);
+    const double plain = sim.relative_throughput(metis_allocate(g, spec));
+    const double oracle = sim.relative_throughput(metis_oracle_allocate(g, sim));
+    EXPECT_GE(oracle, plain - 1e-9);
+  }
+}
+
+TEST(Allocate, CoarseAllocateExpandsConsistently) {
+  const auto g = test::make_chain(8, 10.0, 5.0);
+  const auto profile = graph::compute_load_profile(g);
+  const graph::Coarsening c = metis_coarsen(g, profile, 4);
+  sim::ClusterSpec spec;
+  spec.num_devices = 2;
+  spec.device_mips = 100.0;
+  spec.bandwidth = 100.0;
+  spec.source_rate = 5.0;
+  const auto coarse_p = metis_allocate_coarse(c.coarse, spec.num_devices);
+  const auto fine = c.expand_placement(coarse_p);
+  EXPECT_NO_THROW(sim::validate_placement(g, spec, fine));
+  // Nodes merged together must land on the same device.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(fine[v], coarse_p[c.node_map[v]]);
+  }
+}
+
+TEST(Allocate, MetisCoarsenHitsTarget) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 60;
+  cfg.topology.max_nodes = 90;
+  Rng rng(9);
+  const auto g = gen::generate_graph(cfg, rng);
+  const auto profile = graph::compute_load_profile(g);
+  const graph::Coarsening c = metis_coarsen(g, profile, 20);
+  EXPECT_LE(c.num_coarse_nodes(), 40u);  // at most one matching level short
+  EXPECT_GT(c.compression_ratio(), 1.5);
+}
+
+TEST(Allocate, OracleCoarseUsesSubsetOfDevicesWhenBeneficial) {
+  // A tiny CPU-light, traffic-heavy chain: best allocation uses 1 device.
+  const auto g = test::make_chain(6, 0.1, 80.0);
+  sim::ClusterSpec spec;
+  spec.num_devices = 4;
+  spec.device_mips = 100.0;
+  spec.bandwidth = 100.0;
+  spec.source_rate = 10.0;
+  const sim::FluidSimulator sim(g, spec);
+  const auto profile = graph::compute_load_profile(g);
+  const graph::Coarsening c = metis_coarsen(g, profile, 3);
+  const auto p = metis_oracle_allocate_coarse(c, sim);
+  EXPECT_EQ(sim::devices_used(p), 1u);
+  EXPECT_DOUBLE_EQ(sim.relative_throughput(p), 1.0);
+}
+
+}  // namespace
+}  // namespace sc::partition

@@ -1,0 +1,52 @@
+#include "partition/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sc::partition {
+namespace {
+
+using graph::WeightedEdge;
+using graph::WeightedGraph;
+
+WeightedGraph square() {
+  // 0-1, 1-2, 2-3, 3-0 ring with unit node weights.
+  return WeightedGraph({1, 1, 1, 1},
+                       {WeightedEdge{0, 1, 1.0}, WeightedEdge{1, 2, 2.0},
+                        WeightedEdge{2, 3, 3.0}, WeightedEdge{3, 0, 4.0}});
+}
+
+TEST(PartitionMetrics, CutCountsCrossEdgesOnly) {
+  const WeightedGraph g = square();
+  EXPECT_DOUBLE_EQ(cut_weight(g, {0, 0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(cut_weight(g, {0, 0, 1, 1}), 2.0 + 4.0);
+  EXPECT_DOUBLE_EQ(cut_weight(g, {0, 1, 0, 1}), 10.0);
+}
+
+TEST(PartitionMetrics, PartWeightsSumToTotal) {
+  const WeightedGraph g = square();
+  const auto w = part_weights(g, {0, 1, 1, 0}, 2);
+  EXPECT_DOUBLE_EQ(w[0] + w[1], g.total_node_weight());
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+}
+
+TEST(PartitionMetrics, ImbalanceOfPerfectSplitIsOne) {
+  const WeightedGraph g = square();
+  EXPECT_DOUBLE_EQ(imbalance(g, {0, 0, 1, 1}, 2), 1.0);
+}
+
+TEST(PartitionMetrics, ImbalanceOfSkewedSplit) {
+  const WeightedGraph g = square();
+  // 3 nodes vs 1 node: max 3 / avg 2 = 1.5.
+  EXPECT_DOUBLE_EQ(imbalance(g, {0, 0, 0, 1}, 2), 1.5);
+}
+
+TEST(PartitionMetrics, InvalidPartLabelThrows) {
+  const WeightedGraph g = square();
+  EXPECT_THROW(part_weights(g, {0, 0, 2, 0}, 2), Error);
+  EXPECT_THROW(cut_weight(g, {0, 0}), Error);
+}
+
+}  // namespace
+}  // namespace sc::partition

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "partition/metrics.hpp"
+#include "partition/mlpart.hpp"
+
+namespace sc::partition {
+namespace {
+
+using graph::WeightedEdge;
+using graph::WeightedGraph;
+
+WeightedGraph noisy_clusters() {
+  // Two cliques with several medium bridges: single-shot partitioning can
+  // land in local optima, restarts should find the clean split more often.
+  std::vector<WeightedEdge> edges;
+  for (graph::NodeId i = 0; i < 6; ++i) {
+    for (graph::NodeId j = i + 1; j < 6; ++j) {
+      edges.push_back({i, j, 1.0});
+      edges.push_back({static_cast<graph::NodeId>(i + 6),
+                       static_cast<graph::NodeId>(j + 6), 1.0});
+    }
+  }
+  edges.push_back({0, 6, 0.4});
+  edges.push_back({2, 8, 0.4});
+  edges.push_back({5, 11, 0.4});
+  return WeightedGraph(std::vector<double>(12, 1.0), edges);
+}
+
+TEST(Restarts, NeverWorseThanSingleAttempt) {
+  const WeightedGraph g = noisy_clusters();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    PartitionOptions one;
+    one.seed = seed;
+    PartitionOptions many = one;
+    many.restarts = 5;
+    const double cut1 = cut_weight(g, MultilevelPartitioner(one).partition(g, 2));
+    const double cut5 = cut_weight(g, MultilevelPartitioner(many).partition(g, 2));
+    EXPECT_LE(cut5, cut1 + 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(Restarts, DeterministicGivenSeed) {
+  const WeightedGraph g = noisy_clusters();
+  PartitionOptions opts;
+  opts.restarts = 4;
+  opts.seed = 3;
+  MultilevelPartitioner p(opts);
+  EXPECT_EQ(p.partition(g, 3), p.partition(g, 3));
+}
+
+TEST(Restarts, FindsOptimalOnNoisyInstance) {
+  const WeightedGraph g = noisy_clusters();
+  PartitionOptions opts;
+  opts.restarts = 8;
+  const auto part = MultilevelPartitioner(opts).partition(g, 2);
+  EXPECT_NEAR(cut_weight(g, part), 1.2, 1e-9);  // the three bridges
+}
+
+}  // namespace
+}  // namespace sc::partition

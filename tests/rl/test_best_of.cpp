@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "core/allocator.hpp"
+#include "gen/generator.hpp"
+#include "rl/rollout.hpp"
+
+namespace sc::rl {
+namespace {
+
+struct Fixture : ::testing::Test {
+  void SetUp() override {
+    gen::GeneratorConfig cfg;
+    cfg.topology.min_nodes = 25;
+    cfg.topology.max_nodes = 40;
+    cfg.workload.num_devices = 4;
+    graphs = gen::generate_graphs(cfg, 5, 21);
+    contexts = make_contexts(graphs, to_cluster_spec(cfg.workload));
+  }
+  std::vector<graph::StreamGraph> graphs;
+  std::vector<GraphContext> contexts;
+  gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+};
+
+TEST_F(Fixture, BestOfNeverWorseThanGreedy) {
+  Rng rng(5);
+  for (const auto& ctx : contexts) {
+    const double greedy = ctx.simulator.throughput(
+        allocate_with_policy(policy, ctx, metis_placer()));
+    const double best = ctx.simulator.throughput(
+        allocate_with_policy_best_of(policy, ctx, metis_placer(), 6, rng));
+    EXPECT_GE(best, greedy - 1e-9);
+  }
+}
+
+TEST_F(Fixture, BestOfZeroSamplesEqualsGreedy) {
+  Rng rng(7);
+  for (const auto& ctx : contexts) {
+    const auto a = allocate_with_policy(policy, ctx, metis_placer());
+    const auto b = allocate_with_policy_best_of(policy, ctx, metis_placer(), 0, rng);
+    EXPECT_EQ(ctx.simulator.throughput(a), ctx.simulator.throughput(b));
+  }
+}
+
+TEST_F(Fixture, CoarsenAllocatorSamplingIsDeterministic) {
+  const core::CoarsenAllocator alloc(policy, metis_placer(), "best-of", 4, 11);
+  const auto p1 = alloc.allocate(contexts[0]);
+  const auto p2 = alloc.allocate(contexts[0]);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST_F(Fixture, CoarsenAllocatorSamplingBeatsOrTiesGreedy) {
+  const core::CoarsenAllocator greedy(policy, metis_placer(), "greedy");
+  const core::CoarsenAllocator sampled(policy, metis_placer(), "best-of", 6, 13);
+  double g_sum = 0.0, s_sum = 0.0;
+  for (const auto& ctx : contexts) {
+    g_sum += ctx.simulator.throughput(greedy.allocate(ctx));
+    s_sum += ctx.simulator.throughput(sampled.allocate(ctx));
+  }
+  EXPECT_GE(s_sum, g_sum - 1e-9);
+}
+
+}  // namespace
+}  // namespace sc::rl

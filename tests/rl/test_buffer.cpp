@@ -1,0 +1,80 @@
+#include "rl/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sc::rl {
+namespace {
+
+Episode ep(gnn::EdgeMask mask, double reward) {
+  Episode e;
+  e.mask = std::move(mask);
+  e.reward = reward;
+  return e;
+}
+
+TEST(SampleBuffer, KeepsTopByReward) {
+  SampleBuffer buf(1, 2);
+  buf.insert(0, ep({1, 0}, 0.3));
+  buf.insert(0, ep({0, 1}, 0.7));
+  buf.insert(0, ep({1, 1}, 0.5));
+  const auto best = buf.best(0, 10);
+  ASSERT_EQ(best.size(), 2u);
+  EXPECT_DOUBLE_EQ(best[0].reward, 0.7);
+  EXPECT_DOUBLE_EQ(best[1].reward, 0.5);
+}
+
+TEST(SampleBuffer, RejectsWorseWhenFull) {
+  SampleBuffer buf(1, 1);
+  EXPECT_TRUE(buf.insert(0, ep({1}, 0.9)));
+  EXPECT_FALSE(buf.insert(0, ep({0}, 0.1)));
+  EXPECT_EQ(buf.size(0), 1u);
+  EXPECT_DOUBLE_EQ(buf.best_reward(0), 0.9);
+}
+
+TEST(SampleBuffer, DuplicateMasksCollapse) {
+  SampleBuffer buf(1, 3);
+  buf.insert(0, ep({1, 0}, 0.4));
+  buf.insert(0, ep({1, 0}, 0.6));  // same mask, better reward
+  EXPECT_EQ(buf.size(0), 1u);
+  EXPECT_DOUBLE_EQ(buf.best_reward(0), 0.6);
+
+  buf.insert(0, ep({1, 0}, 0.2));  // same mask, worse reward: ignored
+  EXPECT_DOUBLE_EQ(buf.best_reward(0), 0.6);
+}
+
+TEST(SampleBuffer, PerGraphIsolation) {
+  SampleBuffer buf(2, 2);
+  buf.insert(0, ep({1}, 0.9));
+  buf.insert(1, ep({0}, 0.2));
+  EXPECT_DOUBLE_EQ(buf.best_reward(0), 0.9);
+  EXPECT_DOUBLE_EQ(buf.best_reward(1), 0.2);
+  EXPECT_EQ(buf.best(1, 5).size(), 1u);
+}
+
+TEST(SampleBuffer, EmptyGraphHasZeroBest) {
+  SampleBuffer buf(1, 2);
+  EXPECT_DOUBLE_EQ(buf.best_reward(0), 0.0);
+  EXPECT_TRUE(buf.best(0, 3).empty());
+}
+
+TEST(SampleBuffer, LimitTruncatesBest) {
+  SampleBuffer buf(1, 5);
+  for (int i = 0; i < 5; ++i) {
+    buf.insert(0, ep({i % 2, i / 2}, 0.1 * i));
+  }
+  EXPECT_EQ(buf.best(0, 2).size(), 2u);
+}
+
+TEST(SampleBuffer, OutOfRangeGraphThrows) {
+  SampleBuffer buf(1, 2);
+  EXPECT_THROW(buf.insert(5, ep({1}, 0.5)), Error);
+  EXPECT_THROW(buf.best(5, 1), Error);
+  EXPECT_THROW(buf.best_reward(5), Error);
+}
+
+TEST(SampleBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(SampleBuffer(1, 0), Error);
+}
+
+}  // namespace
+}  // namespace sc::rl

@@ -1,0 +1,62 @@
+#include "rl/curriculum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+
+namespace sc::rl {
+namespace {
+
+CurriculumLevel level(std::size_t nodes_lo, std::size_t nodes_hi, std::size_t count,
+                      std::uint64_t seed, std::size_t epochs) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = nodes_lo;
+  cfg.topology.max_nodes = nodes_hi;
+  cfg.workload.num_devices = 3;
+  auto graphs = gen::generate_graphs(cfg, count, seed);
+  return make_level("L" + std::to_string(nodes_lo), std::move(graphs), cfg, epochs);
+}
+
+TEST(Curriculum, RunsAllLevelsInOrder) {
+  gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+  std::vector<CurriculumLevel> levels{level(10, 15, 3, 1, 2), level(20, 30, 3, 2, 1)};
+  TrainerConfig cfg;
+  cfg.metis_guidance = true;
+  const auto reports = run_curriculum(policy, levels, metis_placer(), cfg);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].name, "L10");
+  EXPECT_EQ(reports[0].epochs.size(), 2u);
+  EXPECT_EQ(reports[1].epochs.size(), 1u);
+}
+
+TEST(Curriculum, MakeLevelDerivesSpecFromConfig) {
+  gen::GeneratorConfig cfg;
+  cfg.workload.num_devices = 9;
+  cfg.workload.source_rate = 5e3;
+  cfg.topology.min_nodes = 10;
+  cfg.topology.max_nodes = 12;
+  auto graphs = gen::generate_graphs(cfg, 1, 7);
+  const auto lvl = make_level("x", std::move(graphs), cfg, 4);
+  EXPECT_EQ(lvl.spec.num_devices, 9u);
+  EXPECT_DOUBLE_EQ(lvl.spec.source_rate, 5e3);
+  EXPECT_EQ(lvl.epochs, 4u);
+}
+
+TEST(Curriculum, ParametersCarryAcrossLevels) {
+  gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+  const auto snapshot = [&] {
+    std::vector<double> all;
+    for (const auto& p : policy.parameters()) {
+      all.insert(all.end(), p.value().begin(), p.value().end());
+    }
+    return all;
+  };
+  const auto init = snapshot();
+  std::vector<CurriculumLevel> levels{level(10, 15, 2, 3, 1)};
+  TrainerConfig cfg;
+  run_curriculum(policy, levels, metis_placer(), cfg);
+  EXPECT_NE(snapshot(), init);  // training in level 1 mutated the policy
+}
+
+}  // namespace
+}  // namespace sc::rl

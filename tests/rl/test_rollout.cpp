@@ -1,0 +1,110 @@
+#include "rl/rollout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "../testutil.hpp"
+
+namespace sc::rl {
+namespace {
+
+sim::ClusterSpec small_spec() {
+  sim::ClusterSpec s;
+  s.num_devices = 3;
+  s.device_mips = 100.0;
+  s.bandwidth = 100.0;
+  s.source_rate = 10.0;
+  return s;
+}
+
+TEST(Rollout, ToClusterSpecCopiesFields) {
+  gen::WorkloadConfig wl;
+  wl.source_rate = 123.0;
+  wl.num_devices = 7;
+  wl.device_mips = 4.5e6;
+  wl.bandwidth = 9.9e6;
+  const auto spec = to_cluster_spec(wl);
+  EXPECT_DOUBLE_EQ(spec.source_rate, 123.0);
+  EXPECT_EQ(spec.num_devices, 7u);
+  EXPECT_DOUBLE_EQ(spec.device_mips, 4.5e6);
+  EXPECT_DOUBLE_EQ(spec.bandwidth, 9.9e6);
+}
+
+TEST(Rollout, ContextCachesConsistentState) {
+  const auto g = test::make_chain(6, 10.0, 5.0);
+  const GraphContext ctx(g, small_spec());
+  EXPECT_EQ(ctx.graph, &g);
+  EXPECT_EQ(ctx.profile.node_cpu.size(), 6u);
+  EXPECT_EQ(ctx.features.node.rows(), 6u);
+  EXPECT_EQ(ctx.simulator.spec().num_devices, 3u);
+}
+
+TEST(Rollout, EvaluateMaskIdentityEqualsMetisOnRaw) {
+  const auto g = test::make_chain(6, 10.0, 5.0);
+  const GraphContext ctx(g, small_spec());
+  const gnn::EdgeMask none(g.num_edges(), 0);
+  const Episode ep = evaluate_mask(ctx, none, metis_placer());
+  // Without collapsing, Coarsen+Metis == Metis on the raw graph.
+  const auto metis_p = partition::metis_allocate(g, ctx.simulator.spec());
+  EXPECT_DOUBLE_EQ(ep.reward, ctx.simulator.relative_throughput(metis_p));
+  EXPECT_DOUBLE_EQ(ep.compression, 1.0);
+}
+
+TEST(Rollout, EvaluateMaskFullCollapseUsesOneDevice) {
+  const auto g = test::make_chain(4, 1.0, 50.0);
+  const GraphContext ctx(g, small_spec());
+  const gnn::EdgeMask all(g.num_edges(), 1);
+  const Episode ep = evaluate_mask(ctx, all, metis_placer());
+  EXPECT_DOUBLE_EQ(ep.compression, 4.0);
+  EXPECT_GT(ep.reward, 0.0);
+}
+
+TEST(Rollout, OraclePlacerAtLeastAsGoodAsPlain) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 20;
+  cfg.topology.max_nodes = 30;
+  cfg.workload.num_devices = 4;
+  Rng rng(5);
+  const auto g = gen::generate_graph(cfg, rng);
+  const GraphContext ctx(g, to_cluster_spec(cfg.workload));
+  const gnn::EdgeMask none(g.num_edges(), 0);
+  const double plain = evaluate_mask(ctx, none, metis_placer()).reward;
+  const double oracle = evaluate_mask(ctx, none, metis_oracle_placer()).reward;
+  EXPECT_GE(oracle, plain - 1e-9);
+}
+
+TEST(Rollout, CoarsenOnlyPlacerRespectsDeviceCount) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 25;
+  cfg.topology.max_nodes = 35;
+  cfg.workload.num_devices = 4;
+  Rng rng(6);
+  const auto g = gen::generate_graph(cfg, rng);
+  const GraphContext ctx(g, to_cluster_spec(cfg.workload));
+  // Collapse nothing: coarsen-only must still merge down to <= 4 groups.
+  const gnn::EdgeMask none(g.num_edges(), 0);
+  const auto c = gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, none);
+  const auto placement = coarsen_only_placer()(c, ctx.simulator);
+  EXPECT_NO_THROW(sim::validate_placement(g, ctx.simulator.spec(), placement));
+}
+
+TEST(Rollout, MakeContextsBuildsAll) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 10;
+  cfg.topology.max_nodes = 15;
+  const auto graphs = gen::generate_graphs(cfg, 3, 9);
+  const auto ctxs = make_contexts(graphs, small_spec());
+  ASSERT_EQ(ctxs.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(ctxs[i].graph, &graphs[i]);
+}
+
+TEST(Rollout, AllocateWithPolicyProducesValidPlacement) {
+  const auto g = test::make_broadcast_diamond(5.0, 5.0);
+  const GraphContext ctx(g, small_spec());
+  const gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+  const auto p = allocate_with_policy(policy, ctx, metis_placer());
+  EXPECT_NO_THROW(sim::validate_placement(g, ctx.simulator.spec(), p));
+}
+
+}  // namespace
+}  // namespace sc::rl

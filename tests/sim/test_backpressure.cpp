@@ -1,0 +1,82 @@
+// Backpressure-specific behaviour of the event simulator: bounded queues
+// must throttle upstream work instead of letting backlogged operators starve
+// downstream ones — the exact failure mode of unbounded proportional sharing.
+#include <gtest/gtest.h>
+
+#include "sim/event.hpp"
+#include "sim/fluid.hpp"
+#include "../testutil.hpp"
+
+namespace sc::sim {
+namespace {
+
+ClusterSpec spec(double mips = 100.0, double bw = 100.0, double rate = 10.0) {
+  ClusterSpec s;
+  s.num_devices = 2;
+  s.device_mips = mips;
+  s.bandwidth = bw;
+  s.source_rate = rate;
+  return s;
+}
+
+TEST(Backpressure, OverloadedPipelineReachesFluidFixedPoint) {
+  // Source rate 10 but capacity supports only 2.5: without backpressure the
+  // source's unbounded backlog would capture the CPU share and the sink rate
+  // would settle near 1.34 (the starved fixed point); with bounded queues
+  // the pipeline must sustain ~2.5.
+  const auto g = test::make_chain(2, /*ipt=*/20.0, /*payload=*/0.0);
+  const EventSimulator esim(g, spec());
+  EXPECT_NEAR(esim.throughput({0, 0}), 2.5, 0.1);
+}
+
+TEST(Backpressure, DeepPipelineStillConverges) {
+  const auto g = test::make_chain(12, /*ipt=*/2.0, /*payload=*/1.0);
+  const ClusterSpec s = spec();
+  const EventSimulator esim(g, s);
+  const FluidSimulator fsim(g, s);
+  const Placement p = round_robin(g, 2);
+  EXPECT_NEAR(esim.relative_throughput(p), fsim.relative_throughput(p), 0.06);
+}
+
+TEST(Backpressure, NetworkBottleneckPropagatesUpstream) {
+  // CPU is plentiful; the cross-device link limits to 2/s. The upstream
+  // operator must slow to the link rate rather than overflow the buffer.
+  const auto g = test::make_chain(3, /*ipt=*/0.01, /*payload=*/50.0);
+  const EventSimulator esim(g, spec());
+  const FluidSimulator fsim(g, spec());
+  const Placement p{0, 1, 1};
+  EXPECT_NEAR(esim.relative_throughput(p), fsim.relative_throughput(p), 0.05);
+  EXPECT_NEAR(fsim.throughput(p), 2.0, 1e-9);
+}
+
+TEST(Backpressure, FanInJoinThrottlesBothBranches) {
+  const auto g = test::make_broadcast_diamond(/*ipt=*/15.0, /*payload=*/1.0);
+  const ClusterSpec s = spec();
+  const EventSimulator esim(g, s);
+  const FluidSimulator fsim(g, s);
+  for (const Placement& p : {Placement{0, 0, 1, 1}, Placement{0, 1, 0, 1}}) {
+    EXPECT_NEAR(esim.relative_throughput(p), fsim.relative_throughput(p), 0.06);
+  }
+}
+
+TEST(Backpressure, ThroughputNeverExceedsSourceRate) {
+  const auto g = test::make_chain(4, 0.001, 0.001);
+  const EventSimulator esim(g, spec());
+  EXPECT_LE(esim.throughput({0, 0, 1, 1}), spec().source_rate + 1e-9);
+}
+
+TEST(Backpressure, LongerMeasurementWindowsAgree) {
+  // Steady state: doubling the measurement window must not move the answer.
+  const auto g = test::make_chain(5, 10.0, 5.0);
+  EventSimConfig short_cfg;
+  short_cfg.measure_ticks = 300;
+  EventSimConfig long_cfg;
+  long_cfg.measure_ticks = 900;
+  const EventSimulator a(g, spec(), short_cfg);
+  const EventSimulator b(g, spec(), long_cfg);
+  const Placement p{0, 0, 1, 1, 1};
+  EXPECT_NEAR(a.relative_throughput(p), b.relative_throughput(p), 0.03);
+}
+
+}  // namespace
+}  // namespace sc::sim

@@ -1,0 +1,53 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "../testutil.hpp"
+
+namespace sc::sim {
+namespace {
+
+TEST(Placement, ValidateAcceptsGoodPlacement) {
+  const auto g = test::make_chain(4);
+  ClusterSpec spec;
+  spec.num_devices = 2;
+  EXPECT_NO_THROW(validate_placement(g, spec, {0, 1, 0, 1}));
+}
+
+TEST(Placement, ValidateRejectsWrongSize) {
+  const auto g = test::make_chain(4);
+  ClusterSpec spec;
+  EXPECT_THROW(validate_placement(g, spec, {0, 1}), Error);
+}
+
+TEST(Placement, ValidateRejectsOutOfRangeDevice) {
+  const auto g = test::make_chain(3);
+  ClusterSpec spec;
+  spec.num_devices = 2;
+  EXPECT_THROW(validate_placement(g, spec, {0, 1, 2}), Error);
+  EXPECT_THROW(validate_placement(g, spec, {0, -1, 1}), Error);
+}
+
+TEST(Placement, AllOnOneUsesSingleDevice) {
+  const auto g = test::make_chain(5);
+  const Placement p = all_on_one(g);
+  EXPECT_EQ(devices_used(p), 1u);
+}
+
+TEST(Placement, RoundRobinBalancesCounts) {
+  const auto g = test::make_chain(10);
+  const Placement p = round_robin(g, 5);
+  EXPECT_EQ(devices_used(p), 5u);
+  std::vector<int> counts(5, 0);
+  for (const int d : p) ++counts[static_cast<std::size_t>(d)];
+  for (const int c : counts) EXPECT_EQ(c, 2);
+}
+
+TEST(Placement, DevicesUsedCountsDistinct) {
+  EXPECT_EQ(devices_used({0, 0, 0}), 1u);
+  EXPECT_EQ(devices_used({0, 3, 3, 7}), 3u);
+}
+
+}  // namespace
+}  // namespace sc::sim

@@ -1,0 +1,109 @@
+#include "sim/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "gen/generator.hpp"
+#include "sim/fluid.hpp"
+#include "../testutil.hpp"
+
+namespace sc::sim {
+namespace {
+
+ClusterSpec simple_spec(std::size_t devices = 2, double mips = 100.0, double bw = 100.0,
+                        double rate = 10.0) {
+  ClusterSpec s;
+  s.num_devices = devices;
+  s.device_mips = mips;
+  s.bandwidth = bw;
+  s.source_rate = rate;
+  return s;
+}
+
+TEST(EventSimulator, MatchesFluidOnUnconstrainedChain) {
+  const auto g = test::make_chain(3, 0.01, 0.01);
+  const ClusterSpec spec = simple_spec();
+  const EventSimulator esim(g, spec);
+  const FluidSimulator fsim(g, spec);
+  EXPECT_NEAR(esim.relative_throughput({0, 0, 0}), fsim.relative_throughput({0, 0, 0}),
+              0.02);
+}
+
+TEST(EventSimulator, MatchesFluidOnCpuBoundChain) {
+  const auto g = test::make_chain(2, 20.0, 0.0);
+  const ClusterSpec spec = simple_spec();
+  const EventSimulator esim(g, spec);
+  const FluidSimulator fsim(g, spec);
+  for (const Placement& p : {Placement{0, 0}, Placement{0, 1}}) {
+    EXPECT_NEAR(esim.relative_throughput(p), fsim.relative_throughput(p), 0.03)
+        << "placement " << p[0] << "," << p[1];
+  }
+}
+
+TEST(EventSimulator, MatchesFluidOnNetworkBoundChain) {
+  const auto g = test::make_chain(2, 0.01, 50.0);
+  const ClusterSpec spec = simple_spec();
+  const EventSimulator esim(g, spec);
+  const FluidSimulator fsim(g, spec);
+  EXPECT_NEAR(esim.relative_throughput({0, 1}), fsim.relative_throughput({0, 1}), 0.03);
+}
+
+TEST(EventSimulator, MatchesFluidOnBroadcastDiamond) {
+  const auto g = test::make_broadcast_diamond(10.0, 5.0);
+  const ClusterSpec spec = simple_spec(4);
+  const EventSimulator esim(g, spec);
+  const FluidSimulator fsim(g, spec);
+  for (const Placement& p :
+       {Placement{0, 1, 2, 3}, Placement{0, 0, 1, 1}, Placement{0, 0, 0, 0}}) {
+    EXPECT_NEAR(esim.relative_throughput(p), fsim.relative_throughput(p), 0.05);
+  }
+}
+
+TEST(EventSimulator, AgreesWithFluidOnGeneratedGraphs) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 20;
+  cfg.topology.max_nodes = 30;
+  cfg.workload.num_devices = 3;
+  Rng rng(17);
+  const auto g = gen::generate_graph(cfg, rng);
+
+  ClusterSpec spec;
+  spec.num_devices = 3;
+  spec.device_mips = cfg.workload.device_mips;
+  spec.bandwidth = cfg.workload.bandwidth;
+  spec.source_rate = cfg.workload.source_rate;
+
+  const FluidSimulator fsim(g, spec);
+  const EventSimulator esim(g, spec);
+  const Placement p = round_robin(g, 3);
+  EXPECT_NEAR(esim.relative_throughput(p), fsim.relative_throughput(p), 0.08);
+}
+
+TEST(EventSimulator, NicModelMatchesFluidNic) {
+  graph::GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_node(0.001);
+  b.add_edge(0, 1, 30.0);
+  b.add_edge(0, 2, 30.0);
+  b.add_edge(0, 3, 30.0);
+  const auto g = b.build();
+  ClusterSpec spec = simple_spec(4);
+  spec.link_model = LinkModel::DeviceNic;
+  const EventSimulator esim(g, spec);
+  const FluidSimulator fsim(g, spec);
+  EXPECT_NEAR(esim.relative_throughput({0, 1, 2, 3}),
+              fsim.relative_throughput({0, 1, 2, 3}), 0.05);
+}
+
+TEST(EventSimulator, RejectsBadConfig) {
+  const auto g = test::make_chain(2);
+  EventSimConfig cfg;
+  cfg.dt = 0.0;
+  EXPECT_THROW(EventSimulator(g, simple_spec(), cfg), Error);
+  cfg = {};
+  cfg.measure_ticks = 0;
+  EXPECT_THROW(EventSimulator(g, simple_spec(), cfg), Error);
+}
+
+}  // namespace
+}  // namespace sc::sim

@@ -1,0 +1,129 @@
+#include "sim/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "../testutil.hpp"
+
+namespace sc::sim {
+namespace {
+
+ClusterSpec simple_spec(std::size_t devices = 2, double mips = 100.0, double bw = 100.0,
+                        double rate = 10.0) {
+  ClusterSpec s;
+  s.num_devices = devices;
+  s.device_mips = mips;
+  s.bandwidth = bw;
+  s.source_rate = rate;
+  return s;
+}
+
+TEST(FluidSimulator, UnconstrainedGraphReachesSourceRate) {
+  // Chain with tiny loads: nothing binds, throughput = I.
+  const auto g = test::make_chain(3, /*ipt=*/0.01, /*payload=*/0.01);
+  const FluidSimulator sim(g, simple_spec());
+  EXPECT_DOUBLE_EQ(sim.throughput({0, 0, 0}), 10.0);
+  EXPECT_DOUBLE_EQ(sim.relative_throughput({0, 0, 0}), 1.0);
+}
+
+TEST(FluidSimulator, CpuBottleneckCapsThroughput) {
+  // One node with ipt 20 on a 100-MIPS device: r* = 100/20 = 5 < I = 10.
+  const auto g = test::make_chain(2, /*ipt=*/20.0, /*payload=*/0.0);
+  const FluidSimulator sim(g, simple_spec());
+  // Both ops on device 0: demand 40 instr per tuple => r* = 2.5.
+  EXPECT_DOUBLE_EQ(sim.throughput({0, 0}), 2.5);
+  // Split across devices: each 20 per tuple => r* = 5.
+  EXPECT_DOUBLE_EQ(sim.throughput({0, 1}), 5.0);
+}
+
+TEST(FluidSimulator, NetworkBottleneckCapsThroughput) {
+  // Co-located: no traffic. Split: payload 50 bytes/tuple over 100 B/s link.
+  const auto g = test::make_chain(2, /*ipt=*/0.01, /*payload=*/50.0);
+  const FluidSimulator sim(g, simple_spec());
+  EXPECT_DOUBLE_EQ(sim.throughput({0, 0}), 10.0);
+  EXPECT_DOUBLE_EQ(sim.throughput({0, 1}), 2.0);  // 100 / 50
+}
+
+TEST(FluidSimulator, SplitVsColocateTradeoff) {
+  // CPU-heavy graph: splitting wins despite the network cost.
+  const auto g = test::make_chain(2, /*ipt=*/30.0, /*payload=*/1.0);
+  const FluidSimulator sim(g, simple_spec());
+  EXPECT_GT(sim.throughput({0, 1}), sim.throughput({0, 0}));
+}
+
+TEST(FluidSimulator, PairwiseLinksSpreadLoad) {
+  // Star of 3 consumers on separate devices: pairwise links each carry one
+  // edge, NIC model funnels all through the source device.
+  graph::GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_node(0.001);
+  b.add_edge(0, 1, 30.0);
+  b.add_edge(0, 2, 30.0);
+  b.add_edge(0, 3, 30.0);
+  const auto g = b.build();
+
+  ClusterSpec pairwise = simple_spec(4);
+  const FluidSimulator fsim(g, pairwise);
+  const double tp_pairwise = fsim.throughput({0, 1, 2, 3});
+
+  ClusterSpec nic = pairwise;
+  nic.link_model = LinkModel::DeviceNic;
+  const FluidSimulator nsim(g, nic);
+  const double tp_nic = nsim.throughput({0, 1, 2, 3});
+
+  EXPECT_GT(tp_pairwise, tp_nic);
+  EXPECT_NEAR(tp_pairwise, 100.0 / 30.0, 1e-9);
+  EXPECT_NEAR(tp_nic, 100.0 / 90.0, 1e-9);
+}
+
+TEST(FluidSimulator, BroadcastDiamondDoublesJoinLoad) {
+  const auto g = test::make_broadcast_diamond(/*ipt=*/10.0, /*payload=*/0.0);
+  const FluidSimulator sim(g, simple_spec(4, 100.0));
+  // Join processes rate 2r with ipt 10: alone on a device binds at r = 5.
+  EXPECT_DOUBLE_EQ(sim.throughput({0, 1, 2, 3}), 5.0);
+}
+
+TEST(FluidSimulator, ReportDiagnosticsConsistent) {
+  const auto g = test::make_chain(4, /*ipt=*/10.0, /*payload=*/10.0);
+  const FluidSimulator sim(g, simple_spec(2));
+  const PlacementReport r = sim.report({0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(r.throughput, sim.throughput({0, 0, 1, 1}));
+  EXPECT_EQ(r.devices_used, 2u);
+  EXPECT_GT(r.avg_cpu_utilization, 0.0);
+  EXPECT_LE(r.avg_cpu_utilization, 1.0 + 1e-9);
+}
+
+TEST(FluidSimulator, ThroughputMonotoneInSourceRateCap) {
+  const auto g = test::make_chain(3, /*ipt=*/1.0, /*payload=*/1.0);
+  ClusterSpec lo = simple_spec(2, 100.0, 100.0, 5.0);
+  ClusterSpec hi = simple_spec(2, 100.0, 100.0, 50.0);
+  const FluidSimulator slo(g, lo), shi(g, hi);
+  EXPECT_LE(slo.throughput({0, 1, 0}), shi.throughput({0, 1, 0}));
+}
+
+TEST(FluidSimulator, RejectsBadSpecs) {
+  const auto g = test::make_chain(2);
+  ClusterSpec s = simple_spec();
+  s.num_devices = 0;
+  EXPECT_THROW(FluidSimulator(g, s), Error);
+  s = simple_spec();
+  s.device_mips = 0.0;
+  EXPECT_THROW(FluidSimulator(g, s), Error);
+  s = simple_spec();
+  s.source_rate = -1.0;
+  EXPECT_THROW(FluidSimulator(g, s), Error);
+}
+
+TEST(FluidSimulator, SelectivityReducesDownstreamLoad) {
+  graph::GraphBuilder b;
+  b.add_node(10.0, /*selectivity=*/0.1);  // aggressive filter
+  b.add_node(10.0);
+  b.add_edge(0, 1, 0.0);
+  const auto g = b.build();
+  const FluidSimulator sim(g, simple_spec(1, 100.0));
+  // Device demand per tuple: 10 + 0.1*10 = 11 => r* = 100/11.
+  EXPECT_NEAR(sim.throughput({0, 0}), 100.0 / 11.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sc::sim

@@ -1,0 +1,138 @@
+// Tests for the heterogeneous-device extension (the paper's stated future
+// work): per-device capacities in the simulators and capacity-proportional
+// partitioning.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "partition/allocate.hpp"
+#include "partition/metrics.hpp"
+#include "sim/event.hpp"
+#include "sim/fluid.hpp"
+#include "../testutil.hpp"
+
+namespace sc::sim {
+namespace {
+
+ClusterSpec hetero_spec(std::vector<double> mips, double bw = 1000.0,
+                        double rate = 10.0) {
+  ClusterSpec s;
+  s.num_devices = mips.size();
+  s.device_mips_each = std::move(mips);
+  s.device_mips = 0.0;  // must not be consulted when heterogeneous
+  s.bandwidth = bw;
+  s.source_rate = rate;
+  // device_mips==0 would fail validation; give it a harmless positive value.
+  s.device_mips = 1.0;
+  return s;
+}
+
+TEST(Heterogeneous, SpecValidation) {
+  ClusterSpec s = hetero_spec({100.0, 50.0});
+  EXPECT_NO_THROW(validate_spec(s));
+  EXPECT_TRUE(s.heterogeneous());
+  EXPECT_DOUBLE_EQ(s.mips_of(0), 100.0);
+  EXPECT_DOUBLE_EQ(s.mips_of(1), 50.0);
+  EXPECT_DOUBLE_EQ(s.total_mips(), 150.0);
+
+  s.device_mips_each = {100.0};  // size mismatch
+  EXPECT_THROW(validate_spec(s), Error);
+  s.device_mips_each = {100.0, -1.0};
+  EXPECT_THROW(validate_spec(s), Error);
+}
+
+TEST(Heterogeneous, HomogeneousSpecUsesSharedCapacity) {
+  ClusterSpec s;
+  s.num_devices = 3;
+  s.device_mips = 42.0;
+  EXPECT_FALSE(s.heterogeneous());
+  EXPECT_DOUBLE_EQ(s.mips_of(2), 42.0);
+  EXPECT_DOUBLE_EQ(s.total_mips(), 126.0);
+}
+
+TEST(Heterogeneous, FluidUsesPerDeviceCapacity) {
+  // Two ops (ipt 10 each), devices of 100 and 20 MIPS; no network cost.
+  const auto g = test::make_chain(2, /*ipt=*/10.0, /*payload=*/0.0);
+  const FluidSimulator sim(g, hetero_spec({100.0, 20.0}));
+  // Both on fast device: r* = 100/20 = 5. Both on slow: 20/20 = 1.
+  EXPECT_DOUBLE_EQ(sim.throughput({0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(sim.throughput({1, 1}), 1.0);
+  // Split: slow device binds at 20/10 = 2.
+  EXPECT_DOUBLE_EQ(sim.throughput({0, 1}), 2.0);
+}
+
+TEST(Heterogeneous, EventSimulatorAgreesWithFluid) {
+  const auto g = test::make_chain(3, /*ipt=*/15.0, /*payload=*/2.0);
+  const auto spec = hetero_spec({120.0, 30.0, 30.0});
+  const FluidSimulator fluid(g, spec);
+  const EventSimulator event(g, spec);
+  for (const Placement& p : {Placement{0, 0, 0}, Placement{0, 1, 2}, Placement{0, 0, 1}}) {
+    EXPECT_NEAR(event.relative_throughput(p), fluid.relative_throughput(p), 0.06);
+  }
+}
+
+TEST(Heterogeneous, PartitionerWeightsPartsByCapacity) {
+  // 12 unit-weight nodes in a chain; fractions 3:1 — the big part should get
+  // roughly 9 nodes.
+  graph::GraphBuilder b;
+  for (int i = 0; i < 12; ++i) b.add_node(1.0);
+  for (int i = 0; i + 1 < 12; ++i) {
+    b.add_edge(static_cast<graph::NodeId>(i), static_cast<graph::NodeId>(i + 1), 1.0);
+  }
+  const auto g = b.build();
+  const auto profile = graph::compute_load_profile(g);
+  const auto wg = graph::to_weighted(g, profile);
+
+  partition::MultilevelPartitioner part;
+  const auto labels = part.partition(wg, std::vector<double>{3.0, 1.0});
+  const auto w = partition::part_weights(wg, labels, 2);
+  EXPECT_NEAR(w[0], 9.0, 1.5);
+  EXPECT_NEAR(w[1], 3.0, 1.5);
+}
+
+TEST(Heterogeneous, PartitionerRejectsBadFractions) {
+  const graph::WeightedGraph wg({1.0, 1.0}, {graph::WeightedEdge{0, 1, 1.0}});
+  partition::MultilevelPartitioner part;
+  EXPECT_THROW(part.partition(wg, std::vector<double>{}), Error);
+  EXPECT_THROW(part.partition(wg, std::vector<double>{1.0, 0.0}), Error);
+}
+
+TEST(Heterogeneous, MetisAllocateLoadsFollowCapacity) {
+  // A long chain of uniform ops, devices 4:1:1. The big device should carry
+  // the bulk of the CPU demand.
+  const auto g = test::make_chain(30, 10.0, 0.01);
+  const auto spec = hetero_spec({400.0, 100.0, 100.0});
+  const auto p = partition::metis_allocate(g, spec);
+  validate_placement(g, spec, p);
+  std::vector<double> load(3, 0.0);
+  for (std::size_t v = 0; v < 30; ++v) load[static_cast<std::size_t>(p[v])] += 10.0;
+  EXPECT_GT(load[0], load[1]);
+  EXPECT_GT(load[0], load[2]);
+}
+
+TEST(Heterogeneous, OraclePrefersFasterDevicesForSubsets) {
+  // CPU-light but network-heavy chain: best is one device — and it should be
+  // the fastest one.
+  const auto g = test::make_chain(6, 1.0, 500.0);
+  const auto spec = hetero_spec({30.0, 200.0, 30.0});
+  const FluidSimulator sim(g, spec);
+  const auto p = partition::metis_oracle_allocate(g, sim);
+  EXPECT_EQ(devices_used(p), 1u);
+  EXPECT_EQ(p[0], 1);  // the 200-MIPS device
+}
+
+TEST(Heterogeneous, ThroughputImprovesWithCapacityAwareSplit) {
+  // Capacity-aware partitioning should beat a naive uniform split on a
+  // markedly skewed cluster.
+  const auto g = test::make_chain(20, 10.0, 0.01);
+  const auto spec = hetero_spec({300.0, 50.0});
+  const FluidSimulator sim(g, spec);
+  const auto aware = partition::metis_allocate(g, spec);
+
+  // Uniform half/half split.
+  Placement uniform(20);
+  for (std::size_t v = 0; v < 20; ++v) uniform[v] = v < 10 ? 0 : 1;
+  EXPECT_GT(sim.throughput(aware), sim.throughput(uniform));
+}
+
+}  // namespace
+}  // namespace sc::sim

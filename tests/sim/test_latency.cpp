@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "sim/fluid.hpp"
+#include "../testutil.hpp"
+
+namespace sc::sim {
+namespace {
+
+ClusterSpec spec(std::size_t devices = 2, double mips = 100.0, double bw = 100.0,
+                 double rate = 1.0) {
+  ClusterSpec s;
+  s.num_devices = devices;
+  s.device_mips = mips;
+  s.bandwidth = bw;
+  s.source_rate = rate;
+  return s;
+}
+
+TEST(Latency, ColocatedChainIsPureServiceTime) {
+  // Negligible load -> no queueing penalty; latency = sum(ipt)/mips.
+  const auto g = test::make_chain(3, /*ipt=*/1.0, /*payload=*/1.0);
+  const FluidSimulator sim(g, spec());
+  LatencyModel model;
+  model.queueing = false;
+  EXPECT_NEAR(sim.latency({0, 0, 0}, model), 3.0 / 100.0, 1e-12);
+}
+
+TEST(Latency, CrossDeviceEdgeAddsTransmissionAndHop) {
+  const auto g = test::make_chain(2, /*ipt=*/1.0, /*payload=*/10.0);
+  const FluidSimulator sim(g, spec());
+  LatencyModel model;
+  model.queueing = false;
+  model.network_hop_seconds = 0.5;
+  const double colocated = sim.latency({0, 0}, model);
+  const double split = sim.latency({0, 1}, model);
+  EXPECT_NEAR(split - colocated, 0.5 + 10.0 / 100.0, 1e-12);
+}
+
+TEST(Latency, CriticalPathDominates) {
+  // Broadcast diamond: latency follows the deeper/heavier branch.
+  graph::GraphBuilder b;
+  b.add_node(1.0);
+  b.add_node(50.0);  // heavy branch
+  b.add_node(1.0);   // light branch
+  b.add_node(1.0);
+  b.add_edge(0, 1, 0.0);
+  b.add_edge(0, 2, 0.0);
+  b.add_edge(1, 3, 0.0);
+  b.add_edge(2, 3, 0.0);
+  const auto g = b.build();
+  const FluidSimulator sim(g, spec(4, 100.0, 100.0, 0.1));
+  LatencyModel model;
+  model.queueing = false;
+  model.network_hop_seconds = 0.0;
+  // Path via node 1: (1 + 50 + 1)/100 — node 0's cost included at the source.
+  EXPECT_NEAR(sim.latency({0, 1, 2, 3}, model), 52.0 / 100.0, 1e-12);
+}
+
+TEST(Latency, QueueingPenaltyGrowsWithUtilization) {
+  const auto g = test::make_chain(2, /*ipt=*/10.0, /*payload=*/0.0);
+  // Rate 9 on a 100-MIPS device with 20 instr/tuple => rho 0.9... choose
+  // rates to compare low vs high utilization.
+  ClusterSpec lo = spec(1, 100.0, 100.0, 0.5);
+  ClusterSpec hi = spec(1, 100.0, 100.0, 4.9);
+  const FluidSimulator slo(g, lo);
+  const FluidSimulator shi(g, hi);
+  EXPECT_GT(shi.latency({0, 0}), slo.latency({0, 0}));
+}
+
+TEST(Latency, HeterogeneousDeviceSpeedsMatter) {
+  const auto g = test::make_chain(2, /*ipt=*/10.0, /*payload=*/0.0);
+  ClusterSpec s = spec(2, 1.0, 100.0, 0.01);
+  s.device_mips_each = {1000.0, 10.0};
+  const FluidSimulator sim(g, s);
+  LatencyModel model;
+  model.queueing = false;
+  EXPECT_LT(sim.latency({0, 0}, model), sim.latency({1, 1}, model));
+}
+
+TEST(Latency, ReportIncludesLatency) {
+  const auto g = test::make_chain(3, 1.0, 1.0);
+  const FluidSimulator sim(g, spec());
+  const auto rep = sim.report({0, 1, 0});
+  EXPECT_GT(rep.latency_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(rep.latency_seconds, sim.latency({0, 1, 0}));
+}
+
+TEST(Latency, ThroughputLatencyTradeoffVisible) {
+  // A CPU-heavy chain: splitting doubles throughput but adds network latency
+  // hops — both effects must be measurable.
+  const auto g = test::make_chain(2, /*ipt=*/30.0, /*payload=*/1.0);
+  const FluidSimulator sim(g, spec(2, 100.0, 100.0, 10.0));
+  LatencyModel model;
+  model.queueing = false;
+  EXPECT_GT(sim.throughput({0, 1}), sim.throughput({0, 0}));
+  EXPECT_GT(sim.latency({0, 1}, model), sim.latency({0, 0}, model));
+}
+
+}  // namespace
+}  // namespace sc::sim

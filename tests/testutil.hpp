@@ -1,0 +1,52 @@
+// Shared helpers for the test suite: small canonical stream graphs.
+#pragma once
+
+#include <vector>
+
+#include "graph/stream_graph.hpp"
+
+namespace sc::test {
+
+/// 0 -> 1 -> ... -> n-1, uniform ipt / payload.
+inline graph::StreamGraph make_chain(std::size_t n, double ipt = 1.0,
+                                     double payload = 1.0) {
+  graph::GraphBuilder b("chain");
+  for (std::size_t i = 0; i < n; ++i) b.add_node(ipt);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add_edge(static_cast<graph::NodeId>(i), static_cast<graph::NodeId>(i + 1), payload);
+  }
+  return b.build();
+}
+
+/// Diamond: 0 -> {1, 2} -> 3 with split semantics at the fork.
+inline graph::StreamGraph make_diamond(double ipt = 1.0, double payload = 1.0) {
+  graph::GraphBuilder b("diamond");
+  for (int i = 0; i < 4; ++i) b.add_node(ipt);
+  b.add_edge(0, 1, payload, 0.5);
+  b.add_edge(0, 2, payload, 0.5);
+  b.add_edge(1, 3, payload);
+  b.add_edge(2, 3, payload);
+  return b.build();
+}
+
+/// Broadcast diamond: the fork sends the full rate down both branches.
+inline graph::StreamGraph make_broadcast_diamond(double ipt = 1.0, double payload = 1.0) {
+  graph::GraphBuilder b("bdiamond");
+  for (int i = 0; i < 4; ++i) b.add_node(ipt);
+  b.add_edge(0, 1, payload, 1.0);
+  b.add_edge(0, 2, payload, 1.0);
+  b.add_edge(1, 3, payload);
+  b.add_edge(2, 3, payload);
+  return b.build();
+}
+
+/// Two independent chains sharing no edges: {0->1} and {2->3}.
+inline graph::StreamGraph make_two_components() {
+  graph::GraphBuilder b("twocomp");
+  for (int i = 0; i < 4; ++i) b.add_node(1.0);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(2, 3, 1.0);
+  return b.build();
+}
+
+}  // namespace sc::test

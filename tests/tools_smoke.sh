@@ -1,0 +1,36 @@
+#!/bin/sh
+# End-to-end smoke test of the CLI tools: generate -> train -> evaluate ->
+# allocate (+ DOT export). Run by ctest with the build directory as $1.
+set -e
+BUILD_DIR="$1"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+"$BUILD_DIR/tools/sc_gen" --out "$WORK/train.txt" --count 6 --setting small --seed 11
+"$BUILD_DIR/tools/sc_gen" --out "$WORK/test.txt" --count 4 --setting small --seed 12
+
+"$BUILD_DIR/tools/sc_train" --data "$WORK/train.txt" --out "$WORK/model.ckpt" \
+  --setting small --epochs 2 > "$WORK/train.log"
+grep -q "checkpoint written" "$WORK/train.log"
+
+"$BUILD_DIR/tools/sc_eval" --data "$WORK/test.txt" --model "$WORK/model.ckpt" \
+  --setting small --methods metis,coarsen --csv "$WORK/eval.csv" > "$WORK/eval.log"
+grep -q "Coarsen+Metis" "$WORK/eval.log"
+grep -q "method,value" "$WORK/eval.csv"
+
+"$BUILD_DIR/tools/sc_allocate" --data "$WORK/test.txt" --model "$WORK/model.ckpt" \
+  --setting small --index 0 --best-of 2 --dot "$WORK/g.dot" > "$WORK/alloc.log"
+grep -q "placement:" "$WORK/alloc.log"
+grep -q "digraph" "$WORK/g.dot"
+
+# Error paths must fail cleanly, not crash.
+if "$BUILD_DIR/tools/sc_train" --data /nonexistent --out "$WORK/x.ckpt" 2>/dev/null; then
+  echo "sc_train should have failed on a missing dataset" >&2
+  exit 1
+fi
+if "$BUILD_DIR/tools/sc_eval" --data "$WORK/test.txt" --methods coarsen 2>/dev/null; then
+  echo "sc_eval should require --model for method coarsen" >&2
+  exit 1
+fi
+
+echo "tools smoke test passed"

@@ -1,0 +1,83 @@
+// sc_eval — evaluate allocation methods over a dataset file and print the
+// paper-style CDF/AUC comparison.
+//
+//   sc_eval --data test.txt [--model model.ckpt] [--setting medium]
+//           [--methods metis,oracle,rr,coarsen,coarsen-oracle] [--best-of K]
+//           [--csv out.csv]
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/allocator.hpp"
+#include "core/framework.hpp"
+#include "graph/io.hpp"
+#include "metrics/report.hpp"
+#include "tool_common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace sc;
+  const Flags flags(argc, argv);
+  if (!flags.has("data")) {
+    tools::usage(
+        "usage: sc_eval --data <file> [--model <ckpt>] [--setting medium]\n"
+        "               [--methods metis,oracle,rr,coarsen,coarsen-oracle]\n"
+        "               [--best-of K] [--csv out.csv]\n");
+  }
+  const auto graphs = graph::load_graphs(flags.get_string("data", ""));
+  SC_CHECK(!graphs.empty(), "dataset is empty");
+  const auto spec = tools::spec_from_flags(flags);
+  const auto contexts = rl::make_contexts(graphs, spec);
+
+  core::CoarsenPartitionFramework fw;
+  const bool has_model = flags.has("model");
+  if (has_model) fw.load(flags.get_string("model", ""));
+  const auto best_of = static_cast<std::size_t>(flags.get_int("best-of", 0));
+
+  std::vector<std::unique_ptr<core::Allocator>> allocs;
+  std::string methods = flags.get_string("methods", has_model ? "metis,coarsen" : "metis,oracle,rr");
+  std::stringstream ms(methods);
+  for (std::string m; std::getline(ms, m, ',');) {
+    if (m == "metis") {
+      allocs.push_back(std::make_unique<core::MetisAllocator>());
+    } else if (m == "oracle") {
+      allocs.push_back(std::make_unique<core::MetisOracleAllocator>());
+    } else if (m == "rr") {
+      allocs.push_back(std::make_unique<core::RoundRobinAllocator>());
+    } else if (m == "coarsen") {
+      SC_CHECK(has_model, "method 'coarsen' requires --model");
+      allocs.push_back(std::make_unique<core::CoarsenAllocator>(
+          fw.policy(), fw.placer(), best_of > 0 ? "Coarsen (best-of)" : "Coarsen+Metis",
+          best_of));
+    } else if (m == "coarsen-oracle") {
+      SC_CHECK(has_model, "method 'coarsen-oracle' requires --model");
+      allocs.push_back(std::make_unique<core::CoarsenAllocator>(
+          fw.policy(), rl::metis_oracle_placer(), "Coarsen+Metis-oracle", best_of));
+    } else {
+      SC_CHECK(false, "unknown method '" << m << "'");
+    }
+  }
+  SC_CHECK(!allocs.empty(), "no methods selected");
+
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<metrics::Series> series;
+  metrics::Table timing({"method", "mean inference (ms)"});
+  for (const auto& a : allocs) {
+    const auto result = core::evaluate_allocator(*a, contexts, &pool);
+    series.push_back(metrics::Series{result.name, result.throughput});
+    timing.add_row({result.name,
+                    metrics::Table::fmt(result.mean_inference_seconds * 1e3, 2)});
+  }
+
+  metrics::print_cdf_comparison(std::cout, series);
+  metrics::print_auc_table(std::cout, series);
+  std::cout << '\n';
+  timing.print(std::cout);
+  if (flags.has("csv")) {
+    metrics::write_series_csv(flags.get_string("csv", ""), series);
+    std::cout << "CSV written to " << flags.get_string("csv", "") << '\n';
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "sc_eval: " << e.what() << '\n';
+  return 1;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the command-line tools: setting lookup and cluster
+// overrides from flags.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/flags.hpp"
+#include "gen/dataset.hpp"
+#include "rl/rollout.hpp"
+
+namespace sc::tools {
+
+inline gen::Setting parse_setting(const std::string& name) {
+  if (name == "small") return gen::Setting::Small;
+  if (name == "medium5") return gen::Setting::MediumSmallCluster;
+  if (name == "medium") return gen::Setting::Medium;
+  if (name == "large") return gen::Setting::Large;
+  if (name == "xlarge") return gen::Setting::XLarge;
+  if (name == "excess") return gen::Setting::Excess;
+  SC_CHECK(false, "unknown setting '" << name
+                                      << "' (small|medium5|medium|large|xlarge|excess)");
+  return gen::Setting::Medium;
+}
+
+/// Builds the generator config for --setting, with optional overrides:
+/// --devices, --rate, --bandwidth, --mips, --nodes-lo, --nodes-hi.
+inline gen::GeneratorConfig config_from_flags(const Flags& flags) {
+  gen::GeneratorConfig cfg =
+      gen::setting_config(parse_setting(flags.get_string("setting", "medium")));
+  auto& wl = cfg.workload;
+  wl.num_devices =
+      static_cast<std::size_t>(flags.get_int("devices", static_cast<long>(wl.num_devices)));
+  wl.source_rate = flags.get_double("rate", wl.source_rate);
+  wl.bandwidth = flags.get_double("bandwidth", wl.bandwidth);
+  wl.device_mips = flags.get_double("mips", wl.device_mips);
+  cfg.topology.min_nodes = static_cast<std::size_t>(
+      flags.get_int("nodes-lo", static_cast<long>(cfg.topology.min_nodes)));
+  cfg.topology.max_nodes = static_cast<std::size_t>(
+      flags.get_int("nodes-hi", static_cast<long>(cfg.topology.max_nodes)));
+  return cfg;
+}
+
+inline sim::ClusterSpec spec_from_flags(const Flags& flags) {
+  return rl::to_cluster_spec(config_from_flags(flags).workload);
+}
+
+[[noreturn]] inline void usage(const std::string& text) {
+  std::cerr << text;
+  std::exit(2);
+}
+
+}  // namespace sc::tools
