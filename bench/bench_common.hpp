@@ -5,6 +5,7 @@
 //   --epochs <n>    overrides the per-bench default training epochs
 //   --seed <n>      master seed
 //   --csv <dir>     where to drop CSV dumps (default: current directory)
+//   --threads <n>   size of the global thread pool (0 = hardware concurrency)
 // The defaults are sized so the full bench suite completes in minutes on a
 // laptop while still reproducing the paper's qualitative shape. EXPERIMENTS.md
 // records the scale used for the committed results.
@@ -35,6 +36,7 @@ struct BenchArgs {
   std::uint64_t seed = 42;
   std::string csv_dir = ".";
   bool verbose = false;
+  std::size_t threads = 0;
 
   static BenchArgs parse(int argc, char** argv) {
     const Flags flags(argc, argv);
@@ -44,6 +46,7 @@ struct BenchArgs {
     a.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
     a.csv_dir = flags.get_string("csv", ".");
     a.verbose = flags.get_bool("verbose", false);
+    a.threads = configure_threads_from_flags(flags);
     if (!a.verbose) logging::set_level(LogLevel::Warn);
     return a;
   }

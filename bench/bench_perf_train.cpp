@@ -1,0 +1,443 @@
+// bench_perf_train — reward-pipeline performance harness (BENCH_perf_train.json).
+//
+// Three phases:
+//   gemm  : GFLOP/s of the register-blocked GEMM kernels vs the naive
+//           reference loops (same shapes, same data).
+//   train : real ReinforceTrainer epochs on a generated dataset — reports
+//           end-to-end episodes/sec and the epoch cache hit rate.
+//   ab    : flag-gated A/B of the reward pipeline (mask -> contract ->
+//           partition -> simulate) on a low-entropy mask stream — a
+//           converged policy's sampling regime: a per-graph base mask with
+//           at most one bit flipped per episode. Optimized arm: episode
+//           cache on + blocked kernels enabled. Baseline arm: both disabled.
+//           Both arms evaluate an identical pre-generated mask schedule, so
+//           the speedup is purely the cache + kernel-config effect. (The
+//           actor-side forward pass is covered by the gemm phase and by the
+//           end-to-end train phase.)
+//
+// Usage:
+//   bench_perf_train [--tiny] [--out BENCH_perf_train.json] [--seed N]
+//                    [--threads N] [--verbose]
+//   bench_perf_train --validate <file>   # re-parse an emitted JSON; exits
+//                                        # non-zero if malformed (ctest smoke)
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "nn/ops.hpp"
+#include "rl/episode_cache.hpp"
+#include "rl/reinforce.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validation (recursive descent). The smoke test must fail on a
+// malformed file without depending on python in the test environment.
+// ---------------------------------------------------------------------------
+struct JsonParser {
+  const std::string& s;
+  std::size_t pos = 0;
+
+  explicit JsonParser(const std::string& text) : s(text) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw sc::Error("JSON parse error at byte " + std::to_string(pos) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                              s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos >= s.size()) fail("unexpected end of input");
+    return s[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+  void parse_string() {
+    expect('"');
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\') ++pos;  // skip escaped char
+      ++pos;
+    }
+    if (pos >= s.size()) fail("unterminated string");
+    ++pos;
+  }
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    if (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) ++pos;
+    while (pos < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[pos])) || s[pos] == '.' ||
+            s[pos] == 'e' || s[pos] == 'E' || s[pos] == '-' || s[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) fail("expected a number");
+    const double v = std::strtod(s.substr(start, pos - start).c_str(), nullptr);
+    if (!std::isfinite(v)) fail("non-finite number");
+    return v;
+  }
+  void parse_literal(const char* lit) {
+    skip_ws();
+    for (const char* p = lit; *p; ++p, ++pos) {
+      if (pos >= s.size() || s[pos] != *p) fail(std::string("expected '") + lit + "'");
+    }
+  }
+  void parse_value() {
+    const char c = peek();
+    if (c == '{') {
+      parse_object();
+    } else if (c == '[') {
+      expect('[');
+      if (peek() != ']') {
+        parse_value();
+        while (peek() == ',') {
+          ++pos;
+          parse_value();
+        }
+      }
+      expect(']');
+    } else if (c == '"') {
+      parse_string();
+    } else if (c == 't') {
+      parse_literal("true");
+    } else if (c == 'f') {
+      parse_literal("false");
+    } else if (c == 'n') {
+      parse_literal("null");
+    } else {
+      (void)parse_number();
+    }
+  }
+  std::vector<std::string> parse_object() {
+    std::vector<std::string> keys;
+    expect('{');
+    if (peek() != '}') {
+      for (;;) {
+        skip_ws();
+        const std::size_t key_start = pos + 1;
+        parse_string();
+        keys.push_back(s.substr(key_start, pos - key_start - 1));
+        expect(':');
+        parse_value();
+        if (peek() != ',') break;
+        ++pos;
+      }
+    }
+    expect('}');
+    return keys;
+  }
+};
+
+int validate_json(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    std::cerr << "bench_perf_train: cannot open '" << path << "'\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  try {
+    JsonParser parser(text);
+    const auto keys = parser.parse_object();
+    parser.skip_ws();
+    if (parser.pos != text.size()) parser.fail("trailing garbage after object");
+    for (const char* required :
+         {"schema_version", "episodes_per_sec", "episodes_per_sec_baseline",
+          "speedup", "cache_hit_rate", "gemm", "train", "ab"}) {
+      bool found = false;
+      for (const auto& k : keys) found = found || k == required;
+      if (!found) throw sc::Error(std::string("missing required key '") + required + "'");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench_perf_train: '" << path << "' is malformed: " << e.what() << '\n';
+    return 1;
+  }
+  std::cout << "OK: " << path << " is well-formed JSON with the expected keys\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: GEMM GFLOP/s, blocked vs naive, identical inputs.
+// ---------------------------------------------------------------------------
+struct GemmResult {
+  double gflops_blocked = 0.0;
+  double gflops_naive = 0.0;
+  std::size_t n = 0, k = 0, m = 0;
+};
+
+GemmResult bench_gemm(bool tiny, sc::Rng& rng) {
+  using namespace sc::nn;
+  GemmResult r;
+  r.n = tiny ? 64 : 192;
+  r.k = tiny ? 64 : 192;
+  r.m = tiny ? 64 : 192;
+  std::vector<double> a(r.n * r.k), b(r.k * r.m), c(r.n * r.m);
+  for (double& x : a) x = rng.normal();
+  for (double& x : b) x = rng.normal();
+
+  const double flops_per_call = 2.0 * static_cast<double>(r.n * r.k * r.m);
+  double sink = 0.0;
+  const auto time_kernel = [&](auto&& gemm) {
+    gemm();  // warm up (and fault in the pages)
+    const double min_seconds = tiny ? 0.05 : 0.25;
+    std::size_t reps = 0;
+    const auto t0 = Clock::now();
+    double elapsed = 0.0;
+    while (elapsed < min_seconds) {
+      gemm();
+      ++reps;
+      elapsed = seconds_since(t0);
+    }
+    sink += c[0];
+    return flops_per_call * static_cast<double>(reps) / elapsed / 1e9;
+  };
+
+  r.gflops_blocked = time_kernel([&] {
+    kernels::gemm_nn(a.data(), b.data(), c.data(), r.n, r.k, r.m, false);
+  });
+  r.gflops_naive = time_kernel([&] {
+    kernels::gemm_nn_naive(a.data(), b.data(), c.data(), r.n, r.k, r.m, false);
+  });
+  if (sink == 42.125) std::cerr << "";  // keep the accumulations alive
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: real training epochs — end-to-end episodes/sec.
+// ---------------------------------------------------------------------------
+struct TrainResult {
+  std::size_t episodes = 0;
+  double seconds = 0.0;
+  double episodes_per_sec = 0.0;
+  double cache_hit_rate = 0.0;
+  std::size_t epochs = 0;
+};
+
+TrainResult bench_train(bool tiny, std::uint64_t seed) {
+  using namespace sc;
+  gen::GeneratorConfig gcfg;
+  gcfg.topology.min_nodes = tiny ? 12 : 20;
+  gcfg.topology.max_nodes = tiny ? 20 : 40;
+  gcfg.workload.num_devices = 4;
+  const std::size_t num_graphs = tiny ? 4 : 10;
+  const auto graphs = gen::generate_graphs(gcfg, num_graphs, seed);
+  auto contexts = rl::make_contexts(graphs, rl::to_cluster_spec(gcfg.workload));
+
+  gnn::PolicyConfig pcfg;
+  pcfg.seed = seed * 7919 + 13;
+  gnn::CoarseningPolicy policy(pcfg);
+  rl::TrainerConfig tcfg;
+  tcfg.seed = seed;
+  rl::ReinforceTrainer trainer(policy, contexts, rl::metis_placer(), tcfg);
+
+  TrainResult r;
+  r.epochs = tiny ? 2 : 8;
+  std::uint64_t hits = 0, misses = 0;
+  const auto t0 = Clock::now();
+  for (std::size_t e = 0; e < r.epochs; ++e) {
+    const auto stats = trainer.train_epoch();
+    hits += stats.cache_hits;
+    misses += stats.cache_misses;
+  }
+  r.seconds = seconds_since(t0);
+  r.episodes = r.epochs * num_graphs * (tcfg.on_policy_samples + 1);
+  r.episodes_per_sec = static_cast<double>(r.episodes) / r.seconds;
+  r.cache_hit_rate =
+      hits + misses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: flag-gated A/B on the reward pipeline with low-entropy masks.
+// ---------------------------------------------------------------------------
+struct AbResult {
+  std::size_t episodes = 0;
+  double seconds_optimized = 0.0;
+  double seconds_baseline = 0.0;
+  double episodes_per_sec_optimized = 0.0;
+  double episodes_per_sec_baseline = 0.0;
+  double speedup = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+AbResult bench_ab(bool tiny, std::uint64_t seed) {
+  using namespace sc;
+  gen::GeneratorConfig gcfg;
+  // Mid-size graphs: reward evaluation (contract + multilevel partition +
+  // simulate) dominates the per-episode cost, as in the paper's settings.
+  gcfg.topology.min_nodes = tiny ? 24 : 60;
+  gcfg.topology.max_nodes = tiny ? 40 : 120;
+  gcfg.workload.num_devices = tiny ? 4 : 8;
+  const std::size_t num_graphs = tiny ? 3 : 6;
+  const std::size_t rounds = tiny ? 12 : 80;
+  const std::size_t samples_per_round = tiny ? 8 : 12;
+  const auto graphs = gen::generate_graphs(gcfg, num_graphs, seed + 101);
+  const auto spec = rl::to_cluster_spec(gcfg.workload);
+  const auto placer = rl::metis_placer();
+
+  // Pre-generate the mask schedule once so both arms evaluate identical work:
+  // per graph, a fixed base mask perturbed by flipping 0-2 random bits per
+  // episode — the repeat-heavy distribution a low-entropy (converged) policy
+  // samples from.
+  auto base_contexts = rl::make_contexts(graphs, spec);
+  std::vector<std::vector<gnn::EdgeMask>> schedule(num_graphs);
+  {
+    Rng rng(seed + 777);
+    for (std::size_t gi = 0; gi < num_graphs; ++gi) {
+      gnn::EdgeMask base(base_contexts[gi].graph->num_edges());
+      for (int& bit : base) bit = rng.bernoulli(0.5) ? 1 : 0;
+      for (std::size_t e = 0; e < rounds * samples_per_round; ++e) {
+        gnn::EdgeMask m = base;
+        // Flip at most one bit: the sampling distribution of a policy whose
+        // entropy has collapsed to a handful of undecided edges.
+        if (rng.bernoulli(0.5) && !m.empty()) m[rng.index(m.size())] ^= 1;
+        schedule[gi].push_back(std::move(m));
+      }
+    }
+  }
+
+  const auto run_arm = [&](bool optimized) {
+    // Fresh contexts so the optimized arm's cache starts cold (its warm-up
+    // cost is part of the measurement).
+    auto contexts = rl::make_contexts(graphs, spec);
+    const bool prev_blocked = nn::kernels::set_blocked(optimized);
+    const auto t0 = Clock::now();
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (std::size_t gi = 0; gi < num_graphs; ++gi) {
+        for (std::size_t s = 0; s < samples_per_round; ++s) {
+          const auto& mask = schedule[gi][round * samples_per_round + s];
+          if (optimized) {
+            (void)rl::evaluate_mask_cached(contexts[gi], mask, placer);
+          } else {
+            (void)rl::evaluate_mask(contexts[gi], mask, placer);
+          }
+        }
+      }
+    }
+    const double elapsed = seconds_since(t0);
+    nn::kernels::set_blocked(prev_blocked);
+    std::uint64_t hits = 0, misses = 0;
+    for (const auto& ctx : contexts) {
+      hits += ctx.cache->hits();
+      misses += ctx.cache->misses();
+    }
+    return std::tuple<double, std::uint64_t, std::uint64_t>{elapsed, hits, misses};
+  };
+
+  AbResult r;
+  r.episodes = num_graphs * rounds * samples_per_round;
+  const auto [opt_s, hits, misses] = run_arm(true);
+  const auto [base_s, no_hits, no_misses] = run_arm(false);
+  (void)no_hits;
+  (void)no_misses;
+  r.seconds_optimized = opt_s;
+  r.seconds_baseline = base_s;
+  r.episodes_per_sec_optimized = static_cast<double>(r.episodes) / opt_s;
+  r.episodes_per_sec_baseline = static_cast<double>(r.episodes) / base_s;
+  r.speedup = base_s / opt_s;
+  r.cache_hit_rate =
+      hits + misses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  return r;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace sc;
+  const Flags raw(argc, argv);
+  if (raw.has("validate")) return validate_json(raw.get_string("validate", ""));
+
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const bool tiny = raw.get_bool("tiny", false);
+  const std::string out = raw.get_string("out", "BENCH_perf_train.json");
+  std::cout << "[perf_train] Reward-pipeline performance harness"
+            << (tiny ? " (tiny)" : "") << "\n";
+
+  Rng rng(args.seed);
+  const auto gemm = bench_gemm(tiny, rng);
+  std::cout << "  gemm    " << gemm.n << "x" << gemm.k << "x" << gemm.m << ": blocked "
+            << metrics::Table::fmt(gemm.gflops_blocked, 2) << " GFLOP/s, naive "
+            << metrics::Table::fmt(gemm.gflops_naive, 2) << " GFLOP/s ("
+            << metrics::Table::fmt(gemm.gflops_blocked / gemm.gflops_naive, 2)
+            << "x)\n";
+
+  const auto train = bench_train(tiny, args.seed);
+  std::cout << "  train   " << train.episodes << " episodes in "
+            << metrics::Table::fmt(train.seconds, 2) << " s over " << train.epochs
+            << " epochs: " << metrics::Table::fmt(train.episodes_per_sec, 1)
+            << " episodes/s, cache hit rate "
+            << metrics::Table::pct(train.cache_hit_rate) << "\n";
+
+  const auto ab = bench_ab(tiny, args.seed);
+  std::cout << "  ab      " << ab.episodes << " episodes: optimized "
+            << metrics::Table::fmt(ab.episodes_per_sec_optimized, 1)
+            << " episodes/s vs baseline "
+            << metrics::Table::fmt(ab.episodes_per_sec_baseline, 1) << " episodes/s ("
+            << metrics::Table::fmt(ab.speedup, 2) << "x, hit rate "
+            << metrics::Table::pct(ab.cache_hit_rate) << ")\n";
+
+  std::ofstream os(out);
+  SC_CHECK(os.good(), "cannot open output file '" << out << "'");
+  os << "{\n"
+     << "  \"schema_version\": 1,\n"
+     << "  \"tiny\": " << (tiny ? "true" : "false") << ",\n"
+     << "  \"seed\": " << args.seed << ",\n"
+     << "  \"threads\": " << ThreadPool::global().size() << ",\n"
+     << "  \"episodes_per_sec\": " << json_num(ab.episodes_per_sec_optimized) << ",\n"
+     << "  \"episodes_per_sec_baseline\": " << json_num(ab.episodes_per_sec_baseline)
+     << ",\n"
+     << "  \"speedup\": " << json_num(ab.speedup) << ",\n"
+     << "  \"cache_hit_rate\": " << json_num(ab.cache_hit_rate) << ",\n"
+     << "  \"gemm\": {\n"
+     << "    \"n\": " << gemm.n << ", \"k\": " << gemm.k << ", \"m\": " << gemm.m
+     << ",\n"
+     << "    \"gflops_blocked\": " << json_num(gemm.gflops_blocked) << ",\n"
+     << "    \"gflops_naive\": " << json_num(gemm.gflops_naive) << ",\n"
+     << "    \"speedup\": " << json_num(gemm.gflops_blocked / gemm.gflops_naive)
+     << "\n  },\n"
+     << "  \"train\": {\n"
+     << "    \"episodes\": " << train.episodes << ",\n"
+     << "    \"epochs\": " << train.epochs << ",\n"
+     << "    \"seconds\": " << json_num(train.seconds) << ",\n"
+     << "    \"episodes_per_sec\": " << json_num(train.episodes_per_sec) << ",\n"
+     << "    \"cache_hit_rate\": " << json_num(train.cache_hit_rate) << "\n  },\n"
+     << "  \"ab\": {\n"
+     << "    \"episodes\": " << ab.episodes << ",\n"
+     << "    \"seconds_optimized\": " << json_num(ab.seconds_optimized) << ",\n"
+     << "    \"seconds_baseline\": " << json_num(ab.seconds_baseline) << ",\n"
+     << "    \"episodes_per_sec_optimized\": "
+     << json_num(ab.episodes_per_sec_optimized) << ",\n"
+     << "    \"episodes_per_sec_baseline\": " << json_num(ab.episodes_per_sec_baseline)
+     << ",\n"
+     << "    \"speedup\": " << json_num(ab.speedup) << ",\n"
+     << "    \"cache_hit_rate\": " << json_num(ab.cache_hit_rate) << "\n  }\n"
+     << "}\n";
+  os.close();
+  std::cout << "JSON written to " << out << "\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_perf_train: " << e.what() << '\n';
+  return 1;
+}

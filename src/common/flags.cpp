@@ -3,6 +3,8 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
 
 namespace sc {
 
@@ -61,6 +63,18 @@ bool Flags::get_bool(const std::string& name, bool fallback) const {
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   SC_CHECK(false, "flag --" << name << " expects a boolean, got '" << v << "'");
   return fallback;
+}
+
+std::size_t configure_threads_from_flags(const Flags& flags) {
+  const long n = flags.get_int("threads", 0);
+  SC_CHECK(n >= 0, "--threads must be >= 0, got " << n);
+  const auto threads = static_cast<std::size_t>(n);
+  if (threads > 0 && !ThreadPool::configure_global(threads) &&
+      ThreadPool::global().size() != threads) {
+    SC_LOG(Warn) << "--threads " << threads << " ignored: global pool already running "
+                 << ThreadPool::global().size() << " workers";
+  }
+  return threads;
 }
 
 }  // namespace sc

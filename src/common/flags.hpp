@@ -32,4 +32,10 @@ private:
   std::vector<std::string> positional_;
 };
 
+/// Sizes ThreadPool::global() from --threads (0/absent = hardware
+/// concurrency). Call early in main(), before the pool's first use; a
+/// request that arrives after the pool exists with a different size is
+/// logged and ignored. Returns the requested count.
+std::size_t configure_threads_from_flags(const Flags& flags);
+
 }  // namespace sc

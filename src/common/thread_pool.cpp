@@ -1,8 +1,17 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace sc {
+
+namespace {
+// Desired size of the global pool (0 = hardware_concurrency) and whether the
+// pool has been constructed; configure_global only works before construction.
+std::atomic<std::size_t> g_global_threads{0};
+std::atomic<bool> g_global_built{false};
+thread_local bool t_in_worker = false;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -45,7 +54,7 @@ void ThreadPool::wait() {
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t workers = workers_.size();
-  if (n <= 1 || workers <= 1) {
+  if (n <= 1 || workers <= 1 || in_worker()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -68,11 +77,21 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  g_global_built.store(true);
+  static ThreadPool pool(g_global_threads.load());
   return pool;
 }
 
+bool ThreadPool::configure_global(std::size_t threads) {
+  if (g_global_built.load()) return false;
+  g_global_threads.store(threads);
+  return true;
+}
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
 void ThreadPool::worker_loop() {
+  t_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {

@@ -36,11 +36,19 @@ public:
   void wait();
 
   /// Run fn(i) for i in [0, n) across the pool, blocking until done.
-  /// Falls back to serial execution for tiny n.
+  /// Falls back to serial execution for tiny n, and when called from a pool
+  /// worker thread (a nested wait() on the owning pool would deadlock).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
+
+  /// Sizes the global pool before its first use (0 = hardware_concurrency).
+  /// Returns false (and changes nothing) once global() has been constructed.
+  static bool configure_global(std::size_t threads);
+
+  /// True when the calling thread is a worker of any ThreadPool.
+  static bool in_worker();
 
 private:
   void worker_loop();

@@ -1,7 +1,10 @@
 #include "nn/ops.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+
+#include "common/thread_pool.hpp"
 
 namespace sc::nn {
 
@@ -47,50 +50,6 @@ void check_same_shape(Tensor a, Tensor b, const char* op) {
   SC_CHECK(a.shape() == b.shape(), op << ": shape mismatch");
 }
 
-// Dense kernels. A is (n,k), B is (k,m) etc. All row-major.
-void gemm_nn(const double* a, const double* b, double* c, std::size_t n, std::size_t k,
-             std::size_t m, bool accumulate) {
-  if (!accumulate) std::fill(c, c + n * m, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const double av = a[i * k + p];
-      if (av == 0.0) continue;
-      const double* brow = b + p * m;
-      double* crow = c + i * m;
-      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C (n,k) += A (n,m) * B^T where B is (k,m).
-void gemm_nt(const double* a, const double* b, double* c, std::size_t n, std::size_t m,
-             std::size_t k) {
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < k; ++j) {
-      const double* arow = a + i * m;
-      const double* brow = b + j * m;
-      double acc = 0.0;
-      for (std::size_t p = 0; p < m; ++p) acc += arow[p] * brow[p];
-      c[i * k + j] += acc;
-    }
-  }
-}
-
-// C (k,m) += A^T * B where A is (n,k), B is (n,m).
-void gemm_tn(const double* a, const double* b, double* c, std::size_t n, std::size_t k,
-             std::size_t m) {
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* arow = a + i * k;
-    const double* brow = b + i * m;
-    for (std::size_t p = 0; p < k; ++p) {
-      const double av = arow[p];
-      if (av == 0.0) continue;
-      double* crow = c + p * m;
-      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
 /// Unary elementwise helper: out = f(a), da += df(a_val, out_val) * dout.
 Tensor unary(Tensor a, double (*f)(double),
              double (*df)(double /*x*/, double /*y*/)) {
@@ -109,6 +68,228 @@ Tensor unary(Tensor a, double (*f)(double),
 }
 
 }  // namespace
+
+namespace kernels {
+
+namespace {
+
+std::atomic<bool> g_blocked{true};
+
+// Fan row panels out over the global pool once a kernel has at least this
+// many multiply-adds; below it the submit/wake overhead dominates.
+constexpr std::size_t kParallelFlops = std::size_t{1} << 18;
+// Rows per panel: a multiple of the 4-row register micro-tile so the panel
+// split never changes which rows share a micro-tile.
+constexpr std::size_t kPanelRows = 64;
+
+bool parallel_worthwhile(std::size_t outer, std::size_t flops) {
+  if (outer < 2 * kPanelRows || flops < kParallelFlops) return false;
+  if (ThreadPool::in_worker()) return false;  // nested: run on this thread
+  return ThreadPool::global().size() > 1;
+}
+
+/// Rows [i0, i1) of C += A·B. Four-row register blocking; every output
+/// element still accumulates over p in ascending order, so the result is
+/// bit-identical for any panel split (and to the naive kernel).
+void gemm_nn_rows(const double* a, const double* b, double* c, std::size_t i0,
+                  std::size_t i1, std::size_t k, std::size_t m) {
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const double* a0 = a + i * k;
+    const double* a1 = a0 + k;
+    const double* a2 = a1 + k;
+    const double* a3 = a2 + k;
+    double* c0 = c + i * m;
+    double* c1 = c0 + m;
+    double* c2 = c1 + m;
+    double* c3 = c2 + m;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
+      if (av0 == 0.0 && av1 == 0.0 && av2 == 0.0 && av3 == 0.0) continue;
+      const double* brow = b + p * m;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double bv = brow[j];
+        c0[j] += av0 * bv;
+        c1[j] += av1 * bv;
+        c2[j] += av2 * bv;
+        c3[j] += av3 * bv;
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    double* crow = c + i * m;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = a[i * k + p];
+      if (av == 0.0) continue;
+      const double* brow = b + p * m;
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Rows [i0, i1) of C (n,k) += A (n,m)·B(k,m)^T. 4×4 output tiles keep the
+/// operands in registers; each element keeps one accumulator over ascending
+/// p, so this too is bit-identical to the naive dot products.
+void gemm_nt_rows(const double* a, const double* b, double* c, std::size_t i0,
+                  std::size_t i1, std::size_t m, std::size_t k) {
+  for (std::size_t i = i0; i < i1; i += 4) {
+    const std::size_t ir = std::min<std::size_t>(4, i1 - i);
+    for (std::size_t j = 0; j < k; j += 4) {
+      const std::size_t jr = std::min<std::size_t>(4, k - j);
+      double acc[4][4] = {};
+      for (std::size_t p = 0; p < m; ++p) {
+        for (std::size_t r = 0; r < ir; ++r) {
+          const double av = a[(i + r) * m + p];
+          for (std::size_t s = 0; s < jr; ++s) acc[r][s] += av * b[(j + s) * m + p];
+        }
+      }
+      for (std::size_t r = 0; r < ir; ++r) {
+        for (std::size_t s = 0; s < jr; ++s) c[(i + r) * k + j + s] += acc[r][s];
+      }
+    }
+  }
+}
+
+/// Output rows [p0, p1) of C (k,m) += A(n,k)^T·B (n,m). Four input rows are
+/// folded per pass (their partial products are summed before touching C, a
+/// reassociation within the 1e-12 kernel tolerance); the i-blocking depends
+/// only on n, never on the panel split, so results are thread-count
+/// invariant.
+void gemm_tn_cols(const double* a, const double* b, double* c, std::size_t p0,
+                  std::size_t p1, std::size_t n, std::size_t k, std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* a0 = a + i * k;
+    const double* a1 = a0 + k;
+    const double* a2 = a1 + k;
+    const double* a3 = a2 + k;
+    const double* b0 = b + i * m;
+    const double* b1 = b0 + m;
+    const double* b2 = b1 + m;
+    const double* b3 = b2 + m;
+    for (std::size_t p = p0; p < p1; ++p) {
+      const double av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
+      if (av0 == 0.0 && av1 == 0.0 && av2 == 0.0 && av3 == 0.0) continue;
+      double* crow = c + p * m;
+      for (std::size_t j = 0; j < m; ++j) {
+        crow[j] += av0 * b0[j] + av1 * b1[j] + av2 * b2[j] + av3 * b3[j];
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const double* arow = a + i * k;
+    const double* brow = b + i * m;
+    for (std::size_t p = p0; p < p1; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      double* crow = c + p * m;
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_nn_naive(const double* a, const double* b, double* c, std::size_t n,
+                   std::size_t k, std::size_t m, bool accumulate) {
+  if (!accumulate) std::fill(c, c + n * m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = a[i * k + p];
+      if (av == 0.0) continue;
+      const double* brow = b + p * m;
+      double* crow = c + i * m;
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt_naive(const double* a, const double* b, double* c, std::size_t n,
+                   std::size_t m, std::size_t k) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const double* arow = a + i * m;
+      const double* brow = b + j * m;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < m; ++p) acc += arow[p] * brow[p];
+      c[i * k + j] += acc;
+    }
+  }
+}
+
+void gemm_tn_naive(const double* a, const double* b, double* c, std::size_t n,
+                   std::size_t k, std::size_t m) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* arow = a + i * k;
+    const double* brow = b + i * m;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      double* crow = c + p * m;
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nn(const double* a, const double* b, double* c, std::size_t n, std::size_t k,
+             std::size_t m, bool accumulate) {
+  if (!g_blocked.load(std::memory_order_relaxed)) {
+    gemm_nn_naive(a, b, c, n, k, m, accumulate);
+    return;
+  }
+  if (!accumulate) std::fill(c, c + n * m, 0.0);
+  if (parallel_worthwhile(n, n * k * m)) {
+    const std::size_t panels = (n + kPanelRows - 1) / kPanelRows;
+    ThreadPool::global().parallel_for(panels, [=](std::size_t pi) {
+      const std::size_t lo = pi * kPanelRows;
+      gemm_nn_rows(a, b, c, lo, std::min(n, lo + kPanelRows), k, m);
+    });
+  } else {
+    gemm_nn_rows(a, b, c, 0, n, k, m);
+  }
+}
+
+void gemm_nt(const double* a, const double* b, double* c, std::size_t n, std::size_t m,
+             std::size_t k) {
+  if (!g_blocked.load(std::memory_order_relaxed)) {
+    gemm_nt_naive(a, b, c, n, m, k);
+    return;
+  }
+  if (parallel_worthwhile(n, n * k * m)) {
+    const std::size_t panels = (n + kPanelRows - 1) / kPanelRows;
+    ThreadPool::global().parallel_for(panels, [=](std::size_t pi) {
+      const std::size_t lo = pi * kPanelRows;
+      gemm_nt_rows(a, b, c, lo, std::min(n, lo + kPanelRows), m, k);
+    });
+  } else {
+    gemm_nt_rows(a, b, c, 0, n, m, k);
+  }
+}
+
+void gemm_tn(const double* a, const double* b, double* c, std::size_t n, std::size_t k,
+             std::size_t m) {
+  if (!g_blocked.load(std::memory_order_relaxed)) {
+    gemm_tn_naive(a, b, c, n, k, m);
+    return;
+  }
+  if (parallel_worthwhile(k, n * k * m)) {
+    const std::size_t panels = (k + kPanelRows - 1) / kPanelRows;
+    ThreadPool::global().parallel_for(panels, [=](std::size_t pi) {
+      const std::size_t lo = pi * kPanelRows;
+      gemm_tn_cols(a, b, c, lo, std::min(k, lo + kPanelRows), n, k, m);
+    });
+  } else {
+    gemm_tn_cols(a, b, c, 0, k, n, k, m);
+  }
+}
+
+bool set_blocked(bool enabled) {
+  return g_blocked.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool blocked_enabled() { return g_blocked.load(std::memory_order_relaxed); }
+
+}  // namespace kernels
 
 Tensor add(Tensor a, Tensor b) {
   const bool bias_row = a.dim() == 2 && b.dim() == 1 && b.size() == a.cols();
@@ -240,13 +421,14 @@ Tensor matmul(Tensor a, Tensor b) {
 
   Tensor out = make_op({n, m}, {a, b}, [a, b, n, k, m](TensorData& r) mutable {
     if (a.requires_grad()) {
-      gemm_nt(r.grad.data(), b.value().data(), a.grad().data(), n, m, k);
+      kernels::gemm_nt(r.grad.data(), b.value().data(), a.grad().data(), n, m, k);
     }
     if (b.requires_grad()) {
-      gemm_tn(a.value().data(), r.grad.data(), b.grad().data(), n, k, m);
+      kernels::gemm_tn(a.value().data(), r.grad.data(), b.grad().data(), n, k, m);
     }
   });
-  gemm_nn(a.value().data(), b.value().data(), out.value().data(), n, k, m, false);
+  kernels::gemm_nn(a.value().data(), b.value().data(), out.value().data(), n, k, m,
+                   false);
   return out;
 }
 
@@ -259,16 +441,16 @@ Tensor matmul_nt(Tensor a, Tensor b) {
   Tensor out = make_op({n, m}, {a, b}, [a, b, n, k, m](TensorData& r) mutable {
     if (a.requires_grad()) {
       // dA (n,k) += dC (n,m) * B (m,k)
-      gemm_nn(r.grad.data(), b.value().data(), a.grad().data(), n, m, k,
-              /*accumulate=*/true);
+      kernels::gemm_nn(r.grad.data(), b.value().data(), a.grad().data(), n, m, k,
+                       /*accumulate=*/true);
     }
     if (b.requires_grad()) {
       // dB (m,k) += dC^T (m,n) * A (n,k)
-      gemm_tn(r.grad.data(), a.value().data(), b.grad().data(), n, m, k);
+      kernels::gemm_tn(r.grad.data(), a.value().data(), b.grad().data(), n, m, k);
     }
   });
   // C = A * B^T
-  gemm_nt(a.value().data(), b.value().data(), out.value().data(), n, k, m);
+  kernels::gemm_nt(a.value().data(), b.value().data(), out.value().data(), n, k, m);
   return out;
 }
 

@@ -60,4 +60,38 @@ Tensor bernoulli_entropy(Tensor logits);
 /// differentiable as well).
 Tensor softmax_rows(Tensor logits);
 
+// ---- Dense kernels ----------------------------------------------------------
+// Row-major GEMM microkernels used by matmul / matmul_nt forward and backward.
+// The default entry points dispatch to register-blocked kernels that fan row
+// panels out over ThreadPool::global() above a size threshold; results are
+// independent of the pool size (each output element is accumulated in a fixed
+// order by exactly one thread). set_blocked(false) routes everything through
+// the naive scalar loops instead (A/B benchmarking of the blocked path).
+namespace kernels {
+
+/// C (n,m) = (or +=) A (n,k) · B (k,m).
+void gemm_nn(const double* a, const double* b, double* c, std::size_t n, std::size_t k,
+             std::size_t m, bool accumulate);
+/// C (n,k) += A (n,m) · B (k,m)^T.
+void gemm_nt(const double* a, const double* b, double* c, std::size_t n, std::size_t m,
+             std::size_t k);
+/// C (k,m) += A (n,k)^T · B (n,m).
+void gemm_tn(const double* a, const double* b, double* c, std::size_t n, std::size_t k,
+             std::size_t m);
+
+/// Reference scalar kernels (same signatures); the blocked kernels must agree
+/// with these within 1e-12 per element.
+void gemm_nn_naive(const double* a, const double* b, double* c, std::size_t n,
+                   std::size_t k, std::size_t m, bool accumulate);
+void gemm_nt_naive(const double* a, const double* b, double* c, std::size_t n,
+                   std::size_t m, std::size_t k);
+void gemm_tn_naive(const double* a, const double* b, double* c, std::size_t n,
+                   std::size_t k, std::size_t m);
+
+/// Toggles the blocked + parallel path (returns the previous setting).
+bool set_blocked(bool enabled);
+bool blocked_enabled();
+
+}  // namespace kernels
+
 }  // namespace sc::nn

@@ -1,0 +1,65 @@
+#include "rl/episode_cache.hpp"
+
+#include <mutex>
+
+namespace sc::rl {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t hash_mask(const gnn::EdgeMask& mask) {
+  std::uint64_t h = splitmix(mask.size() + 0x9E3779B97F4A7C15ULL);
+  std::uint64_t word = 0;
+  unsigned bits = 0;
+  for (const int b : mask) {
+    word = (word << 1) | static_cast<std::uint64_t>(b != 0);
+    if (++bits == 64) {
+      h = splitmix(h * 0x9E3779B97F4A7C15ULL ^ word);
+      word = 0;
+      bits = 0;
+    }
+  }
+  // Tail word, salted with a sentinel bit so "0" and "00" hash differently.
+  if (bits > 0) h = splitmix(h * 0x9E3779B97F4A7C15ULL ^ (word | (1ULL << bits)));
+  return h;
+}
+
+std::optional<Episode> EpisodeCache::lookup(std::uint64_t key,
+                                            const gnn::EdgeMask& mask) const {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.mask == mask) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void EpisodeCache::insert(std::uint64_t key, Episode ep) {
+  std::unique_lock lock(mutex_);
+  entries_[key] = std::move(ep);
+}
+
+std::size_t EpisodeCache::size() const {
+  std::shared_lock lock(mutex_);
+  return entries_.size();
+}
+
+void EpisodeCache::clear() {
+  std::unique_lock lock(mutex_);
+  entries_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sc::rl

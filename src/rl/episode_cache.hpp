@@ -1,0 +1,48 @@
+// Thread-safe memoization of evaluate_mask results, one cache per
+// GraphContext. Sampled edge-masks repeat heavily once the policy's entropy
+// drops (and the greedy health-signal mask repeats across epochs); a hit
+// skips contraction, multilevel partitioning and simulation entirely.
+//
+// Keys are a 64-bit SplitMix-mixed hash of the packed mask bits. The full
+// mask is stored with each entry and compared on lookup, so a (vanishingly
+// unlikely) 64-bit collision reports a miss instead of returning a wrong
+// episode.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "rl/rollout.hpp"
+
+namespace sc::rl {
+
+/// 64-bit hash of an edge mask (bits packed into words, SplitMix64-mixed,
+/// length-salted).
+std::uint64_t hash_mask(const gnn::EdgeMask& mask);
+
+class EpisodeCache {
+public:
+  /// Returns the memoized episode for `mask` (keyed by `key = hash_mask(mask)`)
+  /// or nullopt. Concurrent lookups take a shared lock only.
+  std::optional<Episode> lookup(std::uint64_t key, const gnn::EdgeMask& mask) const;
+
+  /// Records an evaluated episode (ep.mask must be the evaluated mask).
+  /// Concurrent inserts of the same mask overwrite with identical data.
+  void insert(std::uint64_t key, Episode ep);
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::size_t size() const;
+  void clear();
+
+private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::uint64_t, Episode> entries_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace sc::rl

@@ -7,8 +7,23 @@
 #include "common/log.hpp"
 #include "graph/contraction.hpp"
 #include "nn/ops.hpp"
+#include "rl/episode_cache.hpp"
 
 namespace sc::rl {
+
+namespace {
+
+/// SplitMix64-style seed derivation for the per-sample RNG streams: the
+/// resulting mask sequence depends only on (epoch seed, pair index), never on
+/// which worker thread evaluates the pair.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + (index + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 ReinforceTrainer::ReinforceTrainer(gnn::CoarseningPolicy& policy,
                                    std::vector<GraphContext>& contexts,
@@ -25,15 +40,24 @@ ReinforceTrainer::ReinforceTrainer(gnn::CoarseningPolicy& policy,
   if (cfg_.metis_guidance) seed_metis_guidance();
 }
 
+Episode ReinforceTrainer::run_episode(const GraphContext& ctx,
+                                      const gnn::EdgeMask& mask) const {
+  return cfg_.episode_cache ? evaluate_mask_cached(ctx, mask, placer_)
+                            : evaluate_mask(ctx, mask, placer_);
+}
+
+ThreadPool& ReinforceTrainer::pool() const {
+  return cfg_.pool != nullptr ? *cfg_.pool : ThreadPool::global();
+}
+
 void ReinforceTrainer::seed_metis_guidance() {
   // For every training graph: run the multilevel partitioner as Metis would,
   // treat its device groups as a coarsening, and recover an edge-collapse
   // mask via maximum-spanning-tree selection (Sec. IV-C). These episodes act
   // as informative cold-start samples and are naturally evicted once the
   // policy discovers better masks.
-  ThreadPool& pool = ThreadPool::global();
   std::vector<Episode> seeds(contexts_.size());
-  pool.parallel_for(contexts_.size(), [&](std::size_t i) {
+  pool().parallel_for(contexts_.size(), [&](std::size_t i) {
     const GraphContext& ctx = contexts_[i];
     const sim::Placement metis_p = partition::metis_allocate(
         *ctx.graph, ctx.simulator.spec(), cfg_.partition_opts);
@@ -41,62 +65,78 @@ void ReinforceTrainer::seed_metis_guidance() {
     const auto mask_bits = graph::mask_from_groups(*ctx.graph, ctx.profile, groups);
     gnn::EdgeMask mask(mask_bits.size());
     for (std::size_t e = 0; e < mask.size(); ++e) mask[e] = mask_bits[e] ? 1 : 0;
-    seeds[i] = evaluate_mask(ctx, mask, placer_);
+    seeds[i] = run_episode(ctx, mask);
   });
-  pool.wait();
   for (std::size_t i = 0; i < seeds.size(); ++i) buffer_.insert(i, std::move(seeds[i]));
 }
 
 EpochStats ReinforceTrainer::train_epoch() {
   EpochStats stats;
-  ThreadPool& pool = ThreadPool::global();
+  const std::size_t num_graphs = contexts_.size();
+  const std::size_t samples = cfg_.on_policy_samples;
 
-  std::vector<std::size_t> order(contexts_.size());
+  std::uint64_t hits_before = 0, misses_before = 0;
+  for (const GraphContext& ctx : contexts_) {
+    hits_before += ctx.cache->hits();
+    misses_before += ctx.cache->misses();
+  }
+
+  std::vector<std::size_t> order(num_graphs);
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng_.shuffle(order);
+  // One draw from the trainer RNG seeds every per-sample stream this epoch;
+  // drawn on the main thread so results never depend on worker scheduling.
+  const std::uint64_t epoch_seed = rng_();
 
+  // 1. Sample on-policy masks for every graph from the epoch-start policy
+  // (one no-grad logits pass per graph), then evaluate all graph × sample
+  // pairs in a single parallel_for: the per-graph sample count alone is
+  // often too small to fill the pool.
+  std::vector<std::vector<gnn::EdgeMask>> masks(num_graphs);
+  pool().parallel_for(num_graphs, [&](std::size_t gi) {
+    nn::NoGradGuard no_grad;
+    const nn::Tensor logit_tensor = policy_.logits(contexts_[gi].features);
+    masks[gi].reserve(samples);
+    for (std::size_t s = 0; s < samples; ++s) {
+      Rng sample_rng(derive_seed(epoch_seed, gi * samples + s));
+      masks[gi].push_back(policy_.sample(logit_tensor.value(), sample_rng));
+    }
+  });
+
+  std::vector<Episode> episodes(num_graphs * samples);
+  pool().parallel_for(episodes.size(), [&](std::size_t idx) {
+    episodes[idx] = run_episode(contexts_[idx / samples], masks[idx / samples][idx % samples]);
+  });
+
+  // 2. Sequential per-graph policy updates in shuffled order (one optimizer
+  // step per graph, as before; masks come from the epoch-start policy).
   for (const std::size_t gi : order) {
     const GraphContext& ctx = contexts_[gi];
-
-    // 1. Sample on-policy masks without recording gradients.
-    std::vector<gnn::EdgeMask> masks;
-    {
-      nn::NoGradGuard no_grad;
-      const nn::Tensor logit_tensor = policy_.logits(ctx.features);
-      for (std::size_t s = 0; s < cfg_.on_policy_samples; ++s) {
-        masks.push_back(policy_.sample(logit_tensor.value(), rng_));
-      }
-    }
-
-    // 2. Evaluate rewards in parallel (contract + partition + simulate).
-    std::vector<Episode> episodes(masks.size());
-    pool.parallel_for(masks.size(), [&](std::size_t s) {
-      episodes[s] = evaluate_mask(ctx, masks[s], placer_);
-    });
-    pool.wait();
+    const auto first = episodes.begin() + static_cast<std::ptrdiff_t>(gi * samples);
+    std::vector<Episode> batch(first, first + static_cast<std::ptrdiff_t>(samples));
 
     double on_policy_sum = 0.0;
-    for (const Episode& ep : episodes) on_policy_sum += ep.reward;
-    stats.mean_sample_reward += on_policy_sum / static_cast<double>(episodes.size());
+    for (const Episode& ep : batch) on_policy_sum += ep.reward;
+    stats.mean_sample_reward += on_policy_sum / static_cast<double>(batch.size());
 
-    // 3. Mix in the historically best samples.
+    // Mix in the historically best samples.
     for (Episode& ep : buffer_.best(gi, cfg_.buffer_samples)) {
-      episodes.push_back(std::move(ep));
+      batch.push_back(std::move(ep));
     }
 
-    // 4. Baseline and policy-gradient loss.
+    // Baseline and policy-gradient loss.
     double baseline = 0.0;
-    for (const Episode& ep : episodes) baseline += ep.reward;
-    baseline /= static_cast<double>(episodes.size());
+    for (const Episode& ep : batch) baseline += ep.reward;
+    baseline /= static_cast<double>(batch.size());
 
     nn::Tensor logit_tensor = policy_.logits(ctx.features);  // grads recorded
     nn::Tensor loss = nn::Tensor::scalar(0.0);
-    for (const Episode& ep : episodes) {
+    for (const Episode& ep : batch) {
       const double advantage = ep.reward - baseline;
       if (std::abs(advantage) < 1e-12) continue;
       loss = nn::add(loss, nn::scale(policy_.log_prob(logit_tensor, ep.mask), -advantage));
     }
-    loss = nn::scale(loss, 1.0 / static_cast<double>(episodes.size()));
+    loss = nn::scale(loss, 1.0 / static_cast<double>(batch.size()));
     if (cfg_.entropy_bonus > 0.0) {
       loss = nn::sub(loss, nn::scale(nn::mean(nn::bernoulli_entropy(logit_tensor)),
                                      cfg_.entropy_bonus));
@@ -105,36 +145,43 @@ EpochStats ReinforceTrainer::train_epoch() {
     loss.backward();
     optimizer_.step();
 
-    // 5. Persist this step's best samples for future baselines.
-    for (std::size_t s = 0; s < masks.size(); ++s) {
-      buffer_.insert(gi, episodes[s]);  // the first |masks| entries are on-policy
+    // Persist this step's on-policy samples for future baselines.
+    for (std::size_t s = 0; s < samples; ++s) {
+      buffer_.insert(gi, episodes[gi * samples + s]);
     }
     stats.mean_best_reward += buffer_.best_reward(gi);
   }
 
-  const double n = static_cast<double>(contexts_.size());
+  const double n = static_cast<double>(num_graphs);
   stats.mean_sample_reward /= n;
   stats.mean_best_reward /= n;
   stats.mean_loss /= n;
 
-  // Greedy evaluation on the training graphs (cheap health signal).
-  {
-    const auto rewards = evaluate(policy_, contexts_, placer_, &pool);
-    double sum = 0.0;
-    for (const double r : rewards) sum += r;
-    stats.mean_greedy_reward = sum / n;
-  }
-  {
+  // 3. Greedy evaluation on the training graphs (cheap health signal). One
+  // logits pass per context yields both the greedy reward and the
+  // compression ratio; once the policy stabilises the greedy mask repeats
+  // across epochs and this becomes a pure cache hit.
+  std::vector<double> greedy_reward(num_graphs), greedy_compression(num_graphs);
+  pool().parallel_for(num_graphs, [&](std::size_t i) {
     nn::NoGradGuard no_grad;
-    double comp = 0.0;
-    for (const GraphContext& ctx : contexts_) {
-      const nn::Tensor logit_tensor = policy_.logits(ctx.features);
-      const auto mask = policy_.greedy(logit_tensor.value());
-      comp += gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, mask)
-                  .compression_ratio();
-    }
-    stats.mean_compression = comp / n;
+    const nn::Tensor logit_tensor = policy_.logits(contexts_[i].features);
+    const Episode ep = run_episode(contexts_[i], policy_.greedy(logit_tensor.value()));
+    greedy_reward[i] = ep.reward;
+    greedy_compression[i] = ep.compression;
+  });
+  for (std::size_t i = 0; i < num_graphs; ++i) {
+    stats.mean_greedy_reward += greedy_reward[i];
+    stats.mean_compression += greedy_compression[i];
   }
+  stats.mean_greedy_reward /= n;
+  stats.mean_compression /= n;
+
+  for (const GraphContext& ctx : contexts_) {
+    stats.cache_hits += ctx.cache->hits();
+    stats.cache_misses += ctx.cache->misses();
+  }
+  stats.cache_hits -= hits_before;
+  stats.cache_misses -= misses_before;
   return stats;
 }
 

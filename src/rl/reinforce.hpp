@@ -8,6 +8,7 @@
 // maximum-spanning-tree edge recovery.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "common/thread_pool.hpp"
@@ -28,6 +29,12 @@ struct TrainerConfig {
   /// from saturating prematurely, stabilising long fine-tuning runs.
   double entropy_bonus = 0.0;
   partition::PartitionOptions partition_opts{};
+  /// Memoize evaluate_mask per context (see episode_cache.hpp). Off
+  /// re-evaluates every mask from scratch — only useful for A/B perf runs.
+  bool episode_cache = true;
+  /// Pool for mask evaluation fan-out; nullptr = ThreadPool::global(). Epoch
+  /// stats are identical for any pool size at a fixed seed.
+  ThreadPool* pool = nullptr;
 };
 
 struct EpochStats {
@@ -36,6 +43,8 @@ struct EpochStats {
   double mean_greedy_reward = 0.0;  ///< reward of the deterministic policy
   double mean_compression = 0.0;    ///< mean compression ratio of greedy masks
   double mean_loss = 0.0;
+  std::uint64_t cache_hits = 0;    ///< episode-cache hits this epoch
+  std::uint64_t cache_misses = 0;  ///< episode-cache misses (fresh evaluations)
 };
 
 class ReinforceTrainer {
@@ -59,6 +68,10 @@ public:
 
 private:
   void seed_metis_guidance();
+  /// evaluate_mask, memoized through the context's episode cache when
+  /// cfg_.episode_cache is on.
+  Episode run_episode(const GraphContext& ctx, const gnn::EdgeMask& mask) const;
+  ThreadPool& pool() const;
 
   gnn::CoarseningPolicy& policy_;
   std::vector<GraphContext>& contexts_;

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "graph/union_find.hpp"
 #include "nn/tensor.hpp"
+#include "rl/episode_cache.hpp"
 
 namespace sc::rl {
 
@@ -74,7 +75,8 @@ GraphContext::GraphContext(const graph::StreamGraph& g, const sim::ClusterSpec& 
     : graph(&g),
       profile(graph::compute_load_profile(g)),
       features(gnn::extract_features(g, profile, spec)),
-      simulator(g, spec) {}
+      simulator(g, spec),
+      cache(std::make_shared<EpisodeCache>()) {}
 
 std::vector<GraphContext> make_contexts(const std::vector<graph::StreamGraph>& graphs,
                                         const sim::ClusterSpec& spec) {
@@ -93,6 +95,15 @@ Episode evaluate_mask(const GraphContext& ctx, const gnn::EdgeMask& mask,
   ep.mask = mask;
   ep.reward = ctx.simulator.relative_throughput(p);
   ep.compression = c.compression_ratio();
+  return ep;
+}
+
+Episode evaluate_mask_cached(const GraphContext& ctx, const gnn::EdgeMask& mask,
+                             const CoarsePlacer& placer) {
+  const std::uint64_t key = hash_mask(mask);
+  if (auto hit = ctx.cache->lookup(key, mask)) return *std::move(hit);
+  Episode ep = evaluate_mask(ctx, mask, placer);
+  ctx.cache->insert(key, ep);
   return ep;
 }
 

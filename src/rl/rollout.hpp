@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "gen/generator.hpp"
@@ -16,6 +17,8 @@
 #include "sim/fluid.hpp"
 
 namespace sc::rl {
+
+class EpisodeCache;  // episode_cache.hpp
 
 /// Converts a generator workload into the matching simulation cluster.
 sim::ClusterSpec to_cluster_spec(const gen::WorkloadConfig& wl);
@@ -42,6 +45,10 @@ struct GraphContext {
   graph::LoadProfile profile;
   gnn::GraphFeatures features;
   sim::FluidSimulator simulator;
+  /// Memoizes evaluate_mask results per mask (see episode_cache.hpp); shared
+  /// so contexts stay copyable and the cache survives context vectors being
+  /// rebuilt from the same graphs.
+  std::shared_ptr<EpisodeCache> cache;
 };
 
 /// Builds contexts for a whole dataset split.
@@ -58,6 +65,13 @@ struct Episode {
 /// Evaluates a mask end to end (contract, place, simulate).
 Episode evaluate_mask(const GraphContext& ctx, const gnn::EdgeMask& mask,
                       const CoarsePlacer& placer);
+
+/// Memoizing variant: consults ctx.cache first and records fresh
+/// evaluations. Thread-safe; concurrent misses on the same mask evaluate
+/// redundantly but insert identical results. Cached and uncached results are
+/// bit-for-bit identical (the whole pipeline is deterministic in the mask).
+Episode evaluate_mask_cached(const GraphContext& ctx, const gnn::EdgeMask& mask,
+                             const CoarsePlacer& placer);
 
 /// Full inference: greedy mask from the policy, then place. Returns the
 /// fine-grained placement.

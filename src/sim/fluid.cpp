@@ -9,6 +9,28 @@
 
 namespace sc::sim {
 
+namespace {
+
+/// Reusable per-thread accumulation buffers for unit_bottleneck. Every call
+/// used to allocate and zero-fill an O(D²) pairwise-link vector; with the
+/// scratch, repeated evaluations on the same cluster spec are allocation-free
+/// (RL training calls this millions of times). `links` holds a zero-on-exit
+/// invariant: each call records which entries it dirtied in `touched` and
+/// zeroes exactly those before returning, so resetting costs O(active links),
+/// not O(D²).
+struct BottleneckScratch {
+  std::vector<double> cpu;
+  std::vector<double> links;
+  std::vector<std::size_t> touched;
+};
+
+BottleneckScratch& bottleneck_scratch() {
+  thread_local BottleneckScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 FluidSimulator::FluidSimulator(const graph::StreamGraph& g, const ClusterSpec& spec)
     : graph_(&g), spec_(spec), profile_(graph::compute_load_profile(g)) {
   validate_spec(spec);
@@ -19,17 +41,32 @@ double FluidSimulator::unit_bottleneck(const Placement& p, std::vector<double>* 
   const graph::StreamGraph& g = *graph_;
   validate_placement(g, spec_, p);
 
+  BottleneckScratch& scratch = bottleneck_scratch();
+
   // Per-device CPU demand at unit source rate.
-  std::vector<double> cpu(spec_.num_devices, 0.0);
+  std::vector<double>& cpu = scratch.cpu;
+  cpu.assign(spec_.num_devices, 0.0);
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     cpu[static_cast<std::size_t>(p[v])] += profile_.node_cpu[v];
   }
 
-  // Cross-device traffic, aggregated per link (pairwise) or per NIC.
-  std::vector<double> links;
-  if (spec_.link_model == LinkModel::PairwiseLinks) {
+  // Cross-device traffic, aggregated per link (pairwise) or per NIC. Traffic
+  // is non-negative, so an entry is dirty iff it is non-zero; a touched entry
+  // never returns to zero and is recorded exactly once.
+  std::vector<double>& links = scratch.links;
+  std::vector<std::size_t>& touched = scratch.touched;
+  const bool pairwise = spec_.link_model == LinkModel::PairwiseLinks;
+  const std::size_t num_links =
+      pairwise ? spec_.num_devices * spec_.num_devices : spec_.num_devices;
+  if (links.size() < num_links) links.resize(num_links, 0.0);
+  touched.clear();
+  const auto add_traffic = [&links, &touched](std::size_t id, double t) {
+    if (t == 0.0) return;
+    if (links[id] == 0.0) touched.push_back(id);
+    links[id] += t;
+  };
+  if (pairwise) {
     // Link id for unordered pair (a, b), a < b.
-    links.assign(spec_.num_devices * spec_.num_devices, 0.0);
     for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
       const auto& c = g.edge(e);
       const int da = p[c.src];
@@ -37,18 +74,17 @@ double FluidSimulator::unit_bottleneck(const Placement& p, std::vector<double>* 
       if (da == db) continue;
       const std::size_t lo = static_cast<std::size_t>(std::min(da, db));
       const std::size_t hi = static_cast<std::size_t>(std::max(da, db));
-      links[lo * spec_.num_devices + hi] += profile_.edge_traffic[e];
+      add_traffic(lo * spec_.num_devices + hi, profile_.edge_traffic[e]);
     }
   } else {
     // One NIC per device shared by all ingress + egress traffic.
-    links.assign(spec_.num_devices, 0.0);
     for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
       const auto& c = g.edge(e);
       const int da = p[c.src];
       const int db = p[c.dst];
       if (da == db) continue;
-      links[static_cast<std::size_t>(da)] += profile_.edge_traffic[e];
-      links[static_cast<std::size_t>(db)] += profile_.edge_traffic[e];
+      add_traffic(static_cast<std::size_t>(da), profile_.edge_traffic[e]);
+      add_traffic(static_cast<std::size_t>(db), profile_.edge_traffic[e]);
     }
   }
 
@@ -56,10 +92,15 @@ double FluidSimulator::unit_bottleneck(const Placement& p, std::vector<double>* 
   for (std::size_t d = 0; d < cpu.size(); ++d) {
     worst = std::max(worst, cpu[d] / spec_.mips_of(d));
   }
-  for (const double t : links) worst = std::max(worst, t / spec_.bandwidth);
+  for (const std::size_t id : touched) worst = std::max(worst, links[id] / spec_.bandwidth);
 
-  if (device_cpu != nullptr) *device_cpu = std::move(cpu);
-  if (link_traffic != nullptr) *link_traffic = std::move(links);
+  if (device_cpu != nullptr) *device_cpu = cpu;
+  if (link_traffic != nullptr) {
+    link_traffic->assign(num_links, 0.0);
+    for (const std::size_t id : touched) (*link_traffic)[id] = links[id];
+  }
+  // Restore the zero-on-exit invariant.
+  for (const std::size_t id : touched) links[id] = 0.0;
   return worst;
 }
 

@@ -67,5 +67,13 @@ TEST(Flags, HasReportsPresence) {
   EXPECT_FALSE(f.has("b"));
 }
 
+TEST(Flags, ConfigureThreadsParsesAndValidates) {
+  // Without --threads the helper is a no-op returning 0 (auto-size).
+  EXPECT_EQ(configure_threads_from_flags(make({})), 0u);
+  EXPECT_EQ(configure_threads_from_flags(make({"--threads=3"})), 3u);
+  EXPECT_THROW(configure_threads_from_flags(make({"--threads=-2"})), Error);
+  EXPECT_THROW(configure_threads_from_flags(make({"--threads=abc"})), Error);
+}
+
 }  // namespace
 }  // namespace sc

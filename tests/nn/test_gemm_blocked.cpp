@@ -1,0 +1,137 @@
+// Blocked/parallel GEMM kernels must agree with the naive scalar loops
+// within 1e-12 per element on randomized shapes (including degenerate ones),
+// and matmul/matmul_nt must produce matching forward + backward results
+// under either kernel path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/ops.hpp"
+#include "nn/tensor.hpp"
+
+namespace sc::nn {
+namespace {
+
+std::vector<double> random_values(std::size_t count, Rng& rng) {
+  std::vector<double> v(count);
+  for (double& x : v) x = rng.normal();
+  return v;
+}
+
+void expect_close(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-12) << "element " << i;
+  }
+}
+
+class BlockedGuard {
+public:
+  explicit BlockedGuard(bool enabled) : prev_(kernels::set_blocked(enabled)) {}
+  ~BlockedGuard() { kernels::set_blocked(prev_); }
+
+private:
+  bool prev_;
+};
+
+TEST(GemmBlocked, MatchesNaiveOnRandomShapes) {
+  Rng rng(101);
+  // A spread of shapes: degenerate, tiny, off-by-one around the 4-row
+  // micro-tile, and large enough to cross the parallel threshold.
+  const std::size_t shapes[][3] = {{0, 3, 4},  {3, 0, 4},  {3, 4, 0},  {1, 1, 1},
+                                   {4, 4, 4},  {5, 7, 3},  {8, 9, 13}, {17, 5, 21},
+                                   {33, 6, 2}, {130, 70, 34}};
+  for (const auto& s : shapes) {
+    const std::size_t n = s[0], k = s[1], m = s[2];
+    const auto a = random_values(n * k, rng);
+    const auto b_nn = random_values(k * m, rng);
+
+    std::vector<double> naive(n * m, 0.5), blocked(n * m, 0.5);
+    kernels::gemm_nn_naive(a.data(), b_nn.data(), naive.data(), n, k, m, false);
+    kernels::gemm_nn(a.data(), b_nn.data(), blocked.data(), n, k, m, false);
+    expect_close(naive, blocked);
+
+    // Accumulating variant must add on top of existing contents.
+    std::vector<double> naive_acc(n * m, 0.25), blocked_acc(n * m, 0.25);
+    kernels::gemm_nn_naive(a.data(), b_nn.data(), naive_acc.data(), n, k, m, true);
+    kernels::gemm_nn(a.data(), b_nn.data(), blocked_acc.data(), n, k, m, true);
+    expect_close(naive_acc, blocked_acc);
+
+    // gemm_nt: A (n,m') · B (k',m')^T with m' = k, k' = m.
+    const auto b_nt = random_values(m * k, rng);
+    std::vector<double> naive_nt(n * m, 0.125), blocked_nt(n * m, 0.125);
+    kernels::gemm_nt_naive(a.data(), b_nt.data(), naive_nt.data(), n, k, m);
+    kernels::gemm_nt(a.data(), b_nt.data(), blocked_nt.data(), n, k, m);
+    expect_close(naive_nt, blocked_nt);
+
+    // gemm_tn: A (n,k)^T · B (n,m).
+    const auto b_tn = random_values(n * m, rng);
+    std::vector<double> naive_tn(k * m, -0.5), blocked_tn(k * m, -0.5);
+    kernels::gemm_tn_naive(a.data(), b_tn.data(), naive_tn.data(), n, k, m);
+    kernels::gemm_tn(a.data(), b_tn.data(), blocked_tn.data(), n, k, m);
+    expect_close(naive_tn, blocked_tn);
+  }
+}
+
+TEST(GemmBlocked, EmptyInnerDimensionLeavesOutputsConsistent) {
+  // k = 0: gemm_nn without accumulation must produce zeros; the accumulating
+  // kernels must leave C untouched.
+  const double* empty = nullptr;
+  std::vector<double> c(6, 3.0);
+  kernels::gemm_nn(empty, empty, c.data(), 2, 0, 3, false);
+  for (const double x : c) EXPECT_EQ(x, 0.0);
+
+  std::vector<double> c_acc(6, 3.0);
+  kernels::gemm_nt(empty, empty, c_acc.data(), 2, 0, 3);
+  kernels::gemm_tn(empty, empty, c_acc.data(), 0, 2, 3);
+  for (const double x : c_acc) EXPECT_EQ(x, 3.0);
+}
+
+TEST(GemmBlocked, SetBlockedTogglesAndRestores) {
+  const bool initial = kernels::blocked_enabled();
+  {
+    BlockedGuard guard(false);
+    EXPECT_FALSE(kernels::blocked_enabled());
+  }
+  EXPECT_EQ(kernels::blocked_enabled(), initial);
+}
+
+TEST(GemmBlocked, MatmulForwardBackwardMatchesNaivePath) {
+  Rng rng(7);
+  Tensor a = Tensor::randn({19, 11}, rng, 1.0, true);
+  Tensor b = Tensor::randn({11, 9}, rng, 1.0, true);
+  Tensor bt = Tensor::randn({9, 11}, rng, 1.0, true);
+
+  const auto run = [&](bool blocked) {
+    BlockedGuard guard(blocked);
+    for (Tensor* t : {&a, &b, &bt}) t->zero_grad();
+    Tensor out = sum(add(matmul(a, b), matmul_nt(a, bt)));
+    out.backward();
+    std::vector<std::vector<double>> result = {out.value(), a.grad(), b.grad(),
+                                               bt.grad()};
+    return result;
+  };
+
+  const auto naive = run(false);
+  const auto blocked = run(true);
+  for (std::size_t i = 0; i < naive.size(); ++i) expect_close(naive[i], blocked[i]);
+}
+
+// Edge-mask scoring on a graph with no edges produces empty matmuls; both
+// kernel paths must handle the zero-row case without touching memory.
+TEST(GemmBlocked, ZeroRowMatmul) {
+  Rng rng(3);
+  const Tensor a = Tensor::randn({0, 5}, rng, 1.0, true);
+  const Tensor b = Tensor::randn({5, 4}, rng, 1.0, true);
+  for (const bool blocked : {false, true}) {
+    BlockedGuard guard(blocked);
+    const Tensor out = matmul(a, b);
+    EXPECT_EQ(out.rows(), 0u);
+    EXPECT_EQ(out.cols(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace sc::nn

@@ -1,0 +1,204 @@
+// Episode cache: memoized evaluate_mask results must be bit-for-bit identical
+// to fresh evaluations, hit/miss counters must track lookups, and concurrent
+// lookup/insert traffic must be race-free.
+#include "rl/episode_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "gen/generator.hpp"
+#include "rl/reinforce.hpp"
+#include "rl/rollout.hpp"
+
+namespace sc::rl {
+namespace {
+
+std::vector<graph::StreamGraph> small_graphs(std::size_t count, std::uint64_t seed) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 12;
+  cfg.topology.max_nodes = 20;
+  cfg.workload.num_devices = 3;
+  return gen::generate_graphs(cfg, count, seed);
+}
+
+sim::ClusterSpec spec() {
+  gen::GeneratorConfig cfg;
+  cfg.workload.num_devices = 3;
+  return to_cluster_spec(cfg.workload);
+}
+
+gnn::EdgeMask random_mask(std::size_t edges, Rng& rng) {
+  gnn::EdgeMask mask(edges);
+  for (int& b : mask) b = rng.uniform() < 0.4 ? 1 : 0;
+  return mask;
+}
+
+TEST(EpisodeCache, HashDistinguishesMasks) {
+  const gnn::EdgeMask a{1, 0, 1};
+  const gnn::EdgeMask b{1, 0, 0};
+  const gnn::EdgeMask c{1, 0, 1, 0};  // same prefix, different length
+  EXPECT_EQ(hash_mask(a), hash_mask(a));
+  EXPECT_NE(hash_mask(a), hash_mask(b));
+  EXPECT_NE(hash_mask(a), hash_mask(c));
+  // Masks longer than one 64-bit word still hash by content.
+  gnn::EdgeMask long_a(130, 0), long_b(130, 0);
+  long_a[97] = 1;
+  EXPECT_NE(hash_mask(long_a), hash_mask(long_b));
+}
+
+TEST(EpisodeCache, CachedMatchesUncachedBitForBit) {
+  const auto graphs = small_graphs(2, 31);
+  const auto contexts = make_contexts(graphs, spec());
+  const auto placer = metis_placer();
+  Rng rng(99);
+  for (const auto& ctx : contexts) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto mask = random_mask(ctx.graph->num_edges(), rng);
+      const Episode fresh = evaluate_mask(ctx, mask, placer);
+      const Episode first = evaluate_mask_cached(ctx, mask, placer);
+      const Episode hit = evaluate_mask_cached(ctx, mask, placer);
+      EXPECT_EQ(fresh.reward, first.reward);
+      EXPECT_EQ(fresh.compression, first.compression);
+      EXPECT_EQ(fresh.reward, hit.reward);
+      EXPECT_EQ(fresh.compression, hit.compression);
+      EXPECT_EQ(fresh.mask, hit.mask);
+    }
+  }
+}
+
+TEST(EpisodeCache, CountersTrackHitsAndMisses) {
+  const auto graphs = small_graphs(1, 37);
+  const auto contexts = make_contexts(graphs, spec());
+  const auto& ctx = contexts[0];
+  const auto placer = metis_placer();
+  ctx.cache->clear();
+
+  Rng rng(5);
+  const auto mask_a = random_mask(ctx.graph->num_edges(), rng);
+  auto mask_b = mask_a;
+  mask_b[0] ^= 1;
+
+  evaluate_mask_cached(ctx, mask_a, placer);  // miss + insert
+  EXPECT_EQ(ctx.cache->hits(), 0u);
+  EXPECT_EQ(ctx.cache->misses(), 1u);
+  EXPECT_EQ(ctx.cache->size(), 1u);
+
+  evaluate_mask_cached(ctx, mask_a, placer);  // hit
+  EXPECT_EQ(ctx.cache->hits(), 1u);
+  EXPECT_EQ(ctx.cache->misses(), 1u);
+
+  evaluate_mask_cached(ctx, mask_b, placer);  // different mask: miss
+  EXPECT_EQ(ctx.cache->hits(), 1u);
+  EXPECT_EQ(ctx.cache->misses(), 2u);
+  EXPECT_EQ(ctx.cache->size(), 2u);
+
+  ctx.cache->clear();
+  EXPECT_EQ(ctx.cache->hits(), 0u);
+  EXPECT_EQ(ctx.cache->misses(), 0u);
+  EXPECT_EQ(ctx.cache->size(), 0u);
+}
+
+TEST(EpisodeCache, CollisionGuardComparesStoredMask) {
+  EpisodeCache cache;
+  Episode ep;
+  ep.mask = {1, 0, 1};
+  ep.reward = 0.5;
+  const std::uint64_t key = hash_mask(ep.mask);
+  cache.insert(key, ep);
+  // Probing the same key with a different mask must miss (simulated
+  // collision), not return the stored episode.
+  const gnn::EdgeMask other{0, 1, 0};
+  EXPECT_FALSE(cache.lookup(key, other).has_value());
+  EXPECT_TRUE(cache.lookup(key, ep.mask).has_value());
+}
+
+TEST(EpisodeCache, ConcurrentLookupsAndInsertsAreRaceFree) {
+  const auto graphs = small_graphs(1, 41);
+  const auto contexts = make_contexts(graphs, spec());
+  const auto& ctx = contexts[0];
+  const auto placer = metis_placer();
+  ctx.cache->clear();
+
+  // A small pool of distinct masks probed from many tasks: every task either
+  // hits or re-evaluates and inserts an identical episode. TSan-clean and the
+  // final contents must match fresh evaluations.
+  Rng rng(17);
+  std::vector<gnn::EdgeMask> masks;
+  for (int i = 0; i < 6; ++i) masks.push_back(random_mask(ctx.graph->num_edges(), rng));
+  std::vector<Episode> expected;
+  for (const auto& m : masks) expected.push_back(evaluate_mask(ctx, m, placer));
+
+  ThreadPool pool(4);
+  const std::size_t tasks = 64;
+  std::vector<double> rewards(tasks);
+  pool.parallel_for(tasks, [&](std::size_t i) {
+    rewards[i] = evaluate_mask_cached(ctx, masks[i % masks.size()], placer).reward;
+  });
+  for (std::size_t i = 0; i < tasks; ++i) {
+    EXPECT_EQ(rewards[i], expected[i % masks.size()].reward) << "task " << i;
+  }
+  EXPECT_EQ(ctx.cache->size(), masks.size());
+  EXPECT_EQ(ctx.cache->hits() + ctx.cache->misses(), tasks);
+  EXPECT_GE(ctx.cache->misses(), masks.size());
+}
+
+TEST(EpisodeCache, TrainerSurfacesCounters) {
+  const auto graphs = small_graphs(3, 43);
+  auto contexts = make_contexts(graphs, spec());
+  gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+  TrainerConfig cfg;
+  cfg.seed = 9;
+  cfg.episode_cache = true;
+  ReinforceTrainer trainer(policy, contexts, metis_placer(), cfg);
+
+  // One epoch evaluates G*S sampled masks plus G greedy masks; every
+  // evaluation is either a hit or a miss.
+  const auto stats = trainer.train_epoch();
+  const std::uint64_t total =
+      graphs.size() * cfg.on_policy_samples + graphs.size();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, total);
+  EXPECT_GT(stats.cache_misses, 0u);
+
+  // With the cache disabled the counters stay zero.
+  auto contexts_off = make_contexts(graphs, spec());
+  gnn::CoarseningPolicy policy_off{gnn::PolicyConfig{}};
+  cfg.episode_cache = false;
+  ReinforceTrainer trainer_off(policy_off, contexts_off, metis_placer(), cfg);
+  const auto stats_off = trainer_off.train_epoch();
+  EXPECT_EQ(stats_off.cache_hits, 0u);
+  EXPECT_EQ(stats_off.cache_misses, 0u);
+}
+
+TEST(EpisodeCache, CacheOnAndOffTrainIdentically) {
+  // The cache must be semantically invisible: identical seeds with and
+  // without memoization produce identical epoch statistics.
+  const auto graphs = small_graphs(3, 47);
+  TrainerConfig cfg;
+  cfg.seed = 21;
+
+  auto run = [&](bool cache_on) {
+    auto contexts = make_contexts(graphs, spec());
+    gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+    TrainerConfig c = cfg;
+    c.episode_cache = cache_on;
+    ReinforceTrainer trainer(policy, contexts, metis_placer(), c);
+    std::vector<EpochStats> out;
+    for (int e = 0; e < 3; ++e) out.push_back(trainer.train_epoch());
+    return out;
+  };
+
+  const auto with_cache = run(true);
+  const auto without = run(false);
+  for (std::size_t e = 0; e < with_cache.size(); ++e) {
+    EXPECT_EQ(with_cache[e].mean_sample_reward, without[e].mean_sample_reward);
+    EXPECT_EQ(with_cache[e].mean_best_reward, without[e].mean_best_reward);
+    EXPECT_EQ(with_cache[e].mean_greedy_reward, without[e].mean_greedy_reward);
+    EXPECT_EQ(with_cache[e].mean_compression, without[e].mean_compression);
+    EXPECT_EQ(with_cache[e].mean_loss, without[e].mean_loss);
+  }
+}
+
+}  // namespace
+}  // namespace sc::rl

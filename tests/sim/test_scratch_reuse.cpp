@@ -1,0 +1,143 @@
+// The thread-local bottleneck scratch in FluidSimulator must be invisible:
+// repeated and interleaved throughput()/report() calls on reused simulators
+// return bit-for-bit the same values a fresh simulator computes, under both
+// link models, including when called from thread-pool workers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "gen/generator.hpp"
+#include "sim/fluid.hpp"
+
+namespace sc::sim {
+namespace {
+
+std::vector<graph::StreamGraph> graphs_for_test(std::uint64_t seed) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 10;
+  cfg.topology.max_nodes = 40;
+  cfg.workload.num_devices = 4;
+  return gen::generate_graphs(cfg, 4, seed);
+}
+
+ClusterSpec spec_with(LinkModel model) {
+  ClusterSpec spec;
+  spec.num_devices = 4;
+  spec.link_model = model;
+  return spec;
+}
+
+std::vector<Placement> random_placements(const graph::StreamGraph& g,
+                                         std::size_t num_devices, std::size_t count,
+                                         Rng& rng) {
+  std::vector<Placement> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    Placement p(g.num_nodes());
+    for (int& d : p) d = static_cast<int>(rng.index(num_devices));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void expect_reports_equal(const PlacementReport& a, const PlacementReport& b) {
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.relative_throughput, b.relative_throughput);
+  EXPECT_EQ(a.cpu_bottleneck, b.cpu_bottleneck);
+  EXPECT_EQ(a.net_bottleneck, b.net_bottleneck);
+  EXPECT_EQ(a.devices_used, b.devices_used);
+  EXPECT_EQ(a.avg_cpu_utilization, b.avg_cpu_utilization);
+  EXPECT_EQ(a.cpu_utilization_stddev, b.cpu_utilization_stddev);
+  EXPECT_EQ(a.avg_bw_utilization, b.avg_bw_utilization);
+  EXPECT_EQ(a.bw_utilization_stddev, b.bw_utilization_stddev);
+  EXPECT_EQ(a.latency_seconds, b.latency_seconds);
+}
+
+TEST(ScratchReuse, RepeatedCallsMatchFreshSimulator) {
+  for (const LinkModel model : {LinkModel::PairwiseLinks, LinkModel::DeviceNic}) {
+    const auto spec = spec_with(model);
+    const auto graphs = graphs_for_test(53);
+    Rng rng(7);
+    for (const auto& g : graphs) {
+      const FluidSimulator reused(g, spec);
+      const auto placements = random_placements(g, spec.num_devices, 8, rng);
+      // Warm the scratch with every placement once, then verify each against
+      // a fresh simulator: the second pass runs entirely on dirty scratch.
+      for (const auto& p : placements) (void)reused.throughput(p);
+      for (const auto& p : placements) {
+        const FluidSimulator fresh(g, spec);
+        EXPECT_EQ(reused.throughput(p), fresh.throughput(p));
+        expect_reports_equal(reused.report(p), fresh.report(p));
+      }
+    }
+  }
+}
+
+TEST(ScratchReuse, InterleavedGraphsShareScratchSafely) {
+  // The scratch is thread-local, not per-simulator: alternating between
+  // graphs of different sizes and link models on one thread exercises the
+  // grow/reset paths.
+  const auto graphs = graphs_for_test(59);
+  const auto spec_a = spec_with(LinkModel::PairwiseLinks);
+  const auto spec_b = spec_with(LinkModel::DeviceNic);
+  std::vector<FluidSimulator> sims_a, sims_b;
+  for (const auto& g : graphs) {
+    sims_a.emplace_back(g, spec_a);
+    sims_b.emplace_back(g, spec_b);
+  }
+
+  Rng rng(11);
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      const auto p = random_placements(graphs[i], spec_a.num_devices, 1, rng)[0];
+      const double a = sims_a[i].throughput(p);
+      const double b = sims_b[i].throughput(p);
+      EXPECT_EQ(a, FluidSimulator(graphs[i], spec_a).throughput(p));
+      EXPECT_EQ(b, FluidSimulator(graphs[i], spec_b).throughput(p));
+    }
+  }
+}
+
+TEST(ScratchReuse, PoolWorkersComputeIdenticalResults) {
+  const auto graphs = graphs_for_test(61);
+  const auto spec = spec_with(LinkModel::DeviceNic);
+  const auto& g = graphs[0];
+  const FluidSimulator sim(g, spec);
+
+  Rng rng(13);
+  const auto placements = random_placements(g, spec.num_devices, 32, rng);
+  std::vector<double> serial(placements.size());
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    serial[i] = sim.relative_throughput(placements[i]);
+  }
+
+  ThreadPool pool(4);
+  std::vector<double> parallel(placements.size());
+  pool.parallel_for(placements.size(), [&](std::size_t i) {
+    parallel[i] = sim.relative_throughput(placements[i]);
+  });
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "placement " << i;
+  }
+}
+
+TEST(ScratchReuse, InvalidPlacementLeavesScratchClean) {
+  const auto graphs = graphs_for_test(67);
+  const auto spec = spec_with(LinkModel::PairwiseLinks);
+  const auto& g = graphs[0];
+  const FluidSimulator sim(g, spec);
+
+  Rng rng(29);
+  const auto good = random_placements(g, spec.num_devices, 1, rng)[0];
+  const double expected = sim.throughput(good);
+
+  Placement bad = good;
+  bad[0] = static_cast<int>(spec.num_devices);  // out of range
+  EXPECT_THROW((void)sim.throughput(bad), Error);
+  // The failed call must not have poisoned the scratch for later calls.
+  EXPECT_EQ(sim.throughput(good), expected);
+}
+
+}  // namespace
+}  // namespace sc::sim

@@ -16,11 +16,12 @@
 int main(int argc, char** argv) try {
   using namespace sc;
   const Flags flags(argc, argv);
+  configure_threads_from_flags(flags);
   if (!flags.has("data")) {
     tools::usage(
         "usage: sc_allocate --data <file> [--model <ckpt>] [--setting medium]\n"
         "                   [--method coarsen|metis|oracle] [--best-of K]\n"
-        "                   [--index N] [--dot out.dot]\n");
+        "                   [--index N] [--dot out.dot] [--threads N]\n");
   }
   const auto graphs = graph::load_graphs(flags.get_string("data", ""));
   SC_CHECK(!graphs.empty(), "dataset is empty");

@@ -17,11 +17,12 @@
 int main(int argc, char** argv) try {
   using namespace sc;
   const Flags flags(argc, argv);
+  configure_threads_from_flags(flags);
   if (!flags.has("data")) {
     tools::usage(
         "usage: sc_eval --data <file> [--model <ckpt>] [--setting medium]\n"
         "               [--methods metis,oracle,rr,coarsen,coarsen-oracle]\n"
-        "               [--best-of K] [--csv out.csv]\n");
+        "               [--best-of K] [--csv out.csv] [--threads N]\n");
   }
   const auto graphs = graph::load_graphs(flags.get_string("data", ""));
   SC_CHECK(!graphs.empty(), "dataset is empty");

@@ -13,11 +13,12 @@
 int main(int argc, char** argv) try {
   using namespace sc;
   const Flags flags(argc, argv);
+  configure_threads_from_flags(flags);
   if (!flags.has("data") || !flags.has("out")) {
     tools::usage(
         "usage: sc_train --data <file> --out <ckpt> [--setting medium]\n"
         "                [--epochs 16] [--init <ckpt>] [--no-guidance]\n"
-        "                [--placer metis|oracle|coarsen-only] [--seed 7] [--lr 0.001]\n");
+        "                [--placer metis|oracle|coarsen-only] [--seed 7] [--lr 0.001]\n                [--threads N]\n");
   }
   const auto graphs = graph::load_graphs(flags.get_string("data", ""));
   SC_CHECK(!graphs.empty(), "dataset is empty");
