@@ -1,0 +1,575 @@
+// bench_perf_policy — policy-forward performance harness (BENCH_perf_policy.json).
+//
+// Measures the PR-2 levers on the actor side of training:
+//   forward : encoder+scorer forwards/sec, one block-diagonal batched forward
+//             over the whole curriculum level vs one forward per graph
+//             (identical logits by construction).
+//   fused   : per-op forward+backward timings of the fused kernels
+//             (linear_tanh, gather_add_tanh, masked_logprob_sum) vs their
+//             unfused compositions.
+//   train   : real ReinforceTrainer epochs with every lever on — end-to-end
+//             epoch time plus tensor-arena counters (allocation traffic,
+//             reuse rate, high-water bytes) over those epochs.
+//   ab      : the epoch-start sampling pass + greedy health pass exactly as
+//             train_epoch runs them in steady state. Optimized arm: one
+//             block-diagonal batched forward per pass (the sampling pass
+//             reuses the logits carried from the previous greedy pass) +
+//             fused kernels + arena. Baseline arm (PR-1): two per-graph
+//             forward sweeps, unfused, arena off. Blocked GEMM is on in both
+//             arms. Both arms produce bit-identical masks; the speedup is
+//             redundant-forward and overhead removal.
+//
+// Usage:
+//   bench_perf_policy [--tiny] [--out BENCH_perf_policy.json] [--seed N]
+//                     [--threads N] [--verbose]
+//   bench_perf_policy --validate <file>  # re-parse an emitted JSON; exits
+//                                        # non-zero if malformed (ctest smoke)
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "nn/arena.hpp"
+#include "nn/ops.hpp"
+#include "rl/reinforce.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validation (recursive descent), mirroring bench_perf_train.
+// ---------------------------------------------------------------------------
+struct JsonParser {
+  const std::string& s;
+  std::size_t pos = 0;
+
+  explicit JsonParser(const std::string& text) : s(text) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw sc::Error("JSON parse error at byte " + std::to_string(pos) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                              s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos >= s.size()) fail("unexpected end of input");
+    return s[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+  void parse_string() {
+    expect('"');
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\') ++pos;  // skip escaped char
+      ++pos;
+    }
+    if (pos >= s.size()) fail("unterminated string");
+    ++pos;
+  }
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    if (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) ++pos;
+    while (pos < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[pos])) || s[pos] == '.' ||
+            s[pos] == 'e' || s[pos] == 'E' || s[pos] == '-' || s[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) fail("expected a number");
+    const double v = std::strtod(s.substr(start, pos - start).c_str(), nullptr);
+    if (!std::isfinite(v)) fail("non-finite number");
+    return v;
+  }
+  void parse_literal(const char* lit) {
+    skip_ws();
+    for (const char* p = lit; *p; ++p, ++pos) {
+      if (pos >= s.size() || s[pos] != *p) fail(std::string("expected '") + lit + "'");
+    }
+  }
+  void parse_value() {
+    const char c = peek();
+    if (c == '{') {
+      parse_object();
+    } else if (c == '[') {
+      expect('[');
+      if (peek() != ']') {
+        parse_value();
+        while (peek() == ',') {
+          ++pos;
+          parse_value();
+        }
+      }
+      expect(']');
+    } else if (c == '"') {
+      parse_string();
+    } else if (c == 't') {
+      parse_literal("true");
+    } else if (c == 'f') {
+      parse_literal("false");
+    } else if (c == 'n') {
+      parse_literal("null");
+    } else {
+      (void)parse_number();
+    }
+  }
+  std::vector<std::string> parse_object() {
+    std::vector<std::string> keys;
+    expect('{');
+    if (peek() != '}') {
+      for (;;) {
+        skip_ws();
+        const std::size_t key_start = pos + 1;
+        parse_string();
+        keys.push_back(s.substr(key_start, pos - key_start - 1));
+        expect(':');
+        parse_value();
+        if (peek() != ',') break;
+        ++pos;
+      }
+    }
+    expect('}');
+    return keys;
+  }
+};
+
+int validate_json(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    std::cerr << "bench_perf_policy: cannot open '" << path << "'\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  try {
+    JsonParser parser(text);
+    const auto keys = parser.parse_object();
+    parser.skip_ws();
+    if (parser.pos != text.size()) parser.fail("trailing garbage after object");
+    for (const char* required :
+         {"schema_version", "speedup", "forwards_per_sec_batched",
+          "forwards_per_sec_per_graph", "forward", "fused", "train", "arena", "ab"}) {
+      bool found = false;
+      for (const auto& k : keys) found = found || k == required;
+      if (!found) throw sc::Error(std::string("missing required key '") + required + "'");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench_perf_policy: '" << path << "' is malformed: " << e.what() << '\n';
+    return 1;
+  }
+  std::cout << "OK: " << path << " is well-formed JSON with the expected keys\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Shared dataset: the default curriculum level — Setting::Small (4-26 node
+// graphs, 5 devices), 40 training graphs as in bench_table1_main. Many small
+// graphs is exactly the regime where per-graph forward overhead dominates
+// and block-diagonal batching pays.
+// ---------------------------------------------------------------------------
+struct Level {
+  std::vector<sc::graph::StreamGraph> graphs;
+  std::vector<sc::rl::GraphContext> contexts;
+  sc::gnn::BatchedGraphFeatures batched;
+};
+
+Level make_level(bool tiny, std::uint64_t seed) {
+  using namespace sc;
+  const gen::GeneratorConfig gcfg = gen::setting_config(gen::Setting::Small);
+  Level level;
+  level.graphs = gen::generate_graphs(gcfg, tiny ? 8 : 40, seed);
+  level.contexts = rl::make_contexts(level.graphs, rl::to_cluster_spec(gcfg.workload));
+  std::vector<const gnn::GraphFeatures*> parts;
+  for (const auto& ctx : level.contexts) parts.push_back(&ctx.features);
+  level.batched = gnn::batch_features(parts);
+  return level;
+}
+
+/// Repeats `body` until `min_seconds` elapse; returns (reps, elapsed).
+template <typename Fn>
+std::pair<std::size_t, double> time_loop(double min_seconds, Fn&& body) {
+  body();  // warm up
+  std::size_t reps = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < min_seconds) {
+    body();
+    ++reps;
+    elapsed = seconds_since(t0);
+  }
+  return {reps, elapsed};
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: batched vs per-graph encoder+scorer forwards/sec.
+// ---------------------------------------------------------------------------
+struct ForwardResult {
+  std::size_t graphs = 0;
+  double forwards_per_sec_batched = 0.0;
+  double forwards_per_sec_per_graph = 0.0;
+  double speedup = 0.0;
+};
+
+ForwardResult bench_forward(const Level& level, const sc::gnn::CoarseningPolicy& policy,
+                            bool tiny) {
+  using namespace sc;
+  nn::NoGradGuard no_grad;
+  const double min_seconds = tiny ? 0.05 : 0.4;
+  double sink = 0.0;
+
+  const auto [batched_reps, batched_s] = time_loop(min_seconds, [&] {
+    const nn::Tensor t = policy.logits(level.batched.merged);
+    sink += t.value()[0];
+  });
+  const auto [solo_reps, solo_s] = time_loop(min_seconds, [&] {
+    for (const auto& ctx : level.contexts) {
+      const nn::Tensor t = policy.logits(ctx.features);
+      sink += t.value()[0];
+    }
+  });
+  if (sink == 42.125) std::cerr << "";  // keep the forwards alive
+
+  ForwardResult r;
+  r.graphs = level.contexts.size();
+  const double per_pass = static_cast<double>(r.graphs);
+  r.forwards_per_sec_batched = per_pass * static_cast<double>(batched_reps) / batched_s;
+  r.forwards_per_sec_per_graph = per_pass * static_cast<double>(solo_reps) / solo_s;
+  r.speedup = r.forwards_per_sec_batched / r.forwards_per_sec_per_graph;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: fused vs unfused kernel forward+backward timings.
+// ---------------------------------------------------------------------------
+struct FusedOpResult {
+  double us_fused = 0.0;
+  double us_unfused = 0.0;
+  double speedup = 0.0;
+};
+
+struct FusedResult {
+  FusedOpResult linear_tanh;
+  FusedOpResult gather_add_tanh;
+  FusedOpResult masked_logprob_sum;
+};
+
+template <typename Fn>
+FusedOpResult ab_op(double min_seconds, Fn&& step) {
+  FusedOpResult r;
+  const bool prev = sc::nn::fused::set_enabled(true);
+  const auto [fused_reps, fused_s] = time_loop(min_seconds, step);
+  sc::nn::fused::set_enabled(false);
+  const auto [plain_reps, plain_s] = time_loop(min_seconds, step);
+  sc::nn::fused::set_enabled(prev);
+  r.us_fused = fused_s / static_cast<double>(fused_reps) * 1e6;
+  r.us_unfused = plain_s / static_cast<double>(plain_reps) * 1e6;
+  r.speedup = r.us_unfused / r.us_fused;
+  return r;
+}
+
+FusedResult bench_fused(bool tiny, std::uint64_t seed) {
+  using namespace sc::nn;
+  sc::Rng rng(seed + 31);
+  const double min_seconds = tiny ? 0.04 : 0.25;
+  FusedResult r;
+
+  // Shapes sized like one encoder layer of the full curriculum level
+  // (~1000 packed nodes, hidden 24; ~1300 packed edges).
+  const std::size_t n = tiny ? 128 : 1024, k = 48, m = 24, edges = tiny ? 160 : 1344;
+  const Tensor x = Tensor::randn({n, k}, rng, 0.5, false);
+  Tensor w = Tensor::randn({k, m}, rng, 0.5, true);
+  Tensor b = Tensor::randn({m}, rng, 0.5, true);
+  r.linear_tanh = ab_op(min_seconds, [&] {
+    Tensor loss = sum(linear_tanh(x, w, b));
+    loss.backward();
+    w.data().grad.clear();
+    b.data().grad.clear();
+  });
+
+  Tensor base = Tensor::randn({n, m}, rng, 0.5, true);
+  Tensor addend = Tensor::randn({edges, m}, rng, 0.5, true);
+  std::vector<std::size_t> index(edges);
+  for (std::size_t e = 0; e < edges; ++e) index[e] = rng.index(n);
+  r.gather_add_tanh = ab_op(min_seconds, [&] {
+    Tensor loss = sum(gather_add_tanh(base, index, addend));
+    loss.backward();
+    base.data().grad.clear();
+    addend.data().grad.clear();
+  });
+
+  // A policy-update batch: 6 episodes over one graph's logits.
+  const std::size_t logits_n = tiny ? 60 : 120, episodes = 6;
+  Tensor logits = Tensor::randn({logits_n}, rng, 0.5, true);
+  std::vector<std::vector<int>> masks(episodes, std::vector<int>(logits_n));
+  std::vector<double> coeffs(episodes);
+  for (std::size_t j = 0; j < episodes; ++j) {
+    for (int& a : masks[j]) a = rng.bernoulli(0.3) ? 1 : 0;
+    coeffs[j] = rng.normal();
+  }
+  r.masked_logprob_sum = ab_op(min_seconds, [&] {
+    Tensor loss = masked_logprob_sum(logits, masks, coeffs, 1.0 / 7.0);
+    loss.backward();
+    logits.data().grad.clear();
+  });
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: real training epochs with every lever on + arena counters.
+// ---------------------------------------------------------------------------
+struct TrainResult {
+  std::size_t epochs = 0;
+  double seconds = 0.0;
+  double epoch_seconds = 0.0;
+  std::uint64_t dedup_hits = 0;
+  sc::nn::arena::ArenaStats arena;
+  double arena_reuse_rate = 0.0;
+};
+
+TrainResult bench_train(const Level& level, bool tiny, std::uint64_t seed) {
+  using namespace sc;
+  auto contexts = rl::make_contexts(level.graphs, level.contexts[0].simulator.spec());
+  gnn::PolicyConfig pcfg;
+  pcfg.seed = seed * 7919 + 13;
+  gnn::CoarseningPolicy policy(pcfg);
+  rl::TrainerConfig tcfg;
+  tcfg.seed = seed;
+  rl::ReinforceTrainer trainer(policy, contexts, rl::metis_placer(), tcfg);
+
+  TrainResult r;
+  r.epochs = tiny ? 2 : 6;
+  (void)trainer.train_epoch();  // warm up (caches, arena pools)
+  nn::arena::reset_stats();
+  const auto t0 = Clock::now();
+  for (std::size_t e = 0; e < r.epochs; ++e) {
+    r.dedup_hits += trainer.train_epoch().dedup_hits;
+  }
+  r.seconds = seconds_since(t0);
+  r.epoch_seconds = r.seconds / static_cast<double>(r.epochs);
+  r.arena = nn::arena::stats();
+  r.arena_reuse_rate = r.arena.acquires == 0
+                           ? 0.0
+                           : static_cast<double>(r.arena.reuses) /
+                                 static_cast<double>(r.arena.acquires);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 4: A/B of the epoch-start sampling pass + greedy health pass.
+// ---------------------------------------------------------------------------
+struct AbResult {
+  std::size_t passes = 0;
+  double seconds_optimized = 0.0;
+  double seconds_baseline = 0.0;
+  double passes_per_sec_optimized = 0.0;
+  double passes_per_sec_baseline = 0.0;
+  double speedup = 0.0;
+};
+
+AbResult bench_ab(const Level& level, const sc::gnn::CoarseningPolicy& policy,
+                  bool tiny, std::uint64_t seed) {
+  using namespace sc;
+  const std::size_t samples = 3;  // TrainerConfig::on_policy_samples default
+  const std::size_t num_graphs = level.contexts.size();
+  double sink = 0.0;
+
+  // One "pass" = everything train_epoch does on the actor side per epoch:
+  // sampling-pass logits + `samples` Bernoulli masks per graph, then
+  // greedy-pass logits + one greedy mask per graph. Reward evaluation is
+  // deliberately excluded (covered by bench_perf_train).
+  //
+  // The optimized arm mirrors the trainer's steady state: the sampling pass
+  // reuses the logits carried over from the previous epoch's greedy pass
+  // (parameters do not change between epochs), so each pass runs ONE batched
+  // encoder forward. The baseline arm replays PR-1: one forward per graph for
+  // sampling and again for greedy, no carry.
+  std::vector<double> carry;
+  const auto run_pass = [&](bool batched, std::uint64_t pass_seed) {
+    nn::NoGradGuard no_grad;
+    if (batched) {
+      if (carry.empty()) carry = policy.logits(level.batched.merged).value();
+      for (std::size_t gi = 0; gi < num_graphs; ++gi) {
+        const std::vector<double> vals = gnn::logit_slice(carry, level.batched, gi);
+        for (std::size_t s = 0; s < samples; ++s) {
+          Rng rng(pass_seed * 977 + gi * samples + s);
+          sink += policy.sample(vals, rng).size();
+        }
+      }
+      carry = policy.logits(level.batched.merged).value();
+      for (std::size_t gi = 0; gi < num_graphs; ++gi) {
+        sink += policy.greedy(gnn::logit_slice(carry, level.batched, gi)).size();
+      }
+    } else {
+      for (std::size_t gi = 0; gi < num_graphs; ++gi) {
+        const nn::Tensor t = policy.logits(level.contexts[gi].features);
+        for (std::size_t s = 0; s < samples; ++s) {
+          Rng rng(pass_seed * 977 + gi * samples + s);
+          sink += policy.sample(t.value(), rng).size();
+        }
+      }
+      for (std::size_t gi = 0; gi < num_graphs; ++gi) {
+        const nn::Tensor t = policy.logits(level.contexts[gi].features);
+        sink += policy.greedy(t.value()).size();
+      }
+    }
+  };
+
+  const double min_seconds = tiny ? 0.05 : 0.5;
+  AbResult r;
+
+  // Optimized arm: batched + fused + arena (blocked GEMM already on).
+  const bool prev_fused = nn::fused::set_enabled(true);
+  const bool prev_arena = nn::arena::set_enabled(true);
+  const auto [opt_reps, opt_s] =
+      time_loop(min_seconds, [&] { run_pass(true, seed); });
+
+  // Baseline arm (PR-1): per-graph forwards, unfused ops, no arena.
+  nn::fused::set_enabled(false);
+  nn::arena::set_enabled(false);
+  const auto [base_reps, base_s] =
+      time_loop(min_seconds, [&] { run_pass(false, seed); });
+  nn::fused::set_enabled(prev_fused);
+  nn::arena::set_enabled(prev_arena);
+  if (sink == 42.125) std::cerr << "";  // keep the passes alive
+
+  r.passes = opt_reps + base_reps;
+  r.seconds_optimized = opt_s / static_cast<double>(opt_reps);
+  r.seconds_baseline = base_s / static_cast<double>(base_reps);
+  r.passes_per_sec_optimized = 1.0 / r.seconds_optimized;
+  r.passes_per_sec_baseline = 1.0 / r.seconds_baseline;
+  r.speedup = r.seconds_baseline / r.seconds_optimized;
+  return r;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace sc;
+  const Flags raw(argc, argv);
+  if (raw.has("validate")) return validate_json(raw.get_string("validate", ""));
+
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const bool tiny = raw.get_bool("tiny", false);
+  const std::string out = raw.get_string("out", "BENCH_perf_policy.json");
+  std::cout << "[perf_policy] Policy-forward performance harness"
+            << (tiny ? " (tiny)" : "") << "\n";
+
+  const Level level = make_level(tiny, args.seed);
+  gnn::PolicyConfig pcfg;
+  pcfg.seed = args.seed * 7919 + 13;
+  const gnn::CoarseningPolicy policy(pcfg);
+  std::cout << "  level   " << level.contexts.size() << " graphs, "
+            << level.batched.node_offset.back() << " packed nodes, "
+            << level.batched.edge_offset.back() << " packed edges\n";
+
+  const auto fwd = bench_forward(level, policy, tiny);
+  std::cout << "  forward batched " << metrics::Table::fmt(fwd.forwards_per_sec_batched, 0)
+            << " graph-forwards/s vs per-graph "
+            << metrics::Table::fmt(fwd.forwards_per_sec_per_graph, 0) << " ("
+            << metrics::Table::fmt(fwd.speedup, 2) << "x)\n";
+
+  const auto fused = bench_fused(tiny, args.seed);
+  const auto show_op = [](const char* name, const FusedOpResult& op) {
+    std::cout << "  fused   " << name << ": " << metrics::Table::fmt(op.us_fused, 1)
+              << " us/op vs " << metrics::Table::fmt(op.us_unfused, 1) << " unfused ("
+              << metrics::Table::fmt(op.speedup, 2) << "x)\n";
+  };
+  show_op("linear_tanh       ", fused.linear_tanh);
+  show_op("gather_add_tanh   ", fused.gather_add_tanh);
+  show_op("masked_logprob_sum", fused.masked_logprob_sum);
+
+  const auto train = bench_train(level, tiny, args.seed);
+  std::cout << "  train   " << train.epochs << " epochs, "
+            << metrics::Table::fmt(train.epoch_seconds * 1e3, 1) << " ms/epoch; arena "
+            << train.arena.acquires << " acquires, reuse rate "
+            << metrics::Table::pct(train.arena_reuse_rate) << ", high water "
+            << train.arena.high_water_bytes / 1024 << " KiB; " << train.dedup_hits
+            << " dedup hits\n";
+
+  const auto ab = bench_ab(level, policy, tiny, args.seed);
+  std::cout << "  ab      sampling+greedy pass: optimized "
+            << metrics::Table::fmt(ab.seconds_optimized * 1e3, 2) << " ms vs baseline "
+            << metrics::Table::fmt(ab.seconds_baseline * 1e3, 2) << " ms ("
+            << metrics::Table::fmt(ab.speedup, 2) << "x)\n";
+
+  std::ofstream os(out);
+  SC_CHECK(os.good(), "cannot open output file '" << out << "'");
+  os << "{\n"
+     << "  \"schema_version\": 1,\n"
+     << "  \"tiny\": " << (tiny ? "true" : "false") << ",\n"
+     << "  \"seed\": " << args.seed << ",\n"
+     << "  \"threads\": " << ThreadPool::global().size() << ",\n"
+     << "  \"forwards_per_sec_batched\": " << json_num(fwd.forwards_per_sec_batched)
+     << ",\n"
+     << "  \"forwards_per_sec_per_graph\": " << json_num(fwd.forwards_per_sec_per_graph)
+     << ",\n"
+     << "  \"speedup\": " << json_num(ab.speedup) << ",\n"
+     << "  \"forward\": {\n"
+     << "    \"graphs\": " << fwd.graphs << ",\n"
+     << "    \"packed_nodes\": " << level.batched.node_offset.back() << ",\n"
+     << "    \"packed_edges\": " << level.batched.edge_offset.back() << ",\n"
+     << "    \"forwards_per_sec_batched\": " << json_num(fwd.forwards_per_sec_batched)
+     << ",\n"
+     << "    \"forwards_per_sec_per_graph\": "
+     << json_num(fwd.forwards_per_sec_per_graph) << ",\n"
+     << "    \"speedup\": " << json_num(fwd.speedup) << "\n  },\n"
+     << "  \"fused\": {\n";
+  const auto op_json = [&os](const char* name, const FusedOpResult& op, bool last) {
+    os << "    \"" << name << "\": { \"us_fused\": " << json_num(op.us_fused)
+       << ", \"us_unfused\": " << json_num(op.us_unfused)
+       << ", \"speedup\": " << json_num(op.speedup) << " }" << (last ? "\n" : ",\n");
+  };
+  op_json("linear_tanh", fused.linear_tanh, false);
+  op_json("gather_add_tanh", fused.gather_add_tanh, false);
+  op_json("masked_logprob_sum", fused.masked_logprob_sum, true);
+  os << "  },\n"
+     << "  \"train\": {\n"
+     << "    \"epochs\": " << train.epochs << ",\n"
+     << "    \"seconds\": " << json_num(train.seconds) << ",\n"
+     << "    \"epoch_seconds\": " << json_num(train.epoch_seconds) << ",\n"
+     << "    \"dedup_hits\": " << train.dedup_hits << "\n  },\n"
+     << "  \"arena\": {\n"
+     << "    \"acquires\": " << train.arena.acquires << ",\n"
+     << "    \"reuses\": " << train.arena.reuses << ",\n"
+     << "    \"fresh_allocs\": " << train.arena.fresh_allocs << ",\n"
+     << "    \"reuse_rate\": " << json_num(train.arena_reuse_rate) << ",\n"
+     << "    \"pooled_nodes\": " << train.arena.pooled_nodes << ",\n"
+     << "    \"pooled_bytes\": " << train.arena.pooled_bytes << ",\n"
+     << "    \"high_water_bytes\": " << train.arena.high_water_bytes << "\n  },\n"
+     << "  \"ab\": {\n"
+     << "    \"samples_per_graph\": 3,\n"
+     << "    \"seconds_optimized\": " << json_num(ab.seconds_optimized) << ",\n"
+     << "    \"seconds_baseline\": " << json_num(ab.seconds_baseline) << ",\n"
+     << "    \"passes_per_sec_optimized\": " << json_num(ab.passes_per_sec_optimized)
+     << ",\n"
+     << "    \"passes_per_sec_baseline\": " << json_num(ab.passes_per_sec_baseline)
+     << ",\n"
+     << "    \"speedup\": " << json_num(ab.speedup) << "\n  }\n"
+     << "}\n";
+  os.close();
+  std::cout << "JSON written to " << out << "\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_perf_policy: " << e.what() << '\n';
+  return 1;
+}

@@ -22,8 +22,8 @@ Tensor EdgeAwareEncoder::forward(const GraphFeatures& f) const {
   const std::size_t n = f.node.rows();
   const std::size_t m_edges = f.edge_src.size();
 
-  Tensor h_up = nn::tanh_op(init_up_.forward(f.node));      // (n, m)
-  Tensor h_down = nn::tanh_op(init_down_.forward(f.node));  // (n, m)
+  Tensor h_up = init_up_.forward_tanh(f.node);      // (n, m), fused
+  Tensor h_down = init_down_.forward_tanh(f.node);  // (n, m), fused
 
   // Precompute the edge-feature contribution once; it is iteration-invariant.
   Tensor edge_term;
@@ -37,24 +37,22 @@ Tensor EdgeAwareEncoder::forward(const GraphFeatures& f) const {
 
     Tensor agg_in, agg_out;
     if (m_edges > 0) {
+      // Edge messages tanh(base[src] + edge_term) via the fused
+      // gather + add + tanh kernel (one pass, one backward node).
       // Upstream aggregation at v: messages from edge sources u.
-      Tensor msg_in = nn::gather_rows(base, f.edge_src);
-      if (edge_term.defined()) msg_in = nn::add(msg_in, edge_term);
-      msg_in = nn::tanh_op(msg_in);
+      const Tensor msg_in = nn::gather_add_tanh(base, f.edge_src, edge_term);
       agg_in = nn::scatter_mean(msg_in, f.edge_dst, n);
 
       // Downstream aggregation at v: messages from edge targets w.
-      Tensor msg_out = nn::gather_rows(base, f.edge_dst);
-      if (edge_term.defined()) msg_out = nn::add(msg_out, edge_term);
-      msg_out = nn::tanh_op(msg_out);
+      const Tensor msg_out = nn::gather_add_tanh(base, f.edge_dst, edge_term);
       agg_out = nn::scatter_mean(msg_out, f.edge_src, n);
     } else {
       agg_in = Tensor::zeros({n, cfg_.hidden});
       agg_out = Tensor::zeros({n, cfg_.hidden});
     }
 
-    h_up = nn::tanh_op(w2_.forward(nn::concat_cols({h_up, agg_in})));
-    h_down = nn::tanh_op(w2_.forward(nn::concat_cols({h_down, agg_out})));
+    h_up = w2_.forward_tanh(nn::concat_cols({h_up, agg_in}));
+    h_down = w2_.forward_tanh(nn::concat_cols({h_down, agg_out}));
   }
   return nn::concat_cols({h_up, h_down});  // (n, 2m)
 }

@@ -58,4 +58,61 @@ GraphFeatures extract_features(const graph::StreamGraph& g,
   return f;
 }
 
+BatchedGraphFeatures batch_features(const std::vector<const GraphFeatures*>& parts) {
+  BatchedGraphFeatures b;
+  const std::size_t num_graphs = parts.size();
+  b.node_offset.assign(num_graphs + 1, 0);
+  b.edge_offset.assign(num_graphs + 1, 0);
+  for (std::size_t gi = 0; gi < num_graphs; ++gi) {
+    SC_CHECK(parts[gi] != nullptr, "batch_features: null part");
+    SC_CHECK(parts[gi]->node.cols() == kNodeFeatureDim,
+             "batch_features: unexpected node feature width");
+    b.node_offset[gi + 1] = b.node_offset[gi] + parts[gi]->node.rows();
+    b.edge_offset[gi + 1] = b.edge_offset[gi] + parts[gi]->edge_src.size();
+  }
+  const std::size_t total_nodes = b.node_offset[num_graphs];
+  const std::size_t total_edges = b.edge_offset[num_graphs];
+
+  std::vector<double> node_vals;
+  node_vals.reserve(total_nodes * kNodeFeatureDim);
+  std::vector<double> edge_vals;
+  edge_vals.reserve(std::max<std::size_t>(1, total_edges) * kEdgeFeatureDim);
+  b.merged.edge_src.reserve(total_edges);
+  b.merged.edge_dst.reserve(total_edges);
+
+  for (std::size_t gi = 0; gi < num_graphs; ++gi) {
+    const GraphFeatures& f = *parts[gi];
+    const std::vector<double>& nv = f.node.value();
+    node_vals.insert(node_vals.end(), nv.begin(), nv.end());
+    const std::size_t m = f.edge_src.size();
+    if (m > 0) {
+      // Skip the 1-row zero placeholder that edgeless graphs carry: only
+      // real edge rows enter the batch.
+      const std::vector<double>& ev = f.edge.value();
+      SC_CHECK(f.edge.rows() == m, "batch_features: edge tensor/index mismatch");
+      edge_vals.insert(edge_vals.end(), ev.begin(), ev.end());
+      const std::size_t shift = b.node_offset[gi];
+      for (std::size_t e = 0; e < m; ++e) {
+        b.merged.edge_src.push_back(f.edge_src[e] + shift);
+        b.merged.edge_dst.push_back(f.edge_dst[e] + shift);
+      }
+    }
+  }
+  if (total_edges == 0) edge_vals.assign(kEdgeFeatureDim, 0.0);
+
+  b.merged.node = nn::Tensor::from(std::move(node_vals), {total_nodes, kNodeFeatureDim});
+  b.merged.edge = nn::Tensor::from(
+      std::move(edge_vals), {std::max<std::size_t>(1, total_edges), kEdgeFeatureDim});
+  return b;
+}
+
+std::vector<double> logit_slice(const std::vector<double>& batched_logits,
+                                const BatchedGraphFeatures& b, std::size_t gi) {
+  SC_CHECK(gi + 1 < b.edge_offset.size(), "logit_slice: graph index out of range");
+  SC_CHECK(batched_logits.size() == b.edge_offset.back(),
+           "logit_slice: logit vector does not match batch");
+  return std::vector<double>(batched_logits.begin() + static_cast<std::ptrdiff_t>(b.edge_offset[gi]),
+                             batched_logits.begin() + static_cast<std::ptrdiff_t>(b.edge_offset[gi + 1]));
+}
+
 }  // namespace sc::gnn

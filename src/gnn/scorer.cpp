@@ -34,7 +34,7 @@ Tensor EdgeCollapseScorer::forward(const Tensor& node_repr, const GraphFeatures&
   if (cfg_.use_edge_features) {
     parts.push_back(edge_.forward(f.edge));
   }
-  const Tensor h_uv = nn::tanh_op(merge1_.forward(nn::concat_cols(parts)));
+  const Tensor h_uv = merge1_.forward_tanh(nn::concat_cols(parts));  // fused
   const Tensor logits = merge2_.forward(h_uv);  // (E, 1)
   return nn::reshape(logits, {m_edges});
 }

@@ -19,6 +19,11 @@ Tensor Linear::forward(const Tensor& x) const {
   return y;
 }
 
+Tensor Linear::forward_tanh(const Tensor& x) const {
+  SC_CHECK(weight_.defined(), "Linear used before initialisation");
+  return linear_tanh(x, weight_, bias_);
+}
+
 std::vector<Tensor> Linear::parameters() const {
   std::vector<Tensor> ps;
   if (weight_.defined()) ps.push_back(weight_);
@@ -50,8 +55,12 @@ Tensor Mlp::forward(const Tensor& x) const {
   SC_CHECK(!layers_.empty(), "Mlp used before initialisation");
   Tensor h = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].forward(h);
-    if (i + 1 < layers_.size()) h = apply_activation(h, act_);
+    if (i + 1 < layers_.size() && act_ == Activation::Tanh) {
+      h = layers_[i].forward_tanh(h);  // fused GEMM + bias + tanh
+    } else {
+      h = layers_[i].forward(h);
+      if (i + 1 < layers_.size()) h = apply_activation(h, act_);
+    }
   }
   return h;
 }

@@ -34,6 +34,9 @@ public:
   Linear(std::size_t in, std::size_t out, Rng& rng, bool bias = true);
 
   Tensor forward(const Tensor& x) const;
+  /// tanh(forward(x)) through the fused linear_tanh kernel (bit-identical to
+  /// tanh_op(forward(x)); see nn::linear_tanh).
+  Tensor forward_tanh(const Tensor& x) const;
   std::vector<Tensor> parameters() const override;
 
   std::size_t in_features() const { return weight_.defined() ? weight_.rows() : 0; }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/thread_pool.hpp"
+#include "nn/arena.hpp"
 
 namespace sc::nn {
 
@@ -17,7 +18,7 @@ using detail::TensorData;
 Tensor make_op(std::vector<std::size_t> shape,
                std::vector<Tensor> inputs,
                std::function<void(TensorData&)> backward) {
-  auto d = std::make_shared<TensorData>();
+  auto d = detail::alloc_tensor_data();
   d->shape = std::move(shape);
   d->value.assign(shape_size(d->shape), 0.0);
 
@@ -706,6 +707,181 @@ Tensor softmax_rows(Tensor logits) {
     }
     for (std::size_t j = 0; j < k; ++j) v[i * k + j] /= denom;
   }
+  return out;
+}
+
+// ---- Fused ops --------------------------------------------------------------
+
+namespace fused {
+
+namespace {
+std::atomic<bool> g_fused{true};
+}  // namespace
+
+bool set_enabled(bool enabled) {
+  return g_fused.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool enabled() { return g_fused.load(std::memory_order_relaxed); }
+
+}  // namespace fused
+
+Tensor linear_tanh(Tensor x, Tensor w, Tensor b) {
+  if (!fused::enabled()) {
+    Tensor y = matmul(x, w);
+    if (b.defined()) y = add(y, b);
+    return tanh_op(y);
+  }
+  SC_CHECK(x.dim() == 2 && w.dim() == 2, "linear_tanh requires 2-D x and w");
+  const std::size_t n = x.rows(), k = x.cols(), m = w.cols();
+  SC_CHECK(w.rows() == k,
+           "linear_tanh: inner dims differ (" << k << " vs " << w.rows() << ")");
+  if (b.defined()) {
+    SC_CHECK(b.dim() == 1 && b.size() == m, "linear_tanh: bias must be a (cols) row");
+  }
+
+  std::vector<Tensor> inputs{x, w};
+  if (b.defined()) inputs.push_back(b);
+  Tensor out = make_op({n, m}, std::move(inputs), [x, w, b, n, k, m](TensorData& r) mutable {
+    // dz = (1 - y^2) * dy — exactly the tanh backward; the GEMMs below then
+    // match matmul's backward on the same dz buffer, and the bias loop
+    // matches add's row-broadcast backward, so gradients are bit-identical
+    // to the unfused composition.
+    std::vector<double> dz(n * m);
+    for (std::size_t i = 0; i < dz.size(); ++i) {
+      dz[i] = (1.0 - r.value[i] * r.value[i]) * r.grad[i];
+    }
+    if (x.requires_grad()) {
+      kernels::gemm_nt(dz.data(), w.value().data(), x.grad().data(), n, m, k);
+    }
+    if (w.requires_grad()) {
+      kernels::gemm_tn(x.value().data(), dz.data(), w.grad().data(), n, k, m);
+    }
+    if (b.defined() && b.requires_grad()) {
+      auto& gb = b.grad();
+      for (std::size_t i = 0; i < dz.size(); ++i) gb[i % m] += dz[i];
+    }
+  });
+  auto& v = out.value();
+  kernels::gemm_nn(x.value().data(), w.value().data(), v.data(), n, k, m, false);
+  if (b.defined()) {
+    const auto& vb = b.value();
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = std::tanh(v[i] + vb[i % m]);
+  } else {
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = std::tanh(v[i]);
+  }
+  return out;
+}
+
+Tensor gather_add_tanh(Tensor base, const std::vector<std::size_t>& index,
+                       Tensor add_term) {
+  if (!fused::enabled()) {
+    Tensor msg = gather_rows(base, index);
+    if (add_term.defined()) msg = add(msg, add_term);
+    return tanh_op(msg);
+  }
+  SC_CHECK(base.dim() == 2, "gather_add_tanh requires a 2-D base");
+  const std::size_t m = base.cols();
+  for (const std::size_t i : index) {
+    SC_CHECK(i < base.rows(), "gather_add_tanh: index " << i << " out of range");
+  }
+  if (add_term.defined()) {
+    SC_CHECK(add_term.dim() == 2 && add_term.rows() == index.size() &&
+                 add_term.cols() == m,
+             "gather_add_tanh: add_term must be (index.size(), base.cols())");
+  }
+
+  std::vector<Tensor> inputs{base};
+  if (add_term.defined()) inputs.push_back(add_term);
+  Tensor out =
+      make_op({index.size(), m}, std::move(inputs),
+              [base, index, add_term, m](TensorData& r) mutable {
+                std::vector<double> dz(r.value.size());
+                for (std::size_t i = 0; i < dz.size(); ++i) {
+                  dz[i] = (1.0 - r.value[i] * r.value[i]) * r.grad[i];
+                }
+                if (base.requires_grad()) {
+                  auto& g = base.grad();
+                  for (std::size_t i = 0; i < index.size(); ++i) {
+                    for (std::size_t j = 0; j < m; ++j) {
+                      g[index[i] * m + j] += dz[i * m + j];
+                    }
+                  }
+                }
+                if (add_term.defined() && add_term.requires_grad()) {
+                  auto& g = add_term.grad();
+                  for (std::size_t i = 0; i < g.size(); ++i) g[i] += dz[i];
+                }
+              });
+  auto& v = out.value();
+  const auto& bv = base.value();
+  if (add_term.defined()) {
+    const auto& av = add_term.value();
+    for (std::size_t i = 0; i < index.size(); ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        v[i * m + j] = std::tanh(bv[index[i] * m + j] + av[i * m + j]);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < index.size(); ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        v[i * m + j] = std::tanh(bv[index[i] * m + j]);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor masked_logprob_sum(Tensor logits, std::vector<std::vector<int>> masks,
+                          std::vector<double> coeffs, double final_scale) {
+  SC_CHECK(masks.size() == coeffs.size(),
+           "masked_logprob_sum: one coefficient per mask required");
+  for (const auto& mask : masks) {
+    SC_CHECK(mask.size() == logits.size(),
+             "masked_logprob_sum: mask size does not match logits");
+    for (const int a : mask) {
+      SC_CHECK(a == 0 || a == 1, "masked_logprob_sum actions must be 0/1, got " << a);
+    }
+  }
+  if (!fused::enabled()) {
+    Tensor loss = Tensor::scalar(0.0);
+    for (std::size_t j = 0; j < masks.size(); ++j) {
+      loss = add(loss, scale(sum(bernoulli_log_prob(logits, masks[j])), coeffs[j]));
+    }
+    return scale(loss, final_scale);
+  }
+
+  auto ms = std::make_shared<std::vector<std::vector<int>>>(std::move(masks));
+  auto cs = std::make_shared<std::vector<double>>(std::move(coeffs));
+  Tensor out =
+      make_op({1}, {logits}, [logits, ms, cs, final_scale](TensorData& r) mutable {
+        if (!logits.requires_grad()) return;
+        auto& g = logits.grad();
+        const auto& z = logits.value();
+        const double dsum = final_scale * r.grad[0];
+        // Episodes in reverse order, elements ascending: the exact
+        // accumulation order of the unfused add(loss, scale(...)) chain's
+        // reverse-topological backward, so logits.grad is bit-identical.
+        for (std::size_t j = ms->size(); j-- > 0;) {
+          const double dsj = (*cs)[j] * dsum;
+          const auto& mask = (*ms)[j];
+          for (std::size_t i = 0; i < g.size(); ++i) {
+            const double p = 1.0 / (1.0 + std::exp(-z[i]));
+            g[i] += (static_cast<double>(mask[i]) - p) * dsj;
+          }
+        }
+      });
+  const auto& z = logits.value();
+  double acc = 0.0;
+  for (std::size_t j = 0; j < ms->size(); ++j) {
+    const auto& mask = (*ms)[j];
+    double s = 0.0;
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      s += mask[i] == 1 ? -softplus(-z[i]) : -softplus(z[i]);
+    }
+    acc += (*cs)[j] * s;
+  }
+  out.value()[0] = acc * final_scale;
   return out;
 }
 

@@ -60,6 +60,43 @@ Tensor bernoulli_entropy(Tensor logits);
 /// differentiable as well).
 Tensor softmax_rows(Tensor logits);
 
+// ---- Fused ops --------------------------------------------------------------
+// Each fused op computes the same composition of primitive ops in a single
+// pass (one result tensor, one backward node) instead of materialising every
+// intermediate. Values and gradients are bit-identical to the unfused
+// composition: the element-wise arithmetic, the GEMM kernels invoked, and the
+// gradient accumulation order are all preserved exactly. `fused::set_enabled
+// (false)` routes every entry point through the primitive composition instead
+// (A/B benchmarking, like `kernels::set_blocked`).
+namespace fused {
+
+/// Toggles the fused paths (returns the previous setting). Default: enabled.
+bool set_enabled(bool enabled);
+bool enabled();
+
+}  // namespace fused
+
+/// tanh(x @ w + b) in one pass: GEMM + bias + tanh without materialising the
+/// pre-activation. `b` may be undefined (no bias term).
+Tensor linear_tanh(Tensor x, Tensor w, Tensor b);
+
+/// tanh(base[index] + add_term) in one pass — the edge-message construction
+/// of the edge-aware encoder (gather_rows + add + tanh_op). `add_term` may be
+/// undefined (plain gather + tanh). add_term must be (index.size(), base.cols()).
+Tensor gather_add_tanh(Tensor base, const std::vector<std::size_t>& index,
+                       Tensor add_term);
+
+/// The whole REINFORCE policy-gradient loss in one vectorized op:
+///
+///   out = final_scale * Σ_j coeffs[j] · Σ_i bernoulli_logp(logits[i], masks[j][i])
+///
+/// replacing the per-episode add(loss, scale(sum(bernoulli_log_prob(...))))
+/// chain with a single backward node. masks[j] are 0/1 edge masks of
+/// logits.size() entries each; coeffs are the per-episode scalars (e.g.
+/// negative advantages).
+Tensor masked_logprob_sum(Tensor logits, std::vector<std::vector<int>> masks,
+                          std::vector<double> coeffs, double final_scale = 1.0);
+
 // ---- Dense kernels ----------------------------------------------------------
 // Row-major GEMM microkernels used by matmul / matmul_nt forward and backward.
 // The default entry points dispatch to register-blocked kernels that fan row

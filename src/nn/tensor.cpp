@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "nn/arena.hpp"
+
 namespace sc::nn {
 
 namespace detail {
@@ -29,7 +31,7 @@ Tensor Tensor::zeros(std::vector<std::size_t> shape, bool requires_grad) {
 
 Tensor Tensor::full(std::vector<std::size_t> shape, double fill, bool requires_grad) {
   SC_CHECK(!shape.empty() && shape.size() <= 2, "tensors are 1-D or 2-D");
-  auto d = std::make_shared<detail::TensorData>();
+  auto d = detail::alloc_tensor_data();
   d->value.assign(shape_size(shape), fill);
   d->shape = std::move(shape);
   d->requires_grad = requires_grad;
@@ -41,7 +43,7 @@ Tensor Tensor::from(std::vector<double> values, std::vector<std::size_t> shape,
   SC_CHECK(!shape.empty() && shape.size() <= 2, "tensors are 1-D or 2-D");
   SC_CHECK(values.size() == shape_size(shape),
            "value count " << values.size() << " does not match shape");
-  auto d = std::make_shared<detail::TensorData>();
+  auto d = detail::alloc_tensor_data();
   d->shape = std::move(shape);
   d->value = std::move(values);
   d->requires_grad = requires_grad;

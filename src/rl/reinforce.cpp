@@ -1,7 +1,9 @@
 #include "rl/reinforce.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -50,6 +52,33 @@ ThreadPool& ReinforceTrainer::pool() const {
   return cfg_.pool != nullptr ? *cfg_.pool : ThreadPool::global();
 }
 
+std::uint64_t ReinforceTrainer::params_fingerprint() const {
+  // SplitMix64-mixed, order-dependent combine over every parameter bit
+  // pattern. ~10k doubles for the default policy, so the check costs
+  // microseconds against the encoder forward it can save.
+  std::uint64_t h = 0x243F6A8885A308D3ULL;
+  for (const nn::Tensor& p : policy_.parameters()) {
+    for (const double v : p.value()) {
+      std::uint64_t z = h ^ std::bit_cast<std::uint64_t>(v);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      h = z ^ (z >> 31);
+    }
+  }
+  return h;
+}
+
+const gnn::BatchedGraphFeatures& ReinforceTrainer::batched_features() {
+  if (!batched_built_) {
+    std::vector<const gnn::GraphFeatures*> parts;
+    parts.reserve(contexts_.size());
+    for (const GraphContext& ctx : contexts_) parts.push_back(&ctx.features);
+    batched_ = gnn::batch_features(parts);
+    batched_built_ = true;
+  }
+  return batched_;
+}
+
 void ReinforceTrainer::seed_metis_guidance() {
   // For every training graph: run the multilevel partitioner as Metis would,
   // treat its device groups as a coarsening, and recover an edge-collapse
@@ -88,25 +117,83 @@ EpochStats ReinforceTrainer::train_epoch() {
   // drawn on the main thread so results never depend on worker scheduling.
   const std::uint64_t epoch_seed = rng_();
 
-  // 1. Sample on-policy masks for every graph from the epoch-start policy
-  // (one no-grad logits pass per graph), then evaluate all graph × sample
-  // pairs in a single parallel_for: the per-graph sample count alone is
-  // often too small to fill the pool.
+  // 1. Sample on-policy masks for every graph from the epoch-start policy,
+  // then evaluate all graph × sample pairs in a single parallel_for: the
+  // per-graph sample count alone is often too small to fill the pool.
+  //
+  // With batched_forward the epoch-start logits come from ONE block-diagonal
+  // encoder forward over every context (sliced per graph by edge offset);
+  // otherwise each graph runs its own no-grad forward inside the
+  // parallel_for. Both paths produce bit-identical logits, and the
+  // derive_seed streams make the sampled masks identical too.
   std::vector<std::vector<gnn::EdgeMask>> masks(num_graphs);
-  pool().parallel_for(num_graphs, [&](std::size_t gi) {
+  if (cfg_.batched_forward) {
     nn::NoGradGuard no_grad;
-    const nn::Tensor logit_tensor = policy_.logits(contexts_[gi].features);
-    masks[gi].reserve(samples);
-    for (std::size_t s = 0; s < samples; ++s) {
-      Rng sample_rng(derive_seed(epoch_seed, gi * samples + s));
-      masks[gi].push_back(policy_.sample(logit_tensor.value(), sample_rng));
+    const gnn::BatchedGraphFeatures& batch = batched_features();
+    // Parameters are untouched between the previous epoch's greedy pass and
+    // this sampling pass, so the carried greedy-pass logits are exactly what
+    // this forward would recompute; the fingerprint check catches any
+    // out-of-band parameter edit and forces a fresh forward.
+    if (!logits_carry_valid_ || carry_fingerprint_ != params_fingerprint()) {
+      logits_carry_ = policy_.logits(batch.merged).value();
     }
-  });
+    const std::vector<double>& batched_vals = logits_carry_;
+    pool().parallel_for(num_graphs, [&](std::size_t gi) {
+      const std::vector<double> vals = gnn::logit_slice(batched_vals, batch, gi);
+      masks[gi].reserve(samples);
+      for (std::size_t s = 0; s < samples; ++s) {
+        Rng sample_rng(derive_seed(epoch_seed, gi * samples + s));
+        masks[gi].push_back(policy_.sample(vals, sample_rng));
+      }
+    });
+  } else {
+    pool().parallel_for(num_graphs, [&](std::size_t gi) {
+      nn::NoGradGuard no_grad;
+      const nn::Tensor logit_tensor = policy_.logits(contexts_[gi].features);
+      masks[gi].reserve(samples);
+      for (std::size_t s = 0; s < samples; ++s) {
+        Rng sample_rng(derive_seed(epoch_seed, gi * samples + s));
+        masks[gi].push_back(policy_.sample(logit_tensor.value(), sample_rng));
+      }
+    });
+  }
 
+  // Dedup identical sampled masks per graph before fanning out: duplicates
+  // (common once the policy sharpens) reuse the canonical episode instead of
+  // becoming redundant parallel_for jobs. Computed sequentially on the main
+  // thread, so it is deterministic and thread-count independent.
   std::vector<Episode> episodes(num_graphs * samples);
-  pool().parallel_for(episodes.size(), [&](std::size_t idx) {
+  std::vector<std::size_t> canonical(episodes.size());
+  std::vector<std::size_t> unique_jobs;
+  unique_jobs.reserve(episodes.size());
+  for (std::size_t gi = 0; gi < num_graphs; ++gi) {
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> seen;  // hash -> sample idx
+    for (std::size_t s = 0; s < samples; ++s) {
+      const std::size_t idx = gi * samples + s;
+      std::vector<std::size_t>& bucket = seen[hash_mask(masks[gi][s])];
+      std::size_t canon = idx;
+      for (const std::size_t prev : bucket) {
+        if (masks[gi][prev] == masks[gi][s]) {
+          canon = gi * samples + prev;
+          break;
+        }
+      }
+      canonical[idx] = canon;
+      if (canon == idx) {
+        bucket.push_back(s);
+        unique_jobs.push_back(idx);
+      } else {
+        ++stats.dedup_hits;
+      }
+    }
+  }
+  pool().parallel_for(unique_jobs.size(), [&](std::size_t k) {
+    const std::size_t idx = unique_jobs[k];
     episodes[idx] = run_episode(contexts_[idx / samples], masks[idx / samples][idx % samples]);
   });
+  for (std::size_t idx = 0; idx < episodes.size(); ++idx) {
+    if (canonical[idx] != idx) episodes[idx] = episodes[canonical[idx]];
+  }
 
   // 2. Sequential per-graph policy updates in shuffled order (one optimizer
   // step per graph, as before; masks come from the epoch-start policy).
@@ -130,13 +217,22 @@ EpochStats ReinforceTrainer::train_epoch() {
     baseline /= static_cast<double>(batch.size());
 
     nn::Tensor logit_tensor = policy_.logits(ctx.features);  // grads recorded
-    nn::Tensor loss = nn::Tensor::scalar(0.0);
+    // Policy-gradient loss through the fused masked_logprob_sum kernel:
+    //   (1/|batch|) Σ_j (-advantage_j) Σ_i log p(mask_j[i] | logit_i)
+    // bit-identical to the former add(loss, scale(log_prob(...))) chain.
+    std::vector<std::vector<int>> update_masks;
+    std::vector<double> coeffs;
+    update_masks.reserve(batch.size());
+    coeffs.reserve(batch.size());
     for (const Episode& ep : batch) {
       const double advantage = ep.reward - baseline;
       if (std::abs(advantage) < 1e-12) continue;
-      loss = nn::add(loss, nn::scale(policy_.log_prob(logit_tensor, ep.mask), -advantage));
+      update_masks.push_back(ep.mask);
+      coeffs.push_back(-advantage);
     }
-    loss = nn::scale(loss, 1.0 / static_cast<double>(batch.size()));
+    nn::Tensor loss =
+        nn::masked_logprob_sum(logit_tensor, std::move(update_masks), std::move(coeffs),
+                               1.0 / static_cast<double>(batch.size()));
     if (cfg_.entropy_bonus > 0.0) {
       loss = nn::sub(loss, nn::scale(nn::mean(nn::bernoulli_entropy(logit_tensor)),
                                      cfg_.entropy_bonus));
@@ -157,18 +253,37 @@ EpochStats ReinforceTrainer::train_epoch() {
   stats.mean_best_reward /= n;
   stats.mean_loss /= n;
 
-  // 3. Greedy evaluation on the training graphs (cheap health signal). One
-  // logits pass per context yields both the greedy reward and the
-  // compression ratio; once the policy stabilises the greedy mask repeats
-  // across epochs and this becomes a pure cache hit.
+  // 3. Greedy evaluation on the training graphs (cheap health signal). With
+  // batched_forward the end-of-epoch logits again come from one
+  // block-diagonal forward; either way a single logits pass per context
+  // yields both the greedy reward and the compression ratio. Once the policy
+  // stabilises the greedy mask repeats across epochs and this becomes a pure
+  // cache hit.
   std::vector<double> greedy_reward(num_graphs), greedy_compression(num_graphs);
-  pool().parallel_for(num_graphs, [&](std::size_t i) {
+  if (cfg_.batched_forward) {
     nn::NoGradGuard no_grad;
-    const nn::Tensor logit_tensor = policy_.logits(contexts_[i].features);
-    const Episode ep = run_episode(contexts_[i], policy_.greedy(logit_tensor.value()));
-    greedy_reward[i] = ep.reward;
-    greedy_compression[i] = ep.compression;
-  });
+    const gnn::BatchedGraphFeatures& batch = batched_features();
+    // Carry these post-update logits into the next epoch's sampling pass
+    // (parameters will not change in between).
+    logits_carry_ = policy_.logits(batch.merged).value();
+    logits_carry_valid_ = true;
+    carry_fingerprint_ = params_fingerprint();
+    const std::vector<double>& batched_vals = logits_carry_;
+    pool().parallel_for(num_graphs, [&](std::size_t i) {
+      const std::vector<double> vals = gnn::logit_slice(batched_vals, batch, i);
+      const Episode ep = run_episode(contexts_[i], policy_.greedy(vals));
+      greedy_reward[i] = ep.reward;
+      greedy_compression[i] = ep.compression;
+    });
+  } else {
+    pool().parallel_for(num_graphs, [&](std::size_t i) {
+      nn::NoGradGuard no_grad;
+      const nn::Tensor logit_tensor = policy_.logits(contexts_[i].features);
+      const Episode ep = run_episode(contexts_[i], policy_.greedy(logit_tensor.value()));
+      greedy_reward[i] = ep.reward;
+      greedy_compression[i] = ep.compression;
+    });
+  }
   for (std::size_t i = 0; i < num_graphs; ++i) {
     stats.mean_greedy_reward += greedy_reward[i];
     stats.mean_compression += greedy_compression[i];
@@ -195,8 +310,9 @@ std::vector<double> ReinforceTrainer::evaluate(const gnn::CoarseningPolicy& poli
     rewards[i] = contexts[i].simulator.relative_throughput(p);
   };
   if (pool != nullptr) {
+    // parallel_for blocks until every task has run (asserted by
+    // ThreadPool.ParallelForBlocksUntilComplete), so no extra wait() here.
     pool->parallel_for(contexts.size(), eval_one);
-    pool->wait();
   } else {
     for (std::size_t i = 0; i < contexts.size(); ++i) eval_one(i);
   }

@@ -32,6 +32,12 @@ struct TrainerConfig {
   /// Memoize evaluate_mask per context (see episode_cache.hpp). Off
   /// re-evaluates every mask from scratch — only useful for A/B perf runs.
   bool episode_cache = true;
+  /// Run the epoch-start sampling pass and the greedy health pass as a single
+  /// block-diagonal encoder forward over all contexts (see
+  /// gnn::BatchedGraphFeatures) instead of one forward per graph. Logits —
+  /// and therefore every epoch statistic — are bit-identical either way; off
+  /// is only useful for A/B perf runs.
+  bool batched_forward = true;
   /// Pool for mask evaluation fan-out; nullptr = ThreadPool::global(). Epoch
   /// stats are identical for any pool size at a fixed seed.
   ThreadPool* pool = nullptr;
@@ -45,6 +51,10 @@ struct EpochStats {
   double mean_loss = 0.0;
   std::uint64_t cache_hits = 0;    ///< episode-cache hits this epoch
   std::uint64_t cache_misses = 0;  ///< episode-cache misses (fresh evaluations)
+  /// Sampled masks that duplicated an earlier sample of the same graph this
+  /// epoch and were deduplicated before evaluation (the duplicate reuses the
+  /// canonical episode instead of becoming a parallel_for job).
+  std::uint64_t dedup_hits = 0;
 };
 
 class ReinforceTrainer {
@@ -72,6 +82,13 @@ private:
   /// cfg_.episode_cache is on.
   Episode run_episode(const GraphContext& ctx, const gnn::EdgeMask& mask) const;
   ThreadPool& pool() const;
+  /// Lazily packs all contexts into one block-diagonal batch (features are
+  /// per-graph constants, so this is built once and reused every epoch; the
+  /// borrowed contexts must not be reshaped while the trainer lives).
+  const gnn::BatchedGraphFeatures& batched_features();
+  /// Order-dependent hash over every policy parameter value; guards the
+  /// cross-epoch logit carry below against out-of-band parameter edits.
+  std::uint64_t params_fingerprint() const;
 
   gnn::CoarseningPolicy& policy_;
   std::vector<GraphContext>& contexts_;
@@ -80,6 +97,17 @@ private:
   SampleBuffer buffer_;
   nn::Adam optimizer_;
   Rng rng_;
+  gnn::BatchedGraphFeatures batched_;
+  bool batched_built_ = false;
+  /// Batched logits carried from the previous epoch's greedy pass. Parameters
+  /// do not change between the end of epoch e and the start of epoch e+1, so
+  /// the next sampling pass reuses these values instead of rerunning the
+  /// encoder — halving actor-side forwards in steady state, bit-identically.
+  /// Only the batched path carries; validity is re-checked against
+  /// params_fingerprint() so external parameter edits force a fresh forward.
+  std::vector<double> logits_carry_;
+  bool logits_carry_valid_ = false;
+  std::uint64_t carry_fingerprint_ = 0;
 };
 
 }  // namespace sc::rl

@@ -130,19 +130,24 @@ sim::Placement allocate_with_policy_best_of(const gnn::CoarseningPolicy& policy,
     masks.push_back(policy.sample(logit_tensor.value(), rng));
   }
 
-  sim::Placement best;
-  double best_tp = -1.0;
-  for (const gnn::EdgeMask& mask : masks) {
-    const graph::Coarsening c =
-        gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, mask);
-    sim::Placement p = placer(c, ctx.simulator);
-    const double tp = ctx.simulator.throughput(p);
-    if (tp > best_tp) {
-      best_tp = tp;
-      best = std::move(p);
+  // Score every candidate through the context's episode cache (reward is
+  // relative throughput — absolute throughput divided by a per-context
+  // constant — so the argmax and its strict-greater/first-wins tie-breaking
+  // are unchanged), then contract and place only the winner. Repeated masks
+  // (the greedy mask in particular, and any mask seen during training on
+  // this context) cost a hash lookup instead of a simulation.
+  std::size_t best_i = 0;
+  double best_reward = -1.0;
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    const Episode ep = evaluate_mask_cached(ctx, masks[i], placer);
+    if (ep.reward > best_reward) {
+      best_reward = ep.reward;
+      best_i = i;
     }
   }
-  return best;
+  const graph::Coarsening c =
+      gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, masks[best_i]);
+  return placer(c, ctx.simulator);
 }
 
 }  // namespace sc::rl

@@ -82,6 +82,11 @@ sim::Placement allocate_with_policy(const gnn::CoarseningPolicy& policy,
 /// masks through the simulator and returns the highest-throughput placement.
 /// Deployment-legal whenever the simulator is available offline (the paper's
 /// setting); trades ~k× inference cost for extra quality.
+///
+/// Candidates are scored through ctx.cache (see evaluate_mask_cached) and
+/// only the winning mask is contracted and placed again, which assumes the
+/// placer is deterministic — true for all built-in placers. A repeated mask
+/// (e.g. the greedy mask across calls) costs a hash lookup, not a simulation.
 sim::Placement allocate_with_policy_best_of(const gnn::CoarseningPolicy& policy,
                                             const GraphContext& ctx,
                                             const CoarsePlacer& placer,

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace sc {
@@ -25,6 +27,19 @@ TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(257);
   pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForBlocksUntilComplete) {
+  // parallel_for is a barrier: it must not return before every task ran.
+  // Callers (e.g. ReinforceTrainer::evaluate) rely on this and do not issue
+  // a separate wait() afterwards.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  pool.parallel_for(64, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 64);
 }
 
 TEST(ThreadPool, ParallelForZeroIsNoop) {

@@ -1,0 +1,148 @@
+// Block-diagonal batching: one forward over batch_features(...) must
+// reproduce the per-graph logits exactly, across generator topologies.
+#include "gnn/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/generator.hpp"
+#include "gnn/policy.hpp"
+#include "graph/rates.hpp"
+
+namespace sc::gnn {
+namespace {
+
+sim::ClusterSpec spec_from(const gen::WorkloadConfig& wl) {
+  sim::ClusterSpec s;
+  s.num_devices = wl.num_devices;
+  s.device_mips = wl.device_mips;
+  s.bandwidth = wl.bandwidth;
+  s.source_rate = wl.source_rate;
+  return s;
+}
+
+std::vector<GraphFeatures> features_for(const gen::GeneratorConfig& cfg,
+                                        std::size_t count, std::uint64_t seed) {
+  const auto graphs = gen::generate_graphs(cfg, count, seed);
+  std::vector<GraphFeatures> fs;
+  fs.reserve(graphs.size());
+  for (const auto& g : graphs) {
+    const auto profile = graph::compute_load_profile(g);
+    fs.push_back(extract_features(g, profile, spec_from(cfg.workload)));
+  }
+  return fs;
+}
+
+gen::GeneratorConfig topo(double p_linear, double p_branch, double p_full) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 15;
+  cfg.topology.max_nodes = 30;
+  cfg.topology.p_linear = p_linear;
+  cfg.topology.p_branch = p_branch;
+  cfg.topology.p_full = p_full;
+  cfg.workload.num_devices = 4;
+  return cfg;
+}
+
+void expect_batched_matches_per_graph(const std::vector<GraphFeatures>& fs) {
+  std::vector<const GraphFeatures*> parts;
+  for (const GraphFeatures& f : fs) parts.push_back(&f);
+  const BatchedGraphFeatures b = batch_features(parts);
+  ASSERT_EQ(b.num_graphs(), fs.size());
+
+  const CoarseningPolicy policy{PolicyConfig{}};
+  nn::NoGradGuard no_grad;
+  const nn::Tensor batched = policy.logits(b.merged);
+  ASSERT_EQ(batched.size(), b.edge_offset.back());
+
+  for (std::size_t gi = 0; gi < fs.size(); ++gi) {
+    const nn::Tensor solo = policy.logits(fs[gi]);
+    const std::vector<double> slice = logit_slice(batched.value(), b, gi);
+    ASSERT_EQ(slice.size(), solo.size()) << "graph " << gi;
+    for (std::size_t e = 0; e < slice.size(); ++e) {
+      EXPECT_EQ(slice[e], solo.value()[e]) << "graph " << gi << " edge " << e;
+    }
+  }
+}
+
+TEST(BatchedFeatures, MatchesPerGraphOnLinearTopology) {
+  expect_batched_matches_per_graph(features_for(topo(1.0, 0.0, 0.0), 4, 41));
+}
+
+TEST(BatchedFeatures, MatchesPerGraphOnBranchTopology) {
+  expect_batched_matches_per_graph(features_for(topo(0.0, 1.0, 0.0), 4, 43));
+}
+
+TEST(BatchedFeatures, MatchesPerGraphOnFullyConnectedTopology) {
+  expect_batched_matches_per_graph(features_for(topo(0.0, 0.0, 1.0), 4, 47));
+}
+
+TEST(BatchedFeatures, MatchesPerGraphOnMixedTopology) {
+  // The paper's default mixture, several sizes in one batch.
+  expect_batched_matches_per_graph(features_for(topo(0.45, 0.45, 0.10), 6, 53));
+}
+
+TEST(BatchedFeatures, OffsetsDescribeTheBatch) {
+  const auto fs = features_for(topo(0.45, 0.45, 0.10), 3, 59);
+  std::vector<const GraphFeatures*> parts;
+  for (const GraphFeatures& f : fs) parts.push_back(&f);
+  const BatchedGraphFeatures b = batch_features(parts);
+
+  ASSERT_EQ(b.node_offset.size(), 4u);
+  ASSERT_EQ(b.edge_offset.size(), 4u);
+  EXPECT_EQ(b.node_offset[0], 0u);
+  EXPECT_EQ(b.edge_offset[0], 0u);
+  for (std::size_t gi = 0; gi < fs.size(); ++gi) {
+    EXPECT_EQ(b.node_offset[gi + 1] - b.node_offset[gi], fs[gi].node.rows());
+    EXPECT_EQ(b.num_edges(gi), fs[gi].edge_src.size());
+  }
+  EXPECT_EQ(b.merged.node.rows(), b.node_offset.back());
+  EXPECT_EQ(b.merged.edge_src.size(), b.edge_offset.back());
+  // Every merged edge stays inside its graph's node block.
+  for (std::size_t gi = 0; gi < fs.size(); ++gi) {
+    for (std::size_t e = b.edge_offset[gi]; e < b.edge_offset[gi + 1]; ++e) {
+      EXPECT_GE(b.merged.edge_src[e], b.node_offset[gi]);
+      EXPECT_LT(b.merged.edge_src[e], b.node_offset[gi + 1]);
+      EXPECT_GE(b.merged.edge_dst[e], b.node_offset[gi]);
+      EXPECT_LT(b.merged.edge_dst[e], b.node_offset[gi + 1]);
+    }
+  }
+}
+
+TEST(BatchedFeatures, SkipsEdgelessPlaceholderRows) {
+  // An edgeless graph carries a 1-row zero edge tensor (extract_features
+  // convention); batching must contribute zero edge rows for it.
+  GraphFeatures edgeless;
+  edgeless.node = nn::Tensor::from(std::vector<double>(2 * kNodeFeatureDim, 0.5),
+                                   {2, kNodeFeatureDim});
+  edgeless.edge =
+      nn::Tensor::from(std::vector<double>(kEdgeFeatureDim, 0.0), {1, kEdgeFeatureDim});
+
+  const auto fs = features_for(topo(1.0, 0.0, 0.0), 1, 61);
+  const BatchedGraphFeatures b = batch_features({&edgeless, &fs[0]});
+
+  EXPECT_EQ(b.num_edges(0), 0u);
+  EXPECT_EQ(b.num_edges(1), fs[0].edge_src.size());
+  EXPECT_EQ(b.merged.edge.rows(), fs[0].edge_src.size());
+  EXPECT_EQ(b.merged.node.rows(), 2 + fs[0].node.rows());
+  // The real graph's edges are shifted past the edgeless graph's nodes.
+  for (const std::size_t s : b.merged.edge_src) EXPECT_GE(s, 2u);
+}
+
+TEST(BatchedFeatures, AllEdgelessKeepsPlaceholder) {
+  GraphFeatures a, c;
+  a.node = nn::Tensor::from(std::vector<double>(kNodeFeatureDim, 0.1), {1, kNodeFeatureDim});
+  a.edge = nn::Tensor::from(std::vector<double>(kEdgeFeatureDim, 0.0), {1, kEdgeFeatureDim});
+  c.node = nn::Tensor::from(std::vector<double>(2 * kNodeFeatureDim, 0.2),
+                            {2, kNodeFeatureDim});
+  c.edge = nn::Tensor::from(std::vector<double>(kEdgeFeatureDim, 0.0), {1, kEdgeFeatureDim});
+
+  const BatchedGraphFeatures b = batch_features({&a, &c});
+  EXPECT_EQ(b.edge_offset.back(), 0u);
+  EXPECT_EQ(b.merged.edge.rows(), 1u);  // extract_features' placeholder shape
+  EXPECT_TRUE(b.merged.edge_src.empty());
+}
+
+}  // namespace
+}  // namespace sc::gnn

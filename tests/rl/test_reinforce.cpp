@@ -138,6 +138,9 @@ TEST(Reinforce, EpochStatsIdenticalAcrossThreadCounts) {
     // first-touches of one mask both count as misses).
     EXPECT_EQ(a[e].cache_hits + a[e].cache_misses,
               b[e].cache_hits + b[e].cache_misses);
+    // Mask dedup runs sequentially on the main thread, so its count is
+    // exactly thread-count invariant.
+    EXPECT_EQ(a[e].dedup_hits, b[e].dedup_hits);
   }
 }
 
