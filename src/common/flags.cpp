@@ -1,6 +1,8 @@
 #include "common/flags.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -63,6 +65,46 @@ bool Flags::get_bool(const std::string& name, bool fallback) const {
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   SC_CHECK(false, "flag --" << name << " expects a boolean, got '" << v << "'");
   return fallback;
+}
+
+namespace {
+
+/// Plain Levenshtein distance, for "did you mean" suggestions.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+void Flags::check_unknown(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) != known.end()) continue;
+
+    std::string suggestion;
+    std::size_t best = 3;  // only suggest within edit distance 2
+    for (const std::string& k : known) {
+      const std::size_t d = edit_distance(name, k);
+      if (d < best) {
+        best = d;
+        suggestion = k;
+      }
+    }
+    std::ostringstream os;
+    os << "unknown flag --" << name;
+    if (!suggestion.empty()) os << " (did you mean --" << suggestion << "?)";
+    SC_CHECK(false, os.str());
+  }
 }
 
 std::size_t configure_threads_from_flags(const Flags& flags) {

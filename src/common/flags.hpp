@@ -6,6 +6,10 @@
 //
 // Accepts --name=value, --name value, and bare --name for booleans.
 // Unknown positional arguments are kept in positional().
+//
+// Tools should declare their known flags and call check_unknown() before
+// reading any value: a typo'd flag (--epoch for --epochs) then exits with a
+// usage error instead of silently training with defaults.
 #pragma once
 
 #include <map>
@@ -24,6 +28,10 @@ public:
   long get_int(const std::string& name, long fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Throws sc::Error if any parsed --flag is not in `known`, naming the
+  /// offender and suggesting the closest known flag (edit distance ≤ 2).
+  void check_unknown(const std::vector<std::string>& known) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -29,6 +29,17 @@ public:
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
 
+  /// Raw xoshiro256** state, for checkpointing. Restoring via set_state()
+  /// resumes the exact stream: the next operator() call returns the same
+  /// value it would have in the original generator.
+  using State = std::array<std::uint64_t, 4>;
+  const State& state() const { return state_; }
+  void set_state(const State& s) {
+    SC_CHECK(s[0] != 0 || s[1] != 0 || s[2] != 0 || s[3] != 0,
+             "xoshiro256** state must not be all-zero");
+    state_ = s;
+  }
+
   /// Re-initialise the state from a single 64-bit seed via SplitMix64.
   void reseed(std::uint64_t seed) {
     for (auto& s : state_) {

@@ -26,11 +26,39 @@ CoarsenPartitionFramework::CoarsenPartitionFramework(const FrameworkOptions& opt
 std::vector<rl::EpochStats> CoarsenPartitionFramework::train(
     const std::vector<graph::StreamGraph>& graphs, const sim::ClusterSpec& spec,
     std::size_t epochs) {
+  return train(graphs, spec, epochs, TrainCheckpointOptions{});
+}
+
+std::vector<rl::EpochStats> CoarsenPartitionFramework::train(
+    const std::vector<graph::StreamGraph>& graphs, const sim::ClusterSpec& spec,
+    std::size_t epochs, const TrainCheckpointOptions& ckpt) {
   auto contexts = rl::make_contexts(graphs, spec);
-  rl::ReinforceTrainer trainer(policy_, contexts, placer_, options_.trainer);
+
+  const bool resuming = !ckpt.resume_path.empty();
+  rl::TrainerConfig trainer_cfg = options_.trainer;
+  // The restored buffer already contains the guidance episodes' outcome (or
+  // whatever displaced them), so re-seeding on resume would only waste work
+  // before being overwritten by import_state.
+  if (resuming) trainer_cfg.metis_guidance = false;
+
+  rl::ReinforceTrainer trainer(policy_, contexts, placer_, trainer_cfg);
+  if (resuming) trainer.import_state(rl::load_trainer_state(ckpt.resume_path));
+
+  const std::size_t start = static_cast<std::size_t>(trainer.epochs_completed());
+  SC_CHECK(start <= epochs, "checkpoint already covers " << start << " epochs, run asked for "
+                                                         << epochs << " total");
+  const std::size_t save_every = ckpt.save_every == 0 ? 1 : ckpt.save_every;
+
   std::vector<rl::EpochStats> stats;
-  stats.reserve(epochs);
-  for (std::size_t e = 0; e < epochs; ++e) stats.push_back(trainer.train_epoch());
+  stats.reserve(epochs - start);
+  for (std::size_t e = start; e < epochs; ++e) {
+    stats.push_back(trainer.train_epoch());
+    if (!ckpt.checkpoint_path.empty() &&
+        ((e + 1 - start) % save_every == 0 || e + 1 == epochs)) {
+      rl::save_trainer_state(ckpt.checkpoint_path, trainer.export_state());
+    }
+    if (ckpt.on_epoch) ckpt.on_epoch(e, stats.back());
+  }
   return stats;
 }
 

@@ -9,12 +9,14 @@
 // plus checkpointing and fine-tuning for transfer (Fig. 6).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "gnn/policy.hpp"
 #include "rl/curriculum.hpp"
 #include "rl/reinforce.hpp"
+#include "rl/trainer_state.hpp"
 
 namespace sc::core {
 
@@ -27,6 +29,25 @@ struct FrameworkOptions {
   PlacerKind placer = PlacerKind::Metis;
 };
 
+/// Crash-safe checkpointing for a training run (DESIGN.md §6).
+struct TrainCheckpointOptions {
+  /// Trainer-state file to publish atomically during training; empty
+  /// disables periodic checkpointing.
+  std::string checkpoint_path;
+  /// Publish a checkpoint every N completed epochs (and always after the
+  /// final epoch when checkpoint_path is set). 0 behaves like 1.
+  std::size_t save_every = 1;
+  /// Trainer-state file to restore before the first epoch. Training resumes
+  /// at the checkpoint's epoch counter and replays the exact trajectory of
+  /// an uninterrupted run (Metis guidance seeding is skipped: the restored
+  /// buffer already contains its outcome).
+  std::string resume_path;
+  /// Invoked after each completed epoch (after the checkpoint, if any, has
+  /// been published) with the global epoch index. Used by tools for live
+  /// progress output and by fault-injection tests to kill mid-run.
+  std::function<void(std::size_t, const rl::EpochStats&)> on_epoch;
+};
+
 class CoarsenPartitionFramework {
 public:
   explicit CoarsenPartitionFramework(const FrameworkOptions& options = {});
@@ -35,6 +56,15 @@ public:
   /// cluster configuration. Returns per-epoch statistics.
   std::vector<rl::EpochStats> train(const std::vector<graph::StreamGraph>& graphs,
                                     const sim::ClusterSpec& spec, std::size_t epochs);
+
+  /// Checkpoint-aware variant: optionally resumes from a trainer-state file
+  /// and/or publishes one atomically every `ckpt.save_every` epochs. `epochs`
+  /// is the TOTAL epoch count for the run: resuming a 16-epoch run from an
+  /// epoch-10 checkpoint trains 6 more epochs. Returns stats for the epochs
+  /// actually run in this process.
+  std::vector<rl::EpochStats> train(const std::vector<graph::StreamGraph>& graphs,
+                                    const sim::ClusterSpec& spec, std::size_t epochs,
+                                    const TrainCheckpointOptions& ckpt);
 
   /// Trains through a graph-size curriculum (Sec. IV-C).
   std::vector<rl::LevelReport> train_curriculum(std::vector<rl::CurriculumLevel>& levels);

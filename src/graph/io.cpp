@@ -140,7 +140,10 @@ void save_graphs(const std::string& path, const std::vector<StreamGraph>& graphs
   SC_CHECK(os.good(), "cannot open '" << path << "' for writing");
   os << "# streamcoarsen dataset: " << graphs.size() << " graphs\n";
   for (const StreamGraph& g : graphs) write_graph(os, g);
-  SC_CHECK(os.good(), "write to '" << path << "' failed");
+  // Flush before checking: a disk-full/permission error on buffered data
+  // would otherwise only surface in the destructor, where it is swallowed.
+  os.flush();
+  SC_CHECK(os.good(), "write to '" << path << "' failed (disk full or I/O error?)");
 }
 
 std::vector<StreamGraph> load_graphs(const std::string& path) {

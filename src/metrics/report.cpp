@@ -114,6 +114,10 @@ void write_series_csv(const std::string& path, const std::vector<Series>& series
   for (const Series& s : series) {
     for (const double v : s.values) os << s.name << ',' << v << '\n';
   }
+  // Flush before checking so buffered-write failures (disk full, quota)
+  // throw here instead of vanishing in the destructor.
+  os.flush();
+  SC_CHECK(os.good(), "write to '" << path << "' failed (disk full or I/O error?)");
 }
 
 }  // namespace sc::metrics

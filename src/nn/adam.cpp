@@ -58,4 +58,22 @@ void Adam::zero_grad() {
   for (Tensor& p : params_) p.zero_grad();
 }
 
+AdamState Adam::export_state() const { return AdamState{m_, v_, t_}; }
+
+void Adam::import_state(const AdamState& state) {
+  SC_CHECK(state.m.size() == params_.size() && state.v.size() == params_.size(),
+           "Adam state has " << state.m.size() << "/" << state.v.size()
+                             << " moment tensors, optimizer expects " << params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    SC_CHECK(state.m[i].size() == params_[i].size() && state.v[i].size() == params_[i].size(),
+             "Adam moment size mismatch at tensor " << i << " (checkpoint "
+                                                    << state.m[i].size() << ", model "
+                                                    << params_[i].size() << ")");
+  }
+  SC_CHECK(state.t >= 0, "Adam step counter must be non-negative, got " << state.t);
+  m_ = state.m;
+  v_ = state.v;
+  t_ = state.t;
+}
+
 }  // namespace sc::nn

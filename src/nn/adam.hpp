@@ -16,6 +16,15 @@ struct AdamConfig {
   double clip_norm = 5.0;  ///< 0 disables clipping
 };
 
+/// Full optimizer state for checkpointing: first/second moments per
+/// parameter tensor plus the step counter. Restoring this (together with the
+/// parameter values and RNG streams) resumes training bit-identically.
+struct AdamState {
+  std::vector<std::vector<double>> m;
+  std::vector<std::vector<double>> v;
+  long t = 0;
+};
+
 class Adam {
 public:
   explicit Adam(std::vector<Tensor> params, AdamConfig cfg = {});
@@ -31,6 +40,12 @@ public:
 
   const AdamConfig& config() const { return cfg_; }
   void set_lr(double lr) { cfg_.lr = lr; }
+
+  /// Snapshot of m/v/t for checkpointing.
+  AdamState export_state() const;
+
+  /// Restores a snapshot; shapes must match this optimizer's parameters.
+  void import_state(const AdamState& state);
 
 private:
   std::vector<Tensor> params_;

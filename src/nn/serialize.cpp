@@ -1,5 +1,7 @@
 #include "nn/serialize.hpp"
 
+#include <bit>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -10,6 +12,19 @@
 namespace sc::nn {
 
 void save_parameters(std::ostream& os, const std::vector<Tensor>& params) {
+  // Refuse non-finite values up front: the text format cannot represent them
+  // readably (operator>> rejects "inf"/"nan"), and a diverged model should
+  // fail loudly here rather than produce a checkpoint that later loads fail
+  // on with a misleading "truncated" error.
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    const Tensor& p = params[t];
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      SC_CHECK(std::isfinite(p.value()[i]),
+               "cannot save non-finite value " << p.value()[i] << " at element " << i
+                                               << " of tensor " << t << " (size " << p.size()
+                                               << ") — model has diverged");
+    }
+  }
   os << "scparams " << params.size() << '\n' << std::setprecision(17);
   for (const Tensor& p : params) {
     os << p.dim();
@@ -46,6 +61,8 @@ void save_parameters(const std::string& path, const std::vector<Tensor>& params)
   std::ofstream os(path);
   SC_CHECK(os.good(), "cannot open '" << path << "' for writing");
   save_parameters(os, params);
+  os.flush();
+  SC_CHECK(os.good(), "write to '" << path << "' failed (disk full or I/O error?)");
 }
 
 void load_parameters(const std::string& path, const std::vector<Tensor>& params) {
@@ -60,6 +77,36 @@ void copy_parameters(const std::vector<Tensor>& src, const std::vector<Tensor>& 
     SC_CHECK(src[i].shape() == dst[i].shape(), "parameter shape mismatch at index " << i);
     const_cast<Tensor&>(dst[i]).value() = src[i].value();
   }
+}
+
+std::string double_to_hex(double v) {
+  static const char* digits = "0123456789abcdef";
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[bits & 0xF];
+    bits >>= 4;
+  }
+  return out;
+}
+
+double double_from_hex(const std::string& hex) {
+  SC_CHECK(hex.size() == 16, "hex double must be 16 digits, got '" << hex << "'");
+  std::uint64_t bits = 0;
+  for (const char c : hex) {
+    std::uint64_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<std::uint64_t>(c - 'A') + 10;
+    } else {
+      SC_CHECK(false, "invalid hex double token '" << hex << "'");
+    }
+    bits = (bits << 4) | nibble;
+  }
+  return std::bit_cast<double>(bits);
 }
 
 }  // namespace sc::nn

@@ -1,7 +1,9 @@
 // Model checkpointing: saves/loads a module's parameter list to a text file
-// (shape-checked on load, full double precision).
+// (shape-checked on load, full double precision), plus the hex-exact double
+// encoding shared with the trainer-state checkpoint format.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -10,6 +12,10 @@
 
 namespace sc::nn {
 
+/// Text parameter format ("scparams"). Finite values only: libstdc++'s
+/// operator>> cannot parse "inf"/"nan" back, so save_parameters refuses
+/// non-finite values with a diagnostic naming the offending tensor instead of
+/// writing a checkpoint that load_parameters would later reject as truncated.
 void save_parameters(std::ostream& os, const std::vector<Tensor>& params);
 void load_parameters(std::istream& is, const std::vector<Tensor>& params);
 
@@ -19,5 +25,15 @@ void load_parameters(const std::string& path, const std::vector<Tensor>& params)
 /// Copies parameter values from src to dst (shapes must match). Used for
 /// curriculum fine-tuning (warm start from a smaller level's checkpoint).
 void copy_parameters(const std::vector<Tensor>& src, const std::vector<Tensor>& dst);
+
+/// Hex-exact double encoding: the IEEE-754 bit pattern as 16 lowercase hex
+/// digits. Round-trips every value bit-perfectly — ±inf, nan payloads, -0.0,
+/// denormals, DBL_MAX — unlike decimal text. Used by the trainer-state
+/// checkpoint format (rl/trainer_state.hpp).
+std::string double_to_hex(double v);
+
+/// Parses a 16-hex-digit token produced by double_to_hex. Throws sc::Error on
+/// malformed input.
+double double_from_hex(const std::string& hex);
 
 }  // namespace sc::nn

@@ -49,6 +49,18 @@ double SampleBuffer::best_reward(std::size_t graph_index) const {
   return entries_[graph_index].empty() ? 0.0 : entries_[graph_index].front().reward;
 }
 
+void SampleBuffer::restore(std::vector<std::vector<Episode>> entries) {
+  SC_CHECK(entries.size() == entries_.size(),
+           "buffer restore has " << entries.size() << " graphs, trainer expects "
+                                 << entries_.size());
+  entries_ = std::move(entries);
+  for (auto& list : entries_) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const Episode& a, const Episode& b) { return a.reward > b.reward; });
+    if (list.size() > capacity_) list.resize(capacity_);
+  }
+}
+
 std::size_t SampleBuffer::size(std::size_t graph_index) const {
   SC_CHECK(graph_index < entries_.size(), "graph index out of range");
   return entries_[graph_index].size();

@@ -26,6 +26,14 @@ public:
 
   std::size_t size(std::size_t graph_index) const;
   std::size_t num_graphs() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Full contents (per graph, sorted by reward desc) — for checkpointing.
+  const std::vector<std::vector<Episode>>& entries() const { return entries_; }
+
+  /// Replaces the buffer contents wholesale (checkpoint restore). The graph
+  /// count must match; per-graph lists are re-sorted and trimmed to capacity.
+  void restore(std::vector<std::vector<Episode>> entries);
 
 private:
   std::vector<std::vector<Episode>> entries_;  // sorted by reward desc

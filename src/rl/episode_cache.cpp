@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "common/error.hpp"
+
 namespace sc::rl {
 
 namespace {
@@ -31,14 +33,21 @@ std::uint64_t hash_mask(const gnn::EdgeMask& mask) {
   return h;
 }
 
+EpisodeCache::EpisodeCache(std::size_t capacity) : capacity_(capacity) {
+  SC_CHECK(capacity_ > 0, "episode cache capacity must be positive");
+}
+
 std::optional<Episode> EpisodeCache::lookup(std::uint64_t key,
                                             const gnn::EdgeMask& mask) const {
   {
     std::shared_lock lock(mutex_);
     const auto it = entries_.find(key);
-    if (it != entries_.end() && it->second.mask == mask) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+    if (it != entries_.end()) {
+      if (it->second.mask == mask) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+      collisions_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -47,7 +56,22 @@ std::optional<Episode> EpisodeCache::lookup(std::uint64_t key,
 
 void EpisodeCache::insert(std::uint64_t key, Episode ep) {
   std::unique_lock lock(mutex_);
-  entries_[key] = std::move(ep);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Same key resident: overwrite in place (keeps its insertion slot). A
+    // differing mask is a genuine 64-bit collision — the resident entry is
+    // clobbered, but counted so it is observable.
+    if (it->second.mask != ep.mask) collisions_.fetch_add(1, std::memory_order_relaxed);
+    it->second = std::move(ep);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  entries_.emplace(key, std::move(ep));
+  order_.push_back(key);
 }
 
 std::size_t EpisodeCache::size() const {
@@ -58,8 +82,11 @@ std::size_t EpisodeCache::size() const {
 void EpisodeCache::clear() {
   std::unique_lock lock(mutex_);
   entries_.clear();
+  order_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  collisions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sc::rl

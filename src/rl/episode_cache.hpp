@@ -6,11 +6,19 @@
 // Keys are a 64-bit SplitMix-mixed hash of the packed mask bits. The full
 // mask is stored with each entry and compared on lookup, so a (vanishingly
 // unlikely) 64-bit collision reports a miss instead of returning a wrong
-// episode.
+// episode; colliding inserts clobber the resident entry and are counted in
+// collisions() so long runs can observe them instead of losing entries
+// silently.
+//
+// The cache is capacity-bounded (FIFO eviction by insertion order) so
+// long training runs cannot grow it without bound: a policy that keeps
+// exploring produces a stream of unique masks, and before the bound an
+// overnight run could accumulate gigabytes of dead entries per graph.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
@@ -25,24 +33,43 @@ std::uint64_t hash_mask(const gnn::EdgeMask& mask);
 
 class EpisodeCache {
 public:
+  /// Default per-graph entry bound. An epoch touches ~(samples + 1) unique
+  /// masks per graph, so 4096 covers ~1000 epochs of fresh exploration while
+  /// capping worst-case memory at a few MB per graph.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit EpisodeCache(std::size_t capacity = kDefaultCapacity);
+
   /// Returns the memoized episode for `mask` (keyed by `key = hash_mask(mask)`)
   /// or nullopt. Concurrent lookups take a shared lock only.
   std::optional<Episode> lookup(std::uint64_t key, const gnn::EdgeMask& mask) const;
 
   /// Records an evaluated episode (ep.mask must be the evaluated mask).
-  /// Concurrent inserts of the same mask overwrite with identical data.
+  /// Concurrent inserts of the same mask overwrite with identical data. At
+  /// capacity the oldest entry (insertion order) is evicted first.
   void insert(std::uint64_t key, Episode ep);
 
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Times a lookup or insert met a resident entry with the same 64-bit key
+  /// but a different mask (a true hash collision).
+  std::uint64_t collisions() const { return collisions_.load(std::memory_order_relaxed); }
+  std::uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
   void clear();
 
 private:
   mutable std::shared_mutex mutex_;
   std::unordered_map<std::uint64_t, Episode> entries_;
+  /// Live keys in insertion order; each live key appears exactly once
+  /// (overwrites of an existing key keep its original slot).
+  std::deque<std::uint64_t> order_;
+  std::size_t capacity_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> collisions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace sc::rl

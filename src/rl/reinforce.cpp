@@ -104,10 +104,11 @@ EpochStats ReinforceTrainer::train_epoch() {
   const std::size_t num_graphs = contexts_.size();
   const std::size_t samples = cfg_.on_policy_samples;
 
-  std::uint64_t hits_before = 0, misses_before = 0;
+  std::uint64_t hits_before = 0, misses_before = 0, collisions_before = 0;
   for (const GraphContext& ctx : contexts_) {
     hits_before += ctx.cache->hits();
     misses_before += ctx.cache->misses();
+    collisions_before += ctx.cache->collisions();
   }
 
   std::vector<std::size_t> order(num_graphs);
@@ -294,10 +295,57 @@ EpochStats ReinforceTrainer::train_epoch() {
   for (const GraphContext& ctx : contexts_) {
     stats.cache_hits += ctx.cache->hits();
     stats.cache_misses += ctx.cache->misses();
+    stats.cache_collisions += ctx.cache->collisions();
   }
   stats.cache_hits -= hits_before;
   stats.cache_misses -= misses_before;
+  stats.cache_collisions -= collisions_before;
+  ++epochs_completed_;
   return stats;
+}
+
+TrainerState ReinforceTrainer::export_state() const {
+  TrainerState state;
+  state.epochs_completed = epochs_completed_;
+  state.rng_state = rng_.state();
+  for (const nn::Tensor& p : policy_.parameters()) {
+    state.param_shapes.push_back(p.shape());
+    state.param_values.push_back(p.value());
+  }
+  state.adam = optimizer_.export_state();
+  state.buffer_capacity = buffer_.capacity();
+  state.buffer_entries = buffer_.entries();
+  return state;
+}
+
+void ReinforceTrainer::import_state(const TrainerState& state) {
+  // Validate everything against this trainer before mutating anything, so a
+  // mismatched checkpoint never applies partial state.
+  const std::vector<nn::Tensor> params = policy_.parameters();
+  SC_CHECK(state.param_values.size() == params.size(),
+           "trainer checkpoint has " << state.param_values.size() << " tensors, model expects "
+                                     << params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    SC_CHECK(state.param_shapes[i] == params[i].shape(),
+             "tensor " << i << " shape mismatch between trainer checkpoint and model");
+  }
+  SC_CHECK(state.buffer_entries.size() == contexts_.size(),
+           "trainer checkpoint covers " << state.buffer_entries.size()
+                                        << " graphs, trainer has " << contexts_.size());
+  SC_CHECK(state.buffer_capacity == buffer_.capacity(),
+           "trainer checkpoint buffer capacity " << state.buffer_capacity
+                                                 << " != configured capacity "
+                                                 << buffer_.capacity());
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const_cast<nn::Tensor&>(params[i]).value() = state.param_values[i];
+  }
+  optimizer_.import_state(state.adam);
+  rng_.set_state(state.rng_state);
+  buffer_.restore(state.buffer_entries);
+  epochs_completed_ = state.epochs_completed;
+  // Parameters changed out-of-band for the carry; force a fresh forward.
+  logits_carry_valid_ = false;
 }
 
 std::vector<double> ReinforceTrainer::evaluate(const gnn::CoarseningPolicy& policy,

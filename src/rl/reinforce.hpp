@@ -15,6 +15,7 @@
 #include "nn/adam.hpp"
 #include "rl/buffer.hpp"
 #include "rl/rollout.hpp"
+#include "rl/trainer_state.hpp"
 
 namespace sc::rl {
 
@@ -51,6 +52,9 @@ struct EpochStats {
   double mean_loss = 0.0;
   std::uint64_t cache_hits = 0;    ///< episode-cache hits this epoch
   std::uint64_t cache_misses = 0;  ///< episode-cache misses (fresh evaluations)
+  /// Episode-cache 64-bit hash collisions observed this epoch (a colliding
+  /// insert clobbers the resident entry; see EpisodeCache::collisions()).
+  std::uint64_t cache_collisions = 0;
   /// Sampled masks that duplicated an earlier sample of the same graph this
   /// epoch and were deduplicated before evaluation (the duplicate reuses the
   /// canonical episode instead of becoming a parallel_for job).
@@ -76,6 +80,21 @@ public:
   const SampleBuffer& buffer() const { return buffer_; }
   const TrainerConfig& config() const { return cfg_; }
 
+  /// Epochs this trainer has completed (including epochs restored via
+  /// import_state); drives resume bookkeeping in the framework and tools.
+  std::uint64_t epochs_completed() const { return epochs_completed_; }
+
+  /// Snapshot of everything that shapes future epochs: parameter values,
+  /// Adam moments/step, the trainer RNG stream, the epoch counter and the
+  /// best-sample buffer. Resuming from this snapshot replays the exact
+  /// learning trajectory of an uninterrupted run (see trainer_state.hpp).
+  TrainerState export_state() const;
+
+  /// Restores a snapshot into this trainer (and the borrowed policy). The
+  /// checkpoint must match the model architecture and the number of training
+  /// graphs; mismatches throw without applying partial state.
+  void import_state(const TrainerState& state);
+
 private:
   void seed_metis_guidance();
   /// evaluate_mask, memoized through the context's episode cache when
@@ -97,6 +116,7 @@ private:
   SampleBuffer buffer_;
   nn::Adam optimizer_;
   Rng rng_;
+  std::uint64_t epochs_completed_ = 0;
   gnn::BatchedGraphFeatures batched_;
   bool batched_built_ = false;
   /// Batched logits carried from the previous epoch's greedy pass. Parameters

@@ -1,0 +1,266 @@
+#include "rl/trainer_state.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "nn/serialize.hpp"
+
+namespace sc::rl {
+
+namespace {
+
+constexpr const char* kMagic = "sctrainer";
+constexpr const char* kEndMarker = "end";
+
+/// Reads one whitespace-delimited token; throws on EOF/stream failure with a
+/// message naming what was expected (truncated files fail here, loudly).
+std::string next_token(std::istream& is, const char* what) {
+  std::string tok;
+  is >> tok;
+  SC_CHECK(static_cast<bool>(is),
+           "truncated trainer checkpoint: expected " << what << ", hit end of stream");
+  return tok;
+}
+
+void expect_token(std::istream& is, const char* literal) {
+  const std::string tok = next_token(is, literal);
+  SC_CHECK(tok == literal, "malformed trainer checkpoint: expected '"
+                               << literal << "', got '" << tok << "'");
+}
+
+std::uint64_t read_u64(std::istream& is, const char* what) {
+  const std::string tok = next_token(is, what);
+  SC_CHECK(!tok.empty() && tok.find_first_not_of("0123456789") == std::string::npos,
+           "malformed trainer checkpoint: " << what << " must be a non-negative integer, got '"
+                                            << tok << "'");
+  try {
+    return std::stoull(tok);
+  } catch (const std::exception&) {
+    SC_CHECK(false, "malformed trainer checkpoint: " << what << " out of range: '" << tok << "'");
+  }
+  return 0;  // unreachable
+}
+
+double read_hex_double(std::istream& is, const char* what) {
+  return nn::double_from_hex(next_token(is, what));
+}
+
+std::uint64_t read_hex_u64(std::istream& is, const char* what) {
+  const std::string tok = next_token(is, what);
+  SC_CHECK(tok.size() == 16 && tok.find_first_not_of("0123456789abcdef") == std::string::npos,
+           "malformed trainer checkpoint: " << what << " must be 16 hex digits, got '" << tok
+                                            << "'");
+  return std::stoull(tok, nullptr, 16);
+}
+
+std::string u64_to_hex(std::uint64_t bits) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[bits & 0xF];
+    bits >>= 4;
+  }
+  return out;
+}
+
+void write_double_block(std::ostream& os, const std::vector<double>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << nn::double_to_hex(values[i]) << (i + 1 == values.size() ? '\n' : ' ');
+  }
+  if (values.empty()) os << '\n';
+}
+
+}  // namespace
+
+void write_trainer_state(std::ostream& os, const TrainerState& state) {
+  SC_CHECK(state.param_shapes.size() == state.param_values.size(),
+           "trainer state has " << state.param_shapes.size() << " shapes but "
+                                << state.param_values.size() << " value tensors");
+  os << kMagic << " v" << TrainerState::kVersion << '\n';
+  os << "epoch " << state.epochs_completed << '\n';
+  os << "rng";
+  for (const std::uint64_t s : state.rng_state) os << ' ' << u64_to_hex(s);
+  os << '\n';
+
+  os << "params " << state.param_values.size() << '\n';
+  for (std::size_t t = 0; t < state.param_values.size(); ++t) {
+    std::size_t expect = 1;
+    os << "tensor " << state.param_shapes[t].size();
+    for (const std::size_t d : state.param_shapes[t]) {
+      os << ' ' << d;
+      expect *= d;
+    }
+    os << '\n';
+    SC_CHECK(state.param_values[t].size() == expect,
+             "tensor " << t << " shape implies " << expect << " values, state holds "
+                       << state.param_values[t].size());
+    write_double_block(os, state.param_values[t]);
+  }
+
+  SC_CHECK(state.adam.m.size() == state.adam.v.size(),
+           "Adam state has " << state.adam.m.size() << " m tensors but " << state.adam.v.size()
+                             << " v tensors");
+  os << "adam " << state.adam.t << ' ' << state.adam.m.size() << '\n';
+  for (std::size_t t = 0; t < state.adam.m.size(); ++t) {
+    SC_CHECK(state.adam.m[t].size() == state.adam.v[t].size(),
+             "Adam moment size mismatch at tensor " << t);
+    os << "moments " << state.adam.m[t].size() << '\n';
+    write_double_block(os, state.adam.m[t]);
+    write_double_block(os, state.adam.v[t]);
+  }
+
+  os << "buffer " << state.buffer_entries.size() << ' ' << state.buffer_capacity << '\n';
+  for (const auto& list : state.buffer_entries) {
+    os << "graph " << list.size() << '\n';
+    for (const Episode& ep : list) {
+      os << "ep " << nn::double_to_hex(ep.reward) << ' ' << nn::double_to_hex(ep.compression)
+         << ' ' << ep.mask.size() << ' ';
+      for (const int b : ep.mask) os << (b != 0 ? '1' : '0');
+      os << '\n';
+    }
+  }
+
+  os << kEndMarker << ' ' << kMagic << '\n';
+  SC_CHECK(os.good(), "trainer checkpoint write failed");
+}
+
+TrainerState read_trainer_state(std::istream& is) {
+  TrainerState state;
+
+  const std::string magic = next_token(is, "magic header");
+  SC_CHECK(magic == kMagic,
+           "not a trainer checkpoint (bad magic '" << magic << "', expected '" << kMagic << "')");
+  const std::string version = next_token(is, "format version");
+  SC_CHECK(version.size() >= 2 && version[0] == 'v',
+           "malformed trainer checkpoint: bad version token '" << version << "'");
+  std::uint64_t v = 0;
+  {
+    const std::string digits = version.substr(1);
+    SC_CHECK(!digits.empty() && digits.find_first_not_of("0123456789") == std::string::npos,
+             "malformed trainer checkpoint: bad version token '" << version << "'");
+    v = std::stoull(digits);
+  }
+  SC_CHECK(v >= 1 && v <= TrainerState::kVersion,
+           "trainer checkpoint version " << v << " is not supported (this build reads up to v"
+                                         << TrainerState::kVersion << ")");
+
+  expect_token(is, "epoch");
+  state.epochs_completed = read_u64(is, "epoch counter");
+
+  expect_token(is, "rng");
+  for (auto& s : state.rng_state) s = read_hex_u64(is, "rng state word");
+
+  expect_token(is, "params");
+  const std::uint64_t num_params = read_u64(is, "parameter tensor count");
+  state.param_shapes.resize(num_params);
+  state.param_values.resize(num_params);
+  for (std::uint64_t t = 0; t < num_params; ++t) {
+    expect_token(is, "tensor");
+    const std::uint64_t dims = read_u64(is, "tensor rank");
+    SC_CHECK(dims <= 8, "implausible tensor rank " << dims << " in trainer checkpoint");
+    std::size_t size = 1;
+    state.param_shapes[t].resize(dims);
+    for (auto& d : state.param_shapes[t]) {
+      d = static_cast<std::size_t>(read_u64(is, "tensor dimension"));
+      SC_CHECK(d > 0 && size <= (1ULL << 32) / d,
+               "implausible tensor shape in trainer checkpoint");
+      size *= d;
+    }
+    state.param_values[t].resize(size);
+    for (double& x : state.param_values[t]) x = read_hex_double(is, "parameter value");
+  }
+
+  expect_token(is, "adam");
+  {
+    const std::string tok = next_token(is, "Adam step counter");
+    try {
+      state.adam.t = std::stol(tok);
+    } catch (const std::exception&) {
+      SC_CHECK(false, "malformed trainer checkpoint: bad Adam step counter '" << tok << "'");
+    }
+  }
+  const std::uint64_t num_moments = read_u64(is, "Adam moment tensor count");
+  state.adam.m.resize(num_moments);
+  state.adam.v.resize(num_moments);
+  for (std::uint64_t t = 0; t < num_moments; ++t) {
+    expect_token(is, "moments");
+    const std::uint64_t size = read_u64(is, "Adam moment size");
+    SC_CHECK(size <= (1ULL << 32), "implausible Adam moment size in trainer checkpoint");
+    state.adam.m[t].resize(size);
+    state.adam.v[t].resize(size);
+    for (double& x : state.adam.m[t]) x = read_hex_double(is, "Adam m value");
+    for (double& x : state.adam.v[t]) x = read_hex_double(is, "Adam v value");
+  }
+
+  expect_token(is, "buffer");
+  const std::uint64_t num_graphs = read_u64(is, "buffer graph count");
+  SC_CHECK(num_graphs <= (1ULL << 24), "implausible buffer graph count in trainer checkpoint");
+  state.buffer_capacity = static_cast<std::size_t>(read_u64(is, "buffer capacity"));
+  state.buffer_entries.resize(num_graphs);
+  for (auto& list : state.buffer_entries) {
+    expect_token(is, "graph");
+    const std::uint64_t count = read_u64(is, "buffer episode count");
+    SC_CHECK(count <= state.buffer_capacity,
+             "buffer list of " << count << " episodes exceeds capacity "
+                               << state.buffer_capacity);
+    list.resize(count);
+    for (Episode& ep : list) {
+      expect_token(is, "ep");
+      ep.reward = read_hex_double(is, "episode reward");
+      ep.compression = read_hex_double(is, "episode compression");
+      const std::uint64_t mask_len = read_u64(is, "episode mask length");
+      SC_CHECK(mask_len <= (1ULL << 32), "implausible mask length in trainer checkpoint");
+      const std::string bits = next_token(is, "episode mask bits");
+      SC_CHECK(bits.size() == mask_len,
+               "episode mask has " << bits.size() << " bits, header says " << mask_len);
+      ep.mask.resize(mask_len);
+      for (std::size_t i = 0; i < bits.size(); ++i) {
+        SC_CHECK(bits[i] == '0' || bits[i] == '1',
+                 "episode mask bits must be 0/1, got '" << bits[i] << "'");
+        ep.mask[i] = bits[i] == '1' ? 1 : 0;
+      }
+    }
+  }
+
+  expect_token(is, kEndMarker);
+  expect_token(is, kMagic);
+
+  std::string tail;
+  is >> tail;
+  SC_CHECK(tail.empty() && is.eof(),
+           "trailing garbage after trainer checkpoint end marker: '" << tail << "...'");
+  return state;
+}
+
+void save_trainer_state(const std::string& path, const TrainerState& state) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    SC_CHECK(os.good(), "cannot open '" << tmp << "' for writing");
+    write_trainer_state(os, state);
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::remove(tmp.c_str());
+      SC_CHECK(false, "write to '" << tmp << "' failed (disk full or I/O error?)");
+    }
+  }
+  // Atomic publication: the destination either keeps its previous complete
+  // contents or becomes the new complete checkpoint, never a partial file.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    SC_CHECK(false, "cannot publish trainer checkpoint: rename('" << tmp << "' -> '" << path
+                                                                  << "') failed");
+  }
+}
+
+TrainerState load_trainer_state(const std::string& path) {
+  std::ifstream is(path);
+  SC_CHECK(is.good(), "cannot open trainer checkpoint '" << path << "' for reading");
+  return read_trainer_state(is);
+}
+
+}  // namespace sc::rl

@@ -1,0 +1,74 @@
+// Crash-safe, resumable trainer-state checkpoints (DESIGN.md §6).
+//
+// A TrainerState bundles everything that affects the future learning
+// trajectory of a ReinforceTrainer:
+//
+//   - model parameter values (with shapes, for validation on load),
+//   - Adam first/second moments and step counter,
+//   - the trainer's xoshiro256** RNG stream,
+//   - the epoch counter,
+//   - the per-graph best-sample buffer.
+//
+// It deliberately excludes pure memoization state (episode caches, logit
+// carries): those reproduce bit-identical values on demand, so a resumed run
+// replays the exact learning trajectory of an uninterrupted one.
+//
+// Serialization is a line-oriented text format with a magic+version header
+// ("sctrainer v1") and an explicit end marker. Every double is written as
+// its 16-hex-digit IEEE-754 bit pattern (nn::double_to_hex), so round-trips
+// are bit-perfect for all values — ±inf, nan, -0.0, denormals, DBL_MAX — and
+// save→load→save produces byte-identical files.
+//
+// Publication is atomic: save_trainer_state writes to "<path>.tmp", flushes,
+// verifies the stream, then rename(2)s over the destination. A crash at any
+// point leaves either the previous complete checkpoint or a stale .tmp that
+// the next save overwrites — readers never observe a partial file under the
+// real name. Loads validate the header, every token, and the end marker, and
+// reject trailing garbage; no partial state is ever applied.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/adam.hpp"
+#include "rl/rollout.hpp"
+
+namespace sc::rl {
+
+struct TrainerState {
+  /// Format version this library writes; loads reject anything newer.
+  static constexpr std::uint64_t kVersion = 1;
+
+  std::uint64_t epochs_completed = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+
+  /// Model parameters, one entry per tensor (shape + flat values).
+  std::vector<std::vector<std::size_t>> param_shapes;
+  std::vector<std::vector<double>> param_values;
+
+  nn::AdamState adam;
+
+  /// Best-sample buffer contents, per training graph.
+  std::size_t buffer_capacity = 0;
+  std::vector<std::vector<Episode>> buffer_entries;
+};
+
+/// Serializes to the versioned hex-exact text format (see file comment).
+void write_trainer_state(std::ostream& os, const TrainerState& state);
+
+/// Parses and validates a checkpoint stream. Throws sc::Error with an
+/// actionable message on a bad magic/version, truncation, malformed tokens,
+/// internal inconsistency, or trailing garbage — never returns partial state.
+TrainerState read_trainer_state(std::istream& is);
+
+/// Atomically publishes `state` at `path` (write "<path>.tmp" + rename).
+/// Stream state is checked after flush, so disk-full/permission errors throw
+/// instead of leaving a corrupt or empty checkpoint under the real name.
+void save_trainer_state(const std::string& path, const TrainerState& state);
+
+TrainerState load_trainer_state(const std::string& path);
+
+}  // namespace sc::rl

@@ -67,6 +67,36 @@ TEST(Flags, HasReportsPresence) {
   EXPECT_FALSE(f.has("b"));
 }
 
+TEST(Flags, CheckUnknownAcceptsKnownFlags) {
+  const Flags f = make({"--epochs=5", "--data", "x.txt", "--verbose"});
+  EXPECT_NO_THROW(f.check_unknown({"epochs", "data", "verbose", "out"}));
+  EXPECT_NO_THROW(make({}).check_unknown({"epochs"}));
+}
+
+TEST(Flags, CheckUnknownRejectsTypos) {
+  // Regression: "--epoch 16" used to silently train with the default epoch
+  // count. It must now fail, and suggest the close known flag.
+  const Flags f = make({"--epoch", "16"});
+  try {
+    f.check_unknown({"epochs", "data", "out"});
+    FAIL() << "expected check_unknown to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--epoch"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("--epochs"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Flags, CheckUnknownWithoutCloseMatchStillNames) {
+  const Flags f = make({"--frobnicate=1"});
+  try {
+    f.check_unknown({"epochs", "data"});
+    FAIL() << "expected check_unknown to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--frobnicate"), std::string::npos) << e.what();
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos) << e.what();
+  }
+}
+
 TEST(Flags, ConfigureThreadsParsesAndValidates) {
   // Without --threads the helper is a no-op returning 0 (auto-size).
   EXPECT_EQ(configure_threads_from_flags(make({})), 0u);

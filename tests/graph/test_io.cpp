@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -70,6 +71,13 @@ TEST(GraphIo, SaveLoadMultipleGraphs) {
 
 TEST(GraphIo, LoadMissingFileThrows) {
   EXPECT_THROW(load_graphs("/nonexistent/path/graphs.txt"), Error);
+}
+
+TEST(GraphIo, SaveSurfacesDiskFullErrors) {
+  // /dev/full accepts the open but fails the flush with ENOSPC; save_graphs
+  // must throw instead of reporting success with an empty file on disk.
+  if (!std::ifstream("/dev/full").good()) GTEST_SKIP() << "/dev/full not available";
+  EXPECT_THROW(save_graphs("/dev/full", {test::make_chain(3)}), Error);
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+// Resume fidelity: a training run checkpointed at epoch k and resumed in a
+// fresh process-like trainer must replay the exact learning trajectory of an
+// uninterrupted run — bit-identical epoch statistics and final parameters.
+//
+// The only EpochStats fields excluded from the bitwise comparison are the
+// episode-cache performance counters (cache_hits/cache_misses): the cache is
+// process-local memoization, deliberately NOT part of the checkpoint (every
+// cached value reproduces bit-identically on demand), so a resumed run
+// re-evaluates masks an uninterrupted run would have found cached. All
+// learning-relevant fields must match exactly.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <filesystem>
+
+#include "core/framework.hpp"
+#include "gen/generator.hpp"
+#include "rl/trainer_state.hpp"
+
+namespace sc::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<graph::StreamGraph> small_graphs(std::size_t count, std::uint64_t seed) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 12;
+  cfg.topology.max_nodes = 20;
+  cfg.workload.num_devices = 3;
+  return gen::generate_graphs(cfg, count, seed);
+}
+
+sim::ClusterSpec spec() {
+  gen::GeneratorConfig cfg;
+  cfg.workload.num_devices = 3;
+  return rl::to_cluster_spec(cfg.workload);
+}
+
+void expect_stats_bit_identical(const rl::EpochStats& a, const rl::EpochStats& b,
+                                std::size_t epoch) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.mean_sample_reward),
+            std::bit_cast<std::uint64_t>(b.mean_sample_reward))
+      << "epoch " << epoch;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.mean_best_reward),
+            std::bit_cast<std::uint64_t>(b.mean_best_reward))
+      << "epoch " << epoch;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.mean_greedy_reward),
+            std::bit_cast<std::uint64_t>(b.mean_greedy_reward))
+      << "epoch " << epoch;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.mean_compression),
+            std::bit_cast<std::uint64_t>(b.mean_compression))
+      << "epoch " << epoch;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.mean_loss), std::bit_cast<std::uint64_t>(b.mean_loss))
+      << "epoch " << epoch;
+  EXPECT_EQ(a.dedup_hits, b.dedup_hits) << "epoch " << epoch;
+}
+
+void expect_params_bit_identical(const CoarsenPartitionFramework& a,
+                                 const CoarsenPartitionFramework& b) {
+  const auto pa = a.policy().parameters();
+  const auto pb = b.policy().parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t t = 0; t < pa.size(); ++t) {
+    ASSERT_EQ(pa[t].size(), pb[t].size());
+    for (std::size_t i = 0; i < pa[t].size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(pa[t].value()[i]),
+                std::bit_cast<std::uint64_t>(pb[t].value()[i]))
+          << "tensor " << t << " element " << i;
+    }
+  }
+}
+
+TEST(Resume, ResumedRunMatchesUninterruptedBitwise) {
+  const auto graphs = small_graphs(4, 71);
+  const auto cluster = spec();
+  const std::size_t total_epochs = 5;
+  const std::size_t interrupt_after = 2;
+
+  const fs::path dir = fs::temp_directory_path() / "sc_resume_test";
+  fs::create_directories(dir);
+  const std::string ckpt_path = (dir / "trainer.state").string();
+
+  FrameworkOptions options;
+  options.trainer.seed = 99;
+
+  // Reference: one uninterrupted run.
+  CoarsenPartitionFramework uninterrupted(options);
+  const auto full_stats = uninterrupted.train(graphs, cluster, total_epochs);
+  ASSERT_EQ(full_stats.size(), total_epochs);
+
+  // Interrupted run: train to epoch k with per-epoch checkpoints, then throw
+  // the framework away ("crash") and resume in a brand-new one.
+  TrainCheckpointOptions save_opts;
+  save_opts.checkpoint_path = ckpt_path;
+  save_opts.save_every = 1;
+  CoarsenPartitionFramework first_leg(options);
+  const auto first_stats = first_leg.train(graphs, cluster, interrupt_after, save_opts);
+  ASSERT_EQ(first_stats.size(), interrupt_after);
+  for (std::size_t e = 0; e < interrupt_after; ++e) {
+    expect_stats_bit_identical(full_stats[e], first_stats[e], e);
+  }
+
+  TrainCheckpointOptions resume_opts;
+  resume_opts.resume_path = ckpt_path;
+  CoarsenPartitionFramework resumed(options);  // fresh policy, fresh RNG init
+  const auto resumed_stats = resumed.train(graphs, cluster, total_epochs, resume_opts);
+  ASSERT_EQ(resumed_stats.size(), total_epochs - interrupt_after);
+  for (std::size_t e = 0; e < resumed_stats.size(); ++e) {
+    expect_stats_bit_identical(full_stats[interrupt_after + e], resumed_stats[e],
+                               interrupt_after + e);
+  }
+  expect_params_bit_identical(uninterrupted, resumed);
+
+  fs::remove_all(dir);
+}
+
+TEST(Resume, ResumeAtFinalEpochTrainsNothingAndMatches) {
+  const auto graphs = small_graphs(3, 73);
+  const auto cluster = spec();
+  const fs::path dir = fs::temp_directory_path() / "sc_resume_noop_test";
+  fs::create_directories(dir);
+  const std::string ckpt_path = (dir / "trainer.state").string();
+
+  FrameworkOptions options;
+  options.trainer.seed = 3;
+
+  TrainCheckpointOptions save_opts;
+  save_opts.checkpoint_path = ckpt_path;
+  CoarsenPartitionFramework full(options);
+  full.train(graphs, cluster, 3, save_opts);
+
+  TrainCheckpointOptions resume_opts;
+  resume_opts.resume_path = ckpt_path;
+  CoarsenPartitionFramework resumed(options);
+  const auto stats = resumed.train(graphs, cluster, 3, resume_opts);
+  EXPECT_TRUE(stats.empty());
+  expect_params_bit_identical(full, resumed);
+
+  // Asking for fewer total epochs than the checkpoint covers is an error.
+  CoarsenPartitionFramework shrunk(options);
+  EXPECT_THROW(shrunk.train(graphs, cluster, 2, resume_opts), Error);
+
+  fs::remove_all(dir);
+}
+
+TEST(Resume, MismatchedCheckpointNeverAppliesPartialState) {
+  const auto graphs = small_graphs(3, 77);
+  const auto cluster = spec();
+  const fs::path dir = fs::temp_directory_path() / "sc_resume_mismatch_test";
+  fs::create_directories(dir);
+  const std::string ckpt_path = (dir / "trainer.state").string();
+
+  FrameworkOptions options;
+  options.trainer.seed = 5;
+  TrainCheckpointOptions save_opts;
+  save_opts.checkpoint_path = ckpt_path;
+  CoarsenPartitionFramework fw(options);
+  fw.train(graphs, cluster, 1, save_opts);
+
+  // A dataset with a different graph count must be rejected on resume.
+  const auto other_graphs = small_graphs(5, 78);
+  TrainCheckpointOptions resume_opts;
+  resume_opts.resume_path = ckpt_path;
+  CoarsenPartitionFramework other(options);
+  const auto before = other.policy().parameters();
+  std::vector<std::vector<double>> before_vals;
+  for (const auto& p : before) before_vals.push_back(p.value());
+  EXPECT_THROW(other.train(other_graphs, cluster, 4, resume_opts), Error);
+  // Policy parameters are untouched by the failed import.
+  const auto after = other.policy().parameters();
+  for (std::size_t t = 0; t < after.size(); ++t) {
+    EXPECT_EQ(after[t].value(), before_vals[t]) << "tensor " << t;
+  }
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sc::core

@@ -61,6 +61,13 @@ TEST(Report, HistogramRendersBars) {
   EXPECT_NE(out.find('#'), std::string::npos);
 }
 
+TEST(Report, CsvWriteSurfacesDiskFullErrors) {
+  // /dev/full accepts the open but fails the flush with ENOSPC; the write
+  // must throw, not silently drop the results file.
+  if (!std::ifstream("/dev/full").good()) GTEST_SKIP() << "/dev/full not available";
+  EXPECT_THROW(write_series_csv("/dev/full", {{"x", {1.5, 2.5}}}), Error);
+}
+
 TEST(Report, CsvRoundTrip) {
   namespace fs = std::filesystem;
   const fs::path path = fs::temp_directory_path() / "sc_series.csv";

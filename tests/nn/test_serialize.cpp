@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cfloat>
+#include <cmath>
+#include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -77,6 +82,65 @@ TEST(Serialize, FileMissingThrows) {
   Rng rng(7);
   const Linear l(2, 2, rng);
   EXPECT_THROW(load_parameters("/nonexistent/dir/ckpt.txt", l.parameters()), Error);
+}
+
+TEST(Serialize, SaveRejectsNonFiniteNamingTensor) {
+  // Regression: a diverged model used to produce a checkpoint that
+  // load_parameters rejected as "truncated" (operator>> cannot parse
+  // inf/nan). Saving must fail loudly instead, naming the offender.
+  Rng rng(8);
+  const Mlp m({2, 3, 2}, rng);
+  const auto params = m.parameters();
+
+  for (const double bad : {std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()}) {
+    const_cast<Tensor&>(params[2]).value()[1] = bad;
+    std::stringstream ss;
+    try {
+      save_parameters(ss, params);
+      FAIL() << "expected save_parameters to throw for " << bad;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("tensor 2"), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find("element 1"), std::string::npos) << e.what();
+    }
+    const_cast<Tensor&>(params[2]).value()[1] = 0.5;
+  }
+}
+
+TEST(Serialize, FiniteEdgeValuesRoundTripExactly) {
+  // -0.0, denormals and DBL_MAX are finite and must survive the text format
+  // bit-perfectly (17 significant digits round-trip any double).
+  Rng rng(9);
+  const Linear l(2, 3, rng);
+  const auto params = l.parameters();
+  auto& vals = const_cast<Tensor&>(params[0]).value();
+  ASSERT_GE(vals.size(), 5u);
+  vals[0] = -0.0;
+  vals[1] = std::numeric_limits<double>::denorm_min();
+  vals[2] = DBL_MAX;
+  vals[3] = -DBL_MAX;
+  vals[4] = 4.9406564584124654e-324;
+
+  const Linear dst(2, 3, rng);
+  std::stringstream ss;
+  save_parameters(ss, params);
+  load_parameters(ss, dst.parameters());
+  const auto& out = dst.parameters()[0].value();
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out[i]), std::bit_cast<std::uint64_t>(vals[i]))
+        << "element " << i;
+  }
+  EXPECT_TRUE(std::signbit(out[0]));
+}
+
+TEST(Serialize, PathSaveSurfacesDiskFullErrors) {
+  // /dev/full accepts the open but fails the flush with ENOSPC: the write
+  // must throw, not silently produce an empty checkpoint.
+  if (!std::ifstream("/dev/full").good()) GTEST_SKIP() << "/dev/full not available";
+  Rng rng(10);
+  const Mlp m({16, 32, 16}, rng);
+  EXPECT_THROW(save_parameters("/dev/full", m.parameters()), Error);
 }
 
 }  // namespace

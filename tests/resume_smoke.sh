@@ -1,0 +1,64 @@
+#!/bin/sh
+# Crash-safety smoke test of sc_train checkpointing: train -> hard kill
+# (via --crash-after, which _Exit(137)s like kill -9) -> resume, and require
+# the resumed run's final parameter file to be byte-identical to an
+# uninterrupted run's. Run by ctest with the build directory as $1.
+set -e
+BUILD_DIR="$1"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+"$BUILD_DIR/tools/sc_gen" --out "$WORK/train.txt" --count 5 --setting small --seed 21
+
+# Reference: uninterrupted 4-epoch run.
+"$BUILD_DIR/tools/sc_train" --data "$WORK/train.txt" --out "$WORK/full.ckpt" \
+  --setting small --epochs 4 --seed 5 > "$WORK/full.log"
+
+# Interrupted run: checkpoint every epoch, hard-die after epoch 2.
+set +e
+"$BUILD_DIR/tools/sc_train" --data "$WORK/train.txt" --out "$WORK/dead.ckpt" \
+  --setting small --epochs 4 --seed 5 --save-every 1 --ckpt "$WORK/trainer.state" \
+  --crash-after 2 > "$WORK/dead.log" 2>&1
+STATUS=$?
+set -e
+if [ "$STATUS" -ne 137 ]; then
+  echo "expected sc_train to hard-exit with 137, got $STATUS" >&2
+  exit 1
+fi
+# The kill must leave a complete published checkpoint and no temp debris.
+test -f "$WORK/trainer.state"
+if [ -e "$WORK/trainer.state.tmp" ]; then
+  echo "stale trainer.state.tmp left behind after crash" >&2
+  exit 1
+fi
+# The crash happened before the final model write: dead.ckpt must not exist.
+if [ -e "$WORK/dead.ckpt" ]; then
+  echo "crashed run should not have published a final model" >&2
+  exit 1
+fi
+
+# Resume to the full 4 epochs and compare final parameters byte-for-byte.
+"$BUILD_DIR/tools/sc_train" --data "$WORK/train.txt" --out "$WORK/resumed.ckpt" \
+  --setting small --epochs 4 --seed 5 --resume "$WORK/trainer.state" > "$WORK/resume.log"
+grep -q "resuming from" "$WORK/resume.log"
+grep -q "epoch 2:" "$WORK/resume.log"
+if grep -q "epoch 1:" "$WORK/resume.log"; then
+  echo "resumed run should not re-train epoch 1" >&2
+  exit 1
+fi
+cmp "$WORK/full.ckpt" "$WORK/resumed.ckpt"
+
+# Resume epoch stats must be identical to the uninterrupted run's tail.
+grep "epoch 3:" "$WORK/full.log" > "$WORK/full.e3"
+grep "epoch 3:" "$WORK/resume.log" > "$WORK/resume.e3"
+cmp "$WORK/full.e3" "$WORK/resume.e3"
+
+# A corrupted checkpoint must fail loudly, not resume with garbage.
+head -c 100 "$WORK/trainer.state" > "$WORK/truncated.state"
+if "$BUILD_DIR/tools/sc_train" --data "$WORK/train.txt" --out "$WORK/x.ckpt" \
+    --setting small --epochs 4 --resume "$WORK/truncated.state" 2>/dev/null; then
+  echo "sc_train should have rejected a truncated trainer state" >&2
+  exit 1
+fi
+
+echo "resume smoke test passed"

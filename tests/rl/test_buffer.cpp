@@ -76,5 +76,36 @@ TEST(SampleBuffer, ZeroCapacityRejected) {
   EXPECT_THROW(SampleBuffer(1, 0), Error);
 }
 
+TEST(SampleBuffer, EntriesAndRestoreRoundTrip) {
+  SampleBuffer buf(2, 3);
+  buf.insert(0, ep({1, 0}, 0.4));
+  buf.insert(0, ep({0, 1}, 0.7));
+  buf.insert(1, ep({1, 1}, 0.2));
+
+  // Checkpoint-style round trip: entries() -> fresh buffer -> restore().
+  SampleBuffer restored(2, 3);
+  restored.restore(buf.entries());
+  ASSERT_EQ(restored.entries().size(), buf.entries().size());
+  for (std::size_t g = 0; g < buf.entries().size(); ++g) {
+    ASSERT_EQ(restored.entries()[g].size(), buf.entries()[g].size()) << "graph " << g;
+    for (std::size_t i = 0; i < buf.entries()[g].size(); ++i) {
+      EXPECT_EQ(restored.entries()[g][i].mask, buf.entries()[g][i].mask);
+      EXPECT_EQ(restored.entries()[g][i].reward, buf.entries()[g][i].reward);
+    }
+  }
+  EXPECT_DOUBLE_EQ(restored.best_reward(0), 0.7);
+  EXPECT_DOUBLE_EQ(restored.best_reward(1), 0.2);
+
+  // Graph-count mismatch is rejected, unsorted input is re-sorted, and
+  // over-capacity lists are trimmed to the best entries.
+  EXPECT_THROW(restored.restore(std::vector<std::vector<Episode>>(3)), Error);
+  std::vector<std::vector<Episode>> unsorted(2);
+  unsorted[0] = {ep({0, 0}, 0.1), ep({1, 0}, 0.9), ep({0, 1}, 0.5), ep({1, 1}, 0.3)};
+  restored.restore(unsorted);
+  EXPECT_EQ(restored.size(0), 3u);  // trimmed to capacity
+  EXPECT_DOUBLE_EQ(restored.best_reward(0), 0.9);
+  EXPECT_DOUBLE_EQ(restored.best(0, 3).back().reward, 0.3);
+}
+
 }  // namespace
 }  // namespace sc::rl

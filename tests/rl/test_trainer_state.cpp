@@ -1,0 +1,255 @@
+// Trainer-state checkpoint format: bit-perfect double round-trips (including
+// non-finite and denormal values), save→load→save byte equality, atomic
+// publication, and loud failures on every corruption mode (truncated file,
+// corrupted header, unsupported version, garbage tail, partial temp file).
+#include "rl/trainer_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cfloat>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/serialize.hpp"
+
+namespace sc::rl {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Randomized but reproducible trainer state with adversarial values mixed
+/// in: ±inf, nan, -0.0, denormals, DBL_MAX.
+TrainerState random_state(std::uint64_t seed) {
+  Rng rng(seed);
+  TrainerState s;
+  s.epochs_completed = rng() % 1000;
+  for (auto& w : s.rng_state) w = rng();
+  if (s.rng_state[0] == 0) s.rng_state[0] = 1;
+
+  const std::vector<double> specials = {
+      std::numeric_limits<double>::infinity(),  -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(), -0.0,
+      std::numeric_limits<double>::denorm_min(), DBL_MAX,
+      -DBL_MAX, 4.9406564584124654e-324};
+  auto value = [&]() {
+    if (rng.uniform() < 0.15) return specials[rng.index(specials.size())];
+    return rng.normal(0.0, 1e3);
+  };
+
+  const std::size_t num_tensors = 1 + rng.index(4);
+  for (std::size_t t = 0; t < num_tensors; ++t) {
+    const std::size_t rows = 1 + rng.index(5);
+    const std::size_t cols = 1 + rng.index(7);
+    s.param_shapes.push_back({rows, cols});
+    std::vector<double> vals(rows * cols);
+    for (double& x : vals) x = value();
+    s.param_values.push_back(vals);
+
+    std::vector<double> m(rows * cols), v(rows * cols);
+    for (double& x : m) x = value();
+    for (double& x : v) x = value();
+    s.adam.m.push_back(std::move(m));
+    s.adam.v.push_back(std::move(v));
+  }
+  s.adam.t = static_cast<long>(rng() % 100000);
+
+  const std::size_t num_graphs = 1 + rng.index(3);
+  s.buffer_capacity = 5;
+  s.buffer_entries.resize(num_graphs);
+  for (auto& list : s.buffer_entries) {
+    const std::size_t count = rng.index(s.buffer_capacity + 1);
+    for (std::size_t i = 0; i < count; ++i) {
+      Episode ep;
+      ep.reward = value();
+      ep.compression = value();
+      ep.mask.resize(1 + rng.index(100));
+      for (int& b : ep.mask) b = rng.bernoulli(0.5) ? 1 : 0;
+      list.push_back(std::move(ep));
+    }
+  }
+  return s;
+}
+
+std::string serialize(const TrainerState& s) {
+  std::ostringstream os;
+  write_trainer_state(os, s);
+  return os.str();
+}
+
+TrainerState parse(const std::string& text) {
+  std::istringstream is(text);
+  return read_trainer_state(is);
+}
+
+void expect_bit_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]), std::bit_cast<std::uint64_t>(b[i]))
+        << "element " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+TEST(TrainerState, SaveLoadSaveIsByteIdentical) {
+  // Property test over randomized shapes/values: a parsed checkpoint must
+  // serialize back to the exact same bytes, for every value category.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const TrainerState original = random_state(seed);
+    const std::string first = serialize(original);
+    const TrainerState reloaded = parse(first);
+    const std::string second = serialize(reloaded);
+    EXPECT_EQ(first, second) << "seed " << seed;
+  }
+}
+
+TEST(TrainerState, RoundTripsEveryFieldBitPerfectly) {
+  const TrainerState s = random_state(42);
+  const TrainerState r = parse(serialize(s));
+
+  EXPECT_EQ(r.epochs_completed, s.epochs_completed);
+  EXPECT_EQ(r.rng_state, s.rng_state);
+  EXPECT_EQ(r.param_shapes, s.param_shapes);
+  ASSERT_EQ(r.param_values.size(), s.param_values.size());
+  for (std::size_t t = 0; t < s.param_values.size(); ++t) {
+    expect_bit_equal(r.param_values[t], s.param_values[t]);
+  }
+  EXPECT_EQ(r.adam.t, s.adam.t);
+  ASSERT_EQ(r.adam.m.size(), s.adam.m.size());
+  for (std::size_t t = 0; t < s.adam.m.size(); ++t) {
+    expect_bit_equal(r.adam.m[t], s.adam.m[t]);
+    expect_bit_equal(r.adam.v[t], s.adam.v[t]);
+  }
+  EXPECT_EQ(r.buffer_capacity, s.buffer_capacity);
+  ASSERT_EQ(r.buffer_entries.size(), s.buffer_entries.size());
+  for (std::size_t g = 0; g < s.buffer_entries.size(); ++g) {
+    ASSERT_EQ(r.buffer_entries[g].size(), s.buffer_entries[g].size());
+    for (std::size_t i = 0; i < s.buffer_entries[g].size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(r.buffer_entries[g][i].reward),
+                std::bit_cast<std::uint64_t>(s.buffer_entries[g][i].reward));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(r.buffer_entries[g][i].compression),
+                std::bit_cast<std::uint64_t>(s.buffer_entries[g][i].compression));
+      EXPECT_EQ(r.buffer_entries[g][i].mask, s.buffer_entries[g][i].mask);
+    }
+  }
+}
+
+TEST(TrainerState, NonFiniteAndDenormalValuesSurvive) {
+  // A diverged model (inf/nan parameters) must still checkpoint and restore
+  // bit-perfectly — the old text format could not even be read back.
+  TrainerState s;
+  s.rng_state = {1, 2, 3, 4};
+  s.param_shapes = {{8}};
+  s.param_values = {{std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<double>::quiet_NaN(), -0.0,
+                     std::numeric_limits<double>::denorm_min(), DBL_MAX, -DBL_MAX, 0.0}};
+  s.adam.m = {{0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0}};
+  s.adam.v = {{0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0}};
+
+  const TrainerState r = parse(serialize(s));
+  const auto& vals = r.param_values[0];
+  EXPECT_TRUE(std::isinf(vals[0]) && vals[0] > 0);
+  EXPECT_TRUE(std::isinf(vals[1]) && vals[1] < 0);
+  EXPECT_TRUE(std::isnan(vals[2]));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(vals[3]), std::bit_cast<std::uint64_t>(-0.0));
+  EXPECT_EQ(vals[4], std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(vals[5], DBL_MAX);
+  EXPECT_EQ(vals[6], -DBL_MAX);
+}
+
+TEST(TrainerState, TruncatedFileFailsLoudly) {
+  const std::string full = serialize(random_state(7));
+  // Cut at several points: header, mid-params, mid-buffer, just before the
+  // end marker. Every prefix must throw, never return partial state.
+  for (const double frac : {0.05, 0.3, 0.6, 0.9, 0.99}) {
+    const auto cut = static_cast<std::size_t>(static_cast<double>(full.size()) * frac);
+    EXPECT_THROW(parse(full.substr(0, cut)), Error) << "cut at " << cut << "/" << full.size();
+  }
+  EXPECT_THROW(parse(""), Error);
+}
+
+TEST(TrainerState, CorruptedHeaderFailsLoudly) {
+  std::string text = serialize(random_state(8));
+  std::string bad = text;
+  bad.replace(0, 9, "scgarbage");
+  EXPECT_THROW(parse(bad), Error);
+
+  // Unsupported (future) version must be rejected, not misparsed.
+  std::string future = text;
+  future.replace(text.find("v1"), 2, "v9");
+  EXPECT_THROW(parse(future), Error);
+
+  // Flipping a hex digit into a non-hex character breaks token validation.
+  std::string flipped = text;
+  const auto pos = flipped.find("rng ") + 4;
+  flipped[pos] = 'z';
+  EXPECT_THROW(parse(flipped), Error);
+}
+
+TEST(TrainerState, GarbageTailFailsLoudly) {
+  const std::string text = serialize(random_state(9));
+  EXPECT_THROW(parse(text + "trailing junk"), Error);
+  EXPECT_THROW(parse(text + text), Error);  // concatenated checkpoints
+  // Pure whitespace after the end marker is fine (trailing newline etc.).
+  EXPECT_NO_THROW(parse(text + "\n  \n"));
+}
+
+TEST(TrainerState, AtomicPublicationLeavesNoTemp) {
+  const fs::path dir = fs::temp_directory_path() / "sc_trainer_state_test";
+  fs::create_directories(dir);
+  const std::string path = (dir / "ckpt.state").string();
+
+  const TrainerState s = random_state(10);
+  save_trainer_state(path, s);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_EQ(serialize(load_trainer_state(path)), serialize(s));
+
+  // Crash between temp-write and rename: a stale partial .tmp must neither
+  // corrupt the published checkpoint nor survive the next save.
+  {
+    std::ofstream tmp(path + ".tmp");
+    tmp << "sctrainer v1\nepoch 3\nrng dead";  // torn write
+  }
+  EXPECT_EQ(serialize(load_trainer_state(path)), serialize(s));  // still intact
+  EXPECT_THROW(load_trainer_state(path + ".tmp"), Error);        // partial never loads
+
+  const TrainerState s2 = random_state(11);
+  save_trainer_state(path, s2);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_EQ(serialize(load_trainer_state(path)), serialize(s2));
+
+  fs::remove_all(dir);
+}
+
+TEST(TrainerState, SaveToUnwritablePathThrows) {
+  EXPECT_THROW(save_trainer_state("/nonexistent/dir/ckpt.state", random_state(12)), Error);
+  EXPECT_THROW(load_trainer_state("/nonexistent/dir/ckpt.state"), Error);
+}
+
+TEST(TrainerState, InternalInconsistencyRejected) {
+  const TrainerState s = random_state(13);
+  std::string text = serialize(s);
+  // Claim more buffer episodes than capacity allows.
+  const auto pos = text.find("buffer ");
+  ASSERT_NE(pos, std::string::npos);
+  std::string bad = text;
+  bad.replace(pos, 7, "buffer 999999 ");
+  EXPECT_THROW(parse(bad), Error);
+}
+
+TEST(TrainerState, HexDoubleHelpersRejectMalformedTokens) {
+  EXPECT_THROW(nn::double_from_hex("xyz"), Error);
+  EXPECT_THROW(nn::double_from_hex("123"), Error);
+  EXPECT_THROW(nn::double_from_hex("0123456789abcdeg"), Error);
+  EXPECT_EQ(nn::double_from_hex(nn::double_to_hex(-0.0)), 0.0);
+  EXPECT_TRUE(std::signbit(nn::double_from_hex(nn::double_to_hex(-0.0))));
+}
+
+}  // namespace
+}  // namespace sc::rl

@@ -32,5 +32,12 @@ if "$BUILD_DIR/tools/sc_eval" --data "$WORK/test.txt" --methods coarsen 2>/dev/n
   echo "sc_eval should require --model for method coarsen" >&2
   exit 1
 fi
+# Typo'd flags must be rejected loudly, not silently ignored.
+if "$BUILD_DIR/tools/sc_train" --data "$WORK/train.txt" --out "$WORK/x.ckpt" \
+    --epoch 2 2> "$WORK/typo.log"; then
+  echo "sc_train should have rejected the unknown flag --epoch" >&2
+  exit 1
+fi
+grep -q -- "--epochs" "$WORK/typo.log"  # suggestion names the correct flag
 
 echo "tools smoke test passed"

@@ -16,6 +16,8 @@
 int main(int argc, char** argv) try {
   using namespace sc;
   const Flags flags(argc, argv);
+  flags.check_unknown(
+      tools::known_flags({"data", "model", "method", "best-of", "index", "dot"}));
   configure_threads_from_flags(flags);
   if (!flags.has("data")) {
     tools::usage(
@@ -68,6 +70,9 @@ int main(int argc, char** argv) try {
       const auto profile = graph::compute_load_profile(graphs[i]);
       std::vector<graph::NodeId> groups(p.begin(), p.end());
       graph::write_dot(os, graphs[i], &profile, &groups);
+      os.flush();
+      SC_CHECK(os.good(), "DOT write to '" << flags.get_string("dot", "")
+                                           << "' failed (disk full or I/O error?)");
       std::cout << "  DOT written to " << flags.get_string("dot", "") << '\n';
     }
   }

@@ -17,6 +17,7 @@
 int main(int argc, char** argv) try {
   using namespace sc;
   const Flags flags(argc, argv);
+  flags.check_unknown(tools::known_flags({"data", "model", "methods", "best-of", "csv"}));
   configure_threads_from_flags(flags);
   if (!flags.has("data")) {
     tools::usage(

@@ -10,6 +10,7 @@
 int main(int argc, char** argv) try {
   using namespace sc;
   const Flags flags(argc, argv);
+  flags.check_unknown(tools::known_flags({"out", "count", "seed"}));
   configure_threads_from_flags(flags);
   if (!flags.has("out")) {
     tools::usage(

@@ -3,6 +3,16 @@
 //   sc_train --data train.txt --out model.ckpt [--setting medium] [--epochs 16]
 //            [--init existing.ckpt] [--no-guidance] [--placer metis|oracle|coarsen-only]
 //            [--seed 7] [--lr 0.001]
+//            [--save-every N] [--ckpt state.sctrainer] [--resume state.sctrainer]
+//
+// Crash safety (DESIGN.md §6): --save-every N publishes a full trainer-state
+// checkpoint (parameters, Adam moments, RNG streams, epoch counter, sample
+// buffer) atomically every N epochs; --resume restores one and continues the
+// run bit-identically to an uninterrupted training. --epochs is always the
+// TOTAL epoch count: resuming a 16-epoch run from an epoch-10 checkpoint
+// trains the remaining 6. --init (legacy parameter-only checkpoints) stays
+// supported for curriculum warm starts and transfer fine-tuning.
+#include <cstdlib>
 #include <iostream>
 
 #include "core/framework.hpp"
@@ -13,12 +23,21 @@
 int main(int argc, char** argv) try {
   using namespace sc;
   const Flags flags(argc, argv);
+  flags.check_unknown(tools::known_flags({"data", "out", "epochs", "init", "no-guidance",
+                                          "placer", "seed", "lr", "save-every", "ckpt",
+                                          "resume", "crash-after"}));
   configure_threads_from_flags(flags);
   if (!flags.has("data") || !flags.has("out")) {
     tools::usage(
         "usage: sc_train --data <file> --out <ckpt> [--setting medium]\n"
         "                [--epochs 16] [--init <ckpt>] [--no-guidance]\n"
-        "                [--placer metis|oracle|coarsen-only] [--seed 7] [--lr 0.001]\n                [--threads N]\n");
+        "                [--placer metis|oracle|coarsen-only] [--seed 7] [--lr 0.001]\n"
+        "                [--threads N]\n"
+        "                [--save-every N] [--ckpt <state-file>] [--resume <state-file>]\n"
+        "  --save-every N  publish a crash-safe trainer-state checkpoint every N epochs\n"
+        "                  (default file: <out>.state; override with --ckpt)\n"
+        "  --resume F      restore trainer state from F and continue up to --epochs total\n"
+        "  --crash-after N fault injection: hard-exit (code 137) after N epochs this run\n");
   }
   const auto graphs = graph::load_graphs(flags.get_string("data", ""));
   SC_CHECK(!graphs.empty(), "dataset is empty");
@@ -38,25 +57,56 @@ int main(int argc, char** argv) try {
   }
 
   core::CoarsenPartitionFramework fw(options);
+  core::TrainCheckpointOptions ckpt;
+  ckpt.resume_path = flags.get_string("resume", "");
+  SC_CHECK(!(flags.has("init") && flags.has("resume")),
+           "--init and --resume are mutually exclusive (--init warm-starts parameters only, "
+           "--resume restores full trainer state)");
   if (flags.has("init")) {
     fw.load(flags.get_string("init", ""));
     std::cout << "fine-tuning from " << flags.get_string("init", "") << '\n';
   }
 
+  const long save_every = flags.get_int("save-every", 0);
+  SC_CHECK(save_every >= 0, "--save-every must be >= 0, got " << save_every);
+  if (save_every > 0 || flags.has("ckpt")) {
+    ckpt.save_every = save_every > 0 ? static_cast<std::size_t>(save_every) : 1;
+    ckpt.checkpoint_path = flags.get_string("ckpt", flags.get_string("out", "") + ".state");
+  }
+
+  const long crash_after = flags.get_int("crash-after", 0);
+  SC_CHECK(crash_after >= 0, "--crash-after must be >= 0, got " << crash_after);
+  std::size_t epochs_this_run = 0;
+  ckpt.on_epoch = [&](std::size_t e, const rl::EpochStats& s) {
+    std::cout << "  epoch " << e << ": sampled "
+              << metrics::Table::fmt(s.mean_sample_reward, 3) << ", best "
+              << metrics::Table::fmt(s.mean_best_reward, 3) << ", greedy "
+              << metrics::Table::fmt(s.mean_greedy_reward, 3) << ", compression "
+              << metrics::Table::fmt(s.mean_compression, 2) << "x\n";
+    ++epochs_this_run;
+    if (crash_after > 0 && epochs_this_run == static_cast<std::size_t>(crash_after)) {
+      // Fault injection: die like kill -9 would — no destructors, no stream
+      // flushes beyond what already reached the OS. The published checkpoint
+      // must survive this; the resume smoke test proves it does.
+      std::cout << "crash-after: hard-exiting after " << epochs_this_run << " epochs\n";
+      std::cout.flush();
+      std::_Exit(137);
+    }
+  };
+
   const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 16));
   std::cout << "training on " << graphs.size() << " graphs, " << epochs
-            << " epochs, " << spec.num_devices << " devices @ "
+            << " total epochs, " << spec.num_devices << " devices @ "
             << spec.source_rate << " tuples/s\n";
-  const auto stats = fw.train(graphs, spec, epochs);
-  for (std::size_t e = 0; e < stats.size(); ++e) {
-    std::cout << "  epoch " << e << ": sampled "
-              << metrics::Table::fmt(stats[e].mean_sample_reward, 3) << ", best "
-              << metrics::Table::fmt(stats[e].mean_best_reward, 3) << ", greedy "
-              << metrics::Table::fmt(stats[e].mean_greedy_reward, 3) << ", compression "
-              << metrics::Table::fmt(stats[e].mean_compression, 2) << "x\n";
+  if (!ckpt.resume_path.empty()) {
+    std::cout << "resuming from " << ckpt.resume_path << '\n';
   }
+  fw.train(graphs, spec, epochs, ckpt);
   fw.save(flags.get_string("out", ""));
   std::cout << "checkpoint written to " << flags.get_string("out", "") << '\n';
+  if (!ckpt.checkpoint_path.empty()) {
+    std::cout << "trainer state written to " << ckpt.checkpoint_path << '\n';
+  }
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "sc_train: " << e.what() << '\n';

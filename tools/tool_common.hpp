@@ -4,6 +4,7 @@
 
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/flags.hpp"
@@ -11,6 +12,17 @@
 #include "rl/rollout.hpp"
 
 namespace sc::tools {
+
+/// Known-flag registry helper: `extra` tool-specific flags plus the flags
+/// every tool understands (--threads, --setting and the cluster overrides
+/// read by config_from_flags). Pass the result to Flags::check_unknown so a
+/// typo'd flag exits with a usage error instead of silently using defaults.
+inline std::vector<std::string> known_flags(std::initializer_list<const char*> extra) {
+  std::vector<std::string> known{"threads",   "setting", "devices",  "rate",
+                                 "bandwidth", "mips",    "nodes-lo", "nodes-hi"};
+  known.insert(known.end(), extra.begin(), extra.end());
+  return known;
+}
 
 inline gen::Setting parse_setting(const std::string& name) {
   if (name == "small") return gen::Setting::Small;
