@@ -1,0 +1,23 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+
+namespace sc::bench {
+
+std::vector<metrics::Series> compare(const std::vector<const core::Allocator*>& allocators,
+                                     const std::vector<rl::GraphContext>& contexts,
+                                     const std::string& title,
+                                     const std::string& csv_path) {
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<metrics::Series> series;
+  for (const core::Allocator* a : allocators) {
+    series.push_back(to_series(core::evaluate_allocator(*a, contexts, &pool)));
+  }
+  std::cout << "\n=== " << title << " ===\n";
+  metrics::print_cdf_comparison(std::cout, series);
+  metrics::print_auc_table(std::cout, series);
+  if (!csv_path.empty()) metrics::write_series_csv(csv_path, series);
+  return series;
+}
+
+}  // namespace sc::bench

@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstddef>
-#include <iostream>
 #include <string>
 #include <vector>
 
@@ -94,21 +93,11 @@ inline metrics::Series to_series(const core::EvalResult& r) {
 }
 
 /// Evaluates a list of allocators over one context set and prints the
-/// comparison; returns the series for further reporting.
-inline std::vector<metrics::Series> compare(
-    const std::vector<const core::Allocator*>& allocators,
-    const std::vector<rl::GraphContext>& contexts, const std::string& title,
-    const std::string& csv_path = {}) {
-  ThreadPool& pool = ThreadPool::global();
-  std::vector<metrics::Series> series;
-  for (const core::Allocator* a : allocators) {
-    series.push_back(to_series(core::evaluate_allocator(*a, contexts, &pool)));
-  }
-  std::cout << "\n=== " << title << " ===\n";
-  metrics::print_cdf_comparison(std::cout, series);
-  metrics::print_auc_table(std::cout, series);
-  if (!csv_path.empty()) metrics::write_series_csv(csv_path, series);
-  return series;
-}
+/// comparison to stdout; returns the series for further reporting. Defined
+/// in bench_common.cpp (stream output is kept out of headers).
+std::vector<metrics::Series> compare(const std::vector<const core::Allocator*>& allocators,
+                                     const std::vector<rl::GraphContext>& contexts,
+                                     const std::string& title,
+                                     const std::string& csv_path = {});
 
 }  // namespace sc::bench

@@ -2,6 +2,7 @@
 // direct-placement model (Graph-enc-dec) *underperforms* the non-learned
 // Metis partitioner, while on the small-graph benchmark it still wins.
 // This crossover is what motivates the coarsening-partitioning paradigm.
+#include <iostream>
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {

@@ -1,6 +1,7 @@
 // Figure 5 — throughput CDFs on medium graphs (100-200 nodes) across all
 // methods and two cluster settings: (5K/s, 5 devices) and (10K/s, 10 devices).
 // Expected ordering: Coarsen+X > Metis > all direct learning baselines.
+#include <iostream>
 #include "bench_common.hpp"
 
 namespace {

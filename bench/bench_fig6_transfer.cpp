@@ -4,6 +4,7 @@
 //   (b) curriculum ablation on 400-500: from-scratch vs from-scratch+Metis
 //       samples vs zero-shot transfer vs transfer+fine-tune
 //   (c) train on 400-500, evaluate on 1000-2000 (zero-shot vs fine-tuned)
+#include <iostream>
 #include "bench_common.hpp"
 
 #include "nn/serialize.hpp"

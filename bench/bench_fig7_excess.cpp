@@ -2,6 +2,7 @@
 // 33%, so optimal allocations use a subset of the devices.
 //   (a) throughput CDFs: Metis, Metis-oracle, baselines, Coarsen variants
 //   (b) device-usage histograms and utilization statistics
+#include <iostream>
 #include "bench_common.hpp"
 
 #include "nn/serialize.hpp"

@@ -3,6 +3,7 @@
 // (bucket edges chosen so each holds about the same number of graphs).
 // Expected shape: the coarsening model's advantage concentrates on graphs
 // it compresses ~4x or more.
+#include <iostream>
 #include <algorithm>
 
 #include "bench_common.hpp"

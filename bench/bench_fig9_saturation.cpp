@@ -3,6 +3,7 @@
 // trained RL coarsening model at matched compression ratios.
 // Expected shape: the RL model leaves fewer high-saturation edges uncollapsed
 // (it hides heavy communication inside merged nodes).
+#include <iostream>
 #include "bench_common.hpp"
 
 #include "partition/allocate.hpp"

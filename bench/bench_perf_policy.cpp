@@ -24,6 +24,7 @@
 //                     [--threads N] [--verbose]
 //   bench_perf_policy --validate <file>  # re-parse an emitted JSON; exits
 //                                        # non-zero if malformed (ctest smoke)
+#include <iostream>
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -566,6 +567,8 @@ int main(int argc, char** argv) try {
      << ",\n"
      << "    \"speedup\": " << json_num(ab.speedup) << "\n  }\n"
      << "}\n";
+  os.flush();
+  SC_CHECK(os.good(), "JSON write to '" << out << "' failed (disk full or I/O error?)");
   os.close();
   std::cout << "JSON written to " << out << "\n";
   return 0;

@@ -20,6 +20,7 @@
 //                    [--threads N] [--verbose]
 //   bench_perf_train --validate <file>   # re-parse an emitted JSON; exits
 //                                        # non-zero if malformed (ctest smoke)
+#include <iostream>
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -434,6 +435,8 @@ int main(int argc, char** argv) try {
      << "    \"speedup\": " << json_num(ab.speedup) << ",\n"
      << "    \"cache_hit_rate\": " << json_num(ab.cache_hit_rate) << "\n  }\n"
      << "}\n";
+  os.flush();
+  SC_CHECK(os.good(), "JSON write to '" << out << "' failed (disk full or I/O error?)");
   os.close();
   std::cout << "JSON written to " << out << "\n";
   return 0;

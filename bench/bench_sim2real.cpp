@@ -10,6 +10,7 @@
 //   3. whether method ordering (Metis vs Coarsen+Metis) is preserved when
 //      re-measured on the event simulator — the paper's sim-to-real claim;
 //   4. throughput/latency trade-off of the final allocations.
+#include <iostream>
 #include <algorithm>
 
 #include "bench_common.hpp"

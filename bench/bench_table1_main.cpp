@@ -5,6 +5,7 @@
 // Expected shape (paper Table I): Coarsen+X improves on Metis everywhere;
 // the gains grow with graph size when curriculum fine-tuning is applied;
 // zero-shot transfer ("direct prediction") already improves on Metis.
+#include <iostream>
 #include "bench_common.hpp"
 
 #include "nn/serialize.hpp"

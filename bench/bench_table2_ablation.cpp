@@ -7,6 +7,7 @@
 //   * the Graph-enc-dec direct baseline
 // Expected shape: removing either set of edge features hurts (collapsing
 // features more), Coarsen-only barely beats Metis, the full framework wins.
+#include <iostream>
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {

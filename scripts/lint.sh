@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Project lint entry point: self-checks the linter, then lints the tree.
+# Also available as the `lint` CMake target. Exits non-zero on any violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 tools/sc_lint.py --self-test
+python3 tools/sc_lint.py --root .

@@ -1,0 +1,251 @@
+#include "analysis/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "graph/algorithms.hpp"
+#include "graph/types.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace sc::analysis {
+
+namespace {
+
+bool close(double a, double b, double tolerance) {
+  return std::abs(a - b) <= tolerance * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace
+
+void validate(const graph::StreamGraph& g) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const graph::Operator& op = g.op(v);
+    SC_CHECK(std::isfinite(op.ipt) && op.ipt >= 0.0,
+             "graph invariant: node CPU feature (ipt) must be finite and non-negative, node "
+                 << v << " has " << op.ipt);
+    SC_CHECK(std::isfinite(op.selectivity) && op.selectivity >= 0.0,
+             "graph invariant: node selectivity (rate feature) must be finite and "
+             "non-negative, node "
+                 << v << " has " << op.selectivity);
+  }
+
+  for (graph::EdgeId e = 0; e < m; ++e) {
+    const graph::Channel& c = g.edge(e);
+    SC_CHECK(c.src < n && c.dst < n,
+             "graph invariant: edge endpoints in bounds — edge " << e << " is (" << c.src
+                                                                 << " -> " << c.dst
+                                                                 << ") but |V| = " << n);
+    SC_CHECK(c.src != c.dst, "graph invariant: no self-loops — edge " << e << " loops at node "
+                                                                      << c.src);
+    SC_CHECK(std::isfinite(c.payload) && c.payload >= 0.0,
+             "graph invariant: edge payload feature must be finite and non-negative, edge "
+                 << e << " has " << c.payload);
+    SC_CHECK(std::isfinite(c.rate_factor) && c.rate_factor >= 0.0,
+             "graph invariant: edge rate factor must be finite and non-negative, edge "
+                 << e << " has " << c.rate_factor);
+  }
+
+  // In/out adjacency consistency: each edge appears exactly once in its
+  // source's out-list and exactly once in its target's in-list.
+  std::vector<unsigned char> seen_out(m, 0);
+  std::vector<unsigned char> seen_in(m, 0);
+  std::size_t out_total = 0;
+  std::size_t in_total = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (const graph::EdgeId e : g.out_edges(v)) {
+      SC_CHECK(e < m, "graph invariant: out-adjacency edge id in bounds — node "
+                          << v << " lists edge " << e << " but |E| = " << m);
+      SC_CHECK(g.edge(e).src == v,
+               "graph invariant: out-adjacency consistent — node " << v << " lists edge " << e
+                                                                   << " whose source is "
+                                                                   << g.edge(e).src);
+      SC_CHECK(!seen_out[e],
+               "graph invariant: out-adjacency lists edge " << e << " more than once");
+      seen_out[e] = 1;
+      ++out_total;
+    }
+    for (const graph::EdgeId e : g.in_edges(v)) {
+      SC_CHECK(e < m, "graph invariant: in-adjacency edge id in bounds — node "
+                          << v << " lists edge " << e << " but |E| = " << m);
+      SC_CHECK(g.edge(e).dst == v,
+               "graph invariant: in-adjacency consistent — node " << v << " lists edge " << e
+                                                                  << " whose target is "
+                                                                  << g.edge(e).dst);
+      SC_CHECK(!seen_in[e],
+               "graph invariant: in-adjacency lists edge " << e << " more than once");
+      seen_in[e] = 1;
+      ++in_total;
+    }
+  }
+  SC_CHECK(out_total == m && in_total == m,
+           "graph invariant: adjacency covers every edge — out lists " << out_total
+                                                                       << ", in lists "
+                                                                       << in_total
+                                                                       << ", |E| = " << m);
+
+  for (const graph::NodeId v : g.sources()) {
+    SC_CHECK(v < n && g.in_degree(v) == 0,
+             "graph invariant: recorded source " << v << " must exist and have in-degree 0");
+  }
+  for (const graph::NodeId v : g.sinks()) {
+    SC_CHECK(v < n && g.out_degree(v) == 0,
+             "graph invariant: recorded sink " << v << " must exist and have out-degree 0");
+  }
+
+  SC_CHECK(n == 0 || graph::is_dag(g),
+           "graph invariant: stream graph must be a DAG (directed cycle detected)");
+}
+
+void validate(const graph::LoadProfile& profile, const graph::StreamGraph& g) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  SC_CHECK(profile.node_rate.size() == n && profile.node_cpu.size() == n,
+           "load-profile invariant: per-node arrays sized to the graph — rates "
+               << profile.node_rate.size() << ", cpu " << profile.node_cpu.size()
+               << ", |V| = " << n);
+  SC_CHECK(profile.edge_rate.size() == m && profile.edge_traffic.size() == m,
+           "load-profile invariant: per-edge arrays sized to the graph — rates "
+               << profile.edge_rate.size() << ", traffic " << profile.edge_traffic.size()
+               << ", |E| = " << m);
+
+  double cpu_sum = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    SC_CHECK(std::isfinite(profile.node_rate[v]) && profile.node_rate[v] >= 0.0,
+             "load-profile invariant: node rate finite and non-negative, node "
+                 << v << " has " << profile.node_rate[v]);
+    SC_CHECK(std::isfinite(profile.node_cpu[v]) && profile.node_cpu[v] >= 0.0,
+             "load-profile invariant: node CPU load finite and non-negative, node "
+                 << v << " has " << profile.node_cpu[v]);
+    cpu_sum += profile.node_cpu[v];
+  }
+  double traffic_sum = 0.0;
+  for (std::size_t e = 0; e < m; ++e) {
+    SC_CHECK(std::isfinite(profile.edge_rate[e]) && profile.edge_rate[e] >= 0.0,
+             "load-profile invariant: edge rate finite and non-negative, edge "
+                 << e << " has " << profile.edge_rate[e]);
+    SC_CHECK(std::isfinite(profile.edge_traffic[e]) && profile.edge_traffic[e] >= 0.0,
+             "load-profile invariant: edge traffic finite and non-negative, edge "
+                 << e << " has " << profile.edge_traffic[e]);
+    traffic_sum += profile.edge_traffic[e];
+  }
+  SC_CHECK(close(cpu_sum, profile.total_cpu, 1e-9),
+           "load-profile invariant: total_cpu equals the per-node sum — recorded "
+               << profile.total_cpu << ", summed " << cpu_sum);
+  SC_CHECK(close(traffic_sum, profile.total_traffic, 1e-9),
+           "load-profile invariant: total_traffic equals the per-edge sum — recorded "
+               << profile.total_traffic << ", summed " << traffic_sum);
+}
+
+void validate(const graph::Coarsening& c, const graph::StreamGraph& g,
+              const graph::LoadProfile& profile, double tolerance) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t k = c.groups.size();
+
+  SC_CHECK(c.node_map.size() == n,
+           "contraction invariant: node map is total — maps " << c.node_map.size()
+                                                              << " nodes, |V| = " << n);
+  SC_CHECK(c.coarse.num_nodes() == k,
+           "contraction invariant: coarse graph has one node per group — "
+               << c.coarse.num_nodes() << " coarse nodes, " << k << " groups");
+  SC_CHECK(n == 0 || k > 0, "contraction invariant: non-empty graph must coarsen to at "
+                            "least one supernode");
+
+  // Surjectivity + idempotence: F maps into [0, k), every coarse node has a
+  // non-empty preimage, and groups[F(v)] contains v exactly once.
+  std::vector<std::size_t> membership_count(n, 0);
+  for (std::size_t cid = 0; cid < k; ++cid) {
+    SC_CHECK(!c.groups[cid].empty(),
+             "contraction invariant: node map surjective — supernode " << cid
+                                                                       << " has no members");
+    for (const graph::NodeId v : c.groups[cid]) {
+      SC_CHECK(v < n, "contraction invariant: group member in bounds — supernode "
+                          << cid << " lists node " << v << ", |V| = " << n);
+      SC_CHECK(c.node_map[v] == cid,
+               "contraction invariant: groups are the preimages of the node map "
+               "(idempotence) — node "
+                   << v << " sits in group " << cid << " but maps to " << c.node_map[v]);
+      ++membership_count[v];
+    }
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    SC_CHECK(c.node_map[v] < k,
+             "contraction invariant: node map in bounds — node " << v << " maps to "
+                                                                 << c.node_map[v]
+                                                                 << ", |V'| = " << k);
+    SC_CHECK(membership_count[v] == 1,
+             "contraction invariant: every original node lands in exactly one group — node "
+                 << v << " appears in " << membership_count[v] << " groups");
+  }
+
+  // No self-loop supernodes, endpoints in bounds.
+  for (graph::EdgeId e = 0; e < c.coarse.num_edges(); ++e) {
+    const graph::WeightedEdge& we = c.coarse.edge(e);
+    SC_CHECK(we.a < k && we.b < k,
+             "contraction invariant: coarse edge endpoints in bounds — edge " << e << " is ("
+                                                                              << we.a << ", "
+                                                                              << we.b << ")");
+    SC_CHECK(we.a != we.b,
+             "contraction invariant: no self-loop supernodes — coarse edge " << e
+                                                                             << " loops at "
+                                                                             << we.a);
+  }
+
+  // Feature-mass conservation: coarse node weight aggregates fine CPU mass,
+  // coarse edge weight aggregates exactly the cross-group traffic.
+  SC_CHECK(profile.node_cpu.size() == n && profile.edge_traffic.size() == g.num_edges(),
+           "contraction invariant: load profile matches the contracted graph");
+  double fine_cpu = 0.0;
+  for (const double w : profile.node_cpu) fine_cpu += w;
+  const double coarse_cpu = c.coarse.total_node_weight();
+  SC_CHECK(close(fine_cpu, coarse_cpu, tolerance),
+           "contraction invariant: CPU feature mass conserved — fine " << fine_cpu
+                                                                       << ", coarse "
+                                                                       << coarse_cpu);
+  double cross_traffic = 0.0;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Channel& ch = g.edge(e);
+    if (c.node_map[ch.src] != c.node_map[ch.dst]) cross_traffic += profile.edge_traffic[e];
+  }
+  const double coarse_traffic = c.coarse.total_edge_weight();
+  SC_CHECK(close(cross_traffic, coarse_traffic, tolerance),
+           "contraction invariant: traffic feature mass conserved — cross-group "
+               << cross_traffic << ", coarse " << coarse_traffic);
+}
+
+void validate_partition(const std::vector<int>& part, std::size_t num_nodes,
+                        std::size_t num_parts) {
+  SC_CHECK(part.size() == num_nodes,
+           "partition invariant: every original node assigned — partition covers "
+               << part.size() << " nodes, graph has " << num_nodes);
+  for (std::size_t v = 0; v < part.size(); ++v) {
+    SC_CHECK(part[v] >= 0, "partition invariant: every original node assigned — node "
+                               << v << " has label " << part[v]);
+    SC_CHECK(static_cast<std::size_t>(part[v]) < num_parts,
+             "partition invariant: capacity respected — node " << v << " assigned to part "
+                                                               << part[v] << ", only "
+                                                               << num_parts
+                                                               << " parts/devices exist");
+  }
+}
+
+void validate_partition_balance(const std::vector<int>& part,
+                                const std::vector<double>& node_weights,
+                                std::size_t num_parts, double limit) {
+  validate_partition(part, node_weights.size(), num_parts);
+  std::vector<double> load(num_parts, 0.0);
+  for (std::size_t v = 0; v < part.size(); ++v) {
+    load[static_cast<std::size_t>(part[v])] += node_weights[v];
+  }
+  for (std::size_t q = 0; q < num_parts; ++q) {
+    SC_CHECK(load[q] <= limit,
+             "partition invariant: capacity respected — part " << q << " carries weight "
+                                                               << load[q]
+                                                               << ", limit is " << limit);
+  }
+}
+
+}  // namespace sc::analysis

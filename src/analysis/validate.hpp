@@ -1,0 +1,63 @@
+// Invariant validators — the correctness-analysis layer (DESIGN.md §7).
+//
+// The pipeline chains stateful stages (contraction -> partition -> expand ->
+// simulate -> REINFORCE update) where a silently violated invariant corrupts
+// rewards without crashing: a contraction map that is not surjective, a cycle
+// in a "DAG", a NaN in an embedding, an unassigned node in a placement. Each
+// validator below checks one stage's full contract and throws sc::Error with
+// a message naming the violated invariant at the point of violation.
+//
+// Validators check unconditionally when called; production call sites gate
+// them with SC_VALIDATE_AT(Deep, ...) / SC_DCHECK(...) (common/error.hpp) so
+// a Release build with validation off pays one relaxed atomic load per site.
+// SC_VALIDATE=ON CMake builds default the runtime level to Deep; the CLI
+// tools expose --validate to flip it on in any build.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "graph/contraction.hpp"
+#include "graph/rates.hpp"
+#include "graph/stream_graph.hpp"
+
+namespace sc::analysis {
+
+/// StreamGraph structural contract: edge endpoints in bounds and non-self,
+/// non-negative finite node/edge features (IPT, selectivity, payload, rate
+/// factor), in/out CSR adjacency mutually consistent (every edge appears
+/// exactly once in its source's out-list and its target's in-list), recorded
+/// sources/sinks match degrees, and the graph is a DAG.
+void validate(const graph::StreamGraph& g);
+
+/// LoadProfile contract against its graph: per-node and per-edge arrays sized
+/// to the graph, all rates/loads finite and non-negative, and totals equal to
+/// the per-element sums within tolerance.
+void validate(const graph::LoadProfile& profile, const graph::StreamGraph& g);
+
+/// Coarsening (ContractionResult) contract against the graph and profile it
+/// was produced from: the node map F : V -> V' is total, in bounds, and
+/// surjective; groups are exactly the preimages of F (idempotence: every node
+/// appears in exactly one group, namely groups[F(v)]); the coarse graph has
+/// one node per group and no self-loop supernodes; and feature mass is
+/// conserved — coarse node weights sum to the fine CPU mass and coarse edge
+/// weights sum to the cross-group traffic, both within `tolerance` (relative).
+void validate(const graph::Coarsening& c, const graph::StreamGraph& g,
+              const graph::LoadProfile& profile, double tolerance = 1e-9);
+
+/// Partition/placement contract: every one of `num_nodes` original nodes is
+/// assigned (size matches, no negative label) to an existing part
+/// (label < num_parts). Works for coarse partitions and fine placements alike.
+void validate_partition(const std::vector<int>& part, std::size_t num_nodes,
+                        std::size_t num_parts);
+
+/// Capacity contract on top of validate_partition: the summed node weight of
+/// every part stays within `limit`. Callers pass the bound the producing
+/// algorithm promises (e.g. the multilevel partitioner's
+/// max((1+eps)·total/k, max node weight)).
+void validate_partition_balance(const std::vector<int>& part,
+                                const std::vector<double>& node_weights,
+                                std::size_t num_parts, double limit);
+
+}  // namespace sc::analysis

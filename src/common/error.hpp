@@ -3,8 +3,14 @@
 // The library throws `sc::Error` (an std::runtime_error) on contract
 // violations detected at API boundaries, and uses SC_ASSERT for internal
 // invariants that indicate programmer error.
+//
+// SC_DCHECK adds a third, *tiered* family for the correctness-analysis layer
+// (DESIGN.md §7): checks that are too expensive for every Release call site
+// but cheap enough to run in Debug/CI builds, guarded by a runtime level so
+// production binaries can flip them on (`--validate`) without a rebuild.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -27,6 +33,57 @@ namespace detail {
 
 }  // namespace detail
 
+namespace analysis {
+
+/// Validation tiers, ordered by cost. A check tagged `Cheap` is O(1)-ish
+/// (bounds, sizes, a handful of comparisons); `Deep` walks whole structures
+/// (DAG checks, feature-mass sums, per-element finiteness scans).
+enum class Level : int { Off = 0, Cheap = 1, Deep = 2 };
+
+namespace detail {
+
+/// Compile-time default: SC_VALIDATE=ON builds (Debug/CI) start at Deep,
+/// everything else starts at Off. A single relaxed atomic keeps the
+/// SC_DCHECK guard to one predictable load + compare — measured at noise
+/// level in Release (EXPERIMENTS.md "Validation overhead").
+inline std::atomic<int>& level_storage() {
+#ifdef SC_VALIDATE_BUILD
+  static std::atomic<int> level{static_cast<int>(Level::Deep)};
+#else
+  static std::atomic<int> level{static_cast<int>(Level::Off)};
+#endif
+  return level;
+}
+
+}  // namespace detail
+
+/// Current validation level.
+inline Level level() {
+  return static_cast<Level>(detail::level_storage().load(std::memory_order_relaxed));
+}
+
+/// Runtime toggle: tools expose it as --validate, tests pin it explicitly.
+inline void set_level(Level l) {
+  detail::level_storage().store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+/// True when checks of tier `l` should run.
+inline bool enabled(Level l) { return level() >= l; }
+
+/// RAII override of the validation level (tests, scoped deep-checking).
+class ScopedLevel {
+public:
+  explicit ScopedLevel(Level l) : prev_(level()) { set_level(l); }
+  ~ScopedLevel() { set_level(prev_); }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+private:
+  Level prev_;
+};
+
+}  // namespace analysis
+
 }  // namespace sc
 
 /// Check a user-facing precondition; throws sc::Error with location info.
@@ -46,5 +103,33 @@ namespace detail {
       std::ostringstream sc_check_os_;                                      \
       sc_check_os_ << "internal invariant violated: " #cond " — " << msg;   \
       ::sc::detail::throw_error(__FILE__, __LINE__, sc_check_os_.str());    \
+    }                                                                       \
+  } while (false)
+
+/// Tiered validation check (the correctness-analysis layer, DESIGN.md §7).
+///
+///   SC_DCHECK(Cheap, p.size() == n, "placement covers every node");
+///   SC_DCHECK(Deep,  mass_ok,       "coarse CPU mass conserved");
+///
+/// Skipped entirely (one relaxed load + predicted branch) unless the runtime
+/// validation level is at least `tier`; SC_VALIDATE=ON builds default the
+/// level to Deep, Release builds to Off (overridable via
+/// sc::analysis::set_level or the tools' --validate flag).
+#define SC_DCHECK(tier, cond, msg)                                          \
+  do {                                                                      \
+    if (::sc::analysis::enabled(::sc::analysis::Level::tier) && !(cond)) {  \
+      std::ostringstream sc_check_os_;                                      \
+      sc_check_os_ << "validation failed [" #tier "]: " #cond " — " << msg; \
+      ::sc::detail::throw_error(__FILE__, __LINE__, sc_check_os_.str());    \
+    }                                                                       \
+  } while (false)
+
+/// Guard for whole validator call sites: runs `stmt` only at tier `tier`.
+/// Use for block-level hooks (e.g. analysis::validate(coarsening, ...)) whose
+/// cost should vanish when validation is off.
+#define SC_VALIDATE_AT(tier, stmt)                                          \
+  do {                                                                      \
+    if (::sc::analysis::enabled(::sc::analysis::Level::tier)) {             \
+      stmt;                                                                 \
     }                                                                       \
   } while (false)

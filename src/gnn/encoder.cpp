@@ -19,6 +19,24 @@ EdgeAwareEncoder::EdgeAwareEncoder(const EncoderConfig& cfg, Rng& rng)
 
 Tensor EdgeAwareEncoder::forward(const GraphFeatures& f) const {
   SC_CHECK(cfg_.hidden > 0, "encoder used before initialisation");
+  // Checked builds scan weights and inputs for NaN/inf before the forward and
+  // the produced embedding after it: a single poisoned value would otherwise
+  // propagate through scatter_mean into every logit and corrupt rewards
+  // silently (sampling from NaN probabilities never throws).
+  SC_VALIDATE_AT(Deep, {
+    const auto check_layer = [](const nn::Linear& layer, const std::string& name) {
+      const std::vector<Tensor> ps = layer.parameters();
+      nn::check_finite(ps[0], name + ".weight");
+      if (ps.size() > 1) nn::check_finite(ps[1], name + ".bias");
+    };
+    check_layer(init_up_, "encoder.init_up");
+    check_layer(init_down_, "encoder.init_down");
+    check_layer(w1_, "encoder.w1");
+    check_layer(w_edge_, "encoder.w_edge");
+    check_layer(w2_, "encoder.w2");
+    nn::check_finite(f.node, "encoder input node features");
+    nn::check_finite(f.edge, "encoder input edge features");
+  });
   const std::size_t n = f.node.rows();
   const std::size_t m_edges = f.edge_src.size();
 
@@ -54,7 +72,9 @@ Tensor EdgeAwareEncoder::forward(const GraphFeatures& f) const {
     h_up = w2_.forward_tanh(nn::concat_cols({h_up, agg_in}));
     h_down = w2_.forward_tanh(nn::concat_cols({h_down, agg_out}));
   }
-  return nn::concat_cols({h_up, h_down});  // (n, 2m)
+  Tensor out = nn::concat_cols({h_up, h_down});  // (n, 2m)
+  SC_VALIDATE_AT(Deep, nn::check_finite(out, "encoder output embedding"));
+  return out;
 }
 
 std::vector<Tensor> EdgeAwareEncoder::parameters() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "analysis/validate.hpp"
 #include "common/error.hpp"
 #include "graph/union_find.hpp"
 
@@ -41,6 +42,10 @@ Coarsening finish_from_dsu(const StreamGraph& g, const LoadProfile& profile, Uni
     coarse_edges.push_back(WeightedEdge{a, b, profile.edge_traffic[e]});
   }
   c.coarse = WeightedGraph(std::move(weights), coarse_edges);
+  // Checked builds validate the full contraction contract (surjective +
+  // idempotent map, no self-loop supernodes, feature-mass conservation) at
+  // the point of production, covering contract() and contract_by_groups().
+  SC_VALIDATE_AT(Deep, analysis::validate(c, g, profile));
   return c;
 }
 

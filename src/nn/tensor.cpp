@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <string>
 #include <unordered_set>
 
 #include "nn/arena.hpp"
@@ -138,6 +140,30 @@ void Tensor::backward() {
   for (detail::TensorData* node : order) {
     node->backward_fn = nullptr;
     node->inputs.clear();
+  }
+}
+
+void check_finite(const Tensor& t, const std::string& name) {
+  SC_CHECK(t.defined(), "tensor '" << name << "' is undefined");
+  const std::vector<double>& v = t.value();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) {
+      std::ostringstream shape;
+      for (std::size_t d = 0; d < t.shape().size(); ++d) {
+        shape << (d ? "x" : "") << t.shape()[d];
+      }
+      SC_CHECK(false, "tensor invariant: all values finite — tensor '"
+                          << name << "' (shape " << shape.str() << ") has non-finite value "
+                          << v[i] << " at element " << i);
+    }
+  }
+}
+
+void check_finite_all(const std::vector<Tensor>& params, const std::string& owner) {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::ostringstream name;
+    name << owner << ".param[" << i << ']';
+    check_finite(params[i], name.str());
   }
 }
 

@@ -123,4 +123,13 @@ private:
 /// Number of elements implied by a shape.
 std::size_t shape_size(const std::vector<std::size_t>& shape);
 
+/// Throws sc::Error naming `name`, the offending element and the tensor shape
+/// if any value of `t` is NaN or ±inf. The correctness-analysis hook behind
+/// SC_VALIDATE_AT(Deep, ...) in the encoder forward and the trainer's epoch
+/// boundary; mirrors save_parameters' fail-loud divergence behaviour.
+void check_finite(const Tensor& t, const std::string& name);
+
+/// check_finite over a parameter list; tensors are named "<owner>.param[i]".
+void check_finite_all(const std::vector<Tensor>& params, const std::string& owner);
+
 }  // namespace sc::nn

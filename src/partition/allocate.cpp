@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <numeric>
 
+#include "analysis/validate.hpp"
 #include "common/error.hpp"
 #include "graph/rates.hpp"
 
 namespace sc::partition {
 
 namespace {
+
+/// Checked-build contract of every partitioner result: all nodes assigned to
+/// an existing part. The weighted balance objective is best-effort (a single
+/// over-heavy node can exceed any share), so it is not validated here.
+void validate_labels(const std::vector<int>& labels, const graph::WeightedGraph& g,
+                     std::size_t num_parts) {
+  SC_VALIDATE_AT(Deep, analysis::validate_partition(labels, g.num_nodes(), num_parts));
+}
 
 /// Capacity-proportional part fractions for heterogeneous clusters.
 std::vector<double> capacity_fractions(const sim::ClusterSpec& spec) {
@@ -49,23 +58,30 @@ sim::Placement metis_allocate(const graph::StreamGraph& g, const sim::ClusterSpe
   const graph::LoadProfile profile = graph::compute_load_profile(g);
   const graph::WeightedGraph wg = graph::to_weighted(g, profile);
   MultilevelPartitioner part(opts);
-  if (spec.heterogeneous()) return part.partition(wg, capacity_fractions(spec));
-  return part.partition(wg, spec.num_devices);
+  sim::Placement p = spec.heterogeneous() ? part.partition(wg, capacity_fractions(spec))
+                                          : part.partition(wg, spec.num_devices);
+  validate_labels(p, wg, spec.num_devices);
+  return p;
 }
 
 sim::Placement metis_allocate_coarse(const graph::WeightedGraph& coarse,
                                      std::size_t num_devices,
                                      const PartitionOptions& opts) {
   MultilevelPartitioner part(opts);
-  return part.partition(coarse, num_devices);
+  sim::Placement p = part.partition(coarse, num_devices);
+  validate_labels(p, coarse, num_devices);
+  return p;
 }
 
 sim::Placement metis_allocate_coarse(const graph::WeightedGraph& coarse,
                                      const sim::ClusterSpec& spec,
                                      const PartitionOptions& opts) {
   MultilevelPartitioner part(opts);
-  if (spec.heterogeneous()) return part.partition(coarse, capacity_fractions(spec));
-  return part.partition(coarse, spec.num_devices);
+  sim::Placement p = spec.heterogeneous()
+                         ? part.partition(coarse, capacity_fractions(spec))
+                         : part.partition(coarse, spec.num_devices);
+  validate_labels(p, coarse, spec.num_devices);
+  return p;
 }
 
 sim::Placement metis_oracle_allocate(const graph::StreamGraph& g,
@@ -79,6 +95,7 @@ sim::Placement metis_oracle_allocate(const graph::StreamGraph& g,
   double best_tp = -1.0;
   for (std::size_t k = 1; k <= simulator.spec().num_devices; ++k) {
     sim::Placement p = partition_onto_top_devices(part, wg, simulator.spec(), k);
+    validate_labels(p, wg, simulator.spec().num_devices);
     const double tp = simulator.throughput(p);
     if (tp > best_tp) {
       best_tp = tp;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "analysis/validate.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "partition/matching.hpp"
@@ -180,6 +181,8 @@ std::vector<int> MultilevelPartitioner::partition(
       best = std::move(part);
     }
   }
+  // Checked-build contract: every node assigned to an existing part.
+  SC_VALIDATE_AT(Deep, analysis::validate_partition(best, g.num_nodes(), fractions.size()));
   return best;
 }
 

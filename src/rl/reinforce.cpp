@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "analysis/validate.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "graph/contraction.hpp"
@@ -100,6 +101,10 @@ void ReinforceTrainer::seed_metis_guidance() {
 }
 
 EpochStats ReinforceTrainer::train_epoch() {
+  // Checked builds bracket the epoch with parameter finiteness checks: a NaN
+  // that slips into the weights (diverged Adam step, corrupted checkpoint)
+  // would otherwise only surface as silently flat rewards epochs later.
+  SC_VALIDATE_AT(Deep, nn::check_finite_all(policy_.parameters(), "policy (epoch start)"));
   EpochStats stats;
   const std::size_t num_graphs = contexts_.size();
   const std::size_t samples = cfg_.on_policy_samples;
@@ -301,6 +306,7 @@ EpochStats ReinforceTrainer::train_epoch() {
   stats.cache_misses -= misses_before;
   stats.cache_collisions -= collisions_before;
   ++epochs_completed_;
+  SC_VALIDATE_AT(Deep, nn::check_finite_all(policy_.parameters(), "policy (epoch end)"));
   return stats;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "analysis/validate.hpp"
 #include "common/error.hpp"
 #include "graph/algorithms.hpp"
 
@@ -34,6 +35,12 @@ BottleneckScratch& bottleneck_scratch() {
 FluidSimulator::FluidSimulator(const graph::StreamGraph& g, const ClusterSpec& spec)
     : graph_(&g), spec_(spec), profile_(graph::compute_load_profile(g)) {
   validate_spec(spec);
+  // Checked builds vet the simulator's inputs once at construction: the graph
+  // contract (DAG, consistent adjacency, non-negative features) and the
+  // derived load profile the throughput model sums over. Every subsequent
+  // throughput()/latency() call trusts them.
+  SC_VALIDATE_AT(Deep, analysis::validate(g));
+  SC_VALIDATE_AT(Deep, analysis::validate(profile_, g));
 }
 
 double FluidSimulator::unit_bottleneck(const Placement& p, std::vector<double>* device_cpu,

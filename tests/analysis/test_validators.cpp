@@ -1,0 +1,207 @@
+// Rejection tests for the correctness-analysis validators: each test corrupts
+// one invariant and asserts the thrown message names that invariant, so a
+// validation failure in CI reads as a diagnosis, not a stack trace.
+#include "analysis/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/contraction.hpp"
+#include "graph/rates.hpp"
+#include "graph/stream_graph.hpp"
+
+namespace sc::analysis {
+namespace {
+
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected sc::Error, nothing was thrown";
+  return {};
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// 4-node diamond: 0 -> {1, 2} -> 3.
+graph::StreamGraph diamond() {
+  graph::GraphBuilder b("diamond");
+  const auto s = b.add_node(2.0, 1.0);
+  const auto l = b.add_node(3.0, 0.5);
+  const auto r = b.add_node(4.0, 2.0);
+  const auto t = b.add_node(1.0, 1.0);
+  b.add_edge(s, l, 8.0, 0.5);
+  b.add_edge(s, r, 16.0, 0.5);
+  b.add_edge(l, t, 4.0);
+  b.add_edge(r, t, 2.0);
+  return b.build();
+}
+
+TEST(GraphValidator, AcceptsWellFormedGraph) {
+  EXPECT_NO_THROW(validate(diamond()));
+}
+
+TEST(GraphValidator, RejectsCycleNamingDagInvariant) {
+  graph::GraphBuilder b;
+  const auto a = b.add_node(1.0);
+  const auto c = b.add_node(1.0);
+  b.add_edge(a, c, 1.0);
+  b.add_edge(c, a, 1.0);
+  const auto g = b.build(/*require_dag=*/false);
+  const std::string msg = thrown_message([&] { validate(g); });
+  EXPECT_TRUE(contains(msg, "must be a DAG")) << msg;
+}
+
+TEST(GraphValidator, RejectsNegativeCpuFeature) {
+  graph::GraphBuilder b;
+  const auto a = b.add_node(1.0);
+  const auto c = b.add_node(1.0);
+  b.add_edge(a, c, 1.0);
+  b.op(a).ipt = -3.0;
+  const auto g = b.build();
+  const std::string msg = thrown_message([&] { validate(g); });
+  EXPECT_TRUE(contains(msg, "CPU feature (ipt) must be finite and non-negative")) << msg;
+}
+
+TEST(GraphValidator, RejectsNegativePayloadFeature) {
+  graph::GraphBuilder b;
+  const auto a = b.add_node(1.0);
+  const auto c = b.add_node(1.0);
+  const auto e = b.add_edge(a, c, 1.0);
+  b.channel(e).payload = -1.0;
+  const auto g = b.build();
+  const std::string msg = thrown_message([&] { validate(g); });
+  EXPECT_TRUE(contains(msg, "payload feature must be finite and non-negative")) << msg;
+}
+
+TEST(LoadProfileValidator, AcceptsComputedProfile) {
+  const auto g = diamond();
+  EXPECT_NO_THROW(validate(graph::compute_load_profile(g), g));
+}
+
+TEST(LoadProfileValidator, RejectsTotalMismatch) {
+  const auto g = diamond();
+  auto profile = graph::compute_load_profile(g);
+  profile.total_cpu += 1.0;
+  const std::string msg = thrown_message([&] { validate(profile, g); });
+  EXPECT_TRUE(contains(msg, "total_cpu equals the per-node sum")) << msg;
+}
+
+TEST(LoadProfileValidator, RejectsWrongArraySizes) {
+  const auto g = diamond();
+  auto profile = graph::compute_load_profile(g);
+  profile.node_cpu.pop_back();
+  const std::string msg = thrown_message([&] { validate(profile, g); });
+  EXPECT_TRUE(contains(msg, "per-node arrays sized to the graph")) << msg;
+}
+
+TEST(ContractionValidator, AcceptsContractOutput) {
+  const auto g = diamond();
+  const auto profile = graph::compute_load_profile(g);
+  const std::vector<bool> mask{true, false, false, false};
+  EXPECT_NO_THROW(validate(graph::contract(g, profile, mask), g, profile));
+}
+
+TEST(ContractionValidator, RejectsNonSurjectiveNodeMap) {
+  const auto g = diamond();
+  const auto profile = graph::compute_load_profile(g);
+  auto c = graph::contract(g, profile, {true, false, false, false});
+  // Empty one group's member list: its supernode now has no preimage.
+  const auto moved = c.groups[0];
+  c.groups[0].clear();
+  const std::string msg = thrown_message([&] { validate(c, g, profile); });
+  EXPECT_TRUE(contains(msg, "node map surjective")) << msg;
+  (void)moved;
+}
+
+TEST(ContractionValidator, RejectsMapGroupDisagreement) {
+  const auto g = diamond();
+  const auto profile = graph::compute_load_profile(g);
+  auto c = graph::contract(g, profile, {true, false, false, false});
+  ASSERT_GT(c.num_coarse_nodes(), 1u);
+  // Point one node's map at a different supernode without moving it between
+  // groups: groups are no longer the preimages of the map.
+  const graph::NodeId v = c.groups[0].front();
+  c.node_map[v] = 1;
+  const std::string msg = thrown_message([&] { validate(c, g, profile); });
+  EXPECT_TRUE(contains(msg, "idempotence")) << msg;
+}
+
+TEST(ContractionValidator, RejectsLostFeatureMass) {
+  const auto g = diamond();
+  auto profile = graph::compute_load_profile(g);
+  const auto c = graph::contract(g, profile, {true, false, false, false});
+  // The coarsening aggregated the original CPU mass; inflating the fine
+  // profile afterwards breaks conservation.
+  profile.node_cpu[0] += 5.0;
+  profile.total_cpu += 5.0;
+  const std::string msg = thrown_message([&] { validate(c, g, profile); });
+  EXPECT_TRUE(contains(msg, "CPU feature mass conserved")) << msg;
+}
+
+TEST(PartitionValidator, RejectsMissingAssignments) {
+  const std::string msg =
+      thrown_message([&] { validate_partition(std::vector<int>{0, 1}, 3, 2); });
+  EXPECT_TRUE(contains(msg, "every original node assigned")) << msg;
+}
+
+TEST(PartitionValidator, RejectsNegativeLabel) {
+  const std::string msg =
+      thrown_message([&] { validate_partition(std::vector<int>{0, -1, 1}, 3, 2); });
+  EXPECT_TRUE(contains(msg, "every original node assigned")) << msg;
+}
+
+TEST(PartitionValidator, RejectsOutOfRangePart) {
+  const std::string msg =
+      thrown_message([&] { validate_partition(std::vector<int>{0, 2, 1}, 3, 2); });
+  EXPECT_TRUE(contains(msg, "capacity respected")) << msg;
+}
+
+TEST(PartitionValidator, RejectsOverloadedPartAgainstLimit) {
+  const std::vector<int> part{0, 0, 1};
+  const std::vector<double> weights{3.0, 3.0, 1.0};
+  EXPECT_NO_THROW(validate_partition_balance(part, weights, 2, 6.0));
+  const std::string msg =
+      thrown_message([&] { validate_partition_balance(part, weights, 2, 5.0); });
+  EXPECT_TRUE(contains(msg, "capacity respected")) << msg;
+}
+
+TEST(ValidationLevel, TiersGateDchecks) {
+  // SC_DCHECK only fires at or above its tier; ScopedLevel restores on exit.
+  const Level before = level();
+  {
+    ScopedLevel off(Level::Off);
+    EXPECT_NO_THROW(SC_DCHECK(Cheap, false, "never evaluated at Off"));
+    EXPECT_NO_THROW(SC_DCHECK(Deep, false, "never evaluated at Off"));
+  }
+  {
+    ScopedLevel cheap(Level::Cheap);
+    EXPECT_THROW(SC_DCHECK(Cheap, false, "fires at Cheap"), Error);
+    EXPECT_NO_THROW(SC_DCHECK(Deep, false, "Deep stays off at Cheap"));
+  }
+  {
+    ScopedLevel deep(Level::Deep);
+    EXPECT_THROW(SC_DCHECK(Deep, false, "fires at Deep"), Error);
+    int runs = 0;
+    SC_VALIDATE_AT(Deep, ++runs);
+    EXPECT_EQ(runs, 1);
+  }
+  EXPECT_EQ(level(), before);
+}
+
+TEST(ValidationLevel, MessagesNameTierAndExpression) {
+  ScopedLevel deep(Level::Deep);
+  const std::string msg =
+      thrown_message([] { SC_DCHECK(Deep, 1 == 2, "one is not two"); });
+  EXPECT_TRUE(contains(msg, "[Deep]")) << msg;
+  EXPECT_TRUE(contains(msg, "one is not two")) << msg;
+}
+
+}  // namespace
+}  // namespace sc::analysis

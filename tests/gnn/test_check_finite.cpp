@@ -1,0 +1,106 @@
+// Regression tests for nn::check_finite and the encoder's checked-build
+// finiteness hooks: a NaN poisoned into a parameter tensor must make the
+// forward fail loudly, naming the poisoned tensor — never propagate into
+// logits and rewards silently.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "../testutil.hpp"
+#include "common/error.hpp"
+#include "gen/generator.hpp"
+#include "gnn/encoder.hpp"
+#include "graph/rates.hpp"
+#include "nn/tensor.hpp"
+
+namespace sc::gnn {
+namespace {
+
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected sc::Error, nothing was thrown";
+  return {};
+}
+
+GraphFeatures features_of(const graph::StreamGraph& g) {
+  sim::ClusterSpec spec;
+  spec.num_devices = 4;
+  spec.device_mips = 100.0;
+  spec.bandwidth = 200.0;
+  spec.source_rate = 10.0;
+  return extract_features(g, graph::compute_load_profile(g), spec);
+}
+
+TEST(CheckFinite, NamesTensorShapeAndElement) {
+  nn::Tensor t = nn::Tensor::zeros({2, 3});
+  EXPECT_NO_THROW(nn::check_finite(t, "clean"));
+  t.value()[4] = std::numeric_limits<double>::quiet_NaN();
+  const std::string msg = thrown_message([&] { nn::check_finite(t, "poisoned.weight"); });
+  EXPECT_NE(msg.find("poisoned.weight"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("2x3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("element 4"), std::string::npos) << msg;
+}
+
+TEST(CheckFinite, CatchesInfinityToo) {
+  nn::Tensor t = nn::Tensor::zeros({1, 2});
+  t.value()[0] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(nn::check_finite(t, "inf"), Error);
+}
+
+TEST(CheckFinite, AllVariantNamesOwnerAndIndex) {
+  std::vector<nn::Tensor> params{nn::Tensor::zeros({1, 1}), nn::Tensor::zeros({2, 2})};
+  params[1].value()[3] = std::numeric_limits<double>::quiet_NaN();
+  const std::string msg =
+      thrown_message([&] { nn::check_finite_all(params, "policy"); });
+  EXPECT_NE(msg.find("policy.param[1]"), std::string::npos) << msg;
+}
+
+TEST(CheckFinite, EncoderForwardFailsLoudlyOnPoisonedParam) {
+  Rng rng(7);
+  const EdgeAwareEncoder enc(EncoderConfig{}, rng);
+  const auto f = features_of(test::make_diamond());
+
+  // Sanity: unpoisoned forward succeeds with validation on.
+  analysis::ScopedLevel deep(analysis::Level::Deep);
+  EXPECT_NO_THROW(enc.forward(f));
+
+  // Poison one weight of the first layer. parameters() returns handles
+  // sharing storage with the encoder, so this edits the live model the same
+  // way a diverged optimizer step would.
+  const std::vector<nn::Tensor> params = enc.parameters();
+  const_cast<nn::Tensor&>(params[0]).value()[0] =
+      std::numeric_limits<double>::quiet_NaN();
+
+  const std::string msg = thrown_message([&] { enc.forward(f); });
+  EXPECT_NE(msg.find("encoder.init_up.weight"), std::string::npos)
+      << "failure must name the poisoned tensor: " << msg;
+}
+
+TEST(CheckFinite, EncoderForwardIgnoresPoisonWhenValidationOff) {
+  // With validation off the hook must cost nothing and change nothing: the
+  // forward silently produces NaNs (the historical behaviour this layer
+  // exists to surface).
+  Rng rng(7);
+  const EdgeAwareEncoder enc(EncoderConfig{}, rng);
+  const auto f = features_of(test::make_diamond());
+  const std::vector<nn::Tensor> params = enc.parameters();
+  const_cast<nn::Tensor&>(params[0]).value()[0] =
+      std::numeric_limits<double>::quiet_NaN();
+
+  analysis::ScopedLevel off(analysis::Level::Off);
+  nn::Tensor out;
+  EXPECT_NO_THROW(out = enc.forward(f));
+  bool saw_nan = false;
+  for (const double v : out.value()) saw_nan = saw_nan || std::isnan(v);
+  EXPECT_TRUE(saw_nan);
+}
+
+}  // namespace
+}  // namespace sc::gnn

@@ -1,0 +1,78 @@
+// Round-trip property test for contraction results: for random graphs and
+// random edge-collapse masks, the Coarsening must satisfy the full validator
+// contract, and expanding any coarse placement must put every original node
+// in exactly the part of its supernode.
+#include <gtest/gtest.h>
+
+#include "analysis/validate.hpp"
+#include "common/rng.hpp"
+#include "gen/generator.hpp"
+#include "graph/contraction.hpp"
+#include "graph/rates.hpp"
+
+namespace sc::graph {
+namespace {
+
+TEST(ContractionInvariants, RandomMaskRoundTrip) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 10;
+  cfg.topology.max_nodes = 40;
+  const auto graphs = gen::generate_graphs(cfg, 8, /*seed=*/123);
+  Rng rng(321);
+
+  for (const StreamGraph& g : graphs) {
+    const LoadProfile profile = compute_load_profile(g);
+    // Several mask densities per graph, including all-collapse and none.
+    for (const double density : {0.0, 0.15, 0.5, 0.85, 1.0}) {
+      std::vector<bool> mask(g.num_edges());
+      for (std::size_t e = 0; e < mask.size(); ++e) {
+        mask[e] = rng.uniform() < density;
+      }
+      const Coarsening c = contract(g, profile, mask);
+
+      // Full contract: surjective + idempotent map, no self-loop supernodes,
+      // feature-mass conservation.
+      ASSERT_NO_THROW(analysis::validate(c, g, profile))
+          << g.name() << " density " << density;
+
+      // Placement round trip: assign coarse nodes round-robin to k parts,
+      // expand, and check every original node landed in its supernode's part.
+      const std::size_t k = std::min<std::size_t>(4, c.num_coarse_nodes());
+      std::vector<int> coarse_p(c.num_coarse_nodes());
+      for (std::size_t i = 0; i < coarse_p.size(); ++i) {
+        coarse_p[i] = static_cast<int>(i % k);
+      }
+      const std::vector<int> fine = c.expand_placement(coarse_p);
+      ASSERT_NO_THROW(analysis::validate_partition(fine, g.num_nodes(), k));
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_EQ(fine[v], coarse_p[c.node_map[v]])
+            << "node " << v << " not placed with its supernode";
+      }
+
+      // Compression ratio is |V| / |V'| by definition.
+      EXPECT_DOUBLE_EQ(c.compression_ratio(),
+                       static_cast<double>(g.num_nodes()) /
+                           static_cast<double>(c.num_coarse_nodes()));
+    }
+  }
+}
+
+TEST(ContractionInvariants, GroupContractionAgreesWithValidator) {
+  // contract_by_groups with arbitrary (non-contiguous) group ids must produce
+  // the same validated contract as mask-based contraction.
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 12;
+  cfg.topology.max_nodes = 20;
+  const auto graphs = gen::generate_graphs(cfg, 4, /*seed=*/77);
+  Rng rng(99);
+  for (const StreamGraph& g : graphs) {
+    const LoadProfile profile = compute_load_profile(g);
+    std::vector<NodeId> groups(g.num_nodes());
+    for (auto& gid : groups) gid = static_cast<NodeId>(rng.index(5) * 3);  // sparse ids
+    const Coarsening c = contract_by_groups(g, profile, groups);
+    ASSERT_NO_THROW(analysis::validate(c, g, profile)) << g.name();
+  }
+}
+
+}  // namespace
+}  // namespace sc::graph

@@ -213,7 +213,7 @@ TEST(TrainerState, AtomicPublicationLeavesNoTemp) {
   // Crash between temp-write and rename: a stale partial .tmp must neither
   // corrupt the published checkpoint nor survive the next save.
   {
-    std::ofstream tmp(path + ".tmp");
+    std::ofstream tmp(path + ".tmp");  // sc-lint: allow(writer-flush-check)
     tmp << "sctrainer v1\nepoch 3\nrng dead";  // torn write
   }
   EXPECT_EQ(serialize(load_trainer_state(path)), serialize(s));  // still intact

@@ -13,13 +13,23 @@ trap 'rm -rf "$WORK"' EXIT
   --setting small --epochs 2 > "$WORK/train.log"
 grep -q "checkpoint written" "$WORK/train.log"
 
+# --validate turns on the deep invariant validators at runtime; every tool
+# must accept it and produce identical results (validators observe, never
+# mutate). Train on the same data/seed with validation on and byte-compare
+# the checkpoints.
+"$BUILD_DIR/tools/sc_gen" --out "$WORK/train2.txt" --count 6 --setting small --seed 11 --validate
+cmp "$WORK/train.txt" "$WORK/train2.txt"
+"$BUILD_DIR/tools/sc_train" --data "$WORK/train.txt" --out "$WORK/model_v.ckpt" \
+  --setting small --epochs 2 --validate > "$WORK/train_v.log"
+cmp "$WORK/model.ckpt" "$WORK/model_v.ckpt"
+
 "$BUILD_DIR/tools/sc_eval" --data "$WORK/test.txt" --model "$WORK/model.ckpt" \
-  --setting small --methods metis,coarsen --csv "$WORK/eval.csv" > "$WORK/eval.log"
+  --setting small --methods metis,coarsen --csv "$WORK/eval.csv" --validate > "$WORK/eval.log"
 grep -q "Coarsen+Metis" "$WORK/eval.log"
 grep -q "method,value" "$WORK/eval.csv"
 
 "$BUILD_DIR/tools/sc_allocate" --data "$WORK/test.txt" --model "$WORK/model.ckpt" \
-  --setting small --index 0 --best-of 2 --dot "$WORK/g.dot" > "$WORK/alloc.log"
+  --setting small --index 0 --best-of 2 --dot "$WORK/g.dot" --validate > "$WORK/alloc.log"
 grep -q "placement:" "$WORK/alloc.log"
 grep -q "digraph" "$WORK/g.dot"
 

@@ -19,11 +19,12 @@ int main(int argc, char** argv) try {
   flags.check_unknown(
       tools::known_flags({"data", "model", "method", "best-of", "index", "dot"}));
   configure_threads_from_flags(flags);
+  tools::apply_validation_from_flags(flags);
   if (!flags.has("data")) {
     tools::usage(
         "usage: sc_allocate --data <file> [--model <ckpt>] [--setting medium]\n"
         "                   [--method coarsen|metis|oracle] [--best-of K]\n"
-        "                   [--index N] [--dot out.dot] [--threads N]\n");
+        "                   [--index N] [--dot out.dot] [--threads N] [--validate]\n");
   }
   const auto graphs = graph::load_graphs(flags.get_string("data", ""));
   SC_CHECK(!graphs.empty(), "dataset is empty");

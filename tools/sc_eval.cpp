@@ -19,11 +19,12 @@ int main(int argc, char** argv) try {
   const Flags flags(argc, argv);
   flags.check_unknown(tools::known_flags({"data", "model", "methods", "best-of", "csv"}));
   configure_threads_from_flags(flags);
+  tools::apply_validation_from_flags(flags);
   if (!flags.has("data")) {
     tools::usage(
         "usage: sc_eval --data <file> [--model <ckpt>] [--setting medium]\n"
         "               [--methods metis,oracle,rr,coarsen,coarsen-oracle]\n"
-        "               [--best-of K] [--csv out.csv] [--threads N]\n");
+        "               [--best-of K] [--csv out.csv] [--threads N] [--validate]\n");
   }
   const auto graphs = graph::load_graphs(flags.get_string("data", ""));
   SC_CHECK(!graphs.empty(), "dataset is empty");

@@ -12,11 +12,12 @@ int main(int argc, char** argv) try {
   const Flags flags(argc, argv);
   flags.check_unknown(tools::known_flags({"out", "count", "seed"}));
   configure_threads_from_flags(flags);
+  tools::apply_validation_from_flags(flags);
   if (!flags.has("out")) {
     tools::usage(
         "usage: sc_gen --out <file> [--count 100] [--setting medium] [--seed 1]\n"
         "              [--devices N] [--rate R] [--bandwidth B]\n"
-        "              [--nodes-lo L] [--nodes-hi H] [--threads N]\n");
+        "              [--nodes-lo L] [--nodes-hi H] [--threads N] [--validate]\n");
   }
   const auto cfg = tools::config_from_flags(flags);
   const auto count = static_cast<std::size_t>(flags.get_int("count", 100));

@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Project lint for streamcoarsen: static rules the compiler cannot enforce.
+
+Rules (each can be suppressed per line with `// sc-lint: allow(<rule>)`):
+
+  no-raw-rand          rand()/srand()/std::random_device anywhere except
+                       src/common/rng.hpp. All randomness must flow through
+                       sc::Rng so runs stay reproducible from a single seed.
+  no-stream-io-in-src  std::cout/std::cerr inside src/ outside common/log.
+                       Library code reports through logging or exceptions;
+                       direct console writes bypass log levels and corrupt
+                       tool output that is parsed downstream.
+  no-iostream-header   `#include <iostream>` in any header. The include
+                       injects the static ios_base initializer into every
+                       translation unit; headers use <ostream>/<iosfwd>.
+  writer-flush-check   every `std::ofstream` writer must flush() and then
+                       check the stream (SC_CHECK/.good()) before closing.
+                       Buffered-write failures (disk full, quota) otherwise
+                       vanish in the destructor, which swallows errors.
+  pragma-once          every header starts its preprocessor life with
+                       `#pragma once` (include guards are accepted).
+
+Usage:
+  tools/sc_lint.py [--root DIR] [--self-test]
+
+Exits 0 when clean, 1 when violations are found, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ("src", "tools", "bench", "tests", "examples")
+EXTS = {".hpp", ".cpp"}
+
+ALLOW_RE = re.compile(r"//\s*sc-lint:\s*allow\(([a-z0-9-]+)\)")
+RAW_RAND_RE = re.compile(r"std::random_device|(?<![\w:])s?rand\s*\(")
+STREAM_IO_RE = re.compile(r"std::c(?:out|err)\b")
+IOSTREAM_RE = re.compile(r'#\s*include\s*<iostream>')
+OFSTREAM_DECL_RE = re.compile(r"std::ofstream\s+(\w+)")
+PRAGMA_ONCE_RE = re.compile(r"#\s*pragma\s+once")
+GUARD_RE = re.compile(r"#\s*ifndef\s+\w+")
+
+
+def strip_comments_keep_lines(text: str) -> str:
+    """Blank out /* */ and // comment bodies so rules skip commented code.
+
+    Line structure (and thus reported line numbers) is preserved. The lint
+    suppression marker is parsed from the raw line before stripping.
+    """
+    out = []
+    in_block = False
+    for line in text.splitlines():
+        if in_block:
+            end = line.find("*/")
+            if end == -1:
+                out.append("")
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block = False
+        # // comments (naive about string literals containing //, which do
+        # not occur in rule-relevant positions in this codebase).
+        cut = line.find("//")
+        if cut != -1:
+            line = line[:cut]
+        start = line.find("/*")
+        while start != -1:
+            end = line.find("*/", start + 2)
+            if end == -1:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+            start = line.find("/*")
+        out.append(line)
+    return "\n".join(out)
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+
+    def report(self, path: str, lineno: int, rule: str, message: str) -> None:
+        self.violations.append(f"{path}:{lineno}: [{rule}] {message}")
+
+    def lint_file(self, path: Path, rel: str) -> None:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = raw.splitlines()
+        code_lines = strip_comments_keep_lines(raw).splitlines()
+        allows = {
+            i + 1: set(ALLOW_RE.findall(line)) for i, line in enumerate(raw_lines)
+        }
+
+        def allowed(lineno: int, rule: str) -> bool:
+            return rule in allows.get(lineno, set())
+
+        is_header = rel.endswith(".hpp")
+        in_src = rel.startswith("src/")
+        is_rng = rel == "src/common/rng.hpp"
+        is_log = rel.startswith("src/common/log")
+
+        for i, line in enumerate(code_lines, start=1):
+            if not is_rng and RAW_RAND_RE.search(line) and not allowed(i, "no-raw-rand"):
+                self.report(rel, i, "no-raw-rand",
+                            "raw libc/std randomness; use sc::Rng (common/rng.hpp)")
+            if (in_src and not is_log and STREAM_IO_RE.search(line)
+                    and not allowed(i, "no-stream-io-in-src")):
+                self.report(rel, i, "no-stream-io-in-src",
+                            "direct std::cout/std::cerr in library code; use common/log")
+            if is_header and IOSTREAM_RE.search(line) and not allowed(i, "no-iostream-header"):
+                self.report(rel, i, "no-iostream-header",
+                            "<iostream> in a header; include <ostream>/<iosfwd> and "
+                            "keep stream objects in a .cpp")
+
+        self._lint_writer_flush(rel, code_lines, allowed)
+
+        if is_header:
+            self._lint_pragma_once(rel, code_lines, allowed)
+
+    def _lint_writer_flush(self, rel: str, lines: list[str], allowed) -> None:
+        for i, line in enumerate(lines, start=1):
+            m = OFSTREAM_DECL_RE.search(line)
+            if not m or allowed(i, "writer-flush-check"):
+                continue
+            var = m.group(1)
+            # Find `var.flush()` after the declaration, then a stream check
+            # (SC_CHECK or .good()) within the next 3 lines.
+            flush_re = re.compile(rf"\b{re.escape(var)}\s*\.\s*flush\s*\(")
+            check_re = re.compile(rf"SC_CHECK|\b{re.escape(var)}\s*\.\s*good\s*\(")
+            ok = False
+            for j in range(i, len(lines)):
+                if flush_re.search(lines[j]):
+                    window = "\n".join(lines[j:j + 4])
+                    if check_re.search(window):
+                        ok = True
+                    break
+            if not ok:
+                self.report(rel, i, "writer-flush-check",
+                            f"std::ofstream '{var}' is never flush()ed + checked "
+                            "(SC_CHECK/.good()); buffered-write errors are lost in "
+                            "the destructor")
+
+    def _lint_pragma_once(self, rel: str, lines: list[str], allowed) -> None:
+        for i, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if PRAGMA_ONCE_RE.search(stripped) or GUARD_RE.search(stripped):
+                return
+            if allowed(i, "pragma-once"):
+                return
+            self.report(rel, i, "pragma-once",
+                        "header must start with #pragma once (or an include guard)")
+            return
+
+
+def run(root: Path) -> int:
+    linter = Linter()
+    files = []
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        files.extend(p for p in sorted(base.rglob("*")) if p.suffix in EXTS)
+    for path in files:
+        linter.lint_file(path, path.relative_to(root).as_posix())
+    for v in linter.violations:
+        print(v)
+    if linter.violations:
+        print(f"sc_lint: {len(linter.violations)} violation(s) in {len(files)} files")
+        return 1
+    print(f"sc_lint: clean ({len(files)} files)")
+    return 0
+
+
+def self_test() -> int:
+    """Seeds one violation per rule and asserts the linter flags it."""
+    cases = {
+        "no-raw-rand": ("src/x.cpp", "int r = rand();\n"),
+        "no-raw-rand-dev": ("src/x.cpp", "std::random_device rd;\n"),
+        "no-stream-io-in-src": ("src/x.cpp", 'std::cout << "hi";\n'),
+        "no-iostream-header": ("src/x.hpp", "#pragma once\n#include <iostream>\n"),
+        "writer-flush-check": ("src/x.cpp", 'std::ofstream os(p);\nos << x;\n'),
+        "pragma-once": ("src/x.hpp", "int f();\n"),
+    }
+    clean = {
+        "rng-exempt": ("src/common/rng.hpp", "#pragma once\nstd::random_device rd;\n"),
+        "suppressed": ("src/x.cpp",
+                       "std::ofstream os(p);  // sc-lint: allow(writer-flush-check)\n"),
+        "comment": ("src/x.cpp", "// old: int r = rand();\n"),
+        "flushed": ("src/x.cpp",
+                    "std::ofstream os(p);\nos << x;\nos.flush();\n"
+                    'SC_CHECK(os.good(), "write failed");\n'),
+    }
+    failures = []
+    for name, (rel, text) in cases.items():
+        linter = Linter()
+        path = Path("/tmp") / "sc_lint_self_test.tmp"
+        path.write_text(text)
+        linter.lint_file(path, rel)
+        if not linter.violations:
+            failures.append(f"expected a violation for seeded case '{name}'")
+    for name, (rel, text) in clean.items():
+        linter = Linter()
+        path = Path("/tmp") / "sc_lint_self_test.tmp"
+        path.write_text(text)
+        linter.lint_file(path, rel)
+        if linter.violations:
+            failures.append(f"false positive for clean case '{name}': {linter.violations}")
+    for f in failures:
+        print(f"sc_lint --self-test: {f}")
+    print("sc_lint --self-test: " + ("FAILED" if failures else "ok"))
+    return 1 if failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=".", help="repository root to scan")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the linter flags seeded violations, then exit")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    root = Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"sc_lint: '{root}' does not look like the repo root (no src/)")
+        return 2
+    return run(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,12 +27,13 @@ int main(int argc, char** argv) try {
                                           "placer", "seed", "lr", "save-every", "ckpt",
                                           "resume", "crash-after"}));
   configure_threads_from_flags(flags);
+  tools::apply_validation_from_flags(flags);
   if (!flags.has("data") || !flags.has("out")) {
     tools::usage(
         "usage: sc_train --data <file> --out <ckpt> [--setting medium]\n"
         "                [--epochs 16] [--init <ckpt>] [--no-guidance]\n"
         "                [--placer metis|oracle|coarsen-only] [--seed 7] [--lr 0.001]\n"
-        "                [--threads N]\n"
+        "                [--threads N] [--validate]\n"
         "                [--save-every N] [--ckpt <state-file>] [--resume <state-file>]\n"
         "  --save-every N  publish a crash-safe trainer-state checkpoint every N epochs\n"
         "                  (default file: <out>.state; override with --ckpt)\n"

@@ -2,7 +2,8 @@
 // overrides from flags.
 #pragma once
 
-#include <iostream>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -14,14 +15,25 @@
 namespace sc::tools {
 
 /// Known-flag registry helper: `extra` tool-specific flags plus the flags
-/// every tool understands (--threads, --setting and the cluster overrides
-/// read by config_from_flags). Pass the result to Flags::check_unknown so a
-/// typo'd flag exits with a usage error instead of silently using defaults.
+/// every tool understands (--threads, --setting, --validate and the cluster
+/// overrides read by config_from_flags). Pass the result to
+/// Flags::check_unknown so a typo'd flag exits with a usage error instead of
+/// silently using defaults.
 inline std::vector<std::string> known_flags(std::initializer_list<const char*> extra) {
   std::vector<std::string> known{"threads",   "setting", "devices",  "rate",
-                                 "bandwidth", "mips",    "nodes-lo", "nodes-hi"};
+                                 "bandwidth", "mips",    "nodes-lo", "nodes-hi",
+                                 "validate"};
   known.insert(known.end(), extra.begin(), extra.end());
   return known;
+}
+
+/// --validate turns on the deep invariant validators (analysis::Level::Deep)
+/// for this process, regardless of whether the binary was built with
+/// -DSC_VALIDATE=ON. Costs a few percent of runtime; see DESIGN.md §7.
+inline void apply_validation_from_flags(const Flags& flags) {
+  if (flags.get_bool("validate", false)) {
+    analysis::set_level(analysis::Level::Deep);
+  }
 }
 
 inline gen::Setting parse_setting(const std::string& name) {
@@ -59,7 +71,7 @@ inline sim::ClusterSpec spec_from_flags(const Flags& flags) {
 }
 
 [[noreturn]] inline void usage(const std::string& text) {
-  std::cerr << text;
+  std::fputs(text.c_str(), stderr);
   std::exit(2);
 }
 
