@@ -143,7 +143,7 @@ void validate(const graph::LoadProfile& profile, const graph::StreamGraph& g) {
 void validate(const graph::Coarsening& c, const graph::StreamGraph& g,
               const graph::LoadProfile& profile, double tolerance) {
   const std::size_t n = g.num_nodes();
-  const std::size_t k = c.groups.size();
+  const std::size_t k = c.num_coarse_nodes();
 
   SC_CHECK(c.node_map.size() == n,
            "contraction invariant: node map is total — maps " << c.node_map.size()
@@ -154,14 +154,32 @@ void validate(const graph::Coarsening& c, const graph::StreamGraph& g,
   SC_CHECK(n == 0 || k > 0, "contraction invariant: non-empty graph must coarsen to at "
                             "least one supernode");
 
+  // Flat group storage is well-formed: offsets are a monotone fence over the
+  // member array and the member array covers every original node slot.
+  SC_CHECK(c.group_offsets.size() == k + 1 && c.group_offsets.front() == 0 &&
+               c.group_offsets.back() == c.group_members.size(),
+           "contraction invariant: group offsets fence the member array — "
+               << c.group_offsets.size() << " offsets for " << k << " groups, last offset "
+               << (c.group_offsets.empty() ? 0 : c.group_offsets.back()) << ", "
+               << c.group_members.size() << " members");
+  for (std::size_t cid = 0; cid < k; ++cid) {
+    SC_CHECK(c.group_offsets[cid] <= c.group_offsets[cid + 1],
+             "contraction invariant: group offsets monotone — offset of group "
+                 << cid << " is " << c.group_offsets[cid] << ", next is "
+                 << c.group_offsets[cid + 1]);
+  }
+  SC_CHECK(c.group_members.size() == n,
+           "contraction invariant: member array is a permutation of V — "
+               << c.group_members.size() << " members, |V| = " << n);
+
   // Surjectivity + idempotence: F maps into [0, k), every coarse node has a
-  // non-empty preimage, and groups[F(v)] contains v exactly once.
+  // non-empty preimage, and group(F(v)) contains v exactly once.
   std::vector<std::size_t> membership_count(n, 0);
   for (std::size_t cid = 0; cid < k; ++cid) {
-    SC_CHECK(!c.groups[cid].empty(),
+    SC_CHECK(!c.group(cid).empty(),
              "contraction invariant: node map surjective — supernode " << cid
                                                                        << " has no members");
-    for (const graph::NodeId v : c.groups[cid]) {
+    for (const graph::NodeId v : c.group(cid)) {
       SC_CHECK(v < n, "contraction invariant: group member in bounds — supernode "
                           << cid << " lists node " << v << ", |V| = " << n);
       SC_CHECK(c.node_map[v] == cid,

@@ -1,0 +1,59 @@
+#include "common/profile.hpp"
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace sc::prof {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_nanos[kNumPhases];
+std::atomic<std::uint64_t> g_calls[kNumPhases];
+
+}  // namespace
+
+std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::Encode: return "encode";
+    case Phase::Sample: return "sample";
+    case Phase::Contract: return "contract";
+    case Phase::Partition: return "partition";
+    case Phase::Simulate: return "simulate";
+    case Phase::Backward: return "backward";
+    case Phase::kCount: break;
+  }
+  SC_CHECK(false, "invalid profile phase");
+  return {};
+}
+
+bool set_enabled(bool enabled) {
+  return g_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+Snapshot snapshot() {
+  Snapshot s;
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    s.phase[i].nanos = g_nanos[i].load(std::memory_order_relaxed);
+    s.phase[i].calls = g_calls[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void reset() {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    g_nanos[i].store(0, std::memory_order_relaxed);
+    g_calls[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void record(Phase p, std::uint64_t nanos) {
+  const std::size_t i = static_cast<std::size_t>(p);
+  g_nanos[i].fetch_add(nanos, std::memory_order_relaxed);
+  g_calls[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace sc::prof

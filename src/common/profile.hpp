@@ -1,0 +1,80 @@
+// Lightweight accumulating phase timers for the training loop.
+//
+// `sc_train --profile` needs a per-phase wall-time breakdown (encode / sample
+// / contract / partition / simulate / backward) without dragging in a real
+// profiler. Each phase accumulates total nanoseconds and call counts into
+// global relaxed atomics; a disabled ScopedTimer costs one relaxed load and
+// reads no clock, so the timers can stay compiled into the hot path.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sc::prof {
+
+/// The instrumented phases of one training epoch. Contract / Partition /
+/// Simulate together are the reward (mask-evaluation) hot path.
+enum class Phase : std::size_t {
+  Encode = 0,  ///< GNN encoder + scorer forwards
+  Sample,      ///< mask sampling from logits
+  Contract,    ///< edge-collapse contraction
+  Partition,   ///< coarse placement (multilevel partitioner + expand)
+  Simulate,    ///< fluid simulator throughput evaluation
+  Backward,    ///< loss backward + optimizer step
+  kCount,
+};
+
+inline constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
+
+/// Stable lowercase name for reports ("encode", "sample", ...).
+std::string_view phase_name(Phase p);
+
+/// Enables the timers (returns the previous setting). Default: disabled.
+bool set_enabled(bool enabled);
+bool enabled();
+
+/// Accumulated totals since the last reset(). Safe to call concurrently with
+/// running timers (relaxed reads; totals are monotone).
+struct Snapshot {
+  struct Entry {
+    std::uint64_t nanos = 0;
+    std::uint64_t calls = 0;
+  };
+  std::array<Entry, kNumPhases> phase;
+};
+
+Snapshot snapshot();
+void reset();
+
+/// Adds one timed interval to a phase (used by ScopedTimer; exposed for
+/// tests).
+void record(Phase p, std::uint64_t nanos);
+
+/// RAII phase timer. Whether the timers are live is decided at construction,
+/// so an enable/disable race mid-scope cannot unbalance start/stop.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Phase p) : phase_(p), active_(enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (active_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      record(phase_, static_cast<std::uint64_t>(ns));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Phase phase_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sc::prof

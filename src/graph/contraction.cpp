@@ -1,6 +1,7 @@
 #include "graph/contraction.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 #include "analysis/validate.hpp"
@@ -9,8 +10,29 @@
 
 namespace sc::graph {
 
+namespace contraction_scratch {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool set_enabled(bool enabled) { return g_enabled.exchange(enabled, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+ContractionScratch& local() {
+  thread_local ContractionScratch scratch;
+  return scratch;
+}
+
+}  // namespace contraction_scratch
+
 namespace {
 
+/// Legacy (allocating) finisher, kept verbatim apart from the flat group
+/// layout so the contraction_scratch=off arm of bench_perf_reward measures
+/// the pre-workspace allocation profile (fresh vectors + the unordered_map
+/// edge merge inside the WeightedGraph constructor).
 Coarsening finish_from_dsu(const StreamGraph& g, const LoadProfile& profile, UnionFind& dsu) {
   const std::size_t n = g.num_nodes();
   Coarsening c;
@@ -25,12 +47,17 @@ Coarsening finish_from_dsu(const StreamGraph& g, const LoadProfile& profile, Uni
     c.node_map[v] = root_to_id[root];
   }
 
-  c.groups.assign(next, {});
+  // Flat groups via counting sort over v ascending — the same member order
+  // the old vector<vector<NodeId>> layout produced with push_back.
+  c.group_offsets.assign(next + 1, 0);
+  for (NodeId v = 0; v < n; ++v) ++c.group_offsets[c.node_map[v] + 1];
+  for (std::size_t i = 0; i < next; ++i) c.group_offsets[i + 1] += c.group_offsets[i];
+  c.group_members.resize(n);
+  std::vector<std::size_t> cursor(c.group_offsets.begin(), c.group_offsets.end() - 1);
+  for (NodeId v = 0; v < n; ++v) c.group_members[cursor[c.node_map[v]]++] = v;
+
   std::vector<double> weights(next, 0.0);
-  for (NodeId v = 0; v < n; ++v) {
-    c.groups[c.node_map[v]].push_back(v);
-    weights[c.node_map[v]] += profile.node_cpu[v];
-  }
+  for (NodeId v = 0; v < n; ++v) weights[c.node_map[v]] += profile.node_cpu[v];
 
   std::vector<WeightedEdge> coarse_edges;
   coarse_edges.reserve(g.num_edges());
@@ -52,9 +79,9 @@ Coarsening finish_from_dsu(const StreamGraph& g, const LoadProfile& profile, Uni
 }  // namespace
 
 std::vector<int> Coarsening::expand_placement(const std::vector<int>& coarse_placement) const {
-  SC_CHECK(coarse_placement.size() == groups.size(),
+  SC_CHECK(coarse_placement.size() == num_coarse_nodes(),
            "coarse placement size " << coarse_placement.size() << " != coarse nodes "
-                                    << groups.size());
+                                    << num_coarse_nodes());
   std::vector<int> fine(node_map.size());
   for (std::size_t v = 0; v < node_map.size(); ++v) {
     fine[v] = coarse_placement[node_map[v]];
@@ -64,6 +91,11 @@ std::vector<int> Coarsening::expand_placement(const std::vector<int>& coarse_pla
 
 Coarsening contract(const StreamGraph& g, const LoadProfile& profile,
                     const std::vector<bool>& mask) {
+  if (contraction_scratch::enabled()) {
+    Coarsening out;
+    contract_into(g, profile, mask, contraction_scratch::local(), out);
+    return out;
+  }
   SC_CHECK(mask.size() == g.num_edges(),
            "mask size " << mask.size() << " != edge count " << g.num_edges());
   UnionFind dsu(g.num_nodes());
@@ -71,6 +103,59 @@ Coarsening contract(const StreamGraph& g, const LoadProfile& profile,
     if (mask[e]) dsu.unite(g.edge(e).src, g.edge(e).dst);
   }
   return finish_from_dsu(g, profile, dsu);
+}
+
+// sc-lint: hot-path
+void contract_into(const StreamGraph& g, const LoadProfile& profile,
+                   const std::vector<bool>& mask, ContractionScratch& scratch,
+                   Coarsening& out) {
+  SC_CHECK(mask.size() == g.num_edges(),
+           "mask size " << mask.size() << " != edge count " << g.num_edges());
+  const std::size_t n = g.num_nodes();
+  scratch.dsu.reset(n);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (mask[e]) scratch.dsu.unite(g.edge(e).src, g.edge(e).dst);
+  }
+
+  // Compact DSU roots to dense coarse ids in first-seen order.
+  out.node_map.resize(n);
+  scratch.root_to_id.assign(n, kInvalidNode);
+  NodeId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto root = scratch.dsu.find(v);
+    if (scratch.root_to_id[root] == kInvalidNode) scratch.root_to_id[root] = next++;
+    out.node_map[v] = scratch.root_to_id[root];
+  }
+
+  // Flat groups via counting sort; group_offsets[c] doubles as the fill
+  // cursor for group c and is restored by the final shift, so no cursor
+  // buffer is needed. Member order matches finish_from_dsu (v ascending).
+  out.group_offsets.assign(next + 1, 0);
+  for (NodeId v = 0; v < n; ++v) ++out.group_offsets[out.node_map[v] + 1];
+  for (std::size_t i = 0; i < next; ++i) out.group_offsets[i + 1] += out.group_offsets[i];
+  out.group_members.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    out.group_members[out.group_offsets[out.node_map[v]]++] = v;
+  }
+  for (std::size_t i = next; i > 0; --i) out.group_offsets[i] = out.group_offsets[i - 1];
+  out.group_offsets[0] = 0;
+
+  scratch.weights.assign(next, 0.0);
+  for (NodeId v = 0; v < n; ++v) scratch.weights[out.node_map[v]] += profile.node_cpu[v];
+
+  scratch.coarse_edges.clear();
+  if (scratch.coarse_edges.capacity() < g.num_edges()) {
+    scratch.coarse_edges.reserve(g.num_edges());
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Channel& ch = g.edge(e);
+    const NodeId a = out.node_map[ch.src];
+    const NodeId b = out.node_map[ch.dst];
+    if (a == b) continue;  // internal edge vanished
+    scratch.coarse_edges.push_back(WeightedEdge{a, b, profile.edge_traffic[e]});
+  }
+  out.coarse.rebuild(scratch.weights, scratch.coarse_edges, scratch.dedup);
+  SC_VALIDATE_AT(Deep, analysis::validate(out, g, profile));
 }
 
 Coarsening contract_by_groups(const StreamGraph& g, const LoadProfile& profile,

@@ -4,41 +4,85 @@
 // by summing traffic; internal edges vanish.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/rates.hpp"
 #include "graph/stream_graph.hpp"
 #include "graph/types.hpp"
+#include "graph/union_find.hpp"
 #include "graph/weighted_graph.hpp"
 
 namespace sc::graph {
 
 /// Result of contracting a stream graph under an edge-collapse mask.
+/// The inverse image is stored flat (CSR-style): the members of coarse node
+/// c are group_members[group_offsets[c] .. group_offsets[c+1]), in ascending
+/// original-node order. Flat storage lets workspaces reuse two buffers per
+/// contraction instead of one vector per supernode.
 struct Coarsening {
   /// Coarse partitioning view: node weight = summed CPU, edge weight = traffic.
   WeightedGraph coarse;
   /// F: original node -> coarse node.
   std::vector<NodeId> node_map;
-  /// Inverse image: coarse node -> member original nodes.
-  std::vector<std::vector<NodeId>> groups;
+  /// Offsets into group_members, size num_coarse_nodes() + 1.
+  std::vector<std::size_t> group_offsets;
+  /// Concatenated group member lists (a permutation of 0..|V|-1).
+  std::vector<NodeId> group_members;
 
-  std::size_t num_coarse_nodes() const { return groups.size(); }
+  std::size_t num_coarse_nodes() const {
+    return group_offsets.empty() ? 0 : group_offsets.size() - 1;
+  }
+
+  /// Members of coarse node cid (the preimage of cid under F).
+  std::span<const NodeId> group(std::size_t cid) const {
+    return {group_members.data() + group_offsets[cid],
+            group_members.data() + group_offsets[cid + 1]};
+  }
 
   /// |V| / |V'| — the paper's "compressed ratio" (Fig. 8).
   double compression_ratio() const {
-    return groups.empty() ? 1.0
-                          : static_cast<double>(node_map.size()) /
-                                static_cast<double>(groups.size());
+    const std::size_t k = num_coarse_nodes();
+    return k == 0 ? 1.0
+                  : static_cast<double>(node_map.size()) / static_cast<double>(k);
   }
 
   /// Expands a coarse placement (device per coarse node) to the original graph.
   std::vector<int> expand_placement(const std::vector<int>& coarse_placement) const;
 };
 
+/// Per-thread reusable workspace for contract_into. After warm-up at a given
+/// graph size, a contraction performs no heap allocations (DESIGN.md §5.4).
+struct ContractionScratch {
+  UnionFind dsu;
+  std::vector<NodeId> root_to_id;
+  std::vector<double> weights;
+  std::vector<WeightedEdge> coarse_edges;
+  EdgeDedupScratch dedup;
+};
+
+/// Runtime toggle for the scratch-based contraction fast path (same pattern
+/// as nn::arena / nn::fused). Default: enabled. Off routes contract() and the
+/// rl reward pipeline through the legacy allocating path for A/B baselines.
+namespace contraction_scratch {
+/// Toggles the fast path (returns the previous setting). Default: enabled.
+bool set_enabled(bool enabled);
+bool enabled();
+/// This thread's scratch instance (one workspace set per worker thread).
+ContractionScratch& local();
+}  // namespace contraction_scratch
+
 /// Contracts `g` by merging the endpoints of every edge e with mask[e] = true.
 /// `profile` supplies the unit-rate loads used as coarse weights.
 Coarsening contract(const StreamGraph& g, const LoadProfile& profile,
                     const std::vector<bool>& mask);
+
+/// Scratch-based contraction, bit-identical to contract(): same node_map,
+/// group layout, coarse edge order, and accumulated weights. `out` is
+/// overwritten; its buffers are reused across calls (shrink/grow safe).
+void contract_into(const StreamGraph& g, const LoadProfile& profile,
+                   const std::vector<bool>& mask, ContractionScratch& scratch,
+                   Coarsening& out);
 
 /// Contracts by an explicit node->group assignment (groups need not be
 /// contiguous ids; they are compacted). Used to build coarse views from

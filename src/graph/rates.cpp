@@ -6,12 +6,19 @@ namespace sc::graph {
 
 LoadProfile compute_load_profile(const StreamGraph& g) {
   LoadProfile p;
+  compute_load_profile_into(g, p);
+  return p;
+}
+
+void compute_load_profile_into(const StreamGraph& g, LoadProfile& p) {
   const std::size_t n = g.num_nodes();
   const std::size_t m = g.num_edges();
   p.node_rate.assign(n, 0.0);
   p.edge_rate.assign(m, 0.0);
   p.node_cpu.assign(n, 0.0);
   p.edge_traffic.assign(m, 0.0);
+  p.total_cpu = 0.0;
+  p.total_traffic = 0.0;
 
   for (const NodeId s : g.sources()) p.node_rate[s] = 1.0;
 
@@ -31,7 +38,6 @@ LoadProfile compute_load_profile(const StreamGraph& g) {
     p.edge_traffic[e] = g.edge(e).payload * p.edge_rate[e];
     p.total_traffic += p.edge_traffic[e];
   }
-  return p;
 }
 
 }  // namespace sc::graph

@@ -35,4 +35,8 @@ struct LoadProfile {
 /// Computes the unit-rate load profile of a stream graph.
 LoadProfile compute_load_profile(const StreamGraph& g);
 
+/// In-place variant: overwrites `out`, reusing its vectors' capacity. Produces
+/// bit-identical values to compute_load_profile (same propagation order).
+void compute_load_profile_into(const StreamGraph& g, LoadProfile& out);
+
 }  // namespace sc::graph

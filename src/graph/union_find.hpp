@@ -9,7 +9,17 @@ namespace sc::graph {
 
 class UnionFind {
 public:
-  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+  /// Empty structure; call reset(n) before use. Exists so workspaces can hold
+  /// a UnionFind and re-initialise it per call without reallocating.
+  UnionFind() = default;
+
+  explicit UnionFind(std::size_t n) { reset(n); }
+
+  /// Re-initialises to n singleton sets, reusing the existing capacity.
+  void reset(std::size_t n) {
+    parent_.resize(n);
+    size_.assign(n, 1);
+    components_ = n;
     std::iota(parent_.begin(), parent_.end(), std::size_t{0});
   }
 
@@ -41,7 +51,7 @@ public:
 private:
   std::vector<std::size_t> parent_;
   std::vector<std::size_t> size_;
-  std::size_t components_;
+  std::size_t components_ = 0;
 };
 
 }  // namespace sc::graph

@@ -7,6 +7,107 @@
 
 namespace sc::graph {
 
+namespace {
+
+/// SplitMix64-style mixer: packed endpoint keys are highly regular, so the
+/// open-addressing table needs a real avalanche before masking.
+std::uint64_t mix_key(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+}  // namespace
+
+void EdgeDedupScratch::reset(std::size_t expected) {
+  std::size_t cap = 16;
+  while (cap < expected * 2) cap *= 2;
+  if (keys_.size() < cap) {
+    keys_.resize(cap);
+    vals_.resize(cap);
+  }
+  mask_ = keys_.size() - 1;
+  std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+}
+
+std::uint32_t EdgeDedupScratch::find_or_insert(std::uint64_t key, std::uint32_t value_if_new,
+                                               bool& inserted) {
+  std::size_t slot = mix_key(key) & mask_;
+  for (;;) {
+    if (keys_[slot] == kEmptyKey) {
+      keys_[slot] = key;
+      vals_[slot] = value_if_new;
+      inserted = true;
+      return value_if_new;
+    }
+    if (keys_[slot] == key) {
+      inserted = false;
+      return vals_[slot];
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+// sc-lint: hot-path
+void WeightedGraph::rebuild(std::span<const double> node_weights,
+                            std::span<const WeightedEdge> edges, EdgeDedupScratch& dedup) {
+  const std::size_t n = node_weights.size();
+  SC_CHECK(n > 0, "weighted graph needs at least one node");
+  node_weights_.assign(node_weights.begin(), node_weights.end());
+  total_node_weight_ = 0.0;
+  for (const double w : node_weights_) {
+    SC_CHECK(w >= 0.0, "node weights must be non-negative");
+    total_node_weight_ += w;
+  }
+
+  // Merge parallel / reversed-duplicate edges. The flat table reproduces the
+  // constructor's first-seen append order exactly: dedup strategy only
+  // decides *whether* a key is new, and inputs are scanned in the same order.
+  edges_.clear();
+  if (edges_.capacity() < edges.size()) edges_.reserve(edges.size());
+  dedup.reset(edges.size());
+  for (const WeightedEdge& e : edges) {
+    SC_CHECK(e.a < n && e.b < n, "edge endpoint out of range");
+    SC_CHECK(e.weight >= 0.0, "edge weights must be non-negative");
+    if (e.a == e.b) continue;  // self-loops carry no cut cost
+    const NodeId lo = std::min(e.a, e.b);
+    const NodeId hi = std::max(e.a, e.b);
+    const std::uint64_t key = (static_cast<std::uint64_t>(lo) << 32) | hi;
+    bool inserted = false;
+    const std::uint32_t idx =
+        dedup.find_or_insert(key, static_cast<std::uint32_t>(edges_.size()), inserted);
+    if (inserted) {
+      edges_.push_back(WeightedEdge{lo, hi, e.weight});
+    } else {
+      edges_[idx].weight += e.weight;
+    }
+  }
+  total_edge_weight_ = 0.0;
+  for (const WeightedEdge& e : edges_) total_edge_weight_ += e.weight;
+
+  // CSR over undirected incidence, without the constructor's cursor buffer:
+  // offsets_[v] doubles as the fill cursor for v's range and is restored by
+  // the final shift, yielding the same adjacency order as the constructor.
+  offsets_.assign(n + 1, 0);
+  for (const WeightedEdge& e : edges_) {
+    ++offsets_[e.a + 1];
+    ++offsets_[e.b + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  adj_.resize(edges_.size() * 2);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    adj_[offsets_[edges_[e].a]++] = e;
+    adj_[offsets_[edges_[e].b]++] = e;
+  }
+  for (std::size_t v = n; v > 0; --v) offsets_[v] = offsets_[v - 1];
+  offsets_[0] = 0;
+}
+
 WeightedGraph::WeightedGraph(std::vector<double> node_weights,
                              const std::vector<WeightedEdge>& edges)
     : node_weights_(std::move(node_weights)) {

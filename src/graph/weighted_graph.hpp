@@ -6,6 +6,7 @@
 // between the same node pair are merged at construction.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -22,6 +23,26 @@ struct WeightedEdge {
   double weight = 0.0;
 };
 
+/// Reusable open-addressing hash table for parallel-edge deduplication.
+/// Replaces the per-construction std::unordered_map on the reward hot path:
+/// after warm-up, reset() + find_or_insert() perform no heap allocations.
+/// Keys are packed endpoint pairs (lo << 32 | hi with lo < hi), which can
+/// never be all-ones, so ~0 serves as the empty sentinel.
+class EdgeDedupScratch {
+public:
+  /// Prepares the table for up to `expected` distinct keys (load factor <= 0.5).
+  void reset(std::size_t expected);
+
+  /// Returns the slot value for `key`, inserting `value_if_new` when absent.
+  /// `inserted` reports whether the key was new.
+  std::uint32_t find_or_insert(std::uint64_t key, std::uint32_t value_if_new, bool& inserted);
+
+private:
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> vals_;
+  std::size_t mask_ = 0;
+};
+
 class WeightedGraph {
 public:
   WeightedGraph() = default;
@@ -30,6 +51,14 @@ public:
   /// Parallel edges and reversed duplicates are merged by summing weights;
   /// self-loops are dropped.
   WeightedGraph(std::vector<double> node_weights, const std::vector<WeightedEdge>& edges);
+
+  /// In-place rebuild with identical semantics to the constructor, reusing
+  /// this graph's storage and `dedup` for the parallel-edge merge. After the
+  /// first call at a given size, a rebuild performs no heap allocations.
+  /// Merge order, edge order, and all accumulated sums are bit-identical to
+  /// constructing a fresh WeightedGraph from the same inputs.
+  void rebuild(std::span<const double> node_weights, std::span<const WeightedEdge> edges,
+               EdgeDedupScratch& dedup);
 
   std::size_t num_nodes() const { return node_weights_.size(); }
   std::size_t num_edges() const { return edges_.size(); }

@@ -6,12 +6,19 @@
 
 #include "common/rng.hpp"
 #include "graph/weighted_graph.hpp"
+#include "partition/workspace.hpp"
 
 namespace sc::partition {
 
 /// Returns match[v] = partner of v (or v itself if unmatched). Nodes are
 /// visited in random order and matched to their heaviest unmatched neighbor.
 std::vector<graph::NodeId> heavy_edge_matching(const graph::WeightedGraph& g, Rng& rng);
+
+/// Workspace variant: identical RNG draws and resulting matching, but reuses
+/// `scratch` (result in scratch.match) and replaces the allocating
+/// stable_sort with an in-place sort over the equivalent total order
+/// (weight desc, shuffled rank asc).
+void heavy_edge_matching_ws(const graph::WeightedGraph& g, Rng& rng, MatchScratch& scratch);
 
 /// Result of contracting a matching (or any node->coarse label map).
 struct Contraction {
@@ -23,5 +30,16 @@ struct Contraction {
 /// parallel coarse edges merged).
 Contraction contract_matching(const graph::WeightedGraph& g,
                               const std::vector<graph::NodeId>& match);
+
+/// Workspace variant of contract_matching: bit-identical coarse graph and
+/// map, written into caller-retained storage (out_coarse is rebuilt in
+/// place; weight_buf/edge_buf/dedup are scratch).
+void contract_matching_ws(const graph::WeightedGraph& g,
+                          const std::vector<graph::NodeId>& match,
+                          std::vector<double>& weight_buf,
+                          std::vector<graph::WeightedEdge>& edge_buf,
+                          graph::EdgeDedupScratch& dedup,
+                          std::vector<graph::NodeId>& out_map,
+                          graph::WeightedGraph& out_coarse);
 
 }  // namespace sc::partition

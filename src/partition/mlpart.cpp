@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <span>
 
 #include "analysis/validate.hpp"
 #include "common/error.hpp"
@@ -11,6 +12,7 @@
 #include "partition/matching.hpp"
 #include "partition/metrics.hpp"
 #include "partition/refine.hpp"
+#include "partition/workspace.hpp"
 
 namespace sc::partition {
 
@@ -150,11 +152,293 @@ void recursive_bisect(const WeightedGraph& g, const std::vector<double>& fractio
                    refine_passes, rng, lift1, out);
 }
 
+// ---------------------------------------------------------------------------
+// Workspace path (DESIGN.md §5.4): the same multilevel algorithm with every
+// intermediate (coarsening levels, bisection frames, induced subgraphs,
+// uncoarsening double buffer) reused from a per-thread PartitionWorkspace.
+// Bit-identical to the legacy path: same RNG draw sequence, same FP
+// accumulation orders, same tie-breaking.
+// ---------------------------------------------------------------------------
+
+/// induce() without the temporaries: builds `out` from the kept nodes via
+/// WeightedGraph::rebuild (bit-identical to the legacy constructor).
+// sc-lint: hot-path
+void induce_into(const WeightedGraph& g, const std::vector<NodeId>& keep,
+                 PartitionWorkspace& ws, WeightedGraph& out) {
+  SC_ASSERT(!keep.empty(), "cannot induce an empty subgraph");
+  ws.to_sub.assign(g.num_nodes(), kInvalidNode);
+  ws.weight_buf.clear();
+  if (ws.weight_buf.capacity() < keep.size()) ws.weight_buf.reserve(keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    ws.to_sub[keep[i]] = static_cast<NodeId>(i);
+    ws.weight_buf.push_back(g.node_weight(keep[i]));
+  }
+  ws.edge_buf.clear();
+  if (ws.edge_buf.capacity() < g.num_edges()) ws.edge_buf.reserve(g.num_edges());
+  for (const WeightedEdge& e : g.edges()) {
+    const NodeId a = ws.to_sub[e.a];
+    const NodeId b = ws.to_sub[e.b];
+    if (a == kInvalidNode || b == kInvalidNode) continue;
+    ws.edge_buf.push_back(WeightedEdge{a, b, e.weight});
+  }
+  out.rebuild(ws.weight_buf, ws.edge_buf, ws.dedup);
+}
+
+/// grow_bisection() with identical RNG draws and identical picks, but the
+/// per-add O(n) selection scan replaced by a lazy max-heap over
+/// (connectivity, node id). Connectivity only grows and every increase
+/// pushes a fresh heap entry, so the freshest entry for a node always
+/// surfaces before its stale ones; stale or already-assigned entries are
+/// discarded on pop. The heap's (conn desc, id asc) order equals the legacy
+/// scan's first-wins (max conn, lowest id) choice, so the grown region —
+/// and everything downstream — is bit-identical.
+// sc-lint: hot-path
+void grow_bisection_ws(const WeightedGraph& g, double target0, Rng& rng,
+                       std::vector<int>& part, BisectFrame& f) {
+  const std::size_t n = g.num_nodes();
+  part.assign(n, 1);
+  f.conn.assign(n, 0.0);
+  f.in0.assign(n, 0);
+
+  // (conn, id) max-heap over FRONTIER candidates only: higher conn first,
+  // lower id first among equals. Non-frontier unassigned nodes all share
+  // conn == 0 and lose to any frontier node (edge weights are positive), so
+  // the legacy scan only ever falls back to them when the frontier is empty
+  // — and then it picks the lowest unassigned id, which the monotone
+  // `fallback` cursor yields exactly.
+  const auto lower_priority = [](const std::pair<double, NodeId>& a,
+                                 const std::pair<double, NodeId>& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  };
+  f.grow_heap.clear();
+  NodeId fallback = 0;
+
+  double w0 = 0.0;
+  NodeId seed = static_cast<NodeId>(rng.index(n));
+  for (;;) {
+    part[seed] = 0;
+    f.in0[seed] = 1;
+    w0 += g.node_weight(seed);
+    if (w0 >= target0) break;
+    for (const graph::EdgeId e : g.incident(seed)) {
+      const NodeId u = g.other(e, seed);
+      if (f.in0[u] == 0) {
+        f.conn[u] += g.edge(e).weight;
+        f.grow_heap.emplace_back(f.conn[u], u);
+        std::push_heap(f.grow_heap.begin(), f.grow_heap.end(), lower_priority);
+      }
+    }
+    NodeId best = kInvalidNode;
+    while (!f.grow_heap.empty()) {
+      const auto [c, v] = f.grow_heap.front();
+      // A frontier entry with conn 0 would tie with non-frontier nodes under
+      // the legacy scan; route it through the lowest-id fallback instead of
+      // trusting heap order. (Possible only with zero-weight edges.)
+      if (c == 0.0) break;
+      std::pop_heap(f.grow_heap.begin(), f.grow_heap.end(), lower_priority);
+      f.grow_heap.pop_back();
+      if (f.in0[v] != 0 || c != f.conn[v]) continue;  // assigned or stale
+      best = v;
+      break;
+    }
+    if (best == kInvalidNode) {
+      // Frontier empty (disconnected remainder or zero-weight ties): lowest
+      // unassigned id, exactly the legacy scan's choice among all-zero conn.
+      while (fallback < n && f.in0[fallback] != 0) ++fallback;
+      if (fallback >= n) break;  // everything assigned
+      best = static_cast<NodeId>(fallback);
+    }
+    seed = best;
+  }
+}
+
+/// bisect() with the winner kept in f.part via buffer swap. The balance
+/// tie-break inlines part_weights()[0]: node weights accumulated in node
+/// order into a single accumulator — the same additions in the same order.
+// sc-lint: hot-path
+void bisect_ws(const WeightedGraph& g, double target0, double eps, std::size_t trials,
+               std::size_t refine_passes, Rng& rng, BisectFrame& f) {
+  double best_cut = std::numeric_limits<double>::infinity();
+  double best_bal = std::numeric_limits<double>::infinity();
+  fm_refine_bind(g);  // every trial refines the same graph
+  for (std::size_t t = 0; t < std::max<std::size_t>(1, trials); ++t) {
+    grow_bisection_ws(g, target0, rng, f.trial, f);
+    const double cut = fm_refine_bisection(g, f.trial, target0, eps, refine_passes);
+    double w0 = 0.0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (f.trial[v] == 0) w0 += g.node_weight(v);
+    }
+    const double bal = std::abs(w0 - target0);
+    if (cut < best_cut - 1e-12 || (std::abs(cut - best_cut) <= 1e-12 && bal < best_bal)) {
+      best_cut = cut;
+      best_bal = bal;
+      std::swap(f.part, f.trial);
+    }
+  }
+}
+
+/// recursive_bisect() over frame-owned storage. Frames are indexed by depth:
+/// the two sibling recursions at depth+1 reuse the same frame sequentially,
+/// while this depth's subgraphs stay alive in its own frame.
+void recursive_bisect_ws(const WeightedGraph& g, std::span<const double> fractions,
+                         int label_base, double eps, std::size_t trials,
+                         std::size_t refine_passes, Rng& rng,
+                         std::span<const NodeId> to_parent, std::vector<int>& out,
+                         PartitionWorkspace& ws, std::size_t depth) {
+  const std::size_t k = fractions.size();
+  if (k <= 1) {
+    for (const NodeId v : to_parent) out[v] = label_base;
+    return;
+  }
+  BisectFrame& f = ws.frame(depth);
+  const std::size_t k1 = k / 2;
+  double frac_total = 0.0, frac_first = 0.0;
+  for (std::size_t q = 0; q < k; ++q) {
+    frac_total += fractions[q];
+    if (q < k1) frac_first += fractions[q];
+  }
+  const double target0 = g.total_node_weight() * frac_first / frac_total;
+
+  bisect_ws(g, target0, eps, trials, refine_passes, rng, f);
+
+  f.side0.clear();
+  f.side1.clear();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    (f.part[v] == 0 ? f.side0 : f.side1).push_back(v);
+  }
+  // Degenerate split (tiny graphs): fall back to round-robin.
+  if (f.side0.empty() || f.side1.empty()) {
+    for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+      out[to_parent[i]] = label_base + static_cast<int>(i % k);
+    }
+    return;
+  }
+
+  induce_into(g, f.side0, ws, f.g0);
+  induce_into(g, f.side1, ws, f.g1);
+  f.lift0.resize(f.side0.size());
+  f.lift1.resize(f.side1.size());
+  for (std::size_t i = 0; i < f.side0.size(); ++i) f.lift0[i] = to_parent[f.side0[i]];
+  for (std::size_t i = 0; i < f.side1.size(); ++i) f.lift1[i] = to_parent[f.side1[i]];
+
+  recursive_bisect_ws(f.g0, fractions.first(k1), label_base, eps, trials, refine_passes,
+                      rng, f.lift0, out, ws, depth + 1);
+  recursive_bisect_ws(f.g1, fractions.subspan(k1), label_base + static_cast<int>(k1),
+                      eps, trials, refine_passes, rng, f.lift1, out, ws, depth + 1);
+}
+
+/// partition_attempt() over workspace storage; the result lives in ws.part_a
+/// (double-buffered against ws.part_b during uncoarsening).
+// sc-lint: hot-path
+const std::vector<int>& partition_attempt_ws(const WeightedGraph& g,
+                                             const std::vector<double>& fractions,
+                                             std::uint64_t seed,
+                                             const PartitionOptions& opts,
+                                             PartitionWorkspace& ws) {
+  const std::size_t k = fractions.size();
+
+  Rng rng(seed);
+  const std::size_t stop =
+      opts.coarsen_until > 0 ? opts.coarsen_until : std::max<std::size_t>(30, 8 * k);
+
+  // ---- Coarsening (levels retained in the workspace) ----------------------
+  std::size_t num_levels = 0;
+  const WeightedGraph* cur = &g;
+  while (cur->num_nodes() > stop) {
+    heavy_edge_matching_ws(*cur, rng, ws.match);
+    PartitionWorkspace::Level& lvl = ws.level(num_levels);
+    contract_matching_ws(*cur, ws.match.match, ws.weight_buf, ws.edge_buf, ws.dedup,
+                         lvl.map, lvl.coarse);
+    // Stop if matching no longer shrinks the graph meaningfully.
+    if (lvl.coarse.num_nodes() >= cur->num_nodes() * 95 / 100) break;
+    cur = &lvl.coarse;
+    ++num_levels;
+  }
+
+  // Per-part absolute weight targets for refinement (capacity-proportional).
+  double frac_total = 0.0;
+  for (const double f : fractions) frac_total += f;
+  const auto targets_for = [&](const WeightedGraph& wg) -> const std::vector<double>& {
+    ws.targets.resize(k);
+    for (std::size_t q = 0; q < k; ++q) {
+      ws.targets[q] = wg.total_node_weight() * fractions[q] / frac_total;
+    }
+    return ws.targets;
+  };
+
+  // ---- Initial partition on the coarsest graph ----------------------------
+  ws.part_a.assign(cur->num_nodes(), 0);
+  {
+    ws.identity.resize(cur->num_nodes());
+    std::iota(ws.identity.begin(), ws.identity.end(), NodeId{0});
+    recursive_bisect_ws(*cur, std::span<const double>(fractions), 0, opts.imbalance_eps,
+                        opts.bisection_trials, opts.refine_passes, rng, ws.identity,
+                        ws.part_a, ws, 0);
+    greedy_kway_refine(*cur, ws.part_a, targets_for(*cur), opts.imbalance_eps,
+                       opts.refine_passes);
+  }
+
+  // ---- Uncoarsening with refinement ---------------------------------------
+  for (std::size_t lvl = num_levels; lvl > 0; --lvl) {
+    const PartitionWorkspace::Level& c = *ws.levels[lvl - 1];
+    const WeightedGraph& fine = (lvl == 1) ? g : ws.levels[lvl - 2]->coarse;
+    ws.part_b.resize(fine.num_nodes());
+    for (NodeId v = 0; v < fine.num_nodes(); ++v) ws.part_b[v] = ws.part_a[c.map[v]];
+    greedy_kway_refine(fine, ws.part_b, targets_for(fine), opts.imbalance_eps,
+                       opts.refine_passes);
+    std::swap(ws.part_a, ws.part_b);
+  }
+  return ws.part_a;
+}
+
+/// partition() restarts loop over the workspace. The returned vector is the
+/// one API-boundary allocation (documented in DESIGN.md §5.4).
+std::vector<int> partition_ws(const WeightedGraph& g, const std::vector<double>& fractions,
+                              const PartitionOptions& opts) {
+  PartitionWorkspace& ws = PartitionWorkspace::local();
+  const std::size_t k = fractions.size();
+  double best_cut = std::numeric_limits<double>::infinity();
+  double best_imb = std::numeric_limits<double>::infinity();
+  const std::size_t restarts = std::max<std::size_t>(1, opts.restarts);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    const std::vector<int>& part =
+        partition_attempt_ws(g, fractions, opts.seed + r * 7919, opts, ws);
+    const double cut = cut_weight(g, part);
+    // imbalance() without its part_weights() temporary: same accumulation
+    // order, max_element over the same values.
+    ws.part_w.assign(k, 0.0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ws.part_w[static_cast<std::size_t>(part[v])] += g.node_weight(v);
+    }
+    const double avg = g.total_node_weight() / static_cast<double>(k);
+    const double imb =
+        avg <= 0.0 ? 1.0 : *std::max_element(ws.part_w.begin(), ws.part_w.end()) / avg;
+    if (cut < best_cut - 1e-12 ||
+        (std::abs(cut - best_cut) <= 1e-12 && imb < best_imb)) {
+      best_cut = cut;
+      best_imb = imb;
+      ws.best_part.assign(part.begin(), part.end());
+    }
+  }
+  // Checked-build contract: every node assigned to an existing part.
+  SC_VALIDATE_AT(Deep,
+                 analysis::validate_partition(ws.best_part, g.num_nodes(), fractions.size()));
+  return std::vector<int>(ws.best_part.begin(), ws.best_part.end());
+}
+
 }  // namespace
 
 std::vector<int> MultilevelPartitioner::partition(const WeightedGraph& g,
                                                   std::size_t k) const {
   SC_CHECK(k >= 1, "k must be positive");
+  if (workspace::enabled()) {
+    // Reuse the workspace's fraction buffer for the uniform fractions (nothing
+    // below mutates it).
+    PartitionWorkspace& ws = PartitionWorkspace::local();
+    ws.fractions.assign(k, 1.0);
+    return partition(g, ws.fractions);
+  }
   return partition(g, std::vector<double>(k, 1.0));
 }
 
@@ -165,6 +449,7 @@ std::vector<int> MultilevelPartitioner::partition(
     SC_CHECK(f > 0.0, "part fractions must be positive");
   }
   if (fractions.size() == 1) return std::vector<int>(g.num_nodes(), 0);
+  if (workspace::enabled()) return partition_ws(g, fractions, opts_);
 
   std::vector<int> best;
   double best_cut = std::numeric_limits<double>::infinity();

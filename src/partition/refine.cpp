@@ -1,20 +1,298 @@
 #include "partition/refine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "common/error.hpp"
 #include "partition/metrics.hpp"
+#include "partition/workspace.hpp"
 
 namespace sc::partition {
 
 using graph::NodeId;
 using graph::WeightedGraph;
 
-double fm_refine_bisection(const WeightedGraph& g, std::vector<int>& part,
-                           double target0, double eps, std::size_t max_passes) {
-  SC_CHECK(part.size() == g.num_nodes(), "partition size mismatch");
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucketed FM gain structure (DESIGN.md §5.4).
+//
+// Gains are doubles, so classic integer gain buckets do not apply directly.
+// Instead each gain is mapped to its order-preserving 64-bit pattern (flip
+// all bits of negatives, set the sign bit of non-negatives — the standard
+// monotone float ordering trick) and bucketed by the top 12 bits (sign +
+// exponent, 4096 buckets). Buckets hold intrusive doubly-linked lists with a
+// 64-word occupancy bitset, so locating the highest non-empty bucket is O(1)
+// word scans. Because the mapping is monotone, every gain in a lower bucket
+// is strictly smaller than every gain in a higher one, so scanning only the
+// topmost bucket that contains a balance-eligible node — picking the exact
+// (max gain, lowest id) inside it — reproduces the legacy full-scan
+// selection bit for bit. (Gains are never -0.0: accumulation starts at +0.0
+// and IEEE addition never produces -0.0 from a +0.0 accumulator, so equal
+// gains always share one bit pattern and therefore one bucket.)
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kNumBuckets = 4096;
+constexpr std::int32_t kNil = -1;
+
+int gain_bucket(double gain) {
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(gain);
+  bits = (bits & 0x8000000000000000ULL) != 0 ? ~bits : (bits | 0x8000000000000000ULL);
+  return static_cast<int>(bits >> 52);
+}
+
+struct FmScratch {
+  std::vector<double> gain;
+  std::vector<std::uint8_t> locked;
+  std::vector<NodeId> moves;
+  std::vector<std::int32_t> head;       // bucket -> first node (kNil if empty)
+  std::vector<std::int32_t> next, prev; // intrusive per-node links
+  std::vector<std::int32_t> bucket_of;  // node -> its bucket (kNil if absent)
+  std::uint64_t occ[kNumBuckets / 64] = {};
+  std::uint64_t occ_sum = 0;  // bit w set iff occ[w] != 0 (two-level bitset)
+  // Flat (neighbor, weight) adjacency copied once per bound graph, in the
+  // exact g.incident() edge order, so gain sums stay bit-identical while the
+  // inner loops read contiguous memory instead of chasing edge ids. `bound`
+  // is trusted only between an fm_refine_bind() and the next change to the
+  // graph object (bisect trial loops re-bind every time).
+  std::vector<std::int32_t> adj_off;
+  std::vector<NodeId> adj_nbr;
+  std::vector<double> adj_w;
+  const WeightedGraph* bound = nullptr;
+
+  void reset(std::size_t n) {
+    gain.resize(n);  // every entry is overwritten before its first read
+    locked.assign(n, 0);
+    moves.clear();
+    if (moves.capacity() < n) moves.reserve(n);
+    // Lazy bucket clear: only buckets the previous pass actually occupied are
+    // touched (the two-level occupancy bitset knows which), not all 4096.
+    if (head.size() != kNumBuckets) {
+      head.assign(kNumBuckets, kNil);
+      std::fill(std::begin(occ), std::end(occ), 0);
+      occ_sum = 0;
+    } else {
+      std::uint64_t words = occ_sum;
+      while (words != 0) {
+        const std::size_t w = static_cast<std::size_t>(std::countr_zero(words));
+        words &= words - 1;
+        std::uint64_t bits = occ[w];
+        while (bits != 0) {
+          const int b = std::countr_zero(bits);
+          bits &= bits - 1;
+          head[w * 64 + static_cast<std::size_t>(b)] = kNil;
+        }
+        occ[w] = 0;
+      }
+      occ_sum = 0;
+    }
+    next.resize(n);  // insert() writes both links before any read
+    prev.resize(n);
+    bucket_of.assign(n, kNil);
+  }
+
+  void insert(NodeId v) {
+    const int b = gain_bucket(gain[v]);
+    bucket_of[v] = b;
+    prev[v] = kNil;
+    next[v] = head[b];
+    if (head[b] != kNil) prev[head[b]] = static_cast<std::int32_t>(v);
+    head[b] = static_cast<std::int32_t>(v);
+    occ[static_cast<std::size_t>(b) / 64] |= std::uint64_t{1} << (b % 64);
+    occ_sum |= std::uint64_t{1} << (static_cast<std::size_t>(b) / 64);
+  }
+
+  void remove(NodeId v) {
+    const int b = bucket_of[v];
+    if (b == kNil) return;
+    if (prev[v] != kNil) {
+      next[prev[v]] = next[v];
+    } else {
+      head[b] = next[v];
+      if (head[b] == kNil) {
+        const std::size_t w = static_cast<std::size_t>(b) / 64;
+        occ[w] &= ~(std::uint64_t{1} << (b % 64));
+        if (occ[w] == 0) occ_sum &= ~(std::uint64_t{1} << w);
+      }
+    }
+    if (next[v] != kNil) prev[next[v]] = prev[v];
+    bucket_of[v] = kNil;
+  }
+
+  /// Highest occupied bucket strictly below `from` (or the global highest
+  /// when from == kNumBuckets). O(1) via the two-level bitset: the summary
+  /// word locates the highest non-empty occupancy word directly instead of
+  /// walking all 64 words between gain clusters.
+  int highest_below(int from) const {
+    const std::size_t word = static_cast<std::size_t>(from) / 64;
+    const int bit = from % 64;
+    if (from < static_cast<int>(kNumBuckets) && bit > 0) {
+      const std::uint64_t masked = occ[word] & ((std::uint64_t{1} << bit) - 1);
+      if (masked != 0) {
+        return static_cast<int>(word * 64 + 63 - static_cast<std::size_t>(std::countl_zero(masked)));
+      }
+    }
+    const std::uint64_t sum_masked =
+        word == 0 ? 0 : occ_sum & ((std::uint64_t{1} << word) - 1);
+    if (sum_masked == 0) return kNil;
+    const std::size_t w = 63 - static_cast<std::size_t>(std::countl_zero(sum_masked));
+    return static_cast<int>(w * 64 + 63 -
+                            static_cast<std::size_t>(std::countl_zero(occ[w])));
+  }
+
+  static FmScratch& local() {
+    thread_local FmScratch scratch;
+    return scratch;
+  }
+};
+
+/// Copies (neighbor, weight) pairs in the exact g.incident() edge order —
+/// identical iteration order means bit-identical gain sums. Does NOT set
+/// s.bound: only fm_refine_bind() may vouch that the graph object stays
+/// unchanged across calls.
+// sc-lint: hot-path
+void flatten_adjacency(const WeightedGraph& g, FmScratch& s) {
+  const std::size_t n = g.num_nodes();
+  s.adj_off.resize(n + 1);
+  s.adj_off[0] = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    s.adj_off[v + 1] = s.adj_off[v] + static_cast<std::int32_t>(g.incident(v).size());
+  }
+  s.adj_nbr.resize(static_cast<std::size_t>(s.adj_off[n]));
+  s.adj_w.resize(static_cast<std::size_t>(s.adj_off[n]));
+  for (NodeId v = 0; v < n; ++v) {
+    std::int32_t idx = s.adj_off[v];
+    for (const graph::EdgeId e : g.incident(v)) {
+      s.adj_nbr[static_cast<std::size_t>(idx)] = g.other(e, v);
+      s.adj_w[static_cast<std::size_t>(idx)] = g.edge(e).weight;
+      ++idx;
+    }
+  }
+}
+
+/// Bucketed FM pass, bit-identical to the legacy full-scan variant: same
+/// move sequence, same rollback, same cut. Marked hot-path: after warm-up it
+/// allocates nothing.
+// sc-lint: hot-path
+double fm_refine_bisection_buckets(const WeightedGraph& g, std::vector<int>& part,
+                                   double target0, double eps, std::size_t max_passes,
+                                   FmScratch& s) {
+  const std::size_t n = g.num_nodes();
+  const double total = g.total_node_weight();
+  const double target1 = total - target0;
+  double max_node_w = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_node_w = std::max(max_node_w, g.node_weight(v));
+  }
+  const double cap0 = (1.0 + eps) * std::max(target0, 1e-12);
+  const double cap1 = (1.0 + eps) * std::max(target1, 1e-12);
+  const double explore0 = std::max(cap0, target0 + max_node_w);
+  const double explore1 = std::max(cap1, target1 + max_node_w);
+
+  double side_w[2] = {0.0, 0.0};
+  for (NodeId v = 0; v < n; ++v) side_w[part[v]] += g.node_weight(v);
+
+  double cut = cut_weight(g, part);
+
+  if (s.bound != &g) flatten_adjacency(g, s);
+
+  const auto recompute_gain = [&](NodeId v) {
+    const int pv = part[v];
+    double gv = 0.0;
+    for (std::int32_t i = s.adj_off[v]; i < s.adj_off[v + 1]; ++i) {
+      const double w = s.adj_w[static_cast<std::size_t>(i)];
+      gv += (part[s.adj_nbr[static_cast<std::size_t>(i)]] != pv) ? w : -w;
+    }
+    s.gain[v] = gv;
+  };
+
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    s.reset(n);
+    for (NodeId v = 0; v < n; ++v) {
+      recompute_gain(v);
+      s.insert(v);
+    }
+    double best_cut = cut;
+    std::size_t best_prefix = 0;
+    double running = cut;
+
+    for (std::size_t step = 0; step < n; ++step) {
+      // Descend buckets until one yields a balance-eligible node; within it
+      // pick the exact (max gain, lowest id) — the legacy scan's choice.
+      NodeId pick = graph::kInvalidNode;
+      double pick_gain = 0.0;
+      for (int b = s.highest_below(static_cast<int>(kNumBuckets)); b != kNil;
+           b = s.highest_below(b)) {
+        for (std::int32_t cur = s.head[b]; cur != kNil; cur = s.next[cur]) {
+          const NodeId v = static_cast<NodeId>(cur);
+          const int to = 1 - part[v];
+          const double new_w = side_w[to] + g.node_weight(v);
+          if ((to == 0 ? new_w > explore0 : new_w > explore1)) continue;
+          if (pick == graph::kInvalidNode || s.gain[v] > pick_gain ||
+              (s.gain[v] == pick_gain && v < pick)) {
+            pick = v;
+            pick_gain = s.gain[v];
+          }
+        }
+        if (pick != graph::kInvalidNode) break;
+      }
+      if (pick == graph::kInvalidNode) break;
+
+      const int from = part[pick];
+      const int to = 1 - from;
+      side_w[from] -= g.node_weight(pick);
+      side_w[to] += g.node_weight(pick);
+      part[pick] = to;
+      s.locked[pick] = 1;
+      s.remove(pick);
+      running -= pick_gain;
+      s.moves.push_back(pick);
+      // Locked neighbors' gains are dead values (never read again this pass;
+      // the next pass recomputes everything), so only live ones are refreshed
+      // — the legacy path recomputes them too, with identical outcome.
+      for (std::int32_t i = s.adj_off[pick]; i < s.adj_off[pick + 1]; ++i) {
+        const NodeId u = s.adj_nbr[static_cast<std::size_t>(i)];
+        if (s.locked[u] != 0) continue;
+        recompute_gain(u);
+        // Relink only on a bucket change: the pick loop scans the whole
+        // bucket, so within-bucket position cannot affect the selection.
+        if (gain_bucket(s.gain[u]) != s.bucket_of[u]) {
+          s.remove(u);
+          s.insert(u);
+        }
+      }
+      const bool feasible = side_w[0] <= cap0 + 1e-12 && side_w[1] <= cap1 + 1e-12;
+      if (feasible && running < best_cut - 1e-12) {
+        best_cut = running;
+        best_prefix = s.moves.size();
+      }
+    }
+
+    for (std::size_t i = s.moves.size(); i > best_prefix; --i) {
+      const NodeId v = s.moves[i - 1];
+      const int from = part[v];
+      const int to = 1 - from;
+      side_w[from] -= g.node_weight(v);
+      side_w[to] += g.node_weight(v);
+      part[v] = to;
+    }
+
+    if (best_cut >= cut - 1e-12) {
+      cut = best_cut;
+      break;
+    }
+    cut = best_cut;
+  }
+  return cut;
+}
+
+/// Legacy FM (full rescan per move), kept verbatim for the fm_buckets=off
+/// A/B baseline.
+double fm_refine_bisection_legacy(const WeightedGraph& g, std::vector<int>& part,
+                                  double target0, double eps, std::size_t max_passes) {
   const std::size_t n = g.num_nodes();
   const double total = g.total_node_weight();
   const double target1 = total - target0;
@@ -111,33 +389,52 @@ double fm_refine_bisection(const WeightedGraph& g, std::vector<int>& part,
   return cut;
 }
 
-double greedy_kway_refine(const WeightedGraph& g, std::vector<int>& part, std::size_t k,
-                          double eps, std::size_t max_passes) {
-  SC_CHECK(k >= 1, "k must be positive");
-  const std::vector<double> targets(
-      k, g.total_node_weight() / static_cast<double>(k));
-  return greedy_kway_refine(g, part, targets, eps, max_passes);
-}
+// ---------------------------------------------------------------------------
+// Greedy k-way refinement. One implementation parameterised over its buffers:
+// the workspace path reuses a thread-local set, the legacy path allocates a
+// fresh set per call (preserving the old allocation profile for A/B runs).
+// Results are trivially bit-identical — it is the same code either way.
+// ---------------------------------------------------------------------------
 
-double greedy_kway_refine(const WeightedGraph& g, std::vector<int>& part,
-                          const std::vector<double>& targets, double eps,
-                          std::size_t max_passes) {
+struct KwayBuffers {
+  std::vector<double> lmax;
+  std::vector<double> weight;
+  std::vector<double> conn;
+  std::vector<int> touched;
+
+  static KwayBuffers& local() {
+    thread_local KwayBuffers buffers;
+    return buffers;
+  }
+};
+
+// sc-lint: hot-path
+double greedy_kway_impl(const WeightedGraph& g, std::vector<int>& part,
+                        const std::vector<double>& targets, double eps,
+                        std::size_t max_passes, KwayBuffers& b) {
   SC_CHECK(part.size() == g.num_nodes(), "partition size mismatch");
   SC_CHECK(!targets.empty(), "need at least one part");
   const std::size_t k = targets.size();
   const std::size_t n = g.num_nodes();
-  std::vector<double> lmax(k);
+  b.lmax.resize(k);
   for (std::size_t q = 0; q < k; ++q) {
     SC_CHECK(targets[q] >= 0.0, "part targets must be non-negative");
-    lmax[q] = (1.0 + eps) * targets[q];
+    b.lmax[q] = (1.0 + eps) * targets[q];
   }
 
-  std::vector<double> weight(k, 0.0);
-  for (NodeId v = 0; v < n; ++v) weight[static_cast<std::size_t>(part[v])] += g.node_weight(v);
+  b.weight.assign(k, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    b.weight[static_cast<std::size_t>(part[v])] += g.node_weight(v);
+  }
 
-  std::vector<double> conn(k, 0.0);
-  std::vector<int> touched;
-  touched.reserve(16);
+  b.conn.assign(k, 0.0);
+  b.touched.clear();
+  if (b.touched.capacity() < 16) b.touched.reserve(16);
+
+  std::vector<double>& weight = b.weight;
+  std::vector<double>& conn = b.conn;
+  std::vector<int>& touched = b.touched;
+  std::vector<double>& lmax = b.lmax;
 
   double cut = cut_weight(g, part);
   for (std::size_t pass = 0; pass < max_passes; ++pass) {
@@ -200,6 +497,43 @@ double greedy_kway_refine(const WeightedGraph& g, std::vector<int>& part,
     if (!moved_any) break;
   }
   return cut;
+}
+
+}  // namespace
+
+double fm_refine_bisection(const WeightedGraph& g, std::vector<int>& part,
+                           double target0, double eps, std::size_t max_passes) {
+  SC_CHECK(part.size() == g.num_nodes(), "partition size mismatch");
+  if (fm_buckets::enabled()) {
+    return fm_refine_bisection_buckets(g, part, target0, eps, max_passes,
+                                       FmScratch::local());
+  }
+  return fm_refine_bisection_legacy(g, part, target0, eps, max_passes);
+}
+
+void fm_refine_bind(const WeightedGraph& g) {
+  if (!fm_buckets::enabled()) return;
+  FmScratch& s = FmScratch::local();
+  flatten_adjacency(g, s);
+  s.bound = &g;
+}
+
+double greedy_kway_refine(const WeightedGraph& g, std::vector<int>& part, std::size_t k,
+                          double eps, std::size_t max_passes) {
+  SC_CHECK(k >= 1, "k must be positive");
+  const std::vector<double> targets(
+      k, g.total_node_weight() / static_cast<double>(k));
+  return greedy_kway_refine(g, part, targets, eps, max_passes);
+}
+
+double greedy_kway_refine(const WeightedGraph& g, std::vector<int>& part,
+                          const std::vector<double>& targets, double eps,
+                          std::size_t max_passes) {
+  if (workspace::enabled()) {
+    return greedy_kway_impl(g, part, targets, eps, max_passes, KwayBuffers::local());
+  }
+  KwayBuffers fresh;
+  return greedy_kway_impl(g, part, targets, eps, max_passes, fresh);
 }
 
 }  // namespace sc::partition

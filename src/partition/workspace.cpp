@@ -1,0 +1,46 @@
+#include "partition/workspace.hpp"
+
+#include <atomic>
+
+namespace sc::partition {
+
+namespace workspace {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool set_enabled(bool enabled) { return g_enabled.exchange(enabled, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+}  // namespace workspace
+
+namespace fm_buckets {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool set_enabled(bool enabled) { return g_enabled.exchange(enabled, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+}  // namespace fm_buckets
+
+PartitionWorkspace::Level& PartitionWorkspace::level(std::size_t i) {
+  while (levels.size() <= i) levels.push_back(std::make_unique<Level>());
+  return *levels[i];
+}
+
+BisectFrame& PartitionWorkspace::frame(std::size_t depth) {
+  while (frames.size() <= depth) frames.push_back(std::make_unique<BisectFrame>());
+  return *frames[depth];
+}
+
+PartitionWorkspace& PartitionWorkspace::local() {
+  thread_local PartitionWorkspace ws;
+  return ws;
+}
+
+}  // namespace sc::partition

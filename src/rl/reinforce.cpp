@@ -8,6 +8,7 @@
 #include "analysis/validate.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/profile.hpp"
 #include "graph/contraction.hpp"
 #include "nn/ops.hpp"
 #include "rl/episode_cache.hpp"
@@ -141,11 +142,13 @@ EpochStats ReinforceTrainer::train_epoch() {
     // this forward would recompute; the fingerprint check catches any
     // out-of-band parameter edit and forces a fresh forward.
     if (!logits_carry_valid_ || carry_fingerprint_ != params_fingerprint()) {
+      prof::ScopedTimer timer(prof::Phase::Encode);
       logits_carry_ = policy_.logits(batch.merged).value();
     }
     const std::vector<double>& batched_vals = logits_carry_;
     pool().parallel_for(num_graphs, [&](std::size_t gi) {
       const std::vector<double> vals = gnn::logit_slice(batched_vals, batch, gi);
+      prof::ScopedTimer timer(prof::Phase::Sample);
       masks[gi].reserve(samples);
       for (std::size_t s = 0; s < samples; ++s) {
         Rng sample_rng(derive_seed(epoch_seed, gi * samples + s));
@@ -155,7 +158,11 @@ EpochStats ReinforceTrainer::train_epoch() {
   } else {
     pool().parallel_for(num_graphs, [&](std::size_t gi) {
       nn::NoGradGuard no_grad;
-      const nn::Tensor logit_tensor = policy_.logits(contexts_[gi].features);
+      const nn::Tensor logit_tensor = [&] {
+        prof::ScopedTimer timer(prof::Phase::Encode);
+        return policy_.logits(contexts_[gi].features);
+      }();
+      prof::ScopedTimer timer(prof::Phase::Sample);
       masks[gi].reserve(samples);
       for (std::size_t s = 0; s < samples; ++s) {
         Rng sample_rng(derive_seed(epoch_seed, gi * samples + s));
@@ -222,7 +229,10 @@ EpochStats ReinforceTrainer::train_epoch() {
     for (const Episode& ep : batch) baseline += ep.reward;
     baseline /= static_cast<double>(batch.size());
 
-    nn::Tensor logit_tensor = policy_.logits(ctx.features);  // grads recorded
+    nn::Tensor logit_tensor = [&] {
+      prof::ScopedTimer timer(prof::Phase::Encode);
+      return policy_.logits(ctx.features);  // grads recorded
+    }();
     // Policy-gradient loss through the fused masked_logprob_sum kernel:
     //   (1/|batch|) Σ_j (-advantage_j) Σ_i log p(mask_j[i] | logit_i)
     // bit-identical to the former add(loss, scale(log_prob(...))) chain.
@@ -244,8 +254,11 @@ EpochStats ReinforceTrainer::train_epoch() {
                                      cfg_.entropy_bonus));
     }
     stats.mean_loss += loss.item();
-    loss.backward();
-    optimizer_.step();
+    {
+      prof::ScopedTimer timer(prof::Phase::Backward);
+      loss.backward();
+      optimizer_.step();
+    }
 
     // Persist this step's on-policy samples for future baselines.
     for (std::size_t s = 0; s < samples; ++s) {
@@ -271,7 +284,10 @@ EpochStats ReinforceTrainer::train_epoch() {
     const gnn::BatchedGraphFeatures& batch = batched_features();
     // Carry these post-update logits into the next epoch's sampling pass
     // (parameters will not change in between).
-    logits_carry_ = policy_.logits(batch.merged).value();
+    {
+      prof::ScopedTimer timer(prof::Phase::Encode);
+      logits_carry_ = policy_.logits(batch.merged).value();
+    }
     logits_carry_valid_ = true;
     carry_fingerprint_ = params_fingerprint();
     const std::vector<double>& batched_vals = logits_carry_;
@@ -284,7 +300,10 @@ EpochStats ReinforceTrainer::train_epoch() {
   } else {
     pool().parallel_for(num_graphs, [&](std::size_t i) {
       nn::NoGradGuard no_grad;
-      const nn::Tensor logit_tensor = policy_.logits(contexts_[i].features);
+      const nn::Tensor logit_tensor = [&] {
+        prof::ScopedTimer timer(prof::Phase::Encode);
+        return policy_.logits(contexts_[i].features);
+      }();
       const Episode ep = run_episode(contexts_[i], policy_.greedy(logit_tensor.value()));
       greedy_reward[i] = ep.reward;
       greedy_compression[i] = ep.compression;

@@ -4,8 +4,10 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/profile.hpp"
 #include "graph/union_find.hpp"
 #include "nn/tensor.hpp"
+#include "partition/workspace.hpp"
 #include "rl/episode_cache.hpp"
 
 namespace sc::rl {
@@ -18,6 +20,120 @@ sim::ClusterSpec to_cluster_spec(const gen::WorkloadConfig& wl) {
   spec.source_rate = wl.source_rate;
   return spec;
 }
+
+namespace {
+
+/// Per-thread storage for the reward hot path: the mask bit buffer and the
+/// Coarsening that contract_into() overwrites in place (DESIGN.md §5.4).
+struct RewardWorkspace {
+  std::vector<bool> bits;
+  graph::Coarsening coarsening;
+
+  static RewardWorkspace& local() {
+    thread_local RewardWorkspace ws;
+    return ws;
+  }
+};
+
+/// Contracts `mask`, preferring the scratch-based fast path. The result
+/// lives either in this thread's RewardWorkspace (fast path) or in
+/// `legacy_storage` (toggle off); the returned reference stays valid until
+/// the next contraction on this thread.
+const graph::Coarsening& contract_for(const GraphContext& ctx, const gnn::EdgeMask& mask,
+                                      graph::Coarsening& legacy_storage) {
+  prof::ScopedTimer timer(prof::Phase::Contract);
+  if (graph::contraction_scratch::enabled()) {
+    SC_CHECK(mask.size() == ctx.graph->num_edges(), "mask size does not match edge count");
+    RewardWorkspace& ws = RewardWorkspace::local();
+    ws.bits.resize(mask.size());
+    for (std::size_t e = 0; e < mask.size(); ++e) ws.bits[e] = mask[e] != 0;
+    graph::contract_into(*ctx.graph, ctx.profile, ws.bits,
+                         graph::contraction_scratch::local(), ws.coarsening);
+    return ws.coarsening;
+  }
+  legacy_storage = gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, mask);
+  return legacy_storage;
+}
+
+sim::Placement place_timed(const CoarsePlacer& placer, const graph::Coarsening& c,
+                           const sim::FluidSimulator& simulator) {
+  prof::ScopedTimer timer(prof::Phase::Partition);
+  return placer(c, simulator);
+}
+
+/// coarsen_only_placer without the full edge sort: selects the heaviest
+/// edges in doubling batches with nth_element over the workspace's order
+/// buffer. The batch prefix is sorted with a (weight desc, id asc) total
+/// order — exactly the legacy stable_sort's order — so the union sequence,
+/// and therefore the placement, is bit-identical.
+// sc-lint: hot-path
+sim::Placement coarsen_only_place_ws(const graph::Coarsening& c,
+                                     const sim::FluidSimulator& simulator) {
+  const std::size_t devices = simulator.spec().num_devices;
+  const std::size_t n = c.coarse.num_nodes();
+  partition::PartitionWorkspace& ws = partition::PartitionWorkspace::local();
+
+  ws.coarse_device.resize(n);
+  if (n <= devices) {
+    std::iota(ws.coarse_device.begin(), ws.coarse_device.end(), 0);
+    return c.expand_placement(ws.coarse_device);
+  }
+
+  const std::size_t m = c.coarse.num_edges();
+  ws.edge_order.resize(m);
+  std::iota(ws.edge_order.begin(), ws.edge_order.end(), graph::EdgeId{0});
+  const auto heavier = [&](graph::EdgeId a, graph::EdgeId b) {
+    if (c.coarse.edge(a).weight != c.coarse.edge(b).weight) {
+      return c.coarse.edge(a).weight > c.coarse.edge(b).weight;
+    }
+    return a < b;
+  };
+
+  ws.dsu.reset(n);
+  // Merging stops after at most n - devices unions, so usually only a small
+  // prefix of the sorted edge order is ever consumed. Select it lazily:
+  // partial-select a batch, sort just that batch, and only touch the next
+  // (doubled) batch if the merge budget is not yet exhausted.
+  std::size_t begin = 0;
+  std::size_t batch = std::min(m, std::max<std::size_t>(64, 2 * (n - devices)));
+  bool done = false;
+  while (!done && begin < m) {
+    const std::size_t end = std::min(m, begin + batch);
+    if (end < m) {
+      std::nth_element(ws.edge_order.begin() + static_cast<std::ptrdiff_t>(begin),
+                       ws.edge_order.begin() + static_cast<std::ptrdiff_t>(end),
+                       ws.edge_order.end(), heavier);
+    }
+    std::sort(ws.edge_order.begin() + static_cast<std::ptrdiff_t>(begin),
+              ws.edge_order.begin() + static_cast<std::ptrdiff_t>(end), heavier);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (ws.dsu.num_components() <= devices) {
+        done = true;
+        break;
+      }
+      const graph::WeightedEdge& e = c.coarse.edge(ws.edge_order[i]);
+      ws.dsu.unite(e.a, e.b);
+    }
+    begin = end;
+    batch *= 2;
+  }
+
+  // Disconnected leftovers: merge smallest components arbitrarily.
+  // Assign devices round-robin over roots (over-assignments wrap).
+  ws.root_device.assign(n, -1);
+  int next = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t root = ws.dsu.find(v);
+    if (ws.root_device[root] < 0) {
+      ws.root_device[root] = next % static_cast<int>(devices);
+      ++next;
+    }
+    ws.coarse_device[v] = ws.root_device[root];
+  }
+  return c.expand_placement(ws.coarse_device);
+}
+
+}  // namespace
 
 CoarsePlacer metis_placer(const partition::PartitionOptions& opts) {
   return [opts](const graph::Coarsening& c, const sim::FluidSimulator& simulator) {
@@ -35,6 +151,8 @@ CoarsePlacer metis_oracle_placer(const partition::PartitionOptions& opts) {
 
 CoarsePlacer coarsen_only_placer() {
   return [](const graph::Coarsening& c, const sim::FluidSimulator& simulator) {
+    if (partition::workspace::enabled()) return coarsen_only_place_ws(c, simulator);
+
     const std::size_t devices = simulator.spec().num_devices;
     const std::size_t n = c.coarse.num_nodes();
 
@@ -75,7 +193,7 @@ GraphContext::GraphContext(const graph::StreamGraph& g, const sim::ClusterSpec& 
     : graph(&g),
       profile(graph::compute_load_profile(g)),
       features(gnn::extract_features(g, profile, spec)),
-      simulator(g, spec),
+      simulator(g, spec, profile),
       cache(std::make_shared<EpisodeCache>()) {}
 
 std::vector<GraphContext> make_contexts(const std::vector<graph::StreamGraph>& graphs,
@@ -88,12 +206,15 @@ std::vector<GraphContext> make_contexts(const std::vector<graph::StreamGraph>& g
 
 Episode evaluate_mask(const GraphContext& ctx, const gnn::EdgeMask& mask,
                       const CoarsePlacer& placer) {
-  const graph::Coarsening c =
-      gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, mask);
-  const sim::Placement p = placer(c, ctx.simulator);
+  graph::Coarsening legacy_storage;
+  const graph::Coarsening& c = contract_for(ctx, mask, legacy_storage);
+  const sim::Placement p = place_timed(placer, c, ctx.simulator);
   Episode ep;
   ep.mask = mask;
-  ep.reward = ctx.simulator.relative_throughput(p);
+  {
+    prof::ScopedTimer timer(prof::Phase::Simulate);
+    ep.reward = ctx.simulator.relative_throughput(p);
+  }
   ep.compression = c.compression_ratio();
   return ep;
 }
@@ -112,8 +233,8 @@ sim::Placement allocate_with_policy(const gnn::CoarseningPolicy& policy,
   nn::NoGradGuard no_grad;
   const nn::Tensor logit_tensor = policy.logits(ctx.features);
   const gnn::EdgeMask mask = policy.greedy(logit_tensor.value());
-  const graph::Coarsening c =
-      gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, mask);
+  graph::Coarsening legacy_storage;
+  const graph::Coarsening& c = contract_for(ctx, mask, legacy_storage);
   return placer(c, ctx.simulator);
 }
 
@@ -145,8 +266,8 @@ sim::Placement allocate_with_policy_best_of(const gnn::CoarseningPolicy& policy,
       best_i = i;
     }
   }
-  const graph::Coarsening c =
-      gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, masks[best_i]);
+  graph::Coarsening legacy_storage;
+  const graph::Coarsening& c = contract_for(ctx, masks[best_i], legacy_storage);
   return placer(c, ctx.simulator);
 }
 

@@ -43,6 +43,23 @@ FluidSimulator::FluidSimulator(const graph::StreamGraph& g, const ClusterSpec& s
   SC_VALIDATE_AT(Deep, analysis::validate(profile_, g));
 }
 
+FluidSimulator::FluidSimulator(const graph::StreamGraph& g, const ClusterSpec& spec,
+                               const graph::LoadProfile& profile)
+    : graph_(&g), spec_(spec), profile_(profile) {
+  validate_spec(spec);
+  SC_VALIDATE_AT(Deep, analysis::validate(g));
+  SC_VALIDATE_AT(Deep, analysis::validate(profile_, g));
+}
+
+void FluidSimulator::rebind(const graph::StreamGraph& g, const ClusterSpec& spec) {
+  graph_ = &g;
+  spec_ = spec;
+  validate_spec(spec);
+  graph::compute_load_profile_into(g, profile_);
+  SC_VALIDATE_AT(Deep, analysis::validate(g));
+  SC_VALIDATE_AT(Deep, analysis::validate(profile_, g));
+}
+
 double FluidSimulator::unit_bottleneck(const Placement& p, std::vector<double>* device_cpu,
                                        std::vector<double>* link_traffic) const {
   const graph::StreamGraph& g = *graph_;

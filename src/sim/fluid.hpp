@@ -51,6 +51,21 @@ public:
   FluidSimulator(const graph::StreamGraph& g, const ClusterSpec& spec);
   FluidSimulator(graph::StreamGraph&&, const ClusterSpec&) = delete;
 
+  /// Profile-sharing constructor: copies a caller-precomputed load profile
+  /// instead of recomputing it (compute_load_profile is deterministic, so the
+  /// result is identical — this just removes a duplicate propagation when the
+  /// caller already holds the profile, e.g. rl::GraphContext).
+  FluidSimulator(const graph::StreamGraph& g, const ClusterSpec& spec,
+                 const graph::LoadProfile& profile);
+  FluidSimulator(graph::StreamGraph&&, const ClusterSpec&, const graph::LoadProfile&) = delete;
+
+  /// Cheap re-targeting: points the simulator at a different graph/spec pair,
+  /// recomputing the load profile into the existing storage. Equivalent to
+  /// constructing FluidSimulator(g, spec) but reuses this instance's profile
+  /// vectors, so cycling a simulator across graphs is allocation-light.
+  void rebind(const graph::StreamGraph& g, const ClusterSpec& spec);
+  void rebind(graph::StreamGraph&&, const ClusterSpec&) = delete;
+
   /// Max sustainable source rate under placement p, capped at spec.source_rate.
   double throughput(const Placement& p) const;
 

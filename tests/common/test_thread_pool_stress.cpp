@@ -12,8 +12,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "gen/generator.hpp"
+#include "graph/contraction.hpp"
+#include "partition/workspace.hpp"
 #include "rl/episode_cache.hpp"
 #include "rl/reinforce.hpp"
 
@@ -123,6 +126,67 @@ TEST(EpisodeCacheStress, ConcurrentLookupInsertEvict) {
   EXPECT_LE(cache.size(), 32u);
   EXPECT_GT(cache.hits() + cache.misses(), 0u);
   EXPECT_EQ(cache.collisions(), 0u);
+}
+
+TEST(RewardHotPathStress, WorkspaceChurnAcrossThreads) {
+  // Hammers the thread_local hot-path workspaces (contraction scratch,
+  // partition workspace, FM scratch) from a shared pool: each task evaluates
+  // a mask on a graph whose size differs from the previous task's, so every
+  // worker's buffers shrink and grow continuously. Workspaces are per-thread
+  // by construction — TSan verifies no state actually leaks across workers —
+  // and the rewards must match a serial legacy-path evaluation exactly.
+  gen::GeneratorConfig big_cfg;
+  big_cfg.topology.min_nodes = 50;
+  big_cfg.topology.max_nodes = 80;
+  big_cfg.workload.num_devices = 4;
+  gen::GeneratorConfig small_cfg = big_cfg;
+  small_cfg.topology.min_nodes = 6;
+  small_cfg.topology.max_nodes = 12;
+  auto graphs = gen::generate_graphs(big_cfg, 3, 71);
+  for (auto& g : gen::generate_graphs(small_cfg, 3, 72)) graphs.push_back(std::move(g));
+  const auto contexts = rl::make_contexts(graphs, rl::to_cluster_spec(big_cfg.workload));
+  const auto placer = rl::metis_placer();
+
+  // (graph, mask) work items alternating big / small shapes.
+  struct Item {
+    std::size_t ctx;
+    gnn::EdgeMask mask;
+  };
+  std::vector<Item> items;
+  Rng rng(2026);
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t c = 0; c < contexts.size(); ++c) {
+      // Interleave shapes: 0,3,1,4,2,5 (big,small,big,small,...).
+      const std::size_t ctx = (c % 2 == 0) ? c / 2 : contexts.size() / 2 + c / 2;
+      gnn::EdgeMask mask(contexts[ctx].graph->edges().size(), 0);
+      for (auto& b : mask) b = rng.bernoulli(0.4) ? 1 : 0;
+      items.push_back({ctx, std::move(mask)});
+    }
+  }
+
+  std::vector<double> serial_legacy(items.size());
+  {
+    const bool ps = graph::contraction_scratch::set_enabled(false);
+    const bool pw = partition::workspace::set_enabled(false);
+    const bool pf = partition::fm_buckets::set_enabled(false);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      serial_legacy[i] = rl::evaluate_mask(contexts[items[i].ctx], items[i].mask, placer).reward;
+    }
+    graph::contraction_scratch::set_enabled(ps);
+    partition::workspace::set_enabled(pw);
+    partition::fm_buckets::set_enabled(pf);
+  }
+
+  ThreadPool pool(4);
+  std::vector<double> parallel_fast(items.size(), -1.0);
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(items.size(), [&](std::size_t i) {
+      parallel_fast[i] = rl::evaluate_mask(contexts[items[i].ctx], items[i].mask, placer).reward;
+    });
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(parallel_fast[i], serial_legacy[i]) << "item " << i;
+  }
 }
 
 TEST(TrainEpochStress, ParallelEpochsSharedPool) {

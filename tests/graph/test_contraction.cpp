@@ -14,7 +14,7 @@ TEST(Contract, NoEdgesCollapsedIsIdentity) {
   const Coarsening c = contract(g, p, std::vector<bool>(g.num_edges(), false));
   EXPECT_EQ(c.num_coarse_nodes(), 4u);
   EXPECT_DOUBLE_EQ(c.compression_ratio(), 1.0);
-  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(c.groups[c.node_map[v]][0], v);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(c.group(c.node_map[v])[0], v);
 }
 
 TEST(Contract, AllEdgesCollapsedGivesSingleNode) {

@@ -6,9 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "gen/generator.hpp"
+#include "graph/contraction.hpp"
 #include "nn/arena.hpp"
 #include "nn/ops.hpp"
+#include "partition/workspace.hpp"
+#include "rl/trainer_state.hpp"
 
 namespace sc::rl {
 namespace {
@@ -69,6 +74,45 @@ TEST(PerfToggles, EpochStatsBitIdenticalAcrossAllToggles) {
   expect_bit_identical(base, run_epochs(graphs, true, false, true, 3), "fused off");
   expect_bit_identical(base, run_epochs(graphs, true, true, false, 3), "batched off");
   expect_bit_identical(base, run_epochs(graphs, false, false, false, 3), "all off");
+}
+
+TEST(PerfToggles, RewardHotPathTogglesKeepStatsAndCheckpointsIdentical) {
+  // The PR-5 reward hot-path levers — contraction scratch, partition
+  // workspace, bucketed FM — must not perturb training either: epoch stats
+  // stay bit-identical and the serialized checkpoint (parameters, Adam
+  // moments, RNG stream, buffers) is byte-for-byte the same file.
+  const auto graphs = small_graphs(4, 53);
+  auto run = [&](bool scratch_on, bool ws_on, bool fm_on) {
+    const bool prev_scratch = graph::contraction_scratch::set_enabled(scratch_on);
+    const bool prev_ws = partition::workspace::set_enabled(ws_on);
+    const bool prev_fm = partition::fm_buckets::set_enabled(fm_on);
+    ThreadPool serial(1);
+    auto contexts = make_contexts(graphs, spec());
+    gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+    TrainerConfig cfg;
+    cfg.seed = 99;
+    cfg.pool = &serial;
+    ReinforceTrainer trainer(policy, contexts, metis_placer(), cfg);
+    std::vector<EpochStats> stats;
+    for (int e = 0; e < 3; ++e) stats.push_back(trainer.train_epoch());
+    std::ostringstream checkpoint;
+    write_trainer_state(checkpoint, trainer.export_state());
+    graph::contraction_scratch::set_enabled(prev_scratch);
+    partition::workspace::set_enabled(prev_ws);
+    partition::fm_buckets::set_enabled(prev_fm);
+    return std::pair{stats, checkpoint.str()};
+  };
+
+  const auto base = run(true, true, true);
+  for (const auto& [label, stats_and_ckpt] :
+       {std::pair{"scratch off", run(false, true, true)},
+        std::pair{"workspace off", run(true, false, true)},
+        std::pair{"fm buckets off", run(true, true, false)},
+        std::pair{"all legacy", run(false, false, false)}}) {
+    expect_bit_identical(base.first, stats_and_ckpt.first, label);
+    EXPECT_EQ(base.second, stats_and_ckpt.second)
+        << label << ": checkpoint files differ";
+  }
 }
 
 TEST(PerfToggles, LogitCarryInvalidatedByExternalParamChange) {

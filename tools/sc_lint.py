@@ -19,6 +19,15 @@ Rules (each can be suppressed per line with `// sc-lint: allow(<rule>)`):
                        vanish in the destructor, which swallows errors.
   pragma-once          every header starts its preprocessor life with
                        `#pragma once` (include guards are accepted).
+  no-vector-in-hot-path
+                       functions annotated with `// sc-lint: hot-path` must
+                       not construct a local std::vector anywhere in their
+                       body. These are the steady-state reward-evaluation
+                       functions (DESIGN.md §5.4) whose zero-allocation
+                       contract the workspaces exist to uphold; binding a
+                       reference to a workspace vector is fine, creating a
+                       fresh one is a regression the benchmarks only catch
+                       statistically.
 
 Usage:
   tools/sc_lint.py [--root DIR] [--self-test]
@@ -43,6 +52,38 @@ IOSTREAM_RE = re.compile(r'#\s*include\s*<iostream>')
 OFSTREAM_DECL_RE = re.compile(r"std::ofstream\s+(\w+)")
 PRAGMA_ONCE_RE = re.compile(r"#\s*pragma\s+once")
 GUARD_RE = re.compile(r"#\s*ifndef\s+\w+")
+HOT_PATH_RE = re.compile(r"//\s*sc-lint:\s*hot-path")
+
+
+def find_vector_constructions(line: str) -> bool:
+    """True when `line` constructs a std::vector value (not a reference).
+
+    Scans each `std::vector<` occurrence with balanced angle brackets (so
+    nested templates like vector<pair<double, NodeId>> parse), then looks at
+    the first character after the closing `>`: `&`/`*` bind a reference or
+    pointer (allowed); anything that starts a declarator or temporary
+    (identifier, `(`, `{`) is a construction.
+    """
+    pos = 0
+    while True:
+        start = line.find("std::vector<", pos)
+        if start == -1:
+            return False
+        i = start + len("std::vector<")
+        depth = 1
+        while i < len(line) and depth > 0:
+            if line[i] == "<":
+                depth += 1
+            elif line[i] == ">":
+                depth -= 1
+            i += 1
+        if depth > 0:
+            return False  # type spans lines; rare, and the next line re-scans
+        rest = line[i:].lstrip()
+        if rest[:1] not in ("&", "*", ">", ",", ")", ":", ""):
+            return True
+        pos = i
+    return False
 
 
 def strip_comments_keep_lines(text: str) -> str:
@@ -116,6 +157,7 @@ class Linter:
                             "keep stream objects in a .cpp")
 
         self._lint_writer_flush(rel, code_lines, allowed)
+        self._lint_hot_path(rel, raw_lines, code_lines, allowed)
 
         if is_header:
             self._lint_pragma_once(rel, code_lines, allowed)
@@ -142,6 +184,32 @@ class Linter:
                             f"std::ofstream '{var}' is never flush()ed + checked "
                             "(SC_CHECK/.good()); buffered-write errors are lost in "
                             "the destructor")
+
+    def _lint_hot_path(self, rel: str, raw_lines: list[str],
+                       code_lines: list[str], allowed) -> None:
+        """Functions under a `// sc-lint: hot-path` marker must not construct
+        local std::vectors (see module docstring). The body is delimited by
+        brace counting from the function's opening brace."""
+        for i, raw in enumerate(raw_lines):
+            if not HOT_PATH_RE.search(raw):
+                continue
+            # Walk from the marker to the end of the function body.
+            depth = 0
+            entered = False
+            j = i
+            while j < len(code_lines):
+                line = code_lines[j]
+                if find_vector_constructions(line) and not allowed(j + 1, "no-vector-in-hot-path"):
+                    self.report(rel, j + 1, "no-vector-in-hot-path",
+                                "std::vector constructed inside a hot-path "
+                                "function; reuse a workspace buffer (or "
+                                "sc-lint: allow(no-vector-in-hot-path))")
+                depth += line.count("{") - line.count("}")
+                if "{" in line:
+                    entered = True
+                if entered and depth <= 0:
+                    break
+                j += 1
 
     def _lint_pragma_once(self, rel: str, lines: list[str], allowed) -> None:
         for i, line in enumerate(lines, start=1):
@@ -185,6 +253,18 @@ def self_test() -> int:
         "no-iostream-header": ("src/x.hpp", "#pragma once\n#include <iostream>\n"),
         "writer-flush-check": ("src/x.cpp", 'std::ofstream os(p);\nos << x;\n'),
         "pragma-once": ("src/x.hpp", "int f();\n"),
+        "no-vector-in-hot-path": (
+            "src/x.cpp",
+            "// sc-lint: hot-path\n"
+            "void f(Scratch& s) {\n"
+            "  std::vector<int> tmp(8);\n"
+            "}\n"),
+        "no-vector-in-hot-path-nested-template": (
+            "src/x.cpp",
+            "// sc-lint: hot-path\n"
+            "void f(Scratch& s) {\n"
+            "  std::vector<std::pair<double, int>> heap;\n"
+            "}\n"),
     }
     clean = {
         "rng-exempt": ("src/common/rng.hpp", "#pragma once\nstd::random_device rd;\n"),
@@ -194,6 +274,34 @@ def self_test() -> int:
         "flushed": ("src/x.cpp",
                     "std::ofstream os(p);\nos << x;\nos.flush();\n"
                     'SC_CHECK(os.good(), "write failed");\n'),
+        "hot-path-reference-ok": (
+            "src/x.cpp",
+            "// sc-lint: hot-path\n"
+            "void f(Scratch& s) {\n"
+            "  std::vector<int>& buf = s.buf;\n"
+            "  const std::vector<double>* w = &s.weights;\n"
+            "  buf.clear();\n"
+            "}\n"),
+        "hot-path-suppressed": (
+            "src/x.cpp",
+            "// sc-lint: hot-path\n"
+            "void f(Scratch& s) {\n"
+            "  std::vector<int> tmp;  // sc-lint: allow(no-vector-in-hot-path)\n"
+            "}\n"),
+        "vector-outside-hot-path": (
+            "src/x.cpp",
+            "void g() {\n"
+            "  std::vector<int> fine(4);\n"
+            "}\n"),
+        "hot-path-body-ends": (
+            "src/x.cpp",
+            "// sc-lint: hot-path\n"
+            "void f(Scratch& s) {\n"
+            "  s.buf.clear();\n"
+            "}\n"
+            "void g() {\n"
+            "  std::vector<int> fine(4);\n"
+            "}\n"),
     }
     failures = []
     for name, (rel, text) in cases.items():

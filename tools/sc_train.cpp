@@ -13,8 +13,10 @@
 // trains the remaining 6. --init (legacy parameter-only checkpoints) stays
 // supported for curriculum warm starts and transfer fine-tuning.
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 
+#include "common/profile.hpp"
 #include "core/framework.hpp"
 #include "graph/io.hpp"
 #include "metrics/report.hpp"
@@ -25,7 +27,7 @@ int main(int argc, char** argv) try {
   const Flags flags(argc, argv);
   flags.check_unknown(tools::known_flags({"data", "out", "epochs", "init", "no-guidance",
                                           "placer", "seed", "lr", "save-every", "ckpt",
-                                          "resume", "crash-after"}));
+                                          "resume", "crash-after", "profile"}));
   configure_threads_from_flags(flags);
   tools::apply_validation_from_flags(flags);
   if (!flags.has("data") || !flags.has("out")) {
@@ -38,7 +40,8 @@ int main(int argc, char** argv) try {
         "  --save-every N  publish a crash-safe trainer-state checkpoint every N epochs\n"
         "                  (default file: <out>.state; override with --ckpt)\n"
         "  --resume F      restore trainer state from F and continue up to --epochs total\n"
-        "  --crash-after N fault injection: hard-exit (code 137) after N epochs this run\n");
+        "  --crash-after N fault injection: hard-exit (code 137) after N epochs this run\n"
+        "  --profile       print a per-phase wall-time breakdown after training\n");
   }
   const auto graphs = graph::load_graphs(flags.get_string("data", ""));
   SC_CHECK(!graphs.empty(), "dataset is empty");
@@ -95,6 +98,12 @@ int main(int argc, char** argv) try {
     }
   };
 
+  const bool profile = flags.get_bool("profile", false);
+  if (profile) {
+    prof::reset();
+    prof::set_enabled(true);
+  }
+
   const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 16));
   std::cout << "training on " << graphs.size() << " graphs, " << epochs
             << " total epochs, " << spec.num_devices << " devices @ "
@@ -103,6 +112,25 @@ int main(int argc, char** argv) try {
     std::cout << "resuming from " << ckpt.resume_path << '\n';
   }
   fw.train(graphs, spec, epochs, ckpt);
+  if (profile) {
+    // Per-phase wall time accumulated across all worker threads: phases that
+    // run inside a parallel_for can sum to more than the elapsed wall clock.
+    prof::set_enabled(false);
+    const prof::Snapshot snap = prof::snapshot();
+    double total_ms = 0.0;
+    for (const auto& entry : snap.phase) total_ms += static_cast<double>(entry.nanos) / 1e6;
+    std::cout << "phase breakdown (thread-summed wall time):\n";
+    for (std::size_t i = 0; i < prof::kNumPhases; ++i) {
+      const auto& entry = snap.phase[i];
+      const double ms = static_cast<double>(entry.nanos) / 1e6;
+      const double pct = total_ms > 0.0 ? 100.0 * ms / total_ms : 0.0;
+      std::cout << "  " << std::left << std::setw(10)
+                << prof::phase_name(static_cast<prof::Phase>(i)) << std::right
+                << std::setw(12) << metrics::Table::fmt(ms, 1) << " ms  " << std::setw(6)
+                << metrics::Table::fmt(pct, 1) << "%  " << std::setw(10) << entry.calls
+                << " calls\n";
+    }
+  }
   fw.save(flags.get_string("out", ""));
   std::cout << "checkpoint written to " << flags.get_string("out", "") << '\n';
   if (!ckpt.checkpoint_path.empty()) {
