@@ -24,16 +24,20 @@
 //                     [--threads N] [--verbose]
 //   bench_perf_policy --validate <file>  # re-parse an emitted JSON; exits
 //                                        # non-zero if malformed (ctest smoke)
-#include <iostream>
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <iostream>
+#include <limits>
 #include <sstream>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "nn/arena.hpp"
 #include "nn/ops.hpp"
+#include "nn/simd.hpp"
 #include "rl/reinforce.hpp"
 
 namespace {
@@ -162,7 +166,8 @@ int validate_json(const std::string& path) {
     if (parser.pos != text.size()) parser.fail("trailing garbage after object");
     for (const char* required :
          {"schema_version", "speedup", "forwards_per_sec_batched",
-          "forwards_per_sec_per_graph", "forward", "fused", "train", "arena", "ab"}) {
+          "forwards_per_sec_per_graph", "forward", "fused", "train", "arena", "ab",
+          "simd", "env"}) {
       bool found = false;
       for (const auto& k : keys) found = found || k == required;
       if (!found) throw sc::Error(std::string("missing required key '") + required + "'");
@@ -455,6 +460,116 @@ AbResult bench_ab(const Level& level, const sc::gnn::CoarseningPolicy& policy,
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Phase 5: SIMD dispatch A/B (kernels::set_simd on vs off). Per-kernel
+// GFLOP/s at the encoder-layer GEMM shapes, plus the end-to-end
+// policy-gradient compute: one batched encoder+scorer forward + backward —
+// the whole differentiable part of a training epoch. Arms are interleaved
+// (min-of-N per arm) so clock drift and cache state hit both equally.
+// ---------------------------------------------------------------------------
+struct KernelAb {
+  double gflops_simd = 0.0;
+  double gflops_scalar = 0.0;
+  double speedup = 0.0;
+};
+
+struct SimdResult {
+  const char* tier = "";
+  KernelAb gemm_nn;
+  KernelAb gemm_nt;
+  KernelAb gemm_tn;
+  double seconds_simd = 0.0;
+  double seconds_scalar = 0.0;
+  double speedup = 0.0;
+};
+
+SimdResult bench_simd(const Level& level, const sc::gnn::CoarseningPolicy& policy,
+                      bool tiny) {
+  using namespace sc;
+  SimdResult r;
+  r.tier = nn::simd::tier_name(nn::simd::active());
+  const bool prev = nn::kernels::set_simd(true);
+
+  // Encoder-layer shapes: ~1000 packed nodes x hidden 48 -> 24.
+  const std::size_t n = tiny ? 128 : 1024, k = 48, m = 24;
+  Rng rng(2026);
+  std::vector<double> a(n * k), b(k * m), c(n * m);       // nn: (n,k)x(k,m)
+  std::vector<double> ga(n * m), cnt(n * k), ctn(k * m);  // nt / tn operands
+  for (double& x : a) x = rng.normal();
+  for (double& x : b) x = rng.normal();
+  for (double& x : ga) x = rng.normal();
+  double sink = 0.0;
+
+  const std::size_t reps = tiny ? 3 : 7;
+  const std::size_t inner = tiny ? 20 : 50;
+  const auto ab_kernel = [&](auto&& call, double flops) {
+    KernelAb kr;
+    call();  // warm up
+    double best_on = std::numeric_limits<double>::infinity();
+    double best_off = best_on;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      nn::kernels::set_simd(true);
+      auto t0 = Clock::now();
+      for (std::size_t i = 0; i < inner; ++i) call();
+      best_on = std::min(best_on, seconds_since(t0));
+      nn::kernels::set_simd(false);
+      t0 = Clock::now();
+      for (std::size_t i = 0; i < inner; ++i) call();
+      best_off = std::min(best_off, seconds_since(t0));
+    }
+    nn::kernels::set_simd(true);
+    const double total = flops * static_cast<double>(inner);
+    kr.gflops_simd = total / best_on / 1e9;
+    kr.gflops_scalar = total / best_off / 1e9;
+    kr.speedup = best_off / best_on;
+    return kr;
+  };
+
+  const double nd = static_cast<double>(n), kd = static_cast<double>(k),
+               md = static_cast<double>(m);
+  r.gemm_nn = ab_kernel(
+      [&] { nn::kernels::gemm_nn(a.data(), b.data(), c.data(), n, k, m, false); },
+      2.0 * nd * kd * md);
+  r.gemm_nt = ab_kernel(
+      [&] { nn::kernels::gemm_nt(ga.data(), b.data(), cnt.data(), n, m, k); },
+      2.0 * nd * md * kd);
+  r.gemm_tn = ab_kernel(
+      [&] { nn::kernels::gemm_tn(a.data(), ga.data(), ctn.data(), n, k, m); },
+      2.0 * nd * kd * md);
+  sink += c[0] + cnt[0] + ctn[0];
+
+  // End-to-end: forward + backward over the whole batched level.
+  const auto fb = [&] {
+    nn::Tensor t = policy.logits(level.batched.merged);
+    nn::Tensor loss = nn::sum(t);
+    loss.backward();
+    for (nn::Tensor p : policy.parameters()) p.data().grad.clear();
+    sink += loss.value()[0];
+  };
+  fb();  // warm up
+  const std::size_t e2e_reps = tiny ? 2 : 5;
+  const std::size_t e2e_inner = tiny ? 2 : 5;
+  double best_on = std::numeric_limits<double>::infinity();
+  double best_off = best_on;
+  for (std::size_t rep = 0; rep < e2e_reps; ++rep) {
+    nn::kernels::set_simd(true);
+    auto t0 = Clock::now();
+    for (std::size_t i = 0; i < e2e_inner; ++i) fb();
+    best_on = std::min(best_on, seconds_since(t0));
+    nn::kernels::set_simd(false);
+    t0 = Clock::now();
+    for (std::size_t i = 0; i < e2e_inner; ++i) fb();
+    best_off = std::min(best_off, seconds_since(t0));
+  }
+  nn::kernels::set_simd(prev);
+  if (sink == 42.125) std::cerr << "";  // keep the kernels alive
+
+  r.seconds_simd = best_on / static_cast<double>(e2e_inner);
+  r.seconds_scalar = best_off / static_cast<double>(e2e_inner);
+  r.speedup = r.seconds_scalar / r.seconds_simd;
+  return r;
+}
+
 std::string json_num(double v) {
   if (!std::isfinite(v)) return "0";
   std::ostringstream os;
@@ -513,6 +628,21 @@ int main(int argc, char** argv) try {
             << metrics::Table::fmt(ab.seconds_baseline * 1e3, 2) << " ms ("
             << metrics::Table::fmt(ab.speedup, 2) << "x)\n";
 
+  const auto simd = bench_simd(level, policy, tiny);
+  const auto show_kernel = [](const char* name, const KernelAb& kr) {
+    std::cout << "  simd    " << name << ": " << metrics::Table::fmt(kr.gflops_simd, 1)
+              << " GF/s vs scalar " << metrics::Table::fmt(kr.gflops_scalar, 1) << " ("
+              << metrics::Table::fmt(kr.speedup, 2) << "x)\n";
+  };
+  std::cout << "  simd    dispatch tier " << simd.tier << ", pool "
+            << ThreadPool::global().size() << " threads\n";
+  show_kernel("gemm_nn", simd.gemm_nn);
+  show_kernel("gemm_nt", simd.gemm_nt);
+  show_kernel("gemm_tn", simd.gemm_tn);
+  std::cout << "  simd    e2e forward+backward: " << metrics::Table::fmt(simd.seconds_simd * 1e3, 2)
+            << " ms vs scalar " << metrics::Table::fmt(simd.seconds_scalar * 1e3, 2)
+            << " ms (" << metrics::Table::fmt(simd.speedup, 2) << "x)\n";
+
   std::ofstream os(out);
   SC_CHECK(os.good(), "cannot open output file '" << out << "'");
   os << "{\n"
@@ -565,7 +695,26 @@ int main(int argc, char** argv) try {
      << ",\n"
      << "    \"passes_per_sec_baseline\": " << json_num(ab.passes_per_sec_baseline)
      << ",\n"
-     << "    \"speedup\": " << json_num(ab.speedup) << "\n  }\n"
+     << "    \"speedup\": " << json_num(ab.speedup) << "\n  },\n"
+     << "  \"simd\": {\n"
+     << "    \"tier\": \"" << simd.tier << "\",\n";
+  const auto kernel_json = [&os](const char* name, const KernelAb& kr) {
+    os << "    \"" << name << "\": { \"gflops_simd\": " << json_num(kr.gflops_simd)
+       << ", \"gflops_scalar\": " << json_num(kr.gflops_scalar)
+       << ", \"speedup\": " << json_num(kr.speedup) << " },\n";
+  };
+  kernel_json("gemm_nn", simd.gemm_nn);
+  kernel_json("gemm_nt", simd.gemm_nt);
+  kernel_json("gemm_tn", simd.gemm_tn);
+  os << "    \"e2e\": { \"seconds_simd\": " << json_num(simd.seconds_simd)
+     << ", \"seconds_scalar\": " << json_num(simd.seconds_scalar)
+     << ", \"speedup\": " << json_num(simd.speedup) << " }\n  },\n"
+     << "  \"env\": {\n"
+     << "    \"threads\": " << ThreadPool::global().size() << ",\n"
+     << "    \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
+     << "    \"simd_tier\": \"" << nn::simd::tier_name(nn::simd::active()) << "\",\n"
+     << "    \"simd_detected\": \"" << nn::simd::tier_name(nn::simd::detect()) << "\"\n"
+     << "  }\n"
      << "}\n";
   os.flush();
   SC_CHECK(os.good(), "JSON write to '" << out << "' failed (disk full or I/O error?)");

@@ -29,13 +29,16 @@
 #include <iomanip>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "gnn/policy.hpp"
 #include "graph/contraction.hpp"
+#include "nn/simd.hpp"
 #include "partition/allocate.hpp"
+#include "partition/mlpart.hpp"
 #include "partition/workspace.hpp"
 
 namespace {
@@ -163,7 +166,7 @@ int validate_json(const std::string& path) {
     parser.skip_ws();
     if (parser.pos != text.size()) parser.fail("trailing garbage after object");
     for (const char* required : {"schema_version", "speedup", "identical", "contract",
-                                 "partition", "end_to_end"}) {
+                                 "partition", "end_to_end", "parallel_bisection", "env"}) {
       bool found = false;
       for (const auto& k : keys) found = found || k == required;
       if (!found) throw sc::Error(std::string("missing required key '") + required + "'");
@@ -265,31 +268,40 @@ struct AbPhase {
 
 /// Interleaves fast/legacy rounds and keeps each arm's fastest round: load
 /// spikes from the host hit both arms alike and the min discards them, so
-/// the ratio reflects the code, not the machine's mood.
-template <typename Fn>
-AbPhase ab_phase(double min_seconds, std::size_t ops_per_rep, Fn&& body) {
+/// the ratio reflects the code, not the machine's mood. `set_arm(bool)`
+/// selects which arm the next round runs.
+template <typename SetFn, typename Fn>
+AbPhase ab_phase_with(SetFn&& set_arm, double min_seconds, std::size_t ops_per_rep,
+                      Fn&& body) {
   AbPhase r;
   r.ops_per_rep = ops_per_rep;
   const std::size_t rounds = 4;
   const double per_round = min_seconds / static_cast<double>(rounds);
   double best_fast = std::numeric_limits<double>::infinity();
   double best_legacy = best_fast;
-  const Toggles prev = set_fast_paths(true);
   for (std::size_t round = 0; round < rounds; ++round) {
-    set_fast_paths(true);
+    set_arm(true);
     const auto [fast_reps, fast_s] = time_loop(per_round, body);
     best_fast = std::min(best_fast, fast_s / static_cast<double>(fast_reps));
-    set_fast_paths(false);
+    set_arm(false);
     const auto [legacy_reps, legacy_s] = time_loop(per_round, body);
     best_legacy = std::min(best_legacy, legacy_s / static_cast<double>(legacy_reps));
   }
-  restore(prev);
   const double ops = static_cast<double>(ops_per_rep);
   r.us_fast = best_fast / ops * 1e6;
   r.us_legacy = best_legacy / ops * 1e6;
   r.ops_per_sec_fast = 1e6 / r.us_fast;
   r.ops_per_sec_legacy = 1e6 / r.us_legacy;
   r.speedup = r.us_legacy / r.us_fast;
+  return r;
+}
+
+template <typename Fn>
+AbPhase ab_phase(double min_seconds, std::size_t ops_per_rep, Fn&& body) {
+  const Toggles prev = set_fast_paths(true);
+  AbPhase r = ab_phase_with([](bool on) { set_fast_paths(on); }, min_seconds,
+                            ops_per_rep, body);
+  restore(prev);
   return r;
 }
 
@@ -379,6 +391,57 @@ EndToEndResult bench_end_to_end(const Level& level, bool tiny) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Phase 4: parallel recursive bisection (partition::set_parallel_bisection on
+// vs off) over the same pre-contracted coarse graphs as phase 2, placements
+// asserted identical between arms (the toggle is an execution-strategy switch
+// only — per-subtree split RNG streams make it bit-identical by design). On a
+// single-core pool both arms take the serial path, so a ~1.0x ratio there is
+// the honest expectation; the win appears with a multi-worker pool.
+// ---------------------------------------------------------------------------
+struct ParallelBisectionResult {
+  AbPhase ab;
+  bool identical = false;
+  std::size_t pool_threads = 0;
+};
+
+ParallelBisectionResult bench_parallel_bisection(const Level& level, bool tiny) {
+  using namespace sc;
+  std::vector<graph::Coarsening> coarse;
+  for (std::size_t gi = 0; gi < level.contexts.size(); ++gi) {
+    const rl::GraphContext& ctx = level.contexts[gi];
+    coarse.push_back(gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile,
+                                                  level.masks[gi][level.masks[gi].size() / 2]));
+  }
+  const auto place_all = [&](std::vector<sim::Placement>* placements, double* sink) {
+    for (std::size_t gi = 0; gi < coarse.size(); ++gi) {
+      sim::Placement p = partition::metis_allocate_coarse(
+          coarse[gi].coarse, level.contexts[gi].simulator.spec(), {});
+      if (sink != nullptr) *sink += static_cast<double>(p.size());
+      if (placements != nullptr) placements->push_back(std::move(p));
+    }
+  };
+
+  ParallelBisectionResult r;
+  r.pool_threads = ThreadPool::global().size();
+
+  std::vector<sim::Placement> on, off;
+  const bool prev = partition::set_parallel_bisection(true);
+  place_all(&on, nullptr);
+  partition::set_parallel_bisection(false);
+  place_all(&off, nullptr);
+  partition::set_parallel_bisection(prev);
+  r.identical = on == off;
+  SC_CHECK(r.identical, "parallel and serial bisection placements diverged");
+
+  double sink = 0.0;
+  r.ab = ab_phase_with([](bool arm) { partition::set_parallel_bisection(arm); },
+                       tiny ? 0.05 : 0.5, coarse.size(),
+                       [&] { place_all(nullptr, &sink); });
+  if (sink == 42.125) std::cerr << "";  // keep the partitions alive
+  return r;
+}
+
 std::string json_num(double v) {
   if (!std::isfinite(v)) return "0";
   std::ostringstream os;
@@ -435,6 +498,12 @@ int main(int argc, char** argv) try {
             << " legacy (" << metrics::Table::fmt(e2e.ab.speedup, 2)
             << "x), rewards bit-identical\n";
 
+  const auto pbis = bench_parallel_bisection(level, tiny);
+  std::cout << "  par_bisect " << metrics::Table::fmt(pbis.ab.us_fast, 1)
+            << " us/op parallel vs " << metrics::Table::fmt(pbis.ab.us_legacy, 1)
+            << " serial (" << metrics::Table::fmt(pbis.ab.speedup, 2) << "x on "
+            << pbis.pool_threads << "-thread pool), placements identical\n";
+
   std::ofstream os(out);
   SC_CHECK(os.good(), "cannot open output file '" << out << "'");
   os << "{\n"
@@ -449,8 +518,20 @@ int main(int argc, char** argv) try {
      << "  \"speedup\": " << json_num(e2e.ab.speedup) << ",\n";
   phase_json(os, "contract", contract, false);
   phase_json(os, "partition", part, false);
-  phase_json(os, "end_to_end", e2e.ab, true);
-  os << "}\n";
+  phase_json(os, "end_to_end", e2e.ab, false);
+  os << "  \"parallel_bisection\": {\n"
+     << "    \"pool_threads\": " << pbis.pool_threads << ",\n"
+     << "    \"identical\": " << (pbis.identical ? "true" : "false") << ",\n"
+     << "    \"us_parallel\": " << json_num(pbis.ab.us_fast) << ",\n"
+     << "    \"us_serial\": " << json_num(pbis.ab.us_legacy) << ",\n"
+     << "    \"speedup\": " << json_num(pbis.ab.speedup) << "\n  },\n"
+     << "  \"env\": {\n"
+     << "    \"threads\": " << ThreadPool::global().size() << ",\n"
+     << "    \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
+     << "    \"simd_tier\": \"" << nn::simd::tier_name(nn::simd::active()) << "\",\n"
+     << "    \"simd_detected\": \"" << nn::simd::tier_name(nn::simd::detect()) << "\"\n"
+     << "  }\n"
+     << "}\n";
   os.flush();
   SC_CHECK(os.good(), "JSON write to '" << out << "' failed (disk full or I/O error?)");
   os.close();

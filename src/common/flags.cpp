@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -108,8 +109,20 @@ void Flags::check_unknown(const std::vector<std::string>& known) const {
 }
 
 std::size_t configure_threads_from_flags(const Flags& flags) {
-  const long n = flags.get_int("threads", 0);
-  SC_CHECK(n >= 0, "--threads must be >= 0, got " << n);
+  // An explicit --threads 0 (or a negative count) is a configuration error,
+  // not a request for the hardware default: fail loud instead of silently
+  // running with a pool size the user did not ask for. Only an *absent* flag
+  // means "use hardware concurrency".
+  long n = flags.get_int("threads", 0);
+  SC_CHECK(!flags.has("threads") || n >= 1,
+           "--threads must be >= 1 (omit the flag for hardware concurrency), got " << n);
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t cap = hw * 8;  // oversubscription guard
+  if (n > static_cast<long>(cap)) {
+    SC_LOG(Warn) << "--threads " << n << " clamped to " << cap << " (8x the " << hw
+                 << " hardware threads)";
+    n = static_cast<long>(cap);
+  }
   const auto threads = static_cast<std::size_t>(n);
   if (threads > 0 && !ThreadPool::configure_global(threads) &&
       ThreadPool::global().size() != threads) {

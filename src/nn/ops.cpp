@@ -6,6 +6,7 @@
 
 #include "common/thread_pool.hpp"
 #include "nn/arena.hpp"
+#include "nn/simd.hpp"
 
 namespace sc::nn {
 
@@ -75,6 +76,23 @@ namespace kernels {
 namespace {
 
 std::atomic<bool> g_blocked{true};
+std::atomic<bool> g_simd{true};
+
+/// Tier the next kernel invocation dispatches on: the runtime-detected tier,
+/// or the scalar reference when the A/B toggle is off. Read once per op so a
+/// concurrent set_simd/set_tier never mixes tiers within one kernel.
+simd::Tier dispatch_tier() {
+  return g_simd.load(std::memory_order_relaxed) ? simd::active() : simd::Tier::Scalar;
+}
+
+/// Per-thread scratch for gemm_nt's packed B tile (pool workers each get
+/// their own, so panel fan-out stays race-free).
+double* nt_scratch(std::size_t m) {
+  thread_local std::vector<double> buf;
+  const std::size_t need = simd::gemm_nt_scratch_doubles(m);
+  if (buf.size() < need) buf.resize(need);
+  return buf.data();
+}
 
 // Fan row panels out over the global pool once a kernel has at least this
 // many multiply-adds; below it the submit/wake overhead dominates.
@@ -89,105 +107,15 @@ bool parallel_worthwhile(std::size_t outer, std::size_t flops) {
   return ThreadPool::global().size() > 1;
 }
 
-/// Rows [i0, i1) of C += A·B. Four-row register blocking; every output
-/// element still accumulates over p in ascending order, so the result is
-/// bit-identical for any panel split (and to the naive kernel).
-void gemm_nn_rows(const double* a, const double* b, double* c, std::size_t i0,
-                  std::size_t i1, std::size_t k, std::size_t m) {
-  std::size_t i = i0;
-  for (; i + 4 <= i1; i += 4) {
-    const double* a0 = a + i * k;
-    const double* a1 = a0 + k;
-    const double* a2 = a1 + k;
-    const double* a3 = a2 + k;
-    double* c0 = c + i * m;
-    double* c1 = c0 + m;
-    double* c2 = c1 + m;
-    double* c3 = c2 + m;
-    for (std::size_t p = 0; p < k; ++p) {
-      const double av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
-      if (av0 == 0.0 && av1 == 0.0 && av2 == 0.0 && av3 == 0.0) continue;
-      const double* brow = b + p * m;
-      for (std::size_t j = 0; j < m; ++j) {
-        const double bv = brow[j];
-        c0[j] += av0 * bv;
-        c1[j] += av1 * bv;
-        c2[j] += av2 * bv;
-        c3[j] += av3 * bv;
-      }
-    }
-  }
-  for (; i < i1; ++i) {
-    double* crow = c + i * m;
-    for (std::size_t p = 0; p < k; ++p) {
-      const double av = a[i * k + p];
-      if (av == 0.0) continue;
-      const double* brow = b + p * m;
-      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-/// Rows [i0, i1) of C (n,k) += A (n,m)·B(k,m)^T. 4×4 output tiles keep the
-/// operands in registers; each element keeps one accumulator over ascending
-/// p, so this too is bit-identical to the naive dot products.
-void gemm_nt_rows(const double* a, const double* b, double* c, std::size_t i0,
-                  std::size_t i1, std::size_t m, std::size_t k) {
-  for (std::size_t i = i0; i < i1; i += 4) {
-    const std::size_t ir = std::min<std::size_t>(4, i1 - i);
-    for (std::size_t j = 0; j < k; j += 4) {
-      const std::size_t jr = std::min<std::size_t>(4, k - j);
-      double acc[4][4] = {};
-      for (std::size_t p = 0; p < m; ++p) {
-        for (std::size_t r = 0; r < ir; ++r) {
-          const double av = a[(i + r) * m + p];
-          for (std::size_t s = 0; s < jr; ++s) acc[r][s] += av * b[(j + s) * m + p];
-        }
-      }
-      for (std::size_t r = 0; r < ir; ++r) {
-        for (std::size_t s = 0; s < jr; ++s) c[(i + r) * k + j + s] += acc[r][s];
-      }
-    }
-  }
-}
-
-/// Output rows [p0, p1) of C (k,m) += A(n,k)^T·B (n,m). Four input rows are
-/// folded per pass (their partial products are summed before touching C, a
-/// reassociation within the 1e-12 kernel tolerance); the i-blocking depends
-/// only on n, never on the panel split, so results are thread-count
-/// invariant.
-void gemm_tn_cols(const double* a, const double* b, double* c, std::size_t p0,
-                  std::size_t p1, std::size_t n, std::size_t k, std::size_t m) {
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const double* a0 = a + i * k;
-    const double* a1 = a0 + k;
-    const double* a2 = a1 + k;
-    const double* a3 = a2 + k;
-    const double* b0 = b + i * m;
-    const double* b1 = b0 + m;
-    const double* b2 = b1 + m;
-    const double* b3 = b2 + m;
-    for (std::size_t p = p0; p < p1; ++p) {
-      const double av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
-      if (av0 == 0.0 && av1 == 0.0 && av2 == 0.0 && av3 == 0.0) continue;
-      double* crow = c + p * m;
-      for (std::size_t j = 0; j < m; ++j) {
-        crow[j] += av0 * b0[j] + av1 * b1[j] + av2 * b2[j] + av3 * b3[j];
-      }
-    }
-  }
-  for (; i < n; ++i) {
-    const double* arow = a + i * k;
-    const double* brow = b + i * m;
-    for (std::size_t p = p0; p < p1; ++p) {
-      const double av = arow[p];
-      if (av == 0.0) continue;
-      double* crow = c + p * m;
-      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
+// The row-panel kernels themselves (4-row register blocking, ascending-p
+// accumulation, zero-skip) live in nn/simd.hpp: the scalar reference there is
+// the code that used to live here, and the AVX2/AVX-512/NEON tiers replicate
+// its per-element operation sequence exactly (see simd.hpp for the
+// determinism contract). gemm_nn/nt keep every output element accumulated in
+// a fixed order by one thread, so results are bit-identical for any panel
+// split; gemm_tn folds four input rows per pass (a reassociation within the
+// 1e-12 kernel tolerance) with i-blocking that depends only on n, so results
+// stay thread-count invariant.
 
 }  // namespace
 
@@ -239,14 +167,15 @@ void gemm_nn(const double* a, const double* b, double* c, std::size_t n, std::si
     return;
   }
   if (!accumulate) std::fill(c, c + n * m, 0.0);
+  const simd::Tier tier = dispatch_tier();
   if (parallel_worthwhile(n, n * k * m)) {
     const std::size_t panels = (n + kPanelRows - 1) / kPanelRows;
     ThreadPool::global().parallel_for(panels, [=](std::size_t pi) {
       const std::size_t lo = pi * kPanelRows;
-      gemm_nn_rows(a, b, c, lo, std::min(n, lo + kPanelRows), k, m);
+      simd::gemm_nn_rows(tier, a, b, c, lo, std::min(n, lo + kPanelRows), k, m);
     });
   } else {
-    gemm_nn_rows(a, b, c, 0, n, k, m);
+    simd::gemm_nn_rows(tier, a, b, c, 0, n, k, m);
   }
 }
 
@@ -256,14 +185,16 @@ void gemm_nt(const double* a, const double* b, double* c, std::size_t n, std::si
     gemm_nt_naive(a, b, c, n, m, k);
     return;
   }
+  const simd::Tier tier = dispatch_tier();
   if (parallel_worthwhile(n, n * k * m)) {
     const std::size_t panels = (n + kPanelRows - 1) / kPanelRows;
     ThreadPool::global().parallel_for(panels, [=](std::size_t pi) {
       const std::size_t lo = pi * kPanelRows;
-      gemm_nt_rows(a, b, c, lo, std::min(n, lo + kPanelRows), m, k);
+      simd::gemm_nt_rows(tier, a, b, c, nt_scratch(m), lo,
+                         std::min(n, lo + kPanelRows), m, k);
     });
   } else {
-    gemm_nt_rows(a, b, c, 0, n, m, k);
+    simd::gemm_nt_rows(tier, a, b, c, nt_scratch(m), 0, n, m, k);
   }
 }
 
@@ -273,14 +204,15 @@ void gemm_tn(const double* a, const double* b, double* c, std::size_t n, std::si
     gemm_tn_naive(a, b, c, n, k, m);
     return;
   }
+  const simd::Tier tier = dispatch_tier();
   if (parallel_worthwhile(k, n * k * m)) {
     const std::size_t panels = (k + kPanelRows - 1) / kPanelRows;
     ThreadPool::global().parallel_for(panels, [=](std::size_t pi) {
       const std::size_t lo = pi * kPanelRows;
-      gemm_tn_cols(a, b, c, lo, std::min(k, lo + kPanelRows), n, k, m);
+      simd::gemm_tn_cols(tier, a, b, c, lo, std::min(k, lo + kPanelRows), n, k, m);
     });
   } else {
-    gemm_tn_cols(a, b, c, 0, k, n, k, m);
+    simd::gemm_tn_cols(tier, a, b, c, 0, k, n, k, m);
   }
 }
 
@@ -290,6 +222,14 @@ bool set_blocked(bool enabled) {
 
 bool blocked_enabled() { return g_blocked.load(std::memory_order_relaxed); }
 
+bool set_simd(bool enabled) {
+  return g_simd.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool simd_enabled() { return g_simd.load(std::memory_order_relaxed); }
+
+simd::Tier simd_tier() { return dispatch_tier(); }
+
 }  // namespace kernels
 
 Tensor add(Tensor a, Tensor b) {
@@ -297,28 +237,36 @@ Tensor add(Tensor a, Tensor b) {
   if (!bias_row) check_same_shape(a, b, "add");
 
   Tensor out = make_op(a.shape(), {a, b}, [a, b, bias_row](TensorData& r) mutable {
+    const simd::Tier tier = kernels::simd_tier();
     if (a.requires_grad()) {
       auto& ga = a.grad();
-      for (std::size_t i = 0; i < ga.size(); ++i) ga[i] += r.grad[i];
+      simd::accumulate(tier, ga.data(), r.grad.data(), ga.size());
     }
     if (b.requires_grad()) {
       auto& gb = b.grad();
       if (bias_row) {
+        // Row-by-row in ascending order: each gb[j] sees the same update
+        // sequence as the scalar `gb[i % m] += grad[i]` loop.
         const std::size_t m = gb.size();
-        for (std::size_t i = 0; i < r.grad.size(); ++i) gb[i % m] += r.grad[i];
+        for (std::size_t row = 0; row * m < r.grad.size(); ++row) {
+          simd::accumulate(tier, gb.data(), r.grad.data() + row * m, m);
+        }
       } else {
-        for (std::size_t i = 0; i < gb.size(); ++i) gb[i] += r.grad[i];
+        simd::accumulate(tier, gb.data(), r.grad.data(), gb.size());
       }
     }
   });
   auto& v = out.value();
   const auto& va = a.value();
   const auto& vb = b.value();
+  const simd::Tier tier = kernels::simd_tier();
   if (bias_row) {
     const std::size_t m = vb.size();
-    for (std::size_t i = 0; i < v.size(); ++i) v[i] = va[i] + vb[i % m];
+    for (std::size_t row = 0; row * m < v.size(); ++row) {
+      simd::add(tier, va.data() + row * m, vb.data(), v.data() + row * m, m);
+    }
   } else {
-    for (std::size_t i = 0; i < v.size(); ++i) v[i] = va[i] + vb[i];
+    simd::add(tier, va.data(), vb.data(), v.data(), v.size());
   }
   return out;
 }
@@ -326,36 +274,38 @@ Tensor add(Tensor a, Tensor b) {
 Tensor sub(Tensor a, Tensor b) {
   check_same_shape(a, b, "sub");
   Tensor out = make_op(a.shape(), {a, b}, [a, b](TensorData& r) mutable {
+    const simd::Tier tier = kernels::simd_tier();
     if (a.requires_grad()) {
       auto& ga = a.grad();
-      for (std::size_t i = 0; i < ga.size(); ++i) ga[i] += r.grad[i];
+      simd::accumulate(tier, ga.data(), r.grad.data(), ga.size());
     }
     if (b.requires_grad()) {
       auto& gb = b.grad();
-      for (std::size_t i = 0; i < gb.size(); ++i) gb[i] -= r.grad[i];
+      simd::accumulate_neg(tier, gb.data(), r.grad.data(), gb.size());
     }
   });
   auto& v = out.value();
-  for (std::size_t i = 0; i < v.size(); ++i) v[i] = a.value()[i] - b.value()[i];
+  simd::sub(kernels::simd_tier(), a.value().data(), b.value().data(), v.data(),
+            v.size());
   return out;
 }
 
 Tensor mul(Tensor a, Tensor b) {
   check_same_shape(a, b, "mul");
   Tensor out = make_op(a.shape(), {a, b}, [a, b](TensorData& r) mutable {
+    const simd::Tier tier = kernels::simd_tier();
     if (a.requires_grad()) {
       auto& ga = a.grad();
-      const auto& vb = b.value();
-      for (std::size_t i = 0; i < ga.size(); ++i) ga[i] += vb[i] * r.grad[i];
+      simd::accumulate_mul(tier, ga.data(), b.value().data(), r.grad.data(), ga.size());
     }
     if (b.requires_grad()) {
       auto& gb = b.grad();
-      const auto& va = a.value();
-      for (std::size_t i = 0; i < gb.size(); ++i) gb[i] += va[i] * r.grad[i];
+      simd::accumulate_mul(tier, gb.data(), a.value().data(), r.grad.data(), gb.size());
     }
   });
   auto& v = out.value();
-  for (std::size_t i = 0; i < v.size(); ++i) v[i] = a.value()[i] * b.value()[i];
+  simd::mul(kernels::simd_tier(), a.value().data(), b.value().data(), v.data(),
+            v.size());
   return out;
 }
 
@@ -363,10 +313,11 @@ Tensor scale(Tensor a, double s) {
   Tensor out = make_op(a.shape(), {a}, [a, s](TensorData& r) mutable {
     if (!a.requires_grad()) return;
     auto& ga = a.grad();
-    for (std::size_t i = 0; i < ga.size(); ++i) ga[i] += s * r.grad[i];
+    simd::accumulate_scaled(kernels::simd_tier(), ga.data(), r.grad.data(), s,
+                            ga.size());
   });
   auto& v = out.value();
-  for (std::size_t i = 0; i < v.size(); ++i) v[i] = s * a.value()[i];
+  simd::scale(kernels::simd_tier(), a.value().data(), s, v.data(), v.size());
   return out;
 }
 
@@ -374,10 +325,10 @@ Tensor add_scalar(Tensor a, double s) {
   Tensor out = make_op(a.shape(), {a}, [a](TensorData& r) mutable {
     if (!a.requires_grad()) return;
     auto& ga = a.grad();
-    for (std::size_t i = 0; i < ga.size(); ++i) ga[i] += r.grad[i];
+    simd::accumulate(kernels::simd_tier(), ga.data(), r.grad.data(), ga.size());
   });
   auto& v = out.value();
-  for (std::size_t i = 0; i < v.size(); ++i) v[i] = a.value()[i] + s;
+  simd::add_scalar(kernels::simd_tier(), a.value().data(), s, v.data(), v.size());
   return out;
 }
 
@@ -466,15 +417,15 @@ Tensor concat_cols(std::vector<Tensor> parts) {
   }
 
   Tensor out = make_op({n, total_cols}, parts, [parts, n, total_cols](TensorData& r) mutable {
+    const simd::Tier tier = kernels::simd_tier();
     std::size_t col0 = 0;
     for (Tensor& t : parts) {
       const std::size_t c = t.cols();
       if (t.requires_grad()) {
         auto& g = t.grad();
         for (std::size_t i = 0; i < n; ++i) {
-          for (std::size_t j = 0; j < c; ++j) {
-            g[i * c + j] += r.grad[i * total_cols + col0 + j];
-          }
+          simd::accumulate(tier, g.data() + i * c, r.grad.data() + i * total_cols + col0,
+                           c);
         }
       }
       col0 += c;
@@ -503,8 +454,9 @@ Tensor gather_rows(Tensor x, const std::vector<std::size_t>& index) {
   Tensor out = make_op({index.size(), m}, {x}, [x, index, m](TensorData& r) mutable {
     if (!x.requires_grad()) return;
     auto& g = x.grad();
+    const simd::Tier tier = kernels::simd_tier();
     for (std::size_t i = 0; i < index.size(); ++i) {
-      for (std::size_t j = 0; j < m; ++j) g[index[i] * m + j] += r.grad[i * m + j];
+      simd::accumulate(tier, g.data() + index[i] * m, r.grad.data() + i * m, m);
     }
   });
   auto& v = out.value();
@@ -531,24 +483,23 @@ Tensor scatter_mean(Tensor x, const std::vector<std::size_t>& index,
       make_op({num_targets, m}, {x}, [x, index, counts, m](TensorData& r) mutable {
         if (!x.requires_grad()) return;
         auto& g = x.grad();
+        const simd::Tier tier = kernels::simd_tier();
         for (std::size_t i = 0; i < index.size(); ++i) {
           const std::size_t t = index[i];
-          const double inv = 1.0 / counts[t];
-          for (std::size_t j = 0; j < m; ++j) {
-            g[i * m + j] += inv * r.grad[t * m + j];
-          }
+          simd::accumulate_scaled(tier, g.data() + i * m, r.grad.data() + t * m,
+                                  1.0 / counts[t], m);
         }
       });
   auto& v = out.value();
   const auto& xv = x.value();
+  const simd::Tier tier = kernels::simd_tier();
   for (std::size_t i = 0; i < index.size(); ++i) {
-    const std::size_t t = index[i];
-    for (std::size_t j = 0; j < m; ++j) v[t * m + j] += xv[i * m + j];
+    simd::accumulate(tier, v.data() + index[i] * m, xv.data() + i * m, m);
   }
   for (std::size_t t = 0; t < num_targets; ++t) {
     if (counts[t] > 0.0) {
       const double inv = 1.0 / counts[t];
-      for (std::size_t j = 0; j < m; ++j) v[t * m + j] *= inv;
+      simd::scale(tier, v.data() + t * m, inv, v.data() + t * m, m);
     }
   }
   return out;
@@ -559,7 +510,7 @@ Tensor reshape(Tensor x, std::vector<std::size_t> shape) {
   Tensor out = make_op(std::move(shape), {x}, [x](TensorData& r) mutable {
     if (!x.requires_grad()) return;
     auto& g = x.grad();
-    for (std::size_t i = 0; i < g.size(); ++i) g[i] += r.grad[i];
+    simd::accumulate(kernels::simd_tier(), g.data(), r.grad.data(), g.size());
   });
   out.value() = x.value();
   return out;
@@ -758,8 +709,13 @@ Tensor linear_tanh(Tensor x, Tensor w, Tensor b) {
       kernels::gemm_tn(x.value().data(), dz.data(), w.grad().data(), n, k, m);
     }
     if (b.defined() && b.requires_grad()) {
+      // Same ascending-row update sequence per gb[j] as the scalar
+      // `gb[i % m] += dz[i]` loop (matches add's row-broadcast backward).
       auto& gb = b.grad();
-      for (std::size_t i = 0; i < dz.size(); ++i) gb[i % m] += dz[i];
+      const simd::Tier tier = kernels::simd_tier();
+      for (std::size_t row = 0; row < n; ++row) {
+        simd::accumulate(tier, gb.data(), dz.data() + row * m, m);
+      }
     }
   });
   auto& v = out.value();
@@ -800,17 +756,17 @@ Tensor gather_add_tanh(Tensor base, const std::vector<std::size_t>& index,
                 for (std::size_t i = 0; i < dz.size(); ++i) {
                   dz[i] = (1.0 - r.value[i] * r.value[i]) * r.grad[i];
                 }
+                const simd::Tier tier = kernels::simd_tier();
                 if (base.requires_grad()) {
                   auto& g = base.grad();
                   for (std::size_t i = 0; i < index.size(); ++i) {
-                    for (std::size_t j = 0; j < m; ++j) {
-                      g[index[i] * m + j] += dz[i * m + j];
-                    }
+                    simd::accumulate(tier, g.data() + index[i] * m,
+                                     dz.data() + i * m, m);
                   }
                 }
                 if (add_term.defined() && add_term.requires_grad()) {
                   auto& g = add_term.grad();
-                  for (std::size_t i = 0; i < g.size(); ++i) g[i] += dz[i];
+                  simd::accumulate(tier, g.data(), dz.data(), g.size());
                 }
               });
   auto& v = out.value();

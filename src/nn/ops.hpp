@@ -11,6 +11,10 @@
 
 namespace sc::nn {
 
+namespace simd {
+enum class Tier : int;  // full definition in nn/simd.hpp
+}
+
 // ---- Elementwise ------------------------------------------------------------
 Tensor add(Tensor a, Tensor b);        ///< same shape, or b is a bias row
 Tensor sub(Tensor a, Tensor b);        ///< same shape
@@ -128,6 +132,18 @@ void gemm_tn_naive(const double* a, const double* b, double* c, std::size_t n,
 /// Toggles the blocked + parallel path (returns the previous setting).
 bool set_blocked(bool enabled);
 bool blocked_enabled();
+
+/// Toggles SIMD dispatch of the blocked kernels and the element-wise tensor
+/// loops (returns the previous setting). Off routes everything through the
+/// scalar reference tier — the same A/B discipline as set_blocked. The tier
+/// actually used is simd::active() (runtime CPUID detection, capped by the
+/// SC_SIMD environment variable; see nn/simd.hpp). Default: enabled.
+bool set_simd(bool enabled);
+bool simd_enabled();
+
+/// Tier the next kernel call will dispatch on: simd::active() when the
+/// toggle is on, the scalar reference tier when it is off.
+simd::Tier simd_tier();
 
 }  // namespace kernels
 

@@ -1,0 +1,94 @@
+#include "nn/simd.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace sc::nn::simd {
+
+namespace {
+
+std::string lower(const char* s) {
+  std::string out(s == nullptr ? "" : s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Hardware ceiling, ignoring SC_SIMD. __builtin_cpu_supports keeps the raw
+/// CPUID plumbing out of this repo entirely; NEON on aarch64 is a baseline
+/// architecture feature, so its gate is compile-time.
+Tier hardware_tier() {
+#if defined(SC_SIMD_X86)
+  if (__builtin_cpu_supports("avx512f")) return Tier::Avx512;
+  if (__builtin_cpu_supports("avx2")) return Tier::Avx2;
+  return Tier::Scalar;
+#elif defined(SC_SIMD_NEON)
+  return Tier::Neon;
+#else
+  return Tier::Scalar;
+#endif
+}
+
+Tier clamp(Tier requested, Tier ceiling) {
+  return static_cast<int>(requested) > static_cast<int>(ceiling) ? ceiling : requested;
+}
+
+Tier detect_once() {
+  const Tier hw = hardware_tier();
+  const char* env = std::getenv("SC_SIMD");
+  if (env == nullptr || *env == '\0') return hw;
+  const std::string v = lower(env);
+  if (v == "auto" || v == "on") return hw;
+  // SC_SIMD can only cap the tier, never enable one the hardware lacks:
+  // SC_SIMD=avx512 on an AVX2 machine still runs AVX2.
+  return clamp(parse_tier(env), hw);
+}
+
+std::atomic<int>& active_state() {
+  static std::atomic<int> tier{static_cast<int>(detect())};
+  return tier;
+}
+
+}  // namespace
+
+Tier detect() {
+  static const Tier tier = detect_once();
+  return tier;
+}
+
+Tier active() {
+  return static_cast<Tier>(active_state().load(std::memory_order_relaxed));
+}
+
+Tier set_tier(Tier tier) {
+  const int prev = active_state().exchange(static_cast<int>(clamp(tier, detect())),
+                                           std::memory_order_relaxed);
+  return static_cast<Tier>(prev);
+}
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::Scalar: return "scalar";
+    case Tier::Neon: return "neon";
+    case Tier::Avx2: return "avx2";
+    case Tier::Avx512: return "avx512";
+  }
+  return "unknown";
+}
+
+Tier parse_tier(const char* name) {
+  const std::string v = lower(name);
+  if (v == "off" || v == "0" || v == "scalar" || v == "none") return Tier::Scalar;
+  if (v == "neon") return Tier::Neon;
+  if (v == "avx2") return Tier::Avx2;
+  if (v == "avx512") return Tier::Avx512;
+  if (v == "auto" || v == "on") return detect();
+  SC_CHECK(false, "unknown SIMD tier '" << (name == nullptr ? "" : name)
+                                        << "' (off|scalar|neon|avx2|avx512|auto)");
+  return Tier::Scalar;
+}
+
+}  // namespace sc::nn::simd

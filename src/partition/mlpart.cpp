@@ -1,14 +1,17 @@
 #include "partition/mlpart.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <span>
+#include <utility>
 
 #include "analysis/validate.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "partition/matching.hpp"
 #include "partition/metrics.hpp"
 #include "partition/refine.hpp"
@@ -22,6 +25,14 @@ using graph::kInvalidNode;
 using graph::NodeId;
 using graph::WeightedEdge;
 using graph::WeightedGraph;
+
+std::atomic<bool> g_parallel_bisection{true};
+std::atomic<ThreadPool*> g_bisection_pool{nullptr};
+
+ThreadPool& bisection_pool() {
+  ThreadPool* pool = g_bisection_pool.load(std::memory_order_acquire);
+  return pool != nullptr ? *pool : ThreadPool::global();
+}
 
 /// Induced subgraph over `keep` (in order); returns graph + fine ids.
 struct SubGraph {
@@ -107,9 +118,16 @@ std::vector<int> bisect(const WeightedGraph& g, double target0, double eps,
 
 /// Recursive bisection into parts labelled [label_base, label_base +
 /// fractions.size()), with part weights proportional to `fractions`.
+///
+/// `rng` is taken by value: each subtree consumes a private stream, and the
+/// two child streams are split() off the parent's after this node's draws.
+/// The draw sequence of any subtree therefore depends only on its path from
+/// the root — never on how its siblings are traversed or scheduled — which is
+/// what lets the workspace path fan subtrees out over a thread pool without
+/// changing results.
 void recursive_bisect(const WeightedGraph& g, const std::vector<double>& fractions,
                       int label_base, double eps, std::size_t trials,
-                      std::size_t refine_passes, Rng& rng,
+                      std::size_t refine_passes, Rng rng,
                       const std::vector<NodeId>& to_parent, std::vector<int>& out) {
   const std::size_t k = fractions.size();
   if (k <= 1) {
@@ -147,9 +165,11 @@ void recursive_bisect(const WeightedGraph& g, const std::vector<double>& fractio
 
   const std::vector<double> frac0(fractions.begin(), fractions.begin() + static_cast<long>(k1));
   const std::vector<double> frac1(fractions.begin() + static_cast<long>(k1), fractions.end());
-  recursive_bisect(s0.g, frac0, label_base, eps, trials, refine_passes, rng, lift0, out);
+  Rng rng0 = rng.split();
+  Rng rng1 = rng.split();
+  recursive_bisect(s0.g, frac0, label_base, eps, trials, refine_passes, rng0, lift0, out);
   recursive_bisect(s1.g, frac1, label_base + static_cast<int>(k1), eps, trials,
-                   refine_passes, rng, lift1, out);
+                   refine_passes, rng1, lift1, out);
 }
 
 // ---------------------------------------------------------------------------
@@ -280,10 +300,11 @@ void bisect_ws(const WeightedGraph& g, double target0, double eps, std::size_t t
 
 /// recursive_bisect() over frame-owned storage. Frames are indexed by depth:
 /// the two sibling recursions at depth+1 reuse the same frame sequentially,
-/// while this depth's subgraphs stay alive in its own frame.
+/// while this depth's subgraphs stay alive in its own frame. Same per-subtree
+/// split() RNG streams as the legacy recursion, so the two stay bit-identical.
 void recursive_bisect_ws(const WeightedGraph& g, std::span<const double> fractions,
                          int label_base, double eps, std::size_t trials,
-                         std::size_t refine_passes, Rng& rng,
+                         std::size_t refine_passes, Rng rng,
                          std::span<const NodeId> to_parent, std::vector<int>& out,
                          PartitionWorkspace& ws, std::size_t depth) {
   const std::size_t k = fractions.size();
@@ -322,10 +343,129 @@ void recursive_bisect_ws(const WeightedGraph& g, std::span<const double> fractio
   for (std::size_t i = 0; i < f.side0.size(); ++i) f.lift0[i] = to_parent[f.side0[i]];
   for (std::size_t i = 0; i < f.side1.size(); ++i) f.lift1[i] = to_parent[f.side1[i]];
 
+  Rng rng0 = rng.split();
+  Rng rng1 = rng.split();
   recursive_bisect_ws(f.g0, fractions.first(k1), label_base, eps, trials, refine_passes,
-                      rng, f.lift0, out, ws, depth + 1);
+                      rng0, f.lift0, out, ws, depth + 1);
   recursive_bisect_ws(f.g1, fractions.subspan(k1), label_base + static_cast<int>(k1),
-                      eps, trials, refine_passes, rng, f.lift1, out, ws, depth + 1);
+                      eps, trials, refine_passes, rng1, f.lift1, out, ws, depth + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel recursive bisection (DESIGN.md §5.5): once a node has been bisected,
+// its two subtrees are fully independent — disjoint node sets, disjoint label
+// ranges, and private split() RNG streams — so each level of the bisection
+// tree can fan out over the thread pool. Jobs own their induced subgraphs (the
+// frame-per-depth scheme of the serial recursion cannot be shared between
+// concurrent siblings); all other scratch comes from the executing worker's
+// thread-local PartitionWorkspace / FmScratch. Output writes touch only the
+// job's own to_parent ids, so no two jobs ever store to the same element.
+// ---------------------------------------------------------------------------
+
+struct SubtreeJob {
+  WeightedGraph owned;                  ///< induced subtree graph (root: unused)
+  const WeightedGraph* root = nullptr;  ///< set only on the root job
+  std::vector<NodeId> to_parent;        ///< subtree node -> coarsest-graph node
+  std::size_t frac_lo = 0;              ///< [frac_lo, frac_hi) of the fractions
+  std::size_t frac_hi = 0;
+  int label_base = 0;
+  Rng rng;                              ///< this subtree's private stream
+
+  const WeightedGraph& graph() const { return root != nullptr ? *root : owned; }
+};
+
+/// One bisection step of `jb`, appending its child jobs to `children` (none
+/// for leaves and degenerate splits). Identical arithmetic, tie-breaking and
+/// RNG draws to what the serial recursion performs at this node.
+void process_subtree(SubtreeJob& jb, std::span<const double> fractions, double eps,
+                     std::size_t trials, std::size_t refine_passes, std::vector<int>& out,
+                     std::vector<SubtreeJob>& children) {
+  const WeightedGraph& g = jb.graph();
+  const std::size_t k = jb.frac_hi - jb.frac_lo;
+  if (k <= 1) {
+    for (const NodeId v : jb.to_parent) out[v] = jb.label_base;
+    return;
+  }
+  PartitionWorkspace& ws = PartitionWorkspace::local();
+  BisectFrame& f = ws.frame(0);  // depth-indexed frames are a serial-recursion concept
+  const std::size_t k1 = k / 2;
+  double frac_total = 0.0, frac_first = 0.0;
+  for (std::size_t q = 0; q < k; ++q) {
+    frac_total += fractions[jb.frac_lo + q];
+    if (q < k1) frac_first += fractions[jb.frac_lo + q];
+  }
+  const double target0 = g.total_node_weight() * frac_first / frac_total;
+
+  bisect_ws(g, target0, eps, trials, refine_passes, jb.rng, f);
+
+  f.side0.clear();
+  f.side1.clear();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    (f.part[v] == 0 ? f.side0 : f.side1).push_back(v);
+  }
+  // Degenerate split (tiny graphs): fall back to round-robin.
+  if (f.side0.empty() || f.side1.empty()) {
+    for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+      out[jb.to_parent[i]] = jb.label_base + static_cast<int>(i % k);
+    }
+    return;
+  }
+
+  Rng rng0 = jb.rng.split();
+  Rng rng1 = jb.rng.split();
+
+  children.resize(2);
+  SubtreeJob& c0 = children[0];
+  induce_into(g, f.side0, ws, c0.owned);
+  c0.to_parent.resize(f.side0.size());
+  for (std::size_t i = 0; i < f.side0.size(); ++i) {
+    c0.to_parent[i] = jb.to_parent[f.side0[i]];
+  }
+  c0.frac_lo = jb.frac_lo;
+  c0.frac_hi = jb.frac_lo + k1;
+  c0.label_base = jb.label_base;
+  c0.rng = rng0;
+
+  SubtreeJob& c1 = children[1];
+  induce_into(g, f.side1, ws, c1.owned);
+  c1.to_parent.resize(f.side1.size());
+  for (std::size_t i = 0; i < f.side1.size(); ++i) {
+    c1.to_parent[i] = jb.to_parent[f.side1[i]];
+  }
+  c1.frac_lo = jb.frac_lo + k1;
+  c1.frac_hi = jb.frac_hi;
+  c1.label_base = jb.label_base + static_cast<int>(k1);
+  c1.rng = rng1;
+}
+
+/// Level-synchronous BFS over the bisection tree: each frontier fans out via
+/// parallel_for (which itself degrades to serial execution for a single job,
+/// a one-worker pool, or when already on a pool worker). Bit-identical to
+/// recursive_bisect_ws for any pool size, including the serial fallback.
+void recursive_bisect_parallel(ThreadPool& pool, const WeightedGraph& g,
+                               std::span<const double> fractions, double eps,
+                               std::size_t trials, std::size_t refine_passes, Rng rng,
+                               std::span<const NodeId> to_parent, std::vector<int>& out) {
+  std::vector<SubtreeJob> frontier(1);
+  frontier[0].root = &g;
+  frontier[0].to_parent.assign(to_parent.begin(), to_parent.end());
+  frontier[0].frac_hi = fractions.size();
+  frontier[0].rng = rng;
+
+  while (!frontier.empty()) {
+    std::vector<std::vector<SubtreeJob>> next(frontier.size());
+    pool.parallel_for(frontier.size(), [&](std::size_t i) {
+      process_subtree(frontier[i], fractions, eps, trials, refine_passes, out, next[i]);
+    });
+    std::size_t total = 0;
+    for (const std::vector<SubtreeJob>& c : next) total += c.size();
+    std::vector<SubtreeJob> merged;
+    merged.reserve(total);
+    for (std::vector<SubtreeJob>& c : next) {
+      for (SubtreeJob& jb : c) merged.push_back(std::move(jb));
+    }
+    frontier = std::move(merged);
+  }
 }
 
 /// partition_attempt() over workspace storage; the result lives in ws.part_a
@@ -372,9 +512,22 @@ const std::vector<int>& partition_attempt_ws(const WeightedGraph& g,
   {
     ws.identity.resize(cur->num_nodes());
     std::iota(ws.identity.begin(), ws.identity.end(), NodeId{0});
-    recursive_bisect_ws(*cur, std::span<const double>(fractions), 0, opts.imbalance_eps,
-                        opts.bisection_trials, opts.refine_passes, rng, ws.identity,
-                        ws.part_a, ws, 0);
+    // Both drivers receive the same split-off stream, and the parallel one is
+    // bit-identical by construction, so the toggle never changes results. The
+    // BFS driver is only engaged where it can actually fan out (off a worker
+    // thread, pool with >1 workers): the serial recursion reuses frames
+    // instead of allocating per-subtree jobs.
+    Rng init_rng = rng.split();
+    if (parallel_bisection_enabled() && !ThreadPool::in_worker() &&
+        bisection_pool().size() > 1) {
+      recursive_bisect_parallel(bisection_pool(), *cur, std::span<const double>(fractions),
+                                opts.imbalance_eps, opts.bisection_trials,
+                                opts.refine_passes, init_rng, ws.identity, ws.part_a);
+    } else {
+      recursive_bisect_ws(*cur, std::span<const double>(fractions), 0, opts.imbalance_eps,
+                          opts.bisection_trials, opts.refine_passes, init_rng, ws.identity,
+                          ws.part_a, ws, 0);
+    }
     greedy_kway_refine(*cur, ws.part_a, targets_for(*cur), opts.imbalance_eps,
                        opts.refine_passes);
   }
@@ -428,6 +581,18 @@ std::vector<int> partition_ws(const WeightedGraph& g, const std::vector<double>&
 }
 
 }  // namespace
+
+bool set_parallel_bisection(bool enabled) {
+  return g_parallel_bisection.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool parallel_bisection_enabled() {
+  return g_parallel_bisection.load(std::memory_order_relaxed);
+}
+
+ThreadPool* set_parallel_bisection_pool(ThreadPool* pool) {
+  return g_bisection_pool.exchange(pool, std::memory_order_acq_rel);
+}
 
 std::vector<int> MultilevelPartitioner::partition(const WeightedGraph& g,
                                                   std::size_t k) const {
@@ -509,7 +674,7 @@ std::vector<int> MultilevelPartitioner::partition_attempt(
     std::vector<NodeId> identity(cur->num_nodes());
     std::iota(identity.begin(), identity.end(), NodeId{0});
     recursive_bisect(*cur, fractions, 0, opts_.imbalance_eps, opts_.bisection_trials,
-                     opts_.refine_passes, rng, identity, part);
+                     opts_.refine_passes, rng.split(), identity, part);
     greedy_kway_refine(*cur, part, targets_for(*cur), opts_.imbalance_eps,
                        opts_.refine_passes);
   }

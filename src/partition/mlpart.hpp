@@ -14,7 +14,24 @@
 
 #include "graph/weighted_graph.hpp"
 
+namespace sc {
+class ThreadPool;
+}
+
 namespace sc::partition {
+
+/// Toggles fanning the independent subtrees of the initial recursive
+/// bisection out over a thread pool (workspace path only; DESIGN.md §5.5).
+/// Purely an execution-strategy switch: results are bit-identical on or off
+/// and independent of the pool size, because every subtree consumes a
+/// private split() RNG stream either way. Returns the previous setting.
+/// Default: enabled.
+bool set_parallel_bisection(bool enabled);
+bool parallel_bisection_enabled();
+
+/// Test hook: overrides the pool used for parallel bisection (nullptr =
+/// ThreadPool::global()). Returns the previous override.
+ThreadPool* set_parallel_bisection_pool(ThreadPool* pool);
 
 struct PartitionOptions {
   double imbalance_eps = 0.10;      ///< allowed part weight overshoot

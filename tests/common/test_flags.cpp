@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "common/error.hpp"
 
 namespace sc {
@@ -101,8 +104,15 @@ TEST(Flags, ConfigureThreadsParsesAndValidates) {
   // Without --threads the helper is a no-op returning 0 (auto-size).
   EXPECT_EQ(configure_threads_from_flags(make({})), 0u);
   EXPECT_EQ(configure_threads_from_flags(make({"--threads=3"})), 3u);
+  // An explicit 0 is a request for no workers, not auto-size: fail loud
+  // rather than silently reinterpreting it.
+  EXPECT_THROW(configure_threads_from_flags(make({"--threads=0"})), Error);
   EXPECT_THROW(configure_threads_from_flags(make({"--threads=-2"})), Error);
   EXPECT_THROW(configure_threads_from_flags(make({"--threads=abc"})), Error);
+  // Absurd counts are clamped to 8x hardware concurrency (with a warning),
+  // not honoured: a typo must not spawn tens of thousands of threads.
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  EXPECT_EQ(configure_threads_from_flags(make({"--threads=1000000"})), hw * 8);
 }
 
 }  // namespace

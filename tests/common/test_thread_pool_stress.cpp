@@ -16,6 +16,8 @@
 #include "common/thread_pool.hpp"
 #include "gen/generator.hpp"
 #include "graph/contraction.hpp"
+#include "graph/weighted_graph.hpp"
+#include "partition/mlpart.hpp"
 #include "partition/workspace.hpp"
 #include "rl/episode_cache.hpp"
 #include "rl/reinforce.hpp"
@@ -186,6 +188,54 @@ TEST(RewardHotPathStress, WorkspaceChurnAcrossThreads) {
   }
   for (std::size_t i = 0; i < items.size(); ++i) {
     EXPECT_EQ(parallel_fast[i], serial_legacy[i]) << "item " << i;
+  }
+}
+
+TEST(ParallelBisectionStress, ConcurrentSubtreeWorkspaces) {
+  // Drives the parallel recursive-bisection BFS driver hard: wide k so the
+  // frontier fans many SubtreeJobs onto the pool at once, plus several caller
+  // threads partitioning concurrently on the same pool. Each pool worker
+  // reuses its thread_local PartitionWorkspace / FmScratch across jobs from
+  // *different* callers — TSan verifies those workspaces never leak across
+  // workers, and the exact-equality check below verifies jobs never leak
+  // state across repeats either.
+  Rng gr(2027);
+  std::vector<double> weights(260);
+  for (double& w : weights) w = 0.5 + gr.uniform();
+  std::vector<graph::WeightedEdge> edges;
+  for (std::size_t v = 1; v < weights.size(); ++v) {
+    edges.push_back({static_cast<graph::NodeId>(v - 1), static_cast<graph::NodeId>(v),
+                     0.1 + gr.uniform()});
+  }
+  for (int e = 0; e < 400; ++e) {
+    const auto a = static_cast<graph::NodeId>(gr.index(weights.size()));
+    const auto b = static_cast<graph::NodeId>(gr.index(weights.size()));
+    if (a != b) edges.push_back({a, b, 0.1 + gr.uniform()});
+  }
+  const graph::WeightedGraph g(weights, edges);
+
+  ThreadPool pool(4);
+  ThreadPool* prev_pool = partition::set_parallel_bisection_pool(&pool);
+  const bool prev_on = partition::set_parallel_bisection(true);
+  partition::PartitionOptions opts;
+  opts.seed = 11;
+  const partition::MultilevelPartitioner part(opts);
+  const std::vector<int> expected = part.partition(g, 16);
+
+  constexpr std::size_t kCallers = 3;
+  std::vector<std::vector<int>> got(kCallers);
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 4; ++round) got[c] = part.partition(g, 16);
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  partition::set_parallel_bisection(prev_on);
+  partition::set_parallel_bisection_pool(prev_pool);
+
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(got[c], expected) << "caller " << c;
   }
 }
 

@@ -12,6 +12,7 @@
 #include "graph/contraction.hpp"
 #include "nn/arena.hpp"
 #include "nn/ops.hpp"
+#include "partition/mlpart.hpp"
 #include "partition/workspace.hpp"
 #include "rl/trainer_state.hpp"
 
@@ -109,6 +110,49 @@ TEST(PerfToggles, RewardHotPathTogglesKeepStatsAndCheckpointsIdentical) {
         std::pair{"workspace off", run(true, false, true)},
         std::pair{"fm buckets off", run(true, true, false)},
         std::pair{"all legacy", run(false, false, false)}}) {
+    expect_bit_identical(base.first, stats_and_ckpt.first, label);
+    EXPECT_EQ(base.second, stats_and_ckpt.second)
+        << label << ": checkpoint files differ";
+  }
+}
+
+TEST(PerfToggles, SimdAndParallelBisectionKeepStatsAndCheckpointsIdentical) {
+  // The PR-6 levers — SIMD-dispatched nn kernels and the thread-parallel
+  // recursive-bisection driver — are execution-strategy switches: training
+  // stats and the full serialized trainer state (parameters, Adam moments,
+  // RNG streams, buffers) must be byte-identical with each on or off. SIMD
+  // identity holds because every vector kernel preserves the scalar
+  // accumulation order under fp-contract=off; bisection identity holds
+  // because each subtree consumes a private split() RNG stream.
+  const auto graphs = small_graphs(4, 53);
+  ThreadPool bisect_pool(4);
+  auto run = [&](bool simd_on, bool par_bisect_on) {
+    const bool prev_simd = nn::kernels::set_simd(simd_on);
+    const bool prev_bisect = partition::set_parallel_bisection(par_bisect_on);
+    ThreadPool* prev_pool =
+        partition::set_parallel_bisection_pool(par_bisect_on ? &bisect_pool : nullptr);
+    ThreadPool serial(1);
+    auto contexts = make_contexts(graphs, spec());
+    gnn::CoarseningPolicy policy{gnn::PolicyConfig{}};
+    TrainerConfig cfg;
+    cfg.seed = 99;
+    cfg.pool = &serial;
+    ReinforceTrainer trainer(policy, contexts, metis_placer(), cfg);
+    std::vector<EpochStats> stats;
+    for (int e = 0; e < 3; ++e) stats.push_back(trainer.train_epoch());
+    std::ostringstream checkpoint;
+    write_trainer_state(checkpoint, trainer.export_state());
+    nn::kernels::set_simd(prev_simd);
+    partition::set_parallel_bisection(prev_bisect);
+    partition::set_parallel_bisection_pool(prev_pool);
+    return std::pair{stats, checkpoint.str()};
+  };
+
+  const auto base = run(true, true);
+  for (const auto& [label, stats_and_ckpt] :
+       {std::pair{"simd off", run(false, true)},
+        std::pair{"parallel bisection off", run(true, false)},
+        std::pair{"both off", run(false, false)}}) {
     expect_bit_identical(base.first, stats_and_ckpt.first, label);
     EXPECT_EQ(base.second, stats_and_ckpt.second)
         << label << ": checkpoint files differ";

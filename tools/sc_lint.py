@@ -28,6 +28,12 @@ Rules (each can be suppressed per line with `// sc-lint: allow(<rule>)`):
                        reference to a workspace vector is fine, creating a
                        fresh one is a regression the benchmarks only catch
                        statistically.
+  no-raw-intrinsics    `#include <immintrin.h>`/`<arm_neon.h>` and raw SIMD
+                       intrinsic identifiers (`_mm*`, `v*q_f32/64`) anywhere
+                       except src/nn/simd.hpp. All vector code lives behind
+                       the shim's dispatched kernels so the scalar reference,
+                       runtime tier selection, and fp-contract policy stay in
+                       one audited place.
 
 Usage:
   tools/sc_lint.py [--root DIR] [--self-test]
@@ -53,6 +59,11 @@ OFSTREAM_DECL_RE = re.compile(r"std::ofstream\s+(\w+)")
 PRAGMA_ONCE_RE = re.compile(r"#\s*pragma\s+once")
 GUARD_RE = re.compile(r"#\s*ifndef\s+\w+")
 HOT_PATH_RE = re.compile(r"//\s*sc-lint:\s*hot-path")
+INTRINSIC_RE = re.compile(
+    r"#\s*include\s*<(?:immintrin|arm_neon)\.h>"
+    r"|(?<![\w])_mm\w*"      # _mm_/_mm256_/_mm512_ intrinsics and __mmask via _mm
+    r"|\bv\w+q_f(?:32|64)\b"  # NEON vaddq_f64 / vmulq_f32 style intrinsics
+)
 
 
 def find_vector_constructions(line: str) -> bool:
@@ -141,6 +152,7 @@ class Linter:
         is_header = rel.endswith(".hpp")
         in_src = rel.startswith("src/")
         is_rng = rel == "src/common/rng.hpp"
+        is_simd_shim = rel == "src/nn/simd.hpp"
         is_log = rel.startswith("src/common/log")
 
         for i, line in enumerate(code_lines, start=1):
@@ -155,6 +167,11 @@ class Linter:
                 self.report(rel, i, "no-iostream-header",
                             "<iostream> in a header; include <ostream>/<iosfwd> and "
                             "keep stream objects in a .cpp")
+            if (not is_simd_shim and INTRINSIC_RE.search(line)
+                    and not allowed(i, "no-raw-intrinsics")):
+                self.report(rel, i, "no-raw-intrinsics",
+                            "raw SIMD intrinsics outside src/nn/simd.hpp; add a "
+                            "dispatched kernel to the shim instead")
 
         self._lint_writer_flush(rel, code_lines, allowed)
         self._lint_hot_path(rel, raw_lines, code_lines, allowed)
@@ -259,6 +276,13 @@ def self_test() -> int:
             "void f(Scratch& s) {\n"
             "  std::vector<int> tmp(8);\n"
             "}\n"),
+        "no-raw-intrinsics-include": ("src/x.cpp", "#include <immintrin.h>\n"),
+        "no-raw-intrinsics-neon-include": ("src/x.hpp",
+                                           "#pragma once\n#include <arm_neon.h>\n"),
+        "no-raw-intrinsics-x86-call": ("src/x.cpp",
+                                       "c = _mm256_add_pd(a, b);\n"),
+        "no-raw-intrinsics-neon-call": ("src/x.cpp",
+                                        "c = vaddq_f64(a, b);\n"),
         "no-vector-in-hot-path-nested-template": (
             "src/x.cpp",
             "// sc-lint: hot-path\n"
@@ -288,6 +312,14 @@ def self_test() -> int:
             "void f(Scratch& s) {\n"
             "  std::vector<int> tmp;  // sc-lint: allow(no-vector-in-hot-path)\n"
             "}\n"),
+        "simd-shim-exempt": ("src/nn/simd.hpp",
+                             "#pragma once\n#include <immintrin.h>\n"
+                             "c = _mm512_mul_pd(a, b);\n"),
+        "intrinsics-suppressed": (
+            "src/x.cpp",
+            "c = _mm256_add_pd(a, b);  // sc-lint: allow(no-raw-intrinsics)\n"),
+        "masked-not-intrinsic": ("src/x.cpp",
+                                 "double vq_found = masked_logprob(x);\n"),
         "vector-outside-hot-path": (
             "src/x.cpp",
             "void g() {\n"

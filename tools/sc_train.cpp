@@ -17,9 +17,11 @@
 #include <iostream>
 
 #include "common/profile.hpp"
+#include "common/thread_pool.hpp"
 #include "core/framework.hpp"
 #include "graph/io.hpp"
 #include "metrics/report.hpp"
+#include "nn/simd.hpp"
 #include "tool_common.hpp"
 
 int main(int argc, char** argv) try {
@@ -100,6 +102,9 @@ int main(int argc, char** argv) try {
 
   const bool profile = flags.get_bool("profile", false);
   if (profile) {
+    std::cout << "environment: " << ThreadPool::global().size() << " pool threads, simd tier "
+              << nn::simd::tier_name(nn::simd::active()) << " (hardware "
+              << nn::simd::tier_name(nn::simd::detect()) << ")\n";
     prof::reset();
     prof::set_enabled(true);
   }
