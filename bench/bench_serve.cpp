@@ -1,0 +1,525 @@
+// bench_serve — serving-tier load harness (BENCH_serve.json).
+//
+// Drives the AllocationService (src/serve) in-process with an open-loop
+// arrival schedule over a mixed-Setting request pool, A/Bing cross-request
+// batched inference against unbatched serving:
+//
+//   identity : every pool graph is allocated once in each mode and the
+//              placements are asserted bit-identical BEFORE any timing
+//              (batching shares GEMM work; it must never change results).
+//   load     : requests arrive open-loop at a fixed rate (default: 2x the
+//              measured unbatched closed-loop capacity, i.e. deliberate
+//              overload so the bounded queue and shedding are exercised),
+//              per-request latency is measured from the scheduled arrival
+//              time (coordinated-omission-free) into a LatencyHistogram,
+//              and each mode reports sustained QPS + p50/p95/p99.
+//   rounds   : batched/unbatched rounds interleave and each mode keeps its
+//              best-QPS round, so host load spikes hit both arms alike.
+//
+// The default placer is coarsen-only (Table II variant): it keeps the
+// non-forward share of a request cheap, so the A/B isolates what this bench
+// is about — the encoder forward amortization. --placer metis measures the
+// full pipeline instead.
+//
+// Usage:
+//   bench_serve [--tiny] [--out BENCH_serve.json] [--seed N] [--requests N]
+//               [--rate RPS] [--workers N] [--queue-depth N] [--max-batch N]
+//               [--window-us N] [--best-of K] [--rounds N]
+//               [--placer coarsen-only|metis] [--threads N] [--verbose]
+//   bench_serve --validate <file>   # re-parse an emitted JSON (ctest smoke)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "common/latency_histogram.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/simd.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validation (recursive descent), mirroring bench_perf_reward.
+// ---------------------------------------------------------------------------
+struct JsonParser {
+  const std::string& s;
+  std::size_t pos = 0;
+
+  explicit JsonParser(const std::string& text) : s(text) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw sc::Error("JSON parse error at byte " + std::to_string(pos) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                              s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos >= s.size()) fail("unexpected end of input");
+    return s[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+  void parse_string() {
+    expect('"');
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\') ++pos;  // skip escaped char
+      ++pos;
+    }
+    if (pos >= s.size()) fail("unterminated string");
+    ++pos;
+  }
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    if (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) ++pos;
+    while (pos < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[pos])) || s[pos] == '.' ||
+            s[pos] == 'e' || s[pos] == 'E' || s[pos] == '-' || s[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) fail("expected a number");
+    const double v = std::strtod(s.substr(start, pos - start).c_str(), nullptr);
+    if (!std::isfinite(v)) fail("non-finite number");
+    return v;
+  }
+  void parse_literal(const char* lit) {
+    skip_ws();
+    for (const char* p = lit; *p; ++p, ++pos) {
+      if (pos >= s.size() || s[pos] != *p) fail(std::string("expected '") + lit + "'");
+    }
+  }
+  void parse_value() {
+    const char c = peek();
+    if (c == '{') {
+      parse_object();
+    } else if (c == '[') {
+      expect('[');
+      if (peek() != ']') {
+        parse_value();
+        while (peek() == ',') {
+          ++pos;
+          parse_value();
+        }
+      }
+      expect(']');
+    } else if (c == '"') {
+      parse_string();
+    } else if (c == 't') {
+      parse_literal("true");
+    } else if (c == 'f') {
+      parse_literal("false");
+    } else if (c == 'n') {
+      parse_literal("null");
+    } else {
+      (void)parse_number();
+    }
+  }
+  std::vector<std::string> parse_object() {
+    std::vector<std::string> keys;
+    expect('{');
+    if (peek() != '}') {
+      for (;;) {
+        skip_ws();
+        const std::size_t key_start = pos + 1;
+        parse_string();
+        keys.push_back(s.substr(key_start, pos - key_start - 1));
+        expect(':');
+        parse_value();
+        if (peek() != ',') break;
+        ++pos;
+      }
+    }
+    expect('}');
+    return keys;
+  }
+};
+
+int validate_json(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    std::cerr << "bench_serve: cannot open '" << path << "'\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  try {
+    JsonParser parser(text);
+    const auto keys = parser.parse_object();
+    parser.skip_ws();
+    if (parser.pos != text.size()) parser.fail("trailing garbage after object");
+    for (const char* required : {"schema_version", "requests", "rate_rps", "identical",
+                                 "speedup_qps", "p99_ratio", "batched", "unbatched",
+                                 "env"}) {
+      bool found = false;
+      for (const auto& k : keys) found = found || k == required;
+      if (!found) throw sc::Error(std::string("missing required key '") + required + "'");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench_serve: '" << path << "' is malformed: " << e.what() << '\n';
+    return 1;
+  }
+  std::cout << "OK: " << path << " is well-formed JSON with the expected keys\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Request pool: a mixed-Setting job population. Mostly Small (the serving
+// sweet spot where concurrent graphs share GEMM work), with MediumSmallCluster
+// and Medium jobs mixed in so batches are heterogeneous in size and spec.
+// ---------------------------------------------------------------------------
+struct PoolEntry {
+  sc::graph::StreamGraph graph;
+  sc::sim::ClusterSpec spec;
+};
+
+struct Pool {
+  std::vector<PoolEntry> entries;
+  std::size_t n_small = 0, n_medium5 = 0, n_medium = 0;
+};
+
+Pool make_pool(bool tiny, std::uint64_t seed) {
+  using namespace sc;
+  Pool pool;
+  const auto add = [&](gen::Setting s, std::size_t count) {
+    const gen::GeneratorConfig cfg = gen::setting_config(s);
+    auto graphs = gen::generate_graphs(cfg, count, seed + static_cast<std::uint64_t>(s) * 7919);
+    const sim::ClusterSpec spec = rl::to_cluster_spec(cfg.workload);
+    for (auto& g : graphs) pool.entries.push_back({std::move(g), spec});
+    return count;
+  };
+  pool.n_small = add(gen::Setting::Small, tiny ? 6 : 12);
+  if (!tiny) {
+    pool.n_medium5 = add(gen::Setting::MediumSmallCluster, 4);
+    pool.n_medium = add(gen::Setting::Medium, 2);
+  }
+  return pool;
+}
+
+sc::serve::ServeConfig make_config(const sc::Flags& flags, const Pool& pool, bool tiny,
+                                   bool batched) {
+  sc::serve::ServeConfig cfg;
+  cfg.workers = static_cast<std::size_t>(flags.get_int("workers", 1));
+  cfg.queue_depth = static_cast<std::size_t>(flags.get_int("queue-depth", 256));
+  cfg.max_batch = static_cast<std::size_t>(flags.get_int("max-batch", tiny ? 8 : 16));
+  cfg.batch_window_us = static_cast<std::size_t>(flags.get_int("window-us", 200));
+  cfg.batched = batched;
+  cfg.context_cache_capacity = pool.entries.size() + 8;
+  return cfg;
+}
+
+sc::rl::CoarsePlacer make_placer(const std::string& name) {
+  if (name == "metis") return sc::rl::metis_placer();
+  SC_CHECK(name == "coarsen-only",
+           "unknown --placer '" << name << "' (coarsen-only|metis)");
+  return sc::rl::coarsen_only_placer();
+}
+
+sc::serve::AllocRequest make_request(const Pool& pool, std::size_t pool_idx,
+                                     std::uint64_t id, std::size_t best_of) {
+  sc::serve::AllocRequest req;
+  const PoolEntry& e = pool.entries[pool_idx % pool.entries.size()];
+  req.id = id;
+  req.graph = e.graph;  // the copy is the client's cost, outside the service
+  req.spec = e.spec;
+  req.best_of = best_of;
+  req.seed = 0x5EED0000ULL + pool_idx;  // same graph => same samples
+  return req;
+}
+
+/// Popularity-skewed arrival stream (80% of traffic on a 4-job hot set, the
+/// rest uniform over the whole pool) — the standard serving-workload shape.
+/// Precomputed once and replayed identically by the capacity probe and every
+/// round of both modes, so the A/B compares the exact same request sequence.
+std::vector<std::size_t> make_arrivals(std::size_t requests, const Pool& pool,
+                                       std::uint64_t seed) {
+  sc::Rng rng(seed ^ 0xA11CA7EDULL);
+  const std::size_t hot = std::min<std::size_t>(4, pool.entries.size());
+  std::vector<std::size_t> idx(requests);
+  for (auto& v : idx) {
+    v = rng.bernoulli(0.8) ? rng.index(hot) : rng.index(pool.entries.size());
+  }
+  return idx;
+}
+
+// ---------------------------------------------------------------------------
+// Identity phase: per-request placements must be bit-identical between the
+// batched and unbatched modes (PR 2's block-diagonal invariant end to end).
+// ---------------------------------------------------------------------------
+std::vector<sc::sim::Placement> placements_in_mode(const sc::gnn::CoarseningPolicy& policy,
+                                                   const sc::rl::CoarsePlacer& placer,
+                                                   const sc::Flags& flags, const Pool& pool,
+                                                   bool tiny, bool batched,
+                                                   std::size_t best_of) {
+  using namespace sc;
+  serve::AllocationService service(policy, placer, make_config(flags, pool, tiny, batched));
+  std::vector<sim::Placement> placements(pool.entries.size());
+  std::mutex m;
+  for (std::size_t i = 0; i < pool.entries.size(); ++i) {
+    const bool ok = service.submit(make_request(pool, i, i, best_of), [&, i](serve::AllocResponse res) {
+      SC_CHECK(res.status == serve::ResponseStatus::Ok,
+               "identity request " << i << " failed: " << res.error);
+      std::lock_guard<std::mutex> lock(m);
+      placements[i] = std::move(res.placement);
+    });
+    SC_CHECK(ok, "identity phase must not shed (queue depth >= pool size)");
+  }
+  service.drain();
+  service.stop();
+  return placements;
+}
+
+// ---------------------------------------------------------------------------
+// Load phase: open-loop arrivals at `rate` rps. Latency is measured from the
+// *scheduled* arrival time, so generator lag counts against the server
+// (no coordinated omission).
+// ---------------------------------------------------------------------------
+struct ModeResult {
+  double qps = 0.0;
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0, mean_us = 0.0;
+  std::uint64_t completed = 0, shed = 0, errors = 0;
+  std::uint64_t batches = 0;
+  double mean_batch = 0.0;
+  std::uint64_t dedup_shared = 0;
+  std::uint64_t tail_hits = 0, tail_misses = 0;
+};
+
+ModeResult run_load(const sc::gnn::CoarseningPolicy& policy,
+                    const sc::rl::CoarsePlacer& placer, const sc::Flags& flags,
+                    const Pool& pool, bool tiny, bool batched,
+                    const std::vector<std::size_t>& arrivals, double rate,
+                    std::size_t best_of) {
+  using namespace sc;
+  serve::AllocationService service(policy, placer, make_config(flags, pool, tiny, batched));
+
+  // Warm the context cache so the measured window reflects steady-state
+  // serving (both modes warm identically).
+  for (std::size_t i = 0; i < pool.entries.size(); ++i) {
+    SC_CHECK(service.submit(make_request(pool, i, i, 0), {}), "warmup shed");
+  }
+  service.drain();
+
+  common::LatencyHistogram hist;
+  const auto t0 = Clock::now();
+  const double ns_per_req = 1e9 / rate;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const auto scheduled =
+        t0 + std::chrono::nanoseconds(static_cast<std::int64_t>(ns_per_req * static_cast<double>(i)));
+    std::this_thread::sleep_until(scheduled);
+    serve::AllocRequest req = make_request(pool, arrivals[i], i, best_of);
+    req.submit_time = scheduled;
+    (void)service.submit(std::move(req), [&hist](serve::AllocResponse res) {
+      if (res.status == serve::ResponseStatus::Ok) {
+        hist.record_seconds(res.latency_seconds);
+      }
+    });  // false => shed, counted by the service
+  }
+  service.drain();
+  const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  const serve::ServeStats stats = service.stats();
+  service.stop();
+
+  ModeResult r;
+  // Warmup responses carry no histogram entries; exclude them from QPS too.
+  r.completed = hist.count();
+  r.shed = stats.shed;
+  r.errors = stats.errors;
+  r.batches = stats.batches;
+  r.mean_batch = stats.batches > 0 ? static_cast<double>(stats.batched_requests) /
+                                         static_cast<double>(stats.batches)
+                                   : 0.0;
+  r.dedup_shared = stats.dedup_shared;
+  r.tail_hits = stats.context_cache.tail_hits;
+  r.tail_misses = stats.context_cache.tail_misses;
+  r.qps = elapsed > 0 ? static_cast<double>(r.completed) / elapsed : 0.0;
+  r.p50_us = static_cast<double>(hist.percentile_nanos(0.50)) / 1e3;
+  r.p95_us = static_cast<double>(hist.percentile_nanos(0.95)) / 1e3;
+  r.p99_us = static_cast<double>(hist.percentile_nanos(0.99)) / 1e3;
+  r.mean_us = hist.mean_nanos() / 1e3;
+  SC_CHECK(r.errors == 0, "load phase produced " << r.errors << " request errors");
+  return r;
+}
+
+/// Closed-loop unbatched capacity probe: one in-flight request at a time,
+/// replaying a prefix of the same arrival stream the load phases use.
+double unbatched_capacity(const sc::gnn::CoarseningPolicy& policy,
+                          const sc::rl::CoarsePlacer& placer, const sc::Flags& flags,
+                          const Pool& pool, bool tiny,
+                          const std::vector<std::size_t>& arrivals, std::size_t best_of) {
+  using namespace sc;
+  serve::AllocationService service(policy, placer, make_config(flags, pool, tiny, false));
+  for (std::size_t i = 0; i < pool.entries.size(); ++i) {
+    SC_CHECK(service.submit(make_request(pool, i, i, 0), {}), "warmup shed");
+    service.drain();
+  }
+  const std::size_t probes =
+      std::min(arrivals.size(), pool.entries.size() * (tiny ? 2 : 4));
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < probes; ++i) {
+    SC_CHECK(service.submit(make_request(pool, arrivals[i], i, best_of), {}),
+             "probe shed");
+    service.drain();
+  }
+  const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  service.stop();
+  return static_cast<double>(probes) / elapsed;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+void mode_json(std::ostream& os, const char* name, const ModeResult& r, bool last) {
+  os << "  \"" << name << "\": {\n"
+     << "    \"qps\": " << json_num(r.qps) << ",\n"
+     << "    \"p50_us\": " << json_num(r.p50_us) << ",\n"
+     << "    \"p95_us\": " << json_num(r.p95_us) << ",\n"
+     << "    \"p99_us\": " << json_num(r.p99_us) << ",\n"
+     << "    \"mean_us\": " << json_num(r.mean_us) << ",\n"
+     << "    \"completed\": " << r.completed << ",\n"
+     << "    \"shed\": " << r.shed << ",\n"
+     << "    \"batches\": " << r.batches << ",\n"
+     << "    \"mean_batch\": " << json_num(r.mean_batch) << ",\n"
+     << "    \"dedup_shared\": " << r.dedup_shared << ",\n"
+     << "    \"tail_hits\": " << r.tail_hits << ",\n"
+     << "    \"tail_misses\": " << r.tail_misses << "\n  }" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace sc;
+  const Flags raw(argc, argv);
+  if (raw.has("validate")) return validate_json(raw.get_string("validate", ""));
+
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const bool tiny = raw.get_bool("tiny", false);
+  const std::string out = raw.get_string("out", "BENCH_serve.json");
+  const auto requests = static_cast<std::size_t>(raw.get_int("requests", tiny ? 300 : 3000));
+  const auto best_of = static_cast<std::size_t>(raw.get_int("best-of", 0));
+  const auto rounds = static_cast<std::size_t>(raw.get_int("rounds", tiny ? 1 : 3));
+  const std::string placer_name = raw.get_string("placer", "coarsen-only");
+  std::cout << "[serve] Serving-tier load harness" << (tiny ? " (tiny)" : "") << "\n";
+
+  const Pool pool = make_pool(tiny, args.seed);
+  std::size_t total_nodes = 0;
+  for (const auto& e : pool.entries) total_nodes += e.graph.num_nodes();
+  std::cout << "  pool    " << pool.entries.size() << " graphs (" << pool.n_small
+            << " small, " << pool.n_medium5 << " medium5, " << pool.n_medium
+            << " medium), " << total_nodes << " nodes total\n";
+
+  // One policy for every phase: random weights are fine (the bench measures
+  // the serving architecture, not model quality) and deterministic in --seed.
+  gnn::PolicyConfig pcfg;
+  pcfg.seed = args.seed;
+  const gnn::CoarseningPolicy policy(pcfg);
+  const rl::CoarsePlacer placer = make_placer(placer_name);
+
+  // Identity before any timing.
+  const auto batched_p = placements_in_mode(policy, placer, raw, pool, tiny, true, best_of);
+  const auto unbatched_p = placements_in_mode(policy, placer, raw, pool, tiny, false, best_of);
+  const bool identical = batched_p == unbatched_p;
+  SC_CHECK(identical, "batched and unbatched serving produced different placements");
+  std::cout << "  identity  " << pool.entries.size()
+            << " placements bit-identical across modes\n";
+
+  // One arrival stream shared by the capacity probe and every round of both
+  // modes: the A/B replays the exact same skewed request sequence.
+  const std::vector<std::size_t> arrivals = make_arrivals(requests, pool, args.seed);
+
+  // Arrival rate: default 2x the unbatched closed-loop capacity (overload).
+  double rate = raw.get_double("rate", 0.0);
+  const bool auto_rate = rate <= 0.0;
+  if (auto_rate) {
+    const double cap = unbatched_capacity(policy, placer, raw, pool, tiny, arrivals, best_of);
+    rate = 2.0 * cap;
+    std::cout << "  capacity  " << metrics::Table::fmt(cap, 0)
+              << " rps unbatched closed-loop; driving at " << metrics::Table::fmt(rate, 0)
+              << " rps\n";
+  }
+
+  // Interleaved rounds, best QPS per mode.
+  ModeResult best_batched, best_unbatched;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const ModeResult b =
+        run_load(policy, placer, raw, pool, tiny, true, arrivals, rate, best_of);
+    if (b.qps > best_batched.qps) best_batched = b;
+    const ModeResult u =
+        run_load(policy, placer, raw, pool, tiny, false, arrivals, rate, best_of);
+    if (u.qps > best_unbatched.qps) best_unbatched = u;
+  }
+
+  const double speedup = best_unbatched.qps > 0 ? best_batched.qps / best_unbatched.qps : 0.0;
+  const double p99_ratio =
+      best_unbatched.p99_us > 0 ? best_batched.p99_us / best_unbatched.p99_us : 0.0;
+  std::cout << "  batched   " << metrics::Table::fmt(best_batched.qps, 0) << " qps, p50 "
+            << metrics::Table::fmt(best_batched.p50_us, 0) << " us, p99 "
+            << metrics::Table::fmt(best_batched.p99_us, 0) << " us, mean batch "
+            << metrics::Table::fmt(best_batched.mean_batch, 2) << ", dedup "
+            << best_batched.dedup_shared << ", tail hits " << best_batched.tail_hits
+            << ", shed " << best_batched.shed << "\n";
+  std::cout << "  unbatched " << metrics::Table::fmt(best_unbatched.qps, 0) << " qps, p50 "
+            << metrics::Table::fmt(best_unbatched.p50_us, 0) << " us, p99 "
+            << metrics::Table::fmt(best_unbatched.p99_us, 0) << " us, shed "
+            << best_unbatched.shed << "\n";
+  std::cout << "  speedup   " << metrics::Table::fmt(speedup, 2) << "x QPS, p99 ratio "
+            << metrics::Table::fmt(p99_ratio, 2) << " (<= 1 is equal-or-better)\n";
+
+  std::ofstream os(out);
+  SC_CHECK(os.good(), "cannot open output file '" << out << "'");
+  os << "{\n"
+     << "  \"schema_version\": 1,\n"
+     << "  \"tiny\": " << (tiny ? "true" : "false") << ",\n"
+     << "  \"seed\": " << args.seed << ",\n"
+     << "  \"requests\": " << requests << ",\n"
+     << "  \"rounds\": " << rounds << ",\n"
+     << "  \"rate_rps\": " << json_num(rate) << ",\n"
+     << "  \"auto_rate\": " << (auto_rate ? "true" : "false") << ",\n"
+     << "  \"workers\": " << raw.get_int("workers", 1) << ",\n"
+     << "  \"queue_depth\": " << raw.get_int("queue-depth", 256) << ",\n"
+     << "  \"max_batch\": " << raw.get_int("max-batch", tiny ? 8 : 16) << ",\n"
+     << "  \"window_us\": " << raw.get_int("window-us", 200) << ",\n"
+     << "  \"best_of\": " << best_of << ",\n"
+     << "  \"placer\": \"" << placer_name << "\",\n"
+     << "  \"mix\": \"hotset-80-20\",\n"
+     << "  \"pool\": { \"small\": " << pool.n_small << ", \"medium5\": " << pool.n_medium5
+     << ", \"medium\": " << pool.n_medium << " },\n"
+     << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+     << "  \"speedup_qps\": " << json_num(speedup) << ",\n"
+     << "  \"p99_ratio\": " << json_num(p99_ratio) << ",\n";
+  mode_json(os, "batched", best_batched, false);
+  mode_json(os, "unbatched", best_unbatched, false);
+  os << "  \"env\": {\n"
+     << "    \"threads\": " << ThreadPool::global().size() << ",\n"
+     << "    \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
+     << "    \"simd_tier\": \"" << nn::simd::tier_name(nn::simd::active()) << "\",\n"
+     << "    \"simd_detected\": \"" << nn::simd::tier_name(nn::simd::detect()) << "\"\n"
+     << "  }\n"
+     << "}\n";
+  os.flush();
+  SC_CHECK(os.good(), "JSON write to '" << out << "' failed (disk full or I/O error?)");
+  os.close();
+  std::cout << "JSON written to " << out << "\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_serve: " << e.what() << '\n';
+  return 1;
+}

@@ -1,0 +1,118 @@
+// BoundedQueue: fixed-capacity MPMC queue for the serving admission path.
+//
+// The ring buffer is allocated once at construction; try_push / pop_batch
+// only move elements in and out of pre-existing slots, so steady-state
+// admission is allocation-free (enforced by the serve-hot-path lint rule).
+// try_push never blocks: a full queue returns false and the caller sheds the
+// request fail-loudly instead of growing an unbounded backlog.
+//
+// pop_batch implements the cross-request batching window: it blocks until at
+// least one item is available (or the queue is closed and empty), then keeps
+// collecting immediately-available items — waiting up to `window` past the
+// first pop for stragglers — until `max_items` are gathered. Closing the
+// queue wakes every waiter; items still queued at close time are drained by
+// subsequent pop_batch calls (graceful drain), and only then does pop_batch
+// return 0.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sc::common {
+
+template <typename T>
+class BoundedQueue {
+public:
+  explicit BoundedQueue(std::size_t capacity) : ring_(capacity) {
+    SC_CHECK(capacity > 0, "bounded queue capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push. Returns false (and leaves `item` unspecified-moved
+  /// only on success) when the queue is full or closed.
+  // sc-lint: serve-hot-path
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || count_ == ring_.size()) return false;
+      ring_[(head_ + count_) % ring_.size()] = std::move(item);
+      ++count_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Pops between 1 and `max_items` items into `out` (appended; `out` is NOT
+  /// cleared — callers reuse a retained buffer). Blocks until the first item
+  /// arrives, then collects more until `max_items` are gathered or `window`
+  /// has elapsed since the first pop. Returns the number popped; 0 means the
+  /// queue is closed and fully drained.
+  // sc-lint: serve-hot-path
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items,
+                        std::chrono::microseconds window) {
+    if (max_items == 0) return 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0) return 0;  // closed and drained
+
+    std::size_t popped = 0;
+    const auto deadline = std::chrono::steady_clock::now() + window;
+    for (;;) {
+      while (count_ > 0 && popped < max_items) {
+        out.push_back(std::move(ring_[head_]));
+        head_ = (head_ + 1) % ring_.size();
+        --count_;
+        ++popped;
+      }
+      if (popped >= max_items || closed_ || window.count() <= 0) break;
+      if (cv_.wait_until(lock, deadline,
+                         [&] { return count_ > 0 || closed_; })) {
+        if (count_ == 0) break;  // woken by close
+        continue;                // more items arrived inside the window
+      }
+      break;  // window expired
+    }
+    lock.unlock();
+    cv_.notify_all();  // wake other consumers (and close() waiters)
+    return popped;
+  }
+
+  /// Closes the queue: subsequent try_push calls fail, waiters wake, queued
+  /// items remain poppable until drained.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+
+private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace sc::common

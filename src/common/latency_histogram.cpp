@@ -1,0 +1,101 @@
+#include "common/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace sc::common {
+
+std::uint32_t LatencyHistogram::bucket_index(std::uint64_t nanos) {
+  if (nanos < kLinear) return static_cast<std::uint32_t>(nanos);
+  // 2^e <= nanos < 2^(e+1), with e >= kSubBits + 1.
+  const std::uint32_t e = 63u - static_cast<std::uint32_t>(std::countl_zero(nanos));
+  const auto sub = static_cast<std::uint32_t>((nanos >> (e - kSubBits)) - kSub);
+  const std::uint32_t index = kLinear + (e - (kSubBits + 1)) * kSub + sub;
+  return std::min(index, kBuckets - 1);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::uint32_t index) {
+  if (index < kLinear) return index;
+  const std::uint32_t run = (index - kLinear) / kSub;
+  const std::uint32_t sub = (index - kLinear) % kSub;
+  const std::uint32_t e = run + kSubBits + 1;
+  return ((static_cast<std::uint64_t>(kSub) + sub + 1) << (e - kSubBits)) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t nanos) {
+  buckets_[bucket_index(nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(nanos, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (nanos < cur && !min_.compare_exchange_weak(cur, nanos, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (nanos > cur && !max_.compare_exchange_weak(cur, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::record_seconds(double seconds) {
+  const double ns = std::max(0.0, seconds) * 1e9;
+  record(static_cast<std::uint64_t>(ns));
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::uint32_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n > 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  const std::uint64_t omin = other.min_.load(std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (omin < cur && !min_.compare_exchange_weak(cur, omin, std::memory_order_relaxed)) {
+  }
+  const std::uint64_t omax = other.max_.load(std::memory_order_relaxed);
+  cur = max_.load(std::memory_order_relaxed);
+  while (omax > cur && !max_.compare_exchange_weak(cur, omax, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::mean_nanos() const {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) / static_cast<double>(n);
+}
+
+std::uint64_t LatencyHistogram::min_nanos() const {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == ~0ULL ? 0 : v;
+}
+
+std::uint64_t LatencyHistogram::max_nanos() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::percentile_nanos(double q) const {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Never report beyond the recorded maximum (the top bucket's edge can
+      // overshoot it by up to the bucket width).
+      return std::min(bucket_upper(i), max_nanos());
+    }
+  }
+  return max_nanos();
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ULL, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sc::common

@@ -1,0 +1,80 @@
+// LatencyHistogram: log-bucketed latency distribution, mergeable across
+// threads, with percentile queries exact to within the bucket resolution.
+//
+// Layout follows the HdrHistogram idea: values (nanoseconds) below
+// 2^(kSubBits+1) land in exact unit-width buckets; above that, each octave
+// is split into 2^kSubBits geometric sub-buckets, so every recorded value is
+// over-estimated by at most a factor of 1 + 2^-kSubBits (~3.1% at the
+// default kSubBits = 5). Percentiles report the upper edge of the bucket
+// holding the requested rank, so p50/p95/p99 are exact within that bound.
+//
+// record() is lock-free (one relaxed fetch_add per bucket plus count/sum
+// updates), so worker threads can share one histogram, or keep their own and
+// merge() at the end — both give identical totals.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace sc::common {
+
+class LatencyHistogram {
+public:
+  /// Sub-bucket bits per octave: resolution = 2^-kSubBits (~3.1%).
+  static constexpr std::uint32_t kSubBits = 5;
+  static constexpr std::uint32_t kSub = 1u << kSubBits;
+  /// Exact linear region: values in [0, 2 * kSub) get unit-width buckets.
+  static constexpr std::uint32_t kLinear = 2 * kSub;
+  /// One geometric run per octave above the linear region (64-bit values).
+  static constexpr std::uint32_t kBuckets = kLinear + (63 - kSubBits) * kSub;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one latency sample in nanoseconds. Thread-safe, lock-free.
+  void record(std::uint64_t nanos);
+  /// Convenience: records a sample given in seconds (clamped at 0).
+  void record_seconds(double seconds);
+
+  /// Adds every sample of `other` into this histogram (relaxed reads; exact
+  /// when `other` is quiescent).
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Mean of the recorded samples in nanoseconds (0 when empty).
+  double mean_nanos() const;
+  /// Smallest / largest recorded sample (exact values, not bucket edges;
+  /// 0 when empty).
+  std::uint64_t min_nanos() const;
+  std::uint64_t max_nanos() const;
+
+  /// Upper bound of the bucket holding the sample of rank ceil(q * count):
+  /// at least q of the samples are <= the returned value, and the true
+  /// rank-q sample is within one bucket width below it. q is clamped to
+  /// [0, 1]; returns 0 when empty.
+  std::uint64_t percentile_nanos(double q) const;
+
+  void reset();
+
+  /// Worst-case relative over-estimate of percentile_nanos (bucket width /
+  /// bucket lower edge) — 2^-kSubBits.
+  static constexpr double relative_resolution() {
+    return 1.0 / static_cast<double>(kSub);
+  }
+
+  /// Bucket index for a value (exposed for tests).
+  static std::uint32_t bucket_index(std::uint64_t nanos);
+  /// Inclusive upper edge of a bucket (exposed for tests).
+  static std::uint64_t bucket_upper(std::uint32_t index);
+
+private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace sc::common

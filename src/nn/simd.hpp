@@ -234,9 +234,108 @@ __attribute__((target("avx2"))) inline void gemm_nn_rows_avx2(
   }
 }
 
+/// Register-accumulating gemm_nn for narrow outputs (m <= 8 * NV, NV <= 4).
+///
+/// The generic kernel below streams the C rows through memory once per p
+/// step, so its C traffic is k times the output size — for this model's
+/// narrow layers (m in {1, 8, 24, 32}, k up to 48) that read-modify-write
+/// dominates the whole forward pass. Here each 4-row block keeps C in
+/// 4*NV zmm accumulators across the entire p loop and touches memory once.
+///
+/// Determinism: per output element this performs the identical operation
+/// sequence as the scalar reference and the generic kernel — same mul+add
+/// split, same ascending-p order, same 4-row zero-skip predicate; only the
+/// residence of the partial sums (register vs memory) changes, which cannot
+/// alter IEEE-754 results. Masked loads/stores keep lanes past m untouched
+/// and fault-suppressed.
+template <int NV>
+__attribute__((target("avx512f"))) inline void gemm_nn_rows_avx512_acc(
+    const double* a, const double* b, double* c, std::size_t i0, std::size_t i1,
+    std::size_t k, std::size_t m) {
+  static_assert(NV >= 1 && NV <= 4, "4 rows x NV accumulators must fit in 32 zmm");
+  const std::size_t tail_lanes = m - static_cast<std::size_t>(NV - 1) * 8;
+  const __mmask8 tail =
+      tail_lanes >= 8 ? static_cast<__mmask8>(0xFF)
+                      : static_cast<__mmask8>((1u << tail_lanes) - 1u);
+  const auto lane_mask = [tail](int v) {
+    return v == NV - 1 ? tail : static_cast<__mmask8>(0xFF);
+  };
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const double* a0 = a + i * k;
+    const double* a1 = a0 + k;
+    const double* a2 = a1 + k;
+    const double* a3 = a2 + k;
+    double* c0 = c + i * m;
+    double* c1 = c0 + m;
+    double* c2 = c1 + m;
+    double* c3 = c2 + m;
+    __m512d acc0[NV], acc1[NV], acc2[NV], acc3[NV];
+    for (int v = 0; v < NV; ++v) {
+      const __mmask8 mk = lane_mask(v);
+      acc0[v] = _mm512_maskz_loadu_pd(mk, c0 + 8 * v);
+      acc1[v] = _mm512_maskz_loadu_pd(mk, c1 + 8 * v);
+      acc2[v] = _mm512_maskz_loadu_pd(mk, c2 + 8 * v);
+      acc3[v] = _mm512_maskz_loadu_pd(mk, c3 + 8 * v);
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
+      if (av0 == 0.0 && av1 == 0.0 && av2 == 0.0 && av3 == 0.0) continue;
+      const double* brow = b + p * m;
+      const __m512d va0 = _mm512_set1_pd(av0);
+      const __m512d va1 = _mm512_set1_pd(av1);
+      const __m512d va2 = _mm512_set1_pd(av2);
+      const __m512d va3 = _mm512_set1_pd(av3);
+      for (int v = 0; v < NV; ++v) {
+        const __m512d vb = _mm512_maskz_loadu_pd(lane_mask(v), brow + 8 * v);
+        acc0[v] = _mm512_add_pd(acc0[v], _mm512_mul_pd(va0, vb));
+        acc1[v] = _mm512_add_pd(acc1[v], _mm512_mul_pd(va1, vb));
+        acc2[v] = _mm512_add_pd(acc2[v], _mm512_mul_pd(va2, vb));
+        acc3[v] = _mm512_add_pd(acc3[v], _mm512_mul_pd(va3, vb));
+      }
+    }
+    for (int v = 0; v < NV; ++v) {
+      const __mmask8 mk = lane_mask(v);
+      _mm512_mask_storeu_pd(c0 + 8 * v, mk, acc0[v]);
+      _mm512_mask_storeu_pd(c1 + 8 * v, mk, acc1[v]);
+      _mm512_mask_storeu_pd(c2 + 8 * v, mk, acc2[v]);
+      _mm512_mask_storeu_pd(c3 + 8 * v, mk, acc3[v]);
+    }
+  }
+  for (; i < i1; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * m;
+    __m512d acc[NV];
+    for (int v = 0; v < NV; ++v) {
+      acc[v] = _mm512_maskz_loadu_pd(lane_mask(v), crow + 8 * v);
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b + p * m;
+      const __m512d va = _mm512_set1_pd(av);
+      for (int v = 0; v < NV; ++v) {
+        const __m512d vb = _mm512_maskz_loadu_pd(lane_mask(v), brow + 8 * v);
+        acc[v] = _mm512_add_pd(acc[v], _mm512_mul_pd(va, vb));
+      }
+    }
+    for (int v = 0; v < NV; ++v) {
+      _mm512_mask_storeu_pd(crow + 8 * v, lane_mask(v), acc[v]);
+    }
+  }
+}
+
 __attribute__((target("avx512f"))) inline void gemm_nn_rows_avx512(
     const double* a, const double* b, double* c, std::size_t i0, std::size_t i1,
     std::size_t k, std::size_t m) {
+  if (m > 0 && m <= 32) {
+    switch ((m + 7) / 8) {
+      case 1: return gemm_nn_rows_avx512_acc<1>(a, b, c, i0, i1, k, m);
+      case 2: return gemm_nn_rows_avx512_acc<2>(a, b, c, i0, i1, k, m);
+      case 3: return gemm_nn_rows_avx512_acc<3>(a, b, c, i0, i1, k, m);
+      default: return gemm_nn_rows_avx512_acc<4>(a, b, c, i0, i1, k, m);
+    }
+  }
   std::size_t i = i0;
   for (; i + 4 <= i1; i += 4) {
     const double* a0 = a + i * k;

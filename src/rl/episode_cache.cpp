@@ -39,10 +39,11 @@ EpisodeCache::EpisodeCache(std::size_t capacity) : capacity_(capacity) {
 
 std::optional<Episode> EpisodeCache::lookup(std::uint64_t key,
                                             const gnn::EdgeMask& mask) const {
+  Shard& shard = shard_of(key);
   {
-    std::shared_lock lock(mutex_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    std::shared_lock lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
       if (it->second.mask == mask) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         return it->second;
@@ -55,34 +56,56 @@ std::optional<Episode> EpisodeCache::lookup(std::uint64_t key,
 }
 
 void EpisodeCache::insert(std::uint64_t key, Episode ep) {
-  std::unique_lock lock(mutex_);
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    // Same key resident: overwrite in place (keeps its insertion slot). A
-    // differing mask is a genuine 64-bit collision — the resident entry is
-    // clobbered, but counted so it is observable.
-    if (it->second.mask != ep.mask) collisions_.fetch_add(1, std::memory_order_relaxed);
-    it->second = std::move(ep);
-    return;
+  // Lock order: order_mutex_ first, then at most one shard at a time. Never
+  // hold a shard lock while taking order_mutex_ (lookup takes only a shard
+  // lock, so readers never interact with this ordering).
+  std::lock_guard<std::mutex> order_lock(order_mutex_);
+  {
+    Shard& shard = shard_of(key);
+    std::unique_lock lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      // Same key resident: overwrite in place (keeps its insertion slot). A
+      // differing mask is a genuine 64-bit collision — the resident entry is
+      // clobbered, but counted so it is observable.
+      if (it->second.mask != ep.mask) collisions_.fetch_add(1, std::memory_order_relaxed);
+      it->second = std::move(ep);
+      return;
+    }
   }
-  while (entries_.size() >= capacity_) {
-    entries_.erase(order_.front());
+  while (size_ >= capacity_) {
+    const std::uint64_t victim = order_.front();
     order_.pop_front();
+    {
+      Shard& shard = shard_of(victim);
+      std::unique_lock lock(shard.mutex);
+      shard.entries.erase(victim);
+    }
+    --size_;
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  entries_.emplace(key, std::move(ep));
+  {
+    Shard& shard = shard_of(key);
+    std::unique_lock lock(shard.mutex);
+    shard.entries.emplace(key, std::move(ep));
+  }
   order_.push_back(key);
+  ++size_;
 }
 
 std::size_t EpisodeCache::size() const {
-  std::shared_lock lock(mutex_);
-  return entries_.size();
+  std::lock_guard<std::mutex> lock(order_mutex_);
+  return size_;
 }
 
 void EpisodeCache::clear() {
-  std::unique_lock lock(mutex_);
-  entries_.clear();
+  std::lock_guard<std::mutex> order_lock(order_mutex_);
+  for (auto& shard : shards_) {
+    std::unique_lock lock(shard.mutex);
+    shard.entries.clear();
+  }
   order_.clear();
+  size_ = 0;
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   collisions_.store(0, std::memory_order_relaxed);

@@ -10,12 +10,23 @@
 // collisions() so long runs can observe them instead of losing entries
 // silently.
 //
+// Concurrency: the entry map is split into kNumShards shards, each guarded
+// by its own shared_mutex. lookup() — the hot concurrent-reader path in both
+// training and the serving tier — takes a single per-shard shared lock, so
+// readers on different shards never contend and readers on the same shard
+// share the lock. Mutations (insert/clear) additionally serialize on a
+// global order mutex that guards the FIFO insertion-order deque; writers are
+// therefore mutually exclusive (documented single-writer-at-a-time), which
+// keeps the eviction order globally FIFO — identical to the pre-sharded
+// behaviour — while never blocking readers of untouched shards.
+//
 // The cache is capacity-bounded (FIFO eviction by insertion order) so
 // long training runs cannot grow it without bound: a policy that keeps
 // exploring produces a stream of unique masks, and before the bound an
 // overnight run could accumulate gigabytes of dead entries per graph.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -38,15 +49,21 @@ public:
   /// capping worst-case memory at a few MB per graph.
   static constexpr std::size_t kDefaultCapacity = 4096;
 
+  /// Lock shards; a power of two so shard selection is a mask. Sixteen keeps
+  /// reader collisions rare at realistic worker counts without bloating the
+  /// per-cache footprint.
+  static constexpr std::size_t kNumShards = 16;
+
   explicit EpisodeCache(std::size_t capacity = kDefaultCapacity);
 
   /// Returns the memoized episode for `mask` (keyed by `key = hash_mask(mask)`)
-  /// or nullopt. Concurrent lookups take a shared lock only.
+  /// or nullopt. Concurrent lookups take a shared lock on one shard only.
   std::optional<Episode> lookup(std::uint64_t key, const gnn::EdgeMask& mask) const;
 
   /// Records an evaluated episode (ep.mask must be the evaluated mask).
   /// Concurrent inserts of the same mask overwrite with identical data. At
-  /// capacity the oldest entry (insertion order) is evicted first.
+  /// capacity the globally oldest entry (insertion order) is evicted first.
+  /// Writers serialize on the order mutex; readers of other shards proceed.
   void insert(std::uint64_t key, Episode ep);
 
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -60,11 +77,24 @@ public:
   void clear();
 
 private:
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<std::uint64_t, Episode> entries_;
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::uint64_t, Episode> entries;
+  };
+
+  Shard& shard_of(std::uint64_t key) const {
+    // hash_mask output is SplitMix-mixed, so the top bits are as uniform as
+    // any; unordered_map consumes the low bits, keep the two disjoint.
+    return shards_[(key >> 60) & (kNumShards - 1)];
+  }
+
+  mutable std::array<Shard, kNumShards> shards_;
+  /// Guards order_ / size_ and serializes all mutations (see header comment).
+  mutable std::mutex order_mutex_;
   /// Live keys in insertion order; each live key appears exactly once
   /// (overwrites of an existing key keep its original slot).
   std::deque<std::uint64_t> order_;
+  std::size_t size_ = 0;  ///< total live entries, guarded by order_mutex_
   std::size_t capacity_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};

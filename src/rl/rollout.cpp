@@ -35,26 +35,6 @@ struct RewardWorkspace {
   }
 };
 
-/// Contracts `mask`, preferring the scratch-based fast path. The result
-/// lives either in this thread's RewardWorkspace (fast path) or in
-/// `legacy_storage` (toggle off); the returned reference stays valid until
-/// the next contraction on this thread.
-const graph::Coarsening& contract_for(const GraphContext& ctx, const gnn::EdgeMask& mask,
-                                      graph::Coarsening& legacy_storage) {
-  prof::ScopedTimer timer(prof::Phase::Contract);
-  if (graph::contraction_scratch::enabled()) {
-    SC_CHECK(mask.size() == ctx.graph->num_edges(), "mask size does not match edge count");
-    RewardWorkspace& ws = RewardWorkspace::local();
-    ws.bits.resize(mask.size());
-    for (std::size_t e = 0; e < mask.size(); ++e) ws.bits[e] = mask[e] != 0;
-    graph::contract_into(*ctx.graph, ctx.profile, ws.bits,
-                         graph::contraction_scratch::local(), ws.coarsening);
-    return ws.coarsening;
-  }
-  legacy_storage = gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, mask);
-  return legacy_storage;
-}
-
 sim::Placement place_timed(const CoarsePlacer& placer, const graph::Coarsening& c,
                            const sim::FluidSimulator& simulator) {
   prof::ScopedTimer timer(prof::Phase::Partition);
@@ -135,6 +115,22 @@ sim::Placement coarsen_only_place_ws(const graph::Coarsening& c,
 
 }  // namespace
 
+const graph::Coarsening& contract_mask(const GraphContext& ctx, const gnn::EdgeMask& mask,
+                                       graph::Coarsening& legacy_storage) {
+  prof::ScopedTimer timer(prof::Phase::Contract);
+  if (graph::contraction_scratch::enabled()) {
+    SC_CHECK(mask.size() == ctx.graph->num_edges(), "mask size does not match edge count");
+    RewardWorkspace& ws = RewardWorkspace::local();
+    ws.bits.resize(mask.size());
+    for (std::size_t e = 0; e < mask.size(); ++e) ws.bits[e] = mask[e] != 0;
+    graph::contract_into(*ctx.graph, ctx.profile, ws.bits,
+                         graph::contraction_scratch::local(), ws.coarsening);
+    return ws.coarsening;
+  }
+  legacy_storage = gnn::CoarseningPolicy::apply(*ctx.graph, ctx.profile, mask);
+  return legacy_storage;
+}
+
 CoarsePlacer metis_placer(const partition::PartitionOptions& opts) {
   return [opts](const graph::Coarsening& c, const sim::FluidSimulator& simulator) {
     const auto coarse_p =
@@ -207,7 +203,7 @@ std::vector<GraphContext> make_contexts(const std::vector<graph::StreamGraph>& g
 Episode evaluate_mask(const GraphContext& ctx, const gnn::EdgeMask& mask,
                       const CoarsePlacer& placer) {
   graph::Coarsening legacy_storage;
-  const graph::Coarsening& c = contract_for(ctx, mask, legacy_storage);
+  const graph::Coarsening& c = contract_mask(ctx, mask, legacy_storage);
   const sim::Placement p = place_timed(placer, c, ctx.simulator);
   Episode ep;
   ep.mask = mask;
@@ -234,7 +230,7 @@ sim::Placement allocate_with_policy(const gnn::CoarseningPolicy& policy,
   const nn::Tensor logit_tensor = policy.logits(ctx.features);
   const gnn::EdgeMask mask = policy.greedy(logit_tensor.value());
   graph::Coarsening legacy_storage;
-  const graph::Coarsening& c = contract_for(ctx, mask, legacy_storage);
+  const graph::Coarsening& c = contract_mask(ctx, mask, legacy_storage);
   return placer(c, ctx.simulator);
 }
 
@@ -267,7 +263,7 @@ sim::Placement allocate_with_policy_best_of(const gnn::CoarseningPolicy& policy,
     }
   }
   graph::Coarsening legacy_storage;
-  const graph::Coarsening& c = contract_for(ctx, masks[best_i], legacy_storage);
+  const graph::Coarsening& c = contract_mask(ctx, masks[best_i], legacy_storage);
   return placer(c, ctx.simulator);
 }
 

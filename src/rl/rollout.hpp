@@ -62,6 +62,15 @@ struct Episode {
   double compression = 1.0;   ///< |V| / |V'|
 };
 
+/// Contracts `mask` for `ctx`, preferring the allocation-free scratch fast
+/// path (DESIGN.md §5.4). The result lives either in a thread-local
+/// workspace (fast path) or in `legacy_storage` (toggle off); the returned
+/// reference stays valid until the next contraction on the calling thread.
+/// Exposed so callers outside the rollout loop (the serving tier) reuse the
+/// same retained-scratch path instead of re-allocating per request.
+const graph::Coarsening& contract_mask(const GraphContext& ctx, const gnn::EdgeMask& mask,
+                                       graph::Coarsening& legacy_storage);
+
 /// Evaluates a mask end to end (contract, place, simulate).
 Episode evaluate_mask(const GraphContext& ctx, const gnn::EdgeMask& mask,
                       const CoarsePlacer& placer);

@@ -1,0 +1,195 @@
+#include "serve/context_cache.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace sc::serve {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+struct Hasher {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  void mix(std::uint64_t v) { h = splitmix(h * 0x9E3779B97F4A7C15ULL ^ v); }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+};
+
+}  // namespace
+
+ServedContext::ServedContext(graph::StreamGraph g, const sim::ClusterSpec& s,
+                             std::size_t episode_capacity)
+    : graph(std::move(g)), spec(s), ctx(graph, spec), tails(episode_capacity) {
+  // GraphContext defaults to kDefaultCapacity; re-point at a cache sized for
+  // the serving tier (the shared_ptr member exists for exactly this reuse).
+  ctx.cache = std::make_shared<rl::EpisodeCache>(episode_capacity);
+}
+
+std::shared_ptr<const TailResult> TailCache::lookup(std::uint64_t key,
+                                                    const gnn::EdgeMask& mask) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end() && it->second->mask == mask) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void TailCache::insert(std::uint64_t key, std::shared_ptr<const TailResult> result) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Overwrite in place (covers the key-collision replacement) and keep the
+    // resident FIFO slot.
+    it->second = std::move(result);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  order_.push_back(key);
+  entries_.emplace(key, std::move(result));
+}
+
+std::uint64_t fingerprint(const graph::StreamGraph& g, const sim::ClusterSpec& spec) {
+  Hasher hasher;
+  hasher.mix(static_cast<std::uint64_t>(g.num_nodes()));
+  hasher.mix(static_cast<std::uint64_t>(g.num_edges()));
+  for (const auto& op : g.ops()) {
+    hasher.mix(op.ipt);
+    hasher.mix(op.selectivity);
+  }
+  for (const auto& e : g.edges()) {
+    hasher.mix(static_cast<std::uint64_t>(e.src));
+    hasher.mix(static_cast<std::uint64_t>(e.dst));
+    hasher.mix(e.payload);
+    hasher.mix(e.rate_factor);
+  }
+  hasher.mix(static_cast<std::uint64_t>(spec.num_devices));
+  hasher.mix(spec.device_mips);
+  hasher.mix(spec.bandwidth);
+  hasher.mix(spec.source_rate);
+  hasher.mix(static_cast<std::uint64_t>(spec.link_model));
+  for (const double m : spec.device_mips_each) hasher.mix(m);
+  return hasher.h;
+}
+
+bool structurally_equal(const graph::StreamGraph& a, const graph::StreamGraph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) return false;
+  for (std::size_t v = 0; v < a.num_nodes(); ++v) {
+    if (a.op(v).ipt != b.op(v).ipt || a.op(v).selectivity != b.op(v).selectivity) {
+      return false;
+    }
+  }
+  for (std::size_t e = 0; e < a.num_edges(); ++e) {
+    const auto& ea = a.edge(e);
+    const auto& eb = b.edge(e);
+    if (ea.src != eb.src || ea.dst != eb.dst || ea.payload != eb.payload ||
+        ea.rate_factor != eb.rate_factor) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool spec_equal(const sim::ClusterSpec& a, const sim::ClusterSpec& b) {
+  return a.num_devices == b.num_devices && a.device_mips == b.device_mips &&
+         a.bandwidth == b.bandwidth && a.source_rate == b.source_rate &&
+         a.link_model == b.link_model && a.device_mips_each == b.device_mips_each;
+}
+
+ContextCache::ContextCache(std::size_t capacity, std::size_t episode_capacity)
+    : capacity_(capacity), episode_capacity_(episode_capacity) {
+  SC_CHECK(capacity_ > 0, "context cache capacity must be positive");
+}
+
+std::shared_ptr<const ServedContext> ContextCache::acquire(graph::StreamGraph g,
+                                                           const sim::ClusterSpec& spec) {
+  const std::uint64_t key = fingerprint(g, spec);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      const auto& resident = it->second.context;
+      if (structurally_equal(resident->graph, g) && spec_equal(resident->spec, spec)) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        return resident;
+      }
+      // Genuine 64-bit fingerprint collision: count it, drop the resident
+      // entry (outstanding leases keep it alive) and rebuild below.
+      ++collisions_;
+      lru_.erase(it->second.lru_pos);
+      entries_.erase(it);
+    }
+    ++misses_;
+  }
+
+  // Build outside the lock: context construction is the expensive part and
+  // must not serialize unrelated requests.
+  auto built = std::make_shared<const ServedContext>(std::move(g), spec, episode_capacity_);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // A concurrent miss won the race; converge on the resident entry.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.context;
+  }
+  while (entries_.size() >= capacity_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{built, lru_.begin()});
+  return built;
+}
+
+ContextCacheStats ContextCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ContextCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.collisions = collisions_;
+  s.size = entries_.size();
+  for (const auto& [key, entry] : entries_) {
+    const auto& ep = *entry.context->ctx.cache;
+    s.episode_hits += ep.hits();
+    s.episode_misses += ep.misses();
+    s.episode_evictions += ep.evictions();
+    const auto& tails = entry.context->tails;
+    s.tail_hits += tails.hits();
+    s.tail_misses += tails.misses();
+    s.tail_evictions += tails.evictions();
+  }
+  return s;
+}
+
+std::size_t ContextCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ContextCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  hits_ = misses_ = evictions_ = collisions_ = 0;
+}
+
+}  // namespace sc::serve

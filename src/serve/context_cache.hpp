@@ -1,0 +1,155 @@
+// ContextCache: shared, capacity-bounded LRU of per-graph serving state.
+//
+// A GraphContext is the expensive part of answering an allocation request:
+// load-profile propagation, feature extraction and simulator construction
+// are all O(V + E) with allocations. Clients that re-submit the same job
+// (re-deploys, periodic re-optimisation, retries) should pay that cost once,
+// so the serving tier keys contexts by a structural fingerprint of the
+// (graph, cluster spec) pair and leases them out as shared_ptrs — an entry
+// evicted while a worker still processes requests against it stays alive
+// until the last lease drops.
+//
+// Each cached context owns its own capacity-bounded rl::EpisodeCache, so
+// repeated best-of-k requests for a job reuse simulated episodes across
+// requests (satisfying the "shared, capacity-bounded EpisodeCache" piece of
+// the serving architecture; counters are aggregated over live entries for
+// the stats endpoint).
+//
+// Fingerprints are 64-bit hashes over every structural double (bit-cast, so
+// the comparison is exact, not epsilon-based). A fingerprint hit re-verifies
+// full structural equality before reuse: a true 64-bit collision is counted
+// and treated as a miss that replaces the resident entry, never as a silent
+// wrong-context answer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "graph/stream_graph.hpp"
+#include "rl/episode_cache.hpp"
+#include "rl/rollout.hpp"
+#include "sim/cluster.hpp"
+
+namespace sc::serve {
+
+/// Memoized post-forward tail of a request: the contract → place → simulate
+/// pipeline is deterministic in (context, mask), so its products can be
+/// reused verbatim whenever the same winning mask recurs for a job. Entries
+/// are immutable and leased as shared_ptrs, so a result stays valid after
+/// eviction.
+struct TailResult {
+  gnn::EdgeMask mask;  ///< collision guard: a key hit must also mask-match
+  sim::Placement placement;
+  double throughput = 0.0;
+  double relative = 0.0;
+};
+
+/// Capacity-bounded FIFO memo of TailResults, keyed by rl::hash_mask.
+/// Concurrent readers take a shared lock; inserts take the exclusive lock.
+/// A 64-bit key collision (key hit, different mask) is treated as a miss and
+/// replaces the resident entry — never a wrong answer.
+class TailCache {
+public:
+  explicit TailCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  std::shared_ptr<const TailResult> lookup(std::uint64_t key,
+                                           const gnn::EdgeMask& mask) const;
+  void insert(std::uint64_t key, std::shared_ptr<const TailResult> result);
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+
+private:
+  std::size_t capacity_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const TailResult>> entries_;
+  std::deque<std::uint64_t> order_;  ///< FIFO eviction order
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// One cached serving context. The GraphContext borrows `graph`, so the
+/// struct is pinned in place (non-copyable, non-movable) and heap-allocated
+/// by the cache.
+struct ServedContext {
+  ServedContext(graph::StreamGraph g, const sim::ClusterSpec& s,
+                std::size_t episode_capacity);
+  ServedContext(const ServedContext&) = delete;
+  ServedContext& operator=(const ServedContext&) = delete;
+
+  graph::StreamGraph graph;
+  sim::ClusterSpec spec;
+  rl::GraphContext ctx;  ///< borrows `graph`; episode cache bounded per entry
+  mutable TailCache tails;  ///< post-forward results, bounded like the episodes
+};
+
+/// Aggregated cache statistics for the stats endpoint.
+struct ContextCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t collisions = 0;
+  std::size_t size = 0;
+  // Episode-cache counters summed over the live entries.
+  std::uint64_t episode_hits = 0;
+  std::uint64_t episode_misses = 0;
+  std::uint64_t episode_evictions = 0;
+  // Tail-cache (memoized contract/place/simulate) counters, same aggregation.
+  std::uint64_t tail_hits = 0;
+  std::uint64_t tail_misses = 0;
+  std::uint64_t tail_evictions = 0;
+};
+
+/// Structural fingerprint of a (graph, spec) pair. Exact: every double is
+/// bit-cast, so two graphs fingerprint equal only if byte-identical in
+/// structure (name excluded — it does not affect allocation).
+std::uint64_t fingerprint(const graph::StreamGraph& g, const sim::ClusterSpec& spec);
+
+/// Exact structural equality (the fingerprint's collision guard).
+bool structurally_equal(const graph::StreamGraph& a, const graph::StreamGraph& b);
+bool spec_equal(const sim::ClusterSpec& a, const sim::ClusterSpec& b);
+
+class ContextCache {
+public:
+  explicit ContextCache(std::size_t capacity,
+                        std::size_t episode_capacity = rl::EpisodeCache::kDefaultCapacity);
+
+  /// Returns the cached context for (g, spec), building and inserting one on
+  /// miss (LRU-evicting if at capacity). The returned lease keeps the
+  /// context alive independently of later evictions. Thread-safe; concurrent
+  /// misses on the same fingerprint may build redundantly but converge on
+  /// one resident entry.
+  std::shared_ptr<const ServedContext> acquire(graph::StreamGraph g,
+                                               const sim::ClusterSpec& spec);
+
+  ContextCacheStats stats() const;
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  void clear();
+
+private:
+  struct Entry {
+    std::shared_ptr<const ServedContext> context;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  std::size_t capacity_;
+  std::size_t episode_capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  ///< front = most recently used
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace sc::serve

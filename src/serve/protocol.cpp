@@ -1,0 +1,344 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "graph/io.hpp"
+
+namespace sc::serve {
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    SC_CHECK(pos_ == s_.size(), "JSON: trailing garbage at byte " << pos_);
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const char* what) const {
+    SC_CHECK(false, "JSON parse error at byte " << pos_ << ": " << what);
+    throw Error("unreachable");
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          // The protocol only escapes control characters; encode as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    const double v = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    if (!std::isfinite(v)) fail("non-finite number");
+    return v;
+  }
+
+  void parse_literal(const char* lit) {
+    skip_ws();
+    for (const char* p = lit; *p; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) fail("bad literal");
+    }
+  }
+
+  JsonValue parse_value() {
+    JsonValue v;
+    const char c = peek();
+    if (c == '{') {
+      v.type = JsonValue::Type::Object;
+      expect('{');
+      if (peek() != '}') {
+        for (;;) {
+          std::string key = parse_string();
+          expect(':');
+          v.object.emplace_back(std::move(key), parse_value());
+          if (peek() != ',') break;
+          ++pos_;
+        }
+      }
+      expect('}');
+    } else if (c == '[') {
+      v.type = JsonValue::Type::Array;
+      expect('[');
+      if (peek() != ']') {
+        for (;;) {
+          v.array.push_back(parse_value());
+          if (peek() != ',') break;
+          ++pos_;
+        }
+      }
+      expect(']');
+    } else if (c == '"') {
+      v.type = JsonValue::Type::String;
+      v.string = parse_string();
+    } else if (c == 't') {
+      parse_literal("true");
+      v.type = JsonValue::Type::Bool;
+      v.boolean = true;
+    } else if (c == 'f') {
+      parse_literal("false");
+      v.type = JsonValue::Type::Bool;
+      v.boolean = false;
+    } else if (c == 'n') {
+      parse_literal("null");
+      v.type = JsonValue::Type::Null;
+    } else {
+      v.type = JsonValue::Type::Number;
+      v.number = parse_number();
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Compact number formatting matching the bench JSON style: integers render
+/// without a decimal point, everything else with enough digits to round-trip.
+std::string json_num(double v) {
+  char buf[40];
+  if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::Object) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->type == Type::Number ? v->number : fallback;
+}
+
+bool JsonValue::bool_or(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->type == Type::Bool ? v->boolean : fallback;
+}
+
+JsonValue parse_json(const std::string& text) { return Parser(text).parse_document(); }
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+ParsedMessage parse_request_line(const std::string& line,
+                                 const sim::ClusterSpec& default_spec) {
+  const JsonValue doc = parse_json(line);
+  SC_CHECK(doc.type == JsonValue::Type::Object, "request must be a JSON object");
+
+  ParsedMessage msg;
+  if (const JsonValue* cmd = doc.find("cmd")) {
+    SC_CHECK(cmd->type == JsonValue::Type::String, "\"cmd\" must be a string");
+    if (cmd->string == "stats") {
+      msg.kind = MessageKind::Stats;
+      return msg;
+    }
+    if (cmd->string == "shutdown") {
+      msg.kind = MessageKind::Shutdown;
+      return msg;
+    }
+    SC_CHECK(false, "unknown cmd '" << cmd->string << "' (stats|shutdown)");
+  }
+
+  const JsonValue* graph_text = doc.find("graph");
+  SC_CHECK(graph_text != nullptr && graph_text->type == JsonValue::Type::String,
+           "allocation request needs a string \"graph\" field");
+
+  msg.kind = MessageKind::Alloc;
+  AllocRequest& req = msg.request;
+  req.id = static_cast<std::uint64_t>(doc.number_or("id", 0));
+  req.best_of = static_cast<std::size_t>(doc.number_or("best_of", 0));
+  req.seed = static_cast<std::uint64_t>(doc.number_or("seed", 1));
+  req.report = doc.bool_or("report", false);
+
+  std::istringstream graph_is(graph_text->string);
+  req.graph = graph::read_graph(graph_is);
+
+  req.spec = default_spec;
+  req.spec.num_devices =
+      static_cast<std::size_t>(doc.number_or("devices", static_cast<double>(req.spec.num_devices)));
+  req.spec.device_mips = doc.number_or("mips", req.spec.device_mips);
+  req.spec.bandwidth = doc.number_or("bandwidth", req.spec.bandwidth);
+  req.spec.source_rate = doc.number_or("rate", req.spec.source_rate);
+  sim::validate_spec(req.spec);
+  return msg;
+}
+
+std::string write_response(const AllocResponse& res, bool include_placement) {
+  std::string out = "{\"id\":" + json_num(static_cast<double>(res.id));
+  if (res.status == ResponseStatus::Ok) {
+    out += ",\"ok\":true";
+    out += ",\"relative\":" + json_num(res.relative);
+    out += ",\"throughput\":" + json_num(res.throughput);
+    out += ",\"latency_us\":" + json_num(res.latency_seconds * 1e6);
+    out += ",\"batch\":" + json_num(static_cast<double>(res.batch_size));
+    if (include_placement) {
+      out += ",\"placement\":[";
+      for (std::size_t i = 0; i < res.placement.size(); ++i) {
+        if (i > 0) out += ',';
+        out += json_num(res.placement[i]);
+      }
+      out += "]";
+    }
+  } else {
+    out += ",\"ok\":false,\"error\":\"" +
+           escape_json(res.error.empty() ? "request shed (queue full)" : res.error) + "\"";
+    if (res.status == ResponseStatus::Shed) out += ",\"shed\":true";
+  }
+  out += "}";
+  return out;
+}
+
+std::string write_stats(const ServeStats& s) {
+  const auto u64 = [](std::uint64_t v) { return json_num(static_cast<double>(v)); };
+  std::string out = "{\"ok\":true,\"stats\":{";
+  out += "\"accepted\":" + u64(s.accepted);
+  out += ",\"shed\":" + u64(s.shed);
+  out += ",\"completed\":" + u64(s.completed);
+  out += ",\"errors\":" + u64(s.errors);
+  out += ",\"batches\":" + u64(s.batches);
+  out += ",\"batched_requests\":" + u64(s.batched_requests);
+  out += ",\"max_batch\":" + u64(s.max_batch_observed);
+  out += ",\"dedup_shared\":" + u64(s.dedup_shared);
+  out += ",\"queue_depth\":" + u64(s.queue_depth);
+  out += ",\"context_cache\":{";
+  out += "\"hits\":" + u64(s.context_cache.hits);
+  out += ",\"misses\":" + u64(s.context_cache.misses);
+  out += ",\"evictions\":" + u64(s.context_cache.evictions);
+  out += ",\"collisions\":" + u64(s.context_cache.collisions);
+  out += ",\"size\":" + u64(s.context_cache.size);
+  out += ",\"episode_hits\":" + u64(s.context_cache.episode_hits);
+  out += ",\"episode_misses\":" + u64(s.context_cache.episode_misses);
+  out += ",\"episode_evictions\":" + u64(s.context_cache.episode_evictions);
+  out += ",\"tail_hits\":" + u64(s.context_cache.tail_hits);
+  out += ",\"tail_misses\":" + u64(s.context_cache.tail_misses);
+  out += ",\"tail_evictions\":" + u64(s.context_cache.tail_evictions);
+  out += "}}}";
+  return out;
+}
+
+std::string write_alloc_request(std::uint64_t id, const graph::StreamGraph& g,
+                                std::size_t best_of, std::uint64_t seed, bool report) {
+  std::ostringstream graph_os;
+  graph::write_graph(graph_os, g);
+  std::string out = "{\"id\":" + json_num(static_cast<double>(id));
+  out += ",\"graph\":\"" + escape_json(graph_os.str()) + "\"";
+  if (best_of > 0) out += ",\"best_of\":" + json_num(static_cast<double>(best_of));
+  out += ",\"seed\":" + json_num(static_cast<double>(seed));
+  if (report) out += ",\"report\":true";
+  out += "}";
+  return out;
+}
+
+}  // namespace sc::serve

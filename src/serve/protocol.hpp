@@ -1,0 +1,80 @@
+// Newline-delimited JSON protocol for sc_serve.
+//
+// One request per line, one response line per request, in completion order
+// (responses carry the request id, so clients may pipeline):
+//
+//   {"id":1,"graph":"streamgraph g\nnodes 2\n...","best_of":2,"seed":7}
+//   {"id":1,"ok":true,"relative":0.93,"throughput":9300,"latency_us":412,
+//    "batch":4,"placement":[0,1]}
+//
+// The "graph" field embeds the plain-text graph format (graph/io.hpp) as an
+// escaped JSON string. Cluster overrides (devices/mips/bandwidth/rate) apply
+// on top of the server's default spec. Control messages:
+//
+//   {"cmd":"stats"}     -> {"ok":true,"stats":{...}}
+//   {"cmd":"shutdown"}  -> {"ok":true,"shutdown":true}, then graceful drain
+//
+// Parsing is a self-contained recursive-descent JSON reader (objects,
+// arrays, strings with escapes, numbers, literals) that throws sc::Error on
+// malformed input — the server answers with an error line instead of dying.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "sim/cluster.hpp"
+
+namespace sc::serve {
+
+/// Minimal JSON document value (number/string/bool/null/array/object).
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< insertion order
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+  double number_or(const std::string& key, double fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+};
+
+/// Parses one complete JSON document; throws sc::Error on malformed input or
+/// trailing garbage.
+JsonValue parse_json(const std::string& text);
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string escape_json(const std::string& s);
+
+enum class MessageKind { Alloc, Stats, Shutdown };
+
+struct ParsedMessage {
+  MessageKind kind = MessageKind::Alloc;
+  AllocRequest request;  ///< populated when kind == Alloc
+};
+
+/// Parses one request line. Allocation requests must carry "graph" (escaped
+/// graph/io text); the cluster spec starts from `default_spec` with optional
+/// devices/mips/bandwidth/rate overrides. Throws sc::Error on malformed
+/// lines (including an unparsable embedded graph).
+ParsedMessage parse_request_line(const std::string& line,
+                                 const sim::ClusterSpec& default_spec);
+
+/// Serializes one response line (no trailing newline). `include_placement`
+/// controls the potentially-large placement array.
+std::string write_response(const AllocResponse& res, bool include_placement = true);
+
+/// Serializes the stats endpoint response line.
+std::string write_stats(const ServeStats& s);
+
+/// Client-side helper: builds an allocation request line for `g`.
+std::string write_alloc_request(std::uint64_t id, const graph::StreamGraph& g,
+                                std::size_t best_of = 0, std::uint64_t seed = 1,
+                                bool report = false);
+
+}  // namespace sc::serve

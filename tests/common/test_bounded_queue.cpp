@@ -1,0 +1,105 @@
+// BoundedQueue: admission bound (fail-loud shed), batch pop, close/drain.
+#include "common/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace sc::common {
+namespace {
+
+using namespace std::chrono_literals;
+constexpr auto kNoWindow = std::chrono::microseconds(0);
+
+TEST(BoundedQueue, PushThenPopBatch) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 8, kNoWindow), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BoundedQueue, RejectsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: shed, never block
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 1, kNoWindow), 1u);
+  EXPECT_TRUE(q.try_push(3));  // slot freed
+}
+
+TEST(BoundedQueue, PopBatchRespectsMaxItems) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(int{i}));
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 2, kNoWindow), 2u);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop_batch(out, 10, kNoWindow), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(BoundedQueue, PopBatchAppendsWithoutClearing) {
+  // Workers retain their batch buffer across pops; the queue must append.
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(7));
+  std::vector<int> out = {5, 6};
+  EXPECT_EQ(q.pop_batch(out, 4, kNoWindow), 1u);
+  EXPECT_EQ(out, (std::vector<int>{5, 6, 7}));
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsZero) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_FALSE(q.try_push(3));  // admission closed
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 1, kNoWindow), 1u);  // queued items still poppable
+  EXPECT_EQ(q.pop_batch(out, 1, kNoWindow), 1u);
+  EXPECT_EQ(q.pop_batch(out, 1, kNoWindow), 0u);  // closed and drained
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(4);
+  std::vector<int> out;
+  std::size_t popped = 99;
+  std::thread consumer([&] { popped = q.pop_batch(out, 1, kNoWindow); });
+  std::this_thread::sleep_for(10ms);  // let the consumer block on the empty queue
+  q.close();
+  consumer.join();
+  EXPECT_EQ(popped, 0u);
+}
+
+TEST(BoundedQueue, WindowCollectsStragglers) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.try_push(1));
+  std::vector<int> out;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(5ms);
+    (void)q.try_push(2);
+  });
+  // A generous window: the straggler pushed a few ms after the first pop must
+  // still ride in the same batch.
+  const std::size_t n = q.pop_batch(out, 8, std::chrono::microseconds(500'000));
+  producer.join();
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedQueue, MoveOnlyElements) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(11)));
+  std::vector<std::unique_ptr<int>> out;
+  EXPECT_EQ(q.pop_batch(out, 2, kNoWindow), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(*out[0], 11);
+}
+
+}  // namespace
+}  // namespace sc::common

@@ -1,0 +1,108 @@
+// LatencyHistogram: bucket geometry, percentile bounds, merge semantics.
+#include "common/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace sc::common {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_nanos(), 0.0);
+  EXPECT_EQ(h.min_nanos(), 0u);
+  EXPECT_EQ(h.max_nanos(), 0u);
+  EXPECT_EQ(h.percentile_nanos(0.5), 0u);
+}
+
+TEST(LatencyHistogram, LinearRegionIsExact) {
+  // Values below kLinear get unit-width buckets: percentiles are exact.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kLinear; ++v) h.record(v);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(LatencyHistogram::kLinear));
+  EXPECT_EQ(h.percentile_nanos(0.0), 0u);
+  EXPECT_EQ(h.percentile_nanos(1.0), LatencyHistogram::kLinear - 1);
+  // Rank ceil(0.5 * 64) = 32 -> value 31 exactly.
+  EXPECT_EQ(h.percentile_nanos(0.5), LatencyHistogram::kLinear / 2 - 1);
+}
+
+TEST(LatencyHistogram, PercentileWithinResolution) {
+  LatencyHistogram h;
+  const std::vector<std::uint64_t> samples = {1'000,      10'000,      100'000,
+                                              1'000'000, 10'000'000, 100'000'000};
+  for (const std::uint64_t v : samples) h.record(v);
+  // Every sample's bucket upper edge over-estimates by at most the resolution.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double q = static_cast<double>(i + 1) / static_cast<double>(samples.size());
+    const std::uint64_t p = h.percentile_nanos(q);
+    EXPECT_GE(p, samples[i]);
+    EXPECT_LE(static_cast<double>(p),
+              static_cast<double>(samples[i]) *
+                  (1.0 + LatencyHistogram::relative_resolution()) + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MinMaxMeanAreExact) {
+  // min/max/mean come from dedicated counters, not bucket edges.
+  LatencyHistogram h;
+  h.record(17);
+  h.record(123'456'789);
+  h.record(1'000);
+  EXPECT_EQ(h.min_nanos(), 17u);
+  EXPECT_EQ(h.max_nanos(), 123'456'789u);
+  EXPECT_DOUBLE_EQ(h.mean_nanos(), (17.0 + 123'456'789.0 + 1'000.0) / 3.0);
+}
+
+TEST(LatencyHistogram, BucketGeometryIsMonotone) {
+  std::uint32_t prev = 0;
+  for (std::uint64_t v = 0; v < 1'000'000; v = v < 128 ? v + 1 : v + v / 7) {
+    const std::uint32_t idx = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << "v=" << v;
+    EXPECT_LT(idx, LatencyHistogram::kBuckets);
+    EXPECT_GE(LatencyHistogram::bucket_upper(idx), v) << "v=" << v;
+    prev = idx;
+  }
+}
+
+TEST(LatencyHistogram, MergeMatchesSingleHistogram) {
+  LatencyHistogram a, b, combined;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    ((v % 2 == 0) ? a : b).record(v * 977);
+    combined.record(v * 977);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min_nanos(), combined.min_nanos());
+  EXPECT_EQ(a.max_nanos(), combined.max_nanos());
+  EXPECT_DOUBLE_EQ(a.mean_nanos(), combined.mean_nanos());
+  for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(a.percentile_nanos(q), combined.percentile_nanos(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, RecordSecondsConvertsAndClamps) {
+  LatencyHistogram h;
+  h.record_seconds(1e-6);   // 1000 ns
+  h.record_seconds(-5.0);   // clamped to 0
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min_nanos(), 0u);
+  EXPECT_EQ(h.max_nanos(), 1'000u);
+}
+
+TEST(LatencyHistogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_nanos(1.0), 0u);
+  h.record(7);
+  EXPECT_EQ(h.min_nanos(), 7u);
+  EXPECT_EQ(h.max_nanos(), 7u);
+}
+
+}  // namespace
+}  // namespace sc::common

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "gen/dataset.hpp"
 #include "gen/generator.hpp"
 #include "gnn/policy.hpp"
 #include "graph/rates.hpp"
@@ -108,6 +109,40 @@ TEST(BatchedFeatures, OffsetsDescribeTheBatch) {
       EXPECT_LT(b.merged.edge_dst[e], b.node_offset[gi + 1]);
     }
   }
+}
+
+TEST(BatchedFeatures, EmptyBatchIsWellFormed) {
+  // The serving tier can see an all-errored batch: zero parts must produce a
+  // structurally valid (if vacuous) batch, not a crash.
+  const BatchedGraphFeatures b = batch_features({});
+  EXPECT_EQ(b.num_graphs(), 0u);
+  ASSERT_EQ(b.node_offset.size(), 1u);
+  ASSERT_EQ(b.edge_offset.size(), 1u);
+  EXPECT_EQ(b.node_offset[0], 0u);
+  EXPECT_EQ(b.edge_offset[0], 0u);
+}
+
+TEST(BatchedFeatures, SingleGraphBatchIsBitIdenticalToSolo) {
+  expect_batched_matches_per_graph(features_for(topo(0.45, 0.45, 0.10), 1, 67));
+}
+
+TEST(BatchedFeatures, MaxSizeMixedSettingBatch) {
+  // A serving-shaped worst case: a full max_batch (16) mixing three paper
+  // Settings — wildly different node/edge counts in one block-diagonal pack —
+  // must still reproduce every graph's solo logits bit-for-bit.
+  std::vector<GraphFeatures> fs;
+  const auto add = [&fs](gen::Setting s, std::size_t count, std::uint64_t seed) {
+    const gen::GeneratorConfig cfg = gen::setting_config(s);
+    for (const auto& g : gen::generate_graphs(cfg, count, seed)) {
+      const auto profile = graph::compute_load_profile(g);
+      fs.push_back(extract_features(g, profile, spec_from(cfg.workload)));
+    }
+  };
+  add(gen::Setting::Small, 8, 71);
+  add(gen::Setting::MediumSmallCluster, 5, 73);
+  add(gen::Setting::Medium, 3, 79);
+  ASSERT_EQ(fs.size(), 16u);
+  expect_batched_matches_per_graph(fs);
 }
 
 TEST(BatchedFeatures, SkipsEdgelessPlaceholderRows) {

@@ -1,0 +1,152 @@
+// ContextCache + TailCache: fingerprint exactness, LRU/FIFO bounds,
+// collision guards, and lease-survives-eviction semantics.
+#include "serve/context_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../testutil.hpp"
+
+namespace sc::serve {
+namespace {
+
+sim::ClusterSpec small_spec() {
+  sim::ClusterSpec s;
+  s.num_devices = 2;
+  s.device_mips = 1000.0;
+  s.bandwidth = 1000.0;
+  s.source_rate = 50.0;
+  return s;
+}
+
+TEST(ContextCache, FingerprintIsStructural) {
+  const auto spec = small_spec();
+  const auto a = test::make_chain(4);
+  auto b = test::make_chain(4);
+  EXPECT_EQ(fingerprint(a, spec), fingerprint(b, spec));
+  EXPECT_TRUE(structurally_equal(a, b));
+
+  const auto c = test::make_chain(4, /*ipt=*/2.0);
+  EXPECT_NE(fingerprint(a, spec), fingerprint(c, spec));
+  EXPECT_FALSE(structurally_equal(a, c));
+
+  auto wider = spec;
+  wider.bandwidth = 2000.0;
+  EXPECT_NE(fingerprint(a, spec), fingerprint(a, wider));
+  EXPECT_FALSE(spec_equal(spec, wider));
+}
+
+TEST(ContextCache, RepeatAcquireHitsAndSharesTheContext) {
+  ContextCache cache(4);
+  const auto spec = small_spec();
+  const auto c1 = cache.acquire(test::make_chain(5), spec);
+  const auto c2 = cache.acquire(test::make_chain(5), spec);
+  EXPECT_EQ(c1.get(), c2.get());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.size, 1u);
+}
+
+TEST(ContextCache, EvictsLeastRecentlyUsed) {
+  ContextCache cache(2);
+  const auto spec = small_spec();
+  const auto a = cache.acquire(test::make_chain(3), spec);
+  const auto b = cache.acquire(test::make_chain(4), spec);
+  (void)cache.acquire(test::make_chain(3), spec);  // touch a: b becomes LRU
+  (void)cache.acquire(test::make_chain(5), spec);  // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // a is still resident; b re-acquires as a miss.
+  EXPECT_EQ(cache.acquire(test::make_chain(3), spec).get(), a.get());
+  EXPECT_NE(cache.acquire(test::make_chain(4), spec).get(), b.get());
+}
+
+TEST(ContextCache, LeaseSurvivesEviction) {
+  ContextCache cache(1);
+  const auto spec = small_spec();
+  const auto lease = cache.acquire(test::make_chain(6), spec);
+  (void)cache.acquire(test::make_chain(7), spec);  // evicts the chain-6 entry
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // The leased context stays fully usable after eviction.
+  EXPECT_EQ(lease->graph.num_nodes(), 6u);
+  EXPECT_EQ(lease->ctx.features.node.rows(), 6u);
+}
+
+std::shared_ptr<const TailResult> make_tail(gnn::EdgeMask mask, double rel) {
+  auto t = std::make_shared<TailResult>();
+  t->mask = std::move(mask);
+  t->relative = rel;
+  return t;
+}
+
+TEST(TailCache, LookupHitsOnMatchingMask) {
+  TailCache cache(4);
+  const gnn::EdgeMask mask = {1, 0, 1};
+  EXPECT_EQ(cache.lookup(9, mask), nullptr);
+  cache.insert(9, make_tail(mask, 0.5));
+  const auto hit = cache.lookup(9, mask);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->relative, 0.5);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(TailCache, KeyCollisionIsAMissNeverAWrongAnswer) {
+  TailCache cache(4);
+  const gnn::EdgeMask a = {1, 0};
+  const gnn::EdgeMask b = {0, 1};
+  cache.insert(42, make_tail(a, 0.1));
+  // Same 64-bit key, different mask: must miss (the guard compares masks).
+  EXPECT_EQ(cache.lookup(42, b), nullptr);
+  // The replacement overwrites in place; the new mask now hits, the old misses.
+  cache.insert(42, make_tail(b, 0.2));
+  ASSERT_NE(cache.lookup(42, b), nullptr);
+  EXPECT_EQ(cache.lookup(42, b)->relative, 0.2);
+  EXPECT_EQ(cache.lookup(42, a), nullptr);
+}
+
+TEST(TailCache, FifoEvictionAtCapacity) {
+  TailCache cache(2);
+  cache.insert(1, make_tail({1}, 0.1));
+  cache.insert(2, make_tail({0, 1}, 0.2));
+  cache.insert(3, make_tail({1, 1}, 0.3));  // evicts key 1 (oldest)
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.lookup(1, {1}), nullptr);
+  EXPECT_NE(cache.lookup(2, {0, 1}), nullptr);
+  EXPECT_NE(cache.lookup(3, {1, 1}), nullptr);
+}
+
+TEST(TailCache, LeaseSurvivesEviction) {
+  TailCache cache(1);
+  cache.insert(1, make_tail({1, 0, 1}, 0.7));
+  const auto lease = cache.lookup(1, {1, 0, 1});
+  ASSERT_NE(lease, nullptr);
+  cache.insert(2, make_tail({0}, 0.9));  // evicts key 1
+  EXPECT_EQ(cache.lookup(1, {1, 0, 1}), nullptr);
+  EXPECT_EQ(lease->relative, 0.7);  // the lease is unaffected
+}
+
+TEST(TailCache, ZeroCapacityClampsToOne) {
+  TailCache cache(0);
+  cache.insert(5, make_tail({1}, 0.4));
+  EXPECT_NE(cache.lookup(5, {1}), nullptr);
+}
+
+TEST(ContextCache, StatsAggregateTailCountersOverLiveEntries) {
+  ContextCache cache(4);
+  const auto spec = small_spec();
+  const auto ctx = cache.acquire(test::make_chain(4), spec);
+  const gnn::EdgeMask mask = {1, 0, 1};
+  EXPECT_EQ(ctx->tails.lookup(rl::hash_mask(mask), mask), nullptr);
+  ctx->tails.insert(rl::hash_mask(mask), make_tail(mask, 0.8));
+  EXPECT_NE(ctx->tails.lookup(rl::hash_mask(mask), mask), nullptr);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.tail_hits, 1u);
+  EXPECT_EQ(s.tail_misses, 1u);
+  EXPECT_EQ(s.tail_evictions, 0u);
+}
+
+}  // namespace
+}  // namespace sc::serve

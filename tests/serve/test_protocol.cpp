@@ -1,0 +1,142 @@
+// NDJSON protocol: parse/serialize round trips, escaping, malformed-input
+// rejection, and the stats payload schema.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../testutil.hpp"
+#include "common/error.hpp"
+#include "serve/context_cache.hpp"
+
+namespace sc::serve {
+namespace {
+
+sim::ClusterSpec default_spec() {
+  sim::ClusterSpec s;
+  s.num_devices = 4;
+  s.device_mips = 2000.0;
+  s.bandwidth = 500.0;
+  s.source_rate = 100.0;
+  return s;
+}
+
+TEST(Protocol, AllocRequestRoundTrips) {
+  const auto g = test::make_diamond();
+  const std::string line = write_alloc_request(/*id=*/7, g, /*best_of=*/3,
+                                               /*seed=*/99, /*report=*/true);
+  const ParsedMessage msg = parse_request_line(line, default_spec());
+  ASSERT_EQ(msg.kind, MessageKind::Alloc);
+  EXPECT_EQ(msg.request.id, 7u);
+  EXPECT_EQ(msg.request.best_of, 3u);
+  EXPECT_EQ(msg.request.seed, 99u);
+  EXPECT_TRUE(msg.request.report);
+  EXPECT_TRUE(structurally_equal(msg.request.graph, g));
+  // No overrides: the default spec applies untouched.
+  EXPECT_TRUE(spec_equal(msg.request.spec, default_spec()));
+}
+
+TEST(Protocol, ClusterOverridesApplyOnTopOfDefaults) {
+  const auto g = test::make_chain(3);
+  std::string line = write_alloc_request(1, g);
+  ASSERT_EQ(line.back(), '}');
+  line.pop_back();
+  line += ",\"devices\":8,\"mips\":123.5,\"bandwidth\":77,\"rate\":42}";
+  const ParsedMessage msg = parse_request_line(line, default_spec());
+  EXPECT_EQ(msg.request.spec.num_devices, 8u);
+  EXPECT_EQ(msg.request.spec.device_mips, 123.5);
+  EXPECT_EQ(msg.request.spec.bandwidth, 77.0);
+  EXPECT_EQ(msg.request.spec.source_rate, 42.0);
+}
+
+TEST(Protocol, ControlMessagesParse) {
+  EXPECT_EQ(parse_request_line(R"({"cmd":"stats"})", default_spec()).kind,
+            MessageKind::Stats);
+  EXPECT_EQ(parse_request_line(R"({"cmd":"shutdown"})", default_spec()).kind,
+            MessageKind::Shutdown);
+}
+
+TEST(Protocol, EscapeJsonHandlesSpecials) {
+  const std::string raw = "a\"b\\c\nd\te\x01f";
+  const std::string escaped = escape_json(raw);
+  // Round-trip through the parser recovers the original bytes.
+  const JsonValue v = parse_json("\"" + escaped + "\"");
+  ASSERT_EQ(v.type, JsonValue::Type::String);
+  EXPECT_EQ(v.string, raw);
+}
+
+TEST(Protocol, MalformedLinesThrow) {
+  const auto spec = default_spec();
+  EXPECT_THROW(parse_request_line("", spec), Error);
+  EXPECT_THROW(parse_request_line("not json", spec), Error);
+  EXPECT_THROW(parse_request_line(R"({"id":1)", spec), Error);            // truncated
+  EXPECT_THROW(parse_request_line(R"({"id":1} trailing)", spec), Error);  // garbage
+  EXPECT_THROW(parse_request_line(R"([1,2,3])", spec), Error);            // non-object
+  EXPECT_THROW(parse_request_line(R"({"id":1})", spec), Error);           // no graph
+  EXPECT_THROW(parse_request_line(R"({"id":1,"graph":"not a graph"})", spec),
+               Error);  // embedded graph unparsable
+  EXPECT_THROW(parse_json(R"({"bad escape":"\q"})"), Error);
+}
+
+TEST(Protocol, ResponseSerializesAllFields) {
+  AllocResponse res;
+  res.id = 12;
+  res.status = ResponseStatus::Ok;
+  res.placement = {0, 1, 1};
+  res.throughput = 930.0;
+  res.relative = 0.93;
+  res.latency_seconds = 0.000412;
+  res.batch_size = 4;
+  const JsonValue v = parse_json(write_response(res));
+  EXPECT_EQ(v.number_or("id", -1), 12.0);
+  EXPECT_TRUE(v.bool_or("ok", false));
+  EXPECT_EQ(v.number_or("throughput", -1), 930.0);
+  EXPECT_EQ(v.number_or("relative", -1), 0.93);
+  EXPECT_EQ(v.number_or("batch", -1), 4.0);
+  EXPECT_NEAR(v.number_or("latency_us", -1), 412.0, 1.0);
+  const JsonValue* placement = v.find("placement");
+  ASSERT_NE(placement, nullptr);
+  ASSERT_EQ(placement->array.size(), 3u);
+  EXPECT_EQ(placement->array[1].number, 1.0);
+  // include_placement=false drops the potentially-large array.
+  EXPECT_EQ(parse_json(write_response(res, false)).find("placement"), nullptr);
+}
+
+TEST(Protocol, ErrorResponseCarriesTheMessage) {
+  AllocResponse res;
+  res.id = 3;
+  res.status = ResponseStatus::Error;
+  res.error = "device count must be positive";
+  const JsonValue v = parse_json(write_response(res));
+  EXPECT_FALSE(v.bool_or("ok", true));
+  const JsonValue* err = v.find("error");
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->string, "device count must be positive");
+}
+
+TEST(Protocol, StatsPayloadCarriesServingCounters) {
+  ServeStats s;
+  s.accepted = 10;
+  s.shed = 2;
+  s.completed = 9;
+  s.batches = 3;
+  s.dedup_shared = 4;
+  s.context_cache.tail_hits = 5;
+  s.context_cache.tail_misses = 6;
+  s.context_cache.tail_evictions = 1;
+  const JsonValue v = parse_json(write_stats(s));
+  const JsonValue* stats = v.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->number_or("accepted", -1), 10.0);
+  EXPECT_EQ(stats->number_or("shed", -1), 2.0);
+  EXPECT_EQ(stats->number_or("dedup_shared", -1), 4.0);
+  const JsonValue* cc = stats->find("context_cache");
+  ASSERT_NE(cc, nullptr);
+  EXPECT_EQ(cc->number_or("tail_hits", -1), 5.0);
+  EXPECT_EQ(cc->number_or("tail_misses", -1), 6.0);
+  EXPECT_EQ(cc->number_or("tail_evictions", -1), 1.0);
+}
+
+}  // namespace
+}  // namespace sc::serve

@@ -33,6 +33,31 @@ grep -q "method,value" "$WORK/eval.csv"
 grep -q "placement:" "$WORK/alloc.log"
 grep -q "digraph" "$WORK/g.dot"
 
+# Serving tier: start sc_serve on a unix socket, run allocation requests
+# through the client, read the stats endpoint, then shut down gracefully.
+"$BUILD_DIR/tools/sc_serve" --model "$WORK/model.ckpt" --setting small \
+  --socket "$WORK/serve.sock" --workers 1 > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  [ -S "$WORK/serve.sock" ] && break
+  sleep 0.1
+done
+[ -S "$WORK/serve.sock" ] || { echo "sc_serve never opened its socket" >&2; exit 1; }
+
+"$BUILD_DIR/tools/sc_serve" --connect "$WORK/serve.sock" --data "$WORK/test.txt" \
+  --best-of 2 > "$WORK/serve_client.log"
+grep -q "4/4 ok, 0 failed" "$WORK/serve_client.log"
+grep -q "relative" "$WORK/serve_client.log"
+
+"$BUILD_DIR/tools/sc_serve" --connect "$WORK/serve.sock" --stats > "$WORK/serve_stats.log"
+grep -q '"accepted":4' "$WORK/serve_stats.log"   # one request per test graph
+grep -q '"shed":0' "$WORK/serve_stats.log"
+grep -q '"context_cache"' "$WORK/serve_stats.log"
+
+"$BUILD_DIR/tools/sc_serve" --connect "$WORK/serve.sock" --shutdown > "$WORK/serve_down.log"
+grep -q '"shutdown":true' "$WORK/serve_down.log"
+wait "$SERVE_PID"  # graceful drain: the server must exit cleanly (status 0)
+
 # Error paths must fail cleanly, not crash.
 if "$BUILD_DIR/tools/sc_train" --data /nonexistent --out "$WORK/x.ckpt" 2>/dev/null; then
   echo "sc_train should have failed on a missing dataset" >&2

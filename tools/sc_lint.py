@@ -28,6 +28,15 @@ Rules (each can be suppressed per line with `// sc-lint: allow(<rule>)`):
                        reference to a workspace vector is fine, creating a
                        fresh one is a regression the benchmarks only catch
                        statistically.
+  serve-hot-path       functions annotated with `// sc-lint: serve-hot-path`
+                       must not perform blocking file I/O (fstream/fopen) or
+                       unbounded allocation (operator new, make_unique/
+                       make_shared, constructing a std::vector). These are
+                       the serving tier's admission-path functions (submit,
+                       try_push, pop_batch): a request must be admitted or
+                       shed in bounded time with the ring buffer's
+                       pre-allocated slots, never stalled behind the
+                       filesystem or an allocator.
   no-raw-intrinsics    `#include <immintrin.h>`/`<arm_neon.h>` and raw SIMD
                        intrinsic identifiers (`_mm*`, `v*q_f32/64`) anywhere
                        except src/nn/simd.hpp. All vector code lives behind
@@ -59,6 +68,9 @@ OFSTREAM_DECL_RE = re.compile(r"std::ofstream\s+(\w+)")
 PRAGMA_ONCE_RE = re.compile(r"#\s*pragma\s+once")
 GUARD_RE = re.compile(r"#\s*ifndef\s+\w+")
 HOT_PATH_RE = re.compile(r"//\s*sc-lint:\s*hot-path")
+SERVE_HOT_PATH_RE = re.compile(r"//\s*sc-lint:\s*serve-hot-path")
+FILE_IO_RE = re.compile(r"std::[iof]?fstream\b|(?<![\w:])f(?:re)?open\s*\(")
+UNBOUNDED_ALLOC_RE = re.compile(r"(?<![\w:])new\s|std::make_(?:unique|shared)\s*<")
 INTRINSIC_RE = re.compile(
     r"#\s*include\s*<(?:immintrin|arm_neon)\.h>"
     r"|(?<![\w])_mm\w*"      # _mm_/_mm256_/_mm512_ intrinsics and __mmask via _mm
@@ -175,6 +187,7 @@ class Linter:
 
         self._lint_writer_flush(rel, code_lines, allowed)
         self._lint_hot_path(rel, raw_lines, code_lines, allowed)
+        self._lint_serve_hot_path(rel, raw_lines, code_lines, allowed)
 
         if is_header:
             self._lint_pragma_once(rel, code_lines, allowed)
@@ -221,6 +234,38 @@ class Linter:
                                 "std::vector constructed inside a hot-path "
                                 "function; reuse a workspace buffer (or "
                                 "sc-lint: allow(no-vector-in-hot-path))")
+                depth += line.count("{") - line.count("}")
+                if "{" in line:
+                    entered = True
+                if entered and depth <= 0:
+                    break
+                j += 1
+
+    def _lint_serve_hot_path(self, rel: str, raw_lines: list[str],
+                             code_lines: list[str], allowed) -> None:
+        """Functions under a `// sc-lint: serve-hot-path` marker must not
+        block on file I/O or allocate unboundedly (see module docstring).
+        Body delimitation mirrors _lint_hot_path (brace counting)."""
+        for i, raw in enumerate(raw_lines):
+            if not SERVE_HOT_PATH_RE.search(raw):
+                continue
+            depth = 0
+            entered = False
+            j = i
+            while j < len(code_lines):
+                line = code_lines[j]
+                if not allowed(j + 1, "serve-hot-path"):
+                    if FILE_IO_RE.search(line):
+                        self.report(rel, j + 1, "serve-hot-path",
+                                    "blocking file I/O inside a serve-hot-path "
+                                    "function; admission must not stall behind "
+                                    "the filesystem")
+                    elif (UNBOUNDED_ALLOC_RE.search(line)
+                          or find_vector_constructions(line)):
+                        self.report(rel, j + 1, "serve-hot-path",
+                                    "unbounded allocation inside a serve-hot-path "
+                                    "function; use the pre-allocated ring slots "
+                                    "(or sc-lint: allow(serve-hot-path))")
                 depth += line.count("{") - line.count("}")
                 if "{" in line:
                     entered = True
@@ -283,6 +328,41 @@ def self_test() -> int:
                                        "c = _mm256_add_pd(a, b);\n"),
         "no-raw-intrinsics-neon-call": ("src/x.cpp",
                                         "c = vaddq_f64(a, b);\n"),
+        "serve-hot-path-file-io": (
+            "src/x.cpp",
+            "// sc-lint: serve-hot-path\n"
+            "bool submit(Req r) {\n"
+            "  std::ofstream log(\"audit.log\");\n"
+            "  return true;\n"
+            "}\n"),
+        "serve-hot-path-fopen": (
+            "src/x.cpp",
+            "// sc-lint: serve-hot-path\n"
+            "bool submit(Req r) {\n"
+            "  FILE* f = fopen(\"audit.log\", \"a\");\n"
+            "  return f != nullptr;\n"
+            "}\n"),
+        "serve-hot-path-new": (
+            "src/x.cpp",
+            "// sc-lint: serve-hot-path\n"
+            "bool submit(Req r) {\n"
+            "  auto* p = new Pending{std::move(r)};\n"
+            "  return enqueue(p);\n"
+            "}\n"),
+        "serve-hot-path-make-shared": (
+            "src/x.cpp",
+            "// sc-lint: serve-hot-path\n"
+            "bool submit(Req r) {\n"
+            "  auto p = std::make_shared<Pending>(std::move(r));\n"
+            "  return enqueue(p);\n"
+            "}\n"),
+        "serve-hot-path-vector": (
+            "src/x.cpp",
+            "// sc-lint: serve-hot-path\n"
+            "bool submit(Req r) {\n"
+            "  std::vector<Req> staging;\n"
+            "  return true;\n"
+            "}\n"),
         "no-vector-in-hot-path-nested-template": (
             "src/x.cpp",
             "// sc-lint: hot-path\n"
@@ -324,6 +404,39 @@ def self_test() -> int:
             "src/x.cpp",
             "void g() {\n"
             "  std::vector<int> fine(4);\n"
+            "}\n"),
+        "serve-hot-path-moves-ok": (
+            "src/x.cpp",
+            "// sc-lint: serve-hot-path\n"
+            "bool try_push(T&& item) {\n"
+            "  ring_[(head_ + count_) % ring_.size()] = std::move(item);\n"
+            "  ++count_;\n"
+            "  return true;\n"
+            "}\n"),
+        "serve-hot-path-suppressed": (
+            "src/x.cpp",
+            "// sc-lint: serve-hot-path\n"
+            "bool submit(Req r) {\n"
+            "  auto p = std::make_shared<Pending>(r);  "
+            "// sc-lint: allow(serve-hot-path)\n"
+            "  return enqueue(p);\n"
+            "}\n"),
+        "file-io-outside-serve-hot-path": (
+            "src/x.cpp",
+            "void save(const std::string& p) {\n"
+            "  std::ofstream os(p);\n"
+            "  os << 1;\n"
+            "  os.flush();\n"
+            '  SC_CHECK(os.good(), "write failed");\n'
+            "}\n"),
+        "serve-hot-path-body-ends": (
+            "src/x.cpp",
+            "// sc-lint: serve-hot-path\n"
+            "bool submit(Req r) {\n"
+            "  return enqueue(std::move(r));\n"
+            "}\n"
+            "void cold() {\n"
+            "  auto p = std::make_shared<Pending>();\n"
             "}\n"),
         "hot-path-body-ends": (
             "src/x.cpp",

@@ -12,10 +12,12 @@
 // TOTAL epoch count: resuming a 16-epoch run from an epoch-10 checkpoint
 // trains the remaining 6. --init (legacy parameter-only checkpoints) stays
 // supported for curriculum warm starts and transfer fine-tuning.
+#include <chrono>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
 
+#include "common/latency_histogram.hpp"
 #include "common/profile.hpp"
 #include "common/thread_pool.hpp"
 #include "core/framework.hpp"
@@ -83,7 +85,14 @@ int main(int argc, char** argv) try {
   const long crash_after = flags.get_int("crash-after", 0);
   SC_CHECK(crash_after >= 0, "--crash-after must be >= 0, got " << crash_after);
   std::size_t epochs_this_run = 0;
+  // Per-epoch wall times for --profile: the same log-bucketed histogram the
+  // serving bench uses, so epoch-time tails read like request-latency tails.
+  common::LatencyHistogram epoch_times;
+  auto epoch_start = std::chrono::steady_clock::now();
   ckpt.on_epoch = [&](std::size_t e, const rl::EpochStats& s) {
+    const auto now = std::chrono::steady_clock::now();
+    epoch_times.record_seconds(std::chrono::duration<double>(now - epoch_start).count());
+    epoch_start = now;
     std::cout << "  epoch " << e << ": sampled "
               << metrics::Table::fmt(s.mean_sample_reward, 3) << ", best "
               << metrics::Table::fmt(s.mean_best_reward, 3) << ", greedy "
@@ -116,8 +125,19 @@ int main(int argc, char** argv) try {
   if (!ckpt.resume_path.empty()) {
     std::cout << "resuming from " << ckpt.resume_path << '\n';
   }
+  epoch_start = std::chrono::steady_clock::now();
   fw.train(graphs, spec, epochs, ckpt);
   if (profile) {
+    if (epoch_times.count() > 0) {
+      const auto ms = [&](double q) {
+        return metrics::Table::fmt(
+            static_cast<double>(epoch_times.percentile_nanos(q)) / 1e6, 1);
+      };
+      std::cout << "epoch wall time: p50 " << ms(0.5) << " ms, p95 " << ms(0.95)
+                << " ms, p99 " << ms(0.99) << " ms, mean "
+                << metrics::Table::fmt(epoch_times.mean_nanos() / 1e6, 1) << " ms over "
+                << epoch_times.count() << " epochs\n";
+    }
     // Per-phase wall time accumulated across all worker threads: phases that
     // run inside a parallel_for can sum to more than the elapsed wall clock.
     prof::set_enabled(false);
