@@ -1,5 +1,7 @@
 #include "gen/dataset.hpp"
 
+#include <limits>
+
 #include "common/error.hpp"
 
 namespace sc::gen {
@@ -20,6 +22,7 @@ const char* setting_name(Setting s) {
     case Setting::Large: return "large(400-500,10dev,10K)";
     case Setting::XLarge: return "xlarge(1000-2000,20dev,10K)";
     case Setting::Excess: return "excess(400-500,10dev,10K,-33%)";
+    case Setting::Huge: return "huge(1M-1.1M,64dev,10K)";
   }
   return "?";
 }
@@ -77,7 +80,24 @@ GeneratorConfig setting_config(Setting s) {
       wl.cpu_frac_lo = 0.55 * 0.67;
       wl.cpu_frac_hi = 0.85 * 0.67;
       break;
+    case Setting::Huge:
+      // Streaming/out-of-core tier (DESIGN.md §9): 1M+ nodes via tiled
+      // composition — the frontier grammar alone is quadratic at this scale.
+      top.min_nodes = 1'000'000;
+      top.max_nodes = 1'100'000;
+      top.tile_nodes = 160;
+      top.max_parallel_tiles = 4;
+      // Broadcast forks multiply the propagated rate by the fan-out; across
+      // thousands of tiled stages the product overflows to inf. Split-only
+      // forks conserve rate mass exactly (each fork divides its rate over
+      // its out-edges), keeping every propagated rate <= 1 at any depth.
+      top.broadcast_prob = 0.0;
+      wl.source_rate = 1e4;
+      wl.num_devices = 64;
+      wl.bandwidth = kBw1500Mbps;
+      break;
   }
+  check_topology_bounds(cfg.topology);
   return cfg;
 }
 
@@ -88,7 +108,12 @@ Dataset make_dataset(Setting s, std::size_t train_count, std::size_t test_count,
 
 Dataset make_dataset(Setting s, const GeneratorConfig& cfg, std::size_t train_count,
                      std::size_t test_count, std::uint64_t seed) {
+  SC_CHECK(train_count <= std::numeric_limits<std::size_t>::max() - test_count,
+           "dataset sizing overflows: " << train_count << " + " << test_count);
   SC_CHECK(train_count + test_count > 0, "dataset must contain at least one graph");
+  // Re-validate the (possibly caller-adjusted) config before generating:
+  // an absurd node budget must fail here, not wrap inside the generator.
+  check_topology_bounds(cfg.topology);
   Dataset ds;
   ds.setting = s;
   ds.config = cfg;

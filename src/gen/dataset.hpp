@@ -6,6 +6,11 @@
 //   XLarge   1000–2000,   20 devices, 10K/s, 1500 Mbps
 //   Excess   Large topologies with node CPU demand and bandwidth reduced by 33%
 //            (the optimal allocation uses only a subset of the devices)
+//   Huge     1M–1.1M,     64 devices, 10K/s, 1500 Mbps — the streaming/
+//            out-of-core tier (DESIGN.md §9); topologies use tiled
+//            composition (TopologyConfig::tile_nodes) and are meant to be
+//            written to disk and ingested via graph::read_csr rather than
+//            held as StreamGraphs.
 //
 // Device capacity is 1.25e3 MIPS (= 1.25e9 instructions/s) throughout.
 #pragma once
@@ -18,7 +23,7 @@
 
 namespace sc::gen {
 
-enum class Setting { Small, MediumSmallCluster, Medium, Large, XLarge, Excess };
+enum class Setting { Small, MediumSmallCluster, Medium, Large, XLarge, Excess, Huge };
 
 const char* setting_name(Setting s);
 

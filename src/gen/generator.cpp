@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <utility>
 
 #include "common/error.hpp"
 #include "graph/rates.hpp"
@@ -32,8 +33,9 @@ struct Draft {
 
   NodeId add_node(bool expandable) {
     nodes.push_back(DraftNode{next_group++, expandable});
-    if (expandable) frontier.push_back(static_cast<NodeId>(nodes.size() - 1));
-    return static_cast<NodeId>(nodes.size() - 1);
+    const NodeId id = graph::checked_node_id(nodes.size() - 1);
+    if (expandable) frontier.push_back(id);
+    return id;
   }
 
   void add_edge(NodeId src, NodeId dst) { edges.push_back(DraftEdge{src, dst}); }
@@ -113,29 +115,19 @@ void replicate_node(Draft& d, NodeId v, std::size_t copies) {
   }
 }
 
-}  // namespace
-
-graph::StreamGraph generate_graph(const GeneratorConfig& cfg, Rng& rng,
-                                  const std::string& name) {
-  const TopologyConfig& top = cfg.topology;
-  SC_CHECK(top.min_nodes >= 3, "min_nodes must be at least 3 (source, op, sink)");
-  SC_CHECK(top.min_nodes <= top.max_nodes, "min_nodes must not exceed max_nodes");
-  const double psum = top.p_linear + top.p_branch + top.p_full;
-  SC_CHECK(psum > 0.0, "structure probabilities must not all be zero");
-
-  const std::size_t target = static_cast<std::size_t>(
-      rng.uniform_int(static_cast<std::int64_t>(top.min_nodes),
-                      static_cast<std::int64_t>(top.max_nodes)));
-
-  // Seed: source -> op -> sink. Source and sink are never expanded, so the
-  // generated graph always has a single tuple source and a single sink.
-  Draft d;
+/// Seeds a draft with the source -> op -> sink chain. Source and sink are
+/// never expanded, so grown drafts keep a single tuple source and sink.
+void seed_draft(Draft& d) {
   const NodeId src = d.add_node(false);
   const NodeId mid = d.add_node(true);
   const NodeId snk = d.add_node(false);
   d.add_edge(src, mid);
   d.add_edge(mid, snk);
+}
 
+/// Grows `d` by frontier expansion (the paper's Fig. 4 grammar) until the
+/// draft reaches `target` nodes or the frontier is exhausted.
+void grow_draft(Draft& d, const TopologyConfig& top, Rng& rng, std::size_t target) {
   while (d.nodes.size() < target && !d.frontier.empty()) {
     const NodeId v = d.frontier[rng.index(d.frontier.size())];
     const std::size_t budget = target - d.nodes.size();
@@ -190,6 +182,121 @@ graph::StreamGraph generate_graph(const GeneratorConfig& cfg, Rng& rng,
     }
     retire(d, v);
   }
+}
+
+/// Appends `tile` into `d`, offsetting node ids and replica groups; returns
+/// the tile's (source, sink) pair in `d`'s id space. Appended nodes are
+/// sealed (non-expandable): tiles grow in isolation, never after stitching.
+std::pair<NodeId, NodeId> append_tile(Draft& d, const Draft& tile) {
+  const std::size_t node_off = d.nodes.size();
+  const std::size_t group_off = d.next_group;
+  for (const auto& tn : tile.nodes) {
+    d.nodes.push_back(Draft::DraftNode{group_off + tn.replica_group, false});
+  }
+  graph::checked_node_id(d.nodes.size() - 1);
+  d.next_group = group_off + tile.next_group;
+  for (const auto& e : tile.edges) {
+    d.add_edge(static_cast<NodeId>(node_off + e.src),
+               static_cast<NodeId>(node_off + e.dst));
+  }
+  // Seed order within a tile: node 0 is the source, node 2 the sink.
+  return {static_cast<NodeId>(node_off), static_cast<NodeId>(node_off + 2)};
+}
+
+/// Tiled composition (DESIGN.md §9): sequential stages of 1..max_parallel_tiles
+/// parallel lanes, each lane an independently grown ~tile_nodes sub-graph,
+/// joined by junction nodes. Exactly `target` nodes, one source, one sink.
+Draft build_tiled_draft(const TopologyConfig& top, Rng& rng, std::size_t target) {
+  Draft d;
+  const NodeId source = d.add_node(false);
+  NodeId junction = source;
+  const std::size_t tile = std::max<std::size_t>(3, top.tile_nodes);
+  const std::size_t max_width = std::max<std::size_t>(1, top.max_parallel_tiles);
+
+  while (d.nodes.size() < target && target - d.nodes.size() >= 4) {
+    const std::size_t width = 1 + rng.index(max_width);
+    std::vector<NodeId> exits;
+    for (std::size_t lane = 0; lane < width; ++lane) {
+      const std::size_t budget = target - d.nodes.size();
+      if (budget < 4) break;  // must leave room for the stage's join node
+      const std::size_t lane_target = std::min(tile, budget - 1);
+      Draft t;
+      seed_draft(t);
+      grow_draft(t, top, rng, lane_target);
+      const auto [entry, exit] = append_tile(d, t);
+      d.add_edge(junction, entry);
+      exits.push_back(exit);
+    }
+    SC_ASSERT(!exits.empty(), "tiled stage produced no lanes");
+    const NodeId join = d.add_node(false);
+    for (const NodeId x : exits) d.add_edge(x, join);
+    junction = join;
+  }
+  // Spend any sub-stage remainder as a chain off the last junction, keeping
+  // the node count exact and the sink unique.
+  while (d.nodes.size() < target) {
+    const NodeId next = d.add_node(false);
+    d.add_edge(junction, next);
+    junction = next;
+  }
+  return d;
+}
+
+/// Upper bound on the generator's node budget: beyond this even the compact
+/// CSR arrays leave the 32-bit id space at realistic edge densities.
+constexpr std::size_t kMaxTargetNodes = std::size_t{1} << 28;
+
+/// Conservative expected edge count for a grammar-grown topology: a
+/// fully-connected expansion adds up to max_full_width in-edges per added
+/// node, each replica copies its template's (typically O(1)) degree, and
+/// fork/join structures add a constant. Pathological replica chains can
+/// exceed this estimate; GraphBuilder's checked edge ids are the hard
+/// backstop — this bound exists to reject absurd *configs* loudly before
+/// generation begins.
+std::uint64_t expected_edge_bound(const TopologyConfig& top) {
+  const std::uint64_t per_node =
+      static_cast<std::uint64_t>(top.max_full_width) +
+      2 * static_cast<std::uint64_t>(top.max_replicas) + 4;
+  return static_cast<std::uint64_t>(top.max_nodes) * per_node;  // widened before *
+}
+
+}  // namespace
+
+/// Validates a topology config against the generator's accumulator widths;
+/// shared by generate_graph and dataset sizing so both fail loudly instead
+/// of silently wrapping (satellite: gen overflow hardening).
+void check_topology_bounds(const TopologyConfig& top) {
+  SC_CHECK(top.min_nodes >= 3, "min_nodes must be at least 3 (source, op, sink)");
+  SC_CHECK(top.min_nodes <= top.max_nodes, "min_nodes must not exceed max_nodes");
+  SC_CHECK(top.max_nodes <= kMaxTargetNodes,
+           "max_nodes " << top.max_nodes << " exceeds the generator's supported scale ("
+                        << kMaxTargetNodes << " nodes)");
+  const std::uint64_t edge_bound = expected_edge_bound(top);
+  SC_CHECK(edge_bound <= static_cast<std::uint64_t>(graph::kInvalidEdge),
+           "expected edge count " << edge_bound << " for max_nodes " << top.max_nodes
+                                  << " overflows the 32-bit edge-id accumulators");
+  SC_CHECK(top.tile_nodes == 0 || top.tile_nodes >= 3,
+           "tile_nodes must be 0 (disabled) or at least 3");
+}
+
+graph::StreamGraph generate_graph(const GeneratorConfig& cfg, Rng& rng,
+                                  const std::string& name) {
+  const TopologyConfig& top = cfg.topology;
+  check_topology_bounds(top);
+  const double psum = top.p_linear + top.p_branch + top.p_full;
+  SC_CHECK(psum > 0.0, "structure probabilities must not all be zero");
+
+  const std::size_t target = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(top.min_nodes),
+                      static_cast<std::int64_t>(top.max_nodes)));
+
+  Draft d;
+  if (top.tile_nodes > 0 && target >= 8) {
+    d = build_tiled_draft(top, rng, target);
+  } else {
+    seed_draft(d);
+    grow_draft(d, top, rng, target);
+  }
 
   // ---- Feature assignment -------------------------------------------------
   const WorkloadConfig& wl = cfg.workload;
@@ -221,8 +328,7 @@ graph::StreamGraph generate_graph(const GeneratorConfig& cfg, Rng& rng,
     std::unordered_map<std::uint64_t, bool> seen;
     seen.reserve(d.edges.size() * 2);
     for (const auto& e : d.edges) {
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(e.src) << 32) | static_cast<std::uint64_t>(e.dst);
+      const std::uint64_t key = graph::pack_edge_key(e.src, e.dst);
       if (!seen.emplace(key, true).second) continue;
       unique_edges.push_back(e);
     }
@@ -236,9 +342,12 @@ graph::StreamGraph generate_graph(const GeneratorConfig& cfg, Rng& rng,
   // replicated sub-graphs carry identical channel properties.
   std::unordered_map<std::uint64_t, double> group_payload;
   for (const auto& e : unique_edges) {
+    // Replica groups are bounded by the node count (one new group per
+    // add_node), so the NodeId narrowing below cannot truncate once
+    // Draft::add_node id-checks the node count.
     const std::uint64_t key =
-        (static_cast<std::uint64_t>(d.nodes[e.src].replica_group) << 32) |
-        static_cast<std::uint64_t>(d.nodes[e.dst].replica_group);
+        graph::pack_edge_key(static_cast<NodeId>(d.nodes[e.src].replica_group),
+                             static_cast<NodeId>(d.nodes[e.dst].replica_group));
     auto it = group_payload.find(key);
     double payload;
     if (it != group_payload.end()) {
@@ -260,6 +369,15 @@ graph::StreamGraph generate_graph(const GeneratorConfig& cfg, Rng& rng,
 
   // ---- Scale to the cluster ----------------------------------------------
   const graph::LoadProfile profile = graph::compute_load_profile(provisional);
+
+  // Rate propagation can overflow on deep topologies whose forks amplify the
+  // rate (broadcast multiplies by the fan-out at every stage). Fail loudly
+  // here instead of serializing a graph full of inf/NaN features.
+  SC_CHECK(std::isfinite(profile.total_cpu) && std::isfinite(profile.total_traffic),
+           "rate propagation overflowed on '"
+               << name << "' (" << provisional.num_nodes()
+               << " nodes): deep topologies need rate-conserving forks "
+                  "(broadcast_prob = 0, see TopologyConfig)");
 
   const double cpu_frac = rng.uniform(wl.cpu_frac_lo, wl.cpu_frac_hi);
   const double target_cpu =

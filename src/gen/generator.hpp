@@ -58,6 +58,18 @@ struct TopologyConfig {
   /// Selectivity jitter: each operator's selectivity is drawn from
   /// {1 - jitter, 1, 1 + jitter}; 0 disables (paper default).
   double selectivity_jitter = 0.0;
+
+  /// Tiled composition for the Huge scale tier (DESIGN.md §9). When
+  /// tile_nodes > 0 the topology is assembled as sequential stages of up to
+  /// max_parallel_tiles parallel lanes, each lane an independently grown
+  /// ~tile_nodes sub-graph using the grammar above, joined through junction
+  /// nodes (single global source and sink are preserved). The frontier
+  /// grammar's expansion steps rescan all edges — quadratic in the node
+  /// budget and intractable at 1M+ nodes — while tiling keeps growth O(n)
+  /// with per-tile grammar cost O(tile_nodes^2). 0 disables (paper-sized
+  /// settings use pure grammar growth).
+  std::size_t tile_nodes = 0;
+  std::size_t max_parallel_tiles = 4;
 };
 
 /// Workload scaling parameters tying the graph to a device cluster.
@@ -87,6 +99,13 @@ struct GeneratorConfig {
   TopologyConfig topology;
   WorkloadConfig workload;
 };
+
+/// Validates a topology config against the generator's accumulator widths:
+/// node budgets beyond the supported scale, or expected edge counts that
+/// would overflow the 32-bit edge-id space, throw sc::Error instead of
+/// silently wrapping during generation. Called by generate_graph and
+/// make_dataset; exposed for config-construction code paths.
+void check_topology_bounds(const TopologyConfig& top);
 
 /// Generates one stream graph. Deterministic given `rng` state.
 graph::StreamGraph generate_graph(const GeneratorConfig& cfg, Rng& rng,

@@ -1,8 +1,10 @@
 #include "graph/io.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -21,6 +23,51 @@ bool next_line(std::istream& is, std::string& line) {
     return true;
   }
   return false;
+}
+
+// Asserts that `ls` holds nothing but whitespace (CRLF '\r' included); the
+// offending token is named in the error so corrupt records are debuggable.
+void check_no_trailing_garbage(std::istringstream& ls, const char* where,
+                               const std::string& line) {
+  std::string extra;
+  if (ls >> extra) {
+    SC_CHECK(false, "trailing garbage '" << extra << "' after " << where << ": '" << line
+                                         << "'");
+  }
+}
+
+// Strict unsigned parse of a whole token: every character must be a digit
+// (istream's operator>> silently accepts '-1' for unsigned types by wrapping,
+// which is exactly the hostile-input hole this closes).
+std::uint64_t parse_unsigned_token(const std::string& token, const char* what) {
+  SC_CHECK(!token.empty() && token[0] != '-',
+           "negative or empty " << what << " '" << token << "'");
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    SC_CHECK(c >= '0' && c <= '9', "malformed " << what << " '" << token << "'");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    SC_CHECK(value <= (std::numeric_limits<std::uint64_t>::max() - digit) / 10,
+             what << " '" << token << "' overflows");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+// Parses a "<keyword> <count>" header line. The cap is enforced here, BEFORE
+// any caller allocates storage proportional to the count: a corrupt or
+// hostile header must fail loudly instead of triggering a near-OOM resize.
+std::size_t parse_count_header(const std::string& line, const char* keyword) {
+  std::istringstream ls(line);
+  std::string token, value;
+  ls >> token >> value;
+  SC_CHECK(token == keyword && !value.empty(),
+           "expected '" << keyword << " <count>', got '" << line << "'");
+  const std::uint64_t count = parse_unsigned_token(value, keyword);
+  SC_CHECK(count <= kMaxIngestCount, keyword << " count " << count
+                                             << " exceeds the ingest cap "
+                                             << kMaxIngestCount);
+  check_no_trailing_garbage(ls, keyword, line);
+  return static_cast<std::size_t>(count);
 }
 
 }  // namespace
@@ -46,43 +93,49 @@ StreamGraph read_graph(std::istream& is) {
     std::istringstream ls(line);
     ls >> token >> name;
     SC_CHECK(token == "streamgraph", "expected 'streamgraph', got '" << token << "'");
+    check_no_trailing_garbage(ls, "graph name", line);
   }
   GraphBuilder b(name);
 
   SC_CHECK(next_line(is, line), "unexpected EOF: expected 'nodes'");
-  std::size_t n = 0;
-  {
-    std::istringstream ls(line);
-    ls >> token >> n;
-    SC_CHECK(token == "nodes" && ls, "expected 'nodes <n>'");
-  }
+  const std::size_t n = parse_count_header(line, "nodes");
   for (std::size_t i = 0; i < n; ++i) {
-    SC_CHECK(next_line(is, line), "unexpected EOF in node list");
+    SC_CHECK(next_line(is, line),
+             "unexpected EOF in node list: got " << i << " of " << n << " nodes");
     std::istringstream ls(line);
     double ipt = 0, sel = 0;
     ls >> ipt >> sel;
     SC_CHECK(static_cast<bool>(ls), "malformed node line: '" << line << "'");
+    check_no_trailing_garbage(ls, "node record", line);
     b.add_node(ipt, sel);
   }
 
   SC_CHECK(next_line(is, line), "unexpected EOF: expected 'edges'");
-  std::size_t m = 0;
-  {
-    std::istringstream ls(line);
-    ls >> token >> m;
-    SC_CHECK(token == "edges" && ls, "expected 'edges <m>'");
-  }
+  const std::size_t m = parse_count_header(line, "edges");
   for (std::size_t i = 0; i < m; ++i) {
-    SC_CHECK(next_line(is, line), "unexpected EOF in edge list");
+    SC_CHECK(next_line(is, line),
+             "unexpected EOF in edge list: got " << i << " of " << m << " edges");
     std::istringstream ls(line);
-    NodeId src = 0, dst = 0;
+    std::string src_tok, dst_tok;
     double payload = 0, rf = 0;
-    ls >> src >> dst >> payload >> rf;
+    ls >> src_tok >> dst_tok >> payload >> rf;
     SC_CHECK(static_cast<bool>(ls), "malformed edge line: '" << line << "'");
-    b.add_edge(src, dst, payload, rf);
+    check_no_trailing_garbage(ls, "edge record", line);
+    const std::uint64_t src = parse_unsigned_token(src_tok, "edge source");
+    const std::uint64_t dst = parse_unsigned_token(dst_tok, "edge target");
+    SC_CHECK(src < n && dst < n,
+             "edge endpoint out of range in line '" << line << "' (graph has " << n
+                                                    << " nodes)");
+    b.add_edge(static_cast<NodeId>(src), static_cast<NodeId>(dst), payload, rf);
   }
 
-  SC_CHECK(next_line(is, line) && line.rfind("end", 0) == 0, "expected 'end'");
+  SC_CHECK(next_line(is, line), "unexpected EOF: expected 'end'");
+  {
+    std::istringstream ls(line);
+    ls >> token;
+    SC_CHECK(token == "end", "expected 'end', got '" << line << "'");
+    check_no_trailing_garbage(ls, "'end'", line);
+  }
   return b.build();
 }
 

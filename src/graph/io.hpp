@@ -20,6 +20,12 @@
 
 namespace sc::graph {
 
+/// Hard cap on node/edge counts accepted from serialized input, enforced
+/// while parsing the `nodes <n>` / `edges <m>` headers — before any storage
+/// proportional to the claimed count is allocated. A corrupt or hostile
+/// header therefore fails loudly instead of triggering a near-OOM resize.
+inline constexpr std::size_t kMaxIngestCount = std::size_t{1} << 31;
+
 void write_graph(std::ostream& os, const StreamGraph& g);
 StreamGraph read_graph(std::istream& is);
 

@@ -12,7 +12,7 @@ NodeId GraphBuilder::add_node(double ipt, double selectivity) {
   SC_CHECK(ipt >= 0.0, "operator ipt must be non-negative");
   SC_CHECK(selectivity >= 0.0, "operator selectivity must be non-negative");
   operators_.push_back(Operator{ipt, selectivity});
-  return static_cast<NodeId>(operators_.size() - 1);
+  return checked_node_id(operators_.size() - 1);
 }
 
 EdgeId GraphBuilder::add_edge(NodeId src, NodeId dst, double payload, double rate_factor) {
@@ -22,7 +22,7 @@ EdgeId GraphBuilder::add_edge(NodeId src, NodeId dst, double payload, double rat
   SC_CHECK(payload >= 0.0, "edge payload must be non-negative");
   SC_CHECK(rate_factor >= 0.0, "edge rate_factor must be non-negative");
   channels_.push_back(Channel{src, dst, payload, rate_factor});
-  return static_cast<EdgeId>(channels_.size() - 1);
+  return checked_edge_id(channels_.size() - 1);
 }
 
 StreamGraph GraphBuilder::build(bool require_dag) const {
@@ -34,8 +34,7 @@ StreamGraph GraphBuilder::build(bool require_dag) const {
     std::unordered_set<std::uint64_t> seen;
     seen.reserve(channels_.size() * 2);
     for (const Channel& c : channels_) {
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(c.src) << 32) | static_cast<std::uint64_t>(c.dst);
+      const std::uint64_t key = pack_edge_key(c.src, c.dst);
       SC_CHECK(seen.insert(key).second,
                "duplicate edge " << c.src << " -> " << c.dst << "; merge payloads instead");
     }

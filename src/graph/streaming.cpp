@@ -1,0 +1,363 @@
+#include "graph/streaming.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+
+#include "common/error.hpp"
+#include "graph/io.hpp"
+
+namespace sc::graph {
+
+namespace {
+
+/// Size of the single bounded I/O buffer: the only transient allocation the
+/// reader makes regardless of graph size.
+constexpr std::size_t kIoBufferBytes = std::size_t{1} << 18;  // 256 KiB
+
+/// Buffered line scanner over a stdio stream. Lines longer than the buffer
+/// fail loudly (serialized records are tens of bytes); '\r' is stripped so
+/// CRLF input parses identically to LF input.
+class BoundedLineScanner {
+public:
+  explicit BoundedLineScanner(const std::string& path) : path_(path) {
+    file_ = std::fopen(path.c_str(), "rb");
+    SC_CHECK(file_ != nullptr, "cannot open '" << path << "' for reading");
+    SC_CHECK(std::fseek(file_, 0, SEEK_END) == 0, "cannot seek in '" << path << "'");
+    const long size = std::ftell(file_);
+    SC_CHECK(size >= 0, "cannot determine size of '" << path << "'");
+    file_size_ = static_cast<std::uint64_t>(size);
+    rewind();
+    buf_ = std::make_unique<char[]>(kIoBufferBytes + 1);
+  }
+
+  ~BoundedLineScanner() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  BoundedLineScanner(const BoundedLineScanner&) = delete;
+  BoundedLineScanner& operator=(const BoundedLineScanner&) = delete;
+
+  void rewind() {
+    SC_CHECK(std::fseek(file_, 0, SEEK_SET) == 0, "cannot rewind '" << path_ << "'");
+    len_ = 0;
+    pos_ = 0;
+    eof_ = false;
+  }
+
+  /// Next non-empty, non-comment line as a NUL-terminated in-buffer string
+  /// (valid until the following call). Returns nullptr at EOF.
+  char* next_line() {
+    for (;;) {
+      char* nl = static_cast<char*>(std::memchr(buf_.get() + pos_, '\n', len_ - pos_));
+      if (nl == nullptr && !eof_) {
+        refill();
+        continue;
+      }
+      char* line = buf_.get() + pos_;
+      char* end = nl != nullptr ? nl : buf_.get() + len_;
+      if (line == end && nl == nullptr) return nullptr;  // exhausted
+      pos_ = static_cast<std::size_t>(end - buf_.get()) + (nl != nullptr ? 1 : 0);
+      while (end > line && (end[-1] == '\r' || end[-1] == ' ' || end[-1] == '\t')) --end;
+      *end = '\0';
+      const char* p = line;
+      while (*p == ' ' || *p == '\t') ++p;
+      if (*p == '\0' || *p == '#') continue;  // blank / comment
+      return line + (p - line);
+    }
+  }
+
+  std::uint64_t file_size() const { return file_size_; }
+  std::size_t bytes_read() const { return bytes_read_; }
+  std::size_t buffer_bytes() const { return kIoBufferBytes; }
+
+private:
+  void refill() {
+    // Keep the partial line, slide it to the front, top the buffer up.
+    const std::size_t keep = len_ - pos_;
+    SC_CHECK(keep < kIoBufferBytes,
+             "line exceeds the " << kIoBufferBytes << "-byte ingest buffer in '" << path_
+                                 << "'");
+    std::memmove(buf_.get(), buf_.get() + pos_, keep);
+    pos_ = 0;
+    len_ = keep;
+    const std::size_t got = std::fread(buf_.get() + len_, 1, kIoBufferBytes - len_, file_);
+    SC_CHECK(got > 0 || std::feof(file_) != 0, "read error in '" << path_ << "'");
+    bytes_read_ += got;
+    len_ += got;
+    if (got == 0) eof_ = true;
+  }
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::unique_ptr<char[]> buf_;
+  std::uint64_t file_size_ = 0;
+  std::size_t len_ = 0;
+  std::size_t pos_ = 0;
+  std::size_t bytes_read_ = 0;
+  bool eof_ = false;
+};
+
+const char* skip_ws(const char* p) {
+  while (*p == ' ' || *p == '\t') ++p;
+  return p;
+}
+
+/// Strict in-place unsigned parse; rejects sign characters and non-digits so
+/// hostile ids ('-1', '3.5') fail loudly instead of wrapping or truncating.
+std::uint64_t parse_u64_field(const char*& p, const char* what, const char* line) {
+  p = skip_ws(p);
+  SC_CHECK(*p >= '0' && *p <= '9', "malformed " << what << " in line '" << line << "'");
+  std::uint64_t value = 0;
+  while (*p >= '0' && *p <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+    SC_CHECK(value <= (std::numeric_limits<std::uint64_t>::max() - digit) / 10,
+             what << " overflows in line '" << line << "'");
+    value = value * 10 + digit;
+    ++p;
+  }
+  SC_CHECK(*p == '\0' || *p == ' ' || *p == '\t',
+           "malformed " << what << " in line '" << line << "'");
+  return value;
+}
+
+double parse_double_field(const char*& p, const char* what, const char* line) {
+  p = skip_ws(p);
+  char* end = nullptr;
+  const double value = std::strtod(p, &end);
+  SC_CHECK(end != p, "malformed " << what << " in line '" << line << "'");
+  SC_CHECK(*end == '\0' || *end == ' ' || *end == '\t',
+           "malformed " << what << " in line '" << line << "'");
+  p = end;
+  return value;
+}
+
+void check_line_consumed(const char* p, const char* where, const char* line) {
+  p = skip_ws(p);
+  SC_CHECK(*p == '\0', "trailing garbage after " << where << " in line '" << line << "'");
+}
+
+/// Parses a '<keyword> <count>' header with the same fail-before-allocate
+/// contract as graph::read_graph, plus a file-size plausibility bound: a
+/// record occupies at least `min_record_bytes` on disk, so a count the file
+/// cannot possibly hold is rejected before sizing any array by it.
+std::size_t parse_count_line(const char* line, const char* keyword,
+                             std::uint64_t file_size, std::size_t min_record_bytes) {
+  const char* p = line;
+  const std::size_t klen = std::strlen(keyword);
+  SC_CHECK(std::strncmp(p, keyword, klen) == 0 && (p[klen] == ' ' || p[klen] == '\t'),
+           "expected '" << keyword << " <count>', got '" << line << "'");
+  p += klen;
+  const std::uint64_t count = parse_u64_field(p, keyword, line);
+  check_line_consumed(p, keyword, line);
+  SC_CHECK(count <= kMaxIngestCount,
+           keyword << " count " << count << " exceeds the ingest cap " << kMaxIngestCount);
+  SC_CHECK(count <= file_size / min_record_bytes,
+           keyword << " count " << count << " exceeds what a " << file_size
+                   << "-byte file can hold");
+  return static_cast<std::size_t>(count);
+}
+
+}  // namespace
+
+CsrGraph::CsrGraph(std::string name, std::vector<float> ipt, std::vector<float> selectivity,
+                   std::vector<std::uint64_t> out_offsets, std::vector<NodeId> dst,
+                   std::vector<float> payload, std::vector<float> rate_factor)
+    : ipt_(std::move(ipt)),
+      selectivity_(std::move(selectivity)),
+      out_offsets_(std::move(out_offsets)),
+      dst_(std::move(dst)),
+      payload_(std::move(payload)),
+      rate_factor_(std::move(rate_factor)),
+      name_(std::move(name)) {
+  const std::size_t n = ipt_.size();
+  const std::size_t m = dst_.size();
+  SC_CHECK(n > 0, "CsrGraph needs at least one node");
+  SC_CHECK(n < static_cast<std::size_t>(kInvalidNode),
+           "node count " << n << " exceeds the 32-bit NodeId space");
+  SC_CHECK(selectivity_.size() == n, "selectivity array does not match node count");
+  SC_CHECK(out_offsets_.size() == n + 1 && out_offsets_.front() == 0 &&
+               out_offsets_.back() == m,
+           "out_offsets is not a prefix-sum over the edge array");
+  SC_CHECK(payload_.size() == m && rate_factor_.size() == m,
+           "edge feature arrays do not match edge count");
+  for (std::size_t v = 0; v < n; ++v) {
+    SC_CHECK(out_offsets_[v] <= out_offsets_[v + 1], "out_offsets must be monotone");
+  }
+  for (const NodeId t : dst_) {
+    SC_CHECK(t < n, "edge target " << t << " out of range");
+  }
+}
+
+std::size_t CsrGraph::footprint_bytes() const {
+  return ipt_.capacity() * sizeof(float) + selectivity_.capacity() * sizeof(float) +
+         out_offsets_.capacity() * sizeof(std::uint64_t) +
+         dst_.capacity() * sizeof(NodeId) + payload_.capacity() * sizeof(float) +
+         rate_factor_.capacity() * sizeof(float);
+}
+
+// sc-lint: streaming-path
+CsrGraph read_csr(const std::string& path, StreamingReadStats* stats) {
+  BoundedLineScanner scanner(path);
+
+  // ---- Pass 1: validate headers/records, fill node features + degrees ----
+  char* line = scanner.next_line();
+  SC_CHECK(line != nullptr, "unexpected EOF: expected 'streamgraph' in '" << path << "'");
+  std::string name;
+  {
+    const char* p = line;
+    SC_CHECK(std::strncmp(p, "streamgraph", 11) == 0,
+             "expected 'streamgraph', got '" << line << "'");
+    p = skip_ws(p + 11);
+    const char* start = p;
+    while (*p != '\0' && *p != ' ' && *p != '\t') ++p;
+    name.assign(start, p);
+    check_line_consumed(p, "graph name", line);
+  }
+
+  line = scanner.next_line();
+  SC_CHECK(line != nullptr, "unexpected EOF: expected 'nodes' in '" << path << "'");
+  // Minimum on-disk record sizes: a node line is at least "0 0\n" (4 bytes),
+  // an edge line at least "0 1 0 0\n" (8); 2 and 4 keep the bound safe for
+  // exotic-but-legal whitespace.
+  const std::size_t n = parse_count_line(line, "nodes", scanner.file_size(), 2);
+  SC_CHECK(n > 0, "stream graph must have at least one node");
+
+  std::vector<float> ipt(n);
+  std::vector<float> selectivity(n);
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+
+  for (std::size_t v = 0; v < n; ++v) {
+    line = scanner.next_line();
+    SC_CHECK(line != nullptr,
+             "unexpected EOF in node list: got " << v << " of " << n << " nodes");
+    const char* p = line;
+    const double node_ipt = parse_double_field(p, "node ipt", line);
+    const double sel = parse_double_field(p, "node selectivity", line);
+    check_line_consumed(p, "node record", line);
+    SC_CHECK(node_ipt >= 0.0 && sel >= 0.0, "negative node feature in line '" << line << "'");
+    ipt[v] = static_cast<float>(node_ipt);
+    selectivity[v] = static_cast<float>(sel);
+  }
+
+  line = scanner.next_line();
+  SC_CHECK(line != nullptr, "unexpected EOF: expected 'edges' in '" << path << "'");
+  const std::size_t m = parse_count_line(line, "edges", scanner.file_size(), 4);
+
+  for (std::size_t e = 0; e < m; ++e) {
+    line = scanner.next_line();
+    SC_CHECK(line != nullptr,
+             "unexpected EOF in edge list: got " << e << " of " << m << " edges");
+    const char* p = line;
+    const std::uint64_t src = parse_u64_field(p, "edge source", line);
+    const std::uint64_t dst_id = parse_u64_field(p, "edge target", line);
+    const double payload = parse_double_field(p, "edge payload", line);
+    const double rf = parse_double_field(p, "edge rate_factor", line);
+    check_line_consumed(p, "edge record", line);
+    SC_CHECK(src < n && dst_id < n,
+             "edge endpoint out of range in line '" << line << "' (graph has " << n
+                                                    << " nodes)");
+    SC_CHECK(src != dst_id, "self-loop edge in line '" << line << "'");
+    SC_CHECK(payload >= 0.0 && rf >= 0.0, "negative edge feature in line '" << line << "'");
+    ++offsets[src + 1];
+  }
+
+  line = scanner.next_line();
+  SC_CHECK(line != nullptr && std::strcmp(line, "end") == 0,
+           "expected 'end' terminating graph in '" << path << "'");
+
+  for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  // ---- Pass 2: fill the CSR slots (records already validated) -------------
+  std::vector<NodeId> dst(m);
+  std::vector<float> payload(m);
+  std::vector<float> rate_factor(m);
+  scanner.rewind();
+  line = scanner.next_line();  // streamgraph header
+  line = scanner.next_line();  // nodes header
+  for (std::size_t v = 0; v < n; ++v) line = scanner.next_line();
+  line = scanner.next_line();  // edges header
+  for (std::size_t e = 0; e < m; ++e) {
+    line = scanner.next_line();
+    const char* p = line;
+    const std::uint64_t src = parse_u64_field(p, "edge source", line);
+    const std::uint64_t dst_id = parse_u64_field(p, "edge target", line);
+    const double pay = parse_double_field(p, "edge payload", line);
+    const double rf = parse_double_field(p, "edge rate_factor", line);
+    const std::uint64_t slot = offsets[src]++;
+    dst[slot] = static_cast<NodeId>(dst_id);
+    payload[slot] = static_cast<float>(pay);
+    rate_factor[slot] = static_cast<float>(rf);
+  }
+  // offsets[v] now points one past v's range; shift back down.
+  for (std::size_t v = n; v > 0; --v) offsets[v] = offsets[v - 1];
+  offsets[0] = 0;
+
+  if (stats != nullptr) {
+    stats->bytes_read = scanner.bytes_read();
+    stats->passes = 2;
+    stats->buffer_bytes = scanner.buffer_bytes();
+  }
+  return CsrGraph(std::move(name), std::move(ipt), std::move(selectivity),
+                  std::move(offsets), std::move(dst), std::move(payload),
+                  std::move(rate_factor));
+}
+
+// sc-lint: streaming-path
+CsrLoad compute_csr_load(const CsrGraph& g) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  CsrLoad load;
+  load.node_cpu.assign(n, 0.0);
+  load.edge_traffic.assign(m, 0.0);
+
+  std::vector<std::uint32_t> in_deg(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId t : g.out(v)) ++in_deg[t];
+  }
+
+  // Kahn propagation at unit source rate: same recurrences as
+  // compute_load_profile, evaluated over the compressed layout.
+  std::vector<double> rate(n, 0.0);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (in_deg[v] == 0) {
+      rate[v] = 1.0;
+      queue.push_back(v);
+    }
+  }
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const NodeId v = queue[head++];
+    const double out_rate = rate[v] * static_cast<double>(g.selectivity(v));
+    const std::uint64_t begin = g.out_offset(v);
+    const std::span<const NodeId> targets = g.out(v);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const std::uint64_t slot = begin + i;
+      const double edge_rate = out_rate * static_cast<double>(g.rate_factor(slot));
+      load.edge_traffic[slot] = static_cast<double>(g.payload(slot)) * edge_rate;
+      rate[targets[i]] += edge_rate;
+      if (--in_deg[targets[i]] == 0) queue.push_back(targets[i]);
+    }
+  }
+  SC_CHECK(queue.size() == n,
+           "stream graph '" << g.name() << "' contains a directed cycle");
+
+  for (NodeId v = 0; v < n; ++v) {
+    load.node_cpu[v] = static_cast<double>(g.ipt(v)) * rate[v];
+    load.total_cpu += load.node_cpu[v];
+  }
+  for (const double t : load.edge_traffic) load.total_traffic += t;
+  // Rate amplification (broadcast forks compounding over deep graphs) can
+  // overflow the propagation; a NaN load silently corrupts every consumer.
+  SC_CHECK(std::isfinite(load.total_cpu) && std::isfinite(load.total_traffic),
+           "load propagation overflowed on '" << g.name()
+                                              << "': non-finite totals (rate amplification?)");
+  return load;
+}
+
+}  // namespace sc::graph

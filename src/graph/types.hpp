@@ -1,8 +1,20 @@
 // Fundamental identifier types shared by all graph components.
+//
+// NodeId/EdgeId are deliberately 32-bit: at the Huge scale tier (1M+ nodes,
+// DESIGN.md §9) halving the id width roughly halves the footprint of every
+// adjacency array. The flip side is that *any* product or shifted
+// combination of two ids overflows 32-bit arithmetic long before it
+// overflows the graph — all such arithmetic must widen to std::uint64_t
+// first. The helpers below centralise the two recurring patterns (packed
+// edge keys and size→id narrowing) so call sites cannot get the widening
+// order wrong.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+
+#include "common/error.hpp"
 
 namespace sc::graph {
 
@@ -11,5 +23,33 @@ using EdgeId = std::uint32_t;
 
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Packs an ordered id pair into one 64-bit key. The casts happen *before*
+/// the shift: `id << 32` on a 32-bit operand is undefined behaviour and the
+/// classic silent-wrap bug the Huge tier exposes.
+inline constexpr std::uint64_t pack_edge_key(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+}
+
+/// Orientation-independent key for undirected edges (smaller id in the high
+/// word, matching the partitioner's lo<hi convention).
+inline constexpr std::uint64_t pack_undirected_key(NodeId a, NodeId b) {
+  return a < b ? pack_edge_key(a, b) : pack_edge_key(b, a);
+}
+
+/// Narrows a container index to a NodeId, failing loudly once the index no
+/// longer fits the 32-bit id space (kInvalidNode is reserved as a sentinel).
+inline NodeId checked_node_id(std::size_t index) {
+  SC_CHECK(index < static_cast<std::size_t>(kInvalidNode),
+           "node index " << index << " exceeds the 32-bit NodeId space");
+  return static_cast<NodeId>(index);
+}
+
+/// As checked_node_id, for edge indices.
+inline EdgeId checked_edge_id(std::size_t index) {
+  SC_CHECK(index < static_cast<std::size_t>(kInvalidEdge),
+           "edge index " << index << " exceeds the 32-bit EdgeId space");
+  return static_cast<EdgeId>(index);
+}
 
 }  // namespace sc::graph

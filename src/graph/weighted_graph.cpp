@@ -25,6 +25,11 @@ constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
 }  // namespace
 
 void EdgeDedupScratch::reset(std::size_t expected) {
+  // Guard the doubling loop: for expected >= 2^62 `cap *= 2` would wrap to 0
+  // and spin forever. Distinct packed keys are (NodeId, NodeId) pairs, so any
+  // honest caller is far below this bound.
+  SC_CHECK(expected <= (std::uint64_t{1} << 40),
+           "edge-dedup table for " << expected << " edges exceeds the supported size");
   std::size_t cap = 16;
   while (cap < expected * 2) cap *= 2;
   if (keys_.size() < cap) {
@@ -69,6 +74,8 @@ void WeightedGraph::rebuild(std::span<const double> node_weights,
   // constructor's first-seen append order exactly: dedup strategy only
   // decides *whether* a key is new, and inputs are scanned in the same order.
   edges_.clear();
+  SC_CHECK(edges.size() < static_cast<std::size_t>(kInvalidEdge),
+           "edge count " << edges.size() << " exceeds the 32-bit EdgeId space");
   if (edges_.capacity() < edges.size()) edges_.reserve(edges.size());
   dedup.reset(edges.size());
   for (const WeightedEdge& e : edges) {
@@ -77,7 +84,7 @@ void WeightedGraph::rebuild(std::span<const double> node_weights,
     if (e.a == e.b) continue;  // self-loops carry no cut cost
     const NodeId lo = std::min(e.a, e.b);
     const NodeId hi = std::max(e.a, e.b);
-    const std::uint64_t key = (static_cast<std::uint64_t>(lo) << 32) | hi;
+    const std::uint64_t key = pack_edge_key(lo, hi);
     bool inserted = false;
     const std::uint32_t idx =
         dedup.find_or_insert(key, static_cast<std::uint32_t>(edges_.size()), inserted);
@@ -119,6 +126,8 @@ WeightedGraph::WeightedGraph(std::vector<double> node_weights,
   }
 
   // Merge parallel / reversed-duplicate edges.
+  SC_CHECK(edges.size() < static_cast<std::size_t>(kInvalidEdge),
+           "edge count " << edges.size() << " exceeds the 32-bit EdgeId space");
   std::unordered_map<std::uint64_t, std::size_t> index;
   index.reserve(edges.size() * 2);
   for (const WeightedEdge& e : edges) {
@@ -127,7 +136,7 @@ WeightedGraph::WeightedGraph(std::vector<double> node_weights,
     if (e.a == e.b) continue;  // self-loops carry no cut cost
     const NodeId lo = std::min(e.a, e.b);
     const NodeId hi = std::max(e.a, e.b);
-    const std::uint64_t key = (static_cast<std::uint64_t>(lo) << 32) | hi;
+    const std::uint64_t key = pack_edge_key(lo, hi);
     const auto it = index.find(key);
     if (it == index.end()) {
       index.emplace(key, edges_.size());

@@ -12,7 +12,7 @@ using graph::NodeId;
 using graph::WeightedEdge;
 using graph::WeightedGraph;
 
-std::vector<NodeId> heavy_edge_matching(const WeightedGraph& g, Rng& rng) {
+std::vector<NodeId> heavy_edge_matching(const WeightedGraph& g, Rng& rng, double max_weight) {
   const std::size_t n = g.num_nodes();
   std::vector<NodeId> match(n, kInvalidNode);
 
@@ -31,6 +31,7 @@ std::vector<NodeId> heavy_edge_matching(const WeightedGraph& g, Rng& rng) {
     const NodeId a = g.edge(e).a;
     const NodeId b = g.edge(e).b;
     if (match[a] != kInvalidNode || match[b] != kInvalidNode) continue;
+    if (g.node_weight(a) + g.node_weight(b) > max_weight) continue;
     match[a] = b;
     match[b] = a;
   }
@@ -41,7 +42,8 @@ std::vector<NodeId> heavy_edge_matching(const WeightedGraph& g, Rng& rng) {
 }
 
 // sc-lint: hot-path
-void heavy_edge_matching_ws(const WeightedGraph& g, Rng& rng, MatchScratch& scratch) {
+void heavy_edge_matching_ws(const WeightedGraph& g, Rng& rng, MatchScratch& scratch,
+                            double max_weight) {
   const std::size_t n = g.num_nodes();
   const std::size_t m = g.num_edges();
   scratch.match.assign(n, kInvalidNode);
@@ -68,6 +70,7 @@ void heavy_edge_matching_ws(const WeightedGraph& g, Rng& rng, MatchScratch& scra
     const NodeId a = g.edge(e).a;
     const NodeId b = g.edge(e).b;
     if (scratch.match[a] != kInvalidNode || scratch.match[b] != kInvalidNode) continue;
+    if (g.node_weight(a) + g.node_weight(b) > max_weight) continue;
     scratch.match[a] = b;
     scratch.match[b] = a;
   }

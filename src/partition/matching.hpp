@@ -2,6 +2,7 @@
 // of the multilevel partitioner (Karypis–Kumar style).
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -12,13 +13,23 @@ namespace sc::partition {
 
 /// Returns match[v] = partner of v (or v itself if unmatched). Nodes are
 /// visited in random order and matched to their heaviest unmatched neighbor.
-std::vector<graph::NodeId> heavy_edge_matching(const graph::WeightedGraph& g, Rng& rng);
+///
+/// `max_weight` caps the combined node weight of a matched pair: pairs that
+/// would exceed it stay unmatched. Without the cap, deep coarsening
+/// degenerates — a heavy supernode's accumulated edges are the heaviest in
+/// the graph, so it re-matches every level and snowballs until one coarse
+/// node holds nearly the whole graph (observed on 1M-node Huge inputs). The
+/// default (infinity) preserves the historical uncapped behavior.
+std::vector<graph::NodeId> heavy_edge_matching(
+    const graph::WeightedGraph& g, Rng& rng,
+    double max_weight = std::numeric_limits<double>::infinity());
 
 /// Workspace variant: identical RNG draws and resulting matching, but reuses
 /// `scratch` (result in scratch.match) and replaces the allocating
 /// stable_sort with an in-place sort over the equivalent total order
 /// (weight desc, shuffled rank asc).
-void heavy_edge_matching_ws(const graph::WeightedGraph& g, Rng& rng, MatchScratch& scratch);
+void heavy_edge_matching_ws(const graph::WeightedGraph& g, Rng& rng, MatchScratch& scratch,
+                            double max_weight = std::numeric_limits<double>::infinity());
 
 /// Result of contracting a matching (or any node->coarse label map).
 struct Contraction {

@@ -482,11 +482,15 @@ const std::vector<int>& partition_attempt_ws(const WeightedGraph& g,
   const std::size_t stop =
       opts.coarsen_until > 0 ? opts.coarsen_until : std::max<std::size_t>(30, 8 * k);
 
+  // Cap matched-pair weight at 3x the average final coarse node so a heavy
+  // supernode cannot snowball level after level (see heavy_edge_matching).
+  const double match_cap = 3.0 * g.total_node_weight() / static_cast<double>(stop);
+
   // ---- Coarsening (levels retained in the workspace) ----------------------
   std::size_t num_levels = 0;
   const WeightedGraph* cur = &g;
   while (cur->num_nodes() > stop) {
-    heavy_edge_matching_ws(*cur, rng, ws.match);
+    heavy_edge_matching_ws(*cur, rng, ws.match, match_cap);
     PartitionWorkspace::Level& lvl = ws.level(num_levels);
     contract_matching_ws(*cur, ws.match.match, ws.weight_buf, ws.edge_buf, ws.dedup,
                          lvl.map, lvl.coarse);
@@ -645,11 +649,15 @@ std::vector<int> MultilevelPartitioner::partition_attempt(
   const std::size_t stop =
       opts_.coarsen_until > 0 ? opts_.coarsen_until : std::max<std::size_t>(30, 8 * k);
 
+  // Cap matched-pair weight at 3x the average final coarse node so a heavy
+  // supernode cannot snowball level after level (see heavy_edge_matching).
+  const double match_cap = 3.0 * g.total_node_weight() / static_cast<double>(stop);
+
   // ---- Coarsening ---------------------------------------------------------
   std::vector<Contraction> levels;
   const WeightedGraph* cur = &g;
   while (cur->num_nodes() > stop) {
-    auto match = heavy_edge_matching(*cur, rng);
+    auto match = heavy_edge_matching(*cur, rng, match_cap);
     Contraction c = contract_matching(*cur, match);
     // Stop if matching no longer shrinks the graph meaningfully.
     if (c.coarse.num_nodes() >= cur->num_nodes() * 95 / 100) break;
@@ -700,10 +708,17 @@ std::vector<NodeId> MultilevelPartitioner::coarsen_to(const WeightedGraph& g,
   std::vector<NodeId> map(g.num_nodes());
   std::iota(map.begin(), map.end(), NodeId{0});
 
+  // Cap matched-pair weight at 3x the average target coarse node. Deep
+  // coarsening (1M -> thousands) without the cap degenerates into one
+  // supernode absorbing nearly the whole graph: its contracted edges are the
+  // heaviest, so it wins a match every level, shrinking the graph by one
+  // node per level — quadratic time and a useless coarse graph.
+  const double match_cap = 3.0 * g.total_node_weight() / static_cast<double>(target_nodes);
+
   WeightedGraph cur_store;
   const WeightedGraph* cur = &g;
   while (cur->num_nodes() > target_nodes) {
-    auto match = heavy_edge_matching(*cur, rng);
+    auto match = heavy_edge_matching(*cur, rng, match_cap);
     Contraction c = contract_matching(*cur, match);
     if (c.coarse.num_nodes() == cur->num_nodes()) break;  // no progress
     for (NodeId v = 0; v < map.size(); ++v) map[v] = c.map[map[v]];

@@ -156,6 +156,12 @@ struct FmScratch {
 // sc-lint: hot-path
 void flatten_adjacency(const WeightedGraph& g, FmScratch& s) {
   const std::size_t n = g.num_nodes();
+  // adj_off is deliberately int32 (halves the scratch footprint, and bucket
+  // links share the type); the flattened incidence has 2m entries, so fail
+  // loudly instead of wrapping once 2m no longer fits. Huge-tier graphs reach
+  // FM only after coarsening, far below this bound.
+  SC_CHECK(g.num_edges() <= (std::size_t{1} << 30),
+           "FM refinement supports at most 2^30 edges (got " << g.num_edges() << ")");
   s.adj_off.resize(n + 1);
   s.adj_off[0] = 0;
   for (NodeId v = 0; v < n; ++v) {

@@ -86,6 +86,22 @@ TEST(Dataset, SettingNamesAreDistinct) {
   EXPECT_STRNE(setting_name(Setting::Small), setting_name(Setting::Medium));
   EXPECT_STRNE(setting_name(Setting::Large), setting_name(Setting::XLarge));
   EXPECT_STRNE(setting_name(Setting::Excess), setting_name(Setting::Large));
+  EXPECT_STRNE(setting_name(Setting::Huge), setting_name(Setting::XLarge));
+}
+
+TEST(Dataset, HugeSettingUsesTiledSplitOnlyGrowth) {
+  // setting_config runs check_topology_bounds, so merely constructing the
+  // config proves the 1M+ budget passes the overflow guards.
+  const auto cfg = setting_config(Setting::Huge);
+  EXPECT_EQ(cfg.topology.min_nodes, 1'000'000u);
+  EXPECT_EQ(cfg.topology.max_nodes, 1'100'000u);
+  // Tiled composition: pure grammar growth is quadratic at this scale.
+  EXPECT_GT(cfg.topology.tile_nodes, 0u);
+  // Split-only forks: broadcast rate amplification compounds to inf across
+  // thousands of tiled stages (the ingest bug this tier fixed).
+  EXPECT_DOUBLE_EQ(cfg.topology.broadcast_prob, 0.0);
+  EXPECT_EQ(cfg.workload.num_devices, 64u);
+  EXPECT_DOUBLE_EQ(cfg.workload.bandwidth, 1.875e8);  // 1500 Mbps
 }
 
 }  // namespace

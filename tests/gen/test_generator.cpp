@@ -189,5 +189,116 @@ TEST(Generator, SelectivityJitterBoundsValues) {
   }
 }
 
+// ---- Tiled composition (the Huge tier's growth path, at reduced scale) ----
+
+GeneratorConfig tiled_cfg(std::size_t lo = 2000, std::size_t hi = 2400) {
+  GeneratorConfig cfg;
+  cfg.topology.min_nodes = lo;
+  cfg.topology.max_nodes = hi;
+  cfg.topology.tile_nodes = 48;
+  cfg.topology.max_parallel_tiles = 4;
+  cfg.topology.broadcast_prob = 0.0;
+  return cfg;
+}
+
+TEST(Generator, TiledGraphsAreDagsWithSingleSourceAndSink) {
+  Rng rng(40);
+  for (int i = 0; i < 3; ++i) {
+    const auto g = generate_graph(tiled_cfg(), rng);
+    EXPECT_TRUE(graph::is_dag(g));
+    EXPECT_EQ(g.sources().size(), 1u);
+    EXPECT_EQ(g.sinks().size(), 1u);
+  }
+}
+
+TEST(Generator, TiledGraphsLandNearTheNodeTarget) {
+  Rng rng(41);
+  const auto g = generate_graph(tiled_cfg(2000, 2400), rng);
+  // Stage granularity can overshoot the sampled target by at most one stage
+  // of tiles plus its junctions.
+  EXPECT_GE(g.num_nodes(), 2000u);
+  EXPECT_LE(g.num_nodes(), 2400u + 4 * 48 + 8);
+}
+
+TEST(Generator, TiledGenerationIsDeterministic) {
+  Rng a(42), b(42);
+  const auto g = generate_graph(tiled_cfg(), a);
+  const auto h = generate_graph(tiled_cfg(), b);
+  ASSERT_EQ(g.num_nodes(), h.num_nodes());
+  ASSERT_EQ(g.num_edges(), h.num_edges());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(g.op(v).ipt, h.op(v).ipt);
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(g.edge(e).src, h.edge(e).src);
+    EXPECT_EQ(g.edge(e).dst, h.edge(e).dst);
+  }
+}
+
+TEST(Generator, TiledRatePropagationStaysFinite) {
+  // Split-only forks conserve rate mass, so even thousands of stages keep
+  // every propagated rate <= 1 — the invariant the Huge setting relies on.
+  Rng rng(43);
+  const auto g = generate_graph(tiled_cfg(), rng);
+  const auto profile = graph::compute_load_profile(g);
+  for (const double r : profile.node_rate) {
+    EXPECT_LE(r, 1.0 + 1e-9);
+  }
+}
+
+TEST(Generator, DeepBroadcastRateOverflowFailsLoudly) {
+  // Broadcast forks multiply the propagated rate by their fan-out; compounded
+  // over ~hundreds of tiled stages the product reaches inf, which used to
+  // serialize garbage features silently. generate_graph must throw instead.
+  GeneratorConfig cfg = tiled_cfg(24000, 24000);
+  cfg.topology.tile_nodes = 3;
+  cfg.topology.broadcast_prob = 1.0;
+  Rng rng(44);
+  EXPECT_THROW(generate_graph(cfg, rng), Error);
+}
+
+// ---- check_topology_bounds: sizing must fail loudly, never wrap ----------
+
+TEST(Generator, TopologyBoundsRejectOversizedBudgets) {
+  TopologyConfig top;
+  top.min_nodes = 3;
+  top.max_nodes = (std::size_t{1} << 28) + 1;  // beyond the supported scale
+  EXPECT_THROW(check_topology_bounds(top), Error);
+}
+
+TEST(Generator, TopologyBoundsRejectEdgeIdOverflow) {
+  // A node budget whose expected edge count exceeds the 32-bit edge-id space
+  // must be rejected up front, before any accumulator can wrap.
+  TopologyConfig top;
+  top.min_nodes = 3;
+  top.max_nodes = std::size_t{1} << 28;
+  top.max_full_width = 5;
+  top.max_full_layers = 3;
+  EXPECT_THROW(check_topology_bounds(top), Error);
+}
+
+TEST(Generator, TopologyBoundsRejectDegenerateConfigs) {
+  TopologyConfig too_small;
+  too_small.min_nodes = 2;
+  EXPECT_THROW(check_topology_bounds(too_small), Error);
+
+  TopologyConfig inverted;
+  inverted.min_nodes = 50;
+  inverted.max_nodes = 10;
+  EXPECT_THROW(check_topology_bounds(inverted), Error);
+
+  TopologyConfig tiny_tile;
+  tiny_tile.tile_nodes = 2;
+  EXPECT_THROW(check_topology_bounds(tiny_tile), Error);
+}
+
+TEST(Generator, TopologyBoundsAcceptTheHugeBudget) {
+  TopologyConfig top;
+  top.min_nodes = 1'000'000;
+  top.max_nodes = 1'100'000;
+  top.tile_nodes = 160;
+  EXPECT_NO_THROW(check_topology_bounds(top));
+}
+
 }  // namespace
 }  // namespace sc::gen

@@ -55,6 +55,48 @@ TEST(GraphIo, MalformedInputThrows) {
   EXPECT_THROW(read_graph(truncated), Error);
 }
 
+// Hostile/corrupt-input table: every case must fail with a named sc::Error
+// BEFORE any count-proportional allocation — in particular the near-OOM
+// header counts and the unsigned wrap-around of '-1' endpoints.
+TEST(GraphIo, MalformedInputTable) {
+  struct Case {
+    const char* what;
+    const char* text;
+  };
+  const Case cases[] = {
+      {"empty input", ""},
+      {"comment-only input", "# nothing here\n\n"},
+      {"wrong magic", "nonsense 3\n"},
+      {"missing node count", "streamgraph t\nnodes\n"},
+      {"negative node count", "streamgraph t\nnodes -1\n"},
+      {"non-numeric node count", "streamgraph t\nnodes abc\n"},
+      {"node count uint64 overflow", "streamgraph t\nnodes 99999999999999999999\n"},
+      {"node count over ingest cap", "streamgraph t\nnodes 4294967295\n"},
+      {"trailing garbage after count", "streamgraph t\nnodes 1 junk\n1.0 1.0\nedges 0\nend\n"},
+      {"truncated node list", "streamgraph t\nnodes 2\n1.0 1.0\n"},
+      {"malformed node record", "streamgraph t\nnodes 1\nxyz 1.0\nedges 0\nend\n"},
+      {"trailing garbage on node record",
+       "streamgraph t\nnodes 1\n1.0 1.0 junk\nedges 0\nend\n"},
+      {"missing edges header", "streamgraph t\nnodes 1\n1.0 1.0\n"},
+      {"edge count over ingest cap",
+       "streamgraph t\nnodes 2\n1.0 1.0\n1.0 1.0\nedges 4294967295\n"},
+      {"negative edge endpoint",
+       "streamgraph t\nnodes 2\n1.0 1.0\n1.0 1.0\nedges 1\n-1 1 1.0 1.0\nend\n"},
+      {"endpoint out of range",
+       "streamgraph t\nnodes 2\n1.0 1.0\n1.0 1.0\nedges 1\n0 5 1.0 1.0\nend\n"},
+      {"truncated edge list",
+       "streamgraph t\nnodes 2\n1.0 1.0\n1.0 1.0\nedges 2\n0 1 1.0 1.0\n"},
+      {"malformed edge record",
+       "streamgraph t\nnodes 2\n1.0 1.0\n1.0 1.0\nedges 1\n0 1 oops 1.0\nend\n"},
+      {"missing end marker", "streamgraph t\nnodes 1\n1.0 1.0\nedges 0\n"},
+      {"garbage after end marker", "streamgraph t\nnodes 1\n1.0 1.0\nedges 0\nend junk\n"},
+  };
+  for (const Case& c : cases) {
+    std::stringstream in(c.text);
+    EXPECT_THROW(read_graph(in), Error) << "case: " << c.what;
+  }
+}
+
 TEST(GraphIo, SaveLoadMultipleGraphs) {
   namespace fs = std::filesystem;
   const fs::path path = fs::temp_directory_path() / "sc_io_test_graphs.txt";

@@ -1,0 +1,60 @@
+#include "graph/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace sc::graph {
+namespace {
+
+// The ids just below the kInvalidNode sentinel are the ones the Huge tier
+// actually produces; a 32-bit shift that wraps instead of widening collides
+// keys exactly here, so the boundary values are pinned bit-for-bit.
+
+TEST(Types, PackEdgeKeyWidensBeforeShift) {
+  EXPECT_EQ(pack_edge_key(0, 0), 0ull);
+  EXPECT_EQ(pack_edge_key(1, 0), 0x0000000100000000ull);
+  EXPECT_EQ(pack_edge_key(0, 1), 0x0000000000000001ull);
+  // High-bit ids: a 32-bit left shift would discard the source entirely.
+  EXPECT_EQ(pack_edge_key(0x80000000u, 0), 0x8000000000000000ull);
+  EXPECT_EQ(pack_edge_key(0xFFFFFFFEu, 0xFFFFFFFDu), 0xFFFFFFFEFFFFFFFDull);
+  EXPECT_EQ(pack_edge_key(0xFFFFFFFDu, 0xFFFFFFFEu), 0xFFFFFFFDFFFFFFFEull);
+}
+
+TEST(Types, PackEdgeKeyIsInjectiveAtBoundary) {
+  // Wrapped arithmetic would alias (a, b) with (b, a) or with nearby pairs.
+  EXPECT_NE(pack_edge_key(0xFFFFFFFEu, 0xFFFFFFFDu),
+            pack_edge_key(0xFFFFFFFDu, 0xFFFFFFFEu));
+  EXPECT_NE(pack_edge_key(0xFFFFFFFEu, 0), pack_edge_key(0, 0xFFFFFFFEu));
+  EXPECT_NE(pack_edge_key(0xFFFFFFFEu, 1), pack_edge_key(0xFFFFFFFEu, 0));
+}
+
+TEST(Types, PackUndirectedKeyIsOrientationIndependent) {
+  EXPECT_EQ(pack_undirected_key(0xFFFFFFFEu, 0xFFFFFFFDu),
+            pack_undirected_key(0xFFFFFFFDu, 0xFFFFFFFEu));
+  // Smaller id lands in the high word (the partitioner's lo<hi convention).
+  EXPECT_EQ(pack_undirected_key(0xFFFFFFFEu, 0xFFFFFFFDu), 0xFFFFFFFDFFFFFFFEull);
+  EXPECT_EQ(pack_undirected_key(7, 3), pack_edge_key(3, 7));
+}
+
+TEST(Types, CheckedNodeIdAcceptsTheLastValidId) {
+  EXPECT_EQ(checked_node_id(0), 0u);
+  EXPECT_EQ(checked_node_id(0xFFFFFFFEull), 0xFFFFFFFEu);
+}
+
+TEST(Types, CheckedNodeIdRejectsSentinelAndBeyond) {
+  EXPECT_THROW(checked_node_id(static_cast<std::size_t>(kInvalidNode)), Error);
+  EXPECT_THROW(checked_node_id(0x100000000ull), Error);
+  EXPECT_THROW(checked_node_id(0x100000001ull), Error);
+}
+
+TEST(Types, CheckedEdgeIdBoundary) {
+  EXPECT_EQ(checked_edge_id(0xFFFFFFFEull), 0xFFFFFFFEu);
+  EXPECT_THROW(checked_edge_id(static_cast<std::size_t>(kInvalidEdge)), Error);
+  EXPECT_THROW(checked_edge_id(0x100000000ull), Error);
+}
+
+}  // namespace
+}  // namespace sc::graph

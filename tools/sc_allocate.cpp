@@ -4,28 +4,84 @@
 //   sc_allocate --data graphs.txt [--model model.ckpt] [--setting medium]
 //               [--method coarsen|metis|oracle] [--best-of K] [--index N]
 //               [--dot out.dot]
+//
+// Streaming mode (Huge tier, DESIGN.md §9): --streaming ingests the first
+// graph of --data through the bounded-buffer CSR reader and allocates it
+// with the out-of-core streaming partitioner — no full StreamGraph is ever
+// materialized, so 1M+-node inputs fit in bounded memory.
 #include <fstream>
 #include <iostream>
 
 #include "core/allocator.hpp"
 #include "core/framework.hpp"
 #include "graph/io.hpp"
+#include "graph/streaming.hpp"
 #include "metrics/report.hpp"
+#include "partition/streaming.hpp"
 #include "tool_common.hpp"
+
+namespace {
+
+// sc-lint: streaming-path
+int run_streaming(const sc::Flags& flags) {
+  using namespace sc;
+  const std::string path = flags.get_string("data", "");
+  graph::StreamingReadStats read_stats;
+  const graph::CsrGraph g = graph::read_csr(path, &read_stats);
+  const sim::ClusterSpec spec = tools::spec_from_flags(flags);
+
+  partition::StreamingOptions opts;
+  opts.buffer_nodes =
+      static_cast<std::size_t>(flags.get_int("stream-buffer", static_cast<long>(opts.buffer_nodes)));
+  opts.num_shards = static_cast<std::size_t>(flags.get_int("shards", 0));
+  opts.coarse_target =
+      static_cast<std::size_t>(flags.get_int("coarse-target", static_cast<long>(opts.coarse_target)));
+
+  partition::StreamingStats stats;
+  const sim::Placement p = partition::streaming_allocate(g, spec, opts, &stats);
+
+  const graph::CsrLoad load = graph::compute_csr_load(g);
+  const double cut = partition::csr_cut_weight(g, load, p);
+  const double imbalance = partition::csr_imbalance(g, load, p, spec.num_devices);
+  std::cout << "graph " << g.name() << ": " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges, csr footprint " << metrics::Table::fmt(
+                   static_cast<double>(g.footprint_bytes()) / (1024.0 * 1024.0), 1)
+            << " MiB (" << read_stats.passes << " passes, buffer "
+            << read_stats.buffer_bytes / 1024 << " KiB)\n";
+  std::cout << "  shards " << stats.num_shards << ", coarse " << stats.coarse_nodes << "/"
+            << stats.coarse_edges << " (cross-shard " << stats.cross_shard_edges
+            << "), buffer peak " << stats.buffer_peak << ", evictions " << stats.evictions
+            << '\n';
+  std::cout << "  cut " << metrics::Table::fmt(cut, 0) << " bytes/s/tuple, imbalance "
+            << metrics::Table::fmt(imbalance, 3) << ", devices "
+            << sim::devices_used(p) << "/" << spec.num_devices << '\n';
+  if (g.num_nodes() <= 64) {
+    std::cout << "  placement:";
+    for (const int d : p) std::cout << ' ' << d;
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) try {
   using namespace sc;
   const Flags flags(argc, argv);
-  flags.check_unknown(
-      tools::known_flags({"data", "model", "method", "best-of", "index", "dot"}));
+  flags.check_unknown(tools::known_flags({"data", "model", "method", "best-of", "index", "dot",
+                                          "streaming", "stream-buffer", "shards",
+                                          "coarse-target"}));
   configure_threads_from_flags(flags);
   tools::apply_validation_from_flags(flags);
   if (!flags.has("data")) {
     tools::usage(
         "usage: sc_allocate --data <file> [--model <ckpt>] [--setting medium]\n"
         "                   [--method coarsen|metis|oracle] [--best-of K]\n"
-        "                   [--index N] [--dot out.dot] [--threads N] [--validate]\n");
+        "                   [--index N] [--dot out.dot] [--threads N] [--validate]\n"
+        "                   [--streaming [--stream-buffer N] [--shards S]\n"
+        "                    [--coarse-target C]]\n");
   }
+  if (flags.get_bool("streaming", false)) return run_streaming(flags);
   const auto graphs = graph::load_graphs(flags.get_string("data", ""));
   SC_CHECK(!graphs.empty(), "dataset is empty");
   const auto spec = tools::spec_from_flags(flags);

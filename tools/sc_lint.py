@@ -37,6 +37,16 @@ Rules (each can be suppressed per line with `// sc-lint: allow(<rule>)`):
                        shed in bounded time with the ring buffer's
                        pre-allocated slots, never stalled behind the
                        filesystem or an allocator.
+  streaming-path       functions annotated with `// sc-lint: streaming-path`
+                       must not materialize a full graph: no StreamGraph/
+                       GraphBuilder value declarations, no load_graphs/
+                       read_graph/to_weighted calls, and no containers of
+                       Operator/Channel/StreamGraph. These are the Huge-tier
+                       ingest and partitioning functions (DESIGN.md §9) whose
+                       bounded-memory contract bench_huge proves; a full
+                       materialization silently reverts the tier to O(graph)
+                       residency. Const references to a StreamGraph are fine —
+                       the rule targets construction, not access.
   no-raw-intrinsics    `#include <immintrin.h>`/`<arm_neon.h>` and raw SIMD
                        intrinsic identifiers (`_mm*`, `v*q_f32/64`) anywhere
                        except src/nn/simd.hpp. All vector code lives behind
@@ -69,6 +79,12 @@ PRAGMA_ONCE_RE = re.compile(r"#\s*pragma\s+once")
 GUARD_RE = re.compile(r"#\s*ifndef\s+\w+")
 HOT_PATH_RE = re.compile(r"//\s*sc-lint:\s*hot-path")
 SERVE_HOT_PATH_RE = re.compile(r"//\s*sc-lint:\s*serve-hot-path")
+STREAMING_PATH_RE = re.compile(r"//\s*sc-lint:\s*streaming-path")
+FULL_GRAPH_RE = re.compile(
+    r"\b(?:graph::)?(?:StreamGraph|GraphBuilder)\s+\w"  # value declarations
+    r"|\b(?:graph::)?(?:load_graphs|read_graph|to_weighted)\s*\("
+    r"|std::vector<\s*(?:graph::)?(?:Operator|Channel|StreamGraph)\s*>"
+)
 FILE_IO_RE = re.compile(r"std::[iof]?fstream\b|(?<![\w:])f(?:re)?open\s*\(")
 UNBOUNDED_ALLOC_RE = re.compile(r"(?<![\w:])new\s|std::make_(?:unique|shared)\s*<")
 INTRINSIC_RE = re.compile(
@@ -188,6 +204,7 @@ class Linter:
         self._lint_writer_flush(rel, code_lines, allowed)
         self._lint_hot_path(rel, raw_lines, code_lines, allowed)
         self._lint_serve_hot_path(rel, raw_lines, code_lines, allowed)
+        self._lint_streaming_path(rel, raw_lines, code_lines, allowed)
 
         if is_header:
             self._lint_pragma_once(rel, code_lines, allowed)
@@ -266,6 +283,31 @@ class Linter:
                                     "unbounded allocation inside a serve-hot-path "
                                     "function; use the pre-allocated ring slots "
                                     "(or sc-lint: allow(serve-hot-path))")
+                depth += line.count("{") - line.count("}")
+                if "{" in line:
+                    entered = True
+                if entered and depth <= 0:
+                    break
+                j += 1
+
+    def _lint_streaming_path(self, rel: str, raw_lines: list[str],
+                             code_lines: list[str], allowed) -> None:
+        """Functions under a `// sc-lint: streaming-path` marker must not
+        materialize a full graph (see module docstring). Body delimitation
+        mirrors _lint_hot_path (brace counting)."""
+        for i, raw in enumerate(raw_lines):
+            if not STREAMING_PATH_RE.search(raw):
+                continue
+            depth = 0
+            entered = False
+            j = i
+            while j < len(code_lines):
+                line = code_lines[j]
+                if FULL_GRAPH_RE.search(line) and not allowed(j + 1, "streaming-path"):
+                    self.report(rel, j + 1, "streaming-path",
+                                "full-graph materialization inside a streaming-path "
+                                "function; stay on the CsrGraph/bounded-buffer tier "
+                                "(or sc-lint: allow(streaming-path))")
                 depth += line.count("{") - line.count("}")
                 if "{" in line:
                     entered = True
@@ -369,6 +411,42 @@ def self_test() -> int:
             "void f(Scratch& s) {\n"
             "  std::vector<std::pair<double, int>> heap;\n"
             "}\n"),
+        "streaming-path-read-graph": (
+            "src/x.cpp",
+            "// sc-lint: streaming-path\n"
+            "void ingest(std::istream& is) {\n"
+            "  auto g = graph::read_graph(is);\n"
+            "}\n"),
+        "streaming-path-streamgraph-value": (
+            "src/x.cpp",
+            "// sc-lint: streaming-path\n"
+            "void ingest(const std::string& p) {\n"
+            "  graph::StreamGraph g = build(p);\n"
+            "}\n"),
+        "streaming-path-builder": (
+            "src/x.cpp",
+            "// sc-lint: streaming-path\n"
+            "void ingest(const std::string& p) {\n"
+            "  graph::GraphBuilder b(p);\n"
+            "}\n"),
+        "streaming-path-load-graphs": (
+            "src/x.cpp",
+            "// sc-lint: streaming-path\n"
+            "void ingest(const std::string& p) {\n"
+            "  const auto graphs = graph::load_graphs(p);\n"
+            "}\n"),
+        "streaming-path-operator-vector": (
+            "src/x.cpp",
+            "// sc-lint: streaming-path\n"
+            "void ingest(const std::string& p) {\n"
+            "  std::vector<graph::Operator> ops;\n"
+            "}\n"),
+        "streaming-path-to-weighted": (
+            "src/x.cpp",
+            "// sc-lint: streaming-path\n"
+            "void ingest(const graph::StreamGraph& g, const graph::LoadProfile& lp) {\n"
+            "  const auto wg = graph::to_weighted(g, lp);\n"
+            "}\n"),
     }
     clean = {
         "rng-exempt": ("src/common/rng.hpp", "#pragma once\nstd::random_device rd;\n"),
@@ -446,6 +524,40 @@ def self_test() -> int:
             "}\n"
             "void g() {\n"
             "  std::vector<int> fine(4);\n"
+            "}\n"),
+        "streaming-path-csr-ok": (
+            "src/x.cpp",
+            "// sc-lint: streaming-path\n"
+            "void ingest(const std::string& p) {\n"
+            "  const graph::CsrGraph g = graph::read_csr(p);\n"
+            "  const auto load = graph::compute_csr_load(g);\n"
+            "}\n"),
+        "streaming-path-reference-ok": (
+            "src/x.cpp",
+            "// sc-lint: streaming-path\n"
+            "void inspect(const graph::StreamGraph& g) {\n"
+            "  use(g.num_nodes());\n"
+            "}\n"),
+        "streaming-path-body-ends": (
+            "src/x.cpp",
+            "// sc-lint: streaming-path\n"
+            "void ingest(const std::string& p) {\n"
+            "  const graph::CsrGraph g = graph::read_csr(p);\n"
+            "}\n"
+            "void cold(const std::string& p) {\n"
+            "  const auto graphs = graph::load_graphs(p);\n"
+            "}\n"),
+        "streaming-path-suppressed": (
+            "src/x.cpp",
+            "// sc-lint: streaming-path\n"
+            "void ingest(const std::string& p) {\n"
+            "  const auto graphs = graph::load_graphs(p);  "
+            "// sc-lint: allow(streaming-path)\n"
+            "}\n"),
+        "full-graph-outside-streaming-path": (
+            "src/x.cpp",
+            "void load(const std::string& p) {\n"
+            "  const auto graphs = graph::load_graphs(p);\n"
             "}\n"),
     }
     failures = []

@@ -43,8 +43,9 @@ inline gen::Setting parse_setting(const std::string& name) {
   if (name == "large") return gen::Setting::Large;
   if (name == "xlarge") return gen::Setting::XLarge;
   if (name == "excess") return gen::Setting::Excess;
-  SC_CHECK(false, "unknown setting '" << name
-                                      << "' (small|medium5|medium|large|xlarge|excess)");
+  if (name == "huge") return gen::Setting::Huge;
+  SC_CHECK(false, "unknown setting '"
+                      << name << "' (small|medium5|medium|large|xlarge|excess|huge)");
   return gen::Setting::Medium;
 }
 
