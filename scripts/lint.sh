@@ -1,8 +1,22 @@
 #!/usr/bin/env bash
-# Project lint entry point: self-checks the linter, then lints the tree.
+# Project lint entry point: self-checks both analyzers, then checks the tree.
 # Also available as the `lint` CMake target. Exits non-zero on any violation.
+#
+# sc_lint covers the single-line/single-body regex rules; sc_analyze covers
+# the call-graph rules (transitive allocation, reachable blocking I/O,
+# unchecked id narrowing, locks in shard loops). sc_analyze picks up
+# build/compile_commands.json when present for the exact TU list (and clang
+# frontend args, when libclang is available); without it the tokens frontend
+# scans src/ directly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 python3 tools/sc_lint.py --self-test
 python3 tools/sc_lint.py --root .
+
+python3 tools/sc_analyze.py --self-test
+if [ -f build/compile_commands.json ]; then
+  python3 tools/sc_analyze.py --root . --compile-commands build/compile_commands.json
+else
+  python3 tools/sc_analyze.py --root .
+fi

@@ -75,8 +75,8 @@ graph::StreamGraph TopologyBuilder::build() const {
         s.grouping == Grouping::Shuffle ? 1.0 / static_cast<double>(pt) : 1.0;
     for (std::size_t i = 0; i < pf; ++i) {
       for (std::size_t j = 0; j < pt; ++j) {
-        b.add_edge(first_instance[from] + static_cast<graph::NodeId>(i),
-                   first_instance[to] + static_cast<graph::NodeId>(j),
+        b.add_edge(first_instance[from] + graph::checked_node_id(i),
+                   first_instance[to] + graph::checked_node_id(j),
                    s.payload_bytes, rate_factor);
       }
     }
@@ -88,11 +88,11 @@ std::vector<graph::NodeId> TopologyBuilder::instances_of(const std::string& name
   const std::size_t target = index_of(name);
   graph::NodeId base = 0;
   for (std::size_t i = 0; i < target; ++i) {
-    base += static_cast<graph::NodeId>(operators_[i].parallelism);
+    base += graph::checked_node_id(operators_[i].parallelism);
   }
   std::vector<graph::NodeId> ids(operators_[target].parallelism);
   for (std::size_t k = 0; k < ids.size(); ++k) {
-    ids[k] = base + static_cast<graph::NodeId>(k);
+    ids[k] = base + graph::checked_node_id(k);
   }
   return ids;
 }

@@ -13,22 +13,26 @@
 // queue wakes every waiter; items still queued at close time are drained by
 // subsequent pop_batch calls (graceful drain), and only then does pop_batch
 // return 0.
+//
+// Lock discipline (compiler-checked under Clang, DESIGN.md §10): every slot
+// and cursor is guarded by `mutex_`; the ring vector itself is guarded too
+// (its *size* is immutable, but its slots are written under the lock), so
+// capacity() reports the separately stored `capacity_`.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace sc::common {
 
 template <typename T>
 class BoundedQueue {
 public:
-  explicit BoundedQueue(std::size_t capacity) : ring_(capacity) {
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity), ring_(capacity) {
     SC_CHECK(capacity > 0, "bounded queue capacity must be positive");
   }
 
@@ -38,11 +42,11 @@ public:
   /// Non-blocking push. Returns false (and leaves `item` unspecified-moved
   /// only on success) when the queue is full or closed.
   // sc-lint: serve-hot-path
-  bool try_push(T&& item) {
+  bool try_push(T&& item) SC_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || count_ == ring_.size()) return false;
-      ring_[(head_ + count_) % ring_.size()] = std::move(item);
+      MutexLock lock(mutex_);
+      if (closed_ || count_ == capacity_) return false;
+      ring_[(head_ + count_) % capacity_] = std::move(item);
       ++count_;
     }
     cv_.notify_one();
@@ -56,63 +60,65 @@ public:
   /// queue is closed and fully drained.
   // sc-lint: serve-hot-path
   std::size_t pop_batch(std::vector<T>& out, std::size_t max_items,
-                        std::chrono::microseconds window) {
+                        std::chrono::microseconds window) SC_EXCLUDES(mutex_) {
     if (max_items == 0) return 0;
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return count_ > 0 || closed_; });
-    if (count_ == 0) return 0;  // closed and drained
-
     std::size_t popped = 0;
-    const auto deadline = std::chrono::steady_clock::now() + window;
-    for (;;) {
-      while (count_ > 0 && popped < max_items) {
-        out.push_back(std::move(ring_[head_]));
-        head_ = (head_ + 1) % ring_.size();
-        --count_;
-        ++popped;
+    {
+      MutexLock lock(mutex_);
+      cv_.wait(mutex_, [&]() SC_REQUIRES(mutex_) { return count_ > 0 || closed_; });
+      if (count_ == 0) return 0;  // closed and drained
+
+      const auto deadline = std::chrono::steady_clock::now() + window;
+      for (;;) {
+        while (count_ > 0 && popped < max_items) {
+          out.push_back(std::move(ring_[head_]));
+          head_ = (head_ + 1) % capacity_;
+          --count_;
+          ++popped;
+        }
+        if (popped >= max_items || closed_ || window.count() <= 0) break;
+        if (cv_.wait_until(mutex_, deadline,
+                           [&]() SC_REQUIRES(mutex_) { return count_ > 0 || closed_; })) {
+          if (count_ == 0) break;  // woken by close
+          continue;                // more items arrived inside the window
+        }
+        break;  // window expired
       }
-      if (popped >= max_items || closed_ || window.count() <= 0) break;
-      if (cv_.wait_until(lock, deadline,
-                         [&] { return count_ > 0 || closed_; })) {
-        if (count_ == 0) break;  // woken by close
-        continue;                // more items arrived inside the window
-      }
-      break;  // window expired
     }
-    lock.unlock();
     cv_.notify_all();  // wake other consumers (and close() waiters)
     return popped;
   }
 
   /// Closes the queue: subsequent try_push calls fail, waiters wake, queued
   /// items remain poppable until drained.
-  void close() {
+  void close() SC_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const SC_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const SC_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return count_;
   }
 
-  std::size_t capacity() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
 
 private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<T> ring_;
-  std::size_t head_ = 0;
-  std::size_t count_ = 0;
-  bool closed_ = false;
+  const std::size_t capacity_;  ///< immutable; readable without the lock
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::vector<T> ring_ SC_GUARDED_BY(mutex_);
+  std::size_t head_ SC_GUARDED_BY(mutex_) = 0;
+  std::size_t count_ SC_GUARDED_BY(mutex_) = 0;
+  bool closed_ SC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace sc::common

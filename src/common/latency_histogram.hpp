@@ -11,6 +11,12 @@
 // record() is lock-free (one relaxed fetch_add per bucket plus count/sum
 // updates), so worker threads can share one histogram, or keep their own and
 // merge() at the end — both give identical totals.
+//
+// Lock discipline (DESIGN.md §10): every field is an atomic, so this class
+// deliberately carries no capability annotations — there is no mutex whose
+// discipline the thread-safety analysis could check. The cross-thread
+// contract (relaxed ops, quiescence requirement on merge()) is enforced by
+// the TSan job instead.
 #pragma once
 
 #include <array>

@@ -5,12 +5,17 @@
 #include <cstdio>
 #include <ctime>
 
+#include "common/thread_annotations.hpp"
+
 namespace sc::logging {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
-std::mutex g_write_mutex;
+/// Serializes the single fwrite per message so concurrent log lines never
+/// interleave mid-line (stderr is unbuffered, but fwrite is not atomic for
+/// arbitrary sizes on all libcs).
+Mutex g_write_mutex;
 
 }  // namespace
 
@@ -44,7 +49,7 @@ Message::~Message() {
   if (!enabled_) return;
   os_ << '\n';
   const std::string s = os_.str();
-  std::lock_guard lock(g_write_mutex);
+  MutexLock lock(g_write_mutex);
   std::fwrite(s.data(), 1, s.size(), stderr);
 }
 

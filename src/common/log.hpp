@@ -6,7 +6,6 @@
 // (benches expose a --verbose flag).
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
 

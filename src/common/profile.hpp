@@ -5,6 +5,9 @@
 // profiler. Each phase accumulates total nanoseconds and call counts into
 // global relaxed atomics; a disabled ScopedTimer costs one relaxed load and
 // reads no clock, so the timers can stay compiled into the hot path.
+//
+// Lock discipline (DESIGN.md §10): atomics only, no mutex, no capability
+// annotations — monotone counters tolerate any interleaving.
 #pragma once
 
 #include <array>

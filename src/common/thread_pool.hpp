@@ -3,17 +3,21 @@
 // Used to fan out simulator evaluations, dataset scoring and batched
 // linear algebra. Tasks must not throw across the pool boundary; any
 // exception is captured and rethrown on wait().
+//
+// Lock discipline (compiler-checked under Clang, DESIGN.md §10): all queue
+// and completion state is guarded by `mutex_`; the two condition variables
+// wait on it through sc::CondVar. Worker threads and submitters only touch
+// the guarded fields inside sc::MutexLock scopes.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace sc {
 
@@ -29,16 +33,17 @@ public:
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueue a task. Returns immediately.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) SC_EXCLUDES(mutex_);
 
   /// Block until all submitted tasks have finished. Rethrows the first
   /// captured task exception, if any.
-  void wait();
+  void wait() SC_EXCLUDES(mutex_);
 
   /// Run fn(i) for i in [0, n) across the pool, blocking until done.
   /// Falls back to serial execution for tiny n, and when called from a pool
   /// worker thread (a nested wait() on the owning pool would deadlock).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      SC_EXCLUDES(mutex_);
 
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
@@ -51,16 +56,19 @@ public:
   static bool in_worker();
 
 private:
-  void worker_loop();
+  void worker_loop() SC_EXCLUDES(mutex_);
 
+  /// Immutable after construction (the vector is filled in the constructor
+  /// before any thread can observe the pool) — deliberately unguarded.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
+
+  Mutex mutex_;
+  CondVar cv_task_;
+  CondVar cv_done_;
+  std::deque<std::function<void()>> queue_ SC_GUARDED_BY(mutex_);
+  std::size_t in_flight_ SC_GUARDED_BY(mutex_) = 0;
+  bool stop_ SC_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ SC_GUARDED_BY(mutex_);
 };
 
 }  // namespace sc

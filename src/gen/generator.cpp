@@ -193,14 +193,13 @@ std::pair<NodeId, NodeId> append_tile(Draft& d, const Draft& tile) {
   for (const auto& tn : tile.nodes) {
     d.nodes.push_back(Draft::DraftNode{group_off + tn.replica_group, false});
   }
-  graph::checked_node_id(d.nodes.size() - 1);
   d.next_group = group_off + tile.next_group;
   for (const auto& e : tile.edges) {
-    d.add_edge(static_cast<NodeId>(node_off + e.src),
-               static_cast<NodeId>(node_off + e.dst));
+    d.add_edge(graph::checked_node_id(node_off + e.src),
+               graph::checked_node_id(node_off + e.dst));
   }
   // Seed order within a tile: node 0 is the source, node 2 the sink.
-  return {static_cast<NodeId>(node_off), static_cast<NodeId>(node_off + 2)};
+  return {graph::checked_node_id(node_off), graph::checked_node_id(node_off + 2)};
 }
 
 /// Tiled composition (DESIGN.md §9): sequential stages of 1..max_parallel_tiles
@@ -343,11 +342,11 @@ graph::StreamGraph generate_graph(const GeneratorConfig& cfg, Rng& rng,
   std::unordered_map<std::uint64_t, double> group_payload;
   for (const auto& e : unique_edges) {
     // Replica groups are bounded by the node count (one new group per
-    // add_node), so the NodeId narrowing below cannot truncate once
-    // Draft::add_node id-checks the node count.
+    // add_node), so the checked narrowing below can only fail if add_node's
+    // own id check was bypassed.
     const std::uint64_t key =
-        graph::pack_edge_key(static_cast<NodeId>(d.nodes[e.src].replica_group),
-                             static_cast<NodeId>(d.nodes[e.dst].replica_group));
+        graph::pack_edge_key(graph::checked_node_id(d.nodes[e.src].replica_group),
+                             graph::checked_node_id(d.nodes[e.dst].replica_group));
     auto it = group_payload.find(key);
     double payload;
     if (it != group_payload.end()) {

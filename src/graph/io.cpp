@@ -126,7 +126,7 @@ StreamGraph read_graph(std::istream& is) {
     SC_CHECK(src < n && dst < n,
              "edge endpoint out of range in line '" << line << "' (graph has " << n
                                                     << " nodes)");
-    b.add_edge(static_cast<NodeId>(src), static_cast<NodeId>(dst), payload, rf);
+    b.add_edge(checked_node_id(src), checked_node_id(dst), payload, rf);
   }
 
   SC_CHECK(next_line(is, line), "unexpected EOF: expected 'end'");

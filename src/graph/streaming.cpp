@@ -288,7 +288,7 @@ CsrGraph read_csr(const std::string& path, StreamingReadStats* stats) {
     const double pay = parse_double_field(p, "edge payload", line);
     const double rf = parse_double_field(p, "edge rate_factor", line);
     const std::uint64_t slot = offsets[src]++;
-    dst[slot] = static_cast<NodeId>(dst_id);
+    dst[slot] = checked_node_id(dst_id);
     payload[slot] = static_cast<float>(pay);
     rate_factor[slot] = static_cast<float>(rf);
   }

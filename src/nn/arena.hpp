@@ -18,6 +18,11 @@
 // different thread than the one that allocated it simply parks on the
 // releasing thread's list. Per-thread lists are capped (node count and
 // bytes) so pathological workloads degrade to plain heap behaviour.
+//
+// Lock discipline (DESIGN.md §10): mutex-free by construction — the free
+// lists are thread_local (never shared), and the stats counters are relaxed
+// atomics. No capability annotations apply; the thread-ownership invariant
+// is covered by the TSan job, not the static analysis.
 #pragma once
 
 #include <cstdint>

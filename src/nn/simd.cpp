@@ -47,6 +47,10 @@ Tier detect_once() {
   return clamp(parse_tier(env), hw);
 }
 
+// Lock discipline (DESIGN.md §10): the tier cache is one relaxed atomic (plus
+// a magic-static Tier computed once); no mutex is ever held, so no capability
+// annotations apply. set_tier/active race benignly — readers observe either
+// tier, both of which are bit-identical by the kernel parity contract.
 std::atomic<int>& active_state() {
   static std::atomic<int> tier{static_cast<int>(detect())};
   return tier;

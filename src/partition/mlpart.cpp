@@ -46,7 +46,8 @@ SubGraph induce(const WeightedGraph& g, const std::vector<NodeId>& keep) {
   std::vector<double> weights;
   weights.reserve(keep.size());
   for (std::size_t i = 0; i < keep.size(); ++i) {
-    to_sub[keep[i]] = static_cast<NodeId>(i);
+    // i < keep.size() <= num_nodes, already inside the 32-bit id space.
+    to_sub[keep[i]] = static_cast<NodeId>(i);  // sc-lint: allow(unchecked-id-narrowing)
     weights.push_back(g.node_weight(keep[i]));
   }
   std::vector<WeightedEdge> edges;
@@ -68,7 +69,8 @@ std::vector<int> grow_bisection(const WeightedGraph& g, double target0, Rng& rng
   std::vector<bool> in0(n, false);
 
   double w0 = 0.0;
-  NodeId seed = static_cast<NodeId>(rng.index(n));
+  // rng.index(n) < n, already inside the 32-bit id space.
+  NodeId seed = static_cast<NodeId>(rng.index(n));  // sc-lint: allow(unchecked-id-narrowing)
   for (;;) {
     // Add `seed` (or the best boundary candidate) to part 0.
     part[seed] = 0;
@@ -190,7 +192,8 @@ void induce_into(const WeightedGraph& g, const std::vector<NodeId>& keep,
   ws.weight_buf.clear();
   if (ws.weight_buf.capacity() < keep.size()) ws.weight_buf.reserve(keep.size());
   for (std::size_t i = 0; i < keep.size(); ++i) {
-    ws.to_sub[keep[i]] = static_cast<NodeId>(i);
+    // i < keep.size() <= num_nodes, already inside the 32-bit id space.
+    ws.to_sub[keep[i]] = static_cast<NodeId>(i);  // sc-lint: allow(unchecked-id-narrowing)
     ws.weight_buf.push_back(g.node_weight(keep[i]));
   }
   ws.edge_buf.clear();
@@ -235,7 +238,8 @@ void grow_bisection_ws(const WeightedGraph& g, double target0, Rng& rng,
   NodeId fallback = 0;
 
   double w0 = 0.0;
-  NodeId seed = static_cast<NodeId>(rng.index(n));
+  // rng.index(n) < n, already inside the 32-bit id space.
+  NodeId seed = static_cast<NodeId>(rng.index(n));  // sc-lint: allow(unchecked-id-narrowing)
   for (;;) {
     part[seed] = 0;
     f.in0[seed] = 1;
@@ -267,7 +271,7 @@ void grow_bisection_ws(const WeightedGraph& g, double target0, Rng& rng,
       // unassigned id, exactly the legacy scan's choice among all-zero conn.
       while (fallback < n && f.in0[fallback] != 0) ++fallback;
       if (fallback >= n) break;  // everything assigned
-      best = static_cast<NodeId>(fallback);
+      best = fallback;  // already a NodeId; no narrowing
     }
     seed = best;
   }
@@ -524,7 +528,9 @@ const std::vector<int>& partition_attempt_ws(const WeightedGraph& g,
     Rng init_rng = rng.split();
     if (parallel_bisection_enabled() && !ThreadPool::in_worker() &&
         bisection_pool().size() > 1) {
-      recursive_bisect_parallel(bisection_pool(), *cur, std::span<const double>(fractions),
+      // The BFS driver allocates per-frontier job buffers — the price of
+      // fanning subtrees out across the pool; the serial path stays clean.
+      recursive_bisect_parallel(bisection_pool(), *cur, std::span<const double>(fractions),  // sc-lint: allow(transitive-alloc)
                                 opts.imbalance_eps, opts.bisection_trials,
                                 opts.refine_passes, init_rng, ws.identity, ws.part_a);
     } else {

@@ -268,17 +268,22 @@ std::vector<int> streaming_partition(const graph::CsrGraph& g, const graph::CsrL
                           out.coarse_weight.end());
     const graph::NodeId off = graph::checked_node_id(coarse_off[s]);
     for (const graph::WeightedEdge& e : out.intra_edges) {
-      coarse_edges.push_back({static_cast<graph::NodeId>(e.a + off),
-                              static_cast<graph::NodeId>(e.b + off), e.weight});
+      // Widen before adding: a 32-bit sum could wrap before a checked
+      // narrowing ever saw it.
+      coarse_edges.push_back(
+          {graph::checked_node_id(static_cast<std::uint64_t>(e.a) + off),
+           graph::checked_node_id(static_cast<std::uint64_t>(e.b) + off),
+           e.weight});
     }
   }
   for (std::size_t v = 0; v < n; ++v) {
-    supernode_of[v] =
-        static_cast<graph::NodeId>(supernode_of[v] + coarse_off[shard_of[v]]);
+    supernode_of[v] = graph::checked_node_id(
+        static_cast<std::uint64_t>(supernode_of[v]) + coarse_off[shard_of[v]]);
   }
   std::size_t cross_shard = 0;
   for (std::size_t v = 0; v < n; ++v) {
-    const graph::NodeId src = static_cast<graph::NodeId>(v);
+    // v < num_nodes, which the CsrGraph bounds to the 32-bit id space.
+    const graph::NodeId src = static_cast<graph::NodeId>(v);  // sc-lint: allow(unchecked-id-narrowing)
     std::uint64_t slot = g.out_offset(src);
     for (const graph::NodeId d : g.out(src)) {
       if (shard_of[v] != shard_of[d]) {
@@ -387,7 +392,8 @@ double csr_cut_weight(const graph::CsrGraph& g, const graph::CsrLoad& load,
            "partition size " << part.size() << " != node count " << g.num_nodes());
   double cut = 0.0;
   for (std::size_t v = 0; v < g.num_nodes(); ++v) {
-    const graph::NodeId src = static_cast<graph::NodeId>(v);
+    // v < num_nodes, which the CsrGraph bounds to the 32-bit id space.
+    const graph::NodeId src = static_cast<graph::NodeId>(v);  // sc-lint: allow(unchecked-id-narrowing)
     std::uint64_t slot = g.out_offset(src);
     for (const graph::NodeId d : g.out(src)) {
       if (part[v] != part[d]) cut += load.edge_traffic[slot];

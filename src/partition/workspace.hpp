@@ -10,6 +10,12 @@
 // the partitioner performs no steady-state heap allocations. The fast paths
 // are bit-identical to the legacy ones and sit behind runtime toggles (same
 // pattern as nn::arena / nn::fused) so benchmarks can A/B them honestly.
+//
+// Lock discipline (DESIGN.md §10): the retained workspaces are thread_local
+// (see workspace.cpp) and the toggles are relaxed atomics — no mutex, so no
+// capability annotations; the streaming shard loops that borrow per-thread
+// workspaces are additionally kept lock-free by the sc_analyze
+// lock-in-shard-loop rule.
 #pragma once
 
 #include <cstdint>

@@ -1,7 +1,5 @@
 #include "rl/episode_cache.hpp"
 
-#include <mutex>
-
 #include "common/error.hpp"
 
 namespace sc::rl {
@@ -41,7 +39,7 @@ std::optional<Episode> EpisodeCache::lookup(std::uint64_t key,
                                             const gnn::EdgeMask& mask) const {
   Shard& shard = shard_of(key);
   {
-    std::shared_lock lock(shard.mutex);
+    SharedReaderLock lock(shard.mutex);
     const auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       if (it->second.mask == mask) {
@@ -59,10 +57,10 @@ void EpisodeCache::insert(std::uint64_t key, Episode ep) {
   // Lock order: order_mutex_ first, then at most one shard at a time. Never
   // hold a shard lock while taking order_mutex_ (lookup takes only a shard
   // lock, so readers never interact with this ordering).
-  std::lock_guard<std::mutex> order_lock(order_mutex_);
+  MutexLock order_lock(order_mutex_);
   {
     Shard& shard = shard_of(key);
-    std::unique_lock lock(shard.mutex);
+    SharedWriterLock lock(shard.mutex);
     const auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       // Same key resident: overwrite in place (keeps its insertion slot). A
@@ -78,7 +76,7 @@ void EpisodeCache::insert(std::uint64_t key, Episode ep) {
     order_.pop_front();
     {
       Shard& shard = shard_of(victim);
-      std::unique_lock lock(shard.mutex);
+      SharedWriterLock lock(shard.mutex);
       shard.entries.erase(victim);
     }
     --size_;
@@ -86,7 +84,7 @@ void EpisodeCache::insert(std::uint64_t key, Episode ep) {
   }
   {
     Shard& shard = shard_of(key);
-    std::unique_lock lock(shard.mutex);
+    SharedWriterLock lock(shard.mutex);
     shard.entries.emplace(key, std::move(ep));
   }
   order_.push_back(key);
@@ -94,14 +92,14 @@ void EpisodeCache::insert(std::uint64_t key, Episode ep) {
 }
 
 std::size_t EpisodeCache::size() const {
-  std::lock_guard<std::mutex> lock(order_mutex_);
+  MutexLock lock(order_mutex_);
   return size_;
 }
 
 void EpisodeCache::clear() {
-  std::lock_guard<std::mutex> order_lock(order_mutex_);
+  MutexLock order_lock(order_mutex_);
   for (auto& shard : shards_) {
-    std::unique_lock lock(shard.mutex);
+    SharedWriterLock lock(shard.mutex);
     shard.entries.clear();
   }
   order_.clear();

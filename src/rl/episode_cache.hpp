@@ -31,9 +31,9 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
 #include "rl/rollout.hpp"
 
 namespace sc::rl {
@@ -64,7 +64,7 @@ public:
   /// Concurrent inserts of the same mask overwrite with identical data. At
   /// capacity the globally oldest entry (insertion order) is evicted first.
   /// Writers serialize on the order mutex; readers of other shards proceed.
-  void insert(std::uint64_t key, Episode ep);
+  void insert(std::uint64_t key, Episode ep) SC_EXCLUDES(order_mutex_);
 
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -73,13 +73,13 @@ public:
   std::uint64_t collisions() const { return collisions_.load(std::memory_order_relaxed); }
   std::uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const;
-  void clear();
+  std::size_t size() const SC_EXCLUDES(order_mutex_);
+  void clear() SC_EXCLUDES(order_mutex_);
 
 private:
   struct Shard {
-    mutable std::shared_mutex mutex;
-    std::unordered_map<std::uint64_t, Episode> entries;
+    mutable SharedMutex mutex;
+    std::unordered_map<std::uint64_t, Episode> entries SC_GUARDED_BY(mutex);
   };
 
   Shard& shard_of(std::uint64_t key) const {
@@ -90,11 +90,11 @@ private:
 
   mutable std::array<Shard, kNumShards> shards_;
   /// Guards order_ / size_ and serializes all mutations (see header comment).
-  mutable std::mutex order_mutex_;
+  mutable Mutex order_mutex_;
   /// Live keys in insertion order; each live key appears exactly once
   /// (overwrites of an existing key keep its original slot).
-  std::deque<std::uint64_t> order_;
-  std::size_t size_ = 0;  ///< total live entries, guarded by order_mutex_
+  std::deque<std::uint64_t> order_ SC_GUARDED_BY(order_mutex_);
+  std::size_t size_ SC_GUARDED_BY(order_mutex_) = 0;  ///< total live entries
   std::size_t capacity_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};

@@ -34,7 +34,7 @@ ServedContext::ServedContext(graph::StreamGraph g, const sim::ClusterSpec& s,
 std::shared_ptr<const TailResult> TailCache::lookup(std::uint64_t key,
                                                     const gnn::EdgeMask& mask) const {
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    SharedReaderLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end() && it->second->mask == mask) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -46,7 +46,7 @@ std::shared_ptr<const TailResult> TailCache::lookup(std::uint64_t key,
 }
 
 void TailCache::insert(std::uint64_t key, std::shared_ptr<const TailResult> result) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  SharedWriterLock lock(mutex_);
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     // Overwrite in place (covers the key-collision replacement) and keep the
@@ -119,7 +119,7 @@ std::shared_ptr<const ServedContext> ContextCache::acquire(graph::StreamGraph g,
                                                            const sim::ClusterSpec& spec) {
   const std::uint64_t key = fingerprint(g, spec);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       const auto& resident = it->second.context;
@@ -141,7 +141,7 @@ std::shared_ptr<const ServedContext> ContextCache::acquire(graph::StreamGraph g,
   // must not serialize unrelated requests.
   auto built = std::make_shared<const ServedContext>(std::move(g), spec, episode_capacity_);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     // A concurrent miss won the race; converge on the resident entry.
@@ -160,7 +160,7 @@ std::shared_ptr<const ServedContext> ContextCache::acquire(graph::StreamGraph g,
 }
 
 ContextCacheStats ContextCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ContextCacheStats s;
   s.hits = hits_;
   s.misses = misses_;
@@ -181,12 +181,12 @@ ContextCacheStats ContextCache::stats() const {
 }
 
 std::size_t ContextCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 void ContextCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
   hits_ = misses_ = evictions_ = collisions_ = 0;

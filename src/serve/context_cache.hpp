@@ -27,10 +27,9 @@
 #include <deque>
 #include <list>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
 #include "graph/stream_graph.hpp"
 #include "rl/episode_cache.hpp"
 #include "rl/rollout.hpp"
@@ -59,8 +58,10 @@ public:
   explicit TailCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
   std::shared_ptr<const TailResult> lookup(std::uint64_t key,
-                                           const gnn::EdgeMask& mask) const;
-  void insert(std::uint64_t key, std::shared_ptr<const TailResult> result);
+                                           const gnn::EdgeMask& mask) const
+      SC_EXCLUDES(mutex_);
+  void insert(std::uint64_t key, std::shared_ptr<const TailResult> result)
+      SC_EXCLUDES(mutex_);
 
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -68,9 +69,10 @@ public:
 
 private:
   std::size_t capacity_;
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const TailResult>> entries_;
-  std::deque<std::uint64_t> order_;  ///< FIFO eviction order
+  mutable SharedMutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const TailResult>> entries_
+      SC_GUARDED_BY(mutex_);
+  std::deque<std::uint64_t> order_ SC_GUARDED_BY(mutex_);  ///< FIFO eviction order
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
@@ -128,12 +130,13 @@ public:
   /// misses on the same fingerprint may build redundantly but converge on
   /// one resident entry.
   std::shared_ptr<const ServedContext> acquire(graph::StreamGraph g,
-                                               const sim::ClusterSpec& spec);
+                                               const sim::ClusterSpec& spec)
+      SC_EXCLUDES(mutex_);
 
-  ContextCacheStats stats() const;
+  ContextCacheStats stats() const SC_EXCLUDES(mutex_);
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const;
-  void clear();
+  std::size_t size() const SC_EXCLUDES(mutex_);
+  void clear() SC_EXCLUDES(mutex_);
 
 private:
   struct Entry {
@@ -143,13 +146,13 @@ private:
 
   std::size_t capacity_;
   std::size_t episode_capacity_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::list<std::uint64_t> lru_;  ///< front = most recently used
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t collisions_ = 0;
+  mutable Mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_ SC_GUARDED_BY(mutex_);
+  std::list<std::uint64_t> lru_ SC_GUARDED_BY(mutex_);  ///< front = most recently used
+  std::uint64_t hits_ SC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ SC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ SC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t collisions_ SC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace sc::serve

@@ -89,7 +89,7 @@ void AllocationService::finish_one(Pending& p, AllocResponse&& res) {
   completed_.fetch_add(1, std::memory_order_release);
   // Pairs with drain(): the empty critical section makes the increment
   // visible to a drainer that checked the predicate just before waiting.
-  { std::lock_guard<std::mutex> g(drain_mutex_); }
+  { MutexLock g(drain_mutex_); }
   drain_cv_.notify_all();
 }
 
@@ -225,8 +225,8 @@ void AllocationService::process_batch(std::vector<Pending>& batch) {
 }
 
 void AllocationService::drain() {
-  std::unique_lock<std::mutex> lock(drain_mutex_);
-  drain_cv_.wait(lock, [&] {
+  MutexLock lock(drain_mutex_);
+  drain_cv_.wait(drain_mutex_, [&] {
     return completed_.load(std::memory_order_acquire) >=
            accepted_.load(std::memory_order_acquire);
   });

@@ -26,16 +26,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bounded_queue.hpp"
+#include "common/thread_annotations.hpp"
 #include "gnn/policy.hpp"
 #include "graph/stream_graph.hpp"
 #include "rl/episode_cache.hpp"
@@ -116,7 +115,7 @@ public:
 
   /// Blocks until every accepted request has been responded to. Does not
   /// close admission (new submits keep landing); see stop() for shutdown.
-  void drain();
+  void drain() SC_EXCLUDES(drain_mutex_);
 
   /// Graceful shutdown: closes admission, drains queued requests, joins
   /// workers. Idempotent; called by the destructor.
@@ -156,8 +155,11 @@ private:
   std::atomic<std::uint64_t> max_batch_observed_{0};
   std::atomic<std::uint64_t> dedup_shared_{0};
 
-  std::mutex drain_mutex_;
-  std::condition_variable drain_cv_;
+  /// Guards no data of its own: completed_/accepted_ are atomics. The mutex
+  /// exists to make their updates visible to drain()'s predicate wait (the
+  /// empty critical section in finish_one pairs with the wait here).
+  Mutex drain_mutex_;
+  CondVar drain_cv_;
   std::atomic<bool> stopped_{false};
 };
 

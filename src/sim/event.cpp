@@ -101,7 +101,8 @@ double EventSimulator::throughput(const Placement& p) const {
     for (std::size_t v = 0; v < n; ++v) {
       double a = queue[v];
       const double out_per_tuple = g.op(v).selectivity;
-      for (const graph::EdgeId e : g.out_edges(static_cast<graph::NodeId>(v))) {
+      // v < num_nodes, which a StreamGraph bounds to the 32-bit id space.
+      for (const graph::EdgeId e : g.out_edges(static_cast<graph::NodeId>(v))) {  // sc-lint: allow(unchecked-id-narrowing)
         const double per_tuple = out_per_tuple * g.edge(e).rate_factor;
         if (per_tuple <= 0.0) continue;
         const double fill = crosses[e] ? link_pending[e]

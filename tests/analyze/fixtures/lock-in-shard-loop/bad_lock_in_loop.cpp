@@ -1,0 +1,28 @@
+// Fixture (bad): streaming-path shard loops that acquire a mutex per
+// iteration — a guard object in a range-for and a raw .lock() in a while.
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+// sc-lint: streaming-path
+void ingest_shards(std::vector<int>& shards, std::mutex& m, int& total) {
+  for (int s : shards) {
+    std::lock_guard<std::mutex> g(m);  // per-iteration acquisition
+    total += s;
+  }
+}
+
+// sc-lint: streaming-path
+void drain_shards(std::vector<int>& shards, std::mutex& m, int& total) {
+  std::size_t i = 0;
+  while (i < shards.size()) {
+    m.lock();  // raw per-iteration lock
+    total += shards[i];
+    m.unlock();
+    ++i;
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,31 @@
+// Fixture (good): the hoisted acquisition pattern, a justified allow, and a
+// per-iteration lock in an unmarked function (out of the rule's scope).
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+// sc-lint: streaming-path
+void ingest_shards(std::vector<int>& shards, std::mutex& m, int& total) {
+  std::lock_guard<std::mutex> g(m);  // one acquisition for the whole batch
+  for (int s : shards) {
+    total += s;
+  }
+}
+
+// sc-lint: streaming-path
+void merge_tail(std::vector<int>& shards, std::mutex& m, int& total) {
+  for (int s : shards) {
+    std::lock_guard<std::mutex> g(m);  // sc-lint: allow(lock-in-shard-loop)
+    total += s;
+  }
+}
+
+void unmarked(std::vector<int>& shards, std::mutex& m, int& total) {
+  for (int s : shards) {
+    std::lock_guard<std::mutex> g(m);
+    total += s;
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// Fixture (bad): the serve admission path reaches blocking file I/O through
+// an audit helper. sc_lint's serve-hot-path rule only sees the marked body;
+// this rule must follow submit -> audit to the fopen.
+#include <cstdio>
+
+namespace fx {
+
+void audit(const char* msg) {
+  std::FILE* f = fopen("audit.log", "a");
+  if (f != nullptr) {
+    std::fputs(msg, f);
+    std::fclose(f);
+  }
+}
+
+struct Request {
+  int id;
+};
+
+// sc-lint: serve-hot-path
+bool submit(const Request& r) {
+  audit("submit");
+  return r.id >= 0;
+}
+
+}  // namespace fx

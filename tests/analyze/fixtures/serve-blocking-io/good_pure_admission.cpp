@@ -1,0 +1,38 @@
+// Fixture (good): admission paths that stay on pure computation, plus an
+// explicitly waived edge to a slow helper.
+#include <cstdio>
+
+namespace fx {
+
+struct Request {
+  int id;
+};
+
+int priority(const Request& r) {
+  return r.id % 8;
+}
+
+void audit_slow(const Request& r) {
+  std::FILE* f = fopen("audit.log", "a");
+  if (f != nullptr) {
+    std::fprintf(f, "%d\n", r.id);
+    std::fclose(f);
+  }
+}
+
+// sc-lint: serve-hot-path
+bool submit(const Request& r) {
+  return priority(r) > 0;
+}
+
+// sc-lint: serve-hot-path
+bool submit_waived(const Request& r) {
+  audit_slow(r);  // sc-lint: allow(serve-blocking-io)
+  return true;
+}
+
+void cold_report(const Request& r) {
+  audit_slow(r);  // unmarked callers may block freely
+}
+
+}  // namespace fx

@@ -1,0 +1,25 @@
+// Fixture (bad): a hot-path function reaches an allocation through two
+// helpers. The marked body itself is clean — direct allocation is sc_lint's
+// no-vector-in-hot-path rule — so only a call-graph walk can see the `new`
+// at the bottom of kernel -> stage -> grow_buffer.
+#include <cstddef>
+
+namespace fx {
+
+int* grow_buffer(std::size_t n) {
+  return new int[n];  // the allocation the rule must reach
+}
+
+int stage(std::size_t n) {
+  int* p = grow_buffer(n);
+  const int head = p[0];
+  delete[] p;
+  return head;
+}
+
+// sc-lint: hot-path
+int kernel(std::size_t n) {
+  return stage(n);
+}
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Fixture (bad): a serve-hot-path admission function reaches a std::vector
+// value construction (the sc_lint definition of allocation) via a helper.
+#include <cstddef>
+#include <vector>
+
+namespace fx {
+
+struct Request {
+  int id;
+};
+
+std::vector<int> snapshot_queue() {
+  std::vector<int> copy(128);
+  return copy;
+}
+
+// sc-lint: serve-hot-path
+bool try_push(const Request& r) {
+  return snapshot_queue().size() > static_cast<std::size_t>(r.id);
+}
+
+}  // namespace fx

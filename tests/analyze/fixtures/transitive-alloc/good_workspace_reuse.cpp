@@ -1,0 +1,38 @@
+// Fixture (good): clean shapes the transitive-alloc rule must not flag —
+// workspace reuse through a helper, an allocating helper only cold paths
+// reach, and an explicitly waived call edge.
+#include <cstddef>
+#include <vector>
+
+namespace fx {
+
+struct Scratch {
+  std::vector<int> buf;
+};
+
+void reset_scratch(Scratch& s) {
+  s.buf.clear();  // reuse of existing capacity, not a construction
+}
+
+std::vector<int> make_table() {
+  std::vector<int> t(16);  // allocates, but only cold callers reach it
+  return t;
+}
+
+void cold_setup(Scratch& s) {
+  s.buf = make_table();
+}
+
+// sc-lint: hot-path
+int kernel(Scratch& s) {
+  reset_scratch(s);
+  return static_cast<int>(s.buf.size());
+}
+
+// sc-lint: hot-path
+int kernel_waived(Scratch& s) {
+  cold_setup(s);  // sc-lint: allow(transitive-alloc)
+  return 0;
+}
+
+}  // namespace fx

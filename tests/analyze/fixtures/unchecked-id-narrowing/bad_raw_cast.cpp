@@ -1,0 +1,23 @@
+// Fixture (bad): raw static_casts into the 32-bit id space — each one
+// truncates silently past 2^32 and must go through the checked helpers.
+#include <cstddef>
+#include <cstdint>
+
+namespace fx {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+NodeId bad_node(std::uint64_t v) {
+  return static_cast<NodeId>(v);
+}
+
+NodeId bad_qualified(std::size_t v) {
+  return static_cast<graph::NodeId>(v);
+}
+
+EdgeId bad_edge(std::size_t v) {
+  return static_cast<EdgeId>(v);
+}
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Fixture (good): range-checked narrowing, a justified allow, and casts to
+// unrelated types (out of the rule's scope).
+#include <cstdint>
+
+namespace fx {
+
+using NodeId = std::uint32_t;
+
+NodeId good_checked(std::uint64_t v) {
+  return graph::checked_node_id(v);
+}
+
+// Loop bound proven < 2^32 by the caller.
+NodeId good_allowed(std::uint64_t v) {
+  return static_cast<NodeId>(v);  // sc-lint: allow(unchecked-id-narrowing)
+}
+
+int unrelated_cast(std::uint64_t v) {
+  return static_cast<int>(v);
+}
+
+}  // namespace fx

@@ -1,0 +1,136 @@
+// Tests for common/thread_annotations.hpp: the annotated mutex wrappers must
+// behave exactly like the std primitives they forward to, and the annotation
+// macros must compile to no-ops on compilers without the capability
+// attributes (GCC builds this file with SC_THREAD_ANNOTATIONS_ENABLED == 0,
+// which is itself the proof — the CI Clang job proves the enforcing side).
+#include "common/thread_annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace sc {
+namespace {
+
+#if defined(__clang__)
+static_assert(SC_THREAD_ANNOTATIONS_ENABLED == 1,
+              "Clang builds must enforce the annotations");
+#else
+static_assert(SC_THREAD_ANNOTATIONS_ENABLED == 0,
+              "non-Clang builds must compile the annotations to no-ops");
+#endif
+
+// A guarded type exercising every macro the codebase uses. On GCC this
+// compiles because the macros expand to nothing; on Clang it compiles
+// because the lock discipline below is actually correct.
+class Counter {
+ public:
+  void add(int delta) SC_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    value_ += delta;
+  }
+
+  int read() const SC_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return value_;
+  }
+
+  void add_locked(int delta) SC_REQUIRES(mutex_) { value_ += delta; }
+
+  Mutex& mutex() SC_RETURN_CAPABILITY(mutex_) { return mutex_; }
+
+ private:
+  mutable Mutex mutex_;
+  int value_ SC_GUARDED_BY(mutex_) = 0;
+};
+
+TEST(ThreadAnnotations, MutexLockMutualExclusion) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIters; ++i) c.add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.read(), kThreads * kIters);
+}
+
+TEST(ThreadAnnotations, RequiresAnnotatedHelper) {
+  Counter c;
+  {
+    MutexLock lock(c.mutex());
+    c.add_locked(5);
+    c.add_locked(7);
+  }
+  EXPECT_EQ(c.read(), 12);
+}
+
+TEST(ThreadAnnotations, SharedMutexAllowsConcurrentReaders) {
+  // GUARDED_BY applies to members/globals only, so locals stay unannotated;
+  // the discipline is still exercised through the lock types themselves.
+  SharedMutex mu;
+  int value = 41;
+  std::atomic<int> concurrent_readers{0};
+  std::atomic<int> max_concurrent{0};
+  {
+    SharedWriterLock w(mu);
+    value = 42;
+  }
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      SharedReaderLock r(mu);
+      const int now = 1 + concurrent_readers.fetch_add(1);
+      int seen = max_concurrent.load();
+      while (now > seen && !max_concurrent.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      EXPECT_EQ(value, 42);
+      concurrent_readers.fetch_sub(1);
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  // With 4 readers each holding the shared lock for 20ms, at least two must
+  // have overlapped unless the scheduler serialized pathologically; require
+  // any overlap to prove the lock is genuinely shared.
+  EXPECT_GE(max_concurrent.load(), 2);
+}
+
+TEST(ThreadAnnotations, CondVarWaitAndNotify) {
+  Mutex mu;
+  bool ready = false;
+  CondVar cv;
+  int observed = 0;
+
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    cv.wait(mu, [&] { return ready; });
+    observed = 1;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(ThreadAnnotations, CondVarWaitForTimesOut) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const bool woke = cv.wait_for(mu, std::chrono::milliseconds(10),
+                                [] { return false; });
+  EXPECT_FALSE(woke);
+}
+
+}  // namespace
+}  // namespace sc
