@@ -45,6 +45,7 @@
 #include "nn/simd.hpp"
 #include "partition/allocate.hpp"
 #include "partition/streaming.hpp"
+#include "partition/workspace.hpp"
 
 namespace {
 
@@ -207,6 +208,16 @@ int validate_json(const std::string& path) {
       for (const auto& k : keys) found = found || k == required;
       if (!found) throw sc::Error(std::string("missing required key '") + required + "'");
     }
+    // Schema v2: the huge section must carry the interleaved A/B arms, the
+    // per-stage breakdown, and the ingest-pipeline counters.
+    for (const char* nested :
+         {"\"arms\"", "\"baseline\"", "\"pipelined\"", "\"speedup\"", "\"placements_hash\"",
+          "\"placements_identical\"", "\"stages\"", "\"pipeline\"", "\"ingest_chunks\"",
+          "\"ingest_queue_peak\"", "\"degree_queue_peak\"", "\"eviction_batches\""}) {
+      if (text.find(nested) == std::string::npos) {
+        throw sc::Error(std::string("missing schema-v2 key ") + nested);
+      }
+    }
   } catch (const std::exception& e) {
     std::cerr << "bench_huge: '" << path << "' is malformed: " << e.what() << '\n';
     return 1;
@@ -252,6 +263,40 @@ sc::sim::ClusterSpec huge_spec() {
   return sc::rl::to_cluster_spec(sc::gen::setting_config(sc::gen::Setting::Huge).workload);
 }
 
+/// Shard count pinned for every bench run: the auto heuristic scales with
+/// the pool size, which would make placements thread-count dependent and
+/// break the cross-thread bit-identity smoke in CI.
+constexpr std::size_t kBenchShards = 8;
+
+/// FNV-1a over the placement labels — a compact fingerprint for the
+/// cross-arm / cross-thread bit-identity assertions.
+std::uint64_t placement_hash(const std::vector<int>& placement) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const int p : placement) {
+    for (int b = 0; b < 4; ++b) {
+      h ^= static_cast<std::uint64_t>((static_cast<std::uint32_t>(p) >> (8 * b)) & 0xFFu);
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+/// Flips every toggle this bench A/Bs in one move. `on` = the pipelined
+/// production configuration; off = the serial baseline arm (the committed
+/// behavior before the pipelined-ingest/heap-FM/workspace-coarsen changes).
+void set_arm(bool on) {
+  sc::graph::parallel_ingest::set_enabled(on);
+  sc::partition::fm_heap::set_enabled(on);
+  sc::partition::coarsen_ws::set_enabled(on);
+  sc::partition::pipelined_streaming::set_enabled(on);
+}
+
 struct StreamingRun {
   double ingest_seconds = 0.0;
   double partition_seconds = 0.0;
@@ -260,12 +305,17 @@ struct StreamingRun {
   double cut = 0.0;
   double imbalance = 0.0;
   std::size_t devices_used = 0;
+  std::uint64_t hash = 0;
+  sc::graph::StreamingReadStats read_stats;
+  std::size_t degree_batches = 0;
+  std::size_t degree_queue_peak = 0;
   sc::partition::StreamingStats stats;
   std::vector<int> placement;
 };
 
 /// Streaming-path run over a serialized graph: bounded-buffer CSR ingest +
 /// out-of-core partition. Peak RSS covers exactly this function's body.
+/// Honors whatever arm set_arm() selected.
 // sc-lint: streaming-path
 StreamingRun run_streaming(const std::string& path, const sc::sim::ClusterSpec& spec,
                            bool rss_supported) {
@@ -273,15 +323,22 @@ StreamingRun run_streaming(const std::string& path, const sc::sim::ClusterSpec& 
   StreamingRun r;
   if (rss_supported) reset_peak_rss();
   const auto t0 = Clock::now();
-  const graph::CsrGraph g = graph::read_csr(path);
+  const partition::StreamingIngest ing = partition::streaming_read_csr(path);
+  const graph::CsrGraph& g = ing.graph;
   const graph::CsrLoad load = graph::compute_csr_load(g);
   r.ingest_seconds = seconds_since(t0);
+  r.read_stats = ing.read_stats;
+  r.degree_batches = ing.degree_batches;
+  r.degree_queue_peak = ing.degree_queue_peak;
   r.csr_mb = static_cast<double>(g.footprint_bytes()) / (1024.0 * 1024.0);
 
   const auto t1 = Clock::now();
   partition::StreamingOptions opts;
+  opts.num_shards = kBenchShards;
+  opts.undirected_degree = &ing.undirected_degree;
   r.placement = partition::streaming_allocate(g, spec, opts, &r.stats);
   r.partition_seconds = seconds_since(t1);
+  r.hash = placement_hash(r.placement);
 
   r.cut = partition::csr_cut_weight(g, load, r.placement);
   r.imbalance = partition::csr_imbalance(g, load, r.placement, spec.num_devices);
@@ -357,7 +414,38 @@ int main(int argc, char** argv) try {
             << " edges in " << metrics::Table::fmt(gen_huge.seconds, 1) << " s -> "
             << huge_path << "\n";
 
-  const StreamingRun huge = run_streaming(huge_path, spec, rss_supported);
+  // Interleaved min-of-N A/B: each repetition runs the serial baseline arm
+  // (every toggle off — the pre-pipelining behavior) and the pipelined arm
+  // back to back, so drift (page cache, frequency scaling) hits both arms
+  // equally. Timings take the per-arm minimum; placements must be
+  // bit-identical across every run of both arms.
+  const std::size_t reps = 2;
+  StreamingRun off_best;
+  StreamingRun huge;  // pipelined arm, the production configuration
+  double off_min_e2e = 0.0;
+  double on_min_e2e = 0.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    set_arm(false);
+    StreamingRun off = run_streaming(huge_path, spec, rss_supported);
+    set_arm(true);
+    StreamingRun on = run_streaming(huge_path, spec, rss_supported);
+    const double off_e2e = off.ingest_seconds + off.partition_seconds;
+    const double on_e2e = on.ingest_seconds + on.partition_seconds;
+    SC_CHECK(off.hash == on.hash,
+             "pipelined arm diverged from the serial baseline: placement hash "
+                 << hex64(on.hash) << " vs " << hex64(off.hash));
+    if (rep == 0 || off_e2e < off_min_e2e) {
+      off_min_e2e = off_e2e;
+      off_best = std::move(off);
+    }
+    if (rep == 0 || on_e2e < on_min_e2e) {
+      on_min_e2e = on_e2e;
+      huge = std::move(on);
+    }
+  }
+  SC_CHECK(off_best.hash == huge.hash, "placement hash drifted across repetitions");
+  const double speedup = on_min_e2e > 0.0 ? off_min_e2e / on_min_e2e : 1.0;
+
   // Documented bound: the streaming pipeline's working set is the CSR plus
   // load arrays, the undirected adjacency, the shard/coarse graphs and the
   // eviction heap — all linear in the CSR with small constants. 8x the CSR
@@ -366,11 +454,26 @@ int main(int argc, char** argv) try {
   // CSR before any partitioner state) would blow through it.
   const double rss_bound_mb = 8.0 * huge.csr_mb + 160.0;
   const bool rss_ok = !rss_supported || huge.peak_rss_mb <= rss_bound_mb;
-  std::cout << "  streaming  ingest " << metrics::Table::fmt(huge.ingest_seconds, 1)
+  std::cout << "  baseline   ingest " << metrics::Table::fmt(off_best.ingest_seconds, 1)
+            << " s, partition " << metrics::Table::fmt(off_best.partition_seconds, 1)
+            << " s (e2e " << metrics::Table::fmt(off_min_e2e, 1) << " s, min of " << reps
+            << ")\n";
+  std::cout << "  pipelined  ingest " << metrics::Table::fmt(huge.ingest_seconds, 1)
             << " s, partition " << metrics::Table::fmt(huge.partition_seconds, 1)
-            << " s, csr " << metrics::Table::fmt(huge.csr_mb, 1) << " MiB, peak rss "
-            << metrics::Table::fmt(huge.peak_rss_mb, 1) << " MiB (bound "
-            << metrics::Table::fmt(rss_bound_mb, 1) << ", "
+            << " s (e2e " << metrics::Table::fmt(on_min_e2e, 1) << " s, speedup "
+            << metrics::Table::fmt(speedup, 2) << "x, hash " << hex64(huge.hash) << ")\n";
+  std::cout << "  stages     stream " << metrics::Table::fmt(huge.stats.stage_stream_s, 1)
+            << " s, coarsen " << metrics::Table::fmt(huge.stats.stage_coarsen_s, 1)
+            << " s, partition " << metrics::Table::fmt(huge.stats.stage_partition_s, 1)
+            << " s, refine " << metrics::Table::fmt(huge.stats.stage_refine_s, 1) << " s\n";
+  std::cout << "  pipeline   chunks " << huge.read_stats.chunks << ", stitches "
+            << huge.read_stats.stitches << ", ingest q peak " << huge.read_stats.queue_peak
+            << ", degree batches " << huge.degree_batches << " (q peak "
+            << huge.degree_queue_peak << "), eviction batches "
+            << huge.stats.eviction_batches << "\n";
+  std::cout << "  memory     csr " << metrics::Table::fmt(huge.csr_mb, 1)
+            << " MiB, peak rss " << metrics::Table::fmt(huge.peak_rss_mb, 1)
+            << " MiB (bound " << metrics::Table::fmt(rss_bound_mb, 1) << ", "
             << (rss_ok ? "within" : "EXCEEDED") << ")\n";
   std::cout << "  quality    cut " << metrics::Table::fmt(huge.cut, 0) << ", imbalance "
             << metrics::Table::fmt(huge.imbalance, 3) << ", devices " << huge.devices_used
@@ -402,13 +505,44 @@ int main(int argc, char** argv) try {
   std::ofstream os(out);
   SC_CHECK(os.good(), "cannot open output file '" << out << "'");
   os << "{\n"
-     << "  \"schema_version\": 1,\n"
+     << "  \"schema_version\": 2,\n"
      << "  \"tiny\": " << (tiny ? "true" : "false") << ",\n"
      << "  \"seed\": " << args.seed << ",\n"
      << "  \"huge\": {\n"
      << "    \"nodes\": " << gen_huge.nodes << ",\n"
      << "    \"edges\": " << gen_huge.edges << ",\n"
      << "    \"gen_seconds\": " << json_num(gen_huge.seconds) << ",\n"
+     << "    \"reps\": " << reps << ",\n"
+     << "    \"arms\": {\n"
+     << "      \"baseline\": {\n"
+     << "        \"ingest_seconds\": " << json_num(off_best.ingest_seconds) << ",\n"
+     << "        \"partition_seconds\": " << json_num(off_best.partition_seconds) << ",\n"
+     << "        \"total_seconds\": " << json_num(off_min_e2e) << "\n"
+     << "      },\n"
+     << "      \"pipelined\": {\n"
+     << "        \"ingest_seconds\": " << json_num(huge.ingest_seconds) << ",\n"
+     << "        \"partition_seconds\": " << json_num(huge.partition_seconds) << ",\n"
+     << "        \"total_seconds\": " << json_num(on_min_e2e) << "\n"
+     << "      }\n"
+     << "    },\n"
+     << "    \"speedup\": " << json_num(speedup) << ",\n"
+     << "    \"placements_hash\": \"" << hex64(huge.hash) << "\",\n"
+     << "    \"placements_identical\": true,\n"
+     << "    \"stages\": {\n"
+     << "      \"stream_s\": " << json_num(huge.stats.stage_stream_s) << ",\n"
+     << "      \"coarsen_s\": " << json_num(huge.stats.stage_coarsen_s) << ",\n"
+     << "      \"partition_s\": " << json_num(huge.stats.stage_partition_s) << ",\n"
+     << "      \"refine_s\": " << json_num(huge.stats.stage_refine_s) << "\n"
+     << "    },\n"
+     << "    \"pipeline\": {\n"
+     << "      \"ingest_chunks\": " << huge.read_stats.chunks << ",\n"
+     << "      \"ingest_stitches\": " << huge.read_stats.stitches << ",\n"
+     << "      \"ingest_queue_peak\": " << huge.read_stats.queue_peak << ",\n"
+     << "      \"degree_batches\": " << huge.degree_batches << ",\n"
+     << "      \"degree_queue_peak\": " << huge.degree_queue_peak << ",\n"
+     << "      \"eviction_batches\": " << huge.stats.eviction_batches << ",\n"
+     << "      \"refine_spec_blocks\": " << huge.stats.refine_spec_blocks << "\n"
+     << "    },\n"
      << "    \"ingest_seconds\": " << json_num(huge.ingest_seconds) << ",\n"
      << "    \"partition_seconds\": " << json_num(huge.partition_seconds) << ",\n"
      << "    \"csr_mb\": " << json_num(huge.csr_mb) << ",\n"

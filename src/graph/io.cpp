@@ -14,8 +14,10 @@ namespace sc::graph {
 
 namespace {
 
-// Reads the next non-empty, non-comment line; returns false at EOF.
-bool next_line(std::istream& is, std::string& line) {
+// Reads the next non-empty, non-comment line; returns false at EOF. Named
+// apart from BoundedLineScanner::next_line so sc_analyze's name-resolved
+// call graph never wires the streaming reader to this istream helper.
+bool next_text_line(std::istream& is, std::string& line) {
   while (std::getline(is, line)) {
     const auto pos = line.find_first_not_of(" \t\r");
     if (pos == std::string::npos) continue;
@@ -88,7 +90,7 @@ void write_graph(std::ostream& os, const StreamGraph& g) {
 
 StreamGraph read_graph(std::istream& is) {
   std::string line, token, name;
-  SC_CHECK(next_line(is, line), "unexpected EOF: expected 'streamgraph'");
+  SC_CHECK(next_text_line(is, line), "unexpected EOF: expected 'streamgraph'");
   {
     std::istringstream ls(line);
     ls >> token >> name;
@@ -97,10 +99,10 @@ StreamGraph read_graph(std::istream& is) {
   }
   GraphBuilder b(name);
 
-  SC_CHECK(next_line(is, line), "unexpected EOF: expected 'nodes'");
+  SC_CHECK(next_text_line(is, line), "unexpected EOF: expected 'nodes'");
   const std::size_t n = parse_count_header(line, "nodes");
   for (std::size_t i = 0; i < n; ++i) {
-    SC_CHECK(next_line(is, line),
+    SC_CHECK(next_text_line(is, line),
              "unexpected EOF in node list: got " << i << " of " << n << " nodes");
     std::istringstream ls(line);
     double ipt = 0, sel = 0;
@@ -110,10 +112,10 @@ StreamGraph read_graph(std::istream& is) {
     b.add_node(ipt, sel);
   }
 
-  SC_CHECK(next_line(is, line), "unexpected EOF: expected 'edges'");
+  SC_CHECK(next_text_line(is, line), "unexpected EOF: expected 'edges'");
   const std::size_t m = parse_count_header(line, "edges");
   for (std::size_t i = 0; i < m; ++i) {
-    SC_CHECK(next_line(is, line),
+    SC_CHECK(next_text_line(is, line),
              "unexpected EOF in edge list: got " << i << " of " << m << " edges");
     std::istringstream ls(line);
     std::string src_tok, dst_tok;
@@ -129,7 +131,7 @@ StreamGraph read_graph(std::istream& is) {
     b.add_edge(checked_node_id(src), checked_node_id(dst), payload, rf);
   }
 
-  SC_CHECK(next_line(is, line), "unexpected EOF: expected 'end'");
+  SC_CHECK(next_text_line(is, line), "unexpected EOF: expected 'end'");
   {
     std::istringstream ls(line);
     ls >> token;

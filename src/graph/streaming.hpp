@@ -17,6 +17,10 @@
 
 #include "graph/types.hpp"
 
+namespace sc {
+class ThreadPool;
+}  // namespace sc
+
 namespace sc::graph {
 
 /// Immutable compressed out-CSR stream graph. Edge slot `s` of node `v`
@@ -68,19 +72,74 @@ private:
   std::string name_;
 };
 
+/// Toggle for the pipelined chunk-parallel reader in read_csr (background
+/// reader thread + worker-parallel record parsing + single-pass CSR fill).
+/// Default: enabled. Off = the legacy serial two-pass scanner. Both arms
+/// produce bit-identical CsrGraphs and fail on the same malformed line.
+namespace parallel_ingest {
+/// Toggles the pipelined reader (returns the previous setting).
+bool set_enabled(bool enabled);
+bool enabled();
+}  // namespace parallel_ingest
+
+/// Test knob: byte size of one pipelined ingest chunk (0 restores the
+/// default, which equals the serial reader's 256 KiB buffer). Tiny chunks
+/// force every line to stitch across a chunk boundary, which is exactly what
+/// the chunked-scanner edge-case tests want to exercise.
+void set_ingest_chunk_bytes(std::size_t bytes);
+
+/// Test knob: pool used by the pipelined reader for parse workers and the
+/// CSR scatter (nullptr restores ThreadPool::global()). Returns the previous
+/// override. Lets identity tests pin 1/2/8-worker pools without touching the
+/// global pool configuration.
+ThreadPool* set_ingest_pool(ThreadPool* pool);
+
 /// Ingest accounting for the buffered reader.
 struct StreamingReadStats {
-  std::size_t bytes_read = 0;    ///< total bytes consumed across both passes
-  std::size_t passes = 0;        ///< file passes performed (2: count, fill)
-  std::size_t buffer_bytes = 0;  ///< size of the single bounded I/O buffer
+  std::size_t bytes_read = 0;    ///< total bytes consumed across all passes
+  std::size_t passes = 0;        ///< file passes (serial: 2; pipelined: 1)
+  std::size_t buffer_bytes = 0;  ///< I/O buffer (serial) or chunk size
+  // Pipelined-reader pipeline stats (all 0 on the serial path).
+  std::size_t chunks = 0;        ///< chunks pushed through the parse queue
+  std::size_t stitches = 0;      ///< chunk boundaries that split a line
+  std::size_t queue_peak = 0;    ///< parse-queue depth high-water mark
+};
+
+/// One parsed, validated edge record, delivered in file order.
+struct CsrEdgeRec {
+  NodeId src;
+  NodeId dst;
+  float payload;
+  float rate_factor;
+};
+
+/// Consumer hook for ingest/partition overlap (DESIGN.md §9): read_csr
+/// delivers every validated edge exactly once, in file order, as a sequence
+/// of batches numbered 0,1,2,… — always from the single commit thread, while
+/// parse workers race ahead on later chunks. Batch *boundaries* depend on
+/// the reader arm and chunk size; the concatenated record stream does not.
+class IngestSink {
+public:
+  virtual ~IngestSink() = default;
+  virtual void on_edge_batch(std::uint64_t seq, std::span<const CsrEdgeRec> edges) = 0;
 };
 
 /// Reads the FIRST serialized stream graph of `path` (io.hpp format) into a
-/// compressed CSR. Two bounded-buffer passes: pass 1 validates the records
-/// and counts out-degrees, pass 2 fills the CSR slots in place — transient
-/// memory is one fixed-size I/O buffer, and header counts are validated
-/// against both the ingest cap and the file size BEFORE any allocation.
-CsrGraph read_csr(const std::string& path, StreamingReadStats* stats = nullptr);
+/// compressed CSR. Header counts are validated against both the ingest cap
+/// and the file size BEFORE any allocation.
+///
+/// Serial arm (parallel_ingest off): two bounded-buffer passes — pass 1
+/// validates the records and counts out-degrees, pass 2 fills the CSR slots
+/// in place; transient memory is one fixed-size I/O buffer.
+///
+/// Pipelined arm (default): one file pass — a background reader thread
+/// splits the byte stream into stitched line chunks, pool workers parse the
+/// records, and the calling thread commits results in sequence order, so
+/// errors surface for the same (earliest) malformed line as the serial arm;
+/// transient memory additionally holds the parsed edges in file order
+/// (16 bytes/edge) until they are scattered into CSR slot order.
+CsrGraph read_csr(const std::string& path, StreamingReadStats* stats = nullptr,
+                  IngestSink* sink = nullptr);
 
 /// Unit-rate loads over a CsrGraph — the same propagation recurrences as
 /// compute_load_profile (rates.hpp) evaluated over the compressed layout:

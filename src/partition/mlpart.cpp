@@ -721,6 +721,31 @@ std::vector<NodeId> MultilevelPartitioner::coarsen_to(const WeightedGraph& g,
   // node per level — quadratic time and a useless coarse graph.
   const double match_cap = 3.0 * g.total_node_weight() / static_cast<double>(target_nodes);
 
+  if (coarsen_ws::enabled()) {
+    // Workspace path: the matching/contraction pair reuses per-thread
+    // scratch and the coarse graphs ping-pong through two retained levels,
+    // so a deep coarsen (1M -> thousands, 100+ levels) stops allocating a
+    // matching, a Contraction and a coarse graph per level. Bit-identical to
+    // the allocating loop below: same rng stream, same no-progress rule,
+    // same map composition.
+    PartitionWorkspace& ws = PartitionWorkspace::local();
+    PartitionWorkspace::Level& a = ws.level(0);
+    PartitionWorkspace::Level& b = ws.level(1);
+    const WeightedGraph* cur = &g;
+    bool into_a = true;
+    while (cur->num_nodes() > target_nodes) {
+      heavy_edge_matching_ws(*cur, rng, ws.match, match_cap);
+      PartitionWorkspace::Level& lvl = into_a ? a : b;
+      contract_matching_ws(*cur, ws.match.match, ws.weight_buf, ws.edge_buf, ws.dedup,
+                           lvl.map, lvl.coarse);
+      if (lvl.coarse.num_nodes() == cur->num_nodes()) break;  // no progress
+      for (NodeId v = 0; v < map.size(); ++v) map[v] = lvl.map[map[v]];
+      cur = &lvl.coarse;
+      into_a = !into_a;
+    }
+    return map;
+  }
+
   WeightedGraph cur_store;
   const WeightedGraph* cur = &g;
   while (cur->num_nodes() > target_nodes) {

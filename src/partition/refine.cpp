@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <utility>
 
 #include "common/error.hpp"
 #include "partition/metrics.hpp"
@@ -38,11 +39,17 @@ namespace {
 constexpr std::size_t kNumBuckets = 4096;
 constexpr std::int32_t kNil = -1;
 
-int gain_bucket(double gain) {
-  std::uint64_t bits = std::bit_cast<std::uint64_t>(gain);
-  bits = (bits & 0x8000000000000000ULL) != 0 ? ~bits : (bits | 0x8000000000000000ULL);
-  return static_cast<int>(bits >> 52);
+/// Order-preserving 64-bit pattern of a gain: a > b iff key(a) > key(b).
+std::uint64_t gain_key_bits(double gain) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(gain);
+  return (bits & 0x8000000000000000ULL) != 0 ? ~bits : (bits | 0x8000000000000000ULL);
 }
+
+int gain_bucket(double gain) { return static_cast<int>(gain_key_bits(gain) >> 52); }
+
+/// Lazy-heap entry: (gain key, ~id) so the max-heap order is gain descending
+/// with ties broken toward the LOWEST node id — the legacy scan's choice.
+using HeapEntry = std::pair<std::uint64_t, std::uint32_t>;
 
 struct FmScratch {
   std::vector<double> gain;
@@ -62,6 +69,11 @@ struct FmScratch {
   std::vector<NodeId> adj_nbr;
   std::vector<double> adj_w;
   const WeightedGraph* bound = nullptr;
+  // Lazy-heap selection storage (fm_heap variant): `heap` holds live and
+  // stale entries, `stash` parks fresh-but-balance-ineligible entries popped
+  // while hunting for the step's pick.
+  std::vector<HeapEntry> heap;
+  std::vector<HeapEntry> stash;
 
   void reset(std::size_t n) {
     gain.resize(n);  // every entry is overwritten before its first read
@@ -274,6 +286,144 @@ double fm_refine_bisection_buckets(const WeightedGraph& g, std::vector<int>& par
         if (gain_bucket(s.gain[u]) != s.bucket_of[u]) {
           s.remove(u);
           s.insert(u);
+        }
+      }
+      const bool feasible = side_w[0] <= cap0 + 1e-12 && side_w[1] <= cap1 + 1e-12;
+      if (feasible && running < best_cut - 1e-12) {
+        best_cut = running;
+        best_prefix = s.moves.size();
+      }
+    }
+
+    for (std::size_t i = s.moves.size(); i > best_prefix; --i) {
+      const NodeId v = s.moves[i - 1];
+      const int from = part[v];
+      const int to = 1 - from;
+      side_w[from] -= g.node_weight(v);
+      side_w[to] += g.node_weight(v);
+      part[v] = to;
+    }
+
+    if (best_cut >= cut - 1e-12) {
+      cut = best_cut;
+      break;
+    }
+    cut = best_cut;
+  }
+  return cut;
+}
+
+/// Lazy-heap FM pass (the fm_heap variant): the same prologue, rollback and
+/// convergence logic as fm_refine_bisection_buckets, but each step's best
+/// move comes from a max-heap of (gain key, ~id) entries with lazy
+/// invalidation instead of a scan of the topmost occupied gain bucket.
+///
+/// Decision identity: every unlocked node always owns at least one FRESH
+/// entry (key == gain_key_bits of its current gain) — seeded at pass start,
+/// re-pushed whenever a neighbor update changes the key, and restored from
+/// the stash when a pop finds it balance-ineligible. Pops arrive in globally
+/// decreasing key order, so the first fresh, unlocked, balance-eligible pop
+/// IS the (max gain, lowest id) choice of the legacy scan. Stale entries
+/// (key mismatch) and locked nodes' entries are discarded on pop; an ABA
+/// re-push (gain returns to an old value) merely duplicates an identical
+/// key, which cannot change the argmax. Per-step cost is
+/// O((stale + stash + 1) log n) against the bucket scan's O(population of
+/// the top bucket) — the dominant cost on bisection-heavy coarse graphs.
+// sc-lint: hot-path
+double fm_refine_bisection_heap(const WeightedGraph& g, std::vector<int>& part,
+                                double target0, double eps, std::size_t max_passes,
+                                FmScratch& s) {
+  const std::size_t n = g.num_nodes();
+  const double total = g.total_node_weight();
+  const double target1 = total - target0;
+  double max_node_w = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_node_w = std::max(max_node_w, g.node_weight(v));
+  }
+  const double cap0 = (1.0 + eps) * std::max(target0, 1e-12);
+  const double cap1 = (1.0 + eps) * std::max(target1, 1e-12);
+  const double explore0 = std::max(cap0, target0 + max_node_w);
+  const double explore1 = std::max(cap1, target1 + max_node_w);
+
+  double side_w[2] = {0.0, 0.0};
+  for (NodeId v = 0; v < n; ++v) side_w[part[v]] += g.node_weight(v);
+
+  double cut = cut_weight(g, part);
+
+  if (s.bound != &g) flatten_adjacency(g, s);
+
+  const auto recompute_gain = [&](NodeId v) {
+    const int pv = part[v];
+    double gv = 0.0;
+    for (std::int32_t i = s.adj_off[v]; i < s.adj_off[v + 1]; ++i) {
+      const double w = s.adj_w[static_cast<std::size_t>(i)];
+      gv += (part[s.adj_nbr[static_cast<std::size_t>(i)]] != pv) ? w : -w;
+    }
+    s.gain[v] = gv;
+  };
+
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    s.gain.resize(n);  // every entry is overwritten before its first read
+    s.locked.assign(n, 0);
+    s.moves.clear();
+    if (s.moves.capacity() < n) s.moves.reserve(n);
+    s.heap.clear();
+    if (s.heap.capacity() < n) s.heap.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      recompute_gain(v);
+      s.heap.push_back({gain_key_bits(s.gain[v]), ~static_cast<std::uint32_t>(v)});
+    }
+    std::make_heap(s.heap.begin(), s.heap.end());
+    double best_cut = cut;
+    std::size_t best_prefix = 0;
+    double running = cut;
+
+    for (std::size_t step = 0; step < n; ++step) {
+      NodeId pick = graph::kInvalidNode;
+      double pick_gain = 0.0;
+      s.stash.clear();
+      while (!s.heap.empty()) {
+        std::pop_heap(s.heap.begin(), s.heap.end());
+        const HeapEntry top = s.heap.back();
+        s.heap.pop_back();
+        // Heap entries encode node indices (< n) by construction.
+        const NodeId v = static_cast<NodeId>(~top.second);  // sc-lint: allow(unchecked-id-narrowing)
+        if (s.locked[v] != 0 || top.first != gain_key_bits(s.gain[v])) {
+          continue;  // locked or stale: a fresher entry (or none) supersedes it
+        }
+        const int to = 1 - part[v];
+        const double new_w = side_w[to] + g.node_weight(v);
+        if ((to == 0 ? new_w > explore0 : new_w > explore1)) {
+          s.stash.push_back(top);  // still fresh; only ineligible THIS step
+          continue;
+        }
+        pick = v;
+        pick_gain = s.gain[v];
+        break;
+      }
+      for (const HeapEntry& e : s.stash) {
+        s.heap.push_back(e);
+        std::push_heap(s.heap.begin(), s.heap.end());
+      }
+      if (pick == graph::kInvalidNode) break;
+
+      const int from = part[pick];
+      const int to = 1 - from;
+      side_w[from] -= g.node_weight(pick);
+      side_w[to] += g.node_weight(pick);
+      part[pick] = to;
+      s.locked[pick] = 1;
+      running -= pick_gain;
+      s.moves.push_back(pick);
+      for (std::int32_t i = s.adj_off[pick]; i < s.adj_off[pick + 1]; ++i) {
+        const NodeId u = s.adj_nbr[static_cast<std::size_t>(i)];
+        if (s.locked[u] != 0) continue;
+        const std::uint64_t old_key = gain_key_bits(s.gain[u]);
+        recompute_gain(u);
+        const std::uint64_t new_key = gain_key_bits(s.gain[u]);
+        if (new_key != old_key) {
+          s.heap.push_back({new_key, ~static_cast<std::uint32_t>(u)});
+          std::push_heap(s.heap.begin(), s.heap.end());
         }
       }
       const bool feasible = side_w[0] <= cap0 + 1e-12 && side_w[1] <= cap1 + 1e-12;
@@ -517,6 +667,10 @@ double fm_refine_bisection(const WeightedGraph& g, std::vector<int>& part,
                            double target0, double eps, std::size_t max_passes) {
   SC_CHECK(part.size() == g.num_nodes(), "partition size mismatch");
   if (fm_buckets::enabled()) {
+    if (fm_heap::enabled()) {
+      return fm_refine_bisection_heap(g, part, target0, eps, max_passes,
+                                      FmScratch::local());
+    }
     return fm_refine_bisection_buckets(g, part, target0, eps, max_passes,
                                        FmScratch::local());
   }

@@ -1,20 +1,48 @@
 #include "partition/streaming.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <exception>
 #include <queue>
+#include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/bounded_queue.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "graph/weighted_graph.hpp"
 
 namespace sc::partition {
 
+namespace pipelined_streaming {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool set_enabled(bool enabled) { return g_enabled.exchange(enabled, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+}  // namespace pipelined_streaming
+
 namespace {
 
 constexpr std::uint32_t kUnassigned = 0xFFFFFFFFu;
+
+/// Fixed speculation-block count for the pipelined refinement sweeps. A
+/// constant (rather than the pool size) keeps the recorded candidate layout
+/// — and with it the commit replay — identical on every machine; the commit
+/// is exact regardless, this just makes the intermediate state stable too.
+constexpr std::size_t kRefineSpecBlocks = 8;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
 
 /// splitmix64-style finalizer: decorrelates per-shard coarsening seeds from
 /// the base seed so results are a pure function of (seed, shard), never of
@@ -34,16 +62,29 @@ struct UndirectedCsr {
   std::vector<double> w;
 };
 
-UndirectedCsr build_undirected(const graph::CsrGraph& g, const graph::CsrLoad& load) {
+UndirectedCsr build_undirected(const graph::CsrGraph& g, const graph::CsrLoad& load,
+                               const std::vector<std::uint64_t>* degree) {
   const std::size_t n = g.num_nodes();
   UndirectedCsr u;
   u.off.assign(n + 1, 0);
-  for (std::size_t v = 0; v < n; ++v) {
-    const auto targets = g.out(graph::checked_node_id(v));
-    u.off[v + 1] += targets.size();
-    for (const graph::NodeId d : targets) ++u.off[static_cast<std::size_t>(d) + 1];
+  if (degree != nullptr) {
+    // Counts accumulated during ingest (streaming_read_csr); same per-node
+    // sums as the counting pass below, just computed while the file was
+    // still being read.
+    SC_CHECK(degree->size() == n, "undirected_degree has " << degree->size()
+                                                           << " entries, graph has " << n
+                                                           << " nodes");
+    for (std::size_t v = 0; v < n; ++v) u.off[v + 1] = (*degree)[v];
+  } else {
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto targets = g.out(graph::checked_node_id(v));
+      u.off[v + 1] += targets.size();
+      for (const graph::NodeId d : targets) ++u.off[static_cast<std::size_t>(d) + 1];
+    }
   }
   for (std::size_t v = 0; v < n; ++v) u.off[v + 1] += u.off[v];
+  SC_CHECK(u.off[n] == 2 * g.num_edges(),
+           "undirected slot total " << u.off[n] << " != 2m = " << 2 * g.num_edges());
   u.nbr.resize(u.off[n]);
   u.w.resize(u.off[n]);
   for (std::size_t v = 0; v < n; ++v) {
@@ -94,7 +135,125 @@ struct ShardCoarse {
   std::vector<graph::WeightedEdge> intra_edges;   ///< local coarse endpoints
 };
 
+/// IngestSink forwarding committed edge batches through a bounded queue to a
+/// background accumulator that bumps per-endpoint undirected degree counts.
+///
+/// Determinism: degree counting is commutative addition, so the final counts
+/// depend only on the committed edge multiset — identical for any batch
+/// boundary layout, queue capacity, or interleaving. Delivery order is still
+/// asserted (sequence numbers are contiguous from 0) to catch protocol
+/// regressions in the ingest committer.
+///
+/// Thread discipline: the producer side (on_edge_batch, called from the
+/// single ingest committer thread) owns next_seq_/batches_/peak_; the
+/// accumulator thread owns degree_/error_ until finish() joins it. The only
+/// shared structure is the internally locked common::BoundedQueue, and
+/// finish()'s join provides the happens-before for reading the accumulator's
+/// state afterwards — no extra locking needed.
+class DegreeSink final : public graph::IngestSink {
+public:
+  DegreeSink() : q_(kQueueCapacity) {
+    worker_ = std::thread([this] { drain(); });
+  }
+
+  DegreeSink(const DegreeSink&) = delete;
+  DegreeSink& operator=(const DegreeSink&) = delete;
+
+  ~DegreeSink() override {
+    q_.close();
+    if (worker_.joinable()) worker_.join();
+  }
+
+  void on_edge_batch(std::uint64_t seq, std::span<const graph::CsrEdgeRec> edges) override {
+    SC_CHECK(seq == next_seq_, "edge batch " << seq << " delivered out of sequence (expected "
+                                             << next_seq_ << ")");
+    ++next_seq_;
+    ++batches_;
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> batch;
+    batch.reserve(edges.size());
+    for (const graph::CsrEdgeRec& e : edges) batch.emplace_back(e.src, e.dst);
+    // try_push leaves `batch` intact on failure, so spinning on the same
+    // object is safe. A closed queue means the accumulator died; stop
+    // feeding it and let finish() surface the stored error.
+    while (!q_.try_push(std::move(batch))) {
+      if (q_.closed()) return;
+      std::this_thread::yield();
+    }
+    peak_ = std::max(peak_, q_.size());
+  }
+
+  /// Joins the accumulator and returns the per-node counts, resized to `n`
+  /// (trailing zero-degree nodes never appeared in any edge).
+  std::vector<std::uint64_t> finish(std::size_t n, std::size_t* batches, std::size_t* peak) {
+    q_.close();
+    if (worker_.joinable()) worker_.join();
+    if (error_ != nullptr) std::rethrow_exception(error_);
+    degree_.resize(n, 0);
+    *batches = batches_;
+    *peak = peak_;
+    return std::move(degree_);
+  }
+
+private:
+  static constexpr std::size_t kQueueCapacity = 16;
+
+  void drain() {
+    std::vector<std::vector<std::pair<graph::NodeId, graph::NodeId>>> got;
+    try {
+      for (;;) {
+        got.clear();
+        if (q_.pop_batch(got, kQueueCapacity, std::chrono::microseconds(200)) == 0) return;
+        for (const auto& batch : got) {
+          for (const auto& [src, dst] : batch) {
+            const std::size_t need =
+                static_cast<std::size_t>(std::max(src, dst)) + 1;
+            if (degree_.size() < need) degree_.resize(need, 0);
+            ++degree_[src];
+            ++degree_[dst];
+          }
+        }
+      }
+    } catch (...) {
+      error_ = std::current_exception();
+      q_.close();  // unblock the producer's spin so ingest can finish
+    }
+  }
+
+  common::BoundedQueue<std::vector<std::pair<graph::NodeId, graph::NodeId>>> q_;
+  std::thread worker_;
+  // Producer-thread state (ingest committer only).
+  std::uint64_t next_seq_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t peak_ = 0;
+  // Accumulator-thread state, read only after finish() joins.
+  std::vector<std::uint64_t> degree_;
+  std::exception_ptr error_;
+};
+
 }  // namespace
+
+// sc-lint: streaming-path
+StreamingIngest streaming_read_csr(const std::string& path) {
+  StreamingIngest out;
+  if (!pipelined_streaming::enabled()) {
+    out.graph = graph::read_csr(path, &out.read_stats);
+    // Serial arm: count after the read. Same commutative sums as the
+    // overlapped accumulator, so both arms hand identical degrees onward.
+    const std::size_t n = out.graph.num_nodes();
+    out.undirected_degree.assign(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      const graph::NodeId src = graph::checked_node_id(v);
+      out.undirected_degree[v] += out.graph.out(src).size();
+      for (const graph::NodeId d : out.graph.out(src)) ++out.undirected_degree[d];
+    }
+    return out;
+  }
+  DegreeSink sink;
+  out.graph = graph::read_csr(path, &out.read_stats, &sink);
+  out.undirected_degree =
+      sink.finish(out.graph.num_nodes(), &out.degree_batches, &out.degree_queue_peak);
+  return out;
+}
 
 // sc-lint: streaming-path
 std::vector<int> streaming_partition(const graph::CsrGraph& g, const graph::CsrLoad& load,
@@ -119,7 +278,8 @@ std::vector<int> streaming_partition(const graph::CsrGraph& g, const graph::CsrL
   const std::size_t buffer_cap = std::max<std::size_t>(1, opts.buffer_nodes);
 
   // ---- Phase 1: stream nodes through the bounded prioritized buffer. ----
-  const UndirectedCsr u = build_undirected(g, load);
+  const auto t_stream = std::chrono::steady_clock::now();
+  const UndirectedCsr u = build_undirected(g, load, opts.undirected_degree);
   const double limit =
       (1.0 + std::max(0.0, opts.shard_imbalance)) * load.total_cpu / static_cast<double>(S);
 
@@ -135,6 +295,7 @@ std::vector<int> streaming_partition(const graph::CsrGraph& g, const graph::CsrL
   std::size_t resident = 0;
   std::size_t buffer_peak = 0;
   std::size_t evictions = 0;
+  std::size_t eviction_batches = 0;
 
   const auto evict_one = [&] {
     while (true) {
@@ -171,14 +332,20 @@ std::vector<int> streaming_partition(const graph::CsrGraph& g, const graph::CsrL
     ++resident;
     heap.emplace(assigned_nbrs[v], ~static_cast<std::uint32_t>(v));
     buffer_peak = std::max(buffer_peak, resident);
+    bool evicted = false;
     while (resident > buffer_cap) {
       evict_one();
       ++evictions;
+      evicted = true;
     }
+    if (evicted) ++eviction_batches;
   }
+  if (resident > 0) ++eviction_batches;  // the final drain is one batch
   while (resident > 0) evict_one();
 
   // ---- Phase 2: coarsen the shards concurrently. ----
+  const double stream_s = seconds_since(t_stream);
+  const auto t_coarsen = std::chrono::steady_clock::now();
   std::vector<std::size_t> shard_count(S, 0);
   for (std::size_t v = 0; v < n; ++v) ++shard_count[shard_of[v]];
   std::vector<std::size_t> shard_off(S + 1, 0);
@@ -252,6 +419,8 @@ std::vector<int> streaming_partition(const graph::CsrGraph& g, const graph::CsrL
   });
 
   // ---- Phase 3: assemble the global coarse graph and partition it. ----
+  const double coarsen_s = seconds_since(t_coarsen);
+  const auto t_partition = std::chrono::steady_clock::now();
   std::vector<std::size_t> coarse_off(S + 1, 0);
   for (std::size_t s = 0; s < S; ++s) {
     coarse_off[s + 1] = coarse_off[s] + shard_out[s].coarse_count;
@@ -301,6 +470,8 @@ std::vector<int> streaming_partition(const graph::CsrGraph& g, const graph::CsrL
   // ---- Phase 4: project supernode labels back onto the fine nodes. ----
   std::vector<int> out(n);
   for (std::size_t v = 0; v < n; ++v) out[v] = coarse_labels[supernode_of[v]];
+  const double partition_s = seconds_since(t_partition);
+  const auto t_refine = std::chrono::steady_clock::now();
 
   // ---- Phase 5: boundary refinement on the fine CSR. ----
   // The coarse partition cannot see fine-grained boundaries, so projection
@@ -308,7 +479,15 @@ std::vector<int> streaming_partition(const graph::CsrGraph& g, const graph::CsrL
   // highest-connectivity part when that strictly reduces the cut and the
   // destination stays under its capacity share — O(passes * m) time, O(n + k)
   // extra memory, deterministic (sequential sweep in node-id order).
+  //
+  // The pipelined arm runs each sweep speculate-then-commit: a fixed number
+  // of contiguous id blocks scan the frozen pass-start labels in parallel
+  // (reads only; block-local outputs — conflict-free ownership), then a
+  // serial id-order commit replays the serial sweep's decisions, rescanning
+  // any node whose neighborhood changed earlier in the pass. Bit-identical
+  // to the serial sweep at any block count or pool size; see DESIGN.md §9.
   std::size_t refine_moves = 0;
+  std::size_t spec_blocks = 0;
   if (opts.refine_passes > 0) {
     double frac_sum = 0.0;
     for (const double f : fractions) frac_sum += f;
@@ -324,7 +503,9 @@ std::vector<int> streaming_partition(const graph::CsrGraph& g, const graph::CsrL
     std::vector<double> pconn(k, 0.0);
     std::vector<int> touched;
     touched.reserve(k);
-    for (std::size_t pass = 0; pass < opts.refine_passes; ++pass) {
+
+    // One serial sweep over every node against the live labels/weights.
+    const auto serial_pass = [&]() {
       std::size_t moves = 0;
       for (std::size_t v = 0; v < n; ++v) {
         const int cur = out[v];
@@ -351,10 +532,132 @@ std::vector<int> streaming_partition(const graph::CsrGraph& g, const graph::CsrL
           ++moves;
         }
       }
+      return moves;
+    };
+
+    const bool pipelined = pipelined_streaming::enabled();
+    struct SpecCand {
+      graph::NodeId v;
+      std::uint32_t begin;  ///< [begin, end) into the block's entries
+      std::uint32_t end;
+    };
+    struct SpecBlock {
+      std::vector<SpecCand> cands;
+      std::vector<std::pair<int, double>> entries;  ///< (part, connectivity)
+    };
+    const std::size_t B = pipelined ? std::min<std::size_t>(kRefineSpecBlocks, n) : 0;
+    std::vector<SpecBlock> blocks(B);
+    std::vector<std::uint8_t> dirty;  // a neighbor moved earlier this pass
+    if (pipelined) dirty.assign(n, 0);
+
+    // Speculate-then-commit sweep, provably equal to serial_pass():
+    //   - A *clean* candidate (no neighbor moved before its turn) has exact
+    //     speculated connectivity — only balance needs the live part_w,
+    //     which the serial commit tracks exactly as the serial sweep does.
+    //   - A *dirty* node rescans its neighborhood against the live labels,
+    //     which IS the serial sweep's computation.
+    //   - A clean non-candidate has every neighbor in its own part, so the
+    //     serial sweep would not move it either.
+    const auto pipelined_pass = [&]() {
+      pool.parallel_for(B, [&](std::size_t b) {
+        SpecBlock& blk = blocks[b];
+        blk.cands.clear();
+        blk.entries.clear();
+        std::vector<double> bconn(k, 0.0);
+        std::vector<int> btouched;
+        btouched.reserve(k);
+        const std::size_t lo = n * b / B;
+        const std::size_t hi = n * (b + 1) / B;
+        for (std::size_t v = lo; v < hi; ++v) {
+          const int cur = out[v];
+          bool boundary = false;
+          for (std::uint64_t s = u.off[v]; s < u.off[v + 1]; ++s) {
+            const int p = out[u.nbr[s]];
+            if (bconn[p] == 0.0) btouched.push_back(p);
+            bconn[p] += u.w[s];
+            boundary |= p != cur;
+          }
+          if (boundary) {
+            const auto begin = static_cast<std::uint32_t>(blk.entries.size());
+            for (const int p : btouched) blk.entries.emplace_back(p, bconn[p]);
+            blk.cands.push_back({graph::checked_node_id(v), begin,
+                                 static_cast<std::uint32_t>(blk.entries.size())});
+          }
+          for (const int p : btouched) bconn[p] = 0.0;
+          btouched.clear();
+        }
+      });
+
+      std::size_t moves = 0;
+      for (std::size_t b = 0; b < B; ++b) {
+        const SpecBlock& blk = blocks[b];
+        std::size_t ci = 0;
+        const std::size_t lo = n * b / B;
+        const std::size_t hi = n * (b + 1) / B;
+        for (std::size_t v = lo; v < hi; ++v) {
+          const bool has_cand = ci < blk.cands.size() && blk.cands[ci].v == v;
+          if (!has_cand && !dirty[v]) continue;
+          const int cur = out[v];
+          const double node_w = load.node_cpu[v];
+          int best = cur;
+          if (has_cand && !dirty[v]) {
+            const SpecCand& cand = blk.cands[ci];
+            double cur_conn = 0.0;
+            for (std::uint32_t i = cand.begin; i < cand.end; ++i) {
+              if (blk.entries[i].first == cur) cur_conn = blk.entries[i].second;
+            }
+            double best_conn = 0.0;
+            for (std::uint32_t i = cand.begin; i < cand.end; ++i) {
+              const auto [p, c] = blk.entries[i];
+              if (p == cur || c <= cur_conn) continue;
+              if (part_w[static_cast<std::size_t>(p)] + node_w >
+                  part_limit[static_cast<std::size_t>(p)]) {
+                continue;
+              }
+              if (best == cur || c > best_conn || (c == best_conn && p < best)) {
+                best = p;
+                best_conn = c;
+              }
+            }
+          } else {
+            for (std::uint64_t s = u.off[v]; s < u.off[v + 1]; ++s) {
+              const int p = out[u.nbr[s]];
+              if (pconn[p] == 0.0) touched.push_back(p);
+              pconn[p] += u.w[s];
+            }
+            for (const int p : touched) {
+              if (p == cur || pconn[p] <= pconn[cur]) continue;
+              if (part_w[p] + node_w > part_limit[p]) continue;
+              if (best == cur || pconn[p] > pconn[best] ||
+                  (pconn[p] == pconn[best] && p < best)) {
+                best = p;
+              }
+            }
+            for (const int p : touched) pconn[p] = 0.0;
+            touched.clear();
+          }
+          if (has_cand) ++ci;
+          if (best != cur) {
+            part_w[static_cast<std::size_t>(cur)] -= node_w;
+            part_w[static_cast<std::size_t>(best)] += node_w;
+            out[v] = best;
+            ++moves;
+            for (std::uint64_t s = u.off[v]; s < u.off[v + 1]; ++s) dirty[u.nbr[s]] = 1;
+          }
+        }
+      }
+      if (moves != 0) std::fill(dirty.begin(), dirty.end(), 0);
+      return moves;
+    };
+
+    spec_blocks = B;
+    for (std::size_t pass = 0; pass < opts.refine_passes; ++pass) {
+      const std::size_t moves = pipelined ? pipelined_pass() : serial_pass();
       refine_moves += moves;
       if (moves == 0) break;
     }
   }
+  const double refine_s = seconds_since(t_refine);
 
   if (stats != nullptr) {
     stats->num_shards = S;
@@ -365,6 +668,12 @@ std::vector<int> streaming_partition(const graph::CsrGraph& g, const graph::CsrL
     stats->coarse_edges = coarse.num_edges();
     stats->cross_shard_edges = cross_shard;
     stats->refine_moves = refine_moves;
+    stats->eviction_batches = eviction_batches;
+    stats->refine_spec_blocks = spec_blocks;
+    stats->stage_stream_s = stream_s;
+    stats->stage_coarsen_s = coarsen_s;
+    stats->stage_partition_s = partition_s;
+    stats->stage_refine_s = refine_s;
     double coarse_cut = 0.0;
     for (const graph::WeightedEdge& e : coarse.edges()) {
       if (coarse_labels[e.a] != coarse_labels[e.b]) coarse_cut += e.weight;

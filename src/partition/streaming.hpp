@@ -36,6 +36,43 @@ class ThreadPool;
 
 namespace sc::partition {
 
+/// Toggle for the pipelined streaming-tier path (default: enabled):
+///   - streaming_read_csr overlaps ingest with undirected-degree counting by
+///     feeding committed edge batches through a common::BoundedQueue to a
+///     background accumulator (sequence-numbered delivery; counting is
+///     commutative, so the totals are independent of batch boundaries and
+///     thread interleaving).
+///   - streaming_partition's boundary refinement runs speculate-then-commit:
+///     a fixed number of node blocks speculate moves in parallel against the
+///     frozen pass-start state, then a serial id-order commit re-validates
+///     every decision against live balance/neighbor state.
+/// Both are bit-identical to the serial path at any thread count; off =
+/// serial ingest + serial sweeps (the committed-benchmark baseline arm).
+namespace pipelined_streaming {
+/// Toggles the pipelined path (returns the previous setting).
+bool set_enabled(bool enabled);
+bool enabled();
+}  // namespace pipelined_streaming
+
+/// Result of the overlapped ingest: the CSR plus per-node undirected degree
+/// (out-degree + in-degree) accumulated concurrently with the read — the
+/// counting pass streaming_partition's adjacency build would otherwise redo
+/// over the whole CSR after ingest finishes.
+struct StreamingIngest {
+  graph::CsrGraph graph;
+  std::vector<std::uint64_t> undirected_degree;  ///< per node, |out| + |in|
+  graph::StreamingReadStats read_stats;
+  std::size_t degree_batches = 0;     ///< edge batches delivered to the accumulator
+  std::size_t degree_queue_peak = 0;  ///< high-water of the ingest->accumulate queue
+};
+
+/// Reads a CSR graph while a background thread accumulates per-node
+/// undirected degrees from the committed edge stream (pipelined_streaming
+/// toggle; the serial arm counts after the read — same sums either way).
+/// Pass `&result.undirected_degree` via StreamingOptions::undirected_degree
+/// to let streaming_partition skip its adjacency counting pass.
+StreamingIngest streaming_read_csr(const std::string& path);
+
 struct StreamingOptions {
   /// Capacity of the prioritized streaming buffer (nodes). Smaller buffers
   /// lower the footprint and the quality; bench_huge quantifies the trade.
@@ -63,6 +100,12 @@ struct StreamingOptions {
   /// seeds derive from `partition.seed`).
   PartitionOptions partition;
 
+  /// Optional precomputed per-node undirected degree (|out| + |in|), e.g.
+  /// from streaming_read_csr. When set (size must equal the node count), the
+  /// adjacency build skips its counting pass over the CSR. The counts feed
+  /// the same prefix sum either way, so results are bit-identical.
+  const std::vector<std::uint64_t>* undirected_degree = nullptr;
+
   /// Pool override for shard-parallel coarsening (nullptr = global()).
   /// At a fixed num_shards, results are identical for any pool size by
   /// construction (per-shard seeds, disjoint writes); the auto shard count
@@ -82,6 +125,24 @@ struct StreamingStats {
   std::size_t cross_shard_edges = 0; ///< fine edges crossing shard boundaries
   double coarse_cut = 0.0;           ///< cut of the final coarse partition
   std::size_t refine_moves = 0;      ///< node moves made by fine refinement
+
+  /// Eviction churn accounting: every admission-triggered eviction run plus
+  /// the final drain counts as one batch. The streaming pass is single-node
+  /// by construction (each admission displaces at most one resident), so
+  /// batches ~= evictions + 1; batched *admission* would change victim
+  /// selection and break bit-identity, so only the accounting is batched.
+  std::size_t eviction_batches = 0;
+
+  /// Speculation blocks per refinement pass (0 = serial sweep arm).
+  std::size_t refine_spec_blocks = 0;
+
+  /// Per-stage wall times (seconds): buffer streaming (incl. adjacency
+  /// build), shard coarsening, coarse assembly + partition + projection, and
+  /// fine boundary refinement.
+  double stage_stream_s = 0.0;
+  double stage_coarsen_s = 0.0;
+  double stage_partition_s = 0.0;
+  double stage_refine_s = 0.0;
 };
 
 /// Partitions the CSR graph into fractions.size() parts (capacity-weighted,

@@ -28,6 +28,30 @@ bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 }  // namespace fm_buckets
 
+namespace fm_heap {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool set_enabled(bool enabled) { return g_enabled.exchange(enabled, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+}  // namespace fm_heap
+
+namespace coarsen_ws {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool set_enabled(bool enabled) { return g_enabled.exchange(enabled, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+}  // namespace coarsen_ws
+
 PartitionWorkspace::Level& PartitionWorkspace::level(std::size_t i) {
   // Amortized lazy growth: a level is heap-allocated the first time that
   // depth is reached and recycled for every later partition call.

@@ -45,6 +45,31 @@ bool set_enabled(bool enabled);
 bool enabled();
 }  // namespace fm_buckets
 
+/// Toggle for lazy-heap FM move selection layered on top of fm_buckets'
+/// scratch: best-move picks pop a max-heap of (monotone gain bits, ~id)
+/// entries with lazy invalidation instead of scanning the topmost gain
+/// bucket's list. Decision-identical to both other variants (same move
+/// sequence, same cut); it only changes how the argmax is located, cutting
+/// the dominant per-step bucket-entry scan cost on bisection-heavy runs.
+/// Ignored when fm_buckets is off. Default: enabled.
+namespace fm_heap {
+/// Toggles the heap selection path (returns the previous setting).
+bool set_enabled(bool enabled);
+bool enabled();
+}  // namespace fm_heap
+
+/// Toggle for the workspace-reusing MultilevelPartitioner::coarsen_to loop
+/// (heavy_edge_matching_ws + contract_matching_ws ping-ponging two retained
+/// levels instead of allocating a matching, a Contraction, and a coarse
+/// graph per level). Bit-identical to the allocating loop; the streaming
+/// tier's shard coarsening runs it 100+ levels deep per shard, where the
+/// per-level allocations dominate. Default: enabled.
+namespace coarsen_ws {
+/// Toggles the workspace coarsen_to path (returns the previous setting).
+bool set_enabled(bool enabled);
+bool enabled();
+}  // namespace coarsen_ws
+
 /// Scratch for heavy_edge_matching_ws: the edge order, its shuffled rank
 /// (used to replace the allocating stable_sort with an in-place sort over a
 /// total order), and the resulting matching.

@@ -1,0 +1,31 @@
+// Fixture (bad): the speculate-then-commit refinement shape with a lock
+// inside each sweep — a per-candidate lock in the commit loop and a
+// per-block lock inside the speculation lambda (lambdas share the marked
+// function's extent, so both must be flagged).
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+// sc-lint: streaming-path
+int refine_commit(const std::vector<int>& cands, std::mutex& m, int& moves) {
+  for (const int c : cands) {
+    std::lock_guard<std::mutex> g(m);  // per-candidate acquisition
+    moves += c;
+  }
+  return moves;
+}
+
+// sc-lint: streaming-path
+int refine_speculate(const std::vector<int>& nodes, std::mutex& m, int& conn) {
+  const auto spec = [&](int v) {
+    m.lock();  // raw per-node lock inside the speculation lambda
+    conn += v;
+    m.unlock();
+  };
+  for (const int v : nodes) spec(v);
+  return conn;
+}
+
+}  // namespace fx

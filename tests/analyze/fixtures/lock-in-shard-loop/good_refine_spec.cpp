@@ -1,0 +1,29 @@
+// Fixture (good): the conflict-free refinement shape — block-local
+// speculation state with no locks at all, and a single hoisted acquisition
+// around the serial commit sweep.
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+// sc-lint: streaming-path
+int refine_speculate(const std::vector<int>& nodes, std::vector<int>& bconn) {
+  int boundary = 0;
+  for (const int v : nodes) {
+    bconn[static_cast<std::size_t>(v) % bconn.size()] += v;  // block-local
+    ++boundary;
+  }
+  return boundary;
+}
+
+// sc-lint: streaming-path
+int refine_commit(const std::vector<int>& cands, std::mutex& m, int& moves) {
+  std::lock_guard<std::mutex> g(m);  // one acquisition for the whole sweep
+  for (const int c : cands) {
+    moves += c;
+  }
+  return moves;
+}
+
+}  // namespace fx

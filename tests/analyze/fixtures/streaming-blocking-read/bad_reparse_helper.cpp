@@ -1,0 +1,38 @@
+// Fixture (bad): a streaming-path stage reaches blocking file reads through
+// helpers that are not marked reader-thread — a re-parse fallback doing
+// fopen/fread and an accumulator that re-reads a sidecar via getline. The
+// rule must follow assign_shards -> reparse_tail / load_sidecar to the sites.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fx {
+
+int reparse_tail(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return 0;
+  char buf[64];
+  const std::size_t got = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  return static_cast<int>(got);
+}
+
+int load_sidecar(const std::string& path) {
+  std::ifstream is(path);
+  std::string line;
+  int n = 0;
+  while (std::getline(is, line)) ++n;
+  return n;
+}
+
+// sc-lint: streaming-path
+int assign_shards(const std::vector<int>& shards, const char* path) {
+  int total = 0;
+  for (const int s : shards) total += s;
+  total += reparse_tail(path);
+  total += load_sidecar(path);
+  return total;
+}
+
+}  // namespace fx

@@ -1,0 +1,43 @@
+// Fixture (good): the sanctioned shapes — blocking reads confined to a
+// reader-thread-marked function, a justified allow on a one-shot open, and
+// an unmarked cold path that may block freely.
+#include <cstdio>
+#include <vector>
+
+namespace fx {
+
+// The dedicated reader: the one function of the pipeline allowed to block
+// on the filesystem.
+// sc-lint: reader-thread
+int read_chunks(std::FILE* f) {
+  char buf[64];
+  int total = 0;
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    total += static_cast<int>(got);
+  }
+  return total;
+}
+
+int audit_open(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f != nullptr) std::fclose(f);
+  return f != nullptr ? 1 : 0;
+}
+
+// sc-lint: streaming-path
+int ingest(std::FILE* f) {
+  return read_chunks(f);  // reader-thread function may block
+}
+
+// sc-lint: streaming-path
+int ingest_with_probe(std::FILE* f, const char* path) {
+  const int probed = audit_open(path);  // sc-lint: allow(streaming-blocking-read)
+  return probed + read_chunks(f);
+}
+
+int cold_scan(const char* path) {
+  return audit_open(path);  // unmarked callers may block freely
+}
+
+}  // namespace fx

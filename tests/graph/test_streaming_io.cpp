@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "gen/generator.hpp"
 #include "graph/io.hpp"
 #include "graph/rates.hpp"
 #include "graph/stream_graph.hpp"
@@ -18,10 +22,16 @@ namespace {
 
 namespace fs = std::filesystem;
 
+/// Temp path unique to this test process (ctest runs suites concurrently).
+fs::path temp_path(const char* tag) {
+  return fs::temp_directory_path() /
+         (std::string("sc_csr_") + tag + "_" + std::to_string(::getpid()) + ".txt");
+}
+
 /// Writes `text` to a fresh temp file and returns its path.
 fs::path write_temp(const std::string& text, const char* tag) {
-  const fs::path path = fs::temp_directory_path() / (std::string("sc_csr_") + tag + ".txt");
-  std::ofstream os(path);
+  const fs::path path = temp_path(tag);
+  std::ofstream os(path, std::ios::binary);
   os << text;
   os.flush();
   SC_CHECK(os.good(), "failed to write temp file " << path);
@@ -29,9 +39,64 @@ fs::path write_temp(const std::string& text, const char* tag) {
 }
 
 fs::path save_temp(const std::vector<StreamGraph>& graphs, const char* tag) {
-  const fs::path path = fs::temp_directory_path() / (std::string("sc_csr_") + tag + ".txt");
+  const fs::path path = temp_path(tag);
   save_graphs(path.string(), graphs);
   return path;
+}
+
+/// RAII restore of every ingest knob (arm toggle, chunk size, pool override).
+class IngestConfigGuard {
+public:
+  IngestConfigGuard() : prev_enabled_(parallel_ingest::enabled()) {}
+  ~IngestConfigGuard() {
+    parallel_ingest::set_enabled(prev_enabled_);
+    set_ingest_chunk_bytes(0);
+    set_ingest_pool(nullptr);
+  }
+  IngestConfigGuard(const IngestConfigGuard&) = delete;
+  IngestConfigGuard& operator=(const IngestConfigGuard&) = delete;
+
+private:
+  bool prev_enabled_;
+};
+
+/// Bit-exact CsrGraph comparison (slot layout included): the pipelined arm
+/// must be indistinguishable from the serial scan, not merely isomorphic.
+void expect_identical(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.name(), b.name());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.ipt(v), b.ipt(v)) << "node " << v;
+    ASSERT_EQ(a.selectivity(v), b.selectivity(v)) << "node " << v;
+    ASSERT_EQ(a.out_offset(v), b.out_offset(v)) << "node " << v;
+    const auto oa = a.out(v);
+    const auto ob = b.out(v);
+    for (std::size_t s = 0; s < oa.size(); ++s) {
+      const std::uint64_t slot = a.out_offset(v) + s;
+      ASSERT_EQ(oa[s], ob[s]) << "slot " << slot;
+      ASSERT_EQ(a.payload(slot), b.payload(slot)) << "slot " << slot;
+      ASSERT_EQ(a.rate_factor(slot), b.rate_factor(slot)) << "slot " << slot;
+    }
+  }
+}
+
+/// Runs read_csr and returns the thrown message ("" when it succeeds).
+std::string read_error(const fs::path& path) {
+  try {
+    read_csr(path.string());
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+/// SC_CHECK messages are '<file>:<line>: check failed: <cond> — <text>'; the
+/// two arms throw from different call sites, so only <text> — the part a user
+/// acts on — is required to match.
+std::string error_text(const std::string& what) {
+  const std::size_t pos = what.rfind(" — ");
+  return pos == std::string::npos ? what : what.substr(pos);
 }
 
 TEST(StreamingIo, CsrMatchesStreamGraph) {
@@ -90,16 +155,29 @@ TEST(StreamingIo, ReadsFirstGraphOnly) {
 }
 
 TEST(StreamingIo, ReportsIngestStats) {
+  IngestConfigGuard guard;
   const fs::path path = save_temp({test::make_chain(5)}, "stats");
   const std::uint64_t file_size = fs::file_size(path);
-  StreamingReadStats stats;
-  const CsrGraph c = read_csr(path.string(), &stats);
+
+  // Serial arm: two full passes over the file through the bounded buffer.
+  parallel_ingest::set_enabled(false);
+  StreamingReadStats serial;
+  EXPECT_EQ(read_csr(path.string(), &serial).num_nodes(), 5u);
+  EXPECT_EQ(serial.passes, 2u);
+  EXPECT_GT(serial.buffer_bytes, 0u);
+  EXPECT_EQ(serial.bytes_read, 2 * file_size);
+  EXPECT_EQ(serial.chunks, 0u);
+
+  // Pipelined arm: a single pass, chunked through the parse queue.
+  parallel_ingest::set_enabled(true);
+  StreamingReadStats piped;
+  EXPECT_EQ(read_csr(path.string(), &piped).num_nodes(), 5u);
   fs::remove(path);
-  EXPECT_EQ(c.num_nodes(), 5u);
-  EXPECT_EQ(stats.passes, 2u);
-  EXPECT_GT(stats.buffer_bytes, 0u);
-  // Two full passes over the file through the bounded buffer.
-  EXPECT_EQ(stats.bytes_read, 2 * file_size);
+  EXPECT_EQ(piped.passes, 1u);
+  EXPECT_GT(piped.buffer_bytes, 0u);
+  EXPECT_EQ(piped.bytes_read, file_size);
+  EXPECT_GE(piped.chunks, 1u);
+  EXPECT_GE(piped.queue_peak, 1u);
 }
 
 TEST(StreamingIo, HandlesCrlfAndComments) {
@@ -115,14 +193,114 @@ TEST(StreamingIo, HandlesCrlfAndComments) {
   EXPECT_FLOAT_EQ(c.payload(0), 8.0f);
 }
 
+// The tentpole identity contract: at any chunk size and worker count, the
+// pipelined reader produces a bit-identical CsrGraph to the serial scan on a
+// generator-grown graph (varied degrees, float features, tiled structure).
+TEST(StreamingIo, PipelinedMatchesSerialOnGeneratedGraph) {
+  IngestConfigGuard guard;
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 600;
+  cfg.topology.max_nodes = 800;
+  const auto graphs = gen::generate_graphs(cfg, 1, 0xC0FFEEu, "ident/");
+  const fs::path path = save_temp(graphs, "identity");
+
+  parallel_ingest::set_enabled(false);
+  const CsrGraph serial = read_csr(path.string());
+
+  parallel_ingest::set_enabled(true);
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    set_ingest_pool(&pool);
+    for (const std::size_t chunk : {std::size_t{0}, std::size_t{64}, std::size_t{4096}}) {
+      set_ingest_chunk_bytes(chunk);
+      StreamingReadStats stats;
+      const CsrGraph piped = read_csr(path.string(), &stats);
+      SCOPED_TRACE(::testing::Message() << "workers=" << workers << " chunk=" << chunk);
+      expect_identical(serial, piped);
+      EXPECT_EQ(stats.passes, 1u);
+    }
+    set_ingest_pool(nullptr);
+  }
+  fs::remove(path);
+}
+
+// Chunk sizes far below one record force every line to span a chunk
+// boundary; the reader must stitch them back together losslessly.
+TEST(StreamingIo, TinyChunksStitchAcrossBoundaries) {
+  IngestConfigGuard guard;
+  const std::string text =
+      "streamgraph stitch\nnodes 3\n1.5 1.0\n2.5 0.5\n3.5 0.25\n"
+      "edges 2\n0 1 8.0 1.0\n1 2 16.0 0.5\nend\n";
+  const fs::path path = write_temp(text, "stitch");
+
+  parallel_ingest::set_enabled(false);
+  const CsrGraph serial = read_csr(path.string());
+
+  parallel_ingest::set_enabled(true);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+    set_ingest_chunk_bytes(chunk);
+    StreamingReadStats stats;
+    const CsrGraph piped = read_csr(path.string(), &stats);
+    SCOPED_TRACE(::testing::Message() << "chunk=" << chunk);
+    expect_identical(serial, piped);
+    // A 1-byte chunk assembles each line inside the read-ahead loop (every
+    // fill ends exactly at a newline), so only larger chunks leave a partial
+    // line behind to stitch.
+    if (chunk > 1) EXPECT_GT(stats.stitches, 0u);
+    EXPECT_GT(stats.chunks, 1u);
+  }
+  fs::remove(path);
+}
+
+// A final line without a trailing newline must parse in both arms (the
+// generator always terminates files, but hand-written inputs may not).
+TEST(StreamingIo, HandlesMissingTrailingNewline) {
+  IngestConfigGuard guard;
+  const std::string text =
+      "streamgraph t\nnodes 2\n1.0 1.0\n2.0 0.5\nedges 1\n0 1 8.0 1.0\nend";
+  const fs::path path = write_temp(text, "nonewline");
+
+  parallel_ingest::set_enabled(false);
+  const CsrGraph serial = read_csr(path.string());
+  parallel_ingest::set_enabled(true);
+  for (const std::size_t chunk : {std::size_t{0}, std::size_t{5}}) {
+    set_ingest_chunk_bytes(chunk);
+    const CsrGraph piped = read_csr(path.string());
+    SCOPED_TRACE(::testing::Message() << "chunk=" << chunk);
+    expect_identical(serial, piped);
+  }
+  fs::remove(path);
+}
+
+// Content after the first graph's 'end' (including text that is not a valid
+// graph) is ignored by both arms — read_csr reads the FIRST graph only, so
+// parse workers speculating past 'end' must have their results discarded.
+TEST(StreamingIo, IgnoresTrailingGarbageAfterEnd) {
+  IngestConfigGuard guard;
+  const std::string text =
+      "streamgraph t\nnodes 1\n1.0 1.0\nedges 0\nend\n"
+      "this is not a graph\n@#!$\n";
+  const fs::path path = write_temp(text, "trailing");
+  for (const bool piped : {false, true}) {
+    parallel_ingest::set_enabled(piped);
+    const CsrGraph c = read_csr(path.string());
+    EXPECT_EQ(c.num_nodes(), 1u) << "pipelined=" << piped;
+  }
+  fs::remove(path);
+}
+
 // Hostile/corrupt-input table: the reader must throw a named sc::Error before
 // sizing anything by an untrusted header count. The count-vs-file-size bound
 // is what distinguishes this reader from read_graph: a 30-byte file claiming
-// a billion nodes dies immediately.
+// a billion nodes dies immediately. Every case runs through the serial arm,
+// the pipelined arm at the default chunk size, and the pipelined arm at a
+// 5-byte chunk size (every line stitched) — and all three must report the
+// same error text, so the failing line never depends on the reader arm.
 TEST(StreamingIo, MalformedInputTable) {
+  IngestConfigGuard guard;
   struct Case {
     const char* what;
-    const char* text;
+    std::string text;
   };
   const Case cases[] = {
       {"empty file", ""},
@@ -148,16 +326,59 @@ TEST(StreamingIo, MalformedInputTable) {
       {"truncated edge list",
        "streamgraph t\nnodes 2\n1.0 1.0\n1.0 1.0\nedges 2\n0 1 1.0 1.0\n"},
       {"missing end marker", "streamgraph t\nnodes 1\n1.0 1.0\nedges 0\n"},
+      {"end before edge list done",
+       "streamgraph t\nnodes 2\n1.0 1.0\n1.0 1.0\nedges 2\n0 1 1.0 1.0\nend\n"},
+      {"extra edge before end",
+       "streamgraph t\nnodes 2\n1.0 1.0\n1.0 1.0\nedges 1\n0 1 1.0 1.0\n"
+       "1 0 1.0 1.0\nend\n"},
+      {"first of two bad records wins",
+       "streamgraph t\nnodes 3\n1.0 1.0\nbad record\n1.0 1.0\nedges 1\n"
+       "0 zzz 1.0 1.0\nend\n"},
   };
   for (const Case& c : cases) {
     const fs::path path = write_temp(c.text, "malformed");
-    EXPECT_THROW(read_csr(path.string()), Error) << "case: " << c.what;
+    parallel_ingest::set_enabled(false);
+    set_ingest_chunk_bytes(0);
+    const std::string serial = read_error(path);
+    EXPECT_FALSE(serial.empty()) << "case: " << c.what;
+
+    parallel_ingest::set_enabled(true);
+    const std::string piped = read_error(path);
+    set_ingest_chunk_bytes(5);
+    const std::string piped_tiny = read_error(path);
+    set_ingest_chunk_bytes(0);
     fs::remove(path);
+
+    EXPECT_EQ(error_text(serial), error_text(piped)) << "case: " << c.what;
+    EXPECT_EQ(error_text(serial), error_text(piped_tiny)) << "case: " << c.what;
   }
 }
 
+// A line longer than the serial reader's 256 KiB ingest buffer is rejected
+// with the same error by both arms, regardless of the pipelined chunk size.
+TEST(StreamingIo, OversizedLineRejectedByBothArms) {
+  IngestConfigGuard guard;
+  std::string text = "streamgraph t\nnodes 1\n";
+  text.append(std::string(300000, '1'));
+  text += " 1.0\nedges 0\nend\n";
+  const fs::path path = write_temp(text, "longline");
+
+  parallel_ingest::set_enabled(false);
+  const std::string serial = read_error(path);
+  parallel_ingest::set_enabled(true);
+  const std::string piped = read_error(path);
+  fs::remove(path);
+
+  EXPECT_NE(serial.find("exceeds the"), std::string::npos) << serial;
+  EXPECT_EQ(error_text(serial), error_text(piped));
+}
+
 TEST(StreamingIo, MissingFileThrows) {
-  EXPECT_THROW(read_csr("/nonexistent/path/graphs.txt"), Error);
+  IngestConfigGuard guard;
+  for (const bool piped : {false, true}) {
+    parallel_ingest::set_enabled(piped);
+    EXPECT_THROW(read_csr("/nonexistent/path/graphs.txt"), Error);
+  }
 }
 
 TEST(StreamingIo, CsrLoadRejectsCycles) {

@@ -8,6 +8,7 @@
 #include "gen/generator.hpp"
 #include "graph/rates.hpp"
 #include "partition/metrics.hpp"
+#include "partition/workspace.hpp"
 
 namespace sc::partition {
 namespace {
@@ -125,6 +126,30 @@ TEST(Mlpart, CoarsenToReducesNodeCount) {
   }
   EXPECT_LE(distinct, 8u + 4u);  // matching halves per level; allow slack
   EXPECT_GE(distinct, 2u);
+}
+
+// The workspace coarsen_to loop must reproduce the allocating loop's group
+// map exactly (same rng stream, same no-progress rule) on varied graphs.
+TEST(Mlpart, CoarsenToWorkspaceBitIdentical) {
+  gen::GeneratorConfig cfg;
+  cfg.topology.min_nodes = 200;
+  cfg.topology.max_nodes = 300;
+  Rng gen_rng(0xAB12u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto sg = gen::generate_graph(cfg, gen_rng);
+    const auto profile = graph::compute_load_profile(sg);
+    const WeightedGraph g = graph::to_weighted(sg, profile);
+    for (const std::size_t target : {std::size_t{4}, std::size_t{32}}) {
+      PartitionOptions po;
+      po.seed = 7 + i;
+      const bool prev = coarsen_ws::set_enabled(false);
+      const auto legacy = MultilevelPartitioner(po).coarsen_to(g, target);
+      coarsen_ws::set_enabled(true);
+      const auto ws = MultilevelPartitioner(po).coarsen_to(g, target);
+      coarsen_ws::set_enabled(prev);
+      EXPECT_EQ(legacy, ws) << "graph " << i << " target " << target;
+    }
+  }
 }
 
 TEST(Mlpart, CoarsenToOneGroupsEverything) {

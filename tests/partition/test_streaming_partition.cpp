@@ -99,6 +99,95 @@ TEST(StreamingPartition, IndependentOfThreadCount) {
   }
 }
 
+/// Restores the pipelined-streaming and ingest toggles on scope exit.
+struct PipelineGuard {
+  bool prev_pipe = pipelined_streaming::enabled();
+  bool prev_ingest = graph::parallel_ingest::enabled();
+  ~PipelineGuard() {
+    pipelined_streaming::set_enabled(prev_pipe);
+    graph::parallel_ingest::set_enabled(prev_ingest);
+    graph::set_ingest_chunk_bytes(0);
+  }
+};
+
+TEST(StreamingPartition, PipelinedArmBitIdenticalAcrossThreads) {
+  // The serial sweep arm is the reference; the speculate-then-commit arm
+  // must replay it move for move at every pool size.
+  const Fixture f = make_fixture(250, 350, 21);
+  const std::vector<double> fractions(8, 1.0);
+  PipelineGuard guard;
+
+  StreamingOptions opts;
+  opts.num_shards = 4;
+  opts.buffer_nodes = 32;  // force evictions so phase 1 is exercised hard
+  pipelined_streaming::set_enabled(false);
+  StreamingStats serial_stats;
+  const auto reference = streaming_partition(f.csr, f.load, fractions, opts, &serial_stats);
+  EXPECT_EQ(serial_stats.refine_spec_blocks, 0u);
+  EXPECT_GT(serial_stats.eviction_batches, 0u);
+
+  pipelined_streaming::set_enabled(true);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    StreamingOptions popts = opts;
+    popts.pool = &pool;
+    StreamingStats stats;
+    const auto part = streaming_partition(f.csr, f.load, fractions, popts, &stats);
+    EXPECT_EQ(part, reference) << "pipelined arm diverged at " << threads << " threads";
+    EXPECT_GT(stats.refine_spec_blocks, 0u);
+    EXPECT_EQ(stats.evictions, serial_stats.evictions);
+    EXPECT_EQ(stats.eviction_batches, serial_stats.eviction_batches);
+  }
+}
+
+TEST(StreamingPartition, OverlappedIngestMatchesSerialRead) {
+  gen::GeneratorConfig cfg = gen::setting_config(gen::Setting::Medium);
+  cfg.topology.min_nodes = 200;
+  cfg.topology.max_nodes = 300;
+  const auto graphs = gen::generate_graphs(cfg, 1, 23, "ovl/");
+  const fs::path path = fs::temp_directory_path() /
+                        ("sc_stream_overlap_" + std::to_string(::getpid()) + ".txt");
+  graph::save_graphs(path.string(), graphs);
+  PipelineGuard guard;
+
+  pipelined_streaming::set_enabled(false);
+  const StreamingIngest serial = streaming_read_csr(path.string());
+  EXPECT_EQ(serial.degree_batches, 0u);
+
+  pipelined_streaming::set_enabled(true);
+  graph::set_ingest_chunk_bytes(512);  // many small batches through the queue
+  const StreamingIngest piped = streaming_read_csr(path.string());
+  fs::remove(path);
+
+  ASSERT_EQ(piped.graph.num_nodes(), serial.graph.num_nodes());
+  ASSERT_EQ(piped.graph.num_edges(), serial.graph.num_edges());
+  EXPECT_EQ(piped.undirected_degree, serial.undirected_degree);
+  EXPECT_GT(piped.degree_batches, 1u);
+  EXPECT_GE(piped.degree_queue_peak, 1u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t d : piped.undirected_degree) total += d;
+  EXPECT_EQ(total, 2 * piped.graph.num_edges());
+
+  // Feeding the accumulated degrees into the partitioner must not change
+  // the result — it only skips the adjacency counting pass.
+  const graph::CsrLoad load = graph::compute_csr_load(piped.graph);
+  const std::vector<double> fractions(6, 1.0);
+  StreamingOptions opts;
+  opts.num_shards = 4;
+  const auto counted = streaming_partition(piped.graph, load, fractions, opts);
+  opts.undirected_degree = &piped.undirected_degree;
+  const auto precomputed = streaming_partition(piped.graph, load, fractions, opts);
+  EXPECT_EQ(counted, precomputed);
+}
+
+TEST(StreamingPartition, RejectsWrongDegreeVectorSize) {
+  const Fixture f = make_fixture(150, 200, 24);
+  std::vector<std::uint64_t> degree(f.csr.num_nodes() + 1, 0);
+  StreamingOptions opts;
+  opts.undirected_degree = &degree;
+  EXPECT_THROW(streaming_partition(f.csr, f.load, {1.0, 1.0}, opts), Error);
+}
+
 TEST(StreamingPartition, SmallBufferForcesEvictionsButStaysValid) {
   const Fixture f = make_fixture(150, 200, 10);
   const std::size_t k = 8;

@@ -34,6 +34,21 @@ call graph, and checks:
                         The huge-tier shard loops are sized by per-shard work;
                         a per-iteration lock serializes the tier (DESIGN.md
                         §9). Acquire once outside, or use per-shard state.
+                        Covers the speculate-then-commit refinement loops too:
+                        lambdas defined inside a marked function share its
+                        extent, so a lock inside the speculation or commit
+                        sweep is flagged the same way.
+  streaming-blocking-read
+                        functions annotated `// sc-lint: streaming-path` must
+                        not reach (depth >= 1) a function that performs a
+                        blocking file read (fopen/fread/fgets/fstream/getline)
+                        or sleeps — unless the reached function is annotated
+                        `// sc-lint: reader-thread`. The pipelined ingest
+                        confines filesystem stalls to the dedicated reader
+                        thread (and, on the serial arm, the bounded scanner's
+                        refill, which plays the reader role inline); every
+                        other stage must stay compute- or queue-bound so the
+                        overlap actually overlaps.
 
 Suppression uses the same syntax as sc_lint: `// sc-lint: allow(<rule>)` on
 the offending line. For the transitive rules an allow is honored on any of:
@@ -81,17 +96,20 @@ RULES = (
     "serve-blocking-io",
     "unchecked-id-narrowing",
     "lock-in-shard-loop",
+    "streaming-blocking-read",
 )
 
 ALLOW_RE = re.compile(r"//\s*sc-lint:\s*allow\(([a-z0-9-]+)\)")
-MARKER_RE = re.compile(r"//\s*sc-lint:\s*(hot-path|serve-hot-path|streaming-path)\b")
+MARKER_RE = re.compile(
+    r"//\s*sc-lint:\s*(hot-path|serve-hot-path|streaming-path|reader-thread)\b")
 # How far below its comment line a marker still binds to a function signature.
 MARKER_REACH = 4
 
 NARROWING_RE = re.compile(
     r"static_cast<\s*(?:sc::)?(?:graph::)?(NodeId|EdgeId)\s*>")
 BLOCKING_IO_RE = re.compile(
-    r"std::[iof]?fstream\b|(?<![\w:])f(?:re)?open\s*\("
+    r"std::[iof]?fstream\b|(?<![\w:])(?:std::)?f(?:re)?open\s*\("
+    r"|(?<![\w:])(?:std::)?f(?:read|gets)\s*\("
     r"|std::getline\s*\(|\bsleep_(?:for|until)\s*\(")
 CHECKED_HELPERS_FILE = "src/graph/types.hpp"
 
@@ -584,8 +602,8 @@ def _harvest_clang_tu(ci, tu, root: Path, file_set: set[str],
                 name = ch.spelling or ""
                 if name in ALLOC_CALLS:
                     func.allocs.append((line, name))
-                elif name in ("fopen", "freopen", "getline", "sleep_for",
-                              "sleep_until"):
+                elif name in ("fopen", "freopen", "fread", "fgets", "getline",
+                              "sleep_for", "sleep_until"):
                     func.io.append((line, name))
                 elif name in ("lock", "lock_shared"):
                     func.locks.append((line, loops, "." + name + "()"))
@@ -786,12 +804,42 @@ class Analyzer:
                         f"or use per-shard state (or sc-lint: "
                         f"allow(lock-in-shard-loop))")
 
+    def rule_streaming_blocking_read(self) -> None:
+        for ir in self.irs.values():
+            for f in ir.funcs:
+                if "streaming-path" not in f.markers:
+                    continue
+                if self.func_waived(f, "streaming-blocking-read"):
+                    continue
+                parents, via = self.reachable(f, "streaming-blocking-read")
+                for g in parents:
+                    if g is f:
+                        continue  # direct I/O in the marked body is sc_lint's rule
+                    if "reader-thread" in g.markers:
+                        continue  # the sanctioned blocking-read site
+                    sites = [(ln, kind) for ln, kind in g.io
+                             if not self.allowed(g.file, ln,
+                                                 "streaming-blocking-read")]
+                    if not sites:
+                        continue
+                    ln, kind = sites[0]
+                    self.report(
+                        f.file, f.line, "streaming-blocking-read",
+                        f"streaming-path function '{f.name}' reaches blocking "
+                        f"file I/O off the reader thread: "
+                        f"{self._path(parents, via, g)}; {kind} at "
+                        f"{g.file}:{ln}. Blocking reads belong on the "
+                        f"dedicated reader thread (mark it sc-lint: "
+                        f"reader-thread) or sc-lint: "
+                        f"allow(streaming-blocking-read)")
+
     def run(self, rules=RULES) -> None:
         dispatch = {
             "transitive-alloc": self.rule_transitive_alloc,
             "serve-blocking-io": self.rule_serve_blocking_io,
             "unchecked-id-narrowing": self.rule_unchecked_id_narrowing,
             "lock-in-shard-loop": self.rule_lock_in_shard_loop,
+            "streaming-blocking-read": self.rule_streaming_blocking_read,
         }
         for r in rules:
             dispatch[r]()
